@@ -1,0 +1,50 @@
+"""Ablation — self-scheduling chunk size vs parallel efficiency.
+
+The 97%-efficiency point of Fig. 2 is a chunk-size trade-off: big chunks
+amortise the per-task master/network overhead but strand slow finishers at
+the end of the run (quantisation stragglers); small chunks balance load but
+queue on the single-threaded master.  This bench sweeps the task size at
+k = 60 and locates the sweet spot.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import efficiency, homogeneous_cluster, simulate_run
+from repro.io import format_table
+
+N_PHOTONS = 100_000_000
+K = 60
+TASK_SIZES = [10_000, 50_000, 100_000, 500_000, 2_000_000]
+
+
+def sweep():
+    p1 = {
+        ts: simulate_run(homogeneous_cluster(1), N_PHOTONS, ts).makespan_seconds
+        for ts in TASK_SIZES
+    }
+    rows = []
+    for ts in TASK_SIZES:
+        pk = simulate_run(homogeneous_cluster(K), N_PHOTONS, ts).makespan_seconds
+        rows.append((ts, N_PHOTONS // ts, pk, efficiency(p1[ts], pk, K)))
+    return rows
+
+
+def test_ablation_chunk_size(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report(f"\n=== Ablation: task chunk size at k = {K} processors ===")
+    report(format_table(
+        ["photons/task", "n_tasks", f"P{K} (s)", "efficiency"],
+        [[ts, nt, pk, eff] for ts, nt, pk, eff in rows],
+        float_format="{:.4g}",
+    ))
+
+    effs = {ts: eff for ts, _nt, _pk, eff in rows}
+    # The mid-range chunk hits the paper's operating point.
+    assert effs[100_000] >= 0.97
+    # Oversized chunks strand stragglers: fewer tasks than a few per worker
+    # costs double-digit efficiency.
+    assert effs[2_000_000] < effs[100_000]
+    # Both extremes are worse than the sweet spot.
+    best = max(effs.values())
+    assert effs[100_000] >= best - 0.02

@@ -1,0 +1,92 @@
+"""Ablation — the low-scattering CSF layer.
+
+The paper (§2): "the cerebrospinal fluid, a layer of low scattering
+properties 'sandwiched' between highly scattering tissue [...] has a
+significant effect on light propagation" and "confines the penetration of
+light to the shallow region of the grey matter, with few photons probing
+the white matter."
+
+This bench simulates the Table 1 head as published and a counterfactual
+head whose CSF is replaced by grey-matter-like scattering, then compares
+where the light goes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import scaled
+
+from repro.analysis import penetration_fractions
+from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.io import format_table
+from repro.sources import PencilBeam
+from repro.tissue import Layer, LayerStack, OpticalProperties, adult_head
+
+
+def no_csf_head() -> LayerStack:
+    """Table 1 head with the CSF's scattering raised to grey-matter level."""
+    base = adult_head()
+    layers = []
+    for layer in base:
+        if layer.name == "csf":
+            grey_like = OpticalProperties.from_reduced(
+                mu_a=layer.properties.mu_a, mu_s_reduced=2.2, g=0.9, n=1.4
+            )
+            layers.append(Layer("csf_scattering", grey_like, layer.thickness))
+        else:
+            layers.append(layer)
+    return LayerStack(layers)
+
+
+def run(stack: LayerStack):
+    config = SimulationConfig(
+        stack=stack,
+        source=PencilBeam(),
+        roulette=RouletteConfig(threshold=3e-2, boost=20),
+        max_steps=60_000,
+        records=RecordConfig(penetration_bins=(40.0, 400)),
+    )
+    return Simulation(config).run(scaled(8_000), seed=29)
+
+
+def test_ablation_csf_layer(benchmark, report):
+    with_csf_stack = adult_head()
+    without_csf_stack = no_csf_head()
+    with_csf = benchmark.pedantic(lambda: run(with_csf_stack), rounds=1, iterations=1)
+    without_csf = run(without_csf_stack)
+
+    pen_with = penetration_fractions(with_csf, with_csf_stack)
+    pen_without = penetration_fractions(without_csf, without_csf_stack)
+
+    report("\n=== Ablation: the low-scattering CSF layer ===")
+    rows = []
+    for layer_with, layer_without in zip(with_csf_stack, without_csf_stack):
+        rows.append([
+            layer_with.name,
+            pen_with[layer_with.name]["reached"],
+            pen_without[layer_without.name]["reached"],
+        ])
+    report(format_table(
+        ["layer", "reached (CSF as published)", "reached (CSF scattering)"],
+        rows, float_format="{:.4f}",
+    ))
+
+    csf_reach = pen_with["csf"]["reached"]
+    grey_reach = pen_with["grey_matter"]["reached"]
+    report(f"\nwith the clear CSF, {grey_reach / csf_reach:.0%} of the photons "
+           f"that enter the CSF go on to reach the grey matter (light guiding)")
+
+    # --- the paper's CSF claims ----------------------------------------------
+    # 1. The clear CSF transmits almost everything that enters it into the
+    #    grey matter; a scattering CSF bounces a measurable share back.
+    pass_through_clear = pen_with["grey_matter"]["reached"] / pen_with["csf"]["reached"]
+    pass_through_scatter = (
+        pen_without["grey_matter"]["reached"] / pen_without["csf_scattering"]["reached"]
+    )
+    assert pass_through_clear > pass_through_scatter
+    assert pass_through_clear > 0.9
+    # 2. In both heads, few photons probe the white matter.
+    assert pen_with["white_matter"]["reached"] < 0.2
+    # 3. Energy conserved in both.
+    assert with_csf.energy_balance == pytest.approx(1.0, abs=1e-9)
+    assert without_csf.energy_balance == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,63 @@
+"""Ablation — probabilistic vs classical boundary physics.
+
+The paper's application supports "refraction and internal reflection
+(classical physics or probabilistic methods)".  Both must agree on every
+physical observable (they differ only in variance); this bench measures
+both and checks the agreement.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+import pytest
+
+from repro.core import RouletteConfig, Simulation, SimulationConfig
+from repro.io import format_table
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+#: A strongly mismatched boundary (n = 1.5) maximises the difference
+#: between the two treatments.
+PROPS = OpticalProperties(mu_a=0.5, mu_s=5.0, g=0.7, n=1.5)
+
+
+def run_mode(mode: str):
+    config = SimulationConfig(
+        stack=LayerStack.homogeneous(PROPS, 3.0),
+        source=PencilBeam(),
+        boundary_mode=mode,
+        roulette=RouletteConfig(threshold=1e-3, boost=10),
+    )
+    return Simulation(config).run(scaled(30_000), seed=17)
+
+
+def test_ablation_fresnel_modes(benchmark, report):
+    probabilistic = benchmark.pedantic(
+        lambda: run_mode("probabilistic"), rounds=1, iterations=1
+    )
+    classical = run_mode("classical")
+
+    report("\n=== Ablation: boundary physics (classical vs probabilistic) ===")
+    rows = []
+    for name, t in [("probabilistic", probabilistic), ("classical", classical)]:
+        rows.append([
+            name, t.diffuse_reflectance, t.transmittance,
+            t.total_absorbed_fraction, t.energy_balance,
+        ])
+    report(format_table(
+        ["mode", "R_d", "T_d", "A", "energy balance"], rows, float_format="{:.5f}"
+    ))
+
+    # --- both modes describe the same physics ---------------------------------
+    assert probabilistic.energy_balance == pytest.approx(1.0, abs=1e-9)
+    assert classical.energy_balance == pytest.approx(1.0, abs=1e-9)
+    assert probabilistic.diffuse_reflectance == pytest.approx(
+        classical.diffuse_reflectance, rel=0.05
+    )
+    assert probabilistic.transmittance == pytest.approx(
+        classical.transmittance, rel=0.10
+    )
+    assert probabilistic.total_absorbed_fraction == pytest.approx(
+        classical.total_absorbed_fraction, rel=0.05
+    )

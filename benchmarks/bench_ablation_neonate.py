@@ -1,0 +1,71 @@
+"""Ablation — adult vs neonatal head (superficial-tissue thickness).
+
+The paper (§2): "Monte Carlo simulations have been used to study the
+effect of the superficial tissue thickness, which differs between adult
+and neonates" [Fukui/Okada].  This bench runs the Table 1 adult model and
+the thinner-layered neonatal variant side by side: the neonate's thin
+scalp/skull/CSF let far more light reach the brain — the reason neonatal
+NIRS works so much better than adult NIRS.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import scaled
+
+from repro.analysis import penetration_fractions
+from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.io import format_table
+from repro.sources import PencilBeam
+from repro.tissue import adult_head, neonatal_head
+
+
+def run_head(stack, seed):
+    config = SimulationConfig(
+        stack=stack,
+        source=PencilBeam(),
+        roulette=RouletteConfig(threshold=3e-2, boost=20),
+        max_steps=60_000,
+        records=RecordConfig(penetration_bins=(40.0, 400)),
+    )
+    return Simulation(config).run(scaled(8_000), seed=seed)
+
+
+def test_ablation_adult_vs_neonate(benchmark, report):
+    adult_stack = adult_head()
+    neonate_stack = neonatal_head()
+    adult = benchmark.pedantic(lambda: run_head(adult_stack, 61), rounds=1, iterations=1)
+    neonate = run_head(neonate_stack, 62)
+
+    pen_adult = penetration_fractions(adult, adult_stack)
+    pen_neonate = penetration_fractions(neonate, neonate_stack)
+
+    report("\n=== Ablation: adult vs neonatal head (superficial thickness) ===")
+    superficial_adult = sum(adult_stack[i].thickness for i in range(3))
+    superficial_neonate = sum(neonate_stack[i].thickness for i in range(3))
+    report(f"superficial thickness (scalp+skull+CSF): adult "
+           f"{superficial_adult:.1f} mm, neonate {superficial_neonate:.1f} mm\n")
+    rows = [
+        [layer.name,
+         pen_adult[layer.name]["reached"],
+         pen_neonate[layer.name]["reached"]]
+        for layer in adult_stack
+    ]
+    report(format_table(
+        ["layer", "reached (adult)", "reached (neonate)"],
+        rows, float_format="{:.4f}",
+    ))
+    grey_gain = (
+        pen_neonate["grey_matter"]["reached"] / pen_adult["grey_matter"]["reached"]
+    )
+    report(f"\nneonate grey-matter reach is {grey_gain:.1f}x the adult's")
+
+    # --- the superficial-thickness effect ----------------------------------------
+    assert pen_neonate["grey_matter"]["reached"] > 2.0 * pen_adult["grey_matter"]["reached"]
+    assert pen_neonate["white_matter"]["reached"] > pen_adult["white_matter"]["reached"]
+    # Both models still stop the majority of photons superficially.
+    for pen in (pen_adult, pen_neonate):
+        assert pen["scalp"]["stopped"] + pen["skull"]["stopped"] > 0.5
+    # Energy conserved in both.
+    assert adult.energy_balance == pytest.approx(1.0, abs=1e-9)
+    assert neonate.energy_balance == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,68 @@
+"""Ablation — Russian-roulette aggressiveness.
+
+The Fig. 1 "survive roulette" step is unbiased by construction: the
+threshold only trades variance against runtime.  This bench sweeps the
+threshold and verifies that the physics is invariant while runtime falls.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import scaled
+
+from repro.core import RouletteConfig, Simulation, SimulationConfig
+from repro.io import format_table
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+#: Moderately diffusive medium so roulette actually matters.
+PROPS = OpticalProperties(mu_a=0.1, mu_s=10.0, g=0.8, n=1.4)
+THRESHOLDS = [1e-4, 1e-3, 1e-2, 5e-2]
+
+
+def sweep():
+    rows = []
+    for threshold in THRESHOLDS:
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(PROPS),
+            source=PencilBeam(),
+            roulette=RouletteConfig(threshold=threshold, boost=10),
+        )
+        t0 = time.perf_counter()
+        tally = Simulation(config).run(scaled(20_000), seed=23)
+        elapsed = time.perf_counter() - t0
+        rows.append((threshold, elapsed, tally))
+    return rows
+
+
+def test_ablation_roulette(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report("\n=== Ablation: Russian-roulette threshold ===")
+    report(format_table(
+        ["threshold", "time (s)", "R_d", "A", "net roulette weight/photon"],
+        [[thr, t, tally.diffuse_reflectance, tally.total_absorbed_fraction,
+          tally.roulette_net_weight / tally.n_launched]
+         for thr, t, tally in rows],
+        float_format="{:.4g}",
+    ))
+
+    tallies = {thr: tally for thr, _t, tally in rows}
+    times = {thr: t for thr, t, _tally in rows}
+    reference = tallies[1e-4]
+
+    # --- unbiasedness: R_d invariant across 2.5 orders of magnitude ---------
+    for thr in THRESHOLDS[1:]:
+        assert tallies[thr].diffuse_reflectance == pytest.approx(
+            reference.diffuse_reflectance, rel=0.03
+        )
+        assert tallies[thr].total_absorbed_fraction == pytest.approx(
+            reference.total_absorbed_fraction, rel=0.03
+        )
+    # --- and it buys runtime -------------------------------------------------
+    assert times[5e-2] < times[1e-4]
+    # Energy stays booked exactly (balance includes the roulette term).
+    for tally in tallies.values():
+        assert tally.energy_balance == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,75 @@
+"""Ablation — source illumination footprint.
+
+"We found that the source illumination footprint has an effect on the
+distribution of photons in the head": delta vs Gaussian vs uniform sources
+on the same medium, measured by the lateral spread of deposited energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import scaled
+
+from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.detect import GridSpec
+from repro.io import format_table
+from repro.sources import GaussianBeam, PencilBeam, UniformDisc
+from repro.tissue import white_matter
+
+SPEC = GridSpec.cube(32, 10.0, 10.0)
+
+
+def lateral_rms(grid: np.ndarray) -> float:
+    x = SPEC.axis_centres(0)
+    y = SPEC.axis_centres(1)
+    w_x = grid.sum(axis=(1, 2))
+    w_y = grid.sum(axis=(0, 2))
+    return float(np.sqrt(
+        ((x**2 * w_x).sum() + (y**2 * w_y).sum()) / (w_x.sum() + w_y.sum())
+    ))
+
+
+def run_source(source):
+    config = SimulationConfig(
+        stack=white_matter(),
+        source=source,
+        roulette=RouletteConfig(threshold=1e-2, boost=10),
+        records=RecordConfig(absorption_grid=SPEC),
+    )
+    return Simulation(config).run(scaled(8_000), seed=19)
+
+
+def test_ablation_source_footprints(benchmark, report):
+    pencil = benchmark.pedantic(lambda: run_source(PencilBeam()), rounds=1, iterations=1)
+    gaussian = run_source(GaussianBeam(sigma=2.0))
+    uniform = run_source(UniformDisc(radius=4.0))
+
+    spreads = {
+        "delta (laser)": lateral_rms(pencil.absorption_grid),
+        "Gaussian sigma=2": lateral_rms(gaussian.absorption_grid),
+        "uniform r=4": lateral_rms(uniform.absorption_grid),
+    }
+    report("\n=== Ablation: source footprint vs photon distribution ===")
+    report(format_table(
+        ["source", "RMS lateral spread of absorbed energy (mm)"],
+        [[k, v] for k, v in spreads.items()],
+        float_format="{:.3f}",
+    ))
+
+    # --- the paper's observations ---------------------------------------------
+    # 1. footprint matters: wider sources spread the distribution.
+    assert spreads["Gaussian sigma=2"] > 1.3 * spreads["delta (laser)"]
+    assert spreads["uniform r=4"] > 1.3 * spreads["delta (laser)"]
+    # 2. "lasers do produce a small beam in a highly scattering medium":
+    #    the laser's absorbed-energy cloud stays within ~2 mm of the axis —
+    #    the diffusion length scale 1/mu_eff, i.e. tens of (tiny) transport
+    #    mean free paths but a "small beam" on the tissue scale.
+    props = white_matter()[0].properties
+    l_star = props.transport_mean_free_path
+    diffusion_length = 1.0 / props.effective_attenuation
+    report(f"\nlaser spread = {spreads['delta (laser)']:.2f} mm "
+           f"(= {spreads['delta (laser)'] / l_star:.1f} l*, "
+           f"diffusion length 1/mu_eff = {diffusion_length:.2f} mm)")
+    assert spreads["delta (laser)"] < 2.0 * diffusion_length
+    # 3. reflectance is footprint-independent (energy argument).
+    assert abs(pencil.diffuse_reflectance - uniform.diffuse_reflectance) < 0.02

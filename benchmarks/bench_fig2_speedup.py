@@ -1,0 +1,47 @@
+"""Fig. 2 — speedup vs number of homogeneous processors.
+
+Regenerates the paper's speedup graph on the simulated cluster: 1-60
+identical non-dedicated Pentium-IV class machines (the paper's testbed) and
+pull-based self-scheduling.  Asserts the headline result — near-linear
+speedup with **over 97% efficiency at 60 processors** — and the curve's
+monotone shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import speedup_curve
+from repro.io import format_table
+
+KS = [1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60]
+N_PHOTONS = 100_000_000
+TASK_SIZE = 100_000
+
+
+def run_curve():
+    return speedup_curve(KS, N_PHOTONS, TASK_SIZE)
+
+
+def test_fig2_speedup(benchmark, report):
+    points = benchmark.pedantic(run_curve, rounds=1, iterations=1)
+
+    report("\n=== Fig. 2: speedup with varying numbers of homogeneous processors ===")
+    report(format_table(
+        ["k", "Pk (s)", "speedup", "efficiency"],
+        [[p.k, p.pk_seconds, p.speedup, p.efficiency] for p in points],
+        float_format="{:.4g}",
+    ))
+    by_k = {p.k: p for p in points}
+    report(f"\nefficiency at 60 processors: {by_k[60].efficiency:.1%} "
+           f"(paper: 'over 97% efficiency at 60 processors')")
+
+    # --- shape assertions ----------------------------------------------------
+    assert by_k[1].speedup == pytest.approx(1.0)
+    # Near-linear: speedup monotone increasing in k.
+    speedups = [p.speedup for p in points]
+    assert speedups == sorted(speedups)
+    # The headline claim.
+    assert by_k[60].efficiency >= 0.97
+    # Every point stays close to linear (no early saturation).
+    assert all(p.efficiency >= 0.9 for p in points)

@@ -1,0 +1,76 @@
+"""Fig. 3 — banana-shaped detected paths in homogeneous white matter.
+
+"To verify the accuracy of the application, we mapped the paths of [...]
+photons through a homogeneous tissue (white matter).  Only photon paths
+which reach the detector were counted.  Fig. 3 shows the most common paths
+taken by the photons, after thresholding.  The most common paths form a
+banana shape, as expected."  Granularity 50³, laser (delta) source.
+
+Scaled for a laptop: the optode spacing is a few mm (white matter's
+µs' = 9.1 mm⁻¹ makes 20+ mm spacings need billions of photons — the reason
+the paper built a cluster), and the photon budget is REPRO_BENCH_SCALE
+x 30 000.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.analysis import (
+    ascii_heatmap,
+    banana_metrics,
+    threshold_top_weight,
+    xz_slice,
+)
+from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.detect import DiscDetector, GridSpec
+from repro.sources import PencilBeam
+from repro.tissue import white_matter
+
+SPACING = 4.0  # mm
+GRANULARITY = 50  # the paper's "granularity of 50^3"
+
+
+def run_banana():
+    spec = GridSpec.banana_box(GRANULARITY, SPACING)
+    config = SimulationConfig(
+        stack=white_matter(),
+        source=PencilBeam(),
+        detector=DiscDetector(SPACING, 0.0, radius=1.25),
+        roulette=RouletteConfig(threshold=1e-2, boost=10),
+        records=RecordConfig(path_grid=spec),
+    )
+    tally = Simulation(config).run(scaled(50_000), seed=7)
+    return tally, spec
+
+
+def test_fig3_banana(benchmark, report):
+    tally, spec = benchmark.pedantic(run_banana, rounds=1, iterations=1)
+
+    slab = xz_slice(tally.path_grid, spec)
+    thresholded = slab * threshold_top_weight(slab, 0.75)
+    report("\n=== Fig. 3: laser source, granularity 50^3, homogeneous white matter ===")
+    report(f"(detector at {SPACING} mm; {tally.detected_count} of "
+           f"{tally.n_launched:,} photons detected)\n")
+    report("detected-path density after thresholding "
+           "(source left, detector right, depth downward):")
+    report(ascii_heatmap(thresholded, width=60, height=24))
+
+    m = banana_metrics(tally.path_grid, spec, detector_x=SPACING)
+    report(f"\ndepth under source   : {m.depth_at_source:.2f} mm")
+    report(f"depth at midpoint    : {m.depth_at_midpoint:.2f} mm")
+    report(f"depth under detector : {m.depth_at_detector:.2f} mm")
+    report(f"deepest at x         : {m.argmax_depth_x:.2f} mm")
+    report(f"banana shape         : {m.is_banana}")
+
+    # --- assertions: "the most common paths form a banana shape" -------------
+    assert tally.detected_count > 40
+    assert m.is_banana
+    # The deepest point lies strictly between the optodes.
+    assert 0.0 < m.argmax_depth_x < SPACING
+    # Midpoint depth scales with the optode spacing (the banana dips to
+    # roughly a third to two thirds of rho at these optical properties).
+    assert 0.2 * SPACING < m.depth_at_midpoint < SPACING
+    # Ends taper to the surface: endpoint bands are dominated by shallow voxels.
+    assert m.depth_at_source < m.depth_at_midpoint
+    assert m.depth_at_detector < m.depth_at_midpoint

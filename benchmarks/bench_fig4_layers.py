@@ -1,0 +1,90 @@
+"""Fig. 4 — simulated photon paths through the layered brain tissue.
+
+"A model of the different layers of tissue in and around the brain has
+been created (as described in Table 1).  Fig. 4 shows the results of this
+simulation.  Most of the photons are reflected before they enter the CSF,
+however some do penetrate all the way into the white matter tissue, which
+is of most interest to researchers."
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.analysis import ascii_heatmap, depth_profile, layer_report
+from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.detect import GridSpec
+from repro.io import format_table
+from repro.sources import PencilBeam
+from repro.tissue import adult_head
+
+
+def run_head():
+    stack = adult_head()
+    spec = GridSpec.cube(50, 25.0, 25.0)
+    config = SimulationConfig(
+        stack=stack,
+        source=PencilBeam(),
+        roulette=RouletteConfig(threshold=3e-2, boost=20),
+        max_steps=60_000,
+        records=RecordConfig(
+            absorption_grid=spec,
+            penetration_bins=(40.0, 400),
+        ),
+    )
+    tally = Simulation(config).run(scaled(15_000), seed=4)
+    return tally, stack, spec
+
+
+def test_fig4_layers(benchmark, report):
+    tally, stack, spec = benchmark.pedantic(run_head, rounds=1, iterations=1)
+
+    report("\n=== Fig. 4: photon paths with the Table 1 layers of brain tissue ===")
+    rows = [
+        [r.name, r.z_top,
+         "inf" if r.z_bottom == float("inf") else f"{r.z_bottom:g}",
+         r.absorbed_fraction, r.reached_fraction, r.stopped_fraction]
+        for r in layer_report(tally, stack)
+    ]
+    report(format_table(
+        ["layer", "top (mm)", "bottom (mm)", "absorbed", "reached", "stopped"],
+        rows, float_format="{:.4f}",
+    ))
+
+    slab = tally.absorption_grid[:, 22:28, :].sum(axis=1)
+    report("\nabsorbed energy, x-z cross-section (surface at top, 50 mm deep):")
+    report(ascii_heatmap(slab, width=60, height=24))
+
+    z, profile = depth_profile(tally.absorption_grid, spec)
+    report("\ndeposited energy vs depth (per mm, log-scaled bar chart):")
+    import math
+    peak = profile.max()
+    for zi in range(0, len(z), 2):
+        if profile[zi] > 0:
+            bar = "#" * max(1, int(40 * (math.log10(profile[zi] / peak) + 4) / 4))
+        else:
+            bar = ""
+        report(f"  z={z[zi]:5.1f} mm |{bar}")
+
+    # --- assertions: the Fig. 4 claims ---------------------------------------
+    fractions = {r.name: r for r in layer_report(tally, stack)}
+    stopped_before_csf = (
+        fractions["scalp"].stopped_fraction + fractions["skull"].stopped_fraction
+    )
+    report(f"\nstopped before the CSF      : {stopped_before_csf:.1%} "
+           f"('most of the photons are reflected before they enter the CSF')")
+    report(f"reached white matter        : "
+           f"{fractions['white_matter'].reached_fraction:.2%} "
+           f"('some do penetrate all the way into the white matter')")
+
+    assert stopped_before_csf > 0.5
+    assert fractions["white_matter"].reached_fraction > 0.0
+    assert fractions["white_matter"].reached_fraction < 0.2
+    # Penetration is monotone: deeper layers are reached by fewer photons.
+    reached = [r.reached_fraction for r in layer_report(tally, stack)]
+    assert reached == sorted(reached, reverse=True)
+    # Absorption is dominated by the superficial layers.
+    absorbed = tally.absorbed_fraction
+    assert absorbed[0] > absorbed[3] and absorbed[0] > absorbed[4]
+    # Energy is conserved through all five layers and both boundaries.
+    assert abs(tally.energy_balance - 1.0) < 1e-9

@@ -1,0 +1,50 @@
+"""Table 1 — thickness and optical properties of tissue in the adult head.
+
+Regenerates the paper's Table 1 from the model objects and asserts the
+encoded coefficients match the publication exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import format_table
+from repro.tissue import TABLE1_PROPERTIES, adult_head
+
+#: The paper's Table 1, transcribed: (µs' mm^-1, µa mm^-1, thickness note).
+PAPER_TABLE1 = {
+    "scalp": (1.9, 0.018, "0.3-1 cm"),
+    "skull": (1.6, 0.016, "0.5-1 cm"),
+    "csf": (0.25, 0.004, "2"),
+    "grey_matter": (2.2, 0.036, "4"),
+    "white_matter": (9.1, 0.014, "-"),
+}
+
+
+def test_table1_model(benchmark, report):
+    stack = benchmark(adult_head)
+
+    rows = []
+    for layer in stack:
+        mu_s_red, mu_a, _ = TABLE1_PROPERTIES[layer.name]
+        thickness = "-" if layer.is_semi_infinite else f"{layer.thickness:g} mm"
+        rows.append([
+            layer.name, thickness, mu_s_red, mu_a,
+            layer.properties.mu_s, layer.properties.g, layer.properties.n,
+        ])
+    report("\n=== Table 1: Thickness and optical properties (NIR) of adult head ===")
+    report(format_table(
+        ["tissue", "thickness", "µs' (mm⁻¹)", "µa (mm⁻¹)",
+         "µs (mm⁻¹)", "g", "n"],
+        rows,
+    ))
+    report("(µs' and µa exactly as printed in the paper; µs = µs'/(1-g) with "
+           "g = 0.9, n = 1.4 per the paper's sources — see DESIGN.md)")
+
+    # --- assertions: the encoded model IS the paper's table -----------------
+    for name, (mu_s_red, mu_a, _note) in PAPER_TABLE1.items():
+        layer = next(l for l in stack if l.name == name)
+        assert layer.properties.mu_s_reduced == pytest.approx(mu_s_red)
+        assert layer.properties.mu_a == pytest.approx(mu_a)
+    assert stack[-1].is_semi_infinite  # white matter: "-"
+    assert len(stack) == 5

@@ -1,0 +1,68 @@
+"""Table 2 — the 150-client heterogeneous non-dedicated cluster.
+
+Regenerates the census table and the paper's production-run timing: "In
+each simulation the paths taken by 1 billion photons were recorded, with
+each simulation taking approximately 2 hours on the distributed system
+detailed in Table 2."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    TABLE2_CLASSES,
+    UniformAvailability,
+    simulate_run,
+    table2_cluster,
+    total_mflops,
+)
+from repro.io import format_table
+
+N_PHOTONS = 1_000_000_000
+TASK_SIZE = 200_000
+
+
+def run_table2():
+    cluster = table2_cluster(np.random.default_rng(0))
+    rep = simulate_run(
+        cluster, N_PHOTONS, TASK_SIZE,
+        availability=UniformAvailability(0.7, 1.0), seed=1,
+    )
+    return cluster, rep
+
+
+def test_table2_heterogeneous(benchmark, report):
+    cluster, rep = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    report("\n=== Table 2: distributed system resources ===")
+    report(format_table(
+        ["#", "Mflop/s", "RAM (MB)", "O/S", "Processor"],
+        [[c.count, f"{c.mflops_min:g}-{c.mflops_max:g}", c.ram_mb, c.os, c.processor]
+         for c in TABLE2_CLASSES],
+    ))
+    hours = rep.makespan_seconds / 3600
+    report(f"\n{len(cluster)} clients, {total_mflops(cluster):.0f} Mflop/s aggregate")
+    report(f"simulated 10^9-photon run: {hours:.2f} h makespan, "
+           f"{rep.mean_utilisation:.1%} mean utilisation "
+           f"(paper: 'approximately 2 hours')")
+
+    # Per-class utilisation: the fast P4s do most of the work.
+    by_machine = rep.per_machine
+    p3_ids = [m.machine_id for m in cluster[:91]]
+    p4_ids = [m.machine_id for m in cluster[91:141]]
+    p3_photons = sum(by_machine[i].photons for i in p3_ids) / 91
+    p4_photons = sum(by_machine[i].photons for i in p4_ids) / 50
+    report(f"photons per P4 2.4GHz client : {p4_photons:,.0f}")
+    report(f"photons per P3 600MHz client : {p3_photons:,.0f}")
+
+    # --- assertions ----------------------------------------------------------
+    assert len(cluster) == 150
+    assert sum(c.count for c in TABLE2_CLASSES) == 150
+    # "approximately 2 hours": within +-30%.
+    assert 1.4 <= hours <= 2.6
+    # Self-scheduling matches work to speed: P4s process ~5-9x more than P3s.
+    assert 4.0 < p4_photons / p3_photons < 10.0
+    # Every photon is accounted for.
+    assert sum(s.photons for s in by_machine.values()) == N_PHOTONS

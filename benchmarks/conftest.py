@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper: it *prints* the
+rows/series the paper reports (straight to the terminal, bypassing capture)
+and *asserts* the qualitative shape — who wins, by roughly what factor,
+where the crossovers fall.  Absolute numbers are not expected to match the
+2006 testbed (see EXPERIMENTS.md).
+
+Photon budgets scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0): set it below 1 for smoke runs, above 1 for tighter
+statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scaled(n: int) -> int:
+    """Apply the global photon-budget scale factor."""
+    return max(1000, int(n * float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print through pytest's capture so bench output reaches the terminal."""
+
+    def _print(*args, **kwargs):
+        with capsys.disabled():
+            print(*args, **kwargs)
+
+    return _print

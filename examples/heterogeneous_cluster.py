@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Table 2 scenario: the 150-machine heterogeneous non-dedicated cluster.
+
+Simulates the paper's production run — 10^9 photons on the Table 2 census —
+and compares scheduling policies on that cluster: the platform's pull-based
+self-scheduling, naive static blocks, rate-weighted static assignment, and
+the genetic-algorithm scheduler of the authors' companion paper (ref [4]).
+
+Run:
+    python examples/heterogeneous_cluster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import (
+    GAConfig,
+    PHOTONS_PER_MFLOP,
+    TABLE2_CLASSES,
+    UniformAvailability,
+    ga_schedule,
+    simulate_run,
+    static_block,
+    static_weighted,
+    table2_cluster,
+    total_mflops,
+)
+from repro.io import format_table
+
+N_PHOTONS = 1_000_000_000
+TASK_SIZE = 200_000
+
+
+def main() -> None:
+    print("Table 2 census:")
+    rows = [
+        [c.count, f"{c.mflops_min:g}-{c.mflops_max:g}", c.ram_mb, c.os, c.processor]
+        for c in TABLE2_CLASSES
+    ]
+    print(format_table(["#", "Mflop/s", "RAM (MB)", "O/S", "Processor"], rows))
+
+    cluster = table2_cluster(np.random.default_rng(0))
+    print(f"\n{len(cluster)} machines, {total_mflops(cluster):.0f} Mflop/s aggregate")
+
+    availability = UniformAvailability(0.7, 1.0)
+    n_tasks = N_PHOTONS // TASK_SIZE
+
+    def sim(assignment=None, seed=1):
+        return simulate_run(
+            cluster, N_PHOTONS, TASK_SIZE,
+            availability=availability, seed=seed,
+            static_assignment=assignment,
+        )
+
+    print(f"\nSimulating {N_PHOTONS:.0e} photons ({n_tasks} tasks of {TASK_SIZE:,}):\n")
+
+    pull = sim()
+    block = sim(static_block(n_tasks, cluster))
+    weighted = sim(static_weighted(n_tasks, cluster))
+
+    ga = ga_schedule(
+        [TASK_SIZE] * n_tasks, cluster, PHOTONS_PER_MFLOP,
+        config=GAConfig(population=30, generations=40, seed=0),
+    )
+    ga_run = sim(ga.assignment)
+
+    rows = [
+        ["self-scheduling (paper)", pull.makespan_seconds / 3600,
+         pull.mean_utilisation],
+        ["static block", block.makespan_seconds / 3600, block.mean_utilisation],
+        ["static weighted", weighted.makespan_seconds / 3600,
+         weighted.mean_utilisation],
+        ["GA scheduler (ref [4])", ga_run.makespan_seconds / 3600,
+         ga_run.mean_utilisation],
+    ]
+    print(format_table(
+        ["policy", "makespan (h)", "mean utilisation"], rows, float_format="{:.3f}"
+    ))
+    print(
+        f"\nThe paper reports 'approximately 2 hours' per 10^9-photon "
+        f"simulation on this cluster; self-scheduling gives "
+        f"{pull.makespan_seconds / 3600:.2f} h here."
+    )
+    print(f"GA predicted makespan (no noise): {ga.makespan / 3600:.2f} h "
+          f"after {ga.generations} generations")
+
+
+if __name__ == "__main__":
+    main()

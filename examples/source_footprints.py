@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Source-footprint study: delta vs Gaussian vs uniform illumination.
+
+The paper (Sect. 4): "We found that the source illumination footprint has
+an effect on the distribution of photons in the head and that lasers do
+produce a small beam in a highly scattering medium."  This example
+quantifies both statements by comparing the three supported source types
+on the same medium, plus the effect of pathlength gating on detection.
+
+Run:
+    python examples/source_footprints.py [n_photons]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.detect import AnnularDetector, GridSpec, PathlengthGate
+from repro.io import format_table
+from repro.sources import GaussianBeam, PencilBeam, UniformDisc
+from repro.tissue import white_matter
+
+
+def lateral_spread(grid: np.ndarray, spec: GridSpec) -> float:
+    """RMS lateral radius of the absorbed-energy cloud (mm)."""
+    x = spec.axis_centres(0)
+    y = spec.axis_centres(1)
+    w_x = grid.sum(axis=(1, 2))
+    w_y = grid.sum(axis=(0, 2))
+    var = ((x**2 * w_x).sum() + (y**2 * w_y).sum()) / (w_x.sum() + w_y.sum())
+    return float(np.sqrt(var))
+
+
+def main() -> None:
+    n_photons = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    stack = white_matter()
+    spec = GridSpec.cube(32, 8.0, 8.0)
+
+    sources = {
+        "delta (laser)": PencilBeam(),
+        "Gaussian sigma=2mm": GaussianBeam(sigma=2.0),
+        "uniform r=4mm": UniformDisc(radius=4.0),
+    }
+
+    rows = []
+    for name, source in sources.items():
+        config = SimulationConfig(
+            stack=stack,
+            source=source,
+            roulette=RouletteConfig(threshold=1e-2, boost=10),
+            records=RecordConfig(absorption_grid=spec),
+        )
+        tally = Simulation(config).run(n_photons, seed=1)
+        rows.append([
+            name,
+            lateral_spread(tally.absorption_grid, spec),
+            tally.diffuse_reflectance,
+            tally.penetration_depth.mean,
+        ])
+        print(f"simulated {name}")
+
+    print("\nEffect of the illumination footprint (white matter):")
+    print(format_table(
+        ["source", "RMS lateral spread (mm)", "diffuse reflectance",
+         "mean detected depth (mm)"],
+        rows, float_format="{:.3f}",
+    ))
+    print(
+        "\nThe laser's absorption cloud stays within ~"
+        f"{rows[0][1]:.1f} mm of the axis in a medium with transport mean "
+        f"free path {stack[0].properties.transport_mean_free_path:.2f} mm — "
+        "'lasers do produce a small beam in a highly scattering medium'."
+    )
+
+    # Gated detection: only photons within a pathlength window are counted,
+    # emulating pulsed source/detector operation (Sect. 3 of the paper).
+    print("\nPathlength-gated detection (laser source, detector at 4 mm):")
+    gate_rows = []
+    for gate, label in [
+        (None, "ungated"),
+        (PathlengthGate(0.0, 30.0), "0-30 mm"),
+        (PathlengthGate(30.0, 80.0), "30-80 mm"),
+        (PathlengthGate(80.0, 1e9), ">80 mm"),
+    ]:
+        config = SimulationConfig(
+            stack=stack,
+            source=PencilBeam(),
+            detector=AnnularDetector(3.5, 4.5),
+            gate=gate,
+            roulette=RouletteConfig(threshold=1e-2, boost=10),
+        )
+        tally = Simulation(config).run(n_photons, seed=2)
+        gate_rows.append([
+            label,
+            tally.detected_count,
+            tally.pathlength.mean if tally.detected_count else float("nan"),
+            tally.penetration_depth.mean if tally.detected_count else float("nan"),
+        ])
+    print(format_table(
+        ["gate", "detected", "mean pathlength (mm)", "mean max depth (mm)"],
+        gate_rows, float_format="{:.2f}",
+    ))
+    print("\nLonger-pathlength gates select photons that dived deeper — the "
+          "mechanism time-gated NIRS uses to reject shallow light.")
+
+
+if __name__ == "__main__":
+    main()

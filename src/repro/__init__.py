@@ -1,0 +1,38 @@
+"""repro — Distributed Monte Carlo simulation of light transport in tissue.
+
+A from-scratch Python reproduction of Page, Coyle, Keane, Naughton, Markham
+and Ward, *Distributed Monte Carlo Simulation of Light Transportation in
+Tissue* (IPPS 2006): an MCML-family layered-tissue photon-transport Monte
+Carlo engine plus the master–worker distributed platform the paper runs it
+on, with a discrete-event cluster simulator for the parallel-efficiency
+experiments.
+
+Quickstart
+----------
+>>> from repro import Simulation, SimulationConfig
+>>> from repro.tissue import white_matter
+>>> from repro.sources import PencilBeam
+>>> config = SimulationConfig(stack=white_matter(), source=PencilBeam())
+>>> tally = Simulation(config).run(n_photons=1000, seed=42)
+>>> 0.9 < tally.energy_balance < 1.1  # R + A + T accounts for all energy
+True
+"""
+
+from .core import (
+    RecordConfig,
+    RouletteConfig,
+    Simulation,
+    SimulationConfig,
+    Tally,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RecordConfig",
+    "RouletteConfig",
+    "Simulation",
+    "SimulationConfig",
+    "Tally",
+    "__version__",
+]

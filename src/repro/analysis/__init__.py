@@ -1,0 +1,38 @@
+"""Analysis of Monte Carlo results: banana profiles, layer statistics, rendering."""
+
+from .banana import BananaMetrics, banana_metrics, cylindrical_map, xz_slice
+from .convergence import ConvergencePoint, convergence_curve, photons_for_precision
+from .layers import LayerRow, depth_profile, layer_report, penetration_fractions
+from .profiles import SpacingPoint, penetration_vs_spacing
+from .render import ascii_heatmap, save_pgm
+from .threshold import threshold_relative, threshold_top_weight
+from .uncertainty import (
+    ScalarEstimate,
+    detection_estimate,
+    estimate,
+    reflectance_estimate,
+)
+
+__all__ = [
+    "BananaMetrics",
+    "ConvergencePoint",
+    "ScalarEstimate",
+    "LayerRow",
+    "SpacingPoint",
+    "ascii_heatmap",
+    "banana_metrics",
+    "convergence_curve",
+    "cylindrical_map",
+    "depth_profile",
+    "detection_estimate",
+    "estimate",
+    "layer_report",
+    "penetration_fractions",
+    "penetration_vs_spacing",
+    "photons_for_precision",
+    "reflectance_estimate",
+    "save_pgm",
+    "threshold_relative",
+    "threshold_top_weight",
+    "xz_slice",
+]

@@ -1,0 +1,197 @@
+"""Banana-shape analysis of detected-path sensitivity profiles.
+
+Fig. 3 of the paper: with a laser (pencil) source and a detector on the
+same surface, the density of detected photon paths in the x-z plane forms
+the classic "banana" — shallow at the source and the detector, deepest
+midway between them.  ``banana_metrics`` quantifies that shape from the
+recorded path grid so benches and tests can assert it instead of
+eyeballing a plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..detect.records import GridSpec
+from .threshold import threshold_top_weight
+
+__all__ = ["xz_slice", "cylindrical_map", "BananaMetrics", "banana_metrics"]
+
+
+def cylindrical_map(
+    grid: np.ndarray, spec: GridSpec, n_rho: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project a path grid onto cylindrical (rho, z) coordinates.
+
+    For an annular (ring) detector the geometry is azimuthally symmetric, so
+    folding all azimuths onto the radial coordinate multiplies the usable
+    statistics by the full ring circumference.  The returned map has the
+    same banana interpretation as an x-z slice, with the source at rho = 0
+    and the detector at rho = ring radius.
+
+    Returns
+    -------
+    rho_centres, z_centres, density:
+        ``density[i, j]`` is the summed path weight of voxels whose centre
+        radius falls in radial bin ``i`` at depth bin ``j`` (depth bins are
+        the grid's own z voxels).
+    """
+    if grid.shape != spec.shape:
+        raise ValueError(f"grid shape {grid.shape} != spec shape {spec.shape}")
+    x = spec.axis_centres(0)
+    y = spec.axis_centres(1)
+    z = spec.axis_centres(2)
+    rho_vox = np.hypot(x[:, None], y[None, :])  # (nx, ny)
+    rho_max = float(rho_vox.max())
+    if n_rho is None:
+        n_rho = spec.shape[0]
+    edges = np.linspace(0.0, rho_max * (1 + 1e-12), n_rho + 1)
+    bin_of = np.clip(np.digitize(rho_vox.ravel(), edges) - 1, 0, n_rho - 1)
+    flat = grid.reshape(-1, spec.shape[2])  # (nx*ny, nz)
+    density = np.zeros((n_rho, spec.shape[2]))
+    np.add.at(density, bin_of, flat)
+    rho_centres = 0.5 * (edges[:-1] + edges[1:])
+    return rho_centres, z, density
+
+
+def xz_slice(grid: np.ndarray, spec: GridSpec, *, y_halfwidth: float | None = None) -> np.ndarray:
+    """Project the path grid onto the x-z plane.
+
+    Sums over the y voxels within ``|y| <= y_halfwidth`` (default: one
+    voxel either side of the source-detector axis), returning a 2-D array
+    indexed ``[x, z]``.
+    """
+    if grid.shape != spec.shape:
+        raise ValueError(f"grid shape {grid.shape} != spec shape {spec.shape}")
+    y_centres = spec.axis_centres(1)
+    if y_halfwidth is None:
+        dy = spec.voxel_size[1]
+        y_halfwidth = 1.5 * dy
+    mask = np.abs(y_centres) <= y_halfwidth
+    if not mask.any():
+        raise ValueError("y_halfwidth selects no voxel rows")
+    return grid[:, mask, :].sum(axis=1)
+
+
+@dataclass(frozen=True)
+class BananaMetrics:
+    """Quantified shape of a detected-path density map.
+
+    All coordinates in mm in the grid's frame (source at x=0, detector at
+    ``detector_x``, depth increasing with z).
+
+    Attributes
+    ----------
+    depth_at_source, depth_at_midpoint, depth_at_detector:
+        Weight-averaged depth of the (thresholded) path density in thin
+        vertical bands at the source, the midpoint, and the detector.
+    max_band_depth:
+        The deepest band-averaged depth along the profile.
+    argmax_depth_x:
+        x position of that deepest band.
+    endpoint_surface_weight:
+        Fraction of (thresholded) weight in the top voxel layer within the
+        source and detector bands — near 1 for a proper banana whose ends
+        taper to the optodes.
+    total_weight:
+        Total path weight in the grid (pre-threshold).
+    """
+
+    depth_at_source: float
+    depth_at_midpoint: float
+    depth_at_detector: float
+    max_band_depth: float
+    argmax_depth_x: float
+    endpoint_surface_weight: float
+    total_weight: float
+
+    @property
+    def is_banana(self) -> bool:
+        """The defining shape test: midpoint runs deeper than both ends."""
+        return (
+            self.depth_at_midpoint > self.depth_at_source
+            and self.depth_at_midpoint > self.depth_at_detector
+        )
+
+
+def banana_metrics(
+    grid: np.ndarray,
+    spec: GridSpec,
+    detector_x: float,
+    *,
+    threshold_fraction: float = 0.75,
+    band_halfwidth: float | None = None,
+) -> BananaMetrics:
+    """Compute :class:`BananaMetrics` from a detected-path voxel grid.
+
+    Parameters
+    ----------
+    grid, spec:
+        The path grid (``tally.path_grid``) and its spec.
+    detector_x:
+        x coordinate of the detector centre (source assumed at x=0).
+    threshold_fraction:
+        Passed to :func:`~repro.analysis.threshold.threshold_top_weight`
+        before shape measurement — Fig. 3 is "after thresholding".
+    band_halfwidth:
+        Half-width in mm of the vertical measurement bands (default: one
+        voxel).
+    """
+    if grid.shape != spec.shape:
+        raise ValueError(f"grid shape {grid.shape} != spec shape {spec.shape}")
+    total = float(grid.sum())
+    slab = xz_slice(grid, spec)  # (x, z)
+    mask = threshold_top_weight(slab, threshold_fraction)
+    density = np.where(mask, slab, 0.0)
+
+    x_centres = spec.axis_centres(0)
+    z_centres = spec.axis_centres(2)
+    dx = spec.voxel_size[0]
+    if band_halfwidth is None:
+        band_halfwidth = dx
+
+    def band_depth(x0: float) -> float:
+        band = np.abs(x_centres - x0) <= band_halfwidth
+        if not band.any():
+            raise ValueError(f"band at x={x0} is outside the grid")
+        column = density[band, :].sum(axis=0)
+        w = column.sum()
+        return float((column * z_centres).sum() / w) if w > 0 else 0.0
+
+    depth_source = band_depth(0.0)
+    depth_mid = band_depth(0.5 * detector_x)
+    depth_det = band_depth(detector_x)
+
+    # Depth profile along x: weight-averaged z per x column.
+    col_w = density.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        col_depth = np.where(col_w > 0, (density * z_centres[None, :]).sum(axis=1) / np.maximum(col_w, 1e-300), 0.0)
+    populated = col_w > 0
+    if populated.any():
+        deepest = int(np.argmax(np.where(populated, col_depth, -np.inf)))
+        max_band_depth = float(col_depth[deepest])
+        argmax_x = float(x_centres[deepest])
+    else:
+        max_band_depth = 0.0
+        argmax_x = 0.0
+
+    # Fraction of endpoint-band weight sitting in the shallowest voxel layers.
+    surface_rows = max(1, spec.shape[2] // 10)
+    endpoint_band = (np.abs(x_centres) <= band_halfwidth) | (
+        np.abs(x_centres - detector_x) <= band_halfwidth
+    )
+    band_w = density[endpoint_band, :].sum()
+    surf_w = density[endpoint_band, :surface_rows].sum()
+    endpoint_surface = float(surf_w / band_w) if band_w > 0 else 0.0
+
+    return BananaMetrics(
+        depth_at_source=depth_source,
+        depth_at_midpoint=depth_mid,
+        depth_at_detector=depth_det,
+        max_band_depth=max_band_depth,
+        argmax_depth_x=argmax_x,
+        endpoint_surface_weight=endpoint_surface,
+        total_weight=total,
+    )

@@ -1,0 +1,88 @@
+"""Monte Carlo convergence studies.
+
+"To generate useful results billions of photon paths must be simulated"
+(paper, §1) — i.e. the photon budget is set by a target statistical error.
+This module turns a distributed run's per-task results into the convergence
+curve behind that statement: the standard error of any per-photon quantity
+as a function of cumulative photons, its fitted 1/sqrt(N) law, and the
+budget needed for a requested precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.tally import Tally
+from ..distributed.datamanager import RunReport
+
+__all__ = ["ConvergencePoint", "convergence_curve", "photons_for_precision"]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Running estimate after a prefix of the task stream."""
+
+    n_photons: int
+    value: float
+    standard_error: float
+
+
+def convergence_curve(
+    report: RunReport,
+    per_photon: Callable[[Tally], float],
+    *,
+    min_tasks: int = 2,
+) -> list[ConvergencePoint]:
+    """Running mean and SE of a per-photon quantity over the task stream.
+
+    Point ``i`` uses tasks ``0..i`` (at least ``min_tasks``); the SE is the
+    weighted between-task standard error, as in
+    :func:`repro.analysis.uncertainty.estimate`.
+    """
+    tasks = report.task_results
+    if len(tasks) < min_tasks:
+        raise ValueError(f"need >= {min_tasks} tasks, got {len(tasks)}")
+    values = np.array([per_photon(r.tally) for r in tasks])
+    weights = np.array([r.tally.n_launched for r in tasks], dtype=np.float64)
+
+    points = []
+    for i in range(min_tasks - 1, len(tasks)):
+        w = weights[: i + 1]
+        v = values[: i + 1]
+        total = w.sum()
+        mean = float((w * v).sum() / total)
+        var_between = float((w * (v - mean) ** 2).sum() / total)
+        se = math.sqrt(var_between / i) if i > 0 else math.inf
+        points.append(
+            ConvergencePoint(n_photons=int(total), value=mean, standard_error=se)
+        )
+    return points
+
+
+def photons_for_precision(
+    report: RunReport,
+    per_photon: Callable[[Tally], float],
+    target_relative_error: float,
+) -> int:
+    """Photon budget needed to reach a target relative standard error.
+
+    Extrapolates the measured SE with the 1/sqrt(N) law:
+    ``N_target = N_now * (SE_now / SE_target)^2``.  This is the calculation
+    that turns "we need 0.1% error bars" into the paper's "billions of
+    photon paths".
+    """
+    if not 0.0 < target_relative_error < 1.0:
+        raise ValueError(
+            f"target_relative_error must lie in (0, 1), got {target_relative_error}"
+        )
+    curve = convergence_curve(report, per_photon)
+    last = curve[-1]
+    if last.value == 0:
+        raise ValueError("quantity is zero; relative precision is undefined")
+    current_rel = last.standard_error / abs(last.value)
+    scale = (current_rel / target_relative_error) ** 2
+    return int(math.ceil(last.n_photons * scale))

@@ -1,0 +1,98 @@
+"""Text and PGM rendering of density maps (the repo's "figures").
+
+Without a plotting dependency, Fig. 3 and Fig. 4 are regenerated as ASCII
+heat maps on stdout (what the benches print) and optionally as binary PGM
+images on disk (viewable in any image tool).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "save_pgm"]
+
+#: Density ramp from blank to solid.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    density: np.ndarray,
+    *,
+    width: int = 64,
+    height: int = 32,
+    log_scale: bool = True,
+    transpose: bool = True,
+) -> str:
+    """Render a 2-D density map as an ASCII heat map.
+
+    Parameters
+    ----------
+    density:
+        2-D non-negative array, indexed ``[x, z]`` by repo convention.
+    width, height:
+        Character-cell resolution; the map is block-averaged down to it.
+    log_scale:
+        Compress the dynamic range with log10 (path densities span many
+        decades).
+    transpose:
+        Render with z increasing downwards (the physical orientation of a
+        tissue cross-section); the input's second axis becomes rows.
+    """
+    if density.ndim != 2:
+        raise ValueError(f"density must be 2-D, got shape {density.shape}")
+    if (density < 0).any():
+        raise ValueError("density must be non-negative")
+    img = density.T if transpose else density
+    rows, cols = img.shape
+    height = min(height, rows)
+    width = min(width, cols)
+
+    # Block-average to the character grid.
+    row_edges = np.linspace(0, rows, height + 1).astype(int)
+    col_edges = np.linspace(0, cols, width + 1).astype(int)
+    cells = np.zeros((height, width))
+    for i in range(height):
+        for j in range(width):
+            block = img[row_edges[i]:row_edges[i + 1], col_edges[j]:col_edges[j + 1]]
+            cells[i, j] = block.mean() if block.size else 0.0
+
+    peak = cells.max()
+    if peak <= 0:
+        return "\n".join(" " * width for _ in range(height))
+    if log_scale:
+        floor = peak * 1e-4
+        with np.errstate(divide="ignore"):
+            scaled = np.log10(np.maximum(cells, floor) / floor) / math.log10(peak / floor)
+    else:
+        scaled = cells / peak
+    levels = np.clip((scaled * (len(_RAMP) - 1)).round().astype(int), 0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in levels)
+
+
+def save_pgm(path: str | Path, density: np.ndarray, *, log_scale: bool = True) -> Path:
+    """Write a 2-D density map as an 8-bit binary PGM image.
+
+    Returns the path written.  Orientation matches :func:`ascii_heatmap`
+    (depth downwards).
+    """
+    if density.ndim != 2:
+        raise ValueError(f"density must be 2-D, got shape {density.shape}")
+    img = density.T
+    peak = img.max()
+    if peak <= 0:
+        pixels = np.zeros(img.shape, dtype=np.uint8)
+    elif log_scale:
+        floor = peak * 1e-4
+        with np.errstate(divide="ignore"):
+            scaled = np.log10(np.maximum(img, floor) / floor) / math.log10(peak / floor)
+        pixels = (scaled * 255).astype(np.uint8)
+    else:
+        pixels = (img / peak * 255).astype(np.uint8)
+
+    path = Path(path)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    path.write_bytes(header + pixels.tobytes())
+    return path

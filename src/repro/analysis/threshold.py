@@ -1,0 +1,50 @@
+"""Thresholding of path-density maps.
+
+Fig. 3 of the paper shows "the most common paths taken by the photons,
+after thresholding": the raw detected-path voxel grid spans many orders of
+magnitude, and only the voxels carrying most of the weight form the
+banana.  Two standard reductions are provided:
+
+* :func:`threshold_top_weight` — keep the smallest set of voxels that
+  together carry a given fraction of the total weight (the "most common
+  paths" reading);
+* :func:`threshold_relative` — keep voxels above a fraction of the peak
+  value (the display-threshold reading).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["threshold_top_weight", "threshold_relative"]
+
+
+def threshold_top_weight(grid: np.ndarray, fraction: float) -> np.ndarray:
+    """Boolean mask of the heaviest voxels carrying ``fraction`` of the weight.
+
+    Voxels are ranked by weight; the mask keeps the top-ranked voxels until
+    their cumulative weight first reaches ``fraction`` of the grid total.
+    An all-zero grid yields an all-False mask.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+    flat = grid.reshape(-1)
+    total = flat.sum()
+    if total <= 0:
+        return np.zeros(grid.shape, dtype=bool)
+    order = np.argsort(flat)[::-1]
+    cumulative = np.cumsum(flat[order])
+    n_keep = int(np.searchsorted(cumulative, fraction * total)) + 1
+    mask = np.zeros(flat.shape, dtype=bool)
+    mask[order[:n_keep]] = True
+    return mask.reshape(grid.shape)
+
+
+def threshold_relative(grid: np.ndarray, level: float) -> np.ndarray:
+    """Boolean mask of voxels with weight >= ``level`` * max(grid)."""
+    if not 0.0 < level <= 1.0:
+        raise ValueError(f"level must lie in (0, 1], got {level}")
+    peak = grid.max()
+    if peak <= 0:
+        return np.zeros(grid.shape, dtype=bool)
+    return grid >= level * peak

@@ -1,0 +1,98 @@
+"""Monte Carlo uncertainty from the task decomposition.
+
+Because a distributed run is a sum over independent equal-size tasks, the
+between-task scatter of any per-photon quantity estimates its Monte Carlo
+standard error for free — no extra bookkeeping in the kernels.  This is
+how a production campaign decides when 10⁹ photons are enough (the paper's
+"billions of photon paths must be simulated" is exactly a variance
+requirement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.tally import Tally
+from ..distributed.datamanager import RunReport
+
+__all__ = ["ScalarEstimate", "estimate", "reflectance_estimate", "detection_estimate"]
+
+
+@dataclass(frozen=True)
+class ScalarEstimate:
+    """A Monte Carlo estimate with its standard error.
+
+    Attributes
+    ----------
+    value:
+        The pooled (all-photons) estimate.
+    standard_error:
+        Between-task standard error of the pooled value.
+    n_tasks:
+        Independent tasks the scatter was estimated from.
+    """
+
+    value: float
+    standard_error: float
+    n_tasks: int
+
+    @property
+    def relative_error(self) -> float:
+        """SE / |value| (inf when the value is 0)."""
+        return self.standard_error / abs(self.value) if self.value else math.inf
+
+    def interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval at z sigmas."""
+        return (self.value - z * self.standard_error, self.value + z * self.standard_error)
+
+
+def estimate(
+    report: RunReport, per_photon: Callable[[Tally], float]
+) -> ScalarEstimate:
+    """Estimate a per-photon scalar and its SE from a distributed report.
+
+    Parameters
+    ----------
+    report:
+        A completed :class:`~repro.distributed.datamanager.RunReport`.
+    per_photon:
+        Maps a tally to the per-photon quantity of interest (e.g.
+        ``lambda t: t.diffuse_reflectance``).  Must be an average over
+        photons so that task values are i.i.d. estimates of the same mean.
+
+    Notes
+    -----
+    Task values are weighted by task photon counts (the last task may be
+    short); the SE uses the weighted between-task variance with the
+    standard n/(n-1) small-sample correction.  Needs >= 2 tasks.
+    """
+    tasks = report.task_results
+    if len(tasks) < 2:
+        raise ValueError(
+            f"need >= 2 tasks to estimate a standard error, got {len(tasks)}"
+        )
+    values = [per_photon(r.tally) for r in tasks]
+    weights = [r.tally.n_launched for r in tasks]
+    total = sum(weights)
+    if total == 0:
+        raise ValueError("report contains no photons")
+    mean = sum(w * v for w, v in zip(weights, values)) / total
+    # Weighted between-task variance of the mean.
+    var_between = sum(w * (v - mean) ** 2 for w, v in zip(weights, values)) / total
+    n = len(tasks)
+    se = math.sqrt(var_between / (n - 1))
+    return ScalarEstimate(value=mean, standard_error=se, n_tasks=n)
+
+
+def reflectance_estimate(report: RunReport) -> ScalarEstimate:
+    """Diffuse reflectance with its Monte Carlo standard error."""
+    return estimate(report, lambda t: t.diffuse_reflectance)
+
+
+def detection_estimate(report: RunReport) -> ScalarEstimate:
+    """Detected weight per launched photon, with standard error."""
+    return estimate(
+        report, lambda t: t.detected_weight / t.n_launched if t.n_launched else 0.0
+    )

@@ -1,0 +1,339 @@
+"""Command-line interface: ``tissue-mc``.
+
+Subcommands map one-to-one onto the paper's experiments:
+
+* ``run``      — run a Monte Carlo simulation of a named tissue model and
+  print (or save) the tally summary;
+* ``banana``   — the Fig. 3 experiment: detected-path sensitivity profile
+  in homogeneous white matter, rendered as an ASCII heat map;
+* ``head``     — the Fig. 4 experiment: layered adult-head simulation with
+  per-layer penetration and absorption report;
+* ``speedup``  — the Fig. 2 experiment: simulated homogeneous-cluster
+  speedup/efficiency curve;
+* ``table2``   — the heterogeneous-cluster experiment of Table 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = ("white_matter", "adult_head", "neonatal_head")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tissue-mc",
+        description="Distributed Monte Carlo simulation of light transport in tissue "
+        "(reproduction of Page et al., IPPS 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a simulation and print the tally summary")
+    run.add_argument("--model", choices=_MODELS, default="adult_head")
+    run.add_argument("--photons", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--kernel", choices=("vector", "scalar"), default="vector")
+    run.add_argument(
+        "--boundary-mode", choices=("probabilistic", "classical"), default="probabilistic"
+    )
+    run.add_argument("--detector-spacing", type=float, default=None, metavar="MM",
+                     help="annular detector at this source spacing (default: accept all)")
+    run.add_argument("--gate", type=float, nargs=2, default=None, metavar=("L_MIN", "L_MAX"),
+                     help="pathlength gate in mm")
+    run.add_argument("--workers", type=int, default=1,
+                     help="run distributed on this many local processes")
+    run.add_argument("--task-size", type=int, default=10_000)
+    run.add_argument("--save", type=str, default=None, metavar="FILE.npz")
+
+    banana = sub.add_parser("banana", help="Fig. 3: banana sensitivity profile")
+    banana.add_argument("--photons", type=int, default=40_000)
+    banana.add_argument("--spacing", type=float, default=4.0, help="optode spacing in mm")
+    banana.add_argument("--granularity", type=int, default=50, help="voxel grid resolution")
+    banana.add_argument("--seed", type=int, default=0)
+    banana.add_argument("--pgm", type=str, default=None, metavar="FILE.pgm")
+
+    head = sub.add_parser("head", help="Fig. 4: layered adult-head simulation")
+    head.add_argument("--photons", type=int, default=40_000)
+    head.add_argument("--spacing", type=float, default=30.0)
+    head.add_argument("--seed", type=int, default=0)
+    head.add_argument("--neonatal", action="store_true", help="use the neonatal model")
+
+    speedup = sub.add_parser("speedup", help="Fig. 2: simulated speedup curve")
+    speedup.add_argument("--max-k", type=int, default=60)
+    speedup.add_argument("--photons", type=int, default=100_000_000)
+    speedup.add_argument("--task-size", type=int, default=100_000)
+
+    table2 = sub.add_parser("table2", help="Table 2: heterogeneous cluster simulation")
+    table2.add_argument("--photons", type=int, default=1_000_000_000)
+    table2.add_argument("--task-size", type=int, default=200_000)
+    table2.add_argument("--seed", type=int, default=0)
+    table2.add_argument("--dedicated", action="store_true",
+                        help="disable the stochastic availability model")
+
+    serve = sub.add_parser(
+        "serve", help="run the DataManager as a TCP server (clients connect with 'client')"
+    )
+    serve.add_argument("--model", choices=_MODELS, default="adult_head")
+    serve.add_argument("--photons", type=int, default=100_000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--task-size", type=int, default=10_000)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument("--timeout", type=float, default=3600.0)
+
+    client = sub.add_parser("client", help="connect to a 'serve' instance and work")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--name", default=None)
+    client.add_argument("--max-tasks", type=int, default=None)
+
+    fit = sub.add_parser(
+        "fit", help="inverse problem: recover (mu_a, mu_s') from simulated R(rho)"
+    )
+    fit.add_argument("--mu-a", type=float, default=0.05, help="true absorption (mm^-1)")
+    fit.add_argument("--mu-s-reduced", type=float, default=2.0,
+                     help="true reduced scattering (mm^-1)")
+    fit.add_argument("--photons", type=int, default=80_000)
+    fit.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _stack_for(model: str):
+    from .tissue import adult_head, neonatal_head, white_matter
+
+    return {"white_matter": white_matter, "adult_head": adult_head,
+            "neonatal_head": neonatal_head}[model]()
+
+
+def _cmd_run(args) -> int:
+    from .core import RecordConfig, Simulation, SimulationConfig
+    from .detect import AnnularDetector, PathlengthGate
+    from .distributed import DataManager, MultiprocessingBackend
+    from .io import format_table, save_tally
+    from .sources import PencilBeam
+
+    stack = _stack_for(args.model)
+    detector = None
+    if args.detector_spacing is not None:
+        rho = args.detector_spacing
+        detector = AnnularDetector(max(0.0, rho - 1.0), rho + 1.0)
+    gate = PathlengthGate(*args.gate) if args.gate else None
+    kwargs = dict(
+        stack=stack,
+        source=PencilBeam(),
+        gate=gate,
+        boundary_mode=args.boundary_mode,
+        records=RecordConfig(penetration_bins=(50.0, 200)),
+    )
+    if detector is not None:
+        kwargs["detector"] = detector
+    config = SimulationConfig(**kwargs)
+
+    if args.workers > 1:
+        manager = DataManager(config, args.photons, seed=args.seed,
+                              task_size=args.task_size, kernel=args.kernel)
+        with MultiprocessingBackend(args.workers) as backend:
+            report = manager.run(backend)
+        tally = report.tally
+        print(f"# distributed over {args.workers} workers, "
+              f"{report.n_tasks} tasks, wall {report.wall_seconds:.1f}s")
+    else:
+        tally = Simulation(config).run(args.photons, seed=args.seed, kernel=args.kernel)
+
+    rows = [[k, v] for k, v in tally.summary().items()]
+    print(format_table(["quantity", "value"], rows, float_format="{:.6g}"))
+    if args.save:
+        path = save_tally(args.save, tally)
+        print(f"# tally saved to {path}")
+    return 0
+
+
+def _cmd_banana(args) -> int:
+    from .analysis import ascii_heatmap, banana_metrics, save_pgm, xz_slice
+    from .core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+    from .detect import DiscDetector, GridSpec
+    from .sources import PencilBeam
+    from .tissue import white_matter
+
+    rho = args.spacing
+    spec = GridSpec.banana_box(args.granularity, rho)
+    config = SimulationConfig(
+        stack=white_matter(),
+        source=PencilBeam(),
+        detector=DiscDetector(rho, 0.0, radius=0.75),
+        roulette=RouletteConfig(threshold=1e-2, boost=10),
+        records=RecordConfig(path_grid=spec),
+    )
+    tally = Simulation(config).run(args.photons, seed=args.seed)
+    print(f"# detected {tally.detected_count} of {tally.n_launched} photons")
+    slab = xz_slice(tally.path_grid, spec)
+    print(ascii_heatmap(slab))
+    metrics = banana_metrics(tally.path_grid, spec, detector_x=rho)
+    print(f"# banana: depth(source)={metrics.depth_at_source:.2f}mm "
+          f"depth(mid)={metrics.depth_at_midpoint:.2f}mm "
+          f"depth(detector)={metrics.depth_at_detector:.2f}mm "
+          f"is_banana={metrics.is_banana}")
+    if args.pgm:
+        print(f"# wrote {save_pgm(args.pgm, slab)}")
+    return 0
+
+
+def _cmd_head(args) -> int:
+    from .analysis import layer_report
+    from .core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+    from .detect import AnnularDetector
+    from .io import format_table
+    from .sources import PencilBeam
+    from .tissue import adult_head, neonatal_head
+
+    stack = neonatal_head() if args.neonatal else adult_head()
+    rho = args.spacing
+    config = SimulationConfig(
+        stack=stack,
+        source=PencilBeam(),
+        detector=AnnularDetector(rho - 2.0, rho + 2.0),
+        roulette=RouletteConfig(threshold=1e-2, boost=10),
+        records=RecordConfig(penetration_bins=(stack.layer_top(len(stack) - 1) + 20.0, 400)),
+    )
+    tally = Simulation(config).run(args.photons, seed=args.seed)
+    rows = [
+        [r.name, r.z_top, r.z_bottom, r.absorbed_fraction, r.reached_fraction, r.stopped_fraction]
+        for r in layer_report(tally, stack)
+    ]
+    print(format_table(
+        ["layer", "z_top(mm)", "z_bottom(mm)", "absorbed", "reached", "stopped"], rows
+    ))
+    print(f"# detected {tally.detected_count} photons at {rho} mm spacing; "
+          f"Rd={tally.diffuse_reflectance:.4f}")
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from .cluster import speedup_curve
+    from .io import format_table
+
+    ks = sorted({1, *range(5, args.max_k + 1, 5), args.max_k})
+    points = speedup_curve(ks, args.photons, args.task_size)
+    rows = [[p.k, p.pk_seconds, p.speedup, p.efficiency] for p in points]
+    print(format_table(["k", "Pk (s)", "speedup", "efficiency"], rows))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .cluster import (
+        Dedicated,
+        TABLE2_CLASSES,
+        UniformAvailability,
+        simulate_run,
+        table2_cluster,
+        total_mflops,
+    )
+    from .io import format_table
+
+    rows = [
+        [c.count, f"{c.mflops_min:g}-{c.mflops_max:g}", c.ram_mb, c.os, c.processor]
+        for c in TABLE2_CLASSES
+    ]
+    print(format_table(["#", "Mflop/s", "RAM (MB)", "O/S", "Processor"], rows))
+    cluster = table2_cluster(np.random.default_rng(args.seed))
+    availability = Dedicated() if args.dedicated else UniformAvailability()
+    report = simulate_run(
+        cluster, args.photons, args.task_size, availability=availability, seed=args.seed
+    )
+    print(f"# {len(cluster)} machines, {total_mflops(cluster):.0f} Mflop/s total")
+    print(f"# {args.photons:.2g} photons -> makespan {report.makespan_seconds/3600:.2f} h, "
+          f"utilisation {report.mean_utilisation:.3f}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .core import SimulationConfig
+    from .distributed import NetworkServer
+    from .sources import PencilBeam
+
+    config = SimulationConfig(stack=_stack_for(args.model), source=PencilBeam())
+    server = NetworkServer(
+        config, n_photons=args.photons, seed=args.seed,
+        task_size=args.task_size, host=args.host, port=args.port,
+    ).start()
+    print(f"# DataManager listening on {args.host}:{server.port} "
+          f"({args.photons:,} photons in {args.task_size:,}-photon tasks)")
+    print(f"# start workers with: tissue-mc client --port {server.port}")
+    report = server.wait(timeout=args.timeout)
+    print(f"# complete: {report.n_tasks} tasks in {report.wall_seconds:.1f}s, "
+          f"{report.retries} retries")
+    from .io import format_table
+
+    rows = [[k, v] for k, v in report.tally.summary().items()]
+    print(format_table(["quantity", "value"], rows, float_format="{:.6g}"))
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .distributed import run_network_client
+
+    completed = run_network_client(
+        args.host, args.port, worker_name=args.name, max_tasks=args.max_tasks
+    )
+    print(f"# completed {completed} tasks")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from .core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+    from .detect import radial_reflectance
+    from .inverse import fit_optical_properties
+    from .io import format_table
+    from .sources import PencilBeam
+    from .tissue import LayerStack, OpticalProperties
+
+    truth = OpticalProperties.from_reduced(
+        mu_a=args.mu_a, mu_s_reduced=args.mu_s_reduced, g=0.9, n=1.0
+    )
+    config = SimulationConfig(
+        stack=LayerStack.homogeneous(truth),
+        source=PencilBeam(),
+        roulette=RouletteConfig(threshold=1e-3, boost=10),
+        records=RecordConfig(reflectance_rho_bins=(12.0, 24)),
+    )
+    print(f"# simulating R(rho) of the 'unknown' medium with {args.photons:,} photons")
+    tally = Simulation(config).run(args.photons, seed=args.seed)
+    rho, r_mc = radial_reflectance(tally)
+    window = (rho >= 1.5) & (r_mc > 0)
+    fit = fit_optical_properties(rho[window], r_mc[window], n=1.0, g=0.9)
+    print(format_table(
+        ["quantity", "truth", "recovered", "error"],
+        [
+            ["mu_a (mm^-1)", truth.mu_a, fit.mu_a,
+             f"{abs(fit.mu_a / truth.mu_a - 1):.1%}"],
+            ["mu_s' (mm^-1)", truth.mu_s_reduced, fit.mu_s_reduced,
+             f"{abs(fit.mu_s_reduced / truth.mu_s_reduced - 1):.1%}"],
+        ],
+        float_format="{:.4f}",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "banana": _cmd_banana,
+        "head": _cmd_head,
+        "speedup": _cmd_speedup,
+        "table2": _cmd_table2,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
+        "fit": _cmd_fit,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

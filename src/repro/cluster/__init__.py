@@ -1,0 +1,63 @@
+"""Simulated distributed cluster (Fig. 2 speedup, Table 2 heterogeneity)."""
+
+from .availability import (
+    AvailabilityModel,
+    Dedicated,
+    OwnerInterference,
+    UniformAvailability,
+)
+from .events import EventQueue
+from .ga_scheduler import GAConfig, GAResult, ga_schedule
+from .guided import GuidedConfig, simulate_run_guided
+from .machine import Machine, MachineClass, expand_classes
+from .metrics import SpeedupPoint, efficiency, speedup, speedup_curve
+from .schedulers import predicted_makespan, static_block, static_weighted
+from .simcluster import MachineStats, MasterModel, NetworkModel, SimReport, simulate_run
+from .trace import TaskInterval, ascii_gantt, extract_intervals
+from .specs import (
+    HOMOGENEOUS_MFLOPS,
+    PHOTONS_PER_MFLOP,
+    SERVER_DESCRIPTION,
+    TABLE2_CLASSES,
+    homogeneous_cluster,
+    table2_cluster,
+    total_mflops,
+)
+
+__all__ = [
+    "AvailabilityModel",
+    "Dedicated",
+    "EventQueue",
+    "GAConfig",
+    "GAResult",
+    "GuidedConfig",
+    "HOMOGENEOUS_MFLOPS",
+    "Machine",
+    "MachineClass",
+    "MachineStats",
+    "MasterModel",
+    "NetworkModel",
+    "OwnerInterference",
+    "PHOTONS_PER_MFLOP",
+    "SERVER_DESCRIPTION",
+    "SimReport",
+    "SpeedupPoint",
+    "TaskInterval",
+    "TABLE2_CLASSES",
+    "UniformAvailability",
+    "ascii_gantt",
+    "efficiency",
+    "extract_intervals",
+    "expand_classes",
+    "ga_schedule",
+    "homogeneous_cluster",
+    "predicted_makespan",
+    "simulate_run",
+    "simulate_run_guided",
+    "speedup",
+    "speedup_curve",
+    "static_block",
+    "static_weighted",
+    "table2_cluster",
+    "total_mflops",
+]

@@ -1,0 +1,85 @@
+"""Stochastic availability of non-dedicated machines.
+
+The paper: "We had non-dedicated usage of these processors, and the
+available processing and network resources varied stochastically over
+time."  An availability model supplies, for each task execution, the
+fraction of the machine's nominal rate actually available to the Monte
+Carlo client while that task runs (owner processes steal the rest).
+
+Models draw from the generator they are handed, so cluster simulations are
+reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AvailabilityModel",
+    "Dedicated",
+    "UniformAvailability",
+    "OwnerInterference",
+]
+
+
+class AvailabilityModel(abc.ABC):
+    """Per-task availability multiplier in (0, 1]."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw the availability multiplier for one task execution."""
+
+
+@dataclass(frozen=True)
+class Dedicated(AvailabilityModel):
+    """Fully dedicated machine: availability is always 1."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class UniformAvailability(AvailabilityModel):
+    """Availability uniform in [lo, hi] — mild background load.
+
+    The default for the Table 2 simulation: semi-idle desktop PCs whose
+    spare cycles fluctuate but rarely vanish.
+    """
+
+    lo: float = 0.7
+    hi: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.lo <= self.hi <= 1.0:
+            raise ValueError(f"need 0 < lo <= hi <= 1, got [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.lo, self.hi))
+
+
+@dataclass(frozen=True)
+class OwnerInterference(AvailabilityModel):
+    """Two-state model: machine is either free or owner-loaded.
+
+    With probability ``p_busy`` the owner is using the PC while the task
+    runs and the client only gets ``busy_multiplier`` of the nominal rate;
+    otherwise it gets the full machine.  Captures the bimodal day/night
+    pattern of desktop harvesting.
+    """
+
+    p_busy: float = 0.3
+    busy_multiplier: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_busy <= 1.0:
+            raise ValueError(f"p_busy must lie in [0, 1], got {self.p_busy}")
+        if not 0.0 < self.busy_multiplier <= 1.0:
+            raise ValueError(
+                f"busy_multiplier must lie in (0, 1], got {self.busy_multiplier}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.busy_multiplier if rng.random() < self.p_busy else 1.0

@@ -1,0 +1,65 @@
+"""A small deterministic discrete-event engine.
+
+The cluster simulator schedules callbacks on a virtual clock.  Events at
+equal times fire in insertion order (a monotone sequence number breaks
+ties), which makes simulations bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback, args))
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute virtual ``time >= now``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
+
+    def step(self) -> bool:
+        """Fire the earliest event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        self._now = time
+        callback(*args)
+        return True
+
+    def run(self, *, max_events: int | None = None) -> int:
+        """Run until the queue drains; returns the number of events fired.
+
+        ``max_events`` guards against runaway simulations (an event that
+        keeps rescheduling itself); exceeding it raises ``RuntimeError``.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events})")
+        return fired

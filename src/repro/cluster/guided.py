@@ -1,0 +1,161 @@
+"""Guided self-scheduling: dynamically sized chunks.
+
+The fixed-chunk self-scheduling of the paper's platform pays a
+tail-straggler penalty on heterogeneous clusters: a slow client that pulls
+a full-size chunk near the end of the run extends the makespan by that
+chunk's (long) service time (quantified in
+``benchmarks/bench_ablation_scheduler.py``).  Guided self-scheduling — the
+classic fix, and a natural "future work" extension of the paper's ref [4]
+— shrinks chunks as the work pool drains and scales them to the pulling
+machine's nominal speed:
+
+``chunk = clamp(remaining * rate_m / total_rate / over_partition,
+min_chunk, remaining)``
+
+Big fast machines take big chunks early (low overhead); everyone takes
+small chunks late (no stragglers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .availability import AvailabilityModel, Dedicated
+from .events import EventQueue
+from .machine import Machine
+from .simcluster import MachineStats, MasterModel, NetworkModel, SimReport
+from .specs import PHOTONS_PER_MFLOP
+
+__all__ = ["GuidedConfig", "simulate_run_guided"]
+
+
+@dataclass(frozen=True)
+class GuidedConfig:
+    """Chunk-sizing policy of the guided scheduler.
+
+    Attributes
+    ----------
+    min_chunk:
+        Smallest chunk ever issued (photon counts below this are dominated
+        by per-task overhead).
+    over_partition:
+        How many chunks the remaining pool is notionally divided into per
+        "round" (>= 1).  Larger values shrink chunks faster; 1.0 would hand
+        a proportional share of everything left to the first machine that
+        asks.
+    speed_weighted:
+        Scale each machine's chunk by its nominal Mflop/s share.  Without
+        it, guided scheduling still tapers but ignores heterogeneity.
+    """
+
+    min_chunk: int = 10_000
+    over_partition: float = 2.0
+    speed_weighted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_chunk <= 0:
+            raise ValueError(f"min_chunk must be > 0, got {self.min_chunk}")
+        if self.over_partition < 1.0:
+            raise ValueError(
+                f"over_partition must be >= 1, got {self.over_partition}"
+            )
+
+
+def simulate_run_guided(
+    machines: list[Machine],
+    n_photons: int,
+    *,
+    config: GuidedConfig = GuidedConfig(),
+    photons_per_mflop: float = PHOTONS_PER_MFLOP,
+    availability: AvailabilityModel = Dedicated(),
+    network: NetworkModel = NetworkModel(),
+    master: MasterModel = MasterModel(),
+    seed: int = 0,
+) -> SimReport:
+    """Simulate a guided-self-scheduled run; returns the usual report.
+
+    Mirrors :func:`repro.cluster.simcluster.simulate_run` but sizes each
+    chunk at assignment time instead of from a fixed task list.
+    """
+    if not machines:
+        raise ValueError("need at least one machine")
+    if n_photons < 0:
+        raise ValueError(f"n_photons must be >= 0, got {n_photons}")
+
+    rng = np.random.default_rng(seed)
+    queue = EventQueue()
+    stats = {m.machine_id: MachineStats() for m in machines}
+    by_id = {m.machine_id: m for m in machines}
+    total_rate = sum(m.mflops for m in machines)
+
+    remaining = n_photons
+    issued_tasks = 0
+    merged = 0
+    in_flight = 0
+    makespan = 0.0
+    master_busy_until = 0.0
+    master_busy_total = 0.0
+
+    def master_service(now: float, overhead: float) -> float:
+        nonlocal master_busy_until, master_busy_total
+        start = max(now, master_busy_until)
+        finish = start + overhead
+        master_busy_until = finish
+        master_busy_total += overhead
+        return finish
+
+    def chunk_for(machine: Machine) -> int:
+        share = machine.mflops / total_rate if config.speed_weighted else 1.0 / len(machines)
+        proposal = int(remaining * share / config.over_partition)
+        return max(min(config.min_chunk, remaining), min(proposal, remaining))
+
+    def try_assign(now: float, machine_id: int) -> None:
+        nonlocal remaining, issued_tasks, in_flight
+        if remaining <= 0:
+            return
+        machine = by_id[machine_id]
+        photons = chunk_for(machine)
+        remaining -= photons
+        issued_tasks += 1
+        in_flight += 1
+        finish = master_service(now, master.assign_overhead_s)
+        arrive = finish + network.task_transfer_s()
+        rate = machine.photon_rate(photons_per_mflop, availability.sample(rng))
+        duration = photons / rate
+        queue.at(arrive + duration, on_complete, machine_id, photons, duration)
+
+    def on_complete(machine_id: int, photons: int, duration: float) -> None:
+        nonlocal merged, makespan, in_flight
+        done = queue.now
+        s = stats[machine_id]
+        s.tasks += 1
+        s.photons += photons
+        s.busy_seconds += duration
+        s.last_finish = done
+        at_master = done + network.result_transfer_s()
+        finish = master_service(at_master, master.merge_overhead_s)
+        merged += 1
+        in_flight -= 1
+        makespan = max(makespan, finish)
+        try_assign(finish, machine_id)
+
+    if n_photons > 0:
+        for m in machines:
+            queue.at(0.0, try_assign, network.latency_s, m.machine_id)
+        queue.run(max_events=100 * len(machines) + 20 * (n_photons // config.min_chunk + 1))
+
+    if remaining != 0 or in_flight != 0:
+        raise RuntimeError(
+            f"guided simulation invariant violated: {remaining} photons left, "
+            f"{in_flight} tasks in flight"
+        )
+    return SimReport(
+        makespan_seconds=makespan,
+        n_tasks=issued_tasks,
+        n_photons=n_photons,
+        n_machines=len(machines),
+        master_busy_seconds=master_busy_total,
+        per_machine=stats,
+    )

@@ -1,0 +1,115 @@
+"""Machine models for the simulated cluster.
+
+The paper characterises its clients by processing rate in Mflop/s and JVM
+memory (Table 2).  We model a machine's Monte Carlo throughput as
+
+``photons_per_second = photons_per_mflop * mflops * availability``
+
+with a single calibration constant ``photons_per_mflop`` chosen so the
+Table 2 cluster simulates 10⁹ photons in ≈2 hours, exactly as the paper
+reports (see :mod:`repro.cluster.specs`).  Table 2 lists Mflop/s *ranges*
+for the big machine classes (the measured variation on non-dedicated
+hardware); each concrete machine draws its nominal rate from its class
+range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MachineClass", "Machine", "expand_classes"]
+
+
+@dataclass(frozen=True)
+class MachineClass:
+    """One row of a cluster census (e.g. one row of the paper's Table 2).
+
+    Attributes
+    ----------
+    count:
+        Number of identical machines in the class (the "#" column).
+    mflops_min, mflops_max:
+        Measured processing-rate range in Mflop/s.
+    ram_mb:
+        Memory available to the JVM in MB (informational; the photon-batch
+        task sizes used here fit comfortably in every Table 2 machine).
+    os, processor:
+        Descriptive strings from the census.
+    """
+
+    count: int
+    mflops_min: float
+    mflops_max: float
+    ram_mb: int
+    os: str
+    processor: str
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be > 0, got {self.count}")
+        if not 0 < self.mflops_min <= self.mflops_max:
+            raise ValueError(
+                f"need 0 < mflops_min <= mflops_max, got [{self.mflops_min}, {self.mflops_max}]"
+            )
+        if self.ram_mb <= 0:
+            raise ValueError(f"ram_mb must be > 0, got {self.ram_mb}")
+
+    @property
+    def mflops_mid(self) -> float:
+        return 0.5 * (self.mflops_min + self.mflops_max)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A concrete machine in the simulated cluster."""
+
+    machine_id: int
+    name: str
+    mflops: float
+    ram_mb: int
+    os: str
+
+    def __post_init__(self) -> None:
+        if self.mflops <= 0:
+            raise ValueError(f"mflops must be > 0, got {self.mflops}")
+
+    def photon_rate(self, photons_per_mflop: float, availability: float = 1.0) -> float:
+        """Throughput in photons/s at the given availability multiplier."""
+        if photons_per_mflop <= 0:
+            raise ValueError(f"photons_per_mflop must be > 0, got {photons_per_mflop}")
+        if not 0.0 < availability <= 1.0:
+            raise ValueError(f"availability must lie in (0, 1], got {availability}")
+        return photons_per_mflop * self.mflops * availability
+
+
+def expand_classes(
+    classes: list[MachineClass],
+    rng: np.random.Generator | None = None,
+) -> list[Machine]:
+    """Materialise a census into concrete machines.
+
+    Each machine's nominal Mflop/s is drawn uniformly from its class range
+    (or fixed at the midpoint when ``rng`` is None), matching the paper's
+    observation that rates of non-dedicated machines vary.
+    """
+    machines: list[Machine] = []
+    mid = 0
+    for cls_index, cls in enumerate(classes):
+        for i in range(cls.count):
+            if rng is None or cls.mflops_min == cls.mflops_max:
+                mflops = cls.mflops_mid
+            else:
+                mflops = float(rng.uniform(cls.mflops_min, cls.mflops_max))
+            machines.append(
+                Machine(
+                    machine_id=mid,
+                    name=f"{cls.processor}#{cls_index}.{i}",
+                    mflops=mflops,
+                    ram_mb=cls.ram_mb,
+                    os=cls.os,
+                )
+            )
+            mid += 1
+    return machines

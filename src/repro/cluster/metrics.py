@@ -1,0 +1,96 @@
+"""Speedup and efficiency metrics (the Fig. 2 quantities).
+
+The paper defines speedup as P1/Pk "where P1 is the time taken on 1
+processor and Pk is the time taken using k processors", and efficiency as
+speedup over k.  ``speedup_curve`` reruns the cluster simulation across a
+range of k and reports the whole series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .availability import AvailabilityModel, Dedicated
+from .machine import Machine
+from .simcluster import MasterModel, NetworkModel, SimReport, simulate_run
+from .specs import HOMOGENEOUS_MFLOPS, PHOTONS_PER_MFLOP, homogeneous_cluster
+
+__all__ = ["speedup", "efficiency", "SpeedupPoint", "speedup_curve"]
+
+
+def speedup(p1_seconds: float, pk_seconds: float) -> float:
+    """Speedup P1 / Pk."""
+    if p1_seconds <= 0 or pk_seconds <= 0:
+        raise ValueError("times must be > 0")
+    return p1_seconds / pk_seconds
+
+
+def efficiency(p1_seconds: float, pk_seconds: float, k: int) -> float:
+    """Parallel efficiency P1 / (k * Pk)."""
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    return speedup(p1_seconds, pk_seconds) / k
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One point of the Fig. 2 curve."""
+
+    k: int
+    pk_seconds: float
+    speedup: float
+    efficiency: float
+
+
+def speedup_curve(
+    ks: list[int],
+    n_photons: int,
+    task_size: int,
+    *,
+    mflops: float = HOMOGENEOUS_MFLOPS,
+    photons_per_mflop: float = PHOTONS_PER_MFLOP,
+    availability: AvailabilityModel = Dedicated(),
+    network: NetworkModel = NetworkModel(),
+    master: MasterModel = MasterModel(),
+    seed: int = 0,
+    cluster_factory: Callable[[int], list[Machine]] | None = None,
+) -> list[SpeedupPoint]:
+    """Simulate the homogeneous speedup experiment for each k in ``ks``.
+
+    P1 is always measured on the same machine class; each ``k`` gets an
+    independent simulation with the same parameters.  ``cluster_factory``
+    overrides the default homogeneous cluster (for ablations).
+    """
+    if not ks:
+        raise ValueError("ks must be non-empty")
+    if any(k <= 0 for k in ks):
+        raise ValueError(f"all k must be > 0, got {ks}")
+
+    factory = cluster_factory or (lambda k: homogeneous_cluster(k, mflops))
+
+    def run(k: int) -> SimReport:
+        return simulate_run(
+            factory(k),
+            n_photons,
+            task_size,
+            photons_per_mflop=photons_per_mflop,
+            availability=availability,
+            network=network,
+            master=master,
+            seed=seed,
+        )
+
+    p1 = run(1).makespan_seconds
+    points = []
+    for k in ks:
+        pk = p1 if k == 1 else run(k).makespan_seconds
+        points.append(
+            SpeedupPoint(
+                k=k,
+                pk_seconds=pk,
+                speedup=speedup(p1, pk),
+                efficiency=efficiency(p1, pk, k),
+            )
+        )
+    return points

@@ -1,0 +1,85 @@
+"""Static task-scheduling policies for heterogeneous clusters.
+
+The platform's native policy is pull-based self-scheduling (no explicit
+assignment needed — pass ``static_assignment=None`` to
+:func:`repro.cluster.simcluster.simulate_run`).  These helpers build
+*static* assignments, the baselines against which the genetic-algorithm
+scheduler of the authors' companion paper (ref [4], Page & Naughton 2005)
+is compared:
+
+* :func:`static_block` — equal task counts per machine, oblivious to
+  machine speed; collapses on heterogeneous clusters.
+* :func:`static_weighted` — task counts proportional to nominal Mflop/s
+  (largest-remainder rounding); the sensible static baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import Machine
+
+__all__ = ["static_block", "static_weighted", "predicted_makespan"]
+
+
+def static_block(n_tasks: int, machines: list[Machine]) -> np.ndarray:
+    """Assign tasks to machines round-robin (equal counts ±1)."""
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    if not machines:
+        raise ValueError("need at least one machine")
+    ids = np.asarray([m.machine_id for m in machines], dtype=np.int64)
+    return ids[np.arange(n_tasks) % len(machines)]
+
+
+def static_weighted(n_tasks: int, machines: list[Machine]) -> np.ndarray:
+    """Assign task counts proportional to machine Mflop/s.
+
+    Uses largest-remainder apportionment so counts sum exactly to
+    ``n_tasks``; each machine's tasks are contiguous in task-index order
+    (irrelevant to the simulation, convenient for inspection).
+    """
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    if not machines:
+        raise ValueError("need at least one machine")
+    rates = np.asarray([m.mflops for m in machines], dtype=np.float64)
+    quota = n_tasks * rates / rates.sum()
+    counts = np.floor(quota).astype(np.int64)
+    remainder = n_tasks - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(-(quota - counts))  # largest fractional parts first
+        counts[order[:remainder]] += 1
+    ids = np.asarray([m.machine_id for m in machines], dtype=np.int64)
+    return np.repeat(ids, counts)
+
+
+def predicted_makespan(
+    assignment: np.ndarray,
+    task_sizes: list[int],
+    machines: list[Machine],
+    photons_per_mflop: float,
+    *,
+    per_task_overhead_s: float = 0.0,
+) -> float:
+    """Deterministic makespan estimate of a static assignment.
+
+    ``max_i (sum of assigned photons / rate_i + tasks_i * overhead)`` —
+    ignores master contention and availability noise, which is exactly the
+    fitness function the GA scheduler optimises (a scheduler can only plan
+    on expectations).
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (len(task_sizes),):
+        raise ValueError("assignment and task_sizes must have equal length")
+    sizes = np.asarray(task_sizes, dtype=np.float64)
+    rate_by_id: dict[int, float] = {
+        m.machine_id: m.mflops * photons_per_mflop for m in machines
+    }
+    finish = 0.0
+    for mid in np.unique(assignment):
+        mask = assignment == mid
+        rate = rate_by_id[int(mid)]
+        t = sizes[mask].sum() / rate + per_task_overhead_s * int(mask.sum())
+        finish = max(finish, t)
+    return finish

@@ -1,0 +1,297 @@
+"""Discrete-event simulation of the master-worker cluster.
+
+This is the substitute for the paper's physical testbed (DESIGN.md,
+substitution table): a deterministic discrete-event model of the
+DataManager serving photon-batch tasks to client machines, with
+
+* a **single-threaded master** — assignments and result merges serialise
+  on the server, the fundamental scalability limit of the architecture;
+* **network costs** — per-message latency plus payload/bandwidth transfer
+  times for task descriptions and result tallies;
+* **heterogeneous machines** — per-machine Mflop/s ratings (Table 2)
+  converted to photon throughput by the calibrated constant in
+  :mod:`repro.cluster.specs`;
+* **stochastic availability** — non-dedicated machines yield only part of
+  their nominal rate (:mod:`repro.cluster.availability`);
+* two scheduling modes — pull-based *self-scheduling* (the paper's
+  platform) and *static* pre-assignment (the baseline the GA scheduler of
+  the authors' ref [4] improves on).
+
+The simulated quantities are exactly those the paper reports: makespan
+P_k, speedup P1/P_k and efficiency P1/(k P_k) (Fig. 2), and the ≈2 h
+makespan of 10⁹ photons on the Table 2 cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.simulation import split_photons
+from .availability import AvailabilityModel, Dedicated
+from .events import EventQueue
+from .machine import Machine
+from .specs import PHOTONS_PER_MFLOP
+
+__all__ = ["NetworkModel", "MasterModel", "MachineStats", "SimReport", "simulate_run"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point network between the server and every client.
+
+    Defaults model the paper's campus LAN: ~1 ms one-way latency,
+    100 Mbit/s shared bandwidth, small task descriptions and tally payloads
+    of a few hundred kilobytes.
+    """
+
+    latency_s: float = 0.001
+    bandwidth_bytes_per_s: float = 12.5e6  # 100 Mbit/s
+    task_bytes: int = 4_096
+    result_bytes: int = 262_144
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"bandwidth_bytes_per_s must be > 0, got {self.bandwidth_bytes_per_s}"
+            )
+        if self.task_bytes < 0 or self.result_bytes < 0:
+            raise ValueError("payload sizes must be >= 0")
+
+    def task_transfer_s(self) -> float:
+        """Server -> client transfer time of one task description."""
+        return self.latency_s + self.task_bytes / self.bandwidth_bytes_per_s
+
+    def result_transfer_s(self) -> float:
+        """Client -> server transfer time of one result tally."""
+        return self.latency_s + self.result_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MasterModel:
+    """Server-side per-task costs (single-threaded DataManager).
+
+    ``assign_overhead_s`` is the CPU time to pick and serialise a task;
+    ``merge_overhead_s`` the time to deserialise and merge one returned
+    tally.  Both serialise on the master, so their sum bounds the master's
+    task throughput at ``1 / (assign + merge)`` tasks per second — the
+    ceiling the Fig. 2 efficiency curve bends towards.
+    """
+
+    assign_overhead_s: float = 0.010
+    merge_overhead_s: float = 0.040
+
+    def __post_init__(self) -> None:
+        if self.assign_overhead_s < 0 or self.merge_overhead_s < 0:
+            raise ValueError("master overheads must be >= 0")
+
+
+@dataclass
+class MachineStats:
+    """Per-machine accounting accumulated by the simulation.
+
+    ``intervals`` holds per-task ``(start, end, photons)`` tuples when the
+    run was simulated with ``trace=True`` (for Gantt rendering via
+    :mod:`repro.cluster.trace`); it stays empty otherwise.
+    """
+
+    tasks: int = 0
+    photons: int = 0
+    busy_seconds: float = 0.0
+    last_finish: float = 0.0
+    intervals: list = field(default_factory=list)
+
+
+@dataclass
+class SimReport:
+    """Result of one simulated cluster run."""
+
+    makespan_seconds: float
+    n_tasks: int
+    n_photons: int
+    n_machines: int
+    master_busy_seconds: float
+    per_machine: dict[int, MachineStats] = field(default_factory=dict)
+
+    @property
+    def cluster_busy_seconds(self) -> float:
+        return sum(s.busy_seconds for s in self.per_machine.values())
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Average fraction of the makespan the machines spent computing."""
+        if self.makespan_seconds <= 0 or self.n_machines == 0:
+            return 0.0
+        return self.cluster_busy_seconds / (self.makespan_seconds * self.n_machines)
+
+    @property
+    def photons_per_second(self) -> float:
+        return self.n_photons / self.makespan_seconds if self.makespan_seconds > 0 else 0.0
+
+
+def simulate_run(
+    machines: list[Machine],
+    n_photons: int,
+    task_size: int,
+    *,
+    photons_per_mflop: float = PHOTONS_PER_MFLOP,
+    availability: AvailabilityModel = Dedicated(),
+    network: NetworkModel = NetworkModel(),
+    master: MasterModel = MasterModel(),
+    seed: int = 0,
+    static_assignment: np.ndarray | None = None,
+    trace: bool = False,
+) -> SimReport:
+    """Simulate one distributed Monte Carlo run and return its timings.
+
+    Parameters
+    ----------
+    machines:
+        The cluster (e.g. from :func:`repro.cluster.specs.table2_cluster`).
+    n_photons, task_size:
+        Photon budget and self-scheduling chunk size; the task list is the
+        same canonical decomposition the real platform uses.
+    static_assignment:
+        ``None`` (default) simulates pull-based self-scheduling.  Otherwise
+        an int array mapping each task index to a machine id: tasks are
+        pre-assigned (static scheduling) and each machine works through its
+        list; the master then only merges results.
+    seed:
+        Seed of the availability draws.
+    trace:
+        Record per-task ``(start, end, photons)`` intervals in each
+        machine's stats (enables :func:`repro.cluster.trace.ascii_gantt`).
+
+    Returns
+    -------
+    SimReport with makespan, per-machine accounting and master utilisation.
+    """
+    if not machines:
+        raise ValueError("need at least one machine")
+    task_sizes = split_photons(n_photons, task_size)
+    n_tasks = len(task_sizes)
+    rng = np.random.default_rng(seed)
+    queue = EventQueue()
+
+    stats = {m.machine_id: MachineStats() for m in machines}
+    by_id = {m.machine_id: m for m in machines}
+    master_busy_until = 0.0
+    master_busy_total = 0.0
+    merged = 0
+    makespan = 0.0
+
+    if static_assignment is not None:
+        static_assignment = np.asarray(static_assignment, dtype=np.int64)
+        if static_assignment.shape != (n_tasks,):
+            raise ValueError(
+                f"static_assignment must map all {n_tasks} tasks, got shape "
+                f"{static_assignment.shape}"
+            )
+        unknown = set(static_assignment.tolist()) - set(by_id)
+        if unknown:
+            raise ValueError(f"static_assignment references unknown machines {unknown}")
+
+    def compute_time(machine: Machine, photons: int) -> float:
+        rate = machine.photon_rate(photons_per_mflop, availability.sample(rng))
+        return photons / rate
+
+    def master_service(now: float, overhead: float) -> float:
+        """Serialise ``overhead`` seconds of master work; return finish time."""
+        nonlocal master_busy_until, master_busy_total
+        start = max(now, master_busy_until)
+        finish = start + overhead
+        master_busy_until = finish
+        master_busy_total += overhead
+        return finish
+
+    def record_completion(machine_id: int, photons: int, duration: float, end: float) -> None:
+        s = stats[machine_id]
+        s.tasks += 1
+        s.photons += photons
+        s.busy_seconds += duration
+        s.last_finish = end
+        if trace:
+            s.intervals.append((end - duration, end, photons))
+
+    if n_tasks == 0:
+        return SimReport(0.0, 0, 0, len(machines), 0.0, stats)
+
+    # ------------------------------------------------------------------ self
+    if static_assignment is None:
+        pending = list(range(n_tasks))  # task indices, FIFO
+        next_task = iter(pending)
+
+        def try_assign(now: float, machine_id: int) -> None:
+            """Master assigns the next task to ``machine_id`` (if any left)."""
+            try:
+                t_idx = next(next_task)
+            except StopIteration:
+                return
+            finish = master_service(now, master.assign_overhead_s)
+            arrive = finish + network.task_transfer_s()
+            machine = by_id[machine_id]
+            photons = task_sizes[t_idx]
+            duration = compute_time(machine, photons)
+            done = arrive + duration
+            queue.at(done, on_complete, machine_id, photons, duration, done)
+
+        def on_complete(machine_id: int, photons: int, duration: float, done: float) -> None:
+            nonlocal merged, makespan
+            record_completion(machine_id, photons, duration, done)
+            at_master = done + network.result_transfer_s()
+            finish = master_service(at_master, master.merge_overhead_s)
+            merged += 1
+            makespan = max(makespan, finish)
+            # The merged worker immediately pulls its next task.
+            try_assign(finish, machine_id)
+
+        # At t=0 every idle client requests work.
+        for m in machines:
+            queue.at(0.0, try_assign, network.latency_s, m.machine_id)
+        queue.run(max_events=10 * n_tasks + 10 * len(machines) + 100)
+
+    # ---------------------------------------------------------------- static
+    else:
+        lists: dict[int, list[int]] = {m.machine_id: [] for m in machines}
+        for t_idx, mid in enumerate(static_assignment.tolist()):
+            lists[mid].append(t_idx)
+
+        def start_next(machine_id: int, position: int, now: float) -> None:
+            tasks_here = lists[machine_id]
+            if position >= len(tasks_here):
+                return
+            photons = task_sizes[tasks_here[position]]
+            duration = compute_time(by_id[machine_id], photons)
+            done = now + duration
+            queue.at(done, on_static_complete, machine_id, position, photons, duration, done)
+
+        def on_static_complete(
+            machine_id: int, position: int, photons: int, duration: float, done: float
+        ) -> None:
+            nonlocal merged, makespan
+            record_completion(machine_id, photons, duration, done)
+            at_master = done + network.result_transfer_s()
+            finish = master_service(at_master, master.merge_overhead_s)
+            merged += 1
+            makespan = max(makespan, finish)
+            start_next(machine_id, position + 1, done)
+
+        for m in machines:
+            start_next(m.machine_id, 0, network.task_transfer_s())
+        queue.run(max_events=10 * n_tasks + 10 * len(machines) + 100)
+
+    if merged != n_tasks:
+        raise RuntimeError(
+            f"simulation invariant violated: merged {merged} of {n_tasks} tasks"
+        )
+    return SimReport(
+        makespan_seconds=makespan,
+        n_tasks=n_tasks,
+        n_photons=sum(task_sizes),
+        n_machines=len(machines),
+        master_busy_seconds=master_busy_total,
+        per_machine=stats,
+    )

@@ -1,0 +1,80 @@
+"""Cluster specifications from the paper.
+
+``TABLE2_CLASSES`` transcribes Table 2 ("Distributed system resources"):
+150 heterogeneous, non-dedicated clients in 8 classes.  ``SERVER`` is the
+dedicated Fedora Core 4 server (3 GHz P4, 1 GB RAM) the clients connect to.
+``homogeneous_cluster`` builds the speedup-experiment cluster of Fig. 2:
+identical non-dedicated Pentium IVs with 512 MB RAM.
+
+Calibration
+-----------
+``PHOTONS_PER_MFLOP`` converts a machine's Mflop/s rating into Monte Carlo
+throughput.  The paper reports that one simulation of 10⁹ photons took
+"approximately 2 hours" on the Table 2 cluster *under non-dedicated usage*.
+The census totals ≈13 600 Mflop/s; the naive dedicated-cluster estimate
+
+``10⁹ photons / (7200 s × 13 600 Mflop/s) ≈ 10.2 photons / Mflop``
+
+ignores owner interference and self-scheduling imbalance.  With the default
+availability model (uniform 0.7–1.0, mean 0.85) and 200k-photon chunks the
+discrete-event simulation reproduces the ≈2 h makespan at
+``PHOTONS_PER_MFLOP = 13.3``, which we adopt.  Speedup and efficiency (the
+Fig. 2 quantities) are time ratios and do not depend on this constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import Machine, MachineClass, expand_classes
+
+__all__ = [
+    "TABLE2_CLASSES",
+    "PHOTONS_PER_MFLOP",
+    "SERVER_DESCRIPTION",
+    "table2_cluster",
+    "homogeneous_cluster",
+    "total_mflops",
+]
+
+#: Table 2 of the paper, row for row.
+TABLE2_CLASSES: list[MachineClass] = [
+    MachineClass(91, 28.0, 31.0, 256, "Linux", "P3 600MHz"),
+    MachineClass(50, 190.0, 229.0, 512, "Linux", "P4 2.4GHz"),
+    MachineClass(4, 15.0, 15.0, 192, "Linux", "P2 266MHz"),
+    MachineClass(1, 154.0, 154.0, 1024, "Windows XP", "P4 Centrino 1.4GHz"),
+    MachineClass(1, 25.0, 25.0, 512, "Linux", "P3 500 MHz"),
+    MachineClass(1, 37.0, 37.0, 256, "Linux", "P3 1GHz"),
+    MachineClass(1, 72.0, 72.0, 256, "Linux", "P4 1.7GHz"),
+    MachineClass(1, 91.0, 91.0, 1024, "FreeBSD", "AMD 2400+XP"),
+]
+
+#: The dedicated server of the paper's testbed (informational).
+SERVER_DESCRIPTION = "Linux (Fedora Core 4), 3GHz P4, 1GB RAM"
+
+#: Monte Carlo throughput calibration (photons per Mflop); see module docs.
+PHOTONS_PER_MFLOP = 13.3
+
+#: Nominal Mflop/s of the Fig. 2 homogeneous Pentium-IV machines (the
+#: midpoint of the Table 2 P4 2.4 GHz class).
+HOMOGENEOUS_MFLOPS = 209.5
+
+
+def table2_cluster(rng: np.random.Generator | None = None) -> list[Machine]:
+    """The 150-machine heterogeneous cluster of Table 2."""
+    machines = expand_classes(TABLE2_CLASSES, rng)
+    assert len(machines) == 150, "Table 2 census must total 150 clients"
+    return machines
+
+
+def homogeneous_cluster(k: int, mflops: float = HOMOGENEOUS_MFLOPS) -> list[Machine]:
+    """``k`` identical Pentium-IV class machines (the Fig. 2 testbed)."""
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    cls = MachineClass(k, mflops, mflops, 512, "Linux", "P4")
+    return expand_classes([cls])
+
+
+def total_mflops(machines: list[Machine]) -> float:
+    """Aggregate processing rate of a cluster in Mflop/s."""
+    return sum(m.mflops for m in machines)

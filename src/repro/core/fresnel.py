@@ -1,0 +1,133 @@
+"""Boundary optics: Snell refraction, critical angle, Fresnel reflectance.
+
+Implements the "if photon angle > critical angle: internally reflect, else
+refract" branch of the paper's Fig. 1 pseudocode.  Two treatments are
+supported, matching the paper's feature list ("refraction and internal
+reflection (classical physics or probabilistic methods)"):
+
+* ``probabilistic`` — draw a uniform variate; reflect the whole photon with
+  probability R(theta_i), otherwise transmit it whole.  This is the MCML
+  default and keeps photon weight untouched at boundaries.
+* ``classical`` — deterministically split the wave: a fraction R of the
+  weight continues as the reflected photon, the fraction (1 − R) is
+  transmitted.  In our kernels the photon follows the *larger* branch and
+  the smaller branch's weight is accounted where it physically goes
+  (escape tally when the small branch leaves the tissue, or carried along
+  otherwise); see the kernel modules for the exact bookkeeping.
+
+All functions broadcast over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "specular_reflectance",
+    "cos_transmitted",
+    "fresnel_reflectance",
+    "critical_cosine",
+]
+
+
+def specular_reflectance(n1: float, n2: float) -> float:
+    """Normal-incidence Fresnel reflectance between media n1 and n2.
+
+    This is the specular loss applied when a collimated beam first strikes
+    the tissue surface: ``R_sp = ((n1 - n2) / (n1 + n2))^2``.
+    """
+    if n1 <= 0 or n2 <= 0:
+        raise ValueError("refractive indices must be > 0")
+    r = (n1 - n2) / (n1 + n2)
+    return r * r
+
+
+def critical_cosine(n1: float, n2: float) -> float:
+    """Cosine of the critical angle for light going from n1 into n2.
+
+    For ``n1 <= n2`` there is no total internal reflection and the critical
+    cosine is 0 (every incidence angle transmits partially).  For
+    ``n1 > n2`` it is ``sqrt(1 - (n2/n1)^2)``; incidence with
+    ``|cos theta_i| < critical_cosine`` is totally internally reflected.
+    """
+    if n1 <= 0 or n2 <= 0:
+        raise ValueError("refractive indices must be > 0")
+    if n1 <= n2:
+        return 0.0
+    ratio = n2 / n1
+    return float(np.sqrt(1.0 - ratio * ratio))
+
+
+def cos_transmitted(
+    cos_i: np.ndarray | float, n1: np.ndarray | float, n2: np.ndarray | float
+) -> np.ndarray:
+    """|cos| of the refracted angle by Snell's law, NaN under total reflection.
+
+    Parameters
+    ----------
+    cos_i:
+        |cos| of the incidence angle (>= 0).
+    n1, n2:
+        Indices of the incidence and transmission media.
+    """
+    cos_i = np.abs(np.asarray(cos_i, dtype=np.float64))
+    n1 = np.asarray(n1, dtype=np.float64)
+    n2 = np.asarray(n2, dtype=np.float64)
+    sin_i2 = 1.0 - cos_i * cos_i
+    sin_t2 = (n1 / n2) ** 2 * sin_i2
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(1.0 - sin_t2)  # NaN where sin_t2 > 1 (total reflection)
+
+
+def fresnel_reflectance(
+    cos_i: np.ndarray | float, n1: np.ndarray | float, n2: np.ndarray | float
+) -> np.ndarray:
+    """Unpolarised Fresnel reflectance R(theta_i) for n1 -> n2 incidence.
+
+    Averages the s- and p-polarised intensities:
+
+    ``R = 1/2 [ sin^2(ti - tt)/sin^2(ti + tt) + tan^2(ti - tt)/tan^2(ti + tt) ]``
+
+    evaluated in the numerically stable cosine form.  Handles the three
+    special cases exactly:
+
+    * total internal reflection (``sin_t > 1``): R = 1;
+    * normal incidence: R = ((n1-n2)/(n1+n2))^2;
+    * grazing incidence (``cos_i -> 0``): R -> 1.
+    """
+    cos_i = np.abs(np.asarray(cos_i, dtype=np.float64))
+    n1 = np.asarray(n1, dtype=np.float64)
+    n2 = np.asarray(n2, dtype=np.float64)
+    cos_i, n1, n2 = np.broadcast_arrays(cos_i, n1, n2)
+
+    out = np.empty(cos_i.shape, dtype=np.float64)
+
+    matched = np.isclose(n1, n2)
+    out[matched] = 0.0
+
+    todo = ~matched
+    if np.any(todo):
+        ci = np.clip(cos_i[todo], 0.0, 1.0)
+        a1 = n1[todo]
+        a2 = n2[todo]
+        si2 = 1.0 - ci * ci
+        st2 = (a1 / a2) ** 2 * si2
+        r = np.empty_like(ci)
+
+        tir = st2 >= 1.0
+        r[tir] = 1.0
+
+        ok = ~tir
+        if np.any(ok):
+            cio = ci[ok]
+            cto = np.sqrt(1.0 - st2[ok])
+            n1o = a1[ok]
+            n2o = a2[ok]
+            # s- and p-polarised amplitude reflection coefficients.
+            rs = (n1o * cio - n2o * cto) / (n1o * cio + n2o * cto)
+            rp = (n1o * cto - n2o * cio) / (n1o * cto + n2o * cio)
+            r[ok] = 0.5 * (rs * rs + rp * rp)
+
+        out[todo] = r
+
+    return np.clip(out, 0.0, 1.0)

@@ -1,0 +1,76 @@
+"""Russian-roulette photon termination.
+
+The last branch of the paper's Fig. 1 pseudocode: once a photon's weight has
+been whittled down by absorption below a threshold, tracking it further is
+poor value — but simply discarding it would bias the tallies (destroy
+weight).  Russian roulette terminates it with probability ``1 - 1/m`` and,
+when it survives, multiplies its weight by ``m``, keeping the expectation of
+every tally exactly unbiased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RouletteConfig", "roulette"]
+
+#: MCML-conventional defaults.
+DEFAULT_THRESHOLD = 1e-4
+DEFAULT_SURVIVAL_BOOST = 10.0
+
+
+@dataclass(frozen=True)
+class RouletteConfig:
+    """Parameters of the survival roulette.
+
+    Attributes
+    ----------
+    threshold:
+        Weight below which a photon enters the roulette.
+    boost:
+        Survival multiplier m: survive with probability 1/m, weight *= m.
+    """
+
+    threshold: float = DEFAULT_THRESHOLD
+    boost: float = DEFAULT_SURVIVAL_BOOST
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold}")
+        if self.boost <= 1:
+            raise ValueError(f"boost must be > 1, got {self.boost}")
+
+
+def roulette(
+    weights: np.ndarray,
+    alive: np.ndarray,
+    rng: np.random.Generator,
+    config: RouletteConfig = RouletteConfig(),
+) -> None:
+    """Apply Russian roulette in place to a batch of photons.
+
+    Photons that are alive and below ``config.threshold`` survive with
+    probability ``1/boost`` (their weight multiplied by ``boost``) and are
+    killed otherwise (weight zeroed, ``alive`` cleared).
+
+    Parameters
+    ----------
+    weights, alive:
+        Weight and liveness arrays, modified in place.
+    rng:
+        Randomness source; exactly one uniform variate is consumed per
+        photon entering the roulette.
+    """
+    candidates = alive & (weights < config.threshold) & (weights > 0.0)
+    n = int(candidates.sum())
+    if n == 0:
+        return
+    survive = rng.random(n) < (1.0 / config.boost)
+    idx = np.flatnonzero(candidates)
+    winners = idx[survive]
+    losers = idx[~survive]
+    weights[winners] *= config.boost
+    weights[losers] = 0.0
+    alive[losers] = False

@@ -1,0 +1,148 @@
+"""Monte Carlo sampling primitives for photon transport.
+
+These are the textbook MCML-family samplers (Prahl et al. [5] of the paper;
+Wang & Jacques): exponential free-path lengths, Henyey–Greenstein scattering
+angles, uniform azimuth, and the direction-cosine update.  Every function is
+written against NumPy broadcasting so the same code serves the scalar
+reference kernel (arrays of length 1) and the vectorised production kernel
+(arrays of length = batch size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sample_step_length",
+    "sample_hg_cosine",
+    "sample_azimuth",
+    "rotate_direction",
+    "hg_pdf",
+]
+
+#: Direction cosines closer to +/-1 than this use the near-vertical branch of
+#: the rotation formula (avoids the 1/sqrt(1-uz^2) singularity).
+_VERTICAL_EPS = 1.0 - 1e-12
+
+
+def sample_step_length(
+    mu_t: np.ndarray | float, rng: np.random.Generator, n: int | None = None
+) -> np.ndarray:
+    """Draw free-path lengths ``s = -ln(xi) / mu_t`` (mm).
+
+    Parameters
+    ----------
+    mu_t:
+        Interaction coefficient(s) in mm⁻¹; scalar or array broadcastable to
+        the sample shape.  Non-scattering, non-absorbing media (``mu_t = 0``)
+        yield infinite steps, which the kernels clip at the geometry.
+    rng:
+        Source of randomness.
+    n:
+        Number of samples; defaults to the shape of ``mu_t``.
+
+    Notes
+    -----
+    Uses ``1 - random()`` so the argument of the log lies in (0, 1] and the
+    step length is finite with probability 1 (``random()`` can return 0.0
+    but never 1.0).
+    """
+    mu_t = np.asarray(mu_t, dtype=np.float64)
+    if n is None:
+        xi = 1.0 - rng.random(mu_t.shape)
+    else:
+        xi = 1.0 - rng.random(n)
+    with np.errstate(divide="ignore"):
+        return -np.log(xi) / mu_t
+
+
+def sample_hg_cosine(
+    g: np.ndarray | float, rng: np.random.Generator, n: int | None = None
+) -> np.ndarray:
+    """Draw scattering-angle cosines from the Henyey–Greenstein phase function.
+
+    Uses the standard analytic inversion
+
+    ``cos(theta) = (1 + g^2 - ((1 - g^2)/(1 - g + 2 g xi))^2) / (2 g)``
+
+    for ``g != 0`` and the isotropic limit ``cos(theta) = 2 xi - 1`` for
+    ``g = 0``.  The anisotropy g is the mean cosine of the scattering angle
+    (paper, Table 1 footnote), which the property tests verify empirically.
+    """
+    g = np.asarray(g, dtype=np.float64)
+    if n is None:
+        xi = rng.random(g.shape)
+    else:
+        xi = rng.random(n)
+        g = np.broadcast_to(g, xi.shape)
+    cos_theta = np.empty_like(xi)
+    iso = np.abs(g) < 1e-12
+    if np.any(iso):
+        cos_theta[iso] = 2.0 * xi[iso] - 1.0
+    aniso = ~iso
+    if np.any(aniso):
+        ga = g[aniso]
+        frac = (1.0 - ga * ga) / (1.0 - ga + 2.0 * ga * xi[aniso])
+        cos_theta[aniso] = (1.0 + ga * ga - frac * frac) / (2.0 * ga)
+    # Guard against round-off pushing the cosine out of [-1, 1].
+    return np.clip(cos_theta, -1.0, 1.0)
+
+
+def sample_azimuth(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Uniform azimuthal scattering angle psi in [0, 2*pi)."""
+    return rng.uniform(0.0, 2.0 * np.pi, n)
+
+
+def rotate_direction(
+    ux: np.ndarray,
+    uy: np.ndarray,
+    uz: np.ndarray,
+    cos_theta: np.ndarray,
+    psi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rotate unit direction(s) by polar angle theta and azimuth psi.
+
+    Implements the MCML direction update.  When the incoming direction is
+    (numerically) parallel to the z-axis the general formula divides by
+    ``sqrt(1 - uz^2) = 0``; those photons take the closed-form vertical
+    branch instead.
+
+    All inputs are broadcast together; the result is a tuple of new
+    direction-cosine arrays, normalised to unit length to keep round-off
+    from accumulating over thousands of scattering events.
+    """
+    ux, uy, uz, cos_theta, psi = np.broadcast_arrays(ux, uy, uz, cos_theta, psi)
+    sin_theta = np.sqrt(np.maximum(0.0, 1.0 - cos_theta * cos_theta))
+    cos_psi = np.cos(psi)
+    sin_psi = np.sin(psi)
+
+    vertical = np.abs(uz) >= _VERTICAL_EPS
+    # General branch (guard the division; vertical entries are overwritten).
+    denom = np.sqrt(np.maximum(1.0 - uz * uz, 1e-300))
+    nux = sin_theta * (ux * uz * cos_psi - uy * sin_psi) / denom + ux * cos_theta
+    nuy = sin_theta * (uy * uz * cos_psi + ux * sin_psi) / denom + uy * cos_theta
+    nuz = -denom * sin_theta * cos_psi + uz * cos_theta
+
+    if np.any(vertical):
+        sign = np.sign(uz)
+        nux = np.where(vertical, sin_theta * cos_psi, nux)
+        nuy = np.where(vertical, sign * sin_theta * sin_psi, nuy)
+        nuz = np.where(vertical, sign * cos_theta, nuz)
+
+    norm = np.sqrt(nux * nux + nuy * nuy + nuz * nuz)
+    return nux / norm, nuy / norm, nuz / norm
+
+
+def hg_pdf(cos_theta: np.ndarray | float, g: float) -> np.ndarray:
+    """Henyey–Greenstein probability density p(cos theta).
+
+    ``p(mu) = (1 - g^2) / (2 (1 + g^2 - 2 g mu)^{3/2})``, normalised so that
+    ``integral p(mu) d mu = 1`` over [-1, 1].  Used by the statistical tests
+    that validate :func:`sample_hg_cosine`.
+    """
+    mu = np.asarray(cos_theta, dtype=np.float64)
+    if not -1.0 < g < 1.0:
+        raise ValueError(f"g must lie in (-1, 1) for a proper density, got {g}")
+    if abs(g) < 1e-12:
+        return np.full_like(mu, 0.5)
+    return (1.0 - g * g) / (2.0 * np.power(1.0 + g * g - 2.0 * g * mu, 1.5))

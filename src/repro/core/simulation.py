@@ -1,0 +1,117 @@
+"""High-level simulation façade.
+
+``Simulation`` is the single-process entry point: it owns a
+:class:`~repro.core.config.SimulationConfig`, splits the photon budget into
+tasks with independent RNG streams (exactly the decomposition the
+distributed ``DataManager`` uses), runs them through the selected kernel and
+merges the tallies.  Because the task decomposition and seeding are shared
+with :mod:`repro.distributed`, a serial run and a distributed run of the
+same ``(config, n_photons, seed, task_size)`` produce *identical* results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from .config import SimulationConfig
+from .kernel import run_batch_scalar
+from .rng import task_rng
+from .tally import Tally
+from .vkernel import run_batch_vectorized
+
+__all__ = ["Simulation", "run_photons", "KernelName", "split_photons"]
+
+KernelName = Literal["vector", "scalar"]
+
+_KERNELS: dict[str, Callable[[SimulationConfig, int, np.random.Generator], Tally]] = {
+    "vector": run_batch_vectorized,
+    "scalar": run_batch_scalar,
+}
+
+
+def run_photons(
+    config: SimulationConfig,
+    n_photons: int,
+    rng: np.random.Generator,
+    kernel: KernelName = "vector",
+) -> Tally:
+    """Trace ``n_photons`` with the named kernel (the worker-side entry point)."""
+    try:
+        fn = _KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {sorted(_KERNELS)}"
+        ) from None
+    return fn(config, n_photons, rng)
+
+
+def split_photons(n_photons: int, task_size: int) -> list[int]:
+    """Split a photon budget into task-sized chunks (last may be short).
+
+    This is *the* canonical decomposition: both :class:`Simulation` and the
+    distributed ``DataManager`` use it, so task ``i`` always means the same
+    photons with the same RNG stream regardless of execution backend.
+    """
+    if n_photons < 0:
+        raise ValueError(f"n_photons must be >= 0, got {n_photons}")
+    if task_size <= 0:
+        raise ValueError(f"task_size must be > 0, got {task_size}")
+    full, rem = divmod(n_photons, task_size)
+    counts = [task_size] * full
+    if rem:
+        counts.append(rem)
+    return counts
+
+
+class Simulation:
+    """Single-process Monte Carlo simulation of one experiment.
+
+    Examples
+    --------
+    >>> from repro.tissue import white_matter
+    >>> from repro.sources import PencilBeam
+    >>> from repro.core import SimulationConfig, Simulation
+    >>> config = SimulationConfig(stack=white_matter(), source=PencilBeam())
+    >>> tally = Simulation(config).run(n_photons=1000, seed=1)
+    >>> 0.0 < tally.diffuse_reflectance < 1.0
+    True
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+
+    def run(
+        self,
+        n_photons: int,
+        seed: int = 0,
+        *,
+        kernel: KernelName = "vector",
+        task_size: int | None = None,
+    ) -> Tally:
+        """Run the experiment and return the merged tally.
+
+        Parameters
+        ----------
+        n_photons:
+            Total photon budget.
+        seed:
+            Experiment seed; combined with per-task indices to derive
+            independent streams.
+        kernel:
+            ``"vector"`` (production) or ``"scalar"`` (reference).
+        task_size:
+            Photons per task.  ``None`` runs everything as one task.
+            Choosing the same ``task_size`` as a distributed run makes the
+            results bit-identical to it.
+        """
+        if task_size is None:
+            task_size = max(n_photons, 1)
+        tallies = [
+            run_photons(self.config, count, task_rng(seed, i), kernel)
+            for i, count in enumerate(split_photons(n_photons, task_size))
+        ]
+        if not tallies:
+            return Tally(n_layers=len(self.config.stack), records=self.config.records)
+        return Tally.merge_all(tallies)

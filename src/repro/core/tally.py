@@ -1,0 +1,245 @@
+"""Mergeable Monte Carlo tallies.
+
+A :class:`Tally` is the complete result of tracing a batch of photons.  It
+is designed around one algebraic property: **tallies form a commutative
+monoid under** :meth:`Tally.merge`.  That property is what makes the
+distributed decomposition exact — the ``DataManager`` merges worker tallies
+in any order and obtains the same result as a serial run with the same
+per-task RNG streams (tested in ``tests/distributed/test_determinism.py``).
+
+All extensive quantities are raw weight sums; normalised physical quantities
+(reflectance, absorbed fraction, DPF, …) are exposed as properties that
+divide by the launched photon count at read time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..detect.records import GridSpec, Histogram, RunningStat
+from .config import RecordConfig
+
+__all__ = ["Tally"]
+
+
+@dataclass
+class Tally:
+    """Accumulated results of a photon-batch simulation.
+
+    Extensive fields (all merge by addition):
+
+    - ``n_launched`` — photons launched.
+    - ``specular_weight`` — weight lost to specular reflection at launch.
+    - ``diffuse_reflectance_weight`` — weight escaping the top surface
+      (includes detected weight).
+    - ``transmittance_weight`` — weight escaping the bottom surface.
+    - ``absorbed_by_layer`` — weight absorbed in each tissue layer.
+    - ``lost_weight`` — weight of photons terminated by the ``max_steps``
+      cap (diagnostic; should be ~0 in healthy runs).
+    - ``roulette_net_weight`` — net weight created (+) or destroyed (−) by
+      Russian roulette; zero in expectation, useful for diagnostics.
+    - ``detected_count`` / ``detected_weight`` — photons passing the
+      detector (and gate, when present).
+    """
+
+    n_layers: int
+    records: RecordConfig = field(default_factory=RecordConfig)
+
+    n_launched: int = 0
+    specular_weight: float = 0.0
+    diffuse_reflectance_weight: float = 0.0
+    transmittance_weight: float = 0.0
+    lost_weight: float = 0.0
+    roulette_net_weight: float = 0.0
+    detected_count: int = 0
+    detected_weight: float = 0.0
+
+    absorbed_by_layer: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    #: Statistics over *detected* photons.
+    pathlength: RunningStat = field(default_factory=RunningStat)
+    penetration_depth: RunningStat = field(default_factory=RunningStat)
+
+    #: Optional recordings (allocated from ``records`` when enabled).
+    absorption_grid: np.ndarray | None = None
+    path_grid: np.ndarray | None = None
+    pathlength_hist: Histogram | None = None
+    reflectance_rho_hist: Histogram | None = None
+    penetration_hist: Histogram | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_layers <= 0:
+            raise ValueError(f"n_layers must be > 0, got {self.n_layers}")
+        if self.absorbed_by_layer is None:
+            self.absorbed_by_layer = np.zeros(self.n_layers, dtype=np.float64)
+        else:
+            self.absorbed_by_layer = np.asarray(self.absorbed_by_layer, dtype=np.float64)
+            if self.absorbed_by_layer.shape != (self.n_layers,):
+                raise ValueError("absorbed_by_layer shape does not match n_layers")
+        r = self.records
+        if r.absorption_grid is not None and self.absorption_grid is None:
+            self.absorption_grid = r.absorption_grid.zeros()
+        if r.path_grid is not None and self.path_grid is None:
+            self.path_grid = r.path_grid.zeros()
+        if r.pathlength_bins is not None and self.pathlength_hist is None:
+            lo, hi, n = r.pathlength_bins
+            self.pathlength_hist = Histogram.linear(lo, hi, n)
+        if r.reflectance_rho_bins is not None and self.reflectance_rho_hist is None:
+            rho_max, n = r.reflectance_rho_bins
+            self.reflectance_rho_hist = Histogram.linear(0.0, rho_max, n)
+        if r.penetration_bins is not None and self.penetration_hist is None:
+            z_max, n = r.penetration_bins
+            self.penetration_hist = Histogram.linear(0.0, z_max, n)
+
+    # -- monoid ---------------------------------------------------------------
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Combine two tallies from independent photon batches.
+
+        Both tallies must describe the same experiment shape (same layer
+        count and recording configuration).
+        """
+        if self.n_layers != other.n_layers:
+            raise ValueError(
+                f"cannot merge tallies with {self.n_layers} vs {other.n_layers} layers"
+            )
+        if self.records != other.records:
+            raise ValueError("cannot merge tallies with different RecordConfigs")
+
+        merged = Tally(
+            n_layers=self.n_layers,
+            records=self.records,
+            n_launched=self.n_launched + other.n_launched,
+            specular_weight=self.specular_weight + other.specular_weight,
+            diffuse_reflectance_weight=(
+                self.diffuse_reflectance_weight + other.diffuse_reflectance_weight
+            ),
+            transmittance_weight=self.transmittance_weight + other.transmittance_weight,
+            lost_weight=self.lost_weight + other.lost_weight,
+            roulette_net_weight=self.roulette_net_weight + other.roulette_net_weight,
+            detected_count=self.detected_count + other.detected_count,
+            detected_weight=self.detected_weight + other.detected_weight,
+            absorbed_by_layer=self.absorbed_by_layer + other.absorbed_by_layer,
+            pathlength=self.pathlength.merge(other.pathlength),
+            penetration_depth=self.penetration_depth.merge(other.penetration_depth),
+        )
+        if self.absorption_grid is not None:
+            merged.absorption_grid = self.absorption_grid + other.absorption_grid
+        if self.path_grid is not None:
+            merged.path_grid = self.path_grid + other.path_grid
+        if self.pathlength_hist is not None:
+            merged.pathlength_hist = self.pathlength_hist.merge(other.pathlength_hist)
+        if self.reflectance_rho_hist is not None:
+            merged.reflectance_rho_hist = self.reflectance_rho_hist.merge(
+                other.reflectance_rho_hist
+            )
+        if self.penetration_hist is not None:
+            merged.penetration_hist = self.penetration_hist.merge(other.penetration_hist)
+        return merged
+
+    def record_penetration(self, max_depths: np.ndarray) -> None:
+        """Record lifetime maximum depths of terminated photons (one count each).
+
+        Depths beyond the histogram range are clipped into the last bin so
+        every photon is counted exactly once ("reached at least z_max").
+        """
+        if self.penetration_hist is None or max_depths.size == 0:
+            return
+        hi = self.penetration_hist.edges[-1]
+        lo = self.penetration_hist.edges[0]
+        width = self.penetration_hist.edges[1] - self.penetration_hist.edges[0]
+        clipped = np.clip(max_depths, lo, hi - 0.5 * width)
+        self.penetration_hist.add(clipped)
+
+    @classmethod
+    def merge_all(cls, tallies: "list[Tally]") -> "Tally":
+        """Merge a non-empty list of tallies."""
+        if not tallies:
+            raise ValueError("merge_all needs at least one tally")
+        out = tallies[0]
+        for t in tallies[1:]:
+            out = out.merge(t)
+        return out
+
+    # -- normalised physical quantities ----------------------------------------
+
+    def _per_photon(self, weight: float) -> float:
+        return weight / self.n_launched if self.n_launched > 0 else float("nan")
+
+    @property
+    def specular_reflectance(self) -> float:
+        """Specular reflectance R_sp (fraction of launched energy)."""
+        return self._per_photon(self.specular_weight)
+
+    @property
+    def diffuse_reflectance(self) -> float:
+        """Diffuse reflectance R_d (fraction escaping the top surface)."""
+        return self._per_photon(self.diffuse_reflectance_weight)
+
+    @property
+    def transmittance(self) -> float:
+        """Diffuse transmittance T_d (fraction escaping the bottom)."""
+        return self._per_photon(self.transmittance_weight)
+
+    @property
+    def absorbed_fraction(self) -> np.ndarray:
+        """Fraction of launched energy absorbed per layer."""
+        if self.n_launched == 0:
+            return np.full(self.n_layers, np.nan)
+        return self.absorbed_by_layer / self.n_launched
+
+    @property
+    def total_absorbed_fraction(self) -> float:
+        return float(self.absorbed_fraction.sum())
+
+    @property
+    def energy_balance(self) -> float:
+        """R_sp + R_d + T_d + A + lost − roulette_net; ≈ 1 in expectation."""
+        if self.n_launched == 0:
+            return float("nan")
+        return (
+            self.specular_reflectance
+            + self.diffuse_reflectance
+            + self.transmittance
+            + self.total_absorbed_fraction
+            + self._per_photon(self.lost_weight)
+            - self._per_photon(self.roulette_net_weight)
+        )
+
+    @property
+    def detection_efficiency(self) -> float:
+        """Detected photons per launched photon."""
+        return self.detected_count / self.n_launched if self.n_launched else float("nan")
+
+    def differential_pathlength_factor(self, source_detector_spacing: float) -> float:
+        """DPF = mean detected *geometric* pathlength / optode spacing.
+
+        The pathlength statistic stores optical pathlengths; dividing by the
+        (mean) refractive index is the caller's concern when layers differ.
+        For the single-index models used here the optical and geometric DPF
+        differ by the constant factor n, and we report the optical one —
+        the quantity a time-of-flight instrument measures.
+        """
+        if source_detector_spacing <= 0:
+            raise ValueError(
+                f"source_detector_spacing must be > 0, got {source_detector_spacing}"
+            )
+        return self.pathlength.mean / source_detector_spacing
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline scalars (for reports and tests)."""
+        return {
+            "n_launched": float(self.n_launched),
+            "specular_reflectance": self.specular_reflectance,
+            "diffuse_reflectance": self.diffuse_reflectance,
+            "transmittance": self.transmittance,
+            "absorbed_fraction": self.total_absorbed_fraction,
+            "lost_fraction": self._per_photon(self.lost_weight),
+            "detected_count": float(self.detected_count),
+            "detected_weight": self.detected_weight,
+            "mean_pathlength": self.pathlength.mean,
+            "mean_penetration_depth": self.penetration_depth.mean,
+            "energy_balance": self.energy_balance,
+        }

@@ -1,0 +1,592 @@
+"""Vectorised production kernel.
+
+Traces photons in structure-of-arrays sub-batches: one NumPy-vectorised
+"event" (boundary hit or scattering interaction) per live photon per loop
+iteration.  Statistically identical to the scalar reference kernel
+(:mod:`repro.core.kernel`) — the integration tests compare the two on every
+headline quantity — but orders of magnitude faster, which is what makes
+laptop-scale reproduction of the paper's billion-photon experiments
+feasible.
+
+Design notes (following this repo's HPC guides):
+
+* All per-photon state lives in flat float64/int64/bool arrays; every update
+  is an in-place whole-array operation — no per-photon Python objects and no
+  repeated fancy-index gathers of the full state.
+* **Stream compaction**: dead photons are squeezed out of the state arrays
+  whenever the dead fraction passes a threshold, so the working arrays track
+  the live population and per-iteration cost decays with it.  A ``gid``
+  array maps compacted rows back to original photon ids for path recording.
+* Per-layer optical coefficients are gathered with a single fancy-index from
+  the :class:`~repro.tissue.layer.LayerStack` coefficient vectors.
+* Path recording ("save path" for detected photons, the Fig. 3 quantity)
+  buffers interaction events as append-only arrays and periodically compacts
+  them: events of dead-undetected photons are dropped, events of detected
+  photons are deposited into the voxel grid, and only events of still-live
+  photons are retained.  This keeps memory bounded by the live tail rather
+  than the full event history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import SimulationConfig
+from .fresnel import fresnel_reflectance
+from .tally import Tally
+
+#: Square of the direction-cosine threshold for the near-vertical rotation
+#: branch (matches ``repro.core.sampling._VERTICAL_EPS``).
+_VERTICAL_EPS2 = (1.0 - 1e-12) ** 2
+
+__all__ = ["run_batch_vectorized", "DEFAULT_SUB_BATCH"]
+
+#: Photons traced simultaneously.  Large enough to amortise NumPy dispatch
+#: and the long-lived-photon tail, small enough that per-photon state and
+#: path-event buffers stay modest.
+DEFAULT_SUB_BATCH = 65536
+
+#: Compact the path-event buffers every this many loop iterations.
+_COMPACT_EVERY = 256
+
+#: Squeeze dead photons out of the state arrays when they exceed this
+#: fraction of the batch.
+_DEAD_FRACTION = 0.25
+
+
+@dataclass
+class _PathEvents:
+    """Append-only buffer of (photon, voxel, weight) interaction events.
+
+    Events are voxelised at append time: positions outside the recording
+    grid are dropped immediately and the rest are stored as flat voxel
+    indices, which halves memory traffic relative to buffering raw
+    coordinates and makes the final deposit a single ``np.add.at``.
+    """
+
+    spec: "object"  # GridSpec; typed loosely to avoid an import cycle
+    gids: list[np.ndarray] = field(default_factory=list)
+    voxels: list[np.ndarray] = field(default_factory=list)
+    ws: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, gid, x, y, z, w) -> None:
+        flat, inside = self.spec.world_to_index(x, y, z)
+        if not inside.any():
+            return
+        gid = np.asarray(gid, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        self.gids.append(gid[inside])
+        self.voxels.append(flat[inside])
+        self.ws.append(w[inside])
+
+    def _append_raw(self, gid: np.ndarray, voxel: np.ndarray, w: np.ndarray) -> None:
+        self.gids.append(gid)
+        self.voxels.append(voxel)
+        self.ws.append(w)
+
+    def compact(
+        self,
+        keep_mask_by_gid: np.ndarray,
+        deposit_mask_by_gid: np.ndarray,
+        grid: np.ndarray,
+    ) -> None:
+        """Deposit events of detected photons, keep events of live photons.
+
+        ``keep_mask_by_gid[g]`` — photon g is still alive (retain events).
+        ``deposit_mask_by_gid[g]`` — photon g was detected (commit events).
+        Everything else is dropped.
+        """
+        if not self.gids:
+            return
+        gid = np.concatenate(self.gids)
+        voxel = np.concatenate(self.voxels)
+        w = np.concatenate(self.ws)
+        self.gids.clear()
+        self.voxels.clear()
+        self.ws.clear()
+
+        dep = deposit_mask_by_gid[gid]
+        if dep.any():
+            np.add.at(grid.reshape(-1), voxel[dep], w[dep])
+        # A photon can be both detected and still alive in classical mode
+        # (the Fresnel remnant keeps propagating); exclude already-deposited
+        # events from the retained set so nothing is committed twice.
+        keep = keep_mask_by_gid[gid] & ~dep
+        if keep.any():
+            self._append_raw(gid[keep], voxel[keep], w[keep])
+
+
+class _State:
+    """Compacted structure-of-arrays photon state for one sub-batch."""
+
+    __slots__ = (
+        "x", "y", "z", "ux", "uy", "uz", "w", "layer",
+        "opl", "maxz", "s_dim", "alive", "gid",
+    )
+
+    def __init__(self, pos: np.ndarray, dirs: np.ndarray, layer: np.ndarray, w: np.ndarray):
+        n = pos.shape[0]
+        self.x = pos[:, 0].copy()
+        self.y = pos[:, 1].copy()
+        self.z = pos[:, 2].copy()
+        self.ux = dirs[:, 0].copy()
+        self.uy = dirs[:, 1].copy()
+        self.uz = dirs[:, 2].copy()
+        self.w = w
+        self.layer = layer
+        self.opl = np.zeros(n)
+        self.maxz = self.z.copy()
+        self.s_dim = np.zeros(n)
+        self.alive = np.ones(n, dtype=bool)
+        self.gid = np.arange(n, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        return self.x.size
+
+    def squeeze(self) -> None:
+        """Drop dead photons from every state array (stream compaction)."""
+        keep = self.alive
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name)[keep])
+
+
+def run_batch_vectorized(
+    config: SimulationConfig,
+    n_photons: int,
+    rng: np.random.Generator,
+    *,
+    sub_batch: int = DEFAULT_SUB_BATCH,
+) -> Tally:
+    """Trace ``n_photons`` photons with the vectorised kernel.
+
+    Parameters
+    ----------
+    config:
+        The experiment description.
+    n_photons:
+        Photons to launch.
+    rng:
+        Randomness source; results are a deterministic function of the
+        generator state (and hence of the task's stream).
+    sub_batch:
+        Photons per structure-of-arrays batch.
+    """
+    if n_photons < 0:
+        raise ValueError(f"n_photons must be >= 0, got {n_photons}")
+    if sub_batch <= 0:
+        raise ValueError(f"sub_batch must be > 0, got {sub_batch}")
+    tally = Tally(n_layers=len(config.stack), records=config.records)
+    done = 0
+    while done < n_photons:
+        n = min(sub_batch, n_photons - done)
+        _run_sub_batch(config, tally, n, rng)
+        done += n
+    return tally
+
+
+def _run_sub_batch(
+    config: SimulationConfig, tally: Tally, n: int, rng: np.random.Generator
+) -> None:
+    stack = config.stack
+    n_layers = len(stack)
+    boundaries = stack.boundaries  # (n_layers + 1,)
+    gate = config.pathlength_gate()
+    record_path = tally.path_grid is not None
+    semi_infinite = stack.is_semi_infinite
+    # Hot-loop fast-path flags, hoisted out of the iteration.
+    any_transparent = bool((stack.mu_t <= 0.0).any())
+    uniform_g = float(stack.g[0]) if bool((stack.g == stack.g[0]).all()) else None
+    single_layer = n_layers == 1
+
+    # --- initialise photons ----------------------------------------------------
+    pos, dirs = config.source.sample(n, rng)
+    w = np.ones(n)
+    surface_launch = (pos[:, 2] == 0.0) & (dirs[:, 2] > 0.0)
+    if np.any(surface_launch):
+        _launch_through_surface(
+            dirs, w, surface_launch, stack.n_above, stack[0].properties.n, tally
+        )
+
+    layer = np.zeros(n, dtype=np.int64)
+    buried = ~surface_launch
+    if np.any(buried):
+        idx = np.searchsorted(boundaries, pos[buried, 2], side="right") - 1
+        layer[buried] = np.minimum(np.maximum(idx, 0), n_layers - 1)
+
+    st = _State(pos, dirs, layer, w)
+    tally.n_launched += n
+
+    detected_flag = np.zeros(n, dtype=bool)
+    events = _PathEvents(config.records.path_grid) if record_path else None
+    if record_path:
+        events.append(st.gid, st.x, st.y, st.z, st.w)
+
+    mu_a_vec = stack.mu_a
+    mu_t_vec = stack.mu_t
+    g_vec = stack.g
+    n_vec = stack.n
+
+    iteration = 0
+    while st.size:
+        iteration += 1
+        if iteration > config.max_steps:
+            tally.lost_weight += float(st.w.sum())
+            tally.record_penetration(st.maxz[st.alive])
+            break
+
+        if single_layer:
+            mu_t = mu_t_vec[0]
+            n_med = n_vec[0]
+        else:
+            mu_t = mu_t_vec[st.layer]
+            n_med = n_vec[st.layer]
+
+        # Draw fresh dimensionless steps where the previous one is spent.
+        need = st.s_dim <= 0.0
+        n_need = int(np.count_nonzero(need))
+        if n_need:
+            st.s_dim[need] = -np.log(1.0 - rng.random(n_need))
+
+        if any_transparent:
+            d_step = np.where(mu_t > 0.0, st.s_dim / np.maximum(mu_t, 1e-300), np.inf)
+        else:
+            d_step = st.s_dim / mu_t
+
+        d_bnd = np.full(st.size, np.inf)
+        up = st.uz < 0.0
+        down = st.uz > 0.0
+        if single_layer:
+            d_bnd[down] = (boundaries[1] - st.z[down]) / st.uz[down]
+            d_bnd[up] = (boundaries[0] - st.z[up]) / st.uz[up]
+        else:
+            d_bnd[down] = (boundaries[st.layer[down] + 1] - st.z[down]) / st.uz[down]
+            d_bnd[up] = (boundaries[st.layer[up]] - st.z[up]) / st.uz[up]
+        # Round-off can leave a photon epsilon past its boundary; clamp.
+        np.maximum(d_bnd, 0.0, out=d_bnd)
+
+        hit = d_bnd <= d_step
+        d = np.where(hit, d_bnd, d_step)
+
+        # Pathological: transparent semi-infinite layer, photon never lands.
+        if any_transparent:
+            runaway = np.isinf(d)
+            if runaway.any():
+                tally.lost_weight += float(st.w[runaway].sum())
+                tally.record_penetration(st.maxz[runaway])
+                st.alive[runaway] = False
+                st.w[runaway] = 0.0
+                d[runaway] = 0.0
+                hit[runaway] = False
+
+        # --- move photon -----------------------------------------------------
+        st.x += st.ux * d
+        st.y += st.uy * d
+        st.z += st.uz * d
+        st.opl += n_med * d
+        np.maximum(st.maxz, st.z, out=st.maxz)
+        # Spend the step: boundary hits retain the unused remainder,
+        # interactions reset to zero (drawn afresh next iteration).
+        st.s_dim -= d * mu_t
+        st.s_dim[~hit] = 0.0
+        np.maximum(st.s_dim, 0.0, out=st.s_dim)
+
+        hit &= st.alive
+        bi = np.flatnonzero(hit)  # photons at a boundary
+        ii = np.flatnonzero(hit != st.alive)  # alive & ~hit: interaction sites
+
+        if bi.size:
+            _handle_boundaries(
+                config, tally, rng, gate, st, detected_flag, bi,
+                n_vec, n_layers, semi_infinite,
+            )
+        if ii.size:
+            _handle_interactions(
+                config, tally, rng, events, st, ii,
+                mu_a_vec, mu_t_vec, g_vec, uniform_g, single_layer,
+            )
+
+        if record_path and iteration % _COMPACT_EVERY == 0:
+            alive_by_gid = np.zeros(n, dtype=bool)
+            alive_by_gid[st.gid[st.alive]] = True
+            events.compact(alive_by_gid, detected_flag, tally.path_grid)
+            detected_flag[:] = False  # already deposited
+
+        # --- stream compaction -------------------------------------------------
+        n_dead = st.size - int(np.count_nonzero(st.alive))
+        if n_dead and n_dead >= st.size * _DEAD_FRACTION:
+            st.squeeze()
+
+    if record_path:
+        events.compact(np.zeros(n, dtype=bool), detected_flag, tally.path_grid)
+
+
+def _launch_through_surface(
+    dirs: np.ndarray,
+    w: np.ndarray,
+    mask: np.ndarray,
+    n_outside: float,
+    n_inside: float,
+    tally: Tally,
+) -> None:
+    """Refract launch directions through the entry surface (in place).
+
+    Applies the angle-dependent Fresnel loss as specular reflectance and
+    bends each direction by Snell's law, so tilted sources enter the
+    tissue physically.  For normal incidence this reduces to the classic
+    ``((n1-n2)/(n1+n2))^2`` loss with an unchanged direction.
+    """
+    cos_i = dirs[mask, 2]
+    r = fresnel_reflectance(cos_i, n_outside, n_inside)
+    tally.specular_weight += float(r.sum())
+    w[mask] -= r
+    if n_outside != n_inside:
+        ratio = n_outside / n_inside
+        sin_t2 = ratio * ratio * (1.0 - cos_i * cos_i)
+        cos_t = np.sqrt(np.maximum(0.0, 1.0 - sin_t2))
+        sub = dirs[mask]
+        sub[:, 0] *= ratio
+        sub[:, 1] *= ratio
+        sub[:, 2] = cos_t
+        norm = np.sqrt((sub * sub).sum(axis=1))
+        dirs[mask] = sub / norm[:, None]
+
+
+def _handle_boundaries(
+    config, tally, rng, gate, st: _State, detected_flag, bi,
+    n_vec, n_layers, semi_infinite,
+) -> None:
+    """Medium-change handling for photons sitting exactly on an interface."""
+    buz = st.uz[bi]
+    blay = st.layer[bi]
+    going_up = buz < 0.0
+    exiting = (going_up & (blay == 0)) | (
+        ~going_up & (blay == n_layers - 1) & (not semi_infinite)
+    )
+
+    n_here = n_vec[blay]
+    next_lay = np.clip(blay + np.where(going_up, -1, 1), 0, n_layers - 1)
+    n_next = np.where(
+        exiting,
+        np.where(going_up, config.stack.n_above, config.stack.n_below),
+        n_vec[next_lay],
+    )
+
+    cos_i = np.abs(buz)
+    r_f = fresnel_reflectance(cos_i, n_here, n_next)
+
+    if config.boundary_mode == "classical":
+        classical_exit = exiting
+    else:
+        classical_exit = np.zeros_like(exiting)
+
+    if np.any(classical_exit):
+        ce = bi[classical_exit]
+        r_ce = r_f[classical_exit]
+        escaped = (1.0 - r_ce) * st.w[ce]
+        _score_escapes(
+            config, tally, gate, detected_flag,
+            st.gid[ce], st.x[ce], st.y[ce], st.uz[ce], escaped,
+            st.opl[ce], st.maxz[ce], going_up[classical_exit],
+            terminal=False,
+        )
+        st.w[ce] *= r_ce
+        st.uz[ce] = -st.uz[ce]
+        dead = st.w[ce] <= 0.0
+        if np.any(dead):
+            st.alive[ce[dead]] = False
+            tally.record_penetration(st.maxz[ce[dead]])
+
+    rest = ~classical_exit
+    if not np.any(rest):
+        return
+    ri = bi[rest]
+    r_rest = r_f[rest]
+    up_rest = going_up[rest]
+    exit_rest = exiting[rest]
+    n1 = n_here[rest]
+    n2 = n_next[rest]
+    nlay = next_lay[rest]
+
+    reflect = rng.random(ri.size) < r_rest
+
+    # Internal reflection: flip the z direction cosine.
+    refl_idx = ri[reflect]
+    st.uz[refl_idx] = -st.uz[refl_idx]
+
+    transmit = ~reflect
+    # Transmission out of the tissue: score and terminate.
+    out = transmit & exit_rest
+    if np.any(out):
+        oi = ri[out]
+        _score_escapes(
+            config, tally, gate, detected_flag,
+            st.gid[oi], st.x[oi], st.y[oi], st.uz[oi], st.w[oi],
+            st.opl[oi], st.maxz[oi], up_rest[out],
+            terminal=True,
+        )
+        st.alive[oi] = False
+        st.w[oi] = 0.0
+
+    # Transmission into the adjacent layer: Snell refraction.
+    inside = transmit & ~exit_rest
+    if np.any(inside):
+        si = ri[inside]
+        ratio = n1[inside] / n2[inside]
+        ci = np.abs(st.uz[si])
+        sin_t2 = ratio * ratio * (1.0 - ci * ci)
+        cos_t = np.sqrt(np.maximum(0.0, 1.0 - sin_t2))
+        st.ux[si] *= ratio
+        st.uy[si] *= ratio
+        st.uz[si] = np.copysign(cos_t, st.uz[si])
+        norm = np.sqrt(st.ux[si] ** 2 + st.uy[si] ** 2 + st.uz[si] ** 2)
+        st.ux[si] /= norm
+        st.uy[si] /= norm
+        st.uz[si] /= norm
+        st.layer[si] = nlay[inside]
+
+
+def _score_escapes(
+    config, tally, gate, detected_flag,
+    gids, ex, ey, euz, ew, eopl, emaxz, going_up,
+    *, terminal: bool,
+) -> None:
+    """Score escaping weight: reflectance/transmittance, detection, gating.
+
+    ``terminal`` marks escapes that end the photon (probabilistic mode);
+    classical-mode partial escapes keep the photon alive and must not be
+    counted in the per-photon penetration histogram.
+    """
+    if terminal:
+        tally.record_penetration(emaxz)
+    up = going_up
+    down = ~going_up
+    if np.any(down):
+        tally.transmittance_weight += float(ew[down].sum())
+    if not np.any(up):
+        return
+
+    tx, ty, tuz = ex[up], ey[up], euz[up]
+    tw, topl, tmaxz = ew[up], eopl[up], emaxz[up]
+    tg = gids[up]
+
+    tally.diffuse_reflectance_weight += float(tw.sum())
+    if tally.reflectance_rho_hist is not None:
+        tally.reflectance_rho_hist.add(np.hypot(tx, ty), tw)
+
+    accepted = config.detector.accepts(tx, ty, tuz)
+    if gate is not None:
+        accepted &= gate.accepts(topl)
+    if not np.any(accepted):
+        return
+
+    tally.detected_count += int(accepted.sum())
+    tally.detected_weight += float(tw[accepted].sum())
+    tally.pathlength.add(topl[accepted], tw[accepted])
+    tally.penetration_depth.add(tmaxz[accepted], tw[accepted])
+    if tally.pathlength_hist is not None:
+        tally.pathlength_hist.add(topl[accepted], tw[accepted])
+    detected_flag[tg[accepted]] = True
+
+
+def _handle_interactions(
+    config, tally, rng, events, st: _State, ii,
+    mu_a_vec, mu_t_vec, g_vec, uniform_g, single_layer,
+) -> None:
+    """Drop (absorb) and spin (scatter) photons at interaction sites.
+
+    This runs every loop iteration and dominates the per-iteration constant,
+    so it avoids helper-function dispatch: the Henyey–Greenstein draw and the
+    direction rotation are inlined with fast paths for the common case of a
+    single layer / uniform anisotropy.  The maths is identical to
+    :func:`repro.core.sampling.sample_hg_cosine` and
+    :func:`repro.core.sampling.rotate_direction` (cross-checked in tests).
+    """
+    m = ii.size
+    wi = st.w[ii]
+    if single_layer:
+        mu_a = mu_a_vec[0]
+        mu_t = mu_t_vec[0]
+        # --- update absorption and photon weight -------------------------------
+        absorbed = wi * (mu_a / mu_t) if mu_t > 0.0 else np.zeros(m)
+        tally.absorbed_by_layer[0] += float(absorbed.sum())
+    else:
+        lay = st.layer[ii]
+        mu_a = mu_a_vec[lay]
+        mu_t = mu_t_vec[lay]
+        absorbed = np.where(mu_t > 0.0, wi * mu_a / np.maximum(mu_t, 1e-300), 0.0)
+        tally.absorbed_by_layer += np.bincount(
+            lay, weights=absorbed, minlength=tally.absorbed_by_layer.size
+        )
+    if tally.absorption_grid is not None:
+        config.records.absorption_grid.deposit(
+            tally.absorption_grid, st.x[ii], st.y[ii], st.z[ii], absorbed
+        )
+    wi = wi - absorbed
+    st.w[ii] = wi
+
+    if events is not None:
+        events.append(st.gid[ii], st.x[ii], st.y[ii], st.z[ii], wi)
+
+    # --- spin: Henyey-Greenstein cos(theta), uniform azimuth --------------------
+    xi = rng.random(m)
+    if uniform_g is not None:
+        g = uniform_g
+        if abs(g) < 1e-12:
+            cos_theta = 2.0 * xi - 1.0
+        else:
+            frac = (1.0 - g * g) / (1.0 - g + 2.0 * g * xi)
+            cos_theta = (1.0 + g * g - frac * frac) / (2.0 * g)
+            np.clip(cos_theta, -1.0, 1.0, out=cos_theta)
+    else:
+        g = g_vec[st.layer[ii]]
+        frac = (1.0 - g * g) / (1.0 - g + 2.0 * g * xi)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos_theta = (1.0 + g * g - frac * frac) / (2.0 * g)
+        iso = np.abs(g) < 1e-12
+        if iso.any():
+            cos_theta[iso] = 2.0 * xi[iso] - 1.0
+        np.clip(cos_theta, -1.0, 1.0, out=cos_theta)
+    psi = rng.random(m)
+    psi *= 2.0 * np.pi
+
+    ux, uy, uz = st.ux[ii], st.uy[ii], st.uz[ii]
+    sin_theta = np.sqrt(1.0 - cos_theta * cos_theta)
+    cos_psi = np.cos(psi)
+    sin_psi = np.sin(psi)
+    uz2 = uz * uz
+    denom = np.sqrt(np.maximum(1.0 - uz2, 1e-300))
+    sc = sin_theta * cos_psi
+    ss = sin_theta * sin_psi
+    nux = (ux * uz * sc - uy * ss) / denom + ux * cos_theta
+    nuy = (uy * uz * sc + ux * ss) / denom + uy * cos_theta
+    nuz = -denom * sc + uz * cos_theta
+    vertical = uz2 >= _VERTICAL_EPS2
+    if vertical.any():
+        sign = np.sign(uz[vertical])
+        nux[vertical] = sc[vertical]
+        nuy[vertical] = sign * ss[vertical]
+        nuz[vertical] = sign * cos_theta[vertical]
+    norm = np.sqrt(nux * nux + nuy * nuy + nuz * nuz)
+    st.ux[ii] = nux / norm
+    st.uy[ii] = nuy / norm
+    st.uz[ii] = nuz / norm
+
+    # --- if weight too small: survive roulette ----------------------------------
+    small = wi < config.roulette.threshold
+    if small.any():
+        cand = ii[small]
+        survive = rng.random(cand.size) < (1.0 / config.roulette.boost)
+        winners = cand[survive]
+        losers = cand[~survive]
+        if winners.size:
+            boost = config.roulette.boost
+            tally.roulette_net_weight += float(st.w[winners].sum()) * (boost - 1.0)
+            st.w[winners] *= boost
+        if losers.size:
+            tally.roulette_net_weight -= float(st.w[losers].sum())
+            st.w[losers] = 0.0
+            st.alive[losers] = False
+            tally.record_penetration(st.maxz[losers])

@@ -1,0 +1,162 @@
+"""Surface detectors (optodes).
+
+A detector decides whether a photon escaping through the top surface
+(z = 0) is scored — the "if photon passed through detector: save path and
+end" branch of the paper's Fig. 1 pseudocode.  Detectors see the escape
+position and direction; time/pathlength gating is applied separately
+(:mod:`repro.detect.gating`) so the same geometry can be reused gated and
+ungated.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Detector", "DiscDetector", "AnnularDetector", "AcceptAll"]
+
+
+class Detector(abc.ABC):
+    """Abstract surface detector on the z = 0 plane."""
+
+    @abc.abstractmethod
+    def accepts(
+        self, x: np.ndarray, y: np.ndarray, uz: np.ndarray
+    ) -> np.ndarray:
+        """Boolean mask of escaping photons the detector accepts.
+
+        Parameters
+        ----------
+        x, y:
+            Escape positions on the surface (mm).
+        uz:
+            z direction cosine at escape (negative: photon travels upward,
+            out of the tissue).
+        """
+
+    @staticmethod
+    def _check_na(numerical_aperture: float) -> float:
+        if not 0.0 < numerical_aperture <= 1.0:
+            raise ValueError(
+                f"numerical_aperture must lie in (0, 1], got {numerical_aperture}"
+            )
+        return float(numerical_aperture)
+
+    def _within_acceptance(self, uz: np.ndarray, numerical_aperture: float) -> np.ndarray:
+        """Photons whose exit direction falls inside the acceptance cone.
+
+        For an exit direction with z-cosine ``uz`` (< 0 going up), the angle
+        from the surface normal has ``|cos| = |uz|``; acceptance requires
+        ``sin(exit angle) <= NA`` i.e. ``|uz| >= sqrt(1 - NA^2)``.
+        """
+        min_cos = np.sqrt(max(0.0, 1.0 - numerical_aperture**2))
+        return np.abs(uz) >= min_cos
+
+
+class DiscDetector(Detector):
+    """Circular detector of radius ``radius`` centred at ``(x0, y0)``.
+
+    Models a fibre/optode face a distance ``spacing = hypot(x0, y0)`` from a
+    source at the origin — the "source/detector spacing" of the paper's
+    NIRS discussion (20–60 mm interoptode distances).
+    """
+
+    def __init__(
+        self,
+        x0: float,
+        y0: float,
+        radius: float,
+        *,
+        numerical_aperture: float = 1.0,
+    ) -> None:
+        if radius <= 0:
+            raise ValueError(f"radius must be > 0, got {radius}")
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self.radius = float(radius)
+        self.numerical_aperture = self._check_na(numerical_aperture)
+
+    @property
+    def spacing_from_origin(self) -> float:
+        """Distance from the coordinate origin (where sources default) in mm."""
+        return float(np.hypot(self.x0, self.y0))
+
+    def accepts(self, x: np.ndarray, y: np.ndarray, uz: np.ndarray) -> np.ndarray:
+        dx = np.asarray(x) - self.x0
+        dy = np.asarray(y) - self.y0
+        inside = dx * dx + dy * dy <= self.radius * self.radius
+        return inside & self._within_acceptance(np.asarray(uz), self.numerical_aperture)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DiscDetector(x0={self.x0}, y0={self.y0}, radius={self.radius}, "
+            f"numerical_aperture={self.numerical_aperture})"
+        )
+
+
+class AnnularDetector(Detector):
+    """Annular (ring) detector centred on the source axis.
+
+    Accepts photons escaping at radial distance rho in
+    [``rho_min``, ``rho_max``) from ``(x0, y0)``.  The standard geometry for
+    radially resolved reflectance R(rho) and for azimuthally symmetric
+    sensitivity profiles: the ring aggregates all azimuths, improving
+    statistics at no modelling cost for a pencil beam.
+    """
+
+    def __init__(
+        self,
+        rho_min: float,
+        rho_max: float,
+        x0: float = 0.0,
+        y0: float = 0.0,
+        *,
+        numerical_aperture: float = 1.0,
+    ) -> None:
+        if rho_min < 0:
+            raise ValueError(f"rho_min must be >= 0, got {rho_min}")
+        if rho_max <= rho_min:
+            raise ValueError(f"need rho_max > rho_min, got [{rho_min}, {rho_max})")
+        self.rho_min = float(rho_min)
+        self.rho_max = float(rho_max)
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self.numerical_aperture = self._check_na(numerical_aperture)
+
+    @property
+    def mean_radius(self) -> float:
+        """Mid-radius of the annulus (the nominal source–detector spacing)."""
+        return 0.5 * (self.rho_min + self.rho_max)
+
+    @property
+    def area(self) -> float:
+        """Collection area in mm² (for converting weight to reflectance/mm²)."""
+        return float(np.pi * (self.rho_max**2 - self.rho_min**2))
+
+    def accepts(self, x: np.ndarray, y: np.ndarray, uz: np.ndarray) -> np.ndarray:
+        dx = np.asarray(x) - self.x0
+        dy = np.asarray(y) - self.y0
+        rho2 = dx * dx + dy * dy
+        inside = (rho2 >= self.rho_min**2) & (rho2 < self.rho_max**2)
+        return inside & self._within_acceptance(np.asarray(uz), self.numerical_aperture)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AnnularDetector(rho_min={self.rho_min}, rho_max={self.rho_max}, "
+            f"x0={self.x0}, y0={self.y0}, numerical_aperture={self.numerical_aperture})"
+        )
+
+
+class AcceptAll(Detector):
+    """Detector covering the whole top surface (every escaping photon scores).
+
+    Useful for total-diffuse-reflectance validation runs where the quantity
+    of interest is the energy balance rather than an optode geometry.
+    """
+
+    def accepts(self, x: np.ndarray, y: np.ndarray, uz: np.ndarray) -> np.ndarray:
+        return np.ones(np.broadcast(x, y, uz).shape, dtype=bool)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "AcceptAll()"

@@ -1,0 +1,294 @@
+"""Result-recording primitives: voxel grids and mergeable running statistics.
+
+The paper's application offers "user defined granularity of results": photon
+paths and absorbed energy are accumulated on a regular 3-D voxel grid whose
+resolution the user chooses (Fig. 3 uses granularity 50³).  ``GridSpec``
+describes such a grid and provides the vectorised world→voxel mapping; the
+actual accumulation arrays live in the tallies so they can be merged across
+distributed workers by plain addition.
+
+``RunningStat`` is a mergeable first/second-moment accumulator used for the
+differential-pathlength and penetration-depth statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GridSpec", "RunningStat", "Histogram"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A regular 3-D voxel grid over an axis-aligned box.
+
+    Attributes
+    ----------
+    shape:
+        Number of voxels along (x, y, z) — the paper's "granularity".
+        Fig. 3 uses (50, 50, 50).
+    lo, hi:
+        Box corners in mm; ``lo < hi`` component-wise.
+    """
+
+    shape: tuple[int, int, int]
+    lo: tuple[float, float, float]
+    hi: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(s <= 0 for s in self.shape):
+            raise ValueError(f"shape must be three positive ints, got {self.shape}")
+        if any(h <= l for l, h in zip(self.lo, self.hi)):
+            raise ValueError(f"need lo < hi component-wise, got lo={self.lo} hi={self.hi}")
+
+    @classmethod
+    def cube(cls, granularity: int, half_extent: float, depth: float) -> "GridSpec":
+        """Grid of ``granularity``³ voxels centred on the beam axis.
+
+        Covers x, y in [-half_extent, +half_extent] and z in [0, depth] —
+        the natural frame for the paper's surface-launched experiments.
+        """
+        if granularity <= 0:
+            raise ValueError(f"granularity must be > 0, got {granularity}")
+        if half_extent <= 0 or depth <= 0:
+            raise ValueError("half_extent and depth must be > 0")
+        return cls(
+            shape=(granularity, granularity, granularity),
+            lo=(-half_extent, -half_extent, 0.0),
+            hi=(half_extent, half_extent, depth),
+        )
+
+    @classmethod
+    def banana_box(
+        cls,
+        granularity: int,
+        spacing: float,
+        *,
+        margin: float = 2.0,
+        depth: float | None = None,
+        y_halfwidth: float | None = None,
+    ) -> "GridSpec":
+        """Grid framing a source-detector pair for Fig. 3 style profiles.
+
+        Covers x in [-margin, spacing + margin] (source at x = 0, detector
+        at x = spacing), y in [-y_halfwidth, +y_halfwidth] and z in
+        [0, depth].  Defaults scale with the optode spacing: depth equal to
+        the spacing + margin (bananas peak near spacing/2), y half-width
+        equal to half the spacing.
+        """
+        if granularity <= 0:
+            raise ValueError(f"granularity must be > 0, got {granularity}")
+        if spacing <= 0:
+            raise ValueError(f"spacing must be > 0, got {spacing}")
+        if margin < 0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        depth = depth if depth is not None else spacing + margin
+        y_half = y_halfwidth if y_halfwidth is not None else max(0.5 * spacing, margin)
+        return cls(
+            shape=(granularity, granularity, granularity),
+            lo=(-margin, -y_half, 0.0),
+            hi=(spacing + margin, y_half, depth),
+        )
+
+    @property
+    def voxel_size(self) -> tuple[float, float, float]:
+        """Edge lengths of one voxel (mm)."""
+        return tuple(
+            (h - l) / s for l, h, s in zip(self.lo, self.hi, self.shape)
+        )  # type: ignore[return-value]
+
+    @property
+    def voxel_volume(self) -> float:
+        """Volume of one voxel (mm³)."""
+        dx, dy, dz = self.voxel_size
+        return dx * dy * dz
+
+    @property
+    def n_voxels(self) -> int:
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    def zeros(self) -> np.ndarray:
+        """A fresh accumulation array for this grid."""
+        return np.zeros(self.shape, dtype=np.float64)
+
+    def axis_centres(self, axis: int) -> np.ndarray:
+        """Voxel-centre coordinates along ``axis`` (0=x, 1=y, 2=z), in mm."""
+        n = self.shape[axis]
+        lo = self.lo[axis]
+        hi = self.hi[axis]
+        edges = np.linspace(lo, hi, n + 1)
+        return 0.5 * (edges[:-1] + edges[1:])
+
+    def world_to_index(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map world points to flat voxel indices.
+
+        Returns
+        -------
+        flat_index:
+            int64 array of flattened (C-order) voxel indices; undefined where
+            ``inside`` is False.
+        inside:
+            Boolean mask of points that fall inside the grid box.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        z = np.asarray(z, dtype=np.float64)
+        nx, ny, nz = self.shape
+        # Insideness is defined on the coordinates themselves (half-open
+        # box), then indices are clipped into range: this keeps points an
+        # epsilon inside a face from rounding to an out-of-range voxel.
+        inside = (
+            (x >= self.lo[0]) & (x < self.hi[0])
+            & (y >= self.lo[1]) & (y < self.hi[1])
+            & (z >= self.lo[2]) & (z < self.hi[2])
+        )
+        fx = (x - self.lo[0]) / (self.hi[0] - self.lo[0]) * nx
+        fy = (y - self.lo[1]) / (self.hi[1] - self.lo[1]) * ny
+        fz = (z - self.lo[2]) / (self.hi[2] - self.lo[2]) * nz
+        ix = np.clip(np.floor(fx).astype(np.int64), 0, nx - 1)
+        iy = np.clip(np.floor(fy).astype(np.int64), 0, ny - 1)
+        iz = np.clip(np.floor(fz).astype(np.int64), 0, nz - 1)
+        flat = (ix * ny + iy) * nz + iz
+        return flat, inside
+
+    def deposit(
+        self,
+        grid: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+        weight: np.ndarray,
+    ) -> None:
+        """Accumulate ``weight`` into ``grid`` at world points, in place.
+
+        Points outside the box are silently dropped (the grid is a window
+        onto an infinite slab).  Uses ``np.add.at`` so repeated indices
+        accumulate correctly.
+        """
+        if grid.shape != self.shape:
+            raise ValueError(f"grid shape {grid.shape} != spec shape {self.shape}")
+        flat, inside = self.world_to_index(x, y, z)
+        if not np.any(inside):
+            return
+        w = np.broadcast_to(np.asarray(weight, dtype=np.float64), flat.shape)
+        np.add.at(grid.reshape(-1), flat[inside], w[inside])
+
+
+@dataclass
+class RunningStat:
+    """Mergeable running first/second-moment accumulator.
+
+    Supports exact merging across workers (all fields are sums or extrema),
+    which is what lets the ``DataManager`` combine pathlength statistics
+    from independent tasks without storing per-photon data.
+    """
+
+    count: float = 0.0
+    weight: float = 0.0
+    weighted_sum: float = 0.0
+    weighted_sumsq: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, values: np.ndarray, weights: np.ndarray | float = 1.0) -> None:
+        """Accumulate weighted samples."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        w = np.broadcast_to(np.asarray(weights, dtype=np.float64), values.shape)
+        self.count += float(values.size)
+        self.weight += float(w.sum())
+        self.weighted_sum += float((w * values).sum())
+        self.weighted_sumsq += float((w * values * values).sum())
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Exact merge of two accumulators (returns a new one)."""
+        return RunningStat(
+            count=self.count + other.count,
+            weight=self.weight + other.weight,
+            weighted_sum=self.weighted_sum + other.weighted_sum,
+            weighted_sumsq=self.weighted_sumsq + other.weighted_sumsq,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean (NaN when empty)."""
+        return self.weighted_sum / self.weight if self.weight > 0 else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Weighted population variance (NaN when empty)."""
+        if self.weight <= 0:
+            return math.nan
+        m = self.mean
+        return max(0.0, self.weighted_sumsq / self.weight - m * m)
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan  # NaN-propagating sqrt
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin weighted histogram, mergeable by addition.
+
+    Used for the gated differential-pathlength distributions: bin edges are
+    decided up front (from the gate window), every worker fills the same
+    bins, and merging is element-wise addition.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.edges = np.asarray(self.edges, dtype=np.float64)
+        if self.edges.ndim != 1 or self.edges.size < 2:
+            raise ValueError("edges must be a 1-D array with >= 2 entries")
+        if np.any(np.diff(self.edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if self.counts is None:
+            self.counts = np.zeros(self.edges.size - 1, dtype=np.float64)
+        else:
+            self.counts = np.asarray(self.counts, dtype=np.float64)
+            if self.counts.shape != (self.edges.size - 1,):
+                raise ValueError("counts shape does not match edges")
+
+    @classmethod
+    def linear(cls, lo: float, hi: float, n_bins: int) -> "Histogram":
+        if n_bins <= 0:
+            raise ValueError(f"n_bins must be > 0, got {n_bins}")
+        if hi <= lo:
+            raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+        return cls(edges=np.linspace(lo, hi, n_bins + 1))
+
+    def add(self, values: np.ndarray, weights: np.ndarray | float = 1.0) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        w = np.broadcast_to(np.asarray(weights, dtype=np.float64), values.shape)
+        binned, _ = np.histogram(values, bins=self.edges, weights=w)
+        self.counts += binned
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("cannot merge histograms with different bin edges")
+        return Histogram(edges=self.edges, counts=self.counts + other.counts)
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def centres(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])

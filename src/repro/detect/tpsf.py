@@ -1,0 +1,71 @@
+"""Temporal point spread functions (TPSF) from pathlength histograms.
+
+A time-of-flight NIRS instrument measures the distribution of photon
+arrival times — the TPSF.  Our kernels record detected *optical
+pathlengths*; time of flight is pathlength over the vacuum speed of light
+(the refractive index is folded into the optical pathlength), so the
+recorded pathlength histogram *is* the TPSF up to a change of axis.
+
+The TPSF is what the paper's gated mode slices: a gate [t0, t1) keeps the
+corresponding TPSF band.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..tissue.optical import SPEED_OF_LIGHT_MM_PER_NS
+
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> detect import cycle
+    from ..core.tally import Tally
+
+__all__ = ["tpsf", "tpsf_moments"]
+
+
+def tpsf(tally: Tally) -> tuple[np.ndarray, np.ndarray]:
+    """Detected-photon TPSF from the tally's pathlength histogram.
+
+    Returns
+    -------
+    t:
+        Bin-centre arrival times in ns.
+    intensity:
+        Detected weight per launched photon per ns in each bin (so the
+        curve integrates to the detected weight fraction).
+    """
+    hist = tally.pathlength_hist
+    if hist is None:
+        raise ValueError("tally has no pathlength histogram; set pathlength_bins")
+    if tally.n_launched == 0:
+        raise ValueError("tally is empty")
+    t = hist.centres / SPEED_OF_LIGHT_MM_PER_NS
+    dt = np.diff(hist.edges) / SPEED_OF_LIGHT_MM_PER_NS
+    return t, hist.counts / (dt * tally.n_launched)
+
+
+def tpsf_moments(tally: Tally) -> dict[str, float]:
+    """Mean time of flight and temporal spread of the TPSF.
+
+    Returns ``{"mean_ns", "std_ns", "total_weight_fraction"}``; the moments
+    are weight-averaged over the histogram (NaN when nothing was detected).
+    """
+    hist = tally.pathlength_hist
+    if hist is None:
+        raise ValueError("tally has no pathlength histogram; set pathlength_bins")
+    total = hist.total
+    if total <= 0:
+        return {
+            "mean_ns": float("nan"),
+            "std_ns": float("nan"),
+            "total_weight_fraction": 0.0,
+        }
+    t = hist.centres / SPEED_OF_LIGHT_MM_PER_NS
+    mean = float((t * hist.counts).sum() / total)
+    var = float(((t - mean) ** 2 * hist.counts).sum() / total)
+    return {
+        "mean_ns": mean,
+        "std_ns": float(np.sqrt(var)),
+        "total_weight_fraction": total / tally.n_launched if tally.n_launched else 0.0,
+    }

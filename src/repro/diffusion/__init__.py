@@ -1,0 +1,21 @@
+"""Diffusion-approximation analytic baselines (validation of the MC engine)."""
+
+from .theory import (
+    dpf_theory,
+    extrapolation_distance,
+    fluence_infinite,
+    internal_reflection_parameter,
+    mean_time_of_flight_theory,
+    reflectance_farrell,
+    reflectance_time_resolved,
+)
+
+__all__ = [
+    "dpf_theory",
+    "extrapolation_distance",
+    "fluence_infinite",
+    "internal_reflection_parameter",
+    "mean_time_of_flight_theory",
+    "reflectance_farrell",
+    "reflectance_time_resolved",
+]

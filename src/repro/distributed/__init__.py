@@ -1,0 +1,33 @@
+"""Master-worker distributed platform (the paper's DataManager/Algorithm)."""
+
+from .backends import Backend, MultiprocessingBackend, SerialBackend, ThreadBackend
+from .campaign import Campaign, Experiment
+from .datamanager import DataManager, RunReport, TaskFailedError
+from .faults import FaultInjector, WorkerCrash
+from .net import NetworkServer, recv_message, run_network_client, send_message
+from .protocol import TaskResult, TaskSpec, decode, encode
+from .worker import execute_task, worker_identity
+
+__all__ = [
+    "Backend",
+    "Campaign",
+    "DataManager",
+    "Experiment",
+    "FaultInjector",
+    "MultiprocessingBackend",
+    "NetworkServer",
+    "RunReport",
+    "SerialBackend",
+    "TaskFailedError",
+    "TaskResult",
+    "TaskSpec",
+    "ThreadBackend",
+    "WorkerCrash",
+    "decode",
+    "encode",
+    "recv_message",
+    "run_network_client",
+    "send_message",
+    "execute_task",
+    "worker_identity",
+]

@@ -1,0 +1,111 @@
+"""Execution backends for the distributed platform.
+
+The paper ran its clients as Java processes on non-dedicated PCs.  Here a
+*backend* is anything that can execute ``fn(*args)`` calls concurrently and
+hand back futures:
+
+* :class:`SerialBackend` — same thread, for tests and as the ground truth
+  the distributed results must equal bit-for-bit;
+* :class:`ThreadBackend` — a thread pool; concurrency without process
+  startup cost (the GIL serialises NumPy dispatch but C inner loops
+  release it);
+* :class:`MultiprocessingBackend` — a process pool; true parallelism on
+  multi-core hosts, the closest local analogue of the paper's cluster.
+
+Backends deliberately expose only ``submit`` / ``shutdown`` /
+``max_workers`` — the :class:`~repro.distributed.datamanager.DataManager`
+implements scheduling, retries and merging on top, so scheduling policy is
+identical across backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+__all__ = ["Backend", "SerialBackend", "ThreadBackend", "MultiprocessingBackend"]
+
+
+class Backend(abc.ABC):
+    """Minimal executor interface used by the DataManager."""
+
+    @property
+    @abc.abstractmethod
+    def max_workers(self) -> int:
+        """Number of concurrent workers the backend can run."""
+
+    @abc.abstractmethod
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; return a future of its result."""
+
+    def shutdown(self) -> None:
+        """Release resources; the backend must not be used afterwards."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class SerialBackend(Backend):
+    """Run every task inline on the calling thread.
+
+    The single-processor baseline P1 of the paper's speedup definition, and
+    the reference a distributed run must reproduce exactly.
+    """
+
+    @property
+    def max_workers(self) -> int:
+        return 1
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+
+class ThreadBackend(Backend):
+    """Thread-pool backend."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be > 0, got {n_workers}")
+        self._n = n_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="mc-worker"
+        )
+
+    @property
+    def max_workers(self) -> int:
+        return self._n
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class MultiprocessingBackend(Backend):
+    """Process-pool backend (true parallelism across cores)."""
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be > 0, got {n_workers}")
+        self._n = n_workers
+        self._pool = ProcessPoolExecutor(max_workers=n_workers)
+
+    @property
+    def max_workers(self) -> int:
+        return self._n
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)

@@ -1,0 +1,196 @@
+"""The DataManager — server side of the distributed platform.
+
+Mirrors the paper's architecture: the DataManager "assigns simulations to
+client PCs and processes the returned results".  Concretely it
+
+1. splits the photon budget into fixed-size tasks with the canonical
+   decomposition (:func:`repro.core.simulation.split_photons`), so the
+   distributed result is bit-identical to a serial run of the same
+   decomposition;
+2. keeps at most ``max_workers`` tasks in flight and hands a new task to
+   whichever worker finishes first (pull-based *self-scheduling*, the
+   policy that yields the paper's near-linear speedup on heterogeneous,
+   non-dedicated machines);
+3. retries failed tasks up to ``max_retries`` times (non-dedicated clients
+   vanish; see :mod:`repro.distributed.faults`);
+4. merges the returned tallies and produces a :class:`RunReport` with
+   per-worker utilisation.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import SimulationConfig
+from ..core.simulation import KernelName, split_photons
+from ..core.tally import Tally
+from .backends import Backend
+from .protocol import TaskResult, TaskSpec
+from .worker import execute_task
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["DataManager", "RunReport", "TaskFailedError"]
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget."""
+
+    def __init__(self, task: TaskSpec, attempts: int, last_error: BaseException):
+        super().__init__(
+            f"task {task.task_index} failed after {attempts} attempts: {last_error!r}"
+        )
+        self.task = task
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass
+class RunReport:
+    """Outcome of a distributed run.
+
+    Attributes
+    ----------
+    tally:
+        The merged physics result.
+    task_results:
+        Per-task results in task order.
+    wall_seconds:
+        End-to-end time observed by the DataManager.
+    retries:
+        Total failed attempts that were retried.
+    """
+
+    tally: Tally
+    task_results: list[TaskResult]
+    wall_seconds: float
+    retries: int = 0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_results)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker compute time across all tasks."""
+        return sum(r.elapsed_seconds for r in self.task_results)
+
+    def per_worker(self) -> dict[str, dict[str, float]]:
+        """Utilisation summary keyed by worker id."""
+        out: dict[str, dict[str, float]] = {}
+        for r in self.task_results:
+            row = out.setdefault(r.worker_id, {"tasks": 0.0, "busy_seconds": 0.0, "photons": 0.0})
+            row["tasks"] += 1.0
+            row["busy_seconds"] += r.elapsed_seconds
+            row["photons"] += float(r.tally.n_launched)
+        return out
+
+
+@dataclass
+class DataManager:
+    """Server-side orchestrator of one distributed experiment.
+
+    Parameters
+    ----------
+    config:
+        The experiment every task runs.
+    n_photons:
+        Total photon budget.
+    seed:
+        Experiment seed (combined with task indices for RNG streams).
+    task_size:
+        Photons per task — the self-scheduling chunk size.  Smaller tasks
+        balance load better but pay more per-task overhead; the paper's
+        97 %-efficiency point is a chunk-size trade-off, explored in
+        ``benchmarks/bench_ablation_chunksize.py``.
+    kernel:
+        Kernel the clients run.
+    max_retries:
+        Additional attempts allowed per task after a failure.
+    task_runner:
+        The client entry point; replaceable for fault injection.  Must be
+        picklable for the multiprocessing backend.
+    progress:
+        Optional callback ``(done_tasks, total_tasks) -> None``.
+    """
+
+    config: SimulationConfig
+    n_photons: int
+    seed: int = 0
+    task_size: int = 100_000
+    kernel: KernelName = "vector"
+    max_retries: int = 2
+    task_runner: Callable[..., TaskResult] = execute_task
+    progress: Callable[[int, int], None] | None = None
+    _retries: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_photons < 0:
+            raise ValueError(f"n_photons must be >= 0, got {self.n_photons}")
+        if self.task_size <= 0:
+            raise ValueError(f"task_size must be > 0, got {self.task_size}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def tasks(self) -> list[TaskSpec]:
+        """The canonical task decomposition of this experiment."""
+        return [
+            TaskSpec(task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel)
+            for i, count in enumerate(split_photons(self.n_photons, self.task_size))
+        ]
+
+    def run(self, backend: Backend) -> RunReport:
+        """Execute the experiment on ``backend`` and merge the results."""
+        start = time.perf_counter()
+        tasks = self.tasks()
+        self._retries = 0
+        if not tasks:
+            empty = Tally(n_layers=len(self.config.stack), records=self.config.records)
+            return RunReport(tally=empty, task_results=[], wall_seconds=0.0)
+
+        queue: deque[tuple[TaskSpec, int]] = deque((t, 1) for t in tasks)
+        in_flight: dict[Future, tuple[TaskSpec, int]] = {}
+        results: dict[int, TaskResult] = {}
+
+        def fill() -> None:
+            while queue and len(in_flight) < backend.max_workers:
+                task, attempt = queue.popleft()
+                fut = backend.submit(self.task_runner, self.config, task, attempt=attempt)
+                in_flight[fut] = (task, attempt)
+
+        fill()
+        while in_flight:
+            done, _pending = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            for fut in done:
+                task, attempt = in_flight.pop(fut)
+                error = fut.exception()
+                if error is None:
+                    results[task.task_index] = fut.result()
+                    if self.progress is not None:
+                        self.progress(len(results), len(tasks))
+                else:
+                    if attempt > self.max_retries:
+                        for other in in_flight:
+                            other.cancel()
+                        raise TaskFailedError(task, attempt, error)
+                    self._retries += 1
+                    logger.info(
+                        "task %d failed (%r); retrying (attempt %d)",
+                        task.task_index, error, attempt + 1,
+                    )
+                    queue.append((task, attempt + 1))
+            fill()
+
+        ordered = [results[i] for i in range(len(tasks))]
+        tally = Tally.merge_all([r.tally for r in ordered])
+        return RunReport(
+            tally=tally,
+            task_results=ordered,
+            wall_seconds=time.perf_counter() - start,
+            retries=self._retries,
+        )

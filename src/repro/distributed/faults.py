@@ -1,0 +1,75 @@
+"""Fault injection for the distributed platform.
+
+The paper's clients were *non-dedicated* PCs: they could disappear, slow
+down or be reclaimed by their owners at any time, so the DataManager must
+survive task failures.  ``FaultInjector`` wraps the worker entry point and
+makes tasks fail deterministically (by task index) or stochastically (with
+a seeded probability), letting the tests exercise the DataManager's retry
+and reassignment logic without a flaky real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import SimulationConfig
+from .protocol import TaskResult, TaskSpec
+from .worker import execute_task
+
+__all__ = ["WorkerCrash", "FaultInjector"]
+
+
+class WorkerCrash(RuntimeError):
+    """Raised by an injected fault, standing in for a vanished client PC."""
+
+
+@dataclass
+class FaultInjector:
+    """Callable wrapper around :func:`~repro.distributed.worker.execute_task`.
+
+    Parameters
+    ----------
+    fail_probability:
+        Chance that any given execution attempt crashes.  Drawn from a
+        dedicated seeded generator so tests are reproducible.
+    fail_tasks_once:
+        Task indices whose *first* attempt always crashes (retries then
+        succeed) — the deterministic reassignment scenario.
+    fail_tasks_always:
+        Task indices that crash on every attempt — the permanently lost
+        client scenario (the DataManager must eventually give up).
+    seed:
+        Seed of the fault stream (independent of the physics streams).
+    """
+
+    fail_probability: float = 0.0
+    fail_tasks_once: frozenset[int] = frozenset()
+    fail_tasks_always: frozenset[int] = frozenset()
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _seen: set[int] = field(init=False, repr=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_probability < 1.0:
+            raise ValueError(
+                f"fail_probability must lie in [0, 1), got {self.fail_probability}"
+            )
+        self.fail_tasks_once = frozenset(self.fail_tasks_once)
+        self.fail_tasks_always = frozenset(self.fail_tasks_always)
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(
+        self, config: SimulationConfig, task: TaskSpec, *, attempt: int = 1
+    ) -> TaskResult:
+        if task.task_index in self.fail_tasks_always:
+            raise WorkerCrash(f"task {task.task_index} permanently failing (injected)")
+        if task.task_index in self.fail_tasks_once and task.task_index not in self._seen:
+            self._seen.add(task.task_index)
+            raise WorkerCrash(f"task {task.task_index} first attempt failed (injected)")
+        if self.fail_probability > 0.0 and self._rng.random() < self.fail_probability:
+            raise WorkerCrash(
+                f"task {task.task_index} attempt {attempt} crashed (injected)"
+            )
+        return execute_task(config, task, attempt=attempt)

@@ -1,0 +1,284 @@
+"""TCP network mode: DataManager as a real server, Algorithm as a client.
+
+The paper's platform ran the DataManager "on the server" with client PCs
+connecting over the campus network ("All the clients connected to a
+dedicated server running Linux...").  The in-process backends of
+:mod:`repro.distributed.backends` prove the scheduling logic; this module
+provides the actual wire deployment: a threaded TCP server that hands
+photon-batch tasks to any number of connecting clients, merges their
+results, survives client disconnects by reassigning the lost tasks, and
+reports the same :class:`~repro.distributed.datamanager.RunReport`.
+
+Wire protocol (length-prefixed pickles, trusted-network only — exactly the
+trust model of the paper's Java serialisation):
+
+    client -> server   {"type": "hello", "worker": str}
+    server -> client   {"type": "session", "config": ..., "kernel": ...}
+    client -> server   {"type": "next"}                           ┐
+    server -> client   {"type": "task", "task": TaskSpec,         │ repeats
+                        "attempt": int} | {"type": "done"}        │
+    client -> server   {"type": "result", "result": TaskResult}   ┘
+
+The pull ("next") step makes departures unambiguous: a client that closes
+instead of pulling owes the server nothing; only a connection lost between
+task dispatch and result delivery triggers reassignment.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.config import SimulationConfig
+from ..core.simulation import KernelName, split_photons
+from ..core.tally import Tally
+from .datamanager import RunReport
+from .protocol import TaskResult, TaskSpec
+from .worker import execute_task
+
+__all__ = ["send_message", "recv_message", "NetworkServer", "run_network_client"]
+
+logger = logging.getLogger(__name__)
+
+_LENGTH = struct.Struct(">Q")
+
+#: Refuse messages above this size (corrupt length prefix guard).
+_MAX_MESSAGE = 1 << 30
+
+
+def send_message(sock: socket.socket, obj) -> None:
+    """Send one length-prefixed pickled message."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket):
+    """Receive one length-prefixed pickled message."""
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    if length > _MAX_MESSAGE:
+        raise ValueError(f"message of {length} bytes exceeds the {_MAX_MESSAGE} cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+@dataclass
+class NetworkServer:
+    """The DataManager as a TCP server.
+
+    Parameters mirror :class:`~repro.distributed.datamanager.DataManager`;
+    ``host``/``port`` choose the listening endpoint (port 0 picks a free
+    port, exposed as :attr:`port` after :meth:`start`).
+
+    Usage::
+
+        server = NetworkServer(config, n_photons=10**6, task_size=10**4)
+        server.start()
+        ... point clients at server.port ...
+        report = server.wait(timeout=3600)
+    """
+
+    config: SimulationConfig
+    n_photons: int
+    seed: int = 0
+    task_size: int = 100_000
+    kernel: KernelName = "vector"
+    max_retries: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    _listener: socket.socket | None = field(init=False, default=None)
+    _threads: list[threading.Thread] = field(init=False, default_factory=list)
+    _queue: "queue.Queue[tuple[TaskSpec, int]]" = field(init=False, default=None)
+    _lock: threading.Lock = field(init=False, default_factory=threading.Lock)
+    _results: dict[int, TaskResult] = field(init=False, default_factory=dict)
+    _retries: int = field(init=False, default=0)
+    _failure: BaseException | None = field(init=False, default=None)
+    _complete: threading.Event = field(init=False, default_factory=threading.Event)
+    _started_at: float = field(init=False, default=0.0)
+    _n_tasks: int = field(init=False, default=0)
+
+    def start(self) -> "NetworkServer":
+        """Bind, listen and start accepting clients (returns self)."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        tasks = [
+            TaskSpec(task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel)
+            for i, count in enumerate(split_photons(self.n_photons, self.task_size))
+        ]
+        self._n_tasks = len(tasks)
+        self._queue = queue.Queue()
+        for task in tasks:
+            self._queue.put((task, 1))
+        if not tasks:
+            self._complete.set()
+
+        self._listener = socket.create_server((self.host, self.port))
+        self.port = self._listener.getsockname()[1]
+        self._started_at = time.perf_counter()
+        acceptor = threading.Thread(target=self._accept_loop, daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._complete.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            handler = threading.Thread(
+                target=self._serve_client, args=(conn,), daemon=True
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        in_flight: tuple[TaskSpec, int] | None = None
+        try:
+            with conn:
+                hello = recv_message(conn)
+                if hello.get("type") != "hello":
+                    raise ValueError(f"expected hello, got {hello!r}")
+                send_message(
+                    conn,
+                    {"type": "session", "config": self.config, "kernel": self.kernel},
+                )
+
+                while True:
+                    pull = recv_message(conn)
+                    if pull.get("type") != "next":
+                        raise ValueError(f"expected next, got {pull!r}")
+                    task = None
+                    while task is None:
+                        try:
+                            task, attempt = self._queue.get_nowait()
+                        except queue.Empty:
+                            if self._complete.is_set() or self._all_merged():
+                                send_message(conn, {"type": "done"})
+                                return
+                            time.sleep(0.01)  # tasks may be re-queued by failures
+                    in_flight = (task, attempt)
+                    send_message(conn, {"type": "task", "task": task, "attempt": attempt})
+                    reply = recv_message(conn)
+                    if reply.get("type") != "result":
+                        raise ValueError(f"expected result, got {reply!r}")
+                    result: TaskResult = reply["result"]
+                    in_flight = None
+                    with self._lock:
+                        self._results[result.task_index] = result
+                        if len(self._results) == self._n_tasks:
+                            self._complete.set()
+        except BaseException as error:  # noqa: BLE001 - client vanished
+            logger.warning("client connection ended: %r", error)
+            if in_flight is not None:
+                task, attempt = in_flight
+                with self._lock:
+                    if attempt > self.max_retries:
+                        self._failure = error
+                        self._complete.set()
+                    else:
+                        self._retries += 1
+                        logger.info(
+                            "reassigning task %d (attempt %d)",
+                            task.task_index, attempt + 1,
+                        )
+                        self._queue.put((task, attempt + 1))
+
+    def _all_merged(self) -> bool:
+        with self._lock:
+            return len(self._results) == self._n_tasks
+
+    def wait(self, timeout: float | None = None) -> RunReport:
+        """Block until every task is merged; return the report."""
+        if not self._complete.wait(timeout):
+            raise TimeoutError(f"distributed run incomplete after {timeout}s")
+        self.close()
+        if self._failure is not None:
+            raise RuntimeError(
+                "a task exhausted its retry budget"
+            ) from self._failure
+        ordered = [self._results[i] for i in range(self._n_tasks)]
+        if ordered:
+            tally = Tally.merge_all([r.tally for r in ordered])
+        else:
+            tally = Tally(n_layers=len(self.config.stack), records=self.config.records)
+        return RunReport(
+            tally=tally,
+            task_results=ordered,
+            wall_seconds=time.perf_counter() - self._started_at,
+            retries=self._retries,
+        )
+
+    def close(self) -> None:
+        """Stop accepting clients and release the port."""
+        self._complete.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def run_network_client(
+    host: str,
+    port: int,
+    *,
+    worker_name: str | None = None,
+    max_tasks: int | None = None,
+    crash_after: int | None = None,
+) -> int:
+    """Connect to a :class:`NetworkServer` and execute tasks until done.
+
+    Returns the number of tasks completed.  ``max_tasks`` makes the client
+    leave politely after that many tasks (a non-dedicated PC being
+    reclaimed); ``crash_after`` makes it drop the connection *mid-task*
+    after completing that many tasks (a vanished PC — used by the fault
+    tests; the abandoned task is reassigned by the server).
+    """
+    import os
+
+    name = worker_name or f"net-{os.getpid()}"
+    completed = 0
+    with socket.create_connection((host, port)) as sock:
+        send_message(sock, {"type": "hello", "worker": name})
+        session = recv_message(sock)
+        if session.get("type") != "session":
+            raise ValueError(f"expected session, got {session!r}")
+        config = session["config"]
+
+        while True:
+            if max_tasks is not None and completed >= max_tasks:
+                return completed  # leave politely: just stop pulling
+            send_message(sock, {"type": "next"})
+            message = recv_message(sock)
+            if message.get("type") == "done":
+                return completed
+            if message.get("type") != "task":
+                raise ValueError(f"unexpected message {message!r}")
+            if crash_after is not None and completed >= crash_after:
+                # Simulate a powered-off PC: vanish mid-task without a word.
+                sock.shutdown(socket.SHUT_RDWR)
+                return completed
+            task: TaskSpec = message["task"]
+            result = execute_task(config, task, attempt=message["attempt"])
+            result.worker_id = name
+            send_message(sock, {"type": "result", "result": result})
+            completed += 1

@@ -1,0 +1,90 @@
+"""Task protocol between the DataManager (server) and Algorithm (clients).
+
+The paper's platform "consists of two classes.  The DataManager, which
+resides on the server, assigns simulations to client PCs and processes the
+returned results.  The Algorithm ... takes in parameters from the
+DataManager, performs Monte Carlo simulations and returns the results."
+
+``TaskSpec`` is the parameter bundle shipped to a client; ``TaskResult`` is
+what comes back.  Both are plain picklable dataclasses so any transport
+(in-process call, multiprocessing pipe, socket) can carry them.  The task's
+RNG stream is identified by ``(seed, task_index)`` — never by worker
+identity — which is what makes the distributed run reproducible and
+schedule-independent (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from ..core.config import SimulationConfig
+from ..core.simulation import KernelName
+from ..core.tally import Tally
+
+__all__ = ["TaskSpec", "TaskResult", "encode", "decode"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: trace ``n_photons`` photons on stream ``task_index``.
+
+    Attributes
+    ----------
+    task_index:
+        Global index of this task within the experiment; selects the RNG
+        substream.
+    n_photons:
+        Photons this task must trace.
+    seed:
+        Experiment seed shared by all tasks.
+    kernel:
+        Which kernel the client should run ("vector" or "scalar").
+    """
+
+    task_index: int
+    n_photons: int
+    seed: int
+    kernel: KernelName = "vector"
+
+    def __post_init__(self) -> None:
+        if self.task_index < 0:
+            raise ValueError(f"task_index must be >= 0, got {self.task_index}")
+        if self.n_photons <= 0:
+            raise ValueError(f"n_photons must be > 0, got {self.n_photons}")
+
+
+@dataclass
+class TaskResult:
+    """A completed task: the tally plus execution metadata.
+
+    ``worker_id`` is informational only (it feeds the utilisation report);
+    no physics depends on it.
+    """
+
+    task_index: int
+    tally: Tally
+    worker_id: str
+    elapsed_seconds: float
+    attempt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.elapsed_seconds < 0:
+            raise ValueError(f"elapsed_seconds must be >= 0, got {self.elapsed_seconds}")
+        if self.attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {self.attempt}")
+
+
+def encode(obj: TaskSpec | TaskResult | SimulationConfig) -> bytes:
+    """Serialise a protocol object for a byte transport."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(payload: bytes):
+    """Inverse of :func:`encode`.
+
+    Only use on payloads produced by this process tree; pickle is the
+    transport of the trusted in-cluster protocol (as Java serialisation was
+    in the paper's platform), not a public wire format.
+    """
+    return pickle.loads(payload)

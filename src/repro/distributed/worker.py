@@ -1,0 +1,46 @@
+"""Client-side task execution — the paper's ``Algorithm`` class.
+
+A worker receives a :class:`~repro.distributed.protocol.TaskSpec` and the
+shared :class:`~repro.core.config.SimulationConfig`, materialises the task's
+RNG stream locally from ``(seed, task_index)``, runs the Monte Carlo kernel
+and returns a :class:`~repro.distributed.protocol.TaskResult`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..core.config import SimulationConfig
+from ..core.rng import task_rng
+from ..core.simulation import run_photons
+from .protocol import TaskResult, TaskSpec
+
+__all__ = ["execute_task", "worker_identity"]
+
+
+def worker_identity() -> str:
+    """A human-readable id of the executing worker (process + thread)."""
+    return f"pid-{os.getpid()}/{threading.current_thread().name}"
+
+
+def execute_task(
+    config: SimulationConfig, task: TaskSpec, *, attempt: int = 1
+) -> TaskResult:
+    """Run one task and return its result.
+
+    This is the function every backend ultimately calls — in-process for
+    the serial/thread backends, in a child process for multiprocessing.
+    """
+    rng = task_rng(task.seed, task.task_index)
+    start = time.perf_counter()
+    tally = run_photons(config, task.n_photons, rng, task.kernel)
+    elapsed = time.perf_counter() - start
+    return TaskResult(
+        task_index=task.task_index,
+        tally=tally,
+        worker_id=worker_identity(),
+        elapsed_seconds=elapsed,
+        attempt=attempt,
+    )

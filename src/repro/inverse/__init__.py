@@ -1,0 +1,25 @@
+"""Inverse problems and calibration (the paper's motivation and future work)."""
+
+from .calibration import SpacingCalibration, calibrate_spacing, detector_sensitivities
+from .fitting import FitResult, fit_optical_properties, mu_a_from_slope
+from .mbll import (
+    EXTINCTION_HB,
+    HaemoglobinChange,
+    absorption_change,
+    concentration_change,
+    haemoglobin_changes,
+)
+
+__all__ = [
+    "EXTINCTION_HB",
+    "FitResult",
+    "HaemoglobinChange",
+    "SpacingCalibration",
+    "absorption_change",
+    "calibrate_spacing",
+    "concentration_change",
+    "detector_sensitivities",
+    "fit_optical_properties",
+    "haemoglobin_changes",
+    "mu_a_from_slope",
+]

@@ -1,0 +1,137 @@
+"""Optode calibration from time-of-flight measurements.
+
+The paper's closing sentence: "Future work will concentrate on utilising
+the numerous features of the application to improve the calibration of the
+source and detector positions and sensitivities."  This module implements
+that calibration for the semi-infinite homogeneous case:
+
+* **positions** — the true source-detector spacing differs from the
+  nominal one (probe flex, scalp curvature).  Mean time of flight grows
+  monotonically with spacing, so a set of (nominal spacing, measured <t>)
+  pairs pins down a common spacing offset;
+* **sensitivities** — detected intensity per launched photon at each
+  optode, compared against the forward model's prediction, yields each
+  detector's gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from ..diffusion.theory import mean_time_of_flight_theory, reflectance_farrell
+from ..tissue.optical import OpticalProperties
+
+__all__ = ["SpacingCalibration", "calibrate_spacing", "detector_sensitivities"]
+
+
+@dataclass(frozen=True)
+class SpacingCalibration:
+    """Result of a spacing-offset calibration.
+
+    Attributes
+    ----------
+    offset:
+        Recovered common offset (mm): true spacing = nominal + offset.
+    residual_rms:
+        RMS time-of-flight residual at the optimum (ns).
+    """
+
+    offset: float
+    residual_rms: float
+
+    def corrected(self, nominal: np.ndarray | float) -> np.ndarray:
+        """Apply the calibration to nominal spacings."""
+        return np.asarray(nominal, dtype=np.float64) + self.offset
+
+
+def calibrate_spacing(
+    nominal_spacings: np.ndarray,
+    measured_tof: np.ndarray,
+    props: OpticalProperties,
+    *,
+    max_offset: float = 10.0,
+) -> SpacingCalibration:
+    """Fit a common spacing offset from mean time-of-flight data.
+
+    Parameters
+    ----------
+    nominal_spacings:
+        Nominal optode spacings in mm (>= 2 distinct values).
+    measured_tof:
+        Measured mean times of flight in ns (e.g. from the Monte Carlo
+        engine's detected-pathlength statistics divided by c).
+    props:
+        Optical properties of the medium (known, e.g. from
+        :func:`repro.inverse.fitting.fit_optical_properties`).
+    max_offset:
+        Search bound for |offset| in mm.
+    """
+    nominal = np.asarray(nominal_spacings, dtype=np.float64)
+    tof = np.asarray(measured_tof, dtype=np.float64)
+    if nominal.shape != tof.shape or nominal.ndim != 1:
+        raise ValueError("spacings and times must be 1-D arrays of equal length")
+    if nominal.size < 2:
+        raise ValueError("need >= 2 spacings to separate offset from noise")
+    if (nominal <= 0).any():
+        raise ValueError("nominal spacings must be > 0")
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        offset = params[0]
+        spacing = nominal + offset
+        if (spacing <= 0.1).any():
+            return np.full(nominal.shape, 1e3)
+        model = np.array([mean_time_of_flight_theory(s, props) for s in spacing])
+        return model - tof
+
+    result = least_squares(
+        residuals, x0=np.array([0.0]), bounds=([-max_offset], [max_offset])
+    )
+    if not result.success:  # pragma: no cover
+        raise RuntimeError(f"spacing calibration failed: {result.message}")
+    return SpacingCalibration(
+        offset=float(result.x[0]),
+        residual_rms=float(np.sqrt(np.mean(result.fun**2))),
+    )
+
+
+def detector_sensitivities(
+    spacings: np.ndarray,
+    measured_intensity: np.ndarray,
+    props: OpticalProperties,
+    *,
+    detector_area: float = 1.0,
+) -> np.ndarray:
+    """Per-detector gain: measured over model-predicted intensity.
+
+    Parameters
+    ----------
+    spacings:
+        True optode spacings in mm (apply :class:`SpacingCalibration`
+        first if the nominal ones are suspect).
+    measured_intensity:
+        Detected weight per launched photon at each optode.
+    props:
+        Medium optical properties.
+    detector_area:
+        Collection area in mm² used to convert the model's reflectance
+        density (mm⁻²) to an expected intensity.
+
+    Returns
+    -------
+    Per-detector sensitivity factors (1 = perfectly calibrated).  In a
+    real instrument these fold fibre coupling, filter and photodiode
+    efficiencies — exactly the quantities the paper wants to calibrate.
+    """
+    spacings = np.asarray(spacings, dtype=np.float64)
+    measured = np.asarray(measured_intensity, dtype=np.float64)
+    if spacings.shape != measured.shape:
+        raise ValueError("spacings and intensities must have equal shapes")
+    if detector_area <= 0:
+        raise ValueError(f"detector_area must be > 0, got {detector_area}")
+    expected = reflectance_farrell(spacings, props) * detector_area
+    if (expected <= 0).any():  # pragma: no cover - farrell is positive
+        raise RuntimeError("model predicts non-positive intensity")
+    return measured / expected

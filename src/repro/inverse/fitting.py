@@ -1,0 +1,166 @@
+"""Inverse problem: recover optical properties from reflectance data.
+
+The paper's motivation (§1): "A forward model of the propagation of light
+through the head is useful in solving the inverse problem in optical
+imaging studies."  This module is that inverse step for the homogeneous
+semi-infinite case: given radially resolved diffuse reflectance R(rho)
+(measured, or produced by our own Monte Carlo engine), recover µa and µs′
+by fitting the Farrell diffusion model.
+
+Fitting happens in log space — R(rho) spans decades, and multiplicative
+(gain) errors are the physical noise model of an optical measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from ..diffusion.theory import reflectance_farrell
+from ..tissue.optical import OpticalProperties
+
+__all__ = ["FitResult", "fit_optical_properties", "mu_a_from_slope"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of an optical-property fit.
+
+    Attributes
+    ----------
+    mu_a, mu_s_reduced:
+        Recovered absorption and reduced scattering coefficients (mm⁻¹).
+    amplitude:
+        Multiplicative gain between data and model (detector sensitivity ×
+        source power); 1 for perfectly calibrated data.
+    residual_rms:
+        RMS of the log-space residuals at the optimum.
+    n_evaluations:
+        Forward-model evaluations spent.
+    """
+
+    mu_a: float
+    mu_s_reduced: float
+    amplitude: float
+    residual_rms: float
+    n_evaluations: int
+
+    def properties(
+        self, g: float = 0.9, n: float = 1.4
+    ) -> OpticalProperties:
+        """The recovered medium as an :class:`OpticalProperties`."""
+        return OpticalProperties.from_reduced(
+            mu_a=self.mu_a, mu_s_reduced=self.mu_s_reduced, g=g, n=n
+        )
+
+
+def fit_optical_properties(
+    rho: np.ndarray,
+    r_measured: np.ndarray,
+    *,
+    n: float = 1.4,
+    g: float = 0.9,
+    initial: tuple[float, float] = (0.01, 1.0),
+    fit_amplitude: bool = True,
+) -> FitResult:
+    """Fit (µa, µs′) — and optionally a gain — to measured R(rho).
+
+    Parameters
+    ----------
+    rho, r_measured:
+        Radial positions (mm) and reflectance values (any consistent
+        units; an amplitude factor absorbs the absolute scale).  Points
+        with non-positive reflectance are rejected.
+    n, g:
+        Refractive index and anisotropy assumed for the medium (the
+        diffusion model needs n; g only enters via µs = µs′/(1−g) in the
+        returned properties).
+    initial:
+        Starting (µa, µs′) guess in mm⁻¹.
+    fit_amplitude:
+        Also fit a multiplicative gain (recommended for real data whose
+        absolute calibration is unknown).
+
+    Notes
+    -----
+    Identifiability: with an unknown amplitude, µa is pinned by the far-rho
+    exponential slope and µs′ by the near-rho shape, so the fit needs data
+    spanning at least a few 1/µeff in rho.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    r_measured = np.asarray(r_measured, dtype=np.float64)
+    if rho.shape != r_measured.shape or rho.ndim != 1:
+        raise ValueError("rho and r_measured must be 1-D arrays of equal length")
+    if rho.size < 3:
+        raise ValueError(f"need >= 3 data points, got {rho.size}")
+    if (rho <= 0).any():
+        raise ValueError("all rho must be > 0")
+    if (r_measured <= 0).any():
+        raise ValueError("all reflectance values must be > 0 (log-space fit)")
+
+    log_data = np.log(r_measured)
+
+    def model_log(mu_a: float, mu_s_red: float) -> np.ndarray:
+        props = OpticalProperties.from_reduced(
+            mu_a=mu_a, mu_s_reduced=mu_s_red, g=g, n=n
+        )
+        return np.log(reflectance_farrell(rho, props))
+
+    if fit_amplitude:
+        def residuals(params: np.ndarray) -> np.ndarray:
+            mu_a, mu_s_red, log_amp = params
+            return model_log(mu_a, mu_s_red) + log_amp - log_data
+
+        x0 = np.array([initial[0], initial[1], 0.0])
+        bounds = ([1e-6, 1e-3, -20.0], [10.0, 100.0, 20.0])
+    else:
+        def residuals(params: np.ndarray) -> np.ndarray:
+            mu_a, mu_s_red = params
+            return model_log(mu_a, mu_s_red) - log_data
+
+        x0 = np.asarray(initial, dtype=np.float64)
+        bounds = ([1e-6, 1e-3], [10.0, 100.0])
+
+    result = least_squares(residuals, x0=x0, bounds=bounds, method="trf")
+    if not result.success:  # pragma: no cover - scipy rarely fails here
+        raise RuntimeError(f"optical-property fit failed: {result.message}")
+
+    mu_a, mu_s_red = float(result.x[0]), float(result.x[1])
+    amplitude = float(np.exp(result.x[2])) if fit_amplitude else 1.0
+    rms = float(np.sqrt(np.mean(result.fun**2)))
+    return FitResult(
+        mu_a=mu_a,
+        mu_s_reduced=mu_s_red,
+        amplitude=amplitude,
+        residual_rms=rms,
+        n_evaluations=int(result.nfev),
+    )
+
+
+def mu_a_from_slope(
+    rho: np.ndarray,
+    r_measured: np.ndarray,
+    mu_s_reduced: float,
+) -> float:
+    """Quick µa estimate from the asymptotic slope of ln(rho² R).
+
+    At large rho, ``ln(rho^2 R) ~ -mu_eff * rho`` with
+    ``mu_eff = sqrt(3 mu_a (mu_a + mu_s'))``; given µs′, invert for µa.
+    Amplitude-free (slopes ignore gain), so it is the classic first
+    estimate fed to the full fit.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    r_measured = np.asarray(r_measured, dtype=np.float64)
+    if rho.size < 2:
+        raise ValueError("need >= 2 points for a slope")
+    if mu_s_reduced <= 0:
+        raise ValueError(f"mu_s_reduced must be > 0, got {mu_s_reduced}")
+    slope = np.polyfit(rho, np.log(rho**2 * r_measured), 1)[0]
+    mu_eff = -slope
+    if mu_eff <= 0:
+        raise ValueError("reflectance does not decay with rho; cannot estimate mu_a")
+    # mu_eff^2 = 3 mu_a (mu_a + mu_s') -> quadratic in mu_a.
+    disc = mu_s_reduced**2 + 4.0 * mu_eff**2 / 3.0
+    return float((-mu_s_reduced + np.sqrt(disc)) / 2.0)

@@ -1,0 +1,129 @@
+"""Modified Beer-Lambert law: chromophore quantification.
+
+The paper's §1, citing Wyatt et al. [7]: "In near-infrared spectroscopic
+studies the photon path distribution is necessary for making quantitative
+measurements.  [...] This distance, known as the differential pathlength,
+is needed to quantify absorption and scattering coefficients and
+consequently chromophore concentrations."
+
+The modified Beer-Lambert law (MBLL) is that quantification step:
+
+``delta_OD(lambda) = epsilon(lambda) * delta_c * rho * DPF(lambda)``
+
+where delta_OD is the measured attenuation change, epsilon the molar
+extinction coefficient, rho the optode spacing and DPF the differential
+pathlength factor our Monte Carlo (or diffusion theory) supplies.  With
+two wavelengths the oxy-/deoxy-haemoglobin changes are a 2x2 solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EXTINCTION_HB",
+    "absorption_change",
+    "concentration_change",
+    "HaemoglobinChange",
+    "haemoglobin_changes",
+]
+
+#: Molar extinction coefficients of haemoglobin, mm^-1 per (mol/l),
+#: at the classic NIRS wavelength pair.  Values are the widely used
+#: Cope/Delpy compilation numbers converted to this repo's units
+#: (1 cm^-1/M = 0.1 mm^-1/M).
+EXTINCTION_HB: dict[int, dict[str, float]] = {
+    760: {"HbO2": 58.6, "HbR": 165.1},
+    850: {"HbO2": 115.0, "HbR": 78.1},
+}
+
+
+def absorption_change(
+    delta_od: float, rho: float, dpf: float
+) -> float:
+    """Absorption-coefficient change from an attenuation change.
+
+    ``delta_mu_a = delta_OD / (rho * DPF)`` — the MBLL with the
+    scattering-loss term assumed constant between the two states.
+    ``delta_OD`` is in natural-log units (ln(I0/I)).
+    """
+    if rho <= 0 or dpf <= 0:
+        raise ValueError("rho and dpf must be > 0")
+    return delta_od / (rho * dpf)
+
+
+def concentration_change(
+    delta_od: float, rho: float, dpf: float, extinction: float
+) -> float:
+    """Single-chromophore concentration change (mol/l).
+
+    ``delta_c = delta_OD / (epsilon * rho * DPF)``.
+    """
+    if extinction <= 0:
+        raise ValueError(f"extinction must be > 0, got {extinction}")
+    return absorption_change(delta_od, rho, dpf) / extinction
+
+
+@dataclass(frozen=True)
+class HaemoglobinChange:
+    """Oxy/deoxy-haemoglobin concentration changes (mol/l)."""
+
+    delta_hbo2: float
+    delta_hbr: float
+
+    @property
+    def delta_total(self) -> float:
+        """Total haemoglobin change (cerebral blood volume proxy)."""
+        return self.delta_hbo2 + self.delta_hbr
+
+    @property
+    def delta_diff(self) -> float:
+        """Oxygenation difference signal HbO2 - HbR."""
+        return self.delta_hbo2 - self.delta_hbr
+
+
+def haemoglobin_changes(
+    delta_od: dict[int, float],
+    rho: float,
+    dpf: dict[int, float],
+    extinction: dict[int, dict[str, float]] = EXTINCTION_HB,
+) -> HaemoglobinChange:
+    """Solve the two-wavelength MBLL system for HbO2/HbR changes.
+
+    Parameters
+    ----------
+    delta_od:
+        Attenuation changes keyed by wavelength (nm); exactly two
+        wavelengths, both present in ``extinction``.
+    rho:
+        Optode spacing (mm).
+    dpf:
+        Differential pathlength factors keyed by the same wavelengths —
+        this is where the Monte Carlo model feeds the quantification.
+    extinction:
+        Extinction table ``{wavelength: {"HbO2": e, "HbR": e}}``.
+    """
+    wavelengths = sorted(delta_od)
+    if len(wavelengths) != 2:
+        raise ValueError(f"need exactly 2 wavelengths, got {wavelengths}")
+    missing = [wl for wl in wavelengths if wl not in extinction or wl not in dpf]
+    if missing:
+        raise ValueError(f"missing extinction/DPF data for wavelengths {missing}")
+
+    # delta_mu_a(lambda) = e_HbO2 * dHbO2 + e_HbR * dHbR
+    delta_mu_a = np.array(
+        [absorption_change(delta_od[wl], rho, dpf[wl]) for wl in wavelengths]
+    )
+    matrix = np.array(
+        [[extinction[wl]["HbO2"], extinction[wl]["HbR"]] for wl in wavelengths]
+    )
+    condition = np.linalg.cond(matrix)
+    if condition > 1e6:
+        raise ValueError(
+            f"extinction matrix is ill-conditioned ({condition:.2g}); "
+            "choose wavelengths on opposite sides of the isosbestic point"
+        )
+    d_hbo2, d_hbr = np.linalg.solve(matrix, delta_mu_a)
+    return HaemoglobinChange(delta_hbo2=float(d_hbo2), delta_hbr=float(d_hbr))

@@ -1,0 +1,13 @@
+"""Result persistence and report formatting."""
+
+from .reports import load_report, save_report
+from .results import load_tally, save_tally
+from .tables import format_table
+
+__all__ = [
+    "format_table",
+    "load_report",
+    "load_tally",
+    "save_report",
+    "save_tally",
+]

@@ -1,0 +1,79 @@
+"""Persistence of distributed run reports.
+
+A production campaign wants more than the merged tally on disk: per-task
+timings reconstruct worker utilisation, and per-task tallies feed the
+uncertainty and convergence analyses (:mod:`repro.analysis.uncertainty`,
+:mod:`repro.analysis.convergence`).  ``save_report``/``load_report``
+round-trip a full :class:`~repro.distributed.datamanager.RunReport` as a
+directory of one merged-tally archive, one per-task tally archive and a
+JSON manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..distributed.datamanager import RunReport
+from ..distributed.protocol import TaskResult
+from .results import load_tally, save_tally
+
+__all__ = ["save_report", "load_report"]
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def save_report(directory: str | Path, report: RunReport) -> Path:
+    """Write a run report to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    save_tally(directory / "merged.npz", report.tally)
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "wall_seconds": report.wall_seconds,
+        "retries": report.retries,
+        "tasks": [],
+    }
+    for result in report.task_results:
+        filename = f"task-{result.task_index:06d}.npz"
+        save_tally(directory / filename, result.tally)
+        manifest["tasks"].append({
+            "task_index": result.task_index,
+            "worker_id": result.worker_id,
+            "elapsed_seconds": result.elapsed_seconds,
+            "attempt": result.attempt,
+            "tally": filename,
+        })
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_report(directory: str | Path) -> RunReport:
+    """Load a report written by :func:`save_report`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported report format version {manifest.get('format_version')!r}"
+        )
+    task_results = [
+        TaskResult(
+            task_index=entry["task_index"],
+            tally=load_tally(directory / entry["tally"]),
+            worker_id=entry["worker_id"],
+            elapsed_seconds=entry["elapsed_seconds"],
+            attempt=entry["attempt"],
+        )
+        for entry in manifest["tasks"]
+    ]
+    return RunReport(
+        tally=load_tally(directory / "merged.npz"),
+        task_results=task_results,
+        wall_seconds=manifest["wall_seconds"],
+        retries=manifest["retries"],
+    )

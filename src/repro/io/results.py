@@ -1,0 +1,140 @@
+"""Result persistence.
+
+Tallies are saved as ``.npz`` archives (arrays + a JSON-encoded scalar
+header).  The format is explicitly versioned, self-describing and
+round-trips everything a :class:`~repro.core.tally.Tally` holds, so long
+simulations can be resumed by merging saved partial tallies — the on-disk
+analogue of what the paper's DataManager does with client results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import RecordConfig
+from ..core.tally import Tally
+from ..detect.records import GridSpec, Histogram, RunningStat
+
+__all__ = ["save_tally", "load_tally"]
+
+_FORMAT_VERSION = 1
+
+
+def _grid_spec_to_dict(spec: GridSpec | None) -> dict | None:
+    if spec is None:
+        return None
+    return {"shape": list(spec.shape), "lo": list(spec.lo), "hi": list(spec.hi)}
+
+
+def _grid_spec_from_dict(d: dict | None) -> GridSpec | None:
+    if d is None:
+        return None
+    return GridSpec(shape=tuple(d["shape"]), lo=tuple(d["lo"]), hi=tuple(d["hi"]))
+
+
+def _stat_to_list(s: RunningStat) -> list[float]:
+    return [s.count, s.weight, s.weighted_sum, s.weighted_sumsq, s.minimum, s.maximum]
+
+
+def _stat_from_list(v: list[float]) -> RunningStat:
+    return RunningStat(*v)
+
+
+def save_tally(path: str | Path, tally: Tally) -> Path:
+    """Serialise a tally to ``path`` (``.npz``); returns the path written."""
+    path = Path(path)
+    r = tally.records
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "n_layers": tally.n_layers,
+        "n_launched": tally.n_launched,
+        "specular_weight": tally.specular_weight,
+        "diffuse_reflectance_weight": tally.diffuse_reflectance_weight,
+        "transmittance_weight": tally.transmittance_weight,
+        "lost_weight": tally.lost_weight,
+        "roulette_net_weight": tally.roulette_net_weight,
+        "detected_count": tally.detected_count,
+        "detected_weight": tally.detected_weight,
+        "pathlength": _stat_to_list(tally.pathlength),
+        "penetration_depth": _stat_to_list(tally.penetration_depth),
+        "records": {
+            "absorption_grid": _grid_spec_to_dict(r.absorption_grid),
+            "path_grid": _grid_spec_to_dict(r.path_grid),
+            "pathlength_bins": list(r.pathlength_bins) if r.pathlength_bins else None,
+            "reflectance_rho_bins": (
+                list(r.reflectance_rho_bins) if r.reflectance_rho_bins else None
+            ),
+            "penetration_bins": list(r.penetration_bins) if r.penetration_bins else None,
+        },
+    }
+    arrays: dict[str, np.ndarray] = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "absorbed_by_layer": tally.absorbed_by_layer,
+    }
+    if tally.absorption_grid is not None:
+        arrays["absorption_grid"] = tally.absorption_grid
+    if tally.path_grid is not None:
+        arrays["path_grid"] = tally.path_grid
+    for name, hist in (
+        ("pathlength_hist", tally.pathlength_hist),
+        ("reflectance_rho_hist", tally.reflectance_rho_hist),
+        ("penetration_hist", tally.penetration_hist),
+    ):
+        if hist is not None:
+            arrays[f"{name}_edges"] = hist.edges
+            arrays[f"{name}_counts"] = hist.counts
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_tally(path: str | Path) -> Tally:
+    """Load a tally written by :func:`save_tally`."""
+    path = Path(path)
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported tally format version {header.get('format_version')!r}"
+            )
+        rd = header["records"]
+        records = RecordConfig(
+            absorption_grid=_grid_spec_from_dict(rd["absorption_grid"]),
+            path_grid=_grid_spec_from_dict(rd["path_grid"]),
+            pathlength_bins=tuple(rd["pathlength_bins"]) if rd["pathlength_bins"] else None,
+            reflectance_rho_bins=(
+                tuple(rd["reflectance_rho_bins"]) if rd["reflectance_rho_bins"] else None
+            ),
+            penetration_bins=(
+                tuple(rd["penetration_bins"]) if rd["penetration_bins"] else None
+            ),
+        )
+        tally = Tally(
+            n_layers=header["n_layers"],
+            records=records,
+            n_launched=header["n_launched"],
+            specular_weight=header["specular_weight"],
+            diffuse_reflectance_weight=header["diffuse_reflectance_weight"],
+            transmittance_weight=header["transmittance_weight"],
+            lost_weight=header["lost_weight"],
+            roulette_net_weight=header["roulette_net_weight"],
+            detected_count=header["detected_count"],
+            detected_weight=header["detected_weight"],
+            absorbed_by_layer=data["absorbed_by_layer"],
+            pathlength=_stat_from_list(header["pathlength"]),
+            penetration_depth=_stat_from_list(header["penetration_depth"]),
+        )
+        if "absorption_grid" in data:
+            tally.absorption_grid = data["absorption_grid"]
+        if "path_grid" in data:
+            tally.path_grid = data["path_grid"]
+        for name in ("pathlength_hist", "reflectance_rho_hist", "penetration_hist"):
+            if f"{name}_edges" in data:
+                setattr(
+                    tally,
+                    name,
+                    Histogram(edges=data[f"{name}_edges"], counts=data[f"{name}_counts"]),
+                )
+    return tally

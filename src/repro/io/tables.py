@@ -1,0 +1,42 @@
+"""Plain-text table formatting for reports and benches.
+
+The benches regenerate the paper's tables on stdout; this keeps the
+formatting in one place and aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are padded to the widest cell.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

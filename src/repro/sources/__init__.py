@@ -1,0 +1,13 @@
+"""Photon sources: delta (laser), Gaussian and uniform footprints.
+
+These are the three source types the paper's application supports, plus an
+isotropic point source used for diffusion-theory validation.
+"""
+
+from .base import Source
+from .gaussian import GaussianBeam
+from .isotropic import IsotropicPoint
+from .pencil import PencilBeam
+from .uniform import UniformDisc
+
+__all__ = ["Source", "PencilBeam", "GaussianBeam", "UniformDisc", "IsotropicPoint"]

@@ -1,0 +1,60 @@
+"""Source (optode) models.
+
+The paper's application "allows for different sources (delta, Gaussian,
+uniform)" — i.e. different illumination footprints on the tissue surface.
+A source samples initial photon positions and directions; the kernels then
+apply the specular-reflection weight loss at the air–tissue interface.
+
+All sources launch into the +z half-space from the z = 0 surface unless
+documented otherwise.  Positions are returned in mm as ``(n, 3)`` arrays,
+directions as unit ``(n, 3)`` arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Source"]
+
+
+class Source(abc.ABC):
+    """Abstract photon source.
+
+    Subclasses implement :meth:`sample`, drawing launch positions and
+    directions for a batch of photons.  Sources must be picklable (they are
+    shipped to workers inside task descriptions) and must draw randomness
+    exclusively from the generator they are handed, so that a task's photons
+    are a pure function of its RNG stream.
+    """
+
+    #: Centre of the source footprint on the surface, set by subclasses.
+    origin: np.ndarray
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` launch positions and unit directions.
+
+        Returns
+        -------
+        positions:
+            ``(n, 3)`` float64 array of launch points (mm), on the surface.
+        directions:
+            ``(n, 3)`` float64 array of unit direction vectors with
+            non-negative z-component (into the tissue).
+        """
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def _validate_count(n: int) -> None:
+        if n < 0:
+            raise ValueError(f"photon count must be >= 0, got {n}")
+
+    @staticmethod
+    def _downward(n: int) -> np.ndarray:
+        """(n, 3) array of +z unit vectors."""
+        d = np.zeros((n, 3))
+        d[:, 2] = 1.0
+        return d

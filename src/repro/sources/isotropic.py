@@ -1,0 +1,67 @@
+"""Isotropic point source buried in the medium.
+
+Not one of the paper's three surface sources, but the standard verification
+source for Monte Carlo transport codes: an isotropic emitter at depth ``z0``
+has simple diffusion-theory solutions, which our integration tests compare
+against (see ``repro.diffusion``).  Emission is restricted to the downward
+hemisphere when ``hemisphere="down"`` to model a source just below the
+surface without immediate escape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Source
+
+__all__ = ["IsotropicPoint"]
+
+
+class IsotropicPoint(Source):
+    """Isotropic point emitter at ``(x0, y0, z0)``.
+
+    Parameters
+    ----------
+    z0:
+        Source depth in mm; must be >= 0 (inside the tissue).
+    hemisphere:
+        ``"full"`` for 4π emission, ``"down"``/``"up"`` for one hemisphere.
+    """
+
+    def __init__(
+        self,
+        z0: float,
+        x0: float = 0.0,
+        y0: float = 0.0,
+        *,
+        hemisphere: str = "full",
+    ) -> None:
+        if z0 < 0:
+            raise ValueError(f"z0 must be >= 0, got {z0}")
+        if hemisphere not in ("full", "down", "up"):
+            raise ValueError(f"hemisphere must be 'full', 'down' or 'up', got {hemisphere!r}")
+        self.z0 = float(z0)
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self.hemisphere = hemisphere
+        self.origin = np.array([self.x0, self.y0, self.z0])
+
+    def sample(self, n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        self._validate_count(n)
+        pos = np.tile(self.origin, (n, 1))
+        # Uniform directions on the sphere: cos(theta) ~ U(-1, 1).
+        mu = rng.uniform(-1.0, 1.0, n)
+        if self.hemisphere == "down":
+            mu = np.abs(mu)
+        elif self.hemisphere == "up":
+            mu = -np.abs(mu)
+        phi = rng.uniform(0.0, 2.0 * np.pi, n)
+        sin_t = np.sqrt(np.maximum(0.0, 1.0 - mu * mu))
+        dirs = np.column_stack([sin_t * np.cos(phi), sin_t * np.sin(phi), mu])
+        return pos, dirs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"IsotropicPoint(z0={self.z0}, x0={self.x0}, y0={self.y0}, "
+            f"hemisphere={self.hemisphere!r})"
+        )

@@ -1,0 +1,51 @@
+"""Delta (laser pencil-beam) source.
+
+The paper's "delta" source: an infinitesimally narrow collimated beam
+entering the tissue at a single point, normal to the surface.  This is the
+source of the Fig. 3 experiment ("a laser source ... in homogeneous white
+matter"), where the paper observes that "lasers do produce a small beam in a
+highly scattering medium".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Source
+
+__all__ = ["PencilBeam"]
+
+
+class PencilBeam(Source):
+    """Collimated delta-function beam at ``(x0, y0, 0)`` pointing along +z.
+
+    Parameters
+    ----------
+    x0, y0:
+        Entry point on the surface in mm.
+    tilt:
+        Optional polar tilt angle in radians away from the surface normal,
+        tilting in the +x direction.  Must satisfy ``0 <= tilt < pi/2``.
+    """
+
+    def __init__(self, x0: float = 0.0, y0: float = 0.0, *, tilt: float = 0.0) -> None:
+        if not 0.0 <= tilt < np.pi / 2:
+            raise ValueError(f"tilt must be in [0, pi/2), got {tilt}")
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self.tilt = float(tilt)
+        self.origin = np.array([self.x0, self.y0, 0.0])
+
+    def sample(self, n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        self._validate_count(n)
+        pos = np.tile(self.origin, (n, 1))
+        if self.tilt == 0.0:
+            dirs = self._downward(n)
+        else:
+            dirs = np.zeros((n, 3))
+            dirs[:, 0] = np.sin(self.tilt)
+            dirs[:, 2] = np.cos(self.tilt)
+        return pos, dirs
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PencilBeam(x0={self.x0}, y0={self.y0}, tilt={self.tilt})"

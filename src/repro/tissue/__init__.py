@@ -1,0 +1,34 @@
+"""Tissue geometry and optical properties (Table 1 models)."""
+
+from .layer import Layer, LayerStack
+from .models import (
+    TABLE1_PROPERTIES,
+    adult_head,
+    neonatal_head,
+    two_layer_phantom,
+    white_matter,
+    white_matter_slab,
+)
+from .optical import (
+    AMBIENT_REFRACTIVE_INDEX,
+    DEFAULT_ANISOTROPY,
+    DEFAULT_REFRACTIVE_INDEX,
+    SPEED_OF_LIGHT_MM_PER_NS,
+    OpticalProperties,
+)
+
+__all__ = [
+    "Layer",
+    "LayerStack",
+    "OpticalProperties",
+    "TABLE1_PROPERTIES",
+    "adult_head",
+    "neonatal_head",
+    "two_layer_phantom",
+    "white_matter",
+    "white_matter_slab",
+    "AMBIENT_REFRACTIVE_INDEX",
+    "DEFAULT_ANISOTROPY",
+    "DEFAULT_REFRACTIVE_INDEX",
+    "SPEED_OF_LIGHT_MM_PER_NS",
+]

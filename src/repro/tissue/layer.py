@@ -1,0 +1,186 @@
+"""Layered slab tissue geometry.
+
+The paper's models (homogeneous white matter; the five-layer adult head of
+Table 1) are stacks of plane-parallel slabs, infinite in x and y, stacked
+along +z with the illuminated surface at z = 0.  ``LayerStack`` is the
+geometry object consumed by both the scalar and vectorised transport kernels.
+
+An ambient medium (air, n = 1) sits above z = 0 and below the bottom of the
+stack.  The deepest layer may be semi-infinite (``thickness=None``), as the
+white-matter layer in Table 1 is ("Thickness: –").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .optical import AMBIENT_REFRACTIVE_INDEX, OpticalProperties
+
+__all__ = ["Layer", "LayerStack"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One tissue layer: a name, optical properties and a thickness in mm.
+
+    ``thickness=None`` denotes a semi-infinite layer and is only legal for
+    the deepest layer of a stack.
+    """
+
+    name: str
+    properties: OpticalProperties
+    thickness: float | None
+
+    def __post_init__(self) -> None:
+        if self.thickness is not None and self.thickness <= 0:
+            raise ValueError(
+                f"layer {self.name!r}: thickness must be > 0 or None, got {self.thickness}"
+            )
+
+    @property
+    def is_semi_infinite(self) -> bool:
+        return self.thickness is None
+
+
+class LayerStack:
+    """An ordered stack of :class:`Layer` objects along +z.
+
+    Parameters
+    ----------
+    layers:
+        Layers from the surface downwards.  Only the last may be
+        semi-infinite.
+    n_above, n_below:
+        Refractive indices of the ambient media above z = 0 and below the
+        stack (both default to air).
+
+    Notes
+    -----
+    The stack exposes per-layer property arrays (``mu_a``, ``mu_s``, ``mu_t``,
+    ``g``, ``n``) as NumPy vectors so the vectorised kernel can gather
+    per-photon coefficients with a single fancy-index.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer] | Iterable[Layer],
+        *,
+        n_above: float = AMBIENT_REFRACTIVE_INDEX,
+        n_below: float = AMBIENT_REFRACTIVE_INDEX,
+    ) -> None:
+        layers = list(layers)
+        if not layers:
+            raise ValueError("a LayerStack needs at least one layer")
+        for layer in layers[:-1]:
+            if layer.is_semi_infinite:
+                raise ValueError(
+                    f"only the deepest layer may be semi-infinite; {layer.name!r} is not last"
+                )
+        if n_above <= 0 or n_below <= 0:
+            raise ValueError("ambient refractive indices must be > 0")
+
+        self._layers: tuple[Layer, ...] = tuple(layers)
+        self.n_above = float(n_above)
+        self.n_below = float(n_below)
+
+        # Boundary positions: boundaries[i] is the top of layer i;
+        # boundaries[len(layers)] is the bottom of the stack (inf when the
+        # deepest layer is semi-infinite).
+        tops = [0.0]
+        for layer in self._layers:
+            prev = tops[-1]
+            tops.append(prev + (layer.thickness if layer.thickness is not None else math.inf))
+        self._boundaries = np.asarray(tops, dtype=np.float64)
+
+        # Per-layer coefficient vectors for the vectorised kernel.
+        self.mu_a = np.asarray([l.properties.mu_a for l in self._layers])
+        self.mu_s = np.asarray([l.properties.mu_s for l in self._layers])
+        self.mu_t = self.mu_a + self.mu_s
+        self.g = np.asarray([l.properties.g for l in self._layers])
+        self.n = np.asarray([l.properties.n for l in self._layers])
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self._layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self._layers[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(l.name for l in self._layers)
+        return f"LayerStack([{inner}])"
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def layers(self) -> tuple[Layer, ...]:
+        return self._layers
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Boundary depths: ``boundaries[i]`` is the top of layer ``i`` (mm)."""
+        return self._boundaries
+
+    @property
+    def total_thickness(self) -> float:
+        """Total stack thickness in mm (``inf`` for a semi-infinite stack)."""
+        return float(self._boundaries[-1])
+
+    @property
+    def is_semi_infinite(self) -> bool:
+        return self._layers[-1].is_semi_infinite
+
+    def layer_top(self, index: int) -> float:
+        """Depth of the top boundary of layer ``index`` (mm)."""
+        return float(self._boundaries[index])
+
+    def layer_bottom(self, index: int) -> float:
+        """Depth of the bottom boundary of layer ``index`` (mm; may be inf)."""
+        return float(self._boundaries[index + 1])
+
+    def layer_index_at(self, z: float) -> int:
+        """Index of the layer containing depth ``z``.
+
+        Points exactly on an interior boundary belong to the layer *below*
+        (the convention the kernels use when a photon crosses downwards).
+        Raises ``ValueError`` for z outside the stack.
+        """
+        if z < 0 or z >= self._boundaries[-1] and not math.isinf(self._boundaries[-1]):
+            raise ValueError(f"depth {z} is outside the stack [0, {self._boundaries[-1]})")
+        if z < 0:  # pragma: no cover - guarded above
+            raise ValueError(f"depth {z} is above the surface")
+        idx = int(np.searchsorted(self._boundaries, z, side="right")) - 1
+        return min(idx, len(self._layers) - 1)
+
+    def refractive_index_outside(self, *, going_up: bool) -> float:
+        """Ambient index a photon sees when leaving the stack."""
+        return self.n_above if going_up else self.n_below
+
+    def layer_name_at(self, z: float) -> str:
+        """Name of the layer containing depth ``z`` (convenience for reports)."""
+        return self._layers[self.layer_index_at(z)].name
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        properties: OpticalProperties,
+        thickness: float | None = None,
+        *,
+        name: str = "medium",
+        n_above: float = AMBIENT_REFRACTIVE_INDEX,
+        n_below: float = AMBIENT_REFRACTIVE_INDEX,
+    ) -> "LayerStack":
+        """A single-layer stack (semi-infinite by default)."""
+        return cls(
+            [Layer(name, properties, thickness)], n_above=n_above, n_below=n_below
+        )

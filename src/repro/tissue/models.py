@@ -1,0 +1,144 @@
+"""Reference tissue models from the paper.
+
+``adult_head`` encodes Table 1 of the paper (thickness and NIR optical
+properties of the adult head), ``white_matter`` the homogeneous medium of the
+Fig. 3 banana experiment, and ``neonatal_head`` the thinner-superficial-layer
+variant the paper discusses via its refs [1, 3] (Fukui/Okada).
+
+Thickness interpretation
+------------------------
+Table 1 labels its thickness column "(cm)" and lists ranges for scalp
+(0.3–1) and skull (0.5–1) but single values 2 and 4 for CSF and grey matter.
+Read literally those would be a 20 mm CSF layer and 40 mm of grey matter,
+which contradicts both anatomy and the paper's own sources: the Okada/Fukui
+adult-head models the paper builds on use ~2 mm CSF and ~4 mm grey matter.
+We therefore default to the anatomically consistent reading (CSF 2 mm, grey
+4 mm) and expose ``literal_units=True`` for the face-value variant.  The
+optical coefficients are in mm⁻¹ exactly as printed.
+"""
+
+from __future__ import annotations
+
+from .layer import Layer, LayerStack
+from .optical import DEFAULT_ANISOTROPY, DEFAULT_REFRACTIVE_INDEX, OpticalProperties
+
+__all__ = [
+    "TABLE1_PROPERTIES",
+    "adult_head",
+    "white_matter",
+    "white_matter_slab",
+    "neonatal_head",
+    "two_layer_phantom",
+]
+
+#: Table 1 of the paper: tissue -> (µs′ mm⁻¹, µa mm⁻¹, default thickness mm).
+#: Thickness defaults pick the midpoint of the printed scalp/skull ranges and
+#: the anatomically consistent CSF/grey values (see module docstring).
+TABLE1_PROPERTIES: dict[str, tuple[float, float, float | None]] = {
+    "scalp": (1.9, 0.018, 6.5),
+    "skull": (1.6, 0.016, 7.5),
+    "csf": (0.25, 0.004, 2.0),
+    "grey_matter": (2.2, 0.036, 4.0),
+    "white_matter": (9.1, 0.014, None),
+}
+
+
+def _props(mu_s_reduced: float, mu_a: float, g: float, n: float) -> OpticalProperties:
+    return OpticalProperties.from_reduced(mu_a=mu_a, mu_s_reduced=mu_s_reduced, g=g, n=n)
+
+
+def adult_head(
+    *,
+    scalp_thickness: float | None = None,
+    skull_thickness: float | None = None,
+    csf_thickness: float | None = None,
+    grey_thickness: float | None = None,
+    g: float = DEFAULT_ANISOTROPY,
+    n: float = DEFAULT_REFRACTIVE_INDEX,
+    literal_units: bool = False,
+) -> LayerStack:
+    """The five-layer adult-head model of Table 1.
+
+    Parameters
+    ----------
+    scalp_thickness, skull_thickness, csf_thickness, grey_thickness:
+        Layer thicknesses in mm; defaults are the Table 1 values as described
+        in the module docstring.  White matter is always semi-infinite
+        (Table 1 lists no thickness for it).
+    g, n:
+        Anisotropy and refractive index applied to every layer (Table 1 gives
+        only µs′ and µa; see DESIGN.md substitution table).
+    literal_units:
+        Take the thickness column of Table 1 at face value in cm
+        (scalp 6.5 mm, skull 7.5 mm, CSF 20 mm, grey 40 mm).
+    """
+    defaults = {
+        "scalp": 6.5,
+        "skull": 7.5,
+        "csf": 20.0 if literal_units else 2.0,
+        "grey_matter": 40.0 if literal_units else 4.0,
+    }
+    thickness = {
+        "scalp": scalp_thickness if scalp_thickness is not None else defaults["scalp"],
+        "skull": skull_thickness if skull_thickness is not None else defaults["skull"],
+        "csf": csf_thickness if csf_thickness is not None else defaults["csf"],
+        "grey_matter": grey_thickness if grey_thickness is not None else defaults["grey_matter"],
+    }
+    layers = []
+    for name, (mu_s_red, mu_a, _default) in TABLE1_PROPERTIES.items():
+        t = thickness.get(name)  # white_matter -> None (semi-infinite)
+        layers.append(Layer(name, _props(mu_s_red, mu_a, g, n), t))
+    return LayerStack(layers)
+
+
+def white_matter(
+    *, g: float = DEFAULT_ANISOTROPY, n: float = DEFAULT_REFRACTIVE_INDEX
+) -> LayerStack:
+    """Semi-infinite homogeneous white matter (the Fig. 3 medium)."""
+    mu_s_red, mu_a, _ = TABLE1_PROPERTIES["white_matter"]
+    return LayerStack.homogeneous(_props(mu_s_red, mu_a, g, n), name="white_matter")
+
+
+def white_matter_slab(
+    thickness: float,
+    *,
+    g: float = DEFAULT_ANISOTROPY,
+    n: float = DEFAULT_REFRACTIVE_INDEX,
+) -> LayerStack:
+    """A finite slab of white matter (for transmission experiments/tests)."""
+    mu_s_red, mu_a, _ = TABLE1_PROPERTIES["white_matter"]
+    return LayerStack.homogeneous(_props(mu_s_red, mu_a, g, n), thickness, name="white_matter")
+
+
+def neonatal_head(
+    *, g: float = DEFAULT_ANISOTROPY, n: float = DEFAULT_REFRACTIVE_INDEX
+) -> LayerStack:
+    """Neonatal-head variant with thinner superficial layers.
+
+    The paper (§2) cites Monte Carlo studies of "the effect of the
+    superficial tissue thickness, which differs between adult and neonates"
+    [Fukui/Okada].  Following those sources the neonate has roughly
+    scalp 2 mm, skull 2 mm, CSF 1.5 mm, grey 4 mm over semi-infinite white
+    matter, with the same optical coefficients as Table 1.
+    """
+    thickness = {"scalp": 2.0, "skull": 2.0, "csf": 1.5, "grey_matter": 4.0}
+    layers = []
+    for name, (mu_s_red, mu_a, _default) in TABLE1_PROPERTIES.items():
+        layers.append(Layer(name, _props(mu_s_red, mu_a, g, n), thickness.get(name)))
+    return LayerStack(layers)
+
+
+def two_layer_phantom(
+    top: OpticalProperties,
+    bottom: OpticalProperties,
+    top_thickness: float,
+    *,
+    bottom_thickness: float | None = None,
+) -> LayerStack:
+    """A simple two-layer phantom, handy for boundary-physics tests."""
+    return LayerStack(
+        [
+            Layer("top", top, top_thickness),
+            Layer("bottom", bottom, bottom_thickness),
+        ]
+    )

@@ -1,0 +1,153 @@
+"""Optical properties of turbid media.
+
+Units follow the repository convention (DESIGN.md §6): all lengths in
+millimetres, so absorption and scattering coefficients are in mm⁻¹ — the
+units of Table 1 of the paper.
+
+The paper's Table 1 lists the *transport* (reduced) scattering coefficient
+µs′ = µs·(1−g).  A Monte Carlo simulation needs the raw µs and the anisotropy
+factor g separately; following the paper's sources (Fukui/Okada adult-head
+models) we adopt g = 0.9 for soft tissue and recover µs = µs′/(1−g).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "OpticalProperties",
+    "DEFAULT_ANISOTROPY",
+    "DEFAULT_REFRACTIVE_INDEX",
+    "AMBIENT_REFRACTIVE_INDEX",
+    "SPEED_OF_LIGHT_MM_PER_NS",
+]
+
+#: Anisotropy factor used when a model is specified via µs′ only.
+DEFAULT_ANISOTROPY = 0.9
+
+#: Refractive index of soft tissue in the NIR range.
+DEFAULT_REFRACTIVE_INDEX = 1.4
+
+#: Refractive index of the ambient medium (air) above and below the slab.
+AMBIENT_REFRACTIVE_INDEX = 1.0
+
+#: Vacuum speed of light in repository units (mm per ns).
+SPEED_OF_LIGHT_MM_PER_NS = 299.792458
+
+
+@dataclass(frozen=True)
+class OpticalProperties:
+    """Optical properties of a homogeneous turbid medium.
+
+    Attributes
+    ----------
+    mu_a:
+        Absorption coefficient µa in mm⁻¹.
+    mu_s:
+        Scattering coefficient µs in mm⁻¹ (*not* the reduced coefficient).
+    g:
+        Henyey–Greenstein anisotropy factor, the mean cosine of the
+        scattering angle.  ``g = -1`` is total back-scattering, ``0`` is
+        isotropic, ``1`` complete forward scattering (paper, Table 1 footnote).
+    n:
+        Refractive index.
+    """
+
+    mu_a: float
+    mu_s: float
+    g: float = DEFAULT_ANISOTROPY
+    n: float = DEFAULT_REFRACTIVE_INDEX
+
+    def __post_init__(self) -> None:
+        if self.mu_a < 0:
+            raise ValueError(f"mu_a must be >= 0, got {self.mu_a}")
+        if self.mu_s < 0:
+            raise ValueError(f"mu_s must be >= 0, got {self.mu_s}")
+        if not -1.0 <= self.g <= 1.0:
+            raise ValueError(f"g must lie in [-1, 1], got {self.g}")
+        if self.n <= 0:
+            raise ValueError(f"n must be > 0, got {self.n}")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def mu_t(self) -> float:
+        """Total interaction coefficient µt = µa + µs (mm⁻¹)."""
+        return self.mu_a + self.mu_s
+
+    @property
+    def mu_s_reduced(self) -> float:
+        """Reduced (transport) scattering coefficient µs′ = µs(1−g) (mm⁻¹)."""
+        return self.mu_s * (1.0 - self.g)
+
+    @property
+    def mu_tr(self) -> float:
+        """Transport attenuation coefficient µtr = µa + µs′ (mm⁻¹)."""
+        return self.mu_a + self.mu_s_reduced
+
+    @property
+    def albedo(self) -> float:
+        """Single-scattering albedo µs/µt; 0 for a purely absorbing medium."""
+        mu_t = self.mu_t
+        return self.mu_s / mu_t if mu_t > 0 else 0.0
+
+    @property
+    def mean_free_path(self) -> float:
+        """Mean free path 1/µt in mm (``inf`` for a transparent medium)."""
+        mu_t = self.mu_t
+        return 1.0 / mu_t if mu_t > 0 else math.inf
+
+    @property
+    def transport_mean_free_path(self) -> float:
+        """Transport mean free path 1/µtr in mm (diffusion length scale)."""
+        mu_tr = self.mu_tr
+        return 1.0 / mu_tr if mu_tr > 0 else math.inf
+
+    @property
+    def diffusion_coefficient(self) -> float:
+        """Diffusion coefficient D = 1/(3(µa + µs′)) in mm."""
+        denom = 3.0 * self.mu_tr
+        return 1.0 / denom if denom > 0 else math.inf
+
+    @property
+    def effective_attenuation(self) -> float:
+        """Effective attenuation µeff = sqrt(µa/D) = sqrt(3 µa (µa+µs′)) in mm⁻¹."""
+        return math.sqrt(3.0 * self.mu_a * self.mu_tr)
+
+    @property
+    def phase_velocity(self) -> float:
+        """Speed of light in the medium, mm/ns."""
+        return SPEED_OF_LIGHT_MM_PER_NS / self.n
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_reduced(
+        cls,
+        mu_a: float,
+        mu_s_reduced: float,
+        g: float = DEFAULT_ANISOTROPY,
+        n: float = DEFAULT_REFRACTIVE_INDEX,
+    ) -> "OpticalProperties":
+        """Build properties from the *reduced* scattering coefficient µs′.
+
+        This is the constructor used for Table 1 of the paper, which lists
+        µs′ rather than µs.  For ``g = 1`` the conversion µs = µs′/(1−g) is
+        singular; such media are rejected.
+        """
+        if not -1.0 <= g < 1.0:
+            raise ValueError(f"g must lie in [-1, 1) for reduced-form input, got {g}")
+        if mu_s_reduced < 0:
+            raise ValueError(f"mu_s_reduced must be >= 0, got {mu_s_reduced}")
+        return cls(mu_a=mu_a, mu_s=mu_s_reduced / (1.0 - g), g=g, n=n)
+
+    def with_anisotropy(self, g: float) -> "OpticalProperties":
+        """Same medium re-expressed with a different g at constant µs′.
+
+        Useful for similarity-relation ablations: keeps µs′ = µs(1−g) fixed,
+        so diffusion-regime observables are (approximately) unchanged.
+        """
+        if not -1.0 <= g < 1.0:
+            raise ValueError(f"g must lie in [-1, 1), got {g}")
+        return replace(self, mu_s=self.mu_s_reduced / (1.0 - g), g=g)

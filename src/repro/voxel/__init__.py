@@ -1,0 +1,64 @@
+"""Voxelised heterogeneous tissue media and their transport kernel.
+
+Importing this package registers the ``"voxel"`` kernel with
+:mod:`repro.core.simulation`, so voxel experiments run through the same
+``Simulation``/``DataManager`` entry points as layered ones:
+
+>>> from repro.voxel import VoxelConfig, homogeneous_block, run_voxel
+>>> # ... build a medium, then:
+>>> # tally = run_voxel(config, n_photons=10_000, seed=0)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import simulation as _simulation
+from ..core.rng import task_rng
+from ..core.tally import Tally
+from .builders import (
+    from_layers,
+    homogeneous_block,
+    tilted_layers,
+    with_cylinder,
+    with_sphere,
+)
+from .config import VoxelConfig
+from .kernel import run_voxel_batch
+from .medium import VoxelMedium
+
+__all__ = [
+    "VoxelConfig",
+    "VoxelMedium",
+    "from_layers",
+    "homogeneous_block",
+    "run_voxel",
+    "run_voxel_batch",
+    "tilted_layers",
+    "with_cylinder",
+    "with_sphere",
+]
+
+# Register the voxel kernel so run_photons(config, ..., kernel="voxel") and
+# therefore TaskSpec(kernel="voxel") work.  Worker processes that unpickle a
+# VoxelConfig import this package and get the registration for free.
+_simulation._KERNELS.setdefault("voxel", run_voxel_batch)
+
+
+def run_voxel(
+    config: VoxelConfig,
+    n_photons: int,
+    seed: int = 0,
+    *,
+    task_size: int | None = None,
+) -> Tally:
+    """Single-process voxel simulation (mirrors ``Simulation.run``)."""
+    if task_size is None:
+        task_size = max(n_photons, 1)
+    tallies = [
+        run_voxel_batch(config, count, task_rng(seed, i))
+        for i, count in enumerate(_simulation.split_photons(n_photons, task_size))
+    ]
+    if not tallies:
+        return Tally(n_layers=config.medium.n_materials, records=config.records)
+    return Tally.merge_all(tallies)

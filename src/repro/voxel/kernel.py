@@ -1,0 +1,316 @@
+"""Vectorised transport kernel for voxelised heterogeneous media.
+
+The same hop-drop-spin Monte Carlo as :mod:`repro.core.vkernel`, with the
+layer-boundary logic replaced by voxel-face traversal: a photon's
+dimensionless step is spent voxel by voxel, re-scaled by each voxel's µt
+(the standard multi-region treatment), and scattering draws per-voxel
+anisotropy.  External top/bottom faces apply Fresnel reflection against the
+ambient medium; interior faces are index-matched by construction of
+:class:`~repro.voxel.medium.VoxelMedium`.
+
+Validated against the analytic layered kernel on voxelised layer stacks
+(``tests/voxel/test_voxel_kernel.py``) — same reflectance, absorption and
+transmission within Monte Carlo statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fresnel import fresnel_reflectance
+from ..core.sampling import rotate_direction, sample_hg_cosine
+from ..core.tally import Tally
+from ..core.vkernel import _PathEvents
+from .config import VoxelConfig
+
+__all__ = ["run_voxel_batch", "DEFAULT_SUB_BATCH"]
+
+DEFAULT_SUB_BATCH = 32768
+
+#: Fraction of a voxel edge used to nudge face-crossing photons into the
+#: next voxel (avoids floor() landing them back on the face).
+_NUDGE = 1e-9
+
+#: Compact path-event buffers every this many loop iterations.
+_COMPACT_EVERY = 256
+
+_DEAD_FRACTION = 0.25
+
+
+def run_voxel_batch(
+    config: VoxelConfig,
+    n_photons: int,
+    rng: np.random.Generator,
+    *,
+    sub_batch: int = DEFAULT_SUB_BATCH,
+) -> Tally:
+    """Trace ``n_photons`` photons through a voxel medium."""
+    if n_photons < 0:
+        raise ValueError(f"n_photons must be >= 0, got {n_photons}")
+    if sub_batch <= 0:
+        raise ValueError(f"sub_batch must be > 0, got {sub_batch}")
+    tally = Tally(n_layers=config.medium.n_materials, records=config.records)
+    done = 0
+    while done < n_photons:
+        n = min(sub_batch, n_photons - done)
+        _run_sub_batch(config, tally, n, rng)
+        done += n
+    return tally
+
+
+def _run_sub_batch(
+    config: VoxelConfig, tally: Tally, n: int, rng: np.random.Generator
+) -> None:
+    medium = config.medium
+    gate = config.pathlength_gate()
+    record_path = tally.path_grid is not None
+    coeffs = medium.coefficient_vectors()
+    mu_a_vec, mu_t_vec, g_vec = coeffs["mu_a"], coeffs["mu_t"], coeffs["g"]
+    hx, hy, hz = medium.voxel_size
+    lo_x = -medium.half_extent
+    lo_y = -medium.half_extent
+    depth = medium.depth
+    n_med = medium.n_medium
+    nudge = _NUDGE * min(hx, hy, hz)
+
+    # --- initialise photons ---------------------------------------------------
+    pos, dirs = config.source.sample(n, rng)
+    x = pos[:, 0].copy()
+    y = pos[:, 1].copy()
+    z = pos[:, 2].copy()
+    ux = dirs[:, 0].copy()
+    uy = dirs[:, 1].copy()
+    uz = dirs[:, 2].copy()
+    w = np.ones(n)
+    alive = np.ones(n, dtype=bool)
+    opl = np.zeros(n)
+    maxz = z.copy()
+    s_dim = np.zeros(n)
+    gid = np.arange(n, dtype=np.int64)
+
+    surface_launch = (z == 0.0) & (uz > 0.0)
+    if surface_launch.any():
+        # Angle-dependent Fresnel (specular) loss + Snell refraction of the
+        # entry direction; see repro.core.vkernel._launch_through_surface.
+        cos_i = uz[surface_launch]
+        r_sp = fresnel_reflectance(cos_i, medium.n_above, n_med)
+        tally.specular_weight += float(r_sp.sum())
+        w[surface_launch] -= r_sp
+        if medium.n_above != n_med:
+            ratio = medium.n_above / n_med
+            sin_t2 = ratio * ratio * (1.0 - cos_i * cos_i)
+            cos_t = np.sqrt(np.maximum(0.0, 1.0 - sin_t2))
+            ux[surface_launch] *= ratio
+            uy[surface_launch] *= ratio
+            uz[surface_launch] = cos_t
+            norm = np.sqrt(
+                ux[surface_launch] ** 2 + uy[surface_launch] ** 2
+                + uz[surface_launch] ** 2
+            )
+            ux[surface_launch] /= norm
+            uy[surface_launch] /= norm
+            uz[surface_launch] /= norm
+        # Nudge surface launches just inside the box so voxel lookup works.
+        z[surface_launch] = nudge
+
+    bad_depth = (z < 0.0) | (z >= depth)
+    if bad_depth.any() and not surface_launch[bad_depth].all():
+        raise ValueError("source launches photons outside the voxel box")
+
+    tally.n_launched += n
+    detected_flag = np.zeros(n, dtype=bool)
+    events = _PathEvents(config.records.path_grid) if record_path else None
+    if record_path:
+        events.append(gid, x, y, z, w)
+
+    def squeeze(keep: np.ndarray) -> None:
+        nonlocal x, y, z, ux, uy, uz, w, alive, opl, maxz, s_dim, gid
+        x, y, z = x[keep], y[keep], z[keep]
+        ux, uy, uz = ux[keep], uy[keep], uz[keep]
+        w, alive, opl = w[keep], alive[keep], opl[keep]
+        maxz, s_dim, gid = maxz[keep], s_dim[keep], gid[keep]
+
+    iteration = 0
+    while x.size:
+        iteration += 1
+        if iteration > config.max_steps:
+            tally.lost_weight += float(w[alive].sum())
+            tally.record_penetration(maxz[alive])
+            break
+
+        # Material of the current voxel (lateral clamping inside the lookup).
+        ixl, iyl, izl = medium.voxel_indices(x, y, z)
+        mat = medium.labels[ixl, iyl, izl]
+        mu_t = mu_t_vec[mat]
+
+        need = s_dim <= 0.0
+        n_need = int(np.count_nonzero(need))
+        if n_need:
+            s_dim[need] = -np.log(1.0 - rng.random(n_need))
+
+        with np.errstate(divide="ignore"):
+            d_int = np.where(mu_t > 0.0, s_dim / np.maximum(mu_t, 1e-300), np.inf)
+
+        # Distance to the next voxel face along each axis (unclamped index,
+        # so photons in the lateral extension traverse virtual edge voxels).
+        d_face = np.full(x.size, np.inf)
+        for p, u, lo, h in ((x, ux, lo_x, hx), (y, uy, lo_y, hy), (z, uz, 0.0, hz)):
+            moving = u != 0.0
+            i = np.floor((p[moving] - lo) / h)
+            plane = lo + (i + (u[moving] > 0.0)) * h
+            d = (plane - p[moving]) / u[moving]
+            np.maximum(d, 0.0, out=d)
+            d_face[moving] = np.minimum(d_face[moving], d)
+
+        hit_face = d_face <= d_int
+        d = np.where(hit_face, d_face, d_int)
+
+        runaway = np.isinf(d)
+        if runaway.any():
+            tally.lost_weight += float(w[runaway].sum())
+            tally.record_penetration(maxz[runaway])
+            alive[runaway] = False
+            w[runaway] = 0.0
+            d[runaway] = 0.0
+            hit_face[runaway] = False
+
+        # --- move -------------------------------------------------------------
+        x += ux * d
+        y += uy * d
+        z += uz * d
+        opl += n_med * d
+        np.maximum(maxz, z, out=maxz)
+        s_dim -= d * mu_t
+        s_dim[~hit_face] = 0.0
+        np.maximum(s_dim, 0.0, out=s_dim)
+
+        hit_face &= alive
+        interact = (hit_face != alive)  # alive & ~hit_face
+
+        # --- face crossings ------------------------------------------------------
+        if hit_face.any():
+            fi = np.flatnonzero(hit_face)
+            fz = z[fi]
+            fuz = uz[fi]
+            at_top = (np.abs(fz) <= 2 * nudge) & (fuz < 0.0)
+            at_bottom = (np.abs(fz - depth) <= 2 * nudge) & (fuz > 0.0)
+            external = at_top | at_bottom
+            if external.any():
+                _handle_external(
+                    config, tally, rng, gate, detected_flag,
+                    x, y, z, uz, w, opl, maxz, alive, gid,
+                    fi[external], at_top[external], n_med, nudge, depth,
+                )
+            interior = fi[~external]
+            if interior.size:
+                # Nudge into the next voxel; material re-gathered next turn.
+                x[interior] += ux[interior] * nudge
+                y[interior] += uy[interior] * nudge
+                z[interior] += uz[interior] * nudge
+
+        # --- interactions ----------------------------------------------------------
+        if interact.any():
+            ii = np.flatnonzero(interact)
+            lay = mat[ii]
+            mu_a_i = mu_a_vec[lay]
+            mu_t_i = mu_t_vec[lay]
+            absorbed = np.where(
+                mu_t_i > 0.0, w[ii] * mu_a_i / np.maximum(mu_t_i, 1e-300), 0.0
+            )
+            tally.absorbed_by_layer += np.bincount(
+                lay, weights=absorbed, minlength=tally.absorbed_by_layer.size
+            )
+            if tally.absorption_grid is not None:
+                config.records.absorption_grid.deposit(
+                    tally.absorption_grid, x[ii], y[ii], z[ii], absorbed
+                )
+            w[ii] -= absorbed
+            if events is not None:
+                events.append(gid[ii], x[ii], y[ii], z[ii], w[ii])
+
+            cos_theta = sample_hg_cosine(g_vec[lay], rng, ii.size)
+            psi = rng.uniform(0.0, 2.0 * np.pi, ii.size)
+            nux, nuy, nuz = rotate_direction(ux[ii], uy[ii], uz[ii], cos_theta, psi)
+            ux[ii] = nux
+            uy[ii] = nuy
+            uz[ii] = nuz
+
+            small = w[ii] < config.roulette.threshold
+            if small.any():
+                cand = ii[small]
+                survive = rng.random(cand.size) < (1.0 / config.roulette.boost)
+                winners = cand[survive]
+                losers = cand[~survive]
+                if winners.size:
+                    boost = config.roulette.boost
+                    tally.roulette_net_weight += float(w[winners].sum()) * (boost - 1.0)
+                    w[winners] *= boost
+                if losers.size:
+                    tally.roulette_net_weight -= float(w[losers].sum())
+                    w[losers] = 0.0
+                    alive[losers] = False
+                    tally.record_penetration(maxz[losers])
+
+        if record_path and iteration % _COMPACT_EVERY == 0:
+            alive_by_gid = np.zeros(n, dtype=bool)
+            alive_by_gid[gid[alive]] = True
+            events.compact(alive_by_gid, detected_flag, tally.path_grid)
+            detected_flag[:] = False
+
+        n_dead = x.size - int(np.count_nonzero(alive))
+        if n_dead and n_dead >= x.size * _DEAD_FRACTION:
+            squeeze(alive)
+
+    if record_path:
+        events.compact(np.zeros(n, dtype=bool), detected_flag, tally.path_grid)
+
+
+def _handle_external(
+    config, tally, rng, gate, detected_flag,
+    x, y, z, uz, w, opl, maxz, alive, gid,
+    ei, top_mask, n_med, nudge, depth,
+) -> None:
+    """Fresnel test at the external faces; score escapes, reflect the rest."""
+    n_out = np.where(top_mask, config.medium.n_above, config.medium.n_below)
+    cos_i = np.abs(uz[ei])
+    r_f = fresnel_reflectance(cos_i, n_med, n_out)
+    reflect = rng.random(ei.size) < r_f
+
+    ri = ei[reflect]
+    if ri.size:
+        uz[ri] = -uz[ri]
+        # Nudge back inside so the next voxel lookup is interior.
+        z[ri] += np.where(top_mask[reflect], nudge, -nudge)
+
+    out = ~reflect
+    if not out.any():
+        return
+    oi = ei[out]
+    top_out = top_mask[out]
+    ew = w[oi]
+
+    tally.record_penetration(maxz[oi])
+
+    down = ~top_out
+    if down.any():
+        tally.transmittance_weight += float(ew[down].sum())
+    if top_out.any():
+        ti = oi[top_out]
+        tw = ew[top_out]
+        tally.diffuse_reflectance_weight += float(tw.sum())
+        if tally.reflectance_rho_hist is not None:
+            tally.reflectance_rho_hist.add(np.hypot(x[ti], y[ti]), tw)
+        accepted = config.detector.accepts(x[ti], y[ti], uz[ti])
+        if gate is not None:
+            accepted &= gate.accepts(opl[ti])
+        if accepted.any():
+            tally.detected_count += int(accepted.sum())
+            tally.detected_weight += float(tw[accepted].sum())
+            tally.pathlength.add(opl[ti][accepted], tw[accepted])
+            tally.penetration_depth.add(maxz[ti][accepted], tw[accepted])
+            if tally.pathlength_hist is not None:
+                tally.pathlength_hist.add(opl[ti][accepted], tw[accepted])
+            detected_flag[gid[ti][accepted]] = True
+
+    alive[oi] = False
+    w[oi] = 0.0

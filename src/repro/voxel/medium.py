@@ -1,0 +1,156 @@
+"""Voxelised heterogeneous tissue media.
+
+The paper (§2): the Monte Carlo method "can be applied to an inhomogeneous
+medium of complex geometry once a realistic model of the tissue sample has
+been developed."  The plane-layer stacks of :mod:`repro.tissue` cover the
+Table 1 experiments; this package adds the general case — a 3-D voxel grid
+of material labels with a material table of optical properties, the
+representation MCX/tMCimg-class codes use for anatomical head models.
+
+Geometry conventions
+--------------------
+* The voxel box spans ``x, y in [-half_extent, +half_extent]`` and
+  ``z in [0, depth]``; the illuminated surface is z = 0.
+* The medium is *laterally unbounded*: outside the box in x/y the material
+  of the nearest edge voxel continues, so photons never "fall off" the
+  side of the model (matching the infinite-slab convention of
+  :class:`repro.tissue.LayerStack`).
+* Photons escape only through the top (z < 0) and bottom (z > depth)
+  faces, with Fresnel reflection/refraction against the ambient index.
+* All materials must share one refractive index: interior voxel faces are
+  index-matched (true for every Table 1 tissue, all n = 1.4).  Mismatched
+  interior indices would require per-face Fresnel events, which the
+  layered kernel already provides for stratified media.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tissue.optical import AMBIENT_REFRACTIVE_INDEX, OpticalProperties
+
+__all__ = ["VoxelMedium"]
+
+
+@dataclass(frozen=True)
+class VoxelMedium:
+    """A rectilinear grid of material labels plus a material table.
+
+    Attributes
+    ----------
+    labels:
+        ``(nx, ny, nz)`` integer array of material indices.
+    materials:
+        Material table; ``labels`` values index into it.
+    half_extent:
+        Lateral half-size of the box in mm.
+    depth:
+        Box depth in mm (z spans [0, depth]).
+    n_above, n_below:
+        Ambient refractive indices outside the top/bottom faces.
+    """
+
+    labels: np.ndarray
+    materials: tuple[OpticalProperties, ...]
+    half_extent: float
+    depth: float
+    n_above: float = AMBIENT_REFRACTIVE_INDEX
+    n_below: float = AMBIENT_REFRACTIVE_INDEX
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels)
+        if labels.ndim != 3:
+            raise ValueError(f"labels must be 3-D, got shape {labels.shape}")
+        if not np.issubdtype(labels.dtype, np.integer):
+            raise ValueError(f"labels must be integers, got {labels.dtype}")
+        materials = tuple(self.materials)
+        if not materials:
+            raise ValueError("need at least one material")
+        if labels.min() < 0 or labels.max() >= len(materials):
+            raise ValueError(
+                f"labels must index materials [0, {len(materials)}), "
+                f"got range [{labels.min()}, {labels.max()}]"
+            )
+        if self.half_extent <= 0 or self.depth <= 0:
+            raise ValueError("half_extent and depth must be > 0")
+        n_values = {m.n for m in materials}
+        if len(n_values) != 1:
+            raise ValueError(
+                "all materials must share one refractive index "
+                f"(interior voxel faces are index-matched); got {sorted(n_values)}"
+            )
+        if self.n_above <= 0 or self.n_below <= 0:
+            raise ValueError("ambient refractive indices must be > 0")
+        object.__setattr__(self, "labels", np.ascontiguousarray(labels))
+        object.__setattr__(self, "materials", materials)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.labels.shape  # type: ignore[return-value]
+
+    @property
+    def n_materials(self) -> int:
+        return len(self.materials)
+
+    @property
+    def n_medium(self) -> float:
+        """The (shared) refractive index of the medium."""
+        return self.materials[0].n
+
+    @property
+    def lo(self) -> tuple[float, float, float]:
+        return (-self.half_extent, -self.half_extent, 0.0)
+
+    @property
+    def hi(self) -> tuple[float, float, float]:
+        return (self.half_extent, self.half_extent, self.depth)
+
+    @property
+    def voxel_size(self) -> tuple[float, float, float]:
+        nx, ny, nz = self.shape
+        return (
+            2.0 * self.half_extent / nx,
+            2.0 * self.half_extent / ny,
+            self.depth / nz,
+        )
+
+    def coefficient_vectors(self) -> dict[str, np.ndarray]:
+        """Per-material coefficient arrays for the kernel (gather tables)."""
+        return {
+            "mu_a": np.asarray([m.mu_a for m in self.materials]),
+            "mu_s": np.asarray([m.mu_s for m in self.materials]),
+            "mu_t": np.asarray([m.mu_t for m in self.materials]),
+            "g": np.asarray([m.g for m in self.materials]),
+        }
+
+    def label_at(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray
+    ) -> np.ndarray:
+        """Material labels at world points (lateral clamping, z must be in box)."""
+        ix, iy, iz = self.voxel_indices(x, y, z)
+        return self.labels[ix, iy, iz]
+
+    def voxel_indices(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Clamped voxel indices of world points.
+
+        Lateral coordinates clamp to the edge voxels (the lateral-extension
+        convention); depths clamp into [0, nz-1], callers are responsible
+        for handling escape through the z faces before lookup.
+        """
+        nx, ny, nz = self.shape
+        hx, hy, hz = self.voxel_size
+        ix = np.clip(((np.asarray(x) + self.half_extent) / hx).astype(np.int64), 0, nx - 1)
+        iy = np.clip(((np.asarray(y) + self.half_extent) / hy).astype(np.int64), 0, ny - 1)
+        iz = np.clip((np.asarray(z) / hz).astype(np.int64), 0, nz - 1)
+        return ix, iy, iz
+
+    def material_volume_fractions(self) -> np.ndarray:
+        """Fraction of the box volume occupied by each material."""
+        counts = np.bincount(self.labels.reshape(-1), minlength=self.n_materials)
+        return counts / self.labels.size

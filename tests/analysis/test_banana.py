@@ -1,0 +1,114 @@
+"""Tests for banana-shape analysis (on synthetic grids, no MC needed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import banana_metrics, xz_slice
+from repro.analysis.banana import cylindrical_map
+from repro.detect import GridSpec
+
+
+def synthetic_banana(spec: GridSpec, detector_x: float) -> np.ndarray:
+    """Paint an analytic half-ellipse arc from (0,0) to (detector_x,0)."""
+    grid = spec.zeros()
+    x = spec.axis_centres(0)
+    y = spec.axis_centres(1)
+    z = spec.axis_centres(2)
+    max_depth = detector_x / 2.0
+    for t in np.linspace(0.0, np.pi, 400):
+        px = detector_x / 2.0 * (1 - np.cos(t))
+        pz = max_depth * np.sin(t)
+        ix = np.argmin(np.abs(x - px))
+        iz = np.argmin(np.abs(z - pz))
+        iy = np.argmin(np.abs(y))
+        grid[ix, iy, iz] += 1.0
+    return grid
+
+
+class TestXZSlice:
+    def test_projects_central_band(self):
+        spec = GridSpec.banana_box(20, 4.0)
+        grid = spec.zeros()
+        grid[:, 10, :] = 1.0  # central y row
+        grid[:, 0, :] = 100.0  # far off-axis row, must be excluded
+        slab = xz_slice(grid, spec)
+        assert slab.shape == (20, 20)
+        assert slab.max() <= 3.0  # central rows only
+
+    def test_shape_mismatch(self):
+        spec = GridSpec.banana_box(8, 4.0)
+        with pytest.raises(ValueError, match="grid shape"):
+            xz_slice(np.zeros((2, 2, 2)), spec)
+
+    def test_bad_halfwidth(self):
+        spec = GridSpec.banana_box(8, 4.0)
+        with pytest.raises(ValueError, match="no voxel"):
+            xz_slice(spec.zeros(), spec, y_halfwidth=1e-9)
+
+
+class TestBananaMetrics:
+    def test_synthetic_banana_is_banana(self):
+        spec = GridSpec.banana_box(50, 8.0)
+        grid = synthetic_banana(spec, 8.0)
+        m = banana_metrics(grid, spec, detector_x=8.0)
+        assert m.is_banana
+        assert m.depth_at_midpoint == pytest.approx(4.0, rel=0.15)
+        assert m.depth_at_source < 1.5
+        assert m.depth_at_detector < 1.5
+        assert 2.0 < m.argmax_depth_x < 6.0
+
+    def test_flat_sheet_is_not_banana(self):
+        # Uniform shallow sheet: no deep midpoint.
+        spec = GridSpec.banana_box(30, 6.0)
+        grid = spec.zeros()
+        grid[:, 15, 0] = 1.0
+        m = banana_metrics(grid, spec, detector_x=6.0)
+        assert not m.is_banana
+
+    def test_empty_grid(self):
+        spec = GridSpec.banana_box(10, 4.0)
+        m = banana_metrics(spec.zeros(), spec, detector_x=4.0)
+        assert m.total_weight == 0.0
+        assert not m.is_banana
+
+    def test_band_outside_grid_rejected(self):
+        spec = GridSpec.banana_box(10, 4.0)
+        with pytest.raises(ValueError, match="outside the grid"):
+            banana_metrics(spec.zeros(), spec, detector_x=100.0)
+
+
+class TestCylindricalMap:
+    def test_total_weight_preserved(self):
+        spec = GridSpec.cube(16, 8.0, 8.0)
+        grid = spec.zeros()
+        rng = np.random.default_rng(1)
+        grid[:] = rng.random(grid.shape)
+        _, _, density = cylindrical_map(grid, spec)
+        assert density.sum() == pytest.approx(grid.sum(), rel=1e-12)
+
+    def test_axis_weight_lands_at_small_rho(self):
+        spec = GridSpec.cube(17, 8.0, 8.0)  # odd: voxel centred on the axis
+        grid = spec.zeros()
+        grid[8, 8, 3] = 5.0  # on-axis voxel
+        rho, z, density = cylindrical_map(grid, spec)
+        populated = np.nonzero(density)
+        assert rho[populated[0][0]] < 1.0
+
+    def test_ring_weight_lands_at_its_radius(self):
+        spec = GridSpec.cube(33, 8.0, 8.0)
+        grid = spec.zeros()
+        x = spec.axis_centres(0)
+        y = spec.axis_centres(1)
+        rho_vox = np.hypot(x[:, None], y[None, :])
+        ring = np.abs(rho_vox - 5.0) < 0.25
+        grid[:, :, 0][ring] = 1.0
+        rho, _, density = cylindrical_map(grid, spec)
+        peak_rho = rho[np.argmax(density[:, 0])]
+        assert peak_rho == pytest.approx(5.0, abs=0.5)
+
+    def test_shape_mismatch(self):
+        spec = GridSpec.cube(4, 1.0, 1.0)
+        with pytest.raises(ValueError, match="grid shape"):
+            cylindrical_map(np.zeros((2, 2, 2)), spec)

@@ -1,0 +1,77 @@
+"""Tests for Monte Carlo convergence analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import convergence_curve, photons_for_precision
+from repro.distributed import DataManager, SerialBackend
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.core import SimulationConfig
+    from repro.sources import PencilBeam
+    from repro.tissue import LayerStack, OpticalProperties
+
+    props = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+    config = SimulationConfig(stack=LayerStack.homogeneous(props), source=PencilBeam())
+    return DataManager(config, n_photons=6_000, seed=8, task_size=200).run(
+        SerialBackend()
+    )
+
+
+def reflectance(tally):
+    return tally.diffuse_reflectance
+
+
+class TestConvergenceCurve:
+    def test_monotone_photon_counts(self, report):
+        curve = convergence_curve(report, reflectance)
+        counts = [p.n_photons for p in curve]
+        assert counts == sorted(counts)
+        assert counts[-1] == 6_000
+
+    def test_final_value_matches_pooled(self, report):
+        curve = convergence_curve(report, reflectance)
+        assert curve[-1].value == pytest.approx(
+            report.tally.diffuse_reflectance, rel=1e-9
+        )
+
+    def test_se_shrinks_roughly_sqrt_n(self, report):
+        curve = convergence_curve(report, reflectance)
+        early = curve[4]  # after 1000 photons
+        late = curve[-1]  # after 6000 photons
+        expected_ratio = np.sqrt(late.n_photons / early.n_photons)
+        observed_ratio = early.standard_error / late.standard_error
+        # SE itself is noisy; accept a broad band around sqrt(6).
+        assert 0.4 * expected_ratio < observed_ratio < 2.5 * expected_ratio
+
+    def test_min_tasks(self, report):
+        with pytest.raises(ValueError, match="need >="):
+            convergence_curve(report, reflectance, min_tasks=1000)
+
+
+class TestPhotonsForPrecision:
+    def test_scaling_law(self, report):
+        curve = convergence_curve(report, reflectance)
+        current_rel = curve[-1].standard_error / curve[-1].value
+        # Asking for half the current error needs ~4x the photons.
+        target = photons_for_precision(report, reflectance, current_rel / 2)
+        assert target == pytest.approx(4 * 6_000, rel=0.01)
+
+    def test_already_precise_enough(self, report):
+        curve = convergence_curve(report, reflectance)
+        current_rel = curve[-1].standard_error / curve[-1].value
+        target = photons_for_precision(report, reflectance, current_rel * 2)
+        assert target < 6_000
+
+    def test_validation(self, report):
+        with pytest.raises(ValueError, match="target_relative_error"):
+            photons_for_precision(report, reflectance, 0.0)
+
+    def test_billions_for_permille(self, report):
+        """The paper's point: tight error bars need ~billions of photons."""
+        target = photons_for_precision(report, reflectance, 1e-4)
+        assert target > 10**8

@@ -1,0 +1,86 @@
+"""Tests for layer-wise penetration analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import depth_profile, layer_report, penetration_fractions
+from repro.core import RecordConfig, Tally
+from repro.detect import GridSpec
+from repro.tissue import Layer, LayerStack, OpticalProperties
+
+PROPS = OpticalProperties(mu_a=0.1, mu_s=1.0)
+
+
+@pytest.fixture
+def stack():
+    return LayerStack(
+        [Layer("top", PROPS, 2.0), Layer("mid", PROPS, 3.0), Layer("deep", PROPS, None)]
+    )
+
+
+@pytest.fixture
+def tally(stack):
+    t = Tally(n_layers=3, records=RecordConfig(penetration_bins=(20.0, 200)))
+    t.n_launched = 10
+    # 6 photons stop in the top layer, 3 in mid, 1 reaches deep.
+    t.record_penetration(np.array([0.5, 1.0, 1.5, 0.2, 1.9, 1.0]))
+    t.record_penetration(np.array([2.5, 3.0, 4.9]))
+    t.record_penetration(np.array([7.0]))
+    t.absorbed_by_layer[:] = [3.0, 1.0, 0.2]
+    return t
+
+
+class TestPenetrationFractions:
+    def test_stopped_fractions(self, tally, stack):
+        fractions = penetration_fractions(tally, stack)
+        assert fractions["top"]["stopped"] == pytest.approx(0.6)
+        assert fractions["mid"]["stopped"] == pytest.approx(0.3)
+        assert fractions["deep"]["stopped"] == pytest.approx(0.1)
+
+    def test_reached_fractions_are_cumulative(self, tally, stack):
+        fractions = penetration_fractions(tally, stack)
+        assert fractions["top"]["reached"] == pytest.approx(1.0)
+        assert fractions["mid"]["reached"] == pytest.approx(0.4)
+        assert fractions["deep"]["reached"] == pytest.approx(0.1)
+
+    def test_requires_histogram(self, stack):
+        with pytest.raises(ValueError, match="penetration"):
+            penetration_fractions(Tally(n_layers=3), stack)
+
+    def test_requires_data(self, stack):
+        t = Tally(n_layers=3, records=RecordConfig(penetration_bins=(20.0, 10)))
+        with pytest.raises(ValueError, match="empty"):
+            penetration_fractions(t, stack)
+
+
+class TestLayerReport:
+    def test_rows_combine_absorption_and_penetration(self, tally, stack):
+        rows = layer_report(tally, stack)
+        assert [r.name for r in rows] == ["top", "mid", "deep"]
+        assert rows[0].absorbed_fraction == pytest.approx(0.3)
+        assert rows[0].stopped_fraction == pytest.approx(0.6)
+        assert rows[1].z_top == pytest.approx(2.0)
+        assert rows[1].z_bottom == pytest.approx(5.0)
+
+    def test_reached_monotone_decreasing(self, tally, stack):
+        rows = layer_report(tally, stack)
+        reached = [r.reached_fraction for r in rows]
+        assert reached == sorted(reached, reverse=True)
+
+
+class TestDepthProfile:
+    def test_collapse_and_normalisation(self):
+        spec = GridSpec(shape=(2, 2, 4), lo=(0, 0, 0), hi=(2, 2, 8))
+        grid = spec.zeros()
+        grid[:, :, 0] = 1.0  # 4 voxels x weight 1 in the first 2 mm of depth
+        z, profile = depth_profile(grid, spec)
+        assert profile[0] == pytest.approx(4.0 / 2.0)  # weight per mm
+        assert profile[1:].sum() == 0.0
+        np.testing.assert_allclose(z, [1.0, 3.0, 5.0, 7.0])
+
+    def test_shape_mismatch(self):
+        spec = GridSpec.cube(4, 1.0, 1.0)
+        with pytest.raises(ValueError, match="grid shape"):
+            depth_profile(np.zeros((2, 2, 2)), spec)

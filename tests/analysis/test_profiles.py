@@ -1,0 +1,51 @@
+"""Tests for penetration-vs-spacing profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import penetration_vs_spacing
+from repro.core import RouletteConfig, SimulationConfig
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+#: Diffusive-but-fast medium so detection at a few mm is efficient.
+PROPS = OpticalProperties(mu_a=0.1, mu_s=10.0, g=0.8, n=1.0)
+
+
+class TestPenetrationVsSpacing:
+    @pytest.fixture(scope="class")
+    def points(self):
+        stack = LayerStack.homogeneous(PROPS)
+        base = SimulationConfig(
+            stack=stack, source=PencilBeam(),
+            roulette=RouletteConfig(threshold=1e-3, boost=10),
+        )
+        return penetration_vs_spacing(
+            stack, spacings=[2.0, 4.0, 6.0], n_photons=30_000,
+            ring_halfwidth=0.5, seed=1, base_config=base,
+        )
+
+    def test_depth_grows_with_spacing(self, points):
+        """The paper's §1 relationship: larger spacing probes deeper."""
+        depths = [p.mean_penetration_depth for p in points]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0] * 1.3
+
+    def test_pathlength_grows_with_spacing(self, points):
+        lengths = [p.mean_pathlength for p in points]
+        assert lengths == sorted(lengths)
+
+    def test_detection_falls_with_spacing(self, points):
+        weights = [p.detected_weight for p in points]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_dpf_positive(self, points):
+        assert all(p.dpf > 1.0 for p in points)
+
+    def test_validation(self):
+        stack = LayerStack.homogeneous(PROPS)
+        with pytest.raises(ValueError, match="n_photons"):
+            penetration_vs_spacing(stack, [5.0], 0)
+        with pytest.raises(ValueError, match="exceed"):
+            penetration_vs_spacing(stack, [0.5], 100, ring_halfwidth=1.0)

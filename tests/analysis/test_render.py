@@ -1,0 +1,61 @@
+"""Tests for ASCII/PGM rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_heatmap, save_pgm
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self):
+        density = np.random.default_rng(0).random((100, 60))
+        art = ascii_heatmap(density, width=40, height=20)
+        lines = art.split("\n")
+        assert len(lines) == 20
+        assert all(len(line) == 40 for line in lines)
+
+    def test_empty_grid_blank(self):
+        art = ascii_heatmap(np.zeros((10, 10)), width=10, height=5)
+        assert set(art) <= {" ", "\n"}
+
+    def test_peak_is_darkest(self):
+        density = np.zeros((8, 8))
+        density[4, 4] = 100.0
+        art = ascii_heatmap(density, width=8, height=8, transpose=False)
+        assert "@" in art
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_heatmap(np.array([[-1.0]]))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ascii_heatmap(np.zeros(5))
+
+    def test_small_grid_no_upscale(self):
+        # Input (4, 3) is transposed to 3 rows x 4 cols and never upscaled.
+        art = ascii_heatmap(np.ones((4, 3)), width=64, height=32)
+        lines = art.split("\n")
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+
+class TestSavePgm:
+    def test_round_trip_header(self, tmp_path):
+        density = np.random.default_rng(1).random((30, 20))
+        path = save_pgm(tmp_path / "map.pgm", density)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n30 20\n255\n")  # transposed: 30 wide, 20 tall
+        pixels = raw.split(b"255\n", 1)[1]
+        assert len(pixels) == 600
+
+    def test_zero_grid(self, tmp_path):
+        path = save_pgm(tmp_path / "zero.pgm", np.zeros((4, 4)))
+        pixels = path.read_bytes().split(b"255\n", 1)[1]
+        assert set(pixels) == {0}
+
+    def test_wrong_ndim(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            save_pgm(tmp_path / "bad.pgm", np.zeros(3))

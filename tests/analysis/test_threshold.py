@@ -1,0 +1,65 @@
+"""Tests for density-map thresholding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import threshold_relative, threshold_top_weight
+
+
+class TestTopWeight:
+    def test_keeps_heaviest_first(self):
+        # The heaviest voxel alone carries 62% of the weight, so a 60%
+        # threshold keeps exactly it.
+        grid = np.array([[10.0, 1.0], [5.0, 0.1]])
+        mask = threshold_top_weight(grid, 0.6)
+        assert mask[0, 0]
+        assert mask.sum() == 1
+
+    def test_full_fraction_keeps_positive_voxels(self):
+        grid = np.array([1.0, 2.0, 0.0, 3.0]).reshape(2, 2)
+        mask = threshold_top_weight(grid, 1.0)
+        assert mask.sum() == 3  # the zero voxel is never needed
+
+    def test_cumulative_weight_reaches_fraction(self):
+        rng = np.random.default_rng(0)
+        grid = rng.exponential(1.0, size=(20, 20))
+        for fraction in (0.3, 0.6, 0.9):
+            mask = threshold_top_weight(grid, fraction)
+            kept = grid[mask].sum() / grid.sum()
+            assert kept >= fraction
+            # Minimality: dropping the lightest kept voxel dips below.
+            lightest = grid[mask].min()
+            assert kept - lightest / grid.sum() < fraction
+
+    def test_zero_grid(self):
+        mask = threshold_top_weight(np.zeros((3, 3)), 0.5)
+        assert not mask.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            threshold_top_weight(np.ones((2, 2)), 0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            threshold_top_weight(np.ones((2, 2)), 1.5)
+
+    def test_3d_grid(self):
+        grid = np.zeros((4, 4, 4))
+        grid[1, 2, 3] = 5.0
+        mask = threshold_top_weight(grid, 0.5)
+        assert mask[1, 2, 3]
+        assert mask.sum() == 1
+
+
+class TestRelative:
+    def test_peak_fraction(self):
+        grid = np.array([[1.0, 0.5], [0.4, 0.0]])
+        mask = threshold_relative(grid, 0.5)
+        np.testing.assert_array_equal(mask, [[True, True], [False, False]])
+
+    def test_zero_grid(self):
+        assert not threshold_relative(np.zeros((2, 2)), 0.5).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="level"):
+            threshold_relative(np.ones((2, 2)), 0.0)

@@ -1,0 +1,109 @@
+"""Tests for Monte Carlo uncertainty estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import detection_estimate, estimate, reflectance_estimate
+from repro.distributed import DataManager, SerialBackend
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    from repro.core import SimulationConfig
+    from repro.sources import PencilBeam
+    from repro.tissue import LayerStack, OpticalProperties
+
+    props = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+    config = SimulationConfig(stack=LayerStack.homogeneous(props), source=PencilBeam())
+    return DataManager(config, n_photons=4_000, seed=2, task_size=200).run(
+        SerialBackend()
+    )
+
+
+class TestEstimate:
+    def test_value_matches_pooled_tally(self, report):
+        est = reflectance_estimate(report)
+        assert est.value == pytest.approx(report.tally.diffuse_reflectance, rel=1e-9)
+
+    def test_se_positive_and_sane(self, report):
+        est = reflectance_estimate(report)
+        assert est.standard_error > 0
+        # Rd ~ 0.07, 4000 photons: SE should be a few percent of the value,
+        # definitely under half of it.
+        assert est.standard_error < 0.5 * est.value
+        assert est.n_tasks == 20
+
+    def test_se_scales_with_photons(self):
+        """4x the photons -> ~2x smaller SE (the sqrt(N) law)."""
+        from repro.core import SimulationConfig
+        from repro.sources import PencilBeam
+        from repro.tissue import LayerStack, OpticalProperties
+
+        props = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(props), source=PencilBeam()
+        )
+        small = DataManager(config, 2_000, seed=3, task_size=100).run(SerialBackend())
+        large = DataManager(config, 8_000, seed=3, task_size=100).run(SerialBackend())
+        ratio = reflectance_estimate(small).standard_error / reflectance_estimate(
+            large
+        ).standard_error
+        assert 1.3 < ratio < 3.2
+
+    def test_interval_contains_value(self, report):
+        est = reflectance_estimate(report)
+        lo, hi = est.interval()
+        assert lo < est.value < hi
+
+    def test_relative_error(self, report):
+        est = reflectance_estimate(report)
+        assert est.relative_error == pytest.approx(
+            est.standard_error / est.value
+        )
+
+    def test_detection_estimate(self, report):
+        est = detection_estimate(report)
+        assert est.value == pytest.approx(
+            report.tally.detected_weight / report.tally.n_launched, rel=1e-9
+        )
+
+    def test_custom_quantity(self, report):
+        est = estimate(report, lambda t: t.total_absorbed_fraction)
+        assert est.value == pytest.approx(
+            report.tally.total_absorbed_fraction, rel=1e-9
+        )
+
+    def test_needs_two_tasks(self, report):
+        single = type(report)(
+            tally=report.tally,
+            task_results=report.task_results[:1],
+            wall_seconds=1.0,
+        )
+        with pytest.raises(ValueError, match=">= 2 tasks"):
+            reflectance_estimate(single)
+
+    def test_coverage_of_true_value(self):
+        """~95% of 1.96-sigma intervals should contain an independent
+        high-precision estimate; check a weaker 'most of them' form."""
+        from repro.core import SimulationConfig
+        from repro.sources import PencilBeam
+        from repro.tissue import LayerStack, OpticalProperties
+
+        props = OpticalProperties(mu_a=1.0, mu_s=5.0, g=0.5, n=1.0)
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(props), source=PencilBeam()
+        )
+        truth = DataManager(config, 40_000, seed=99, task_size=5_000).run(
+            SerialBackend()
+        ).tally.diffuse_reflectance
+        hits = 0
+        trials = 8
+        for seed in range(trials):
+            rep = DataManager(config, 2_000, seed=seed, task_size=200).run(
+                SerialBackend()
+            )
+            lo, hi = reflectance_estimate(rep).interval()
+            hits += lo <= truth <= hi
+        assert hits >= trials - 2

@@ -1,0 +1,52 @@
+"""Tests for the availability models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Dedicated, OwnerInterference, UniformAvailability
+
+
+class TestDedicated:
+    def test_always_one(self, rng):
+        model = Dedicated()
+        assert all(model.sample(rng) == 1.0 for _ in range(10))
+
+
+class TestUniform:
+    def test_range(self, rng):
+        model = UniformAvailability(0.6, 0.9)
+        samples = np.array([model.sample(rng) for _ in range(1000)])
+        assert (samples >= 0.6).all() and (samples <= 0.9).all()
+        assert samples.mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformAvailability(0.0, 0.5)
+        with pytest.raises(ValueError):
+            UniformAvailability(0.9, 0.5)
+        with pytest.raises(ValueError):
+            UniformAvailability(0.5, 1.5)
+
+
+class TestOwnerInterference:
+    def test_two_states(self, rng):
+        model = OwnerInterference(p_busy=0.5, busy_multiplier=0.25)
+        samples = {model.sample(rng) for _ in range(200)}
+        assert samples == {0.25, 1.0}
+
+    def test_busy_probability(self, rng):
+        model = OwnerInterference(p_busy=0.3, busy_multiplier=0.5)
+        samples = np.array([model.sample(rng) for _ in range(20_000)])
+        assert (samples == 0.5).mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_never_busy(self, rng):
+        model = OwnerInterference(p_busy=0.0)
+        assert model.sample(rng) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OwnerInterference(p_busy=1.5)
+        with pytest.raises(ValueError):
+            OwnerInterference(busy_multiplier=0.0)

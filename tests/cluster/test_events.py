@@ -1,0 +1,80 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, fired.append, "b")
+        q.schedule(1.0, fired.append, "a")
+        q.schedule(3.0, fired.append, "c")
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.schedule(1.0, fired.append, name)
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        times = []
+        q.schedule(1.5, lambda: times.append(q.now))
+        q.schedule(4.0, lambda: times.append(q.now))
+        q.run()
+        assert times == [1.5, 4.0]
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                q.schedule(1.0, chain, n + 1)
+
+        q.schedule(0.0, chain, 0)
+        count = q.run()
+        assert fired == [0, 1, 2, 3]
+        assert count == 4
+        assert q.now == pytest.approx(3.0)
+
+    def test_absolute_scheduling(self):
+        q = EventQueue()
+        fired = []
+        q.at(5.0, fired.append, "x")
+        q.run()
+        assert fired == ["x"]
+        with pytest.raises(ValueError, match="past"):
+            q.at(1.0, fired.append, "y")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay"):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule(1.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run(max_events=100)
+
+    def test_step_on_empty(self):
+        assert EventQueue().step() is False
+
+    def test_len(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        assert len(q) == 1

@@ -1,0 +1,116 @@
+"""Tests for guided self-scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GuidedConfig,
+    MasterModel,
+    NetworkModel,
+    UniformAvailability,
+    homogeneous_cluster,
+    simulate_run,
+    simulate_run_guided,
+    table2_cluster,
+)
+
+FAST_NET = NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=1e12,
+                        task_bytes=0, result_bytes=0)
+FREE_MASTER = MasterModel(assign_overhead_s=0.0, merge_overhead_s=0.0)
+
+
+class TestGuidedConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_chunk"):
+            GuidedConfig(min_chunk=0)
+        with pytest.raises(ValueError, match="over_partition"):
+            GuidedConfig(over_partition=0.5)
+
+
+class TestGuidedSimulation:
+    def test_all_photons_processed(self):
+        rep = simulate_run_guided(
+            homogeneous_cluster(5), 1_234_567,
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        assert rep.n_photons == 1_234_567
+        assert sum(s.photons for s in rep.per_machine.values()) == 1_234_567
+
+    def test_chunks_taper(self):
+        rep = simulate_run_guided(
+            homogeneous_cluster(4), 10_000_000,
+            config=GuidedConfig(min_chunk=1_000),
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        # More tasks than machines: the pool was split repeatedly.
+        assert rep.n_tasks > 4
+
+    def test_single_machine_time_equals_fixed(self):
+        guided = simulate_run_guided(
+            homogeneous_cluster(1), 1_000_000,
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        fixed = simulate_run(
+            homogeneous_cluster(1), 1_000_000, 1_000_000,
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        assert guided.makespan_seconds == pytest.approx(
+            fixed.makespan_seconds, rel=1e-9
+        )
+
+    def test_beats_fixed_chunks_on_heterogeneous(self):
+        """The headline property: no tail straggler."""
+        cluster = table2_cluster(np.random.default_rng(0))
+        availability = UniformAvailability(0.7, 1.0)
+        fixed = simulate_run(
+            cluster, 100_000_000, 200_000, availability=availability, seed=3
+        )
+        guided = simulate_run_guided(
+            cluster, 100_000_000, availability=availability, seed=3
+        )
+        assert guided.makespan_seconds < fixed.makespan_seconds
+        assert guided.mean_utilisation > fixed.mean_utilisation
+
+    def test_speed_weighting_helps(self):
+        cluster = table2_cluster()
+        weighted = simulate_run_guided(
+            cluster, 100_000_000,
+            config=GuidedConfig(speed_weighted=True),
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        unweighted = simulate_run_guided(
+            cluster, 100_000_000,
+            config=GuidedConfig(speed_weighted=False),
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        assert weighted.makespan_seconds <= unweighted.makespan_seconds * 1.05
+
+    def test_reproducible(self):
+        kw = dict(availability=UniformAvailability(0.6, 1.0), seed=9)
+        cluster = table2_cluster()
+        a = simulate_run_guided(cluster, 50_000_000, **kw)
+        b = simulate_run_guided(cluster, 50_000_000, **kw)
+        assert a.makespan_seconds == pytest.approx(b.makespan_seconds)
+        assert a.n_tasks == b.n_tasks
+
+    def test_zero_photons(self):
+        rep = simulate_run_guided(homogeneous_cluster(2), 0)
+        assert rep.makespan_seconds == 0.0
+        assert rep.n_tasks == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="machine"):
+            simulate_run_guided([], 1000)
+        with pytest.raises(ValueError, match="n_photons"):
+            simulate_run_guided(homogeneous_cluster(1), -1)
+
+    def test_min_chunk_respected(self):
+        rep = simulate_run_guided(
+            homogeneous_cluster(3), 1_000_000,
+            config=GuidedConfig(min_chunk=100_000),
+            network=FAST_NET, master=FREE_MASTER,
+        )
+        # 1M photons at >= 100k per chunk: at most 10 tasks.
+        assert rep.n_tasks <= 10

@@ -1,0 +1,109 @@
+"""Tests for machine models and the Table 2 census."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    HOMOGENEOUS_MFLOPS,
+    Machine,
+    MachineClass,
+    TABLE2_CLASSES,
+    expand_classes,
+    homogeneous_cluster,
+    table2_cluster,
+    total_mflops,
+)
+
+
+class TestMachineClass:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            MachineClass(0, 1.0, 2.0, 256, "Linux", "P3")
+        with pytest.raises(ValueError, match="mflops"):
+            MachineClass(1, 3.0, 2.0, 256, "Linux", "P3")
+        with pytest.raises(ValueError, match="ram"):
+            MachineClass(1, 1.0, 2.0, 0, "Linux", "P3")
+
+    def test_midpoint(self):
+        cls = MachineClass(1, 10.0, 20.0, 256, "Linux", "P3")
+        assert cls.mflops_mid == pytest.approx(15.0)
+
+
+class TestMachine:
+    def test_photon_rate(self):
+        m = Machine(0, "m", mflops=100.0, ram_mb=256, os="Linux")
+        assert m.photon_rate(10.0) == pytest.approx(1000.0)
+        assert m.photon_rate(10.0, availability=0.5) == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mflops"):
+            Machine(0, "m", mflops=0.0, ram_mb=1, os="x")
+        m = Machine(0, "m", mflops=1.0, ram_mb=1, os="x")
+        with pytest.raises(ValueError, match="photons_per_mflop"):
+            m.photon_rate(0.0)
+        with pytest.raises(ValueError, match="availability"):
+            m.photon_rate(1.0, availability=0.0)
+
+
+class TestExpandClasses:
+    def test_midpoint_without_rng(self):
+        cls = MachineClass(3, 10.0, 20.0, 256, "Linux", "P3")
+        machines = expand_classes([cls])
+        assert len(machines) == 3
+        assert all(m.mflops == pytest.approx(15.0) for m in machines)
+        assert [m.machine_id for m in machines] == [0, 1, 2]
+
+    def test_sampled_within_range(self):
+        cls = MachineClass(100, 10.0, 20.0, 256, "Linux", "P3")
+        machines = expand_classes([cls], np.random.default_rng(0))
+        rates = np.array([m.mflops for m in machines])
+        assert (rates >= 10.0).all() and (rates <= 20.0).all()
+        assert rates.std() > 0.5  # actually sampled
+
+
+class TestTable2:
+    def test_census_matches_paper(self):
+        """Table 2 row for row: counts, rate ranges, RAM, OS."""
+        expected = [
+            (91, 28.0, 31.0, 256, "Linux"),
+            (50, 190.0, 229.0, 512, "Linux"),
+            (4, 15.0, 15.0, 192, "Linux"),
+            (1, 154.0, 154.0, 1024, "Windows XP"),
+            (1, 25.0, 25.0, 512, "Linux"),
+            (1, 37.0, 37.0, 256, "Linux"),
+            (1, 72.0, 72.0, 256, "Linux"),
+            (1, 91.0, 91.0, 1024, "FreeBSD"),
+        ]
+        assert len(TABLE2_CLASSES) == 8
+        for cls, (count, lo, hi, ram, os_name) in zip(TABLE2_CLASSES, expected):
+            assert cls.count == count
+            assert cls.mflops_min == lo
+            assert cls.mflops_max == hi
+            assert cls.ram_mb == ram
+            assert cls.os == os_name
+
+    def test_150_clients(self):
+        assert sum(c.count for c in TABLE2_CLASSES) == 150
+        assert len(table2_cluster()) == 150
+
+    def test_total_mflops_order_of_magnitude(self):
+        total = total_mflops(table2_cluster())
+        # Midpoint census: 91*29.5 + 50*209.5 + 4*15 + 154+25+37+72+91.
+        assert total == pytest.approx(13538.5, rel=0.02)
+
+    def test_unique_machine_ids(self):
+        ids = [m.machine_id for m in table2_cluster()]
+        assert len(set(ids)) == 150
+
+
+class TestHomogeneousCluster:
+    def test_count_and_rate(self):
+        machines = homogeneous_cluster(60)
+        assert len(machines) == 60
+        assert all(m.mflops == pytest.approx(HOMOGENEOUS_MFLOPS) for m in machines)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="k"):
+            homogeneous_cluster(0)

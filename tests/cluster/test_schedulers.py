@@ -1,0 +1,147 @@
+"""Tests for static schedulers and the GA scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GAConfig,
+    ga_schedule,
+    homogeneous_cluster,
+    predicted_makespan,
+    static_block,
+    static_weighted,
+    table2_cluster,
+)
+
+PPM = 10.0  # photons per mflop used throughout these tests
+
+
+class TestStaticBlock:
+    def test_round_robin(self):
+        machines = homogeneous_cluster(3)
+        assignment = static_block(7, machines)
+        counts = np.bincount(assignment, minlength=3)
+        assert sorted(counts.tolist()) == [2, 2, 3]
+
+    def test_empty(self):
+        assert static_block(0, homogeneous_cluster(2)).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            static_block(-1, homogeneous_cluster(1))
+        with pytest.raises(ValueError):
+            static_block(1, [])
+
+
+class TestStaticWeighted:
+    def test_counts_sum(self):
+        machines = table2_cluster()
+        assignment = static_weighted(1000, machines)
+        assert assignment.shape == (1000,)
+
+    def test_proportionality(self):
+        machines = table2_cluster()
+        assignment = static_weighted(10_000, machines)
+        rates = {m.machine_id: m.mflops for m in machines}
+        counts = np.bincount(assignment, minlength=150)
+        # Fast machines (P4 2.4GHz ~ 209 Mflops) get ~7x the tasks of the
+        # slow P3 600MHz (~29.5 Mflops).
+        fast = [m.machine_id for m in machines if rates[m.machine_id] > 150][:5]
+        slow = [m.machine_id for m in machines if rates[m.machine_id] < 35][:5]
+        assert counts[fast].mean() > 5 * counts[slow].mean()
+
+    def test_homogeneous_equal_split(self):
+        machines = homogeneous_cluster(4)
+        counts = np.bincount(static_weighted(100, machines), minlength=4)
+        np.testing.assert_array_equal(counts, 25)
+
+
+class TestPredictedMakespan:
+    def test_single_machine(self):
+        machines = homogeneous_cluster(1)
+        sizes = [100, 200]
+        t = predicted_makespan(np.array([0, 0]), sizes, machines, PPM)
+        rate = machines[0].mflops * PPM
+        assert t == pytest.approx(300 / rate)
+
+    def test_overhead_term(self):
+        machines = homogeneous_cluster(1)
+        t0 = predicted_makespan(np.array([0]), [100], machines, PPM)
+        t1 = predicted_makespan(np.array([0]), [100], machines, PPM,
+                                per_task_overhead_s=0.5)
+        assert t1 == pytest.approx(t0 + 0.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            predicted_makespan(np.array([0]), [1, 2], homogeneous_cluster(1), PPM)
+
+
+class TestGAScheduler:
+    def test_never_worse_than_weighted_heuristic(self):
+        machines = table2_cluster()
+        sizes = [100_000] * 300
+        weighted = predicted_makespan(
+            static_weighted(len(sizes), machines), sizes, machines, PPM
+        )
+        result = ga_schedule(sizes, machines, PPM,
+                             config=GAConfig(population=20, generations=30, seed=0))
+        assert result.makespan <= weighted + 1e-9
+
+    def test_history_monotone_non_increasing(self):
+        machines = table2_cluster()
+        sizes = [100_000] * 100
+        result = ga_schedule(sizes, machines, PPM,
+                             config=GAConfig(population=16, generations=20, seed=1))
+        diffs = np.diff(result.history)
+        assert (diffs <= 1e-12).all()
+
+    def test_approaches_lower_bound_on_small_problem(self):
+        # 2 machines, rates 1:3 -> optimal makespan = total/(sum of rates).
+        from repro.cluster import Machine
+
+        machines = [
+            Machine(0, "slow", mflops=10.0, ram_mb=1, os="x"),
+            Machine(1, "fast", mflops=30.0, ram_mb=1, os="x"),
+        ]
+        sizes = [1000] * 20
+        result = ga_schedule(sizes, machines, PPM,
+                             config=GAConfig(population=30, generations=60, seed=2))
+        lower_bound = sum(sizes) / ((10.0 + 30.0) * PPM)
+        assert result.makespan <= lower_bound * 1.15
+
+    def test_assignment_shape_and_validity(self):
+        machines = homogeneous_cluster(3)
+        result = ga_schedule([10] * 7, machines, PPM,
+                             config=GAConfig(population=8, generations=5))
+        assert result.assignment.shape == (7,)
+        assert set(result.assignment.tolist()) <= {0, 1, 2}
+
+    def test_empty_tasks(self):
+        result = ga_schedule([], homogeneous_cluster(1), PPM)
+        assert result.makespan == 0.0
+        assert result.assignment.shape == (0,)
+
+    def test_no_machines_rejected(self):
+        with pytest.raises(ValueError, match="machine"):
+            ga_schedule([1], [], PPM)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population=1)
+        with pytest.raises(ValueError):
+            GAConfig(tournament=100)
+        with pytest.raises(ValueError):
+            GAConfig(mutation_rate=1.5)
+        with pytest.raises(ValueError):
+            GAConfig(elitism=40, population=40)
+
+    def test_reproducible(self):
+        machines = table2_cluster()
+        sizes = [50_000] * 50
+        cfg = GAConfig(population=10, generations=10, seed=5)
+        a = ga_schedule(sizes, machines, PPM, config=cfg)
+        b = ga_schedule(sizes, machines, PPM, config=cfg)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+        assert a.makespan == b.makespan

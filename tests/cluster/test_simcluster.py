@@ -1,0 +1,204 @@
+"""Tests for the discrete-event cluster simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Dedicated,
+    MasterModel,
+    NetworkModel,
+    OwnerInterference,
+    UniformAvailability,
+    efficiency,
+    homogeneous_cluster,
+    simulate_run,
+    speedup,
+    speedup_curve,
+    static_block,
+    static_weighted,
+    table2_cluster,
+)
+
+FAST_NET = NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=1e12,
+                        task_bytes=0, result_bytes=0)
+FREE_MASTER = MasterModel(assign_overhead_s=0.0, merge_overhead_s=0.0)
+
+
+def run_ideal(k, n_photons, task_size, **kw):
+    return simulate_run(
+        homogeneous_cluster(k), n_photons, task_size,
+        network=FAST_NET, master=FREE_MASTER, **kw,
+    )
+
+
+class TestIdealScaling:
+    def test_single_machine_time_is_work_over_rate(self):
+        from repro.cluster import HOMOGENEOUS_MFLOPS, PHOTONS_PER_MFLOP
+
+        rep = run_ideal(1, 1_000_000, 100_000)
+        expected = 1_000_000 / (HOMOGENEOUS_MFLOPS * PHOTONS_PER_MFLOP)
+        assert rep.makespan_seconds == pytest.approx(expected, rel=1e-9)
+
+    def test_perfect_speedup_without_overheads(self):
+        # k divides the task count evenly and overheads are zero.
+        p1 = run_ideal(1, 1_000_000, 100_000).makespan_seconds
+        p10 = run_ideal(10, 1_000_000, 100_000).makespan_seconds
+        assert speedup(p1, p10) == pytest.approx(10.0, rel=1e-9)
+
+    def test_all_photons_processed(self):
+        rep = run_ideal(7, 123_456, 10_000)
+        assert rep.n_photons == 123_456
+        assert sum(s.photons for s in rep.per_machine.values()) == 123_456
+
+    def test_quantisation_straggler(self):
+        # 3 machines, 4 equal tasks: makespan = 2 tasks' time.
+        rep = run_ideal(3, 400_000, 100_000)
+        one_task = run_ideal(1, 100_000, 100_000).makespan_seconds
+        assert rep.makespan_seconds == pytest.approx(2 * one_task, rel=1e-9)
+
+
+class TestOverheads:
+    def test_master_serialisation_bounds_throughput(self):
+        # With a slow master, efficiency at high k collapses.
+        slow_master = MasterModel(assign_overhead_s=1.0, merge_overhead_s=1.0)
+        p1 = simulate_run(homogeneous_cluster(1), 10_000_000, 100_000,
+                          network=FAST_NET, master=slow_master).makespan_seconds
+        p50 = simulate_run(homogeneous_cluster(50), 10_000_000, 100_000,
+                           network=FAST_NET, master=slow_master).makespan_seconds
+        eff = efficiency(p1, p50, 50)
+        assert eff < 0.9
+
+    def test_master_busy_accounted(self):
+        master = MasterModel(assign_overhead_s=0.01, merge_overhead_s=0.02)
+        rep = simulate_run(homogeneous_cluster(4), 1_000_000, 100_000,
+                           network=FAST_NET, master=master)
+        assert rep.master_busy_seconds == pytest.approx(10 * 0.03, rel=1e-9)
+
+    def test_network_latency_extends_makespan(self):
+        fast = run_ideal(5, 1_000_000, 100_000).makespan_seconds
+        slow_net = NetworkModel(latency_s=5.0, bandwidth_bytes_per_s=1e12,
+                                task_bytes=0, result_bytes=0)
+        slow = simulate_run(homogeneous_cluster(5), 1_000_000, 100_000,
+                            network=slow_net, master=FREE_MASTER).makespan_seconds
+        assert slow > fast + 5.0
+
+
+class TestAvailability:
+    def test_dedicated_is_deterministic(self):
+        a = run_ideal(5, 1_000_000, 50_000, seed=1).makespan_seconds
+        b = run_ideal(5, 1_000_000, 50_000, seed=2).makespan_seconds
+        assert a == pytest.approx(b)
+
+    def test_interference_slows_down(self):
+        base = run_ideal(5, 1_000_000, 50_000).makespan_seconds
+        loaded = run_ideal(
+            5, 1_000_000, 50_000,
+            availability=OwnerInterference(p_busy=0.5, busy_multiplier=0.25),
+            seed=3,
+        ).makespan_seconds
+        assert loaded > base * 1.2
+
+    def test_reproducible_given_seed(self):
+        kw = dict(availability=UniformAvailability(0.5, 1.0), seed=7)
+        a = run_ideal(5, 1_000_000, 50_000, **kw).makespan_seconds
+        b = run_ideal(5, 1_000_000, 50_000, **kw).makespan_seconds
+        assert a == pytest.approx(b)
+
+
+class TestStaticScheduling:
+    def test_block_on_homogeneous_matches_self(self):
+        machines = homogeneous_cluster(4)
+        n_tasks = 40
+        assignment = static_block(n_tasks, machines)
+        static = simulate_run(machines, 4_000_000, 100_000,
+                              network=FAST_NET, master=FREE_MASTER,
+                              static_assignment=assignment)
+        pull = run_ideal(4, 4_000_000, 100_000)
+        assert static.makespan_seconds == pytest.approx(
+            pull.makespan_seconds, rel=1e-6
+        )
+
+    def test_block_collapses_on_heterogeneous(self):
+        # Equal task counts on wildly different machines: the slowest class
+        # dominates; weighted assignment must be much better.
+        machines = table2_cluster()
+        n_photons, task_size = 100_000_000, 100_000
+        n_tasks = n_photons // task_size
+        block = simulate_run(machines, n_photons, task_size,
+                             network=FAST_NET, master=FREE_MASTER,
+                             static_assignment=static_block(n_tasks, machines))
+        weighted = simulate_run(machines, n_photons, task_size,
+                                network=FAST_NET, master=FREE_MASTER,
+                                static_assignment=static_weighted(n_tasks, machines))
+        assert weighted.makespan_seconds < 0.5 * block.makespan_seconds
+
+    def test_self_scheduling_beats_block_on_heterogeneous(self):
+        machines = table2_cluster()
+        n_photons, task_size = 100_000_000, 100_000
+        n_tasks = n_photons // task_size
+        block = simulate_run(machines, n_photons, task_size,
+                             network=FAST_NET, master=FREE_MASTER,
+                             static_assignment=static_block(n_tasks, machines))
+        pull = simulate_run(machines, n_photons, task_size,
+                            network=FAST_NET, master=FREE_MASTER)
+        assert pull.makespan_seconds < block.makespan_seconds
+
+    def test_assignment_validation(self):
+        machines = homogeneous_cluster(2)
+        with pytest.raises(ValueError, match="map all"):
+            simulate_run(machines, 300_000, 100_000,
+                         static_assignment=np.array([0, 1]))
+        with pytest.raises(ValueError, match="unknown machines"):
+            simulate_run(machines, 200_000, 100_000,
+                         static_assignment=np.array([0, 99]))
+
+
+class TestReportInvariants:
+    def test_utilisation_bounded(self):
+        rep = simulate_run(table2_cluster(), 50_000_000, 100_000, seed=0,
+                           availability=UniformAvailability())
+        assert 0.0 < rep.mean_utilisation <= 1.0
+
+    def test_empty_run(self):
+        rep = simulate_run(homogeneous_cluster(3), 0, 1000)
+        assert rep.makespan_seconds == 0.0
+        assert rep.n_tasks == 0
+
+    def test_needs_machines(self):
+        with pytest.raises(ValueError, match="machine"):
+            simulate_run([], 1000, 100)
+
+
+class TestSpeedupCurve:
+    def test_fig2_shape(self):
+        """The headline Fig. 2 claim: near-linear speedup, >=97% at 60."""
+        points = speedup_curve([1, 20, 40, 60], 100_000_000, 100_000)
+        by_k = {p.k: p for p in points}
+        assert by_k[1].speedup == pytest.approx(1.0)
+        assert by_k[60].efficiency >= 0.97
+        ks = [p.k for p in points]
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)  # monotone increasing
+
+    def test_efficiency_definition(self):
+        points = speedup_curve([1, 10], 10_000_000, 100_000)
+        p10 = next(p for p in points if p.k == 10)
+        assert p10.efficiency == pytest.approx(p10.speedup / 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            speedup_curve([], 1000, 100)
+        with pytest.raises(ValueError, match="k must be"):
+            speedup_curve([0], 1000, 100)
+
+
+class TestMetrics:
+    def test_speedup_and_efficiency(self):
+        assert speedup(100.0, 10.0) == pytest.approx(10.0)
+        assert efficiency(100.0, 10.0, 20) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)

@@ -1,0 +1,73 @@
+"""Tests for DES execution traces and Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ascii_gantt,
+    extract_intervals,
+    homogeneous_cluster,
+    simulate_run,
+    table2_cluster,
+)
+
+
+class TestExtractIntervals:
+    def test_one_interval_per_task(self):
+        rep = simulate_run(homogeneous_cluster(3), 1_000_000, 100_000, trace=True)
+        intervals = extract_intervals(rep)
+        assert len(intervals) == rep.n_tasks
+
+    def test_intervals_cover_busy_time(self):
+        rep = simulate_run(homogeneous_cluster(3), 1_000_000, 100_000, trace=True)
+        total = sum(iv.duration for iv in extract_intervals(rep))
+        assert total == pytest.approx(rep.cluster_busy_seconds, rel=1e-9)
+
+    def test_no_overlap_per_machine(self):
+        rep = simulate_run(homogeneous_cluster(4), 2_000_000, 100_000, trace=True)
+        intervals = extract_intervals(rep)
+        by_machine: dict[int, list] = {}
+        for iv in intervals:
+            by_machine.setdefault(iv.machine_id, []).append(iv)
+        for machine_intervals in by_machine.values():
+            ordered = sorted(machine_intervals, key=lambda iv: iv.start)
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_intervals_inside_makespan(self):
+        rep = simulate_run(homogeneous_cluster(3), 1_000_000, 100_000, trace=True)
+        for iv in extract_intervals(rep):
+            assert 0.0 <= iv.start < iv.end <= rep.makespan_seconds + 1e-9
+
+    def test_untraced_report_empty(self):
+        rep = simulate_run(homogeneous_cluster(2), 500_000, 100_000)
+        assert extract_intervals(rep) == []
+
+
+class TestAsciiGantt:
+    def test_renders_all_machines(self):
+        rep = simulate_run(homogeneous_cluster(5), 2_000_000, 100_000, trace=True)
+        chart = ascii_gantt(rep, width=40)
+        lines = chart.split("\n")
+        assert len(lines) == 6  # header + 5 machines
+        assert all("#" in line for line in lines[1:])
+
+    def test_machine_cap(self):
+        rep = simulate_run(table2_cluster(), 30_000_000, 100_000, trace=True)
+        chart = ascii_gantt(rep, width=40, max_machines=5)
+        assert "more machines" in chart
+
+    def test_untraced_rejected(self):
+        rep = simulate_run(homogeneous_cluster(2), 500_000, 100_000)
+        with pytest.raises(ValueError, match="trace"):
+            ascii_gantt(rep)
+
+    def test_straggler_visible(self):
+        """With 4 tasks on 3 machines, one machine's row is busy twice as
+        long — the quantisation straggler shows as a longer bar."""
+        rep = simulate_run(homogeneous_cluster(3), 400_000, 100_000, trace=True)
+        chart = ascii_gantt(rep, width=60)
+        rows = chart.split("\n")[1:]
+        busy_lengths = sorted(row.count("#") for row in rows)
+        assert busy_lengths[-1] > 1.5 * busy_lengths[0]

@@ -1,0 +1,92 @@
+"""Tests for simulation configuration objects."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import RecordConfig, SimulationConfig
+from repro.detect import AcceptAll, DiscDetector, GridSpec, PathlengthGate, TimeGate
+from repro.sources import PencilBeam
+from repro.tissue.optical import SPEED_OF_LIGHT_MM_PER_NS
+
+
+class TestRecordConfig:
+    def test_defaults_disabled(self):
+        r = RecordConfig()
+        assert r.absorption_grid is None
+        assert r.path_grid is None
+        assert r.pathlength_bins is None
+
+    @pytest.mark.parametrize("field,value", [
+        ("pathlength_bins", (5.0, 1.0, 10)),
+        ("pathlength_bins", (0.0, 1.0, 0)),
+        ("reflectance_rho_bins", (0.0, 10)),
+        ("reflectance_rho_bins", (1.0, 0)),
+        ("penetration_bins", (-1.0, 10)),
+        ("penetration_bins", (1.0, -1)),
+    ])
+    def test_invalid_bins(self, field, value):
+        with pytest.raises(ValueError):
+            RecordConfig(**{field: value})
+
+    def test_grid_spec_accepted(self):
+        spec = GridSpec.cube(10, 5.0, 5.0)
+        r = RecordConfig(absorption_grid=spec, path_grid=spec)
+        assert r.absorption_grid is spec
+
+
+class TestSimulationConfig:
+    def test_defaults(self, fast_stack):
+        config = SimulationConfig(stack=fast_stack, source=PencilBeam())
+        assert isinstance(config.detector, AcceptAll)
+        assert config.gate is None
+        assert config.boundary_mode == "probabilistic"
+        assert config.max_steps > 0
+
+    def test_invalid_boundary_mode(self, fast_stack):
+        with pytest.raises(ValueError, match="boundary_mode"):
+            SimulationConfig(
+                stack=fast_stack, source=PencilBeam(), boundary_mode="quantum"
+            )
+
+    def test_invalid_max_steps(self, fast_stack):
+        with pytest.raises(ValueError, match="max_steps"):
+            SimulationConfig(stack=fast_stack, source=PencilBeam(), max_steps=0)
+
+    def test_pathlength_gate_passthrough(self, fast_stack):
+        gate = PathlengthGate(1.0, 2.0)
+        config = SimulationConfig(stack=fast_stack, source=PencilBeam(), gate=gate)
+        assert config.pathlength_gate() is gate
+
+    def test_time_gate_converted(self, fast_stack):
+        config = SimulationConfig(
+            stack=fast_stack, source=PencilBeam(), gate=TimeGate(1.0, 2.0)
+        )
+        converted = config.pathlength_gate()
+        assert converted.l_min == pytest.approx(SPEED_OF_LIGHT_MM_PER_NS)
+
+    def test_no_gate(self, fast_stack):
+        config = SimulationConfig(stack=fast_stack, source=PencilBeam())
+        assert config.pathlength_gate() is None
+
+    def test_with_functional_update(self, fast_stack):
+        config = SimulationConfig(stack=fast_stack, source=PencilBeam())
+        detector = DiscDetector(5.0, 0.0, radius=1.0)
+        updated = config.with_(detector=detector)
+        assert updated.detector is detector
+        assert isinstance(config.detector, AcceptAll)  # original untouched
+
+    def test_picklable(self, fast_stack):
+        config = SimulationConfig(
+            stack=fast_stack,
+            source=PencilBeam(),
+            detector=DiscDetector(1.0, 0.0, radius=0.5),
+            gate=PathlengthGate(0.0, 10.0),
+            records=RecordConfig(penetration_bins=(10.0, 5)),
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone.gate == config.gate
+        assert clone.records == config.records
+        assert len(clone.stack) == len(config.stack)

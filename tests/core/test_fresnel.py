@@ -1,0 +1,122 @@
+"""Tests for Fresnel boundary optics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fresnel import (
+    cos_transmitted,
+    critical_cosine,
+    fresnel_reflectance,
+    specular_reflectance,
+)
+
+
+class TestSpecular:
+    def test_air_tissue(self):
+        # n=1 -> n=1.4: ((0.4)/(2.4))^2 = 1/36.
+        assert specular_reflectance(1.0, 1.4) == pytest.approx((0.4 / 2.4) ** 2)
+
+    def test_symmetric(self):
+        assert specular_reflectance(1.0, 1.4) == pytest.approx(specular_reflectance(1.4, 1.0))
+
+    def test_matched(self):
+        assert specular_reflectance(1.4, 1.4) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            specular_reflectance(0.0, 1.4)
+
+
+class TestCriticalCosine:
+    def test_no_tir_into_denser(self):
+        assert critical_cosine(1.0, 1.4) == 0.0
+
+    def test_tissue_to_air(self):
+        # sin(theta_c) = 1/1.4 -> cos(theta_c) = sqrt(1 - 1/1.96).
+        expected = np.sqrt(1.0 - (1.0 / 1.4) ** 2)
+        assert critical_cosine(1.4, 1.0) == pytest.approx(expected)
+
+    def test_matched(self):
+        assert critical_cosine(1.4, 1.4) == 0.0
+
+
+class TestCosTransmitted:
+    def test_normal_incidence(self):
+        assert cos_transmitted(1.0, 1.0, 1.4) == pytest.approx(1.0)
+
+    def test_snell_law(self):
+        n1, n2 = 1.0, 1.5
+        theta_i = np.deg2rad(30.0)
+        ct = cos_transmitted(np.cos(theta_i), n1, n2)
+        sin_t = n1 / n2 * np.sin(theta_i)
+        assert ct == pytest.approx(np.sqrt(1 - sin_t**2))
+
+    def test_total_internal_reflection_is_nan(self):
+        # From dense to rare beyond the critical angle.
+        ct = cos_transmitted(0.1, 1.4, 1.0)
+        assert np.isnan(ct)
+
+
+class TestFresnelReflectance:
+    def test_normal_incidence_matches_specular(self):
+        r = fresnel_reflectance(1.0, 1.0, 1.4)
+        assert float(r) == pytest.approx(specular_reflectance(1.0, 1.4), abs=1e-12)
+
+    def test_grazing_incidence_total(self):
+        assert float(fresnel_reflectance(1e-9, 1.0, 1.4)) == pytest.approx(1.0, abs=1e-4)
+
+    def test_total_internal_reflection(self):
+        cos_c = critical_cosine(1.4, 1.0)
+        r = fresnel_reflectance(cos_c * 0.5, 1.4, 1.0)
+        assert float(r) == 1.0
+
+    def test_matched_indices_zero(self):
+        r = fresnel_reflectance(np.linspace(0.01, 1.0, 17), 1.4, 1.4)
+        np.testing.assert_array_equal(r, 0.0)
+
+    def test_range(self):
+        cos_i = np.linspace(0.0, 1.0, 101)
+        r = fresnel_reflectance(cos_i, 1.4, 1.0)
+        assert (r >= 0.0).all() and (r <= 1.0).all()
+
+    def test_brewster_angle_p_polarisation_minimum(self):
+        # At Brewster's angle the unpolarised reflectance equals rs^2 / 2.
+        n1, n2 = 1.0, 1.5
+        theta_b = np.arctan(n2 / n1)
+        r = float(fresnel_reflectance(np.cos(theta_b), n1, n2))
+        # rs at Brewster for 1->1.5: compute directly.
+        ci = np.cos(theta_b)
+        ct = cos_transmitted(ci, n1, n2)
+        rs = ((n1 * ci - n2 * ct) / (n1 * ci + n2 * ct)) ** 2
+        assert r == pytest.approx(rs / 2, rel=1e-9)
+
+    def test_reciprocity_at_normal(self):
+        r12 = float(fresnel_reflectance(1.0, 1.0, 1.4))
+        r21 = float(fresnel_reflectance(1.0, 1.4, 1.0))
+        assert r12 == pytest.approx(r21)
+
+    def test_monotone_beyond_brewster(self):
+        # For n1 < n2, R increases monotonically from Brewster to grazing.
+        n1, n2 = 1.0, 1.4
+        theta = np.linspace(np.arctan(n2 / n1), np.pi / 2 - 1e-6, 200)
+        r = fresnel_reflectance(np.cos(theta), n1, n2)
+        assert (np.diff(r) >= -1e-12).all()
+
+    def test_scalar_and_array_consistent(self):
+        cos_i = 0.5
+        scalar = float(fresnel_reflectance(cos_i, 1.4, 1.0))
+        array = fresnel_reflectance(np.array([cos_i]), 1.4, 1.0)
+        assert scalar == pytest.approx(float(array[0]))
+
+    def test_energy_conservation_with_transmittance(self):
+        # T = 1 - R, with T computed from the transmission coefficients.
+        n1, n2 = 1.0, 1.5
+        cos_i = np.cos(np.deg2rad(40.0))
+        ct = cos_transmitted(cos_i, n1, n2)
+        r = float(fresnel_reflectance(cos_i, n1, n2))
+        ts = 2 * n1 * cos_i / (n1 * cos_i + n2 * ct)
+        tp = 2 * n1 * cos_i / (n1 * ct + n2 * cos_i)
+        t_power = (n2 * ct) / (n1 * cos_i) * 0.5 * (ts**2 + tp**2)
+        assert r + t_power == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,81 @@
+"""Tests for Russian-roulette termination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.roulette import RouletteConfig, roulette
+
+
+class TestRouletteConfig:
+    def test_defaults(self):
+        cfg = RouletteConfig()
+        assert cfg.threshold == pytest.approx(1e-4)
+        assert cfg.boost == pytest.approx(10.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            RouletteConfig(threshold=-1.0)
+
+    def test_invalid_boost(self):
+        with pytest.raises(ValueError, match="boost"):
+            RouletteConfig(boost=1.0)
+
+
+class TestRoulette:
+    def test_above_threshold_untouched(self, rng):
+        w = np.full(100, 0.5)
+        alive = np.ones(100, dtype=bool)
+        roulette(w, alive, rng, RouletteConfig(threshold=1e-4))
+        np.testing.assert_array_equal(w, 0.5)
+        assert alive.all()
+
+    def test_below_threshold_processed(self, rng):
+        n = 100_000
+        w = np.full(n, 1e-5)
+        alive = np.ones(n, dtype=bool)
+        cfg = RouletteConfig(threshold=1e-4, boost=10.0)
+        roulette(w, alive, rng, cfg)
+        survivors = alive.sum()
+        # ~1/boost survive.
+        assert survivors / n == pytest.approx(0.1, abs=0.01)
+        # Survivors are boosted, losers zeroed.
+        np.testing.assert_allclose(w[alive], 1e-4)
+        np.testing.assert_array_equal(w[~alive], 0.0)
+
+    def test_expected_weight_conserved(self, rng):
+        n = 200_000
+        w = np.full(n, 1e-5)
+        alive = np.ones(n, dtype=bool)
+        before = w.sum()
+        roulette(w, alive, rng, RouletteConfig(threshold=1e-4, boost=10.0))
+        after = w.sum()
+        assert after == pytest.approx(before, rel=0.02)
+
+    def test_dead_photons_ignored(self, rng):
+        w = np.full(10, 1e-5)
+        alive = np.zeros(10, dtype=bool)
+        roulette(w, alive, rng)
+        np.testing.assert_array_equal(w, 1e-5)  # untouched
+        assert not alive.any()
+
+    def test_zero_weight_not_rouletted(self, rng):
+        w = np.zeros(10)
+        alive = np.ones(10, dtype=bool)
+        roulette(w, alive, rng)
+        assert alive.all()  # zero-weight photons are not the roulette's job
+
+    def test_empty_arrays(self, rng):
+        w = np.empty(0)
+        alive = np.empty(0, dtype=bool)
+        roulette(w, alive, rng)  # must not raise
+
+    def test_rng_consumption_only_for_candidates(self, rng):
+        # With no candidates the generator must not advance: the next draw
+        # equals the draw of a fresh generator with the same seed.
+        w = np.full(10, 0.5)
+        alive = np.ones(10, dtype=bool)
+        roulette(w, alive, rng)
+        untouched = np.random.default_rng(12345)  # same seed as the fixture
+        assert rng.random() == untouched.random()

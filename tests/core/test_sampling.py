@@ -1,0 +1,169 @@
+"""Tests for the Monte Carlo sampling primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    hg_pdf,
+    rotate_direction,
+    sample_azimuth,
+    sample_hg_cosine,
+    sample_step_length,
+)
+
+
+class TestStepLength:
+    def test_mean_is_mean_free_path(self, rng):
+        mu_t = 2.5
+        s = sample_step_length(mu_t, rng, 200_000)
+        assert s.mean() == pytest.approx(1.0 / mu_t, rel=0.01)
+
+    def test_all_positive_finite(self, rng):
+        s = sample_step_length(3.0, rng, 100_000)
+        assert (s > 0).all()
+        assert np.isfinite(s).all()
+
+    def test_exponential_distribution(self, rng):
+        # P(S > s) = exp(-mu_t s): check the survival function at a few points.
+        mu_t = 1.0
+        s = sample_step_length(mu_t, rng, 200_000)
+        for q in (0.5, 1.0, 2.0):
+            expected = np.exp(-mu_t * q)
+            assert (s > q).mean() == pytest.approx(expected, abs=0.01)
+
+    def test_zero_mu_t_gives_infinite_steps(self, rng):
+        s = sample_step_length(0.0, rng, 10)
+        assert np.isinf(s).all()
+
+    def test_array_mu_t_broadcast(self, rng):
+        mu_t = np.array([1.0, 2.0, 4.0])
+        s = sample_step_length(mu_t, rng)
+        assert s.shape == (3,)
+
+    def test_per_photon_coefficients(self, rng):
+        # Larger mu_t must give stochastically shorter steps in aggregate.
+        mu_t = np.full(50_000, 1.0)
+        s1 = sample_step_length(mu_t, rng)
+        s4 = sample_step_length(4.0 * mu_t, rng)
+        assert s4.mean() < s1.mean() / 2
+
+
+class TestHGCosine:
+    @pytest.mark.parametrize("g", [-0.9, -0.5, 0.0, 0.3, 0.8, 0.99])
+    def test_mean_cosine_equals_g(self, rng, g):
+        mu = sample_hg_cosine(g, rng, 400_000)
+        # Var of HG cosine is bounded by 1; SE < 0.002.
+        assert mu.mean() == pytest.approx(g, abs=0.01)
+
+    def test_range(self, rng):
+        mu = sample_hg_cosine(0.9, rng, 100_000)
+        assert (mu >= -1.0).all() and (mu <= 1.0).all()
+
+    def test_isotropic_uniform(self, rng):
+        mu = sample_hg_cosine(0.0, rng, 200_000)
+        # Uniform on [-1, 1]: variance 1/3.
+        assert mu.var() == pytest.approx(1.0 / 3.0, rel=0.02)
+
+    def test_per_photon_g_array(self, rng):
+        g = np.array([0.0, 0.9])
+        mu = sample_hg_cosine(np.repeat(g, 100_000), rng)
+        assert mu[:100_000].mean() == pytest.approx(0.0, abs=0.02)
+        assert mu[100_000:].mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_distribution_matches_pdf(self, rng):
+        g = 0.7
+        mu = sample_hg_cosine(g, rng, 400_000)
+        hist, edges = np.histogram(mu, bins=50, range=(-1, 1), density=True)
+        centres = 0.5 * (edges[:-1] + edges[1:])
+        expected = hg_pdf(centres, g)
+        # Allow a few percent everywhere except the sharp forward peak.
+        ratio = hist / expected
+        assert np.abs(ratio[:-2] - 1.0).max() < 0.15
+
+
+class TestHGPdf:
+    def test_normalised(self):
+        mu = np.linspace(-1, 1, 20_001)
+        for g in (0.0, 0.5, 0.9):
+            integral = np.trapezoid(hg_pdf(mu, g), mu)
+            assert integral == pytest.approx(1.0, rel=1e-4)
+
+    def test_mean_is_g(self):
+        mu = np.linspace(-1, 1, 20_001)
+        for g in (0.0, 0.5, 0.9):
+            mean = np.trapezoid(mu * hg_pdf(mu, g), mu)
+            assert mean == pytest.approx(g, abs=1e-4)
+
+    def test_invalid_g_rejected(self):
+        with pytest.raises(ValueError, match="g must lie"):
+            hg_pdf(0.0, 1.0)
+
+
+class TestAzimuth:
+    def test_range_and_uniformity(self, rng):
+        psi = sample_azimuth(rng, 200_000)
+        assert (psi >= 0).all() and (psi < 2 * np.pi).all()
+        assert psi.mean() == pytest.approx(np.pi, rel=0.01)
+        # Uniform variance (2pi)^2/12.
+        assert psi.var() == pytest.approx((2 * np.pi) ** 2 / 12, rel=0.02)
+
+
+class TestRotateDirection:
+    def test_preserves_unit_norm(self, rng):
+        n = 10_000
+        u = rng.normal(size=(n, 3))
+        u /= np.linalg.norm(u, axis=1, keepdims=True)
+        mu = sample_hg_cosine(0.8, rng, n)
+        psi = sample_azimuth(rng, n)
+        nux, nuy, nuz = rotate_direction(u[:, 0], u[:, 1], u[:, 2], mu, psi)
+        norm = np.sqrt(nux**2 + nuy**2 + nuz**2)
+        np.testing.assert_allclose(norm, 1.0, atol=1e-12)
+
+    def test_rotation_angle_matches_cos_theta(self, rng):
+        n = 10_000
+        u = rng.normal(size=(n, 3))
+        u /= np.linalg.norm(u, axis=1, keepdims=True)
+        mu = sample_hg_cosine(0.5, rng, n)
+        psi = sample_azimuth(rng, n)
+        nux, nuy, nuz = rotate_direction(u[:, 0], u[:, 1], u[:, 2], mu, psi)
+        dot = u[:, 0] * nux + u[:, 1] * nuy + u[:, 2] * nuz
+        np.testing.assert_allclose(dot, mu, atol=1e-9)
+
+    def test_vertical_up_special_case(self, rng):
+        mu = np.array([0.6])
+        psi = np.array([1.0])
+        nux, nuy, nuz = rotate_direction(
+            np.array([0.0]), np.array([0.0]), np.array([1.0]), mu, psi
+        )
+        assert nuz[0] == pytest.approx(0.6)
+        assert nux[0] ** 2 + nuy[0] ** 2 + nuz[0] ** 2 == pytest.approx(1.0)
+
+    def test_vertical_down_special_case(self):
+        mu = np.array([0.6])
+        psi = np.array([0.5])
+        nux, nuy, nuz = rotate_direction(
+            np.array([0.0]), np.array([0.0]), np.array([-1.0]), mu, psi
+        )
+        assert nuz[0] == pytest.approx(-0.6)
+
+    def test_identity_rotation(self):
+        # cos_theta = 1 leaves the direction unchanged.
+        nux, nuy, nuz = rotate_direction(
+            np.array([0.6]), np.array([0.0]), np.array([0.8]),
+            np.array([1.0]), np.array([2.0]),
+        )
+        assert nux[0] == pytest.approx(0.6, abs=1e-12)
+        assert nuz[0] == pytest.approx(0.8, abs=1e-12)
+
+    def test_azimuthal_symmetry(self, rng):
+        # Averaged over uniform psi, the transverse components vanish.
+        n = 200_000
+        mu = np.full(n, 0.3)
+        psi = sample_azimuth(rng, n)
+        nux, nuy, _ = rotate_direction(
+            np.zeros(n), np.zeros(n), np.ones(n), mu, psi
+        )
+        assert abs(nux.mean()) < 0.005
+        assert abs(nuy.mean()) < 0.005

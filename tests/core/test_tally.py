@@ -1,0 +1,161 @@
+"""Tests for the mergeable Tally."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RecordConfig, Tally
+from repro.detect.records import GridSpec
+
+
+def make_tally(**kw) -> Tally:
+    defaults = dict(n_layers=3)
+    defaults.update(kw)
+    return Tally(**defaults)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = make_tally()
+        assert t.n_launched == 0
+        assert t.absorbed_by_layer.shape == (3,)
+        assert t.absorption_grid is None
+        assert t.path_grid is None
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError, match="n_layers"):
+            Tally(n_layers=0)
+
+    def test_grids_allocated_from_records(self):
+        spec = GridSpec.cube(8, 5.0, 5.0)
+        t = Tally(n_layers=1, records=RecordConfig(absorption_grid=spec, path_grid=spec))
+        assert t.absorption_grid.shape == (8, 8, 8)
+        assert t.path_grid.shape == (8, 8, 8)
+
+    def test_histograms_allocated(self):
+        t = Tally(
+            n_layers=1,
+            records=RecordConfig(
+                pathlength_bins=(0.0, 10.0, 5),
+                reflectance_rho_bins=(20.0, 10),
+                penetration_bins=(30.0, 15),
+            ),
+        )
+        assert t.pathlength_hist.counts.shape == (5,)
+        assert t.reflectance_rho_hist.counts.shape == (10,)
+        assert t.penetration_hist.counts.shape == (15,)
+
+
+class TestMerge:
+    def test_scalar_fields_add(self):
+        a = make_tally(n_launched=10, diffuse_reflectance_weight=2.0, detected_count=3)
+        b = make_tally(n_launched=5, diffuse_reflectance_weight=1.0, detected_count=1)
+        m = a.merge(b)
+        assert m.n_launched == 15
+        assert m.diffuse_reflectance_weight == pytest.approx(3.0)
+        assert m.detected_count == 4
+
+    def test_layer_absorption_adds(self):
+        a = make_tally()
+        b = make_tally()
+        a.absorbed_by_layer[:] = [1.0, 2.0, 3.0]
+        b.absorbed_by_layer[:] = [0.5, 0.5, 0.5]
+        m = a.merge(b)
+        np.testing.assert_allclose(m.absorbed_by_layer, [1.5, 2.5, 3.5])
+
+    def test_mismatched_layers_rejected(self):
+        with pytest.raises(ValueError, match="layers"):
+            make_tally().merge(Tally(n_layers=2))
+
+    def test_mismatched_records_rejected(self):
+        spec = GridSpec.cube(4, 1.0, 1.0)
+        a = Tally(n_layers=1, records=RecordConfig(path_grid=spec))
+        b = Tally(n_layers=1)
+        with pytest.raises(ValueError, match="RecordConfig"):
+            a.merge(b)
+
+    def test_grids_add(self):
+        spec = GridSpec.cube(4, 1.0, 1.0)
+        a = Tally(n_layers=1, records=RecordConfig(path_grid=spec))
+        b = Tally(n_layers=1, records=RecordConfig(path_grid=spec))
+        a.path_grid[0, 0, 0] = 1.0
+        b.path_grid[0, 0, 0] = 2.0
+        assert a.merge(b).path_grid[0, 0, 0] == pytest.approx(3.0)
+
+    def test_merge_is_commutative(self):
+        a = make_tally(n_launched=7, specular_weight=0.2)
+        b = make_tally(n_launched=3, specular_weight=0.1)
+        ab = a.merge(b)
+        ba = b.merge(a)
+        assert ab.summary() == ba.summary()
+
+    def test_merge_all(self):
+        parts = [make_tally(n_launched=i) for i in (1, 2, 3)]
+        assert Tally.merge_all(parts).n_launched == 6
+
+    def test_merge_all_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Tally.merge_all([])
+
+    def test_merge_identity(self):
+        a = make_tally(n_launched=4, transmittance_weight=1.5)
+        zero = make_tally()
+        m = a.merge(zero)
+        assert m.n_launched == 4
+        assert m.transmittance_weight == pytest.approx(1.5)
+
+
+class TestProperties:
+    def test_normalisation(self):
+        t = make_tally(
+            n_launched=100,
+            specular_weight=3.0,
+            diffuse_reflectance_weight=50.0,
+            transmittance_weight=7.0,
+        )
+        assert t.specular_reflectance == pytest.approx(0.03)
+        assert t.diffuse_reflectance == pytest.approx(0.5)
+        assert t.transmittance == pytest.approx(0.07)
+
+    def test_energy_balance(self):
+        t = make_tally(
+            n_launched=10,
+            specular_weight=1.0,
+            diffuse_reflectance_weight=4.0,
+            transmittance_weight=2.0,
+        )
+        t.absorbed_by_layer[:] = [1.0, 1.0, 1.0]
+        assert t.energy_balance == pytest.approx(1.0)
+
+    def test_empty_tally_nan(self):
+        t = make_tally()
+        assert np.isnan(t.diffuse_reflectance)
+        assert np.isnan(t.energy_balance)
+
+    def test_dpf(self):
+        t = make_tally(n_launched=1)
+        t.pathlength.add(np.array([60.0]), np.array([1.0]))
+        assert t.differential_pathlength_factor(10.0) == pytest.approx(6.0)
+
+    def test_dpf_invalid_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            make_tally().differential_pathlength_factor(0.0)
+
+    def test_summary_keys_stable(self):
+        keys = set(make_tally(n_launched=1).summary())
+        assert {"diffuse_reflectance", "energy_balance", "detected_count"} <= keys
+
+
+class TestPenetrationRecording:
+    def test_clipping_into_last_bin(self):
+        t = Tally(n_layers=1, records=RecordConfig(penetration_bins=(10.0, 10)))
+        t.record_penetration(np.array([5.0, 25.0, 9.99]))
+        assert t.penetration_hist.total == pytest.approx(3.0)
+        # The 25.0 sample lands in the last bin.
+        assert t.penetration_hist.counts[-1] >= 1.0
+
+    def test_noop_without_histogram(self):
+        t = make_tally()
+        t.record_penetration(np.array([1.0]))  # silently ignored
+        assert t.penetration_hist is None

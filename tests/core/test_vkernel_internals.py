@@ -1,0 +1,120 @@
+"""White-box tests of the vectorised kernel's internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, run_batch_vectorized, task_rng
+from repro.core.vkernel import _PathEvents, _State
+from repro.detect import GridSpec
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+
+
+class TestPathEvents:
+    @pytest.fixture
+    def spec(self):
+        return GridSpec(shape=(4, 4, 4), lo=(0, 0, 0), hi=(4, 4, 4))
+
+    def test_outside_events_dropped_at_append(self, spec):
+        events = _PathEvents(spec)
+        events.append(
+            np.array([0, 1]),
+            np.array([1.0, 99.0]),  # second point far outside the grid
+            np.array([1.0, 1.0]),
+            np.array([1.0, 1.0]),
+            np.array([0.5, 0.5]),
+        )
+        assert len(events.gids) == 1
+        assert events.gids[0].tolist() == [0]
+
+    def test_compact_deposits_detected_only(self, spec):
+        events = _PathEvents(spec)
+        events.append(
+            np.array([0, 1]),
+            np.array([0.5, 1.5]),
+            np.array([0.5, 0.5]),
+            np.array([0.5, 0.5]),
+            np.array([1.0, 2.0]),
+        )
+        grid = spec.zeros()
+        detected = np.array([True, False])
+        alive = np.array([False, False])
+        events.compact(alive, detected, grid)
+        assert grid.sum() == pytest.approx(1.0)  # only photon 0's weight
+        assert not events.gids  # nothing retained (both dead)
+
+    def test_compact_retains_live_photons(self, spec):
+        events = _PathEvents(spec)
+        events.append(
+            np.array([0, 1]),
+            np.array([0.5, 1.5]),
+            np.array([0.5, 0.5]),
+            np.array([0.5, 0.5]),
+            np.array([1.0, 2.0]),
+        )
+        grid = spec.zeros()
+        events.compact(np.array([False, True]), np.array([False, False]), grid)
+        assert grid.sum() == 0.0
+        # Photon 1's event survives for a later compaction.
+        assert events.gids[0].tolist() == [1]
+        events.compact(np.array([False, False]), np.array([False, True]), grid)
+        assert grid.sum() == pytest.approx(2.0)
+
+    def test_empty_compact_noop(self, spec):
+        events = _PathEvents(spec)
+        grid = spec.zeros()
+        events.compact(np.zeros(2, bool), np.zeros(2, bool), grid)
+        assert grid.sum() == 0.0
+
+
+class TestState:
+    def make_state(self, n=5):
+        pos = np.zeros((n, 3))
+        dirs = np.zeros((n, 3))
+        dirs[:, 2] = 1.0
+        return _State(pos, dirs, np.zeros(n, dtype=np.int64), np.ones(n))
+
+    def test_squeeze_drops_dead(self):
+        st = self.make_state(5)
+        st.alive[:] = [True, False, True, False, True]
+        st.w[:] = [1.0, 0.0, 2.0, 0.0, 3.0]
+        st.squeeze()
+        assert st.size == 3
+        np.testing.assert_array_equal(st.w, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(st.gid, [0, 2, 4])
+        assert st.alive.all()
+
+    def test_gid_survives_multiple_squeezes(self):
+        st = self.make_state(6)
+        st.alive[:] = [True, True, False, True, True, True]
+        st.squeeze()
+        st.alive[:] = [False, True, True, False, True]
+        st.squeeze()
+        np.testing.assert_array_equal(st.gid, [1, 3, 5])
+
+
+class TestSubBatching:
+    def test_results_independent_of_sub_batch(self):
+        """Sub-batch size changes scheduling, not statistics."""
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(PROPS), source=PencilBeam()
+        )
+        small = run_batch_vectorized(config, 3_000, task_rng(0, 0), sub_batch=500)
+        large = run_batch_vectorized(config, 3_000, task_rng(0, 0), sub_batch=10_000)
+        assert small.n_launched == large.n_launched == 3_000
+        assert small.energy_balance == pytest.approx(1.0, abs=1e-9)
+        assert large.energy_balance == pytest.approx(1.0, abs=1e-9)
+        assert small.diffuse_reflectance == pytest.approx(
+            large.diffuse_reflectance, rel=0.15
+        )
+
+    def test_invalid_sub_batch(self):
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(PROPS), source=PencilBeam()
+        )
+        with pytest.raises(ValueError, match="sub_batch"):
+            run_batch_vectorized(config, 10, task_rng(0, 0), sub_batch=0)

@@ -1,0 +1,92 @@
+"""Tests for surface detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detect import AcceptAll, AnnularDetector, DiscDetector
+
+UP = -1.0  # uz of a photon escaping upwards at normal incidence
+
+
+class TestDiscDetector:
+    def test_inside_accepted(self):
+        d = DiscDetector(10.0, 0.0, radius=2.0)
+        assert d.accepts(np.array([10.0]), np.array([0.0]), np.array([UP]))[0]
+        assert d.accepts(np.array([11.9]), np.array([0.0]), np.array([UP]))[0]
+
+    def test_outside_rejected(self):
+        d = DiscDetector(10.0, 0.0, radius=2.0)
+        assert not d.accepts(np.array([12.1]), np.array([0.0]), np.array([UP]))[0]
+        assert not d.accepts(np.array([0.0]), np.array([0.0]), np.array([UP]))[0]
+
+    def test_boundary_inclusive(self):
+        d = DiscDetector(0.0, 0.0, radius=1.0)
+        assert d.accepts(np.array([1.0]), np.array([0.0]), np.array([UP]))[0]
+
+    def test_numerical_aperture(self):
+        d = DiscDetector(0.0, 0.0, radius=1.0, numerical_aperture=0.5)
+        # Exit angle 60 deg from normal: sin = 0.866 > NA -> rejected.
+        steep = -np.cos(np.deg2rad(60.0))
+        assert not d.accepts(np.array([0.0]), np.array([0.0]), np.array([steep]))[0]
+        # Exit angle 20 deg: sin = 0.34 < NA -> accepted.
+        shallow = -np.cos(np.deg2rad(20.0))
+        assert d.accepts(np.array([0.0]), np.array([0.0]), np.array([shallow]))[0]
+
+    def test_spacing_from_origin(self):
+        assert DiscDetector(3.0, 4.0, radius=1.0).spacing_from_origin == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="radius"):
+            DiscDetector(0.0, 0.0, radius=0.0)
+        with pytest.raises(ValueError, match="numerical_aperture"):
+            DiscDetector(0.0, 0.0, radius=1.0, numerical_aperture=1.5)
+
+    def test_vectorised(self, rng):
+        d = DiscDetector(5.0, 0.0, radius=1.0)
+        x = rng.uniform(-10, 10, 1000)
+        y = rng.uniform(-10, 10, 1000)
+        uz = np.full(1000, UP)
+        mask = d.accepts(x, y, uz)
+        expected = (x - 5.0) ** 2 + y**2 <= 1.0
+        np.testing.assert_array_equal(mask, expected)
+
+
+class TestAnnularDetector:
+    def test_ring_geometry(self):
+        d = AnnularDetector(2.0, 3.0)
+        assert d.accepts(np.array([2.5]), np.array([0.0]), np.array([UP]))[0]
+        assert not d.accepts(np.array([1.9]), np.array([0.0]), np.array([UP]))[0]
+        assert not d.accepts(np.array([3.0]), np.array([0.0]), np.array([UP]))[0]
+
+    def test_azimuthal_symmetry(self):
+        d = AnnularDetector(2.0, 3.0)
+        for phi in np.linspace(0, 2 * np.pi, 13):
+            x, y = 2.5 * np.cos(phi), 2.5 * np.sin(phi)
+            assert d.accepts(np.array([x]), np.array([y]), np.array([UP]))[0]
+
+    def test_mean_radius_and_area(self):
+        d = AnnularDetector(2.0, 4.0)
+        assert d.mean_radius == pytest.approx(3.0)
+        assert d.area == pytest.approx(np.pi * (16 - 4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rho_min"):
+            AnnularDetector(-1.0, 2.0)
+        with pytest.raises(ValueError, match="rho_max"):
+            AnnularDetector(2.0, 2.0)
+
+    def test_offset_centre(self):
+        d = AnnularDetector(1.0, 2.0, x0=10.0)
+        assert d.accepts(np.array([11.5]), np.array([0.0]), np.array([UP]))[0]
+        assert not d.accepts(np.array([1.5]), np.array([0.0]), np.array([UP]))[0]
+
+
+class TestAcceptAll:
+    def test_everything_accepted(self, rng):
+        d = AcceptAll()
+        x = rng.uniform(-100, 100, 50)
+        mask = d.accepts(x, x, np.full(50, UP))
+        assert mask.all()
+        assert mask.shape == (50,)

@@ -1,0 +1,69 @@
+"""Tests for time/pathlength gating."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.detect import PathlengthGate, TimeGate, open_gate
+from repro.tissue.optical import SPEED_OF_LIGHT_MM_PER_NS
+
+
+class TestPathlengthGate:
+    def test_window(self):
+        gate = PathlengthGate(10.0, 20.0)
+        lengths = np.array([5.0, 10.0, 15.0, 20.0, 25.0])
+        np.testing.assert_array_equal(
+            gate.accepts(lengths), [False, True, True, False, False]
+        )
+
+    def test_open_by_default(self):
+        gate = PathlengthGate()
+        assert gate.is_open
+        assert gate.accepts(np.array([0.0, 1e9])).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="l_min"):
+            PathlengthGate(-1.0, 2.0)
+        with pytest.raises(ValueError, match="l_max"):
+            PathlengthGate(2.0, 2.0)
+
+    def test_not_open_when_bounded(self):
+        assert not PathlengthGate(0.0, 10.0).is_open
+
+
+class TestTimeGate:
+    def test_conversion_to_pathlength(self):
+        gate = TimeGate(t_min=1.0, t_max=2.0)
+        pl = gate.to_pathlength_gate()
+        assert pl.l_min == pytest.approx(SPEED_OF_LIGHT_MM_PER_NS)
+        assert pl.l_max == pytest.approx(2 * SPEED_OF_LIGHT_MM_PER_NS)
+
+    def test_accepts_matches_conversion(self):
+        gate = TimeGate(t_min=0.5, t_max=1.5)
+        lengths = np.linspace(0, 3 * SPEED_OF_LIGHT_MM_PER_NS, 50)
+        np.testing.assert_array_equal(
+            gate.accepts(lengths), gate.to_pathlength_gate().accepts(lengths)
+        )
+
+    def test_open(self):
+        assert TimeGate().is_open
+        assert not TimeGate(0.0, 5.0).is_open
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="t_min"):
+            TimeGate(-0.1, 1.0)
+        with pytest.raises(ValueError, match="t_max"):
+            TimeGate(1.0, 0.5)
+
+    def test_infinite_upper_bound(self):
+        gate = TimeGate(t_min=1.0)
+        assert math.isinf(gate.to_pathlength_gate().l_max)
+
+
+def test_open_gate_helper():
+    gate = open_gate()
+    assert gate.is_open
+    assert gate.accepts(np.array([1e12]))[0]

@@ -1,0 +1,63 @@
+"""Tests for derived physical quantities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RecordConfig, Tally
+from repro.detect import (
+    layer_absorption_report,
+    mean_time_of_flight,
+    radial_reflectance,
+)
+from repro.tissue import Layer, LayerStack, OpticalProperties
+from repro.tissue.optical import SPEED_OF_LIGHT_MM_PER_NS
+
+
+class TestRadialReflectance:
+    def test_normalisation_per_area(self):
+        t = Tally(n_layers=1, records=RecordConfig(reflectance_rho_bins=(2.0, 2)))
+        t.n_launched = 100
+        # 5 units of weight into the inner annulus [0,1), 3 into [1,2).
+        t.reflectance_rho_hist.add(np.array([0.5]), np.array([5.0]))
+        t.reflectance_rho_hist.add(np.array([1.5]), np.array([3.0]))
+        rho, r = radial_reflectance(t)
+        np.testing.assert_allclose(rho, [0.5, 1.5])
+        assert r[0] == pytest.approx(5.0 / (np.pi * 1.0) / 100)
+        assert r[1] == pytest.approx(3.0 / (np.pi * 3.0) / 100)
+
+    def test_requires_histogram(self):
+        t = Tally(n_layers=1)
+        with pytest.raises(ValueError, match="reflectance_rho"):
+            radial_reflectance(t)
+
+    def test_requires_photons(self):
+        t = Tally(n_layers=1, records=RecordConfig(reflectance_rho_bins=(2.0, 2)))
+        with pytest.raises(ValueError, match="empty"):
+            radial_reflectance(t)
+
+
+class TestMeanTimeOfFlight:
+    def test_conversion(self):
+        t = Tally(n_layers=1)
+        t.n_launched = 1
+        t.pathlength.add(np.array([SPEED_OF_LIGHT_MM_PER_NS]), np.array([1.0]))
+        assert mean_time_of_flight(t) == pytest.approx(1.0)
+
+
+class TestLayerAbsorptionReport:
+    def test_rows(self):
+        props = OpticalProperties(mu_a=1.0, mu_s=1.0)
+        stack = LayerStack([Layer("top", props, 1.0), Layer("bottom", props, None)])
+        t = Tally(n_layers=2)
+        t.n_launched = 10
+        t.absorbed_by_layer[:] = [4.0, 1.0]
+        report = layer_absorption_report(t, stack)
+        assert report[0] == {"layer": "top", "absorbed_fraction": pytest.approx(0.4)}
+        assert report[1]["absorbed_fraction"] == pytest.approx(0.1)
+
+    def test_mismatch_rejected(self):
+        stack = LayerStack.homogeneous(OpticalProperties(mu_a=1.0, mu_s=1.0))
+        with pytest.raises(ValueError, match="does not match"):
+            layer_absorption_report(Tally(n_layers=2), stack)

@@ -1,0 +1,169 @@
+"""Tests for GridSpec, RunningStat and Histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detect import GridSpec, Histogram, RunningStat
+
+
+class TestGridSpec:
+    def test_cube(self):
+        spec = GridSpec.cube(50, half_extent=25.0, depth=50.0)
+        assert spec.shape == (50, 50, 50)
+        assert spec.lo == (-25.0, -25.0, 0.0)
+        assert spec.hi == (25.0, 25.0, 50.0)
+        assert spec.voxel_size == (1.0, 1.0, 1.0)
+        assert spec.voxel_volume == pytest.approx(1.0)
+        assert spec.n_voxels == 125_000
+
+    def test_banana_box(self):
+        spec = GridSpec.banana_box(50, spacing=4.0, margin=2.0)
+        assert spec.lo[0] == pytest.approx(-2.0)
+        assert spec.hi[0] == pytest.approx(6.0)
+        assert spec.lo[2] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            GridSpec(shape=(0, 1, 1), lo=(0, 0, 0), hi=(1, 1, 1))
+        with pytest.raises(ValueError, match="lo < hi"):
+            GridSpec(shape=(2, 2, 2), lo=(0, 0, 0), hi=(1, 0, 1))
+        with pytest.raises(ValueError, match="granularity"):
+            GridSpec.cube(0, 1.0, 1.0)
+
+    def test_axis_centres(self):
+        spec = GridSpec(shape=(2, 2, 4), lo=(0, 0, 0), hi=(2, 2, 4))
+        np.testing.assert_allclose(spec.axis_centres(2), [0.5, 1.5, 2.5, 3.5])
+
+    def test_world_to_index_corners(self):
+        spec = GridSpec(shape=(10, 10, 10), lo=(0, 0, 0), hi=(10, 10, 10))
+        flat, inside = spec.world_to_index(
+            np.array([0.0, 9.999, -0.1, 10.0]),
+            np.array([0.0, 9.999, 5.0, 5.0]),
+            np.array([0.0, 9.999, 5.0, 5.0]),
+        )
+        np.testing.assert_array_equal(inside, [True, True, False, False])
+        assert flat[0] == 0
+        assert flat[1] == 999
+
+    def test_deposit_accumulates(self):
+        spec = GridSpec(shape=(4, 4, 4), lo=(0, 0, 0), hi=(4, 4, 4))
+        grid = spec.zeros()
+        x = np.array([0.5, 0.5, 3.5])
+        y = np.array([0.5, 0.5, 3.5])
+        z = np.array([0.5, 0.5, 3.5])
+        spec.deposit(grid, x, y, z, np.array([1.0, 2.0, 5.0]))
+        assert grid[0, 0, 0] == pytest.approx(3.0)  # repeated voxel adds
+        assert grid[3, 3, 3] == pytest.approx(5.0)
+        assert grid.sum() == pytest.approx(8.0)
+
+    def test_deposit_drops_outside(self):
+        spec = GridSpec(shape=(2, 2, 2), lo=(0, 0, 0), hi=(1, 1, 1))
+        grid = spec.zeros()
+        spec.deposit(grid, np.array([5.0]), np.array([5.0]), np.array([5.0]), 1.0)
+        assert grid.sum() == 0.0
+
+    def test_deposit_scalar_weight_broadcast(self):
+        spec = GridSpec(shape=(2, 2, 2), lo=(0, 0, 0), hi=(2, 2, 2))
+        grid = spec.zeros()
+        spec.deposit(grid, np.array([0.5, 1.5]), np.array([0.5, 0.5]),
+                     np.array([0.5, 0.5]), 2.0)
+        assert grid.sum() == pytest.approx(4.0)
+
+    def test_deposit_shape_mismatch(self):
+        spec = GridSpec(shape=(2, 2, 2), lo=(0, 0, 0), hi=(1, 1, 1))
+        with pytest.raises(ValueError, match="grid shape"):
+            spec.deposit(np.zeros((3, 3, 3)), np.array([0.0]), np.array([0.0]),
+                         np.array([0.0]), 1.0)
+
+
+class TestRunningStat:
+    def test_unweighted_moments(self):
+        s = RunningStat()
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        s.add(values)
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(values.var())
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.count == 4
+
+    def test_weighted_mean(self):
+        s = RunningStat()
+        s.add(np.array([1.0, 3.0]), np.array([3.0, 1.0]))
+        assert s.mean == pytest.approx(1.5)
+
+    def test_merge_equals_bulk(self):
+        a, b, bulk = RunningStat(), RunningStat(), RunningStat()
+        x = np.array([1.0, 5.0, 2.0])
+        y = np.array([7.0, 0.5])
+        a.add(x)
+        b.add(y)
+        bulk.add(np.concatenate([x, y]))
+        merged = a.merge(b)
+        assert merged.mean == pytest.approx(bulk.mean)
+        assert merged.variance == pytest.approx(bulk.variance)
+        assert merged.minimum == bulk.minimum
+        assert merged.maximum == bulk.maximum
+
+    def test_empty_is_nan(self):
+        s = RunningStat()
+        assert np.isnan(s.mean)
+        assert np.isnan(s.variance)
+        assert np.isnan(s.std)
+
+    def test_add_empty_noop(self):
+        s = RunningStat()
+        s.add(np.empty(0))
+        assert s.count == 0
+
+    def test_std(self):
+        s = RunningStat()
+        s.add(np.array([0.0, 2.0]))
+        assert s.std == pytest.approx(1.0)
+
+
+class TestHistogram:
+    def test_linear_constructor(self):
+        h = Histogram.linear(0.0, 10.0, 5)
+        np.testing.assert_allclose(h.edges, [0, 2, 4, 6, 8, 10])
+        assert h.total == 0.0
+
+    def test_add_weighted(self):
+        h = Histogram.linear(0.0, 10.0, 5)
+        h.add(np.array([1.0, 3.0, 3.5]), np.array([1.0, 2.0, 3.0]))
+        assert h.counts[0] == pytest.approx(1.0)
+        assert h.counts[1] == pytest.approx(5.0)
+        assert h.total == pytest.approx(6.0)
+
+    def test_out_of_range_dropped(self):
+        h = Histogram.linear(0.0, 1.0, 2)
+        h.add(np.array([-1.0, 2.0]))
+        assert h.total == 0.0
+
+    def test_merge(self):
+        a = Histogram.linear(0.0, 1.0, 2)
+        b = Histogram.linear(0.0, 1.0, 2)
+        a.add(np.array([0.25]))
+        b.add(np.array([0.75]))
+        merged = a.merge(b)
+        np.testing.assert_allclose(merged.counts, [1.0, 1.0])
+
+    def test_merge_incompatible(self):
+        a = Histogram.linear(0.0, 1.0, 2)
+        b = Histogram.linear(0.0, 2.0, 2)
+        with pytest.raises(ValueError, match="different bin edges"):
+            a.merge(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(edges=np.array([0.0, 0.0, 1.0]))
+        with pytest.raises(ValueError, match="n_bins"):
+            Histogram.linear(0.0, 1.0, 0)
+        with pytest.raises(ValueError, match="lo < hi"):
+            Histogram.linear(1.0, 1.0, 3)
+
+    def test_centres(self):
+        h = Histogram.linear(0.0, 4.0, 4)
+        np.testing.assert_allclose(h.centres, [0.5, 1.5, 2.5, 3.5])

@@ -1,0 +1,65 @@
+"""Tests for TPSF extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RecordConfig, SimulationConfig, Tally, run_batch_vectorized, task_rng
+from repro.detect import tpsf, tpsf_moments
+from repro.sources import PencilBeam
+from repro.tissue.optical import SPEED_OF_LIGHT_MM_PER_NS
+
+
+class TestTpsf:
+    def test_requires_histogram(self):
+        with pytest.raises(ValueError, match="pathlength histogram"):
+            tpsf(Tally(n_layers=1))
+
+    def test_requires_photons(self):
+        t = Tally(n_layers=1, records=RecordConfig(pathlength_bins=(0, 10, 5)))
+        with pytest.raises(ValueError, match="empty"):
+            tpsf(t)
+
+    def test_axis_conversion(self):
+        t = Tally(n_layers=1, records=RecordConfig(pathlength_bins=(0.0, 10.0, 5)))
+        t.n_launched = 100
+        t.pathlength_hist.add(np.array([5.0]), np.array([2.0]))
+        times, intensity = tpsf(t)
+        np.testing.assert_allclose(
+            times, t.pathlength_hist.centres / SPEED_OF_LIGHT_MM_PER_NS
+        )
+        # Integral over time recovers detected weight per photon.
+        dt = np.diff(t.pathlength_hist.edges) / SPEED_OF_LIGHT_MM_PER_NS
+        assert (intensity * dt).sum() == pytest.approx(2.0 / 100)
+
+    def test_moments_empty(self):
+        t = Tally(n_layers=1, records=RecordConfig(pathlength_bins=(0, 10, 5)))
+        t.n_launched = 10
+        m = tpsf_moments(t)
+        assert np.isnan(m["mean_ns"])
+        assert m["total_weight_fraction"] == 0.0
+
+    def test_moments_single_bin(self):
+        t = Tally(n_layers=1, records=RecordConfig(pathlength_bins=(0.0, 10.0, 10)))
+        t.n_launched = 4
+        t.pathlength_hist.add(np.array([2.5, 2.6]), np.array([1.0, 1.0]))
+        m = tpsf_moments(t)
+        assert m["mean_ns"] == pytest.approx(2.5 / SPEED_OF_LIGHT_MM_PER_NS)
+        assert m["total_weight_fraction"] == pytest.approx(0.5)
+
+    def test_end_to_end_shape(self, fast_stack):
+        """TPSF of a real simulation: rises then decays."""
+        config = SimulationConfig(
+            stack=fast_stack,
+            source=PencilBeam(),
+            records=RecordConfig(pathlength_bins=(0.0, 20.0, 40)),
+        )
+        tally = run_batch_vectorized(config, 10_000, task_rng(0, 0))
+        times, intensity = tpsf(tally)
+        assert intensity.sum() > 0
+        peak = int(np.argmax(intensity))
+        # The peak is early (strong absorption) but not in the first bin,
+        # and the tail decays.
+        assert intensity[peak] > intensity[-1]
+        assert tpsf_moments(tally)["mean_ns"] > 0

@@ -1,0 +1,139 @@
+"""Tests for the diffusion-approximation baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    dpf_theory,
+    extrapolation_distance,
+    fluence_infinite,
+    internal_reflection_parameter,
+    mean_time_of_flight_theory,
+    reflectance_farrell,
+    reflectance_time_resolved,
+)
+from repro.tissue import OpticalProperties
+
+#: A typical NIRS-regime medium (mu_a << mu_s').
+TISSUE = OpticalProperties(mu_a=0.01, mu_s=10.0, g=0.9, n=1.4)
+MATCHED = OpticalProperties(mu_a=0.01, mu_s=10.0, g=0.9, n=1.0)
+
+
+class TestInternalReflection:
+    def test_matched_is_one(self):
+        assert internal_reflection_parameter(1.0) == 1.0
+
+    def test_tissue_air(self):
+        # For n_rel = 1.4 the standard value is A ~ 2.9-3.2.
+        a = internal_reflection_parameter(1.4)
+        assert 2.5 < a < 3.5
+
+    def test_monotone_in_mismatch(self):
+        assert internal_reflection_parameter(1.4) > internal_reflection_parameter(1.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            internal_reflection_parameter(0.0)
+
+
+class TestExtrapolationDistance:
+    def test_matched(self):
+        zb = extrapolation_distance(MATCHED)
+        assert zb == pytest.approx(2.0 * MATCHED.diffusion_coefficient)
+
+    def test_mismatch_increases(self):
+        assert extrapolation_distance(TISSUE) > extrapolation_distance(MATCHED)
+
+
+class TestFarrell:
+    def test_positive_and_decreasing(self):
+        rho = np.linspace(2.0, 30.0, 50)
+        r = reflectance_farrell(rho, TISSUE)
+        assert (r > 0).all()
+        assert (np.diff(r) < 0).all()
+
+    def test_asymptotic_slope_is_mu_eff(self):
+        # At large rho, d ln(rho^2 R) / d rho -> -mu_eff.
+        mu_eff = TISSUE.effective_attenuation
+        rho = np.array([40.0, 45.0])
+        r = reflectance_farrell(rho, TISSUE)
+        slope = (np.log(rho[1] ** 2 * r[1]) - np.log(rho[0] ** 2 * r[0])) / 5.0
+        assert slope == pytest.approx(-mu_eff, rel=0.05)
+
+    def test_scalar_input(self):
+        r = reflectance_farrell(10.0, TISSUE)
+        assert np.ndim(r) == 0
+        assert float(r) > 0
+
+
+class TestTimeResolved:
+    def test_zero_before_t0(self):
+        r = reflectance_time_resolved(10.0, np.array([-1.0, 0.0]), TISSUE)
+        np.testing.assert_array_equal(r, 0.0)
+
+    def test_pulse_shape(self):
+        t = np.linspace(1e-4, 5.0, 5000)
+        r = reflectance_time_resolved(10.0, t, TISSUE)
+        assert (r >= 0).all()
+        peak = np.argmax(r)
+        assert 0 < peak < len(t) - 1  # rises then falls
+
+    def test_integral_matches_steady_state(self):
+        # integral R(rho, t) dt = R(rho) (same dipole model).
+        rho = 10.0
+        t = np.linspace(1e-5, 60.0, 400_000)
+        r_t = reflectance_time_resolved(rho, t, TISSUE)
+        cw = float(np.trapezoid(r_t, t))
+        assert cw == pytest.approx(float(reflectance_farrell(rho, TISSUE)), rel=0.02)
+
+    def test_late_decay_rate_mu_a_c(self):
+        # For t -> inf, ln R decays as -(mu_a c + rho-term/t...); dominant
+        # exponential is exp(-mu_a c t).
+        c = TISSUE.phase_velocity
+        t = np.array([20.0, 25.0])
+        r = reflectance_time_resolved(10.0, t, TISSUE)
+        # Remove the power-law factor before extracting the rate.
+        rate = -(math.log(r[1] * t[1] ** 2.5) - math.log(r[0] * t[0] ** 2.5)) / 5.0
+        assert rate == pytest.approx(TISSUE.mu_a * c, rel=0.05)
+
+
+class TestDPF:
+    def test_matches_closed_form(self):
+        # Closed-form approximation: (1/2) sqrt(3 mu_s'/mu_a) (1 - 1/(1 + rho mu_eff)).
+        rho = 30.0
+        approx = 0.5 * math.sqrt(3 * MATCHED.mu_s_reduced / MATCHED.mu_a) * (
+            1 - 1 / (1 + rho * MATCHED.effective_attenuation)
+        )
+        assert dpf_theory(rho, MATCHED) == pytest.approx(approx, rel=0.1)
+
+    def test_dpf_grows_with_scattering(self):
+        more = OpticalProperties(mu_a=0.01, mu_s=20.0, g=0.9, n=1.0)
+        assert dpf_theory(20.0, more) > dpf_theory(20.0, MATCHED)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            mean_time_of_flight_theory(0.0, TISSUE)
+
+
+class TestFluenceInfinite:
+    def test_greens_function_decay(self):
+        r = np.array([1.0, 2.0])
+        phi = fluence_infinite(r, TISSUE)
+        mu_eff = TISSUE.effective_attenuation
+        # phi(2)/phi(1) = exp(-mu_eff)/2.
+        assert phi[1] / phi[0] == pytest.approx(math.exp(-mu_eff) / 2.0, rel=1e-9)
+
+    def test_satisfies_diffusion_equation(self):
+        # Radial Laplacian check: D lap(phi) - mu_a phi = 0 away from source.
+        d = TISSUE.diffusion_coefficient
+        h = 1e-4
+        r0 = 5.0
+        phi = lambda r: fluence_infinite(r, TISSUE)
+        lap = (r0 + h) * phi(r0 + h) - 2 * r0 * phi(r0) + (r0 - h) * phi(r0 - h)
+        lap /= r0 * h * h
+        residual = d * lap - TISSUE.mu_a * phi(r0)
+        assert abs(residual) < 1e-6 * phi(r0)

@@ -1,0 +1,88 @@
+"""Direct tests of the execution backends."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.distributed import MultiprocessingBackend, SerialBackend, ThreadBackend
+
+
+def square(x):
+    return x * x
+
+
+def boom():
+    raise RuntimeError("boom")
+
+
+def pid_and_thread():
+    return os.getpid(), threading.current_thread().name
+
+
+class TestSerialBackend:
+    def test_result(self):
+        assert SerialBackend().submit(square, 7).result() == 49
+
+    def test_exception_captured(self):
+        future = SerialBackend().submit(boom)
+        assert isinstance(future.exception(), RuntimeError)
+
+    def test_runs_inline(self):
+        pid, thread = SerialBackend().submit(pid_and_thread).result()
+        assert pid == os.getpid()
+        assert thread == threading.current_thread().name
+
+    def test_max_workers(self):
+        assert SerialBackend().max_workers == 1
+
+
+class TestThreadBackend:
+    def test_result_and_shutdown(self):
+        with ThreadBackend(2) as backend:
+            assert backend.max_workers == 2
+            assert backend.submit(square, 3).result() == 9
+
+    def test_concurrent_execution(self):
+        barrier = threading.Barrier(2, timeout=10)
+
+        def rendezvous():
+            barrier.wait()  # deadlocks unless two tasks run simultaneously
+            return True
+
+        with ThreadBackend(2) as backend:
+            futures = [backend.submit(rendezvous) for _ in range(2)]
+            assert all(f.result(timeout=15) for f in futures)
+
+    def test_same_process_other_thread(self):
+        with ThreadBackend(1) as backend:
+            pid, thread = backend.submit(pid_and_thread).result()
+        assert pid == os.getpid()
+        assert thread != threading.current_thread().name
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ThreadBackend(0)
+
+
+class TestMultiprocessingBackend:
+    def test_result(self):
+        with MultiprocessingBackend(1) as backend:
+            assert backend.submit(square, 5).result(timeout=60) == 25
+
+    def test_other_process(self):
+        with MultiprocessingBackend(1) as backend:
+            pid, _thread = backend.submit(pid_and_thread).result(timeout=60)
+        assert pid != os.getpid()
+
+    def test_exception_propagates(self):
+        with MultiprocessingBackend(1) as backend:
+            future = backend.submit(boom)
+            assert isinstance(future.exception(timeout=60), RuntimeError)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            MultiprocessingBackend(-1)

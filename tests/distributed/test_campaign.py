@@ -1,0 +1,89 @@
+"""Tests for multi-experiment campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SimulationConfig
+from repro.detect import AnnularDetector
+from repro.distributed import Campaign, DataManager, Experiment, SerialBackend
+from repro.sources import PencilBeam
+
+
+@pytest.fixture
+def experiments(fast_stack):
+    base = SimulationConfig(stack=fast_stack, source=PencilBeam())
+    return [
+        Experiment("near", base.with_(detector=AnnularDetector(0.5, 1.5)), 300),
+        Experiment("far", base.with_(detector=AnnularDetector(2.0, 3.0)), 300),
+    ]
+
+
+class TestExperiment:
+    def test_validation(self, fast_config):
+        with pytest.raises(ValueError, match="name"):
+            Experiment("", fast_config, 10)
+        with pytest.raises(ValueError, match="n_photons"):
+            Experiment("x", fast_config, -1)
+
+    def test_effective_seed_stable(self, fast_config):
+        e = Experiment("probe", fast_config, 10)
+        assert e.effective_seed(0) == e.effective_seed(0)
+        assert e.effective_seed(0) != e.effective_seed(1)
+
+    def test_explicit_seed_wins(self, fast_config):
+        e = Experiment("probe", fast_config, 10, seed=77)
+        assert e.effective_seed(0) == 77
+
+
+class TestCampaign:
+    def test_runs_all_experiments(self, experiments):
+        campaign = Campaign(experiments, task_size=100)
+        reports = campaign.run(SerialBackend())
+        assert set(reports) == {"near", "far"}
+        assert all(r.tally.n_launched == 300 for r in reports.values())
+
+    def test_duplicate_names_rejected(self, experiments):
+        with pytest.raises(ValueError, match="unique"):
+            Campaign([experiments[0], experiments[0]])
+
+    def test_experiments_independent_of_each_other(self, experiments, fast_stack):
+        """Removing one experiment must not change another's result."""
+        full = Campaign(experiments, task_size=100).run(SerialBackend())
+        only_far = Campaign([experiments[1]], task_size=100).run(SerialBackend())
+        assert (
+            full["far"].tally.summary() == only_far["far"].tally.summary()
+        )
+
+    def test_matches_standalone_datamanager(self, experiments):
+        campaign = Campaign(experiments, seed=5, task_size=100)
+        reports = campaign.run(SerialBackend())
+        e = experiments[0]
+        standalone = DataManager(
+            e.config, e.n_photons, seed=e.effective_seed(5), task_size=100
+        ).run(SerialBackend())
+        assert reports["near"].tally.summary() == standalone.tally.summary()
+
+    def test_near_detector_sees_more_light(self, experiments):
+        reports = Campaign(experiments, task_size=100).run(SerialBackend())
+        assert (
+            reports["near"].tally.detected_weight
+            > reports["far"].tally.detected_weight
+        )
+
+    def test_progress_callback(self, experiments):
+        seen = []
+        campaign = Campaign(
+            experiments, task_size=150,
+            progress=lambda name, done, total: seen.append((name, done, total)),
+        )
+        campaign.run(SerialBackend())
+        assert ("near", 2, 2) in seen
+        assert ("far", 1, 2) in seen
+
+    def test_summary_rows(self, experiments):
+        campaign = Campaign(experiments, task_size=100)
+        campaign.run(SerialBackend())
+        rows = campaign.summary_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "near"

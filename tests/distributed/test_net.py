@@ -1,0 +1,153 @@
+"""Tests for the TCP network mode of the distributed platform."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig
+from repro.distributed import (
+    DataManager,
+    NetworkServer,
+    SerialBackend,
+    recv_message,
+    run_network_client,
+    send_message,
+)
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+
+@pytest.fixture
+def net_config():
+    props = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+    return SimulationConfig(stack=LayerStack.homogeneous(props), source=PencilBeam())
+
+
+def run_clients(port: int, count: int, **kwargs) -> list[threading.Thread]:
+    threads = [
+        threading.Thread(
+            target=run_network_client,
+            args=("127.0.0.1", port),
+            kwargs={"worker_name": f"client-{i}", **kwargs},
+            daemon=True,
+        )
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    return threads
+
+
+class TestFraming:
+    def test_round_trip(self):
+        server, client = socket.socketpair()
+        with server, client:
+            send_message(client, {"hello": [1, 2, 3]})
+            assert recv_message(server) == {"hello": [1, 2, 3]}
+
+    def test_large_payload(self):
+        server, client = socket.socketpair()
+        payload = np.arange(200_000)
+        with server, client:
+            sender = threading.Thread(target=send_message, args=(client, payload))
+            sender.start()
+            received = recv_message(server)
+            sender.join()
+        np.testing.assert_array_equal(received, payload)
+
+    def test_closed_peer_raises(self):
+        server, client = socket.socketpair()
+        client.close()
+        with server:
+            with pytest.raises(ConnectionError):
+                recv_message(server)
+
+
+class TestNetworkRun:
+    def test_single_client_equals_serial(self, net_config):
+        server = NetworkServer(net_config, n_photons=500, seed=3, task_size=100).start()
+        threads = run_clients(server.port, 1)
+        report = server.wait(timeout=120)
+        for t in threads:
+            t.join(timeout=30)
+        serial = DataManager(net_config, 500, seed=3, task_size=100).run(SerialBackend())
+        assert report.tally.summary() == serial.tally.summary()
+        assert report.n_tasks == 5
+
+    def test_many_clients_same_result(self, net_config):
+        server = NetworkServer(net_config, n_photons=600, seed=5, task_size=100).start()
+        threads = run_clients(server.port, 4)
+        report = server.wait(timeout=120)
+        for t in threads:
+            t.join(timeout=30)
+        serial = DataManager(net_config, 600, seed=5, task_size=100).run(SerialBackend())
+        assert report.tally.summary() == serial.tally.summary()
+        # The work was actually distributed.
+        assert len(report.per_worker()) >= 2
+
+    def test_late_client_joins(self, net_config):
+        import time
+
+        server = NetworkServer(net_config, n_photons=800, seed=1, task_size=100).start()
+        first = run_clients(server.port, 1, worker_name="early")
+        time.sleep(0.3)
+        second = run_clients(server.port, 1, worker_name="late")
+        report = server.wait(timeout=120)
+        for t in first + second:
+            t.join(timeout=30)
+        assert report.tally.n_launched == 800
+
+    def test_zero_photons(self, net_config):
+        server = NetworkServer(net_config, n_photons=0).start()
+        report = server.wait(timeout=10)
+        assert report.n_tasks == 0
+        assert report.tally.n_launched == 0
+
+    def test_wait_timeout(self, net_config):
+        server = NetworkServer(net_config, n_photons=1000, task_size=100).start()
+        try:
+            with pytest.raises(TimeoutError):
+                server.wait(timeout=0.2)  # no clients connected
+        finally:
+            server.close()
+
+    def test_double_start_rejected(self, net_config):
+        server = NetworkServer(net_config, n_photons=0).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+        finally:
+            server.close()
+
+
+class TestNetworkFaults:
+    def test_crashing_client_tasks_reassigned(self, net_config):
+        """A client that vanishes mid-task must not lose its task."""
+        server = NetworkServer(
+            net_config, n_photons=600, seed=9, task_size=100, max_retries=3
+        ).start()
+        # One client crashes after 2 tasks; a healthy one finishes the job.
+        crasher = run_clients(server.port, 1, worker_name="crasher", crash_after=2)
+        healthy = run_clients(server.port, 1, worker_name="healthy")
+        report = server.wait(timeout=120)
+        for t in crasher + healthy:
+            t.join(timeout=30)
+        assert report.tally.n_launched == 600
+        # Physics identical to a clean serial run despite the crash.
+        serial = DataManager(net_config, 600, seed=9, task_size=100).run(SerialBackend())
+        assert report.tally.summary() == serial.tally.summary()
+
+    def test_polite_departure(self, net_config):
+        """A client that leaves after max_tasks is not an error."""
+        server = NetworkServer(net_config, n_photons=500, seed=2, task_size=100).start()
+        part_timer = run_clients(server.port, 1, worker_name="part-timer", max_tasks=2)
+        finisher = run_clients(server.port, 1, worker_name="finisher")
+        report = server.wait(timeout=120)
+        for t in part_timer + finisher:
+            t.join(timeout=30)
+        assert report.tally.n_launched == 500
+        assert report.retries == 0  # nothing was lost, nothing retried

@@ -1,0 +1,49 @@
+"""Tests for the task protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Tally
+from repro.distributed import TaskResult, TaskSpec, decode, encode
+
+
+class TestTaskSpec:
+    def test_construction(self):
+        t = TaskSpec(task_index=0, n_photons=100, seed=42)
+        assert t.kernel == "vector"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="task_index"):
+            TaskSpec(task_index=-1, n_photons=1, seed=0)
+        with pytest.raises(ValueError, match="n_photons"):
+            TaskSpec(task_index=0, n_photons=0, seed=0)
+
+    def test_frozen(self):
+        t = TaskSpec(task_index=0, n_photons=1, seed=0)
+        with pytest.raises(AttributeError):
+            t.n_photons = 2
+
+
+class TestTaskResult:
+    def test_validation(self):
+        tally = Tally(n_layers=1)
+        with pytest.raises(ValueError, match="elapsed"):
+            TaskResult(0, tally, "w", -1.0)
+        with pytest.raises(ValueError, match="attempt"):
+            TaskResult(0, tally, "w", 0.0, attempt=0)
+
+
+class TestEncodeDecode:
+    def test_round_trip_spec(self):
+        spec = TaskSpec(task_index=3, n_photons=500, seed=7, kernel="scalar")
+        assert decode(encode(spec)) == spec
+
+    def test_round_trip_result(self):
+        tally = Tally(n_layers=2)
+        tally.n_launched = 10
+        result = TaskResult(1, tally, "worker-x", 0.5)
+        back = decode(encode(result))
+        assert back.task_index == 1
+        assert back.tally.n_launched == 10
+        assert back.worker_id == "worker-x"

@@ -1,0 +1,82 @@
+"""Integration: Monte Carlo vs diffusion theory.
+
+The paper grounds its method in radiative transport / diffusion
+approximation theory (§2, ref [6]).  Here the MC engine is validated
+against the analytic solutions of :mod:`repro.diffusion` in a regime where
+diffusion theory is accurate: µa << µs′ and detection several transport
+mean free paths from the source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RecordConfig,
+    RouletteConfig,
+    SimulationConfig,
+    Simulation,
+)
+from repro.detect import AnnularDetector, radial_reflectance
+from repro.diffusion import dpf_theory, reflectance_farrell
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+#: Diffusive but fast medium: albedo 0.9975, transport mfp 0.49 mm.
+PROPS = OpticalProperties(mu_a=0.05, mu_s=20.0, g=0.9, n=1.0)
+
+
+@pytest.fixture(scope="module")
+def mc_tally():
+    stack = LayerStack.homogeneous(PROPS)
+    config = SimulationConfig(
+        stack=stack,
+        source=PencilBeam(),
+        roulette=RouletteConfig(threshold=1e-3, boost=10),
+        records=RecordConfig(reflectance_rho_bins=(12.0, 24)),
+    )
+    return Simulation(config).run(150_000, seed=11)
+
+
+class TestSteadyStateReflectance:
+    def test_r_of_rho_matches_farrell(self, mc_tally):
+        """Radially resolved R(rho) vs the dipole solution, 2-8 mm out."""
+        rho, r_mc = radial_reflectance(mc_tally)
+        window = (rho >= 2.0) & (rho <= 8.0)
+        r_theory = reflectance_farrell(rho[window], PROPS)
+        ratio = r_mc[window] / r_theory
+        # Diffusion theory is a few-percent-accurate approximation here;
+        # require agreement within 25% pointwise and 15% on average.
+        assert np.all(np.abs(ratio - 1.0) < 0.25), ratio
+        assert abs(ratio.mean() - 1.0) < 0.15
+
+    def test_decay_rate_matches_mu_eff(self, mc_tally):
+        """ln(rho^2 R) decays with slope -mu_eff at large rho."""
+        rho, r_mc = radial_reflectance(mc_tally)
+        window = (rho >= 3.0) & (rho <= 9.0) & (r_mc > 0)
+        x = rho[window]
+        y = np.log(x**2 * r_mc[window])
+        slope = np.polyfit(x, y, 1)[0]
+        assert slope == pytest.approx(-PROPS.effective_attenuation, rel=0.15)
+
+    def test_total_reflectance_high_albedo(self, mc_tally):
+        # Albedo 0.9975, matched boundary: most light re-emerges.
+        assert mc_tally.diffuse_reflectance > 0.5
+
+
+class TestDPF:
+    def test_mc_dpf_matches_theory(self):
+        rho = 5.0
+        stack = LayerStack.homogeneous(PROPS)
+        config = SimulationConfig(
+            stack=stack,
+            source=PencilBeam(),
+            detector=AnnularDetector(rho - 0.5, rho + 0.5),
+            roulette=RouletteConfig(threshold=1e-3, boost=10),
+        )
+        tally = Simulation(config).run(60_000, seed=21)
+        assert tally.detected_count > 100
+        mc_dpf = tally.differential_pathlength_factor(rho)
+        theory = dpf_theory(rho, PROPS)
+        assert mc_dpf == pytest.approx(theory, rel=0.25)

@@ -1,0 +1,85 @@
+"""Integration: distributed execution across real process boundaries.
+
+The reproducibility contract from DESIGN.md §4: merged results are
+independent of worker count, backend and schedule, because task streams are
+keyed by (seed, task_index) only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RecordConfig, Simulation, SimulationConfig
+from repro.detect import GridSpec
+from repro.distributed import (
+    DataManager,
+    MultiprocessingBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+
+@pytest.fixture(scope="module")
+def config():
+    props = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+    return SimulationConfig(
+        stack=LayerStack.homogeneous(props),
+        source=PencilBeam(),
+        records=RecordConfig(
+            absorption_grid=GridSpec.cube(8, 10.0, 10.0),
+            penetration_bins=(20.0, 40),
+        ),
+    )
+
+
+def assert_tallies_identical(a, b):
+    sa, sb = a.summary(), b.summary()
+    for key in sa:
+        if np.isnan(sa[key]):
+            assert np.isnan(sb[key]), key
+        else:
+            assert sa[key] == sb[key], key
+    np.testing.assert_array_equal(a.absorbed_by_layer, b.absorbed_by_layer)
+    np.testing.assert_array_equal(a.absorption_grid, b.absorption_grid)
+    np.testing.assert_array_equal(a.penetration_hist.counts, b.penetration_hist.counts)
+
+
+class TestBackendEquivalence:
+    N = 600
+    TASK = 150
+    SEED = 13
+
+    def manager(self, config):
+        return DataManager(config, self.N, seed=self.SEED, task_size=self.TASK)
+
+    def test_serial_equals_facade(self, config):
+        report = self.manager(config).run(SerialBackend())
+        facade = Simulation(config).run(self.N, seed=self.SEED, task_size=self.TASK)
+        assert_tallies_identical(report.tally, facade)
+
+    def test_threads_equal_serial(self, config):
+        serial = self.manager(config).run(SerialBackend()).tally
+        with ThreadBackend(3) as backend:
+            threaded = self.manager(config).run(backend).tally
+        assert_tallies_identical(serial, threaded)
+
+    def test_processes_equal_serial(self, config):
+        """Bitwise identity across real process boundaries (pickling, IPC)."""
+        serial = self.manager(config).run(SerialBackend()).tally
+        with MultiprocessingBackend(2) as backend:
+            processed = self.manager(config).run(backend).tally
+        assert_tallies_identical(serial, processed)
+
+    def test_different_task_sizes_same_physics(self, config):
+        """Different chunkings give statistically equal, not identical, tallies."""
+        small = DataManager(config, 2000, seed=1, task_size=100)
+        large = DataManager(config, 2000, seed=1, task_size=1000)
+        t_small = small.run(SerialBackend()).tally
+        t_large = large.run(SerialBackend()).tally
+        assert t_small.n_launched == t_large.n_launched
+        assert t_small.diffuse_reflectance == pytest.approx(
+            t_large.diffuse_reflectance, rel=0.15
+        )

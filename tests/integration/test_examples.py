@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end to end at tiny scale.
+
+Examples are the public face of the library; these tests guarantee they
+never rot.  Each is executed in-process via runpy with a small photon
+budget patched through ``sys.argv``.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], monkeypatch, capsys) -> str:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example("quickstart.py", ["800"], monkeypatch, capsys)
+        assert "Energy balance" in out
+        assert "white_matter" in out
+
+    def test_banana_sensitivity(self, monkeypatch, capsys, tmp_path):
+        out = run_example("banana_sensitivity.py", ["1200", "2.5"], monkeypatch, capsys)
+        assert "Banana metrics" in out
+        # The PGM lands next to the script; clean it up.
+        pgm = EXAMPLES / "banana.pgm"
+        assert pgm.exists()
+        pgm.unlink()
+
+    def test_adult_head_nirs(self, monkeypatch, capsys):
+        out = run_example("adult_head_nirs.py", ["1500"], monkeypatch, capsys)
+        assert "white matter" in out
+        assert "spacing" in out
+
+    def test_source_footprints(self, monkeypatch, capsys):
+        out = run_example("source_footprints.py", ["1200"], monkeypatch, capsys)
+        assert "illumination footprint" in out
+        assert "gate" in out
+
+    def test_heterogeneous_cluster(self, monkeypatch, capsys):
+        out = run_example("heterogeneous_cluster.py", [], monkeypatch, capsys)
+        assert "self-scheduling" in out
+        assert "GA" in out
+
+    @pytest.mark.slow
+    def test_distributed_speedup(self, monkeypatch, capsys):
+        out = run_example("distributed_speedup.py", [], monkeypatch, capsys)
+        assert "fficiency at 60 processors" in out  # 'Efficiency at 60 ...'
+        assert "bit-identical: True" in out
+
+    def test_inverse_calibration(self, monkeypatch, capsys):
+        out = run_example("inverse_calibration.py", ["20000"], monkeypatch, capsys)
+        assert "recovered" in out
+        assert "spacing offset" in out

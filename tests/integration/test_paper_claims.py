@@ -1,0 +1,136 @@
+"""Integration: the qualitative claims of the paper's Sect. 4, at test scale.
+
+These are miniature versions of the Fig. 3 / Fig. 4 benches: small photon
+budgets, coarse grids, fast-ish media — enough to assert the *shape* of
+each claim in seconds rather than minutes.  The full-scale versions live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import banana_metrics, penetration_fractions
+from repro.core import (
+    RecordConfig,
+    RouletteConfig,
+    Simulation,
+    SimulationConfig,
+)
+from repro.detect import DiscDetector, GridSpec
+from repro.sources import GaussianBeam, PencilBeam, UniformDisc
+from repro.tissue import LayerStack, OpticalProperties, adult_head
+
+#: Scaled-down "white matter": same anisotropy and albedo structure, but
+#: ~10x more absorbing so photon lifetimes stay short in tests.
+FAST_SCATTERER = OpticalProperties(mu_a=0.15, mu_s=30.0, g=0.9, n=1.4)
+
+
+class TestBananaShape:
+    """Fig. 3: detected paths form a banana between source and detector."""
+
+    @pytest.fixture(scope="class")
+    def banana(self):
+        rho = 3.0
+        spec = GridSpec.banana_box(40, rho)
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(FAST_SCATTERER),
+            source=PencilBeam(),
+            detector=DiscDetector(rho, 0.0, radius=0.75),
+            roulette=RouletteConfig(threshold=1e-2, boost=10),
+            records=RecordConfig(path_grid=spec),
+        )
+        tally = Simulation(config).run(40_000, seed=5)
+        return tally, spec, rho
+
+    def test_photons_detected(self, banana):
+        tally, _, _ = banana
+        assert tally.detected_count > 30
+
+    def test_banana_shape(self, banana):
+        tally, spec, rho = banana
+        metrics = banana_metrics(tally.path_grid, spec, detector_x=rho)
+        assert metrics.is_banana
+        # The deepest point lies strictly between the optodes.
+        assert 0.0 < metrics.argmax_depth_x < rho
+        # Penetration scale: a banana at 3 mm spacing dips ~1/3-2/3 of rho.
+        assert 0.2 * rho < metrics.depth_at_midpoint < rho
+
+
+class TestLayeredHeadClaims:
+    """Fig. 4: most photons reflected before the CSF; some reach white matter."""
+
+    @pytest.fixture(scope="class")
+    def head_tally(self):
+        stack = adult_head()
+        config = SimulationConfig(
+            stack=stack,
+            source=PencilBeam(),
+            roulette=RouletteConfig(threshold=3e-2, boost=20),
+            max_steps=40_000,
+            records=RecordConfig(penetration_bins=(40.0, 400)),
+        )
+        return Simulation(config).run(4_000, seed=6), stack
+
+    def test_most_photons_stop_before_csf(self, head_tally):
+        tally, stack = head_tally
+        fractions = penetration_fractions(tally, stack)
+        stopped_before_csf = (
+            fractions["scalp"]["stopped"] + fractions["skull"]["stopped"]
+        )
+        assert stopped_before_csf > 0.5
+
+    def test_some_reach_white_matter(self, head_tally):
+        tally, stack = head_tally
+        fractions = penetration_fractions(tally, stack)
+        assert fractions["white_matter"]["reached"] > 0.0
+        # ... but only a small minority (the paper's "some do penetrate").
+        assert fractions["white_matter"]["reached"] < 0.2
+
+    def test_reached_fraction_decreases_with_depth(self, head_tally):
+        tally, stack = head_tally
+        fractions = penetration_fractions(tally, stack)
+        reached = [fractions[l.name]["reached"] for l in stack]
+        assert reached == sorted(reached, reverse=True)
+
+    def test_absorption_dominated_by_superficial_layers(self, head_tally):
+        tally, stack = head_tally
+        absorbed = tally.absorbed_fraction
+        assert absorbed[0] > absorbed[3]  # scalp >> grey matter
+        assert absorbed[0] > absorbed[4]  # scalp >> white matter
+
+
+class TestSourceFootprintEffect:
+    """Sect. 4: 'the source illumination footprint has an effect on the
+    distribution of photons in the head'."""
+
+    def absorption_spread(self, source, seed=7):
+        spec = GridSpec.cube(24, 12.0, 6.0)
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(FAST_SCATTERER),
+            source=source,
+            roulette=RouletteConfig(threshold=1e-2, boost=10),
+            records=RecordConfig(absorption_grid=spec),
+        )
+        tally = Simulation(config).run(5_000, seed=seed)
+        grid = tally.absorption_grid
+        x = spec.axis_centres(0)
+        w = grid.sum(axis=(1, 2))
+        mean = (x * w).sum() / w.sum()
+        return float(np.sqrt(((x - mean) ** 2 * w).sum() / w.sum()))
+
+    def test_wider_sources_spread_absorption(self):
+        pencil = self.absorption_spread(PencilBeam())
+        gaussian = self.absorption_spread(GaussianBeam(sigma=3.0))
+        uniform = self.absorption_spread(UniformDisc(radius=6.0))
+        assert gaussian > pencil * 1.3
+        assert uniform > pencil * 1.3
+
+    def test_lasers_produce_small_beam(self):
+        """'lasers do produce a small beam in a highly scattering medium':
+        the pencil beam's absorption cloud stays tightly collimated."""
+        pencil = self.absorption_spread(PencilBeam())
+        # Lateral spread stays within a few transport mean free paths.
+        l_star = FAST_SCATTERER.transport_mean_free_path
+        assert pencil < 10.0 * l_star

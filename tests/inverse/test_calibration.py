@@ -1,0 +1,103 @@
+"""Tests for optode calibration (the paper's stated future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion import mean_time_of_flight_theory, reflectance_farrell
+from repro.inverse import calibrate_spacing, detector_sensitivities
+from repro.tissue import OpticalProperties
+
+MEDIUM = OpticalProperties.from_reduced(mu_a=0.02, mu_s_reduced=1.5, g=0.9, n=1.4)
+
+
+class TestSpacingCalibration:
+    def synthetic_tof(self, true_offset: float, nominal: np.ndarray) -> np.ndarray:
+        return np.array(
+            [mean_time_of_flight_theory(s + true_offset, MEDIUM) for s in nominal]
+        )
+
+    def test_zero_offset(self):
+        nominal = np.array([15.0, 25.0, 35.0])
+        cal = calibrate_spacing(nominal, self.synthetic_tof(0.0, nominal), MEDIUM)
+        assert cal.offset == pytest.approx(0.0, abs=0.05)
+
+    @pytest.mark.parametrize("true_offset", [-3.0, 2.0, 5.0])
+    def test_recovers_offset(self, true_offset):
+        nominal = np.array([15.0, 20.0, 25.0, 30.0])
+        cal = calibrate_spacing(nominal, self.synthetic_tof(true_offset, nominal), MEDIUM)
+        assert cal.offset == pytest.approx(true_offset, abs=0.1)
+        assert cal.residual_rms < 1e-3
+
+    def test_corrected_spacings(self):
+        nominal = np.array([20.0, 30.0])
+        cal = calibrate_spacing(nominal, self.synthetic_tof(2.0, nominal), MEDIUM)
+        np.testing.assert_allclose(cal.corrected(nominal), nominal + cal.offset)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            calibrate_spacing(np.array([1.0, 2.0]), np.array([1.0]), MEDIUM)
+        with pytest.raises(ValueError, match=">= 2"):
+            calibrate_spacing(np.array([10.0]), np.array([1.0]), MEDIUM)
+        with pytest.raises(ValueError, match="> 0"):
+            calibrate_spacing(np.array([-1.0, 10.0]), np.array([1.0, 1.0]), MEDIUM)
+
+
+class TestDetectorSensitivities:
+    def test_unit_gain_for_perfect_detectors(self):
+        spacings = np.array([10.0, 20.0, 30.0])
+        intensity = np.asarray(reflectance_farrell(spacings, MEDIUM)) * 2.5
+        gains = detector_sensitivities(
+            spacings, intensity, MEDIUM, detector_area=2.5
+        )
+        np.testing.assert_allclose(gains, 1.0, rtol=1e-12)
+
+    def test_recovers_per_detector_gains(self):
+        spacings = np.array([10.0, 20.0, 30.0])
+        true_gains = np.array([0.8, 1.0, 1.3])
+        intensity = np.asarray(reflectance_farrell(spacings, MEDIUM)) * true_gains
+        gains = detector_sensitivities(spacings, intensity, MEDIUM)
+        np.testing.assert_allclose(gains, true_gains, rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            detector_sensitivities(np.array([1.0]), np.array([1.0, 2.0]), MEDIUM)
+        with pytest.raises(ValueError, match="detector_area"):
+            detector_sensitivities(
+                np.array([10.0]), np.array([1.0]), MEDIUM, detector_area=0.0
+            )
+
+
+class TestEndToEndCalibration:
+    def test_mc_driven_spacing_calibration(self):
+        """Detect a probe-position error using MC 'measurements'.
+
+        The 'instrument' reports nominal spacings, but the simulated data
+        were generated at spacings shifted by +2 mm.  The calibration must
+        find the shift.
+        """
+        from repro.core import RouletteConfig, Simulation, SimulationConfig
+        from repro.detect import AnnularDetector, mean_time_of_flight
+        from repro.sources import PencilBeam
+        from repro.tissue import LayerStack
+
+        medium = OpticalProperties.from_reduced(
+            mu_a=0.05, mu_s_reduced=2.0, g=0.9, n=1.0
+        )
+        true_offset = 2.0
+        nominal = np.array([3.0, 5.0, 7.0])
+        measured = []
+        for rho_nominal in nominal:
+            rho_true = rho_nominal + true_offset
+            config = SimulationConfig(
+                stack=LayerStack.homogeneous(medium),
+                source=PencilBeam(),
+                detector=AnnularDetector(rho_true - 0.5, rho_true + 0.5),
+                roulette=RouletteConfig(threshold=1e-3, boost=10),
+            )
+            tally = Simulation(config).run(40_000, seed=int(rho_nominal))
+            assert tally.detected_count > 100
+            measured.append(mean_time_of_flight(tally))
+        cal = calibrate_spacing(nominal, np.array(measured), medium)
+        assert cal.offset == pytest.approx(true_offset, abs=1.0)

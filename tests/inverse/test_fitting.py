@@ -1,0 +1,137 @@
+"""Tests for optical-property fitting (round trips through the forward model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion import reflectance_farrell
+from repro.inverse import fit_optical_properties, mu_a_from_slope
+from repro.tissue import OpticalProperties
+
+TRUTH = OpticalProperties.from_reduced(mu_a=0.02, mu_s_reduced=1.5, g=0.9, n=1.4)
+RHO = np.linspace(2.0, 25.0, 24)
+
+
+def synthetic_data(amplitude=1.0, noise=0.0, seed=0):
+    r = amplitude * np.asarray(reflectance_farrell(RHO, TRUTH))
+    if noise:
+        rng = np.random.default_rng(seed)
+        r = r * np.exp(rng.normal(0.0, noise, r.shape))
+    return r
+
+
+class TestFitRoundTrip:
+    def test_noise_free_exact_recovery(self):
+        fit = fit_optical_properties(RHO, synthetic_data(), n=1.4, g=0.9)
+        assert fit.mu_a == pytest.approx(TRUTH.mu_a, rel=1e-3)
+        assert fit.mu_s_reduced == pytest.approx(TRUTH.mu_s_reduced, rel=1e-3)
+        assert fit.amplitude == pytest.approx(1.0, rel=1e-3)
+        assert fit.residual_rms < 1e-6
+
+    def test_amplitude_recovered(self):
+        fit = fit_optical_properties(RHO, synthetic_data(amplitude=3.7), n=1.4, g=0.9)
+        assert fit.amplitude == pytest.approx(3.7, rel=1e-2)
+        assert fit.mu_a == pytest.approx(TRUTH.mu_a, rel=1e-2)
+
+    def test_robust_to_multiplicative_noise(self):
+        fit = fit_optical_properties(
+            RHO, synthetic_data(noise=0.05, seed=3), n=1.4, g=0.9
+        )
+        assert fit.mu_a == pytest.approx(TRUTH.mu_a, rel=0.15)
+        assert fit.mu_s_reduced == pytest.approx(TRUTH.mu_s_reduced, rel=0.15)
+
+    def test_fixed_amplitude_mode(self):
+        fit = fit_optical_properties(
+            RHO, synthetic_data(), n=1.4, g=0.9, fit_amplitude=False
+        )
+        assert fit.amplitude == 1.0
+        assert fit.mu_a == pytest.approx(TRUTH.mu_a, rel=1e-3)
+
+    def test_properties_object(self):
+        fit = fit_optical_properties(RHO, synthetic_data(), n=1.4, g=0.9)
+        props = fit.properties(g=0.9, n=1.4)
+        assert props.mu_s_reduced == pytest.approx(fit.mu_s_reduced)
+
+    def test_distinguishes_media(self):
+        other = OpticalProperties.from_reduced(mu_a=0.05, mu_s_reduced=0.8, g=0.9, n=1.4)
+        data = np.asarray(reflectance_farrell(RHO, other))
+        fit = fit_optical_properties(RHO, data, n=1.4, g=0.9)
+        assert fit.mu_a == pytest.approx(0.05, rel=0.02)
+        assert fit.mu_s_reduced == pytest.approx(0.8, rel=0.02)
+
+
+class TestFitValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            fit_optical_properties(RHO, synthetic_data()[:-1])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            fit_optical_properties(RHO[:2], synthetic_data()[:2])
+
+    def test_negative_reflectance(self):
+        bad = synthetic_data()
+        bad[0] = -1.0
+        with pytest.raises(ValueError, match="> 0"):
+            fit_optical_properties(RHO, bad)
+
+    def test_non_positive_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            fit_optical_properties(
+                np.array([0.0, 1.0, 2.0]), np.array([1.0, 1.0, 1.0])
+            )
+
+
+class TestMuAFromSlope:
+    def test_recovers_mu_a_at_large_rho(self):
+        rho = np.linspace(15.0, 40.0, 20)
+        r = np.asarray(reflectance_farrell(rho, TRUTH))
+        estimate = mu_a_from_slope(rho, r, TRUTH.mu_s_reduced)
+        assert estimate == pytest.approx(TRUTH.mu_a, rel=0.1)
+
+    def test_amplitude_free(self):
+        rho = np.linspace(15.0, 40.0, 20)
+        r = 42.0 * np.asarray(reflectance_farrell(rho, TRUTH))
+        estimate = mu_a_from_slope(rho, r, TRUTH.mu_s_reduced)
+        assert estimate == pytest.approx(TRUTH.mu_a, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            mu_a_from_slope(np.array([1.0]), np.array([1.0]), 1.0)
+        with pytest.raises(ValueError, match="mu_s_reduced"):
+            mu_a_from_slope(np.array([1.0, 2.0]), np.array([1.0, 0.5]), 0.0)
+        with pytest.raises(ValueError, match="decay"):
+            mu_a_from_slope(np.array([1.0, 2.0]), np.array([0.1, 100.0]), 1.0)
+
+
+class TestFitAgainstMonteCarlo:
+    """The full inverse pipeline: MC forward data -> recovered medium."""
+
+    def test_recover_from_mc_reflectance(self):
+        from repro.core import (
+            RecordConfig,
+            RouletteConfig,
+            Simulation,
+            SimulationConfig,
+        )
+        from repro.detect import radial_reflectance
+        from repro.sources import PencilBeam
+        from repro.tissue import LayerStack
+
+        medium = OpticalProperties.from_reduced(
+            mu_a=0.05, mu_s_reduced=2.0, g=0.9, n=1.0
+        )
+        config = SimulationConfig(
+            stack=LayerStack.homogeneous(medium),
+            source=PencilBeam(),
+            roulette=RouletteConfig(threshold=1e-3, boost=10),
+            records=RecordConfig(reflectance_rho_bins=(12.0, 24)),
+        )
+        tally = Simulation(config).run(120_000, seed=31)
+        rho, r_mc = radial_reflectance(tally)
+        window = (rho >= 1.5) & (r_mc > 0)
+        fit = fit_optical_properties(rho[window], r_mc[window], n=1.0, g=0.9)
+        # Diffusion theory vs transport: 15-25% systematic is expected.
+        assert fit.mu_a == pytest.approx(medium.mu_a, rel=0.3)
+        assert fit.mu_s_reduced == pytest.approx(medium.mu_s_reduced, rel=0.3)

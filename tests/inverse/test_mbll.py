@@ -1,0 +1,88 @@
+"""Tests for the modified Beer-Lambert law module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inverse import (
+    EXTINCTION_HB,
+    absorption_change,
+    concentration_change,
+    haemoglobin_changes,
+)
+
+
+class TestAbsorptionChange:
+    def test_inverse_of_forward(self):
+        # forward: delta_OD = delta_mu_a * rho * DPF
+        delta_mu_a = 0.003
+        rho, dpf = 30.0, 6.0
+        delta_od = delta_mu_a * rho * dpf
+        assert absorption_change(delta_od, rho, dpf) == pytest.approx(delta_mu_a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            absorption_change(0.1, 0.0, 6.0)
+        with pytest.raises(ValueError):
+            absorption_change(0.1, 30.0, -1.0)
+
+
+class TestConcentrationChange:
+    def test_scaling(self):
+        delta_c = concentration_change(0.6, rho=30.0, dpf=6.0, extinction=100.0)
+        assert delta_c == pytest.approx(0.6 / (30.0 * 6.0 * 100.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="extinction"):
+            concentration_change(0.1, 30.0, 6.0, 0.0)
+
+
+class TestHaemoglobinChanges:
+    def synthesize(self, d_hbo2, d_hbr, rho=30.0, dpf=None):
+        """Forward MBLL: build delta_OD from known concentration changes."""
+        dpf = dpf or {760: 6.2, 850: 5.6}
+        delta_od = {}
+        for wl in (760, 850):
+            d_mu_a = (
+                EXTINCTION_HB[wl]["HbO2"] * d_hbo2 + EXTINCTION_HB[wl]["HbR"] * d_hbr
+            )
+            delta_od[wl] = d_mu_a * rho * dpf[wl]
+        return delta_od, dpf
+
+    def test_round_trip(self):
+        truth = (2e-6, -1e-6)  # a classic activation response: HbO2 up, HbR down
+        delta_od, dpf = self.synthesize(*truth)
+        result = haemoglobin_changes(delta_od, rho=30.0, dpf=dpf)
+        assert result.delta_hbo2 == pytest.approx(truth[0], rel=1e-9)
+        assert result.delta_hbr == pytest.approx(truth[1], rel=1e-9)
+
+    def test_derived_signals(self):
+        delta_od, dpf = self.synthesize(2e-6, -1e-6)
+        result = haemoglobin_changes(delta_od, rho=30.0, dpf=dpf)
+        assert result.delta_total == pytest.approx(1e-6, rel=1e-9)
+        assert result.delta_diff == pytest.approx(3e-6, rel=1e-9)
+
+    def test_dpf_matters(self):
+        """Wrong DPF -> wrong concentrations: why the paper's model exists."""
+        truth = (2e-6, -1e-6)
+        delta_od, dpf = self.synthesize(*truth)
+        wrong_dpf = {wl: v * 2.0 for wl, v in dpf.items()}
+        wrong = haemoglobin_changes(delta_od, rho=30.0, dpf=wrong_dpf)
+        assert wrong.delta_hbo2 == pytest.approx(truth[0] / 2.0, rel=1e-9)
+
+    def test_needs_exactly_two_wavelengths(self):
+        with pytest.raises(ValueError, match="exactly 2"):
+            haemoglobin_changes({760: 0.1}, rho=30.0, dpf={760: 6.0})
+
+    def test_missing_extinction(self):
+        with pytest.raises(ValueError, match="missing"):
+            haemoglobin_changes(
+                {760: 0.1, 999: 0.2}, rho=30.0, dpf={760: 6.0, 999: 6.0}
+            )
+
+    def test_extinction_table_sane(self):
+        # 760 nm is HbR-dominant, 850 nm HbO2-dominant (opposite sides of
+        # the 800 nm isosbestic point) - the condition for a stable solve.
+        assert EXTINCTION_HB[760]["HbR"] > EXTINCTION_HB[760]["HbO2"]
+        assert EXTINCTION_HB[850]["HbO2"] > EXTINCTION_HB[850]["HbR"]

@@ -1,0 +1,61 @@
+"""Tests for run-report persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import reflectance_estimate
+from repro.distributed import DataManager, SerialBackend
+from repro.io import load_report, save_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.core import SimulationConfig
+    from repro.sources import PencilBeam
+    from repro.tissue import LayerStack, OpticalProperties
+
+    props = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+    config = SimulationConfig(stack=LayerStack.homogeneous(props), source=PencilBeam())
+    return DataManager(config, n_photons=800, seed=4, task_size=200).run(SerialBackend())
+
+
+class TestRoundTrip:
+    def test_merged_tally_preserved(self, report, tmp_path):
+        loaded = load_report(save_report(tmp_path / "run", report))
+        assert loaded.tally.summary() == report.tally.summary()
+        assert loaded.wall_seconds == report.wall_seconds
+        assert loaded.retries == report.retries
+
+    def test_per_task_results_preserved(self, report, tmp_path):
+        loaded = load_report(save_report(tmp_path / "run", report))
+        assert loaded.n_tasks == report.n_tasks
+        for original, restored in zip(report.task_results, loaded.task_results):
+            assert restored.task_index == original.task_index
+            assert restored.worker_id == original.worker_id
+            assert restored.elapsed_seconds == original.elapsed_seconds
+            assert restored.tally.summary() == original.tally.summary()
+
+    def test_analyses_work_on_loaded_report(self, report, tmp_path):
+        """The uncertainty pipeline runs on a report loaded from disk."""
+        loaded = load_report(save_report(tmp_path / "run", report))
+        direct = reflectance_estimate(report)
+        from_disk = reflectance_estimate(loaded)
+        assert from_disk.value == pytest.approx(direct.value, rel=1e-12)
+        assert from_disk.standard_error == pytest.approx(
+            direct.standard_error, rel=1e-12
+        )
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            load_report(tmp_path)
+
+    def test_bad_version(self, report, tmp_path):
+        path = save_report(tmp_path / "run", report)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 42
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            load_report(path)

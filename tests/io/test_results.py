@@ -1,0 +1,98 @@
+"""Tests for tally persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RecordConfig,
+    SimulationConfig,
+    Tally,
+    run_batch_vectorized,
+    task_rng,
+)
+from repro.detect import GridSpec
+from repro.io import load_tally, save_tally
+from repro.sources import PencilBeam
+
+
+def summaries_equal(a: Tally, b: Tally) -> None:
+    sa, sb = a.summary(), b.summary()
+    for key in sa:
+        if np.isnan(sa[key]):
+            assert np.isnan(sb[key])
+        else:
+            assert sa[key] == pytest.approx(sb[key], rel=1e-12), key
+
+
+class TestRoundTrip:
+    def test_minimal_tally(self, tmp_path):
+        t = Tally(n_layers=2)
+        t.n_launched = 5
+        t.diffuse_reflectance_weight = 1.5
+        path = save_tally(tmp_path / "t.npz", t)
+        back = load_tally(path)
+        summaries_equal(t, back)
+        assert back.n_layers == 2
+
+    def test_full_featured_tally(self, tmp_path, fast_stack):
+        spec = GridSpec.cube(8, 5.0, 5.0)
+        config = SimulationConfig(
+            stack=fast_stack,
+            source=PencilBeam(),
+            records=RecordConfig(
+                absorption_grid=spec,
+                path_grid=spec,
+                pathlength_bins=(0.0, 50.0, 10),
+                reflectance_rho_bins=(20.0, 8),
+                penetration_bins=(30.0, 12),
+            ),
+        )
+        t = run_batch_vectorized(config, 500, task_rng(0, 0))
+        back = load_tally(save_tally(tmp_path / "full.npz", t))
+        summaries_equal(t, back)
+        np.testing.assert_array_equal(back.absorption_grid, t.absorption_grid)
+        np.testing.assert_array_equal(back.path_grid, t.path_grid)
+        np.testing.assert_array_equal(
+            back.pathlength_hist.counts, t.pathlength_hist.counts
+        )
+        np.testing.assert_array_equal(
+            back.penetration_hist.edges, t.penetration_hist.edges
+        )
+        np.testing.assert_array_equal(back.absorbed_by_layer, t.absorbed_by_layer)
+
+    def test_loaded_tally_still_merges(self, tmp_path, fast_config):
+        t1 = run_batch_vectorized(fast_config, 200, task_rng(0, 0))
+        t2 = run_batch_vectorized(fast_config, 300, task_rng(0, 1))
+        merged_direct = t1.merge(t2)
+        loaded = load_tally(save_tally(tmp_path / "t1.npz", t1))
+        merged_via_disk = loaded.merge(t2)
+        summaries_equal(merged_direct, merged_via_disk)
+
+    def test_running_stats_preserved(self, tmp_path):
+        t = Tally(n_layers=1)
+        t.n_launched = 3
+        t.pathlength.add(np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.0, 2.0]))
+        back = load_tally(save_tally(tmp_path / "s.npz", t))
+        assert back.pathlength.mean == pytest.approx(t.pathlength.mean)
+        assert back.pathlength.minimum == t.pathlength.minimum
+        assert back.pathlength.maximum == t.pathlength.maximum
+        assert back.pathlength.variance == pytest.approx(t.pathlength.variance)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        t = Tally(n_layers=1)
+        path = save_tally(tmp_path / "v.npz", t)
+        # Corrupt the version field.
+        import json
+
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"]).decode())
+            arrays = {k: data[k] for k in data.files}
+        header["format_version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_tally(path)

@@ -1,0 +1,32 @@
+"""Tests for text-table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1.0], ["long-name", 2.5]])
+        lines = text.split("\n")
+        assert len(lines) == 4  # header, separator, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_non_floats_stringified(self):
+        text = format_table(["a", "b"], [[42, "hello"]])
+        assert "42" in text and "hello" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="one cell per header"):
+            format_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import threshold_top_weight
+from repro.core import (
+    SimulationConfig,
+    Tally,
+    fresnel_reflectance,
+    rotate_direction,
+    run_batch_vectorized,
+    sample_hg_cosine,
+    task_rng,
+)
+from repro.core.simulation import split_photons
+from repro.detect import GridSpec, Histogram, RunningStat
+from repro.sources import PencilBeam
+from repro.tissue import Layer, LayerStack, OpticalProperties
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+weights = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestSplitPhotons:
+    @given(n=st.integers(0, 10**6), task_size=st.integers(1, 10**7))
+    def test_partition_sums_and_bounds(self, n, task_size):
+        counts = split_photons(n, task_size)
+        assert sum(counts) == n
+        assert all(0 < c <= task_size for c in counts)
+        # Only the last chunk may be short.
+        assert all(c == task_size for c in counts[:-1])
+
+
+class TestFresnelProperties:
+    @given(
+        cos_i=st.floats(0.0, 1.0),
+        n1=st.floats(0.5, 3.0),
+        n2=st.floats(0.5, 3.0),
+    )
+    def test_reflectance_in_unit_interval(self, cos_i, n1, n2):
+        r = float(fresnel_reflectance(cos_i, n1, n2))
+        assert 0.0 <= r <= 1.0
+
+    @given(n1=st.floats(0.5, 3.0), n2=st.floats(0.5, 3.0))
+    def test_normal_incidence_symmetric(self, n1, n2):
+        r12 = float(fresnel_reflectance(1.0, n1, n2))
+        r21 = float(fresnel_reflectance(1.0, n2, n1))
+        assert r12 == pytest.approx(r21, abs=1e-10)
+
+
+class TestRotationProperties:
+    @given(
+        data=st.data(),
+        cos_theta=st.floats(-1.0, 1.0),
+        psi=st.floats(0.0, 2 * np.pi),
+    )
+    def test_unit_norm_preserved(self, data, cos_theta, psi):
+        v = data.draw(
+            hnp.arrays(
+                np.float64,
+                (3,),
+                elements=st.floats(-1.0, 1.0).filter(lambda x: abs(x) > 1e-3),
+            )
+        )
+        v = v / np.linalg.norm(v)
+        nux, nuy, nuz = rotate_direction(
+            np.array([v[0]]), np.array([v[1]]), np.array([v[2]]),
+            np.array([cos_theta]), np.array([psi]),
+        )
+        norm = float(np.sqrt(nux**2 + nuy**2 + nuz**2)[0])
+        assert norm == pytest.approx(1.0, abs=1e-9)
+        dot = float((v[0] * nux + v[1] * nuy + v[2] * nuz)[0])
+        assert dot == pytest.approx(cos_theta, abs=1e-6)
+
+
+class TestHGSamplerProperties:
+    @given(g=st.floats(-0.99, 0.99), seed=st.integers(0, 2**31))
+    @settings(max_examples=25)
+    def test_samples_in_range(self, g, seed):
+        rng = np.random.default_rng(seed)
+        mu = sample_hg_cosine(g, rng, 1000)
+        assert (mu >= -1.0).all() and (mu <= 1.0).all()
+
+
+class TestRunningStatProperties:
+    @given(
+        xs=hnp.arrays(np.float64, st.integers(1, 50), elements=finite_floats),
+        ys=hnp.arrays(np.float64, st.integers(1, 50), elements=finite_floats),
+    )
+    def test_merge_equals_bulk(self, xs, ys):
+        a, b, bulk = RunningStat(), RunningStat(), RunningStat()
+        a.add(xs)
+        b.add(ys)
+        bulk.add(np.concatenate([xs, ys]))
+        merged = a.merge(b)
+        assert merged.count == bulk.count
+        assert merged.weighted_sum == pytest.approx(bulk.weighted_sum, rel=1e-9, abs=1e-9)
+        assert merged.minimum == bulk.minimum
+        assert merged.maximum == bulk.maximum
+
+    @given(xs=hnp.arrays(np.float64, st.integers(1, 100), elements=finite_floats))
+    def test_variance_non_negative(self, xs):
+        s = RunningStat()
+        s.add(xs)
+        assert s.variance >= 0.0
+        # Allow one ulp of summation round-off at the interval ends.
+        span = max(abs(s.minimum), abs(s.maximum), 1.0)
+        eps = 1e-12 * span
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+class TestHistogramProperties:
+    @given(
+        values=hnp.arrays(np.float64, st.integers(0, 100), elements=st.floats(0.0, 10.0)),
+        split=st.integers(0, 100),
+    )
+    def test_merge_equals_bulk(self, values, split):
+        split = min(split, len(values))
+        a = Histogram.linear(0.0, 10.0, 7)
+        b = Histogram.linear(0.0, 10.0, 7)
+        bulk = Histogram.linear(0.0, 10.0, 7)
+        a.add(values[:split])
+        b.add(values[split:])
+        bulk.add(values)
+        np.testing.assert_allclose(a.merge(b).counts, bulk.counts)
+
+    @given(values=hnp.arrays(np.float64, st.integers(0, 200), elements=st.floats(0.0, 9.999)))
+    def test_total_preserved_for_in_range(self, values):
+        h = Histogram.linear(0.0, 10.0, 13)
+        h.add(values)
+        assert h.total == pytest.approx(float(len(values)))
+
+
+class TestGridSpecProperties:
+    @given(
+        x=st.floats(-50.0, 50.0),
+        y=st.floats(-50.0, 50.0),
+        z=st.floats(-50.0, 50.0),
+    )
+    def test_world_to_index_round_trip(self, x, y, z):
+        spec = GridSpec(shape=(10, 8, 6), lo=(-20.0, -20.0, 0.0), hi=(20.0, 20.0, 30.0))
+        flat, inside = spec.world_to_index(
+            np.array([x]), np.array([y]), np.array([z])
+        )
+        in_box = (-20 <= x < 20) and (-20 <= y < 20) and (0 <= z < 30)
+        assert bool(inside[0]) == in_box
+        if in_box:
+            assert 0 <= flat[0] < spec.n_voxels
+
+    @given(
+        weights_arr=hnp.arrays(np.float64, st.integers(1, 50), elements=weights),
+        seed=st.integers(0, 1000),
+    )
+    def test_deposit_conserves_inside_weight(self, weights_arr, seed):
+        spec = GridSpec(shape=(5, 5, 5), lo=(0, 0, 0), hi=(5, 5, 5))
+        rng = np.random.default_rng(seed)
+        n = len(weights_arr)
+        x = rng.uniform(-2, 7, n)
+        y = rng.uniform(-2, 7, n)
+        z = rng.uniform(-2, 7, n)
+        grid = spec.zeros()
+        spec.deposit(grid, x, y, z, weights_arr)
+        _, inside = spec.world_to_index(x, y, z)
+        assert grid.sum() == pytest.approx(weights_arr[inside].sum(), rel=1e-9, abs=1e-12)
+
+
+class TestThresholdProperties:
+    @given(
+        grid=hnp.arrays(np.float64, (6, 6), elements=st.floats(0.0, 100.0)),
+        fraction=st.floats(0.01, 1.0),
+    )
+    def test_kept_weight_at_least_fraction(self, grid, fraction):
+        mask = threshold_top_weight(grid, fraction)
+        total = grid.sum()
+        if total > 0:
+            assert grid[mask].sum() >= fraction * total - 1e-9
+        else:
+            assert not mask.any()
+
+
+class TestTallyMonoid:
+    @st.composite
+    def tallies(draw):
+        t = Tally(n_layers=2)
+        t.n_launched = draw(st.integers(0, 1000))
+        t.specular_weight = draw(weights)
+        t.diffuse_reflectance_weight = draw(weights)
+        t.transmittance_weight = draw(weights)
+        t.detected_count = draw(st.integers(0, 100))
+        t.detected_weight = draw(weights)
+        t.absorbed_by_layer[:] = [draw(weights), draw(weights)]
+        return t
+
+    @given(a=tallies(), b=tallies(), c=tallies())
+    def test_merge_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        for key, value in left.summary().items():
+            other = right.summary()[key]
+            if np.isnan(value):
+                assert np.isnan(other)
+            else:
+                assert value == pytest.approx(other, rel=1e-12, abs=1e-12)
+
+    @given(a=tallies(), b=tallies())
+    def test_merge_commutative(self, a, b):
+        ab, ba = a.merge(b), b.merge(a)
+        for key, value in ab.summary().items():
+            other = ba.summary()[key]
+            if np.isnan(value):
+                assert np.isnan(other)
+            else:
+                assert value == pytest.approx(other, rel=1e-12, abs=1e-12)
+
+
+class TestTransportInvariants:
+    """End-to-end invariants under random (fast) media."""
+
+    @given(
+        mu_a=st.floats(0.2, 3.0),
+        mu_s=st.floats(0.2, 10.0),
+        g=st.floats(-0.5, 0.95),
+        n=st.floats(1.0, 1.6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_energy_balance_universal(self, mu_a, mu_s, g, n, seed):
+        props = OpticalProperties(mu_a=mu_a, mu_s=mu_s, g=g, n=n)
+        stack = LayerStack.homogeneous(props, 3.0)
+        config = SimulationConfig(stack=stack, source=PencilBeam())
+        tally = run_batch_vectorized(config, 200, task_rng(seed, 0))
+        assert tally.energy_balance == pytest.approx(1.0, abs=1e-9)
+        assert 0.0 <= tally.diffuse_reflectance <= 1.0
+        assert 0.0 <= tally.transmittance <= 1.0
+
+    @given(
+        t1=st.floats(0.5, 3.0),
+        t2=st.floats(0.5, 3.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_two_layers_conserve_energy(self, t1, t2, seed):
+        stack = LayerStack(
+            [
+                Layer("a", OpticalProperties(mu_a=1.0, mu_s=3.0, g=0.5, n=1.4), t1),
+                Layer("b", OpticalProperties(mu_a=0.5, mu_s=6.0, g=0.8, n=1.4), t2),
+            ]
+        )
+        config = SimulationConfig(stack=stack, source=PencilBeam())
+        tally = run_batch_vectorized(config, 200, task_rng(seed, 1))
+        assert tally.energy_balance == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,141 @@
+"""Tests for the photon sources."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sources import GaussianBeam, IsotropicPoint, PencilBeam, UniformDisc
+
+ALL_SOURCES = [
+    PencilBeam(),
+    PencilBeam(1.0, -2.0, tilt=0.3),
+    GaussianBeam(sigma=1.5),
+    GaussianBeam(sigma=1.0, truncate=2.0),
+    UniformDisc(radius=2.0),
+    IsotropicPoint(z0=3.0),
+    IsotropicPoint(z0=0.5, hemisphere="down"),
+]
+
+
+@pytest.mark.parametrize("source", ALL_SOURCES, ids=lambda s: repr(s))
+class TestSourceContract:
+    def test_shapes(self, source, rng):
+        pos, dirs = source.sample(100, rng)
+        assert pos.shape == (100, 3)
+        assert dirs.shape == (100, 3)
+
+    def test_unit_directions(self, source, rng):
+        _, dirs = source.sample(1000, rng)
+        np.testing.assert_allclose(np.linalg.norm(dirs, axis=1), 1.0, atol=1e-12)
+
+    def test_zero_photons(self, source, rng):
+        pos, dirs = source.sample(0, rng)
+        assert pos.shape == (0, 3)
+
+    def test_negative_rejected(self, source, rng):
+        with pytest.raises(ValueError):
+            source.sample(-1, rng)
+
+    def test_deterministic_given_rng(self, source):
+        a = source.sample(50, np.random.default_rng(7))
+        b = source.sample(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_picklable(self, source, rng):
+        clone = pickle.loads(pickle.dumps(source))
+        a = clone.sample(10, np.random.default_rng(3))
+        b = source.sample(10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestPencilBeam:
+    def test_delta_position(self, rng):
+        pos, dirs = PencilBeam(1.0, 2.0).sample(10, rng)
+        np.testing.assert_array_equal(pos, np.tile([1.0, 2.0, 0.0], (10, 1)))
+        np.testing.assert_array_equal(dirs[:, 2], 1.0)
+
+    def test_tilt(self, rng):
+        _, dirs = PencilBeam(tilt=0.5).sample(5, rng)
+        assert dirs[0, 0] == pytest.approx(np.sin(0.5))
+        assert dirs[0, 2] == pytest.approx(np.cos(0.5))
+
+    def test_invalid_tilt(self):
+        with pytest.raises(ValueError, match="tilt"):
+            PencilBeam(tilt=2.0)
+
+
+class TestGaussianBeam:
+    def test_footprint_std(self, rng):
+        pos, _ = GaussianBeam(sigma=2.0).sample(200_000, rng)
+        assert pos[:, 0].std() == pytest.approx(2.0, rel=0.02)
+        assert pos[:, 1].std() == pytest.approx(2.0, rel=0.02)
+        assert pos[:, 0].mean() == pytest.approx(0.0, abs=0.02)
+
+    def test_centre_offset(self, rng):
+        pos, _ = GaussianBeam(sigma=1.0, x0=5.0, y0=-3.0).sample(100_000, rng)
+        assert pos[:, 0].mean() == pytest.approx(5.0, abs=0.02)
+        assert pos[:, 1].mean() == pytest.approx(-3.0, abs=0.02)
+
+    def test_truncation_hard_edge(self, rng):
+        pos, _ = GaussianBeam(sigma=2.0, truncate=1.5).sample(50_000, rng)
+        r = np.hypot(pos[:, 0], pos[:, 1])
+        assert (r <= 1.5 + 1e-12).all()
+
+    def test_launch_on_surface(self, rng):
+        pos, dirs = GaussianBeam(sigma=1.0).sample(100, rng)
+        np.testing.assert_array_equal(pos[:, 2], 0.0)
+        np.testing.assert_array_equal(dirs[:, 2], 1.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            GaussianBeam(sigma=0.0)
+
+
+class TestUniformDisc:
+    def test_inside_radius(self, rng):
+        pos, _ = UniformDisc(radius=3.0).sample(50_000, rng)
+        r = np.hypot(pos[:, 0], pos[:, 1])
+        assert (r <= 3.0).all()
+
+    def test_uniform_areal_density(self, rng):
+        # For uniform density, mean(r^2) = R^2 / 2.
+        pos, _ = UniformDisc(radius=2.0).sample(400_000, rng)
+        r2 = pos[:, 0] ** 2 + pos[:, 1] ** 2
+        assert r2.mean() == pytest.approx(2.0, rel=0.01)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            UniformDisc(radius=-1.0)
+
+
+class TestIsotropicPoint:
+    def test_position(self, rng):
+        pos, _ = IsotropicPoint(z0=2.5, x0=1.0).sample(10, rng)
+        np.testing.assert_array_equal(pos, np.tile([1.0, 0.0, 2.5], (10, 1)))
+
+    def test_full_sphere_mean_direction_zero(self, rng):
+        _, dirs = IsotropicPoint(z0=1.0).sample(400_000, rng)
+        np.testing.assert_allclose(dirs.mean(axis=0), 0.0, atol=0.01)
+
+    def test_uniform_cos_theta(self, rng):
+        _, dirs = IsotropicPoint(z0=1.0).sample(200_000, rng)
+        # Uniform on [-1, 1]: variance 1/3.
+        assert dirs[:, 2].var() == pytest.approx(1.0 / 3.0, rel=0.02)
+
+    def test_down_hemisphere(self, rng):
+        _, dirs = IsotropicPoint(z0=1.0, hemisphere="down").sample(10_000, rng)
+        assert (dirs[:, 2] >= 0).all()
+
+    def test_up_hemisphere(self, rng):
+        _, dirs = IsotropicPoint(z0=1.0, hemisphere="up").sample(10_000, rng)
+        assert (dirs[:, 2] <= 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="z0"):
+            IsotropicPoint(z0=-1.0)
+        with pytest.raises(ValueError, match="hemisphere"):
+            IsotropicPoint(z0=1.0, hemisphere="sideways")

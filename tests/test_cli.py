@@ -1,0 +1,117 @@
+"""Smoke tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.model == "adult_head"
+        assert args.kernel == "vector"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "bone"])
+
+
+class TestCommands:
+    def test_run_white_matter(self, capsys):
+        code = main([
+            "run", "--model", "white_matter", "--photons", "300",
+            "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diffuse_reflectance" in out
+        assert "energy_balance" in out
+
+    def test_run_with_detector_gate_and_save(self, tmp_path, capsys):
+        out_file = tmp_path / "tally.npz"
+        code = main([
+            "run", "--model", "white_matter", "--photons", "300",
+            "--detector-spacing", "2.0", "--gate", "0", "50",
+            "--save", str(out_file),
+        ])
+        assert code == 0
+        assert out_file.exists()
+        from repro.io import load_tally
+
+        tally = load_tally(out_file)
+        assert tally.n_launched == 300
+
+    def test_run_distributed(self, capsys):
+        code = main([
+            "run", "--model", "white_matter", "--photons", "400",
+            "--workers", "2", "--task-size", "200",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distributed over 2 workers" in out
+
+    def test_speedup(self, capsys):
+        code = main(["speedup", "--max-k", "10", "--photons", "10000000",
+                     "--task-size", "100000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "efficiency" in out
+
+    def test_table2(self, capsys):
+        code = main(["table2", "--photons", "100000000", "--dedicated"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "150 machines" in out
+        assert "P4 2.4GHz" in out
+
+    def test_head(self, capsys):
+        code = main(["head", "--photons", "500", "--spacing", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "white_matter" in out
+
+    def test_banana(self, capsys, tmp_path):
+        pgm = tmp_path / "b.pgm"
+        code = main([
+            "banana", "--photons", "1500", "--spacing", "2.5",
+            "--granularity", "16", "--pgm", str(pgm),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "banana" in out
+        assert pgm.exists()
+
+    def test_serve_and_client(self, capsys):
+        """End-to-end TCP run through the CLI entry points."""
+        import threading
+
+        from repro.core import SimulationConfig
+        from repro.distributed import NetworkServer
+        from repro.sources import PencilBeam
+        from repro.tissue import white_matter
+
+        # Start a tiny server directly (the CLI path for 'serve' blocks),
+        # then drive the 'client' subcommand against it.
+        config = SimulationConfig(stack=white_matter(), source=PencilBeam())
+        server = NetworkServer(config, n_photons=300, seed=1, task_size=100).start()
+        client = threading.Thread(
+            target=main, args=(["client", "--port", str(server.port)],), daemon=True
+        )
+        client.start()
+        report = server.wait(timeout=120)
+        client.join(timeout=30)
+        assert report.tally.n_launched == 300
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+    def test_fit(self, capsys):
+        code = main(["fit", "--photons", "30000", "--mu-a", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered" in out

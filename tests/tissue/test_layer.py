@@ -1,0 +1,89 @@
+"""Tests for the layered slab geometry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tissue import Layer, LayerStack, OpticalProperties
+
+PROPS = OpticalProperties(mu_a=0.1, mu_s=1.0, g=0.5, n=1.4)
+
+
+class TestLayer:
+    def test_semi_infinite(self):
+        layer = Layer("wm", PROPS, None)
+        assert layer.is_semi_infinite
+
+    def test_invalid_thickness(self):
+        with pytest.raises(ValueError, match="thickness"):
+            Layer("bad", PROPS, 0.0)
+
+
+class TestLayerStack:
+    def test_boundaries(self, three_layer_stack):
+        np.testing.assert_allclose(three_layer_stack.boundaries[:3], [0.0, 2.0, 5.0])
+        assert math.isinf(three_layer_stack.boundaries[3])
+
+    def test_len_iter_getitem(self, three_layer_stack):
+        assert len(three_layer_stack) == 3
+        assert [l.name for l in three_layer_stack] == ["a", "b", "c"]
+        assert three_layer_stack[1].name == "b"
+
+    def test_coefficient_vectors(self, three_layer_stack):
+        np.testing.assert_allclose(three_layer_stack.mu_a, [0.5, 0.2, 1.0])
+        np.testing.assert_allclose(
+            three_layer_stack.mu_t, three_layer_stack.mu_a + three_layer_stack.mu_s
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LayerStack([])
+
+    def test_interior_semi_infinite_rejected(self):
+        with pytest.raises(ValueError, match="semi-infinite"):
+            LayerStack([Layer("a", PROPS, None), Layer("b", PROPS, 1.0)])
+
+    def test_invalid_ambient_index(self):
+        with pytest.raises(ValueError, match="ambient"):
+            LayerStack([Layer("a", PROPS, 1.0)], n_above=0.0)
+
+    def test_layer_index_at(self, three_layer_stack):
+        assert three_layer_stack.layer_index_at(0.0) == 0
+        assert three_layer_stack.layer_index_at(1.99) == 0
+        assert three_layer_stack.layer_index_at(2.0) == 1  # boundary -> below
+        assert three_layer_stack.layer_index_at(4.999) == 1
+        assert three_layer_stack.layer_index_at(5.0) == 2
+        assert three_layer_stack.layer_index_at(1e9) == 2
+
+    def test_layer_index_outside(self, three_layer_stack):
+        with pytest.raises(ValueError, match="outside"):
+            three_layer_stack.layer_index_at(-0.1)
+
+    def test_finite_stack_bounds(self):
+        stack = LayerStack([Layer("a", PROPS, 1.0), Layer("b", PROPS, 2.0)])
+        assert stack.total_thickness == pytest.approx(3.0)
+        assert not stack.is_semi_infinite
+        with pytest.raises(ValueError, match="outside"):
+            stack.layer_index_at(3.0)
+
+    def test_layer_top_bottom(self, three_layer_stack):
+        assert three_layer_stack.layer_top(1) == pytest.approx(2.0)
+        assert three_layer_stack.layer_bottom(1) == pytest.approx(5.0)
+        assert math.isinf(three_layer_stack.layer_bottom(2))
+
+    def test_refractive_index_outside(self):
+        stack = LayerStack([Layer("a", PROPS, 1.0)], n_above=1.0, n_below=1.33)
+        assert stack.refractive_index_outside(going_up=True) == 1.0
+        assert stack.refractive_index_outside(going_up=False) == 1.33
+
+    def test_layer_name_at(self, three_layer_stack):
+        assert three_layer_stack.layer_name_at(3.0) == "b"
+
+    def test_homogeneous_constructor(self):
+        stack = LayerStack.homogeneous(PROPS, name="medium")
+        assert len(stack) == 1
+        assert stack.is_semi_infinite
+        assert stack[0].name == "medium"

@@ -1,0 +1,118 @@
+"""Tests for the Table 1 tissue models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.tissue import (
+    TABLE1_PROPERTIES,
+    adult_head,
+    neonatal_head,
+    two_layer_phantom,
+    white_matter,
+    white_matter_slab,
+    OpticalProperties,
+)
+
+
+class TestTable1Values:
+    """The model must encode Table 1 of the paper exactly."""
+
+    @pytest.mark.parametrize(
+        "name,mu_s_red,mu_a",
+        [
+            ("scalp", 1.9, 0.018),
+            ("skull", 1.6, 0.016),
+            ("csf", 0.25, 0.004),
+            ("grey_matter", 2.2, 0.036),
+            ("white_matter", 9.1, 0.014),
+        ],
+    )
+    def test_coefficients(self, name, mu_s_red, mu_a):
+        table_red, table_mu_a, _ = TABLE1_PROPERTIES[name]
+        assert table_red == mu_s_red
+        assert table_mu_a == mu_a
+
+    def test_adult_head_layer_order(self):
+        stack = adult_head()
+        assert [l.name for l in stack] == [
+            "scalp", "skull", "csf", "grey_matter", "white_matter",
+        ]
+
+    def test_adult_head_reduced_scattering_matches_table(self):
+        stack = adult_head()
+        for layer in stack:
+            expected_red, expected_mu_a, _ = TABLE1_PROPERTIES[layer.name]
+            assert layer.properties.mu_s_reduced == pytest.approx(expected_red)
+            assert layer.properties.mu_a == pytest.approx(expected_mu_a)
+
+    def test_white_matter_semi_infinite(self):
+        stack = adult_head()
+        assert stack[-1].is_semi_infinite
+        assert stack.is_semi_infinite
+
+    def test_scalp_thickness_within_table_range(self):
+        # Table 1: scalp 0.3-1 cm, skull 0.5-1 cm.
+        stack = adult_head()
+        assert 3.0 <= stack[0].thickness <= 10.0
+        assert 5.0 <= stack[1].thickness <= 10.0
+
+    def test_csf_low_scattering(self):
+        stack = adult_head()
+        csf = stack[2].properties
+        others = [stack[i].properties for i in (0, 1, 3, 4)]
+        assert all(csf.mu_s_reduced < o.mu_s_reduced / 5 for o in others)
+
+
+class TestAdultHeadOptions:
+    def test_custom_thickness(self):
+        stack = adult_head(scalp_thickness=4.0, csf_thickness=3.0)
+        assert stack[0].thickness == pytest.approx(4.0)
+        assert stack[2].thickness == pytest.approx(3.0)
+
+    def test_literal_units(self):
+        stack = adult_head(literal_units=True)
+        assert stack[2].thickness == pytest.approx(20.0)  # CSF "2 cm" literal
+        assert stack[3].thickness == pytest.approx(40.0)
+
+    def test_custom_g_propagates(self):
+        stack = adult_head(g=0.8)
+        for layer in stack:
+            assert layer.properties.g == pytest.approx(0.8)
+            # mu_s' must still match the table.
+            expected_red, _, _ = TABLE1_PROPERTIES[layer.name]
+            assert layer.properties.mu_s_reduced == pytest.approx(expected_red)
+
+
+class TestOtherModels:
+    def test_white_matter(self):
+        stack = white_matter()
+        assert len(stack) == 1
+        assert stack.is_semi_infinite
+        assert stack[0].properties.mu_s_reduced == pytest.approx(9.1)
+
+    def test_white_matter_slab(self):
+        stack = white_matter_slab(3.0)
+        assert stack.total_thickness == pytest.approx(3.0)
+
+    def test_neonatal_thinner_than_adult(self):
+        adult = adult_head()
+        neo = neonatal_head()
+        # Superficial (scalp+skull+CSF) thickness is smaller for the neonate.
+        adult_superficial = sum(adult[i].thickness for i in range(3))
+        neo_superficial = sum(neo[i].thickness for i in range(3))
+        assert neo_superficial < adult_superficial
+        # Same optical coefficients.
+        for a, n in zip(adult, neo):
+            assert a.properties.mu_a == pytest.approx(n.properties.mu_a)
+
+    def test_two_layer_phantom(self):
+        top = OpticalProperties(mu_a=1.0, mu_s=1.0)
+        bottom = OpticalProperties(mu_a=2.0, mu_s=2.0)
+        stack = two_layer_phantom(top, bottom, 1.0)
+        assert len(stack) == 2
+        assert math.isinf(stack.total_thickness)
+        finite = two_layer_phantom(top, bottom, 1.0, bottom_thickness=2.0)
+        assert finite.total_thickness == pytest.approx(3.0)

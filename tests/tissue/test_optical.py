@@ -1,0 +1,87 @@
+"""Tests for optical properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.tissue import OpticalProperties
+from repro.tissue.optical import SPEED_OF_LIGHT_MM_PER_NS
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = OpticalProperties(mu_a=0.1, mu_s=10.0, g=0.9, n=1.4)
+        assert p.mu_t == pytest.approx(10.1)
+        assert p.albedo == pytest.approx(10.0 / 10.1)
+
+    @pytest.mark.parametrize("bad", [{"mu_a": -1.0, "mu_s": 1.0},
+                                     {"mu_a": 1.0, "mu_s": -1.0},
+                                     {"mu_a": 1.0, "mu_s": 1.0, "g": 1.5},
+                                     {"mu_a": 1.0, "mu_s": 1.0, "n": 0.0}])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            OpticalProperties(**bad)
+
+    def test_extreme_g_allowed(self):
+        OpticalProperties(mu_a=0.0, mu_s=1.0, g=-1.0)
+        OpticalProperties(mu_a=0.0, mu_s=1.0, g=1.0)
+
+
+class TestDerived:
+    def test_reduced_scattering(self):
+        p = OpticalProperties(mu_a=0.0, mu_s=10.0, g=0.9)
+        assert p.mu_s_reduced == pytest.approx(1.0)
+
+    def test_mean_free_path(self):
+        p = OpticalProperties(mu_a=0.5, mu_s=1.5)
+        assert p.mean_free_path == pytest.approx(0.5)
+
+    def test_transparent_medium_infinite_mfp(self):
+        p = OpticalProperties(mu_a=0.0, mu_s=0.0)
+        assert math.isinf(p.mean_free_path)
+        assert p.albedo == 0.0
+
+    def test_diffusion_coefficient(self):
+        p = OpticalProperties(mu_a=0.01, mu_s=10.0, g=0.9)
+        assert p.diffusion_coefficient == pytest.approx(1.0 / (3.0 * (0.01 + 1.0)))
+
+    def test_effective_attenuation(self):
+        p = OpticalProperties(mu_a=0.01, mu_s=10.0, g=0.9)
+        assert p.effective_attenuation == pytest.approx(
+            math.sqrt(3 * 0.01 * 1.01), rel=1e-12
+        )
+
+    def test_phase_velocity(self):
+        p = OpticalProperties(mu_a=0.0, mu_s=1.0, n=1.5)
+        assert p.phase_velocity == pytest.approx(SPEED_OF_LIGHT_MM_PER_NS / 1.5)
+
+
+class TestFromReduced:
+    def test_round_trip(self):
+        p = OpticalProperties.from_reduced(mu_a=0.018, mu_s_reduced=1.9, g=0.9)
+        assert p.mu_s_reduced == pytest.approx(1.9)
+        assert p.mu_s == pytest.approx(19.0)
+
+    def test_forward_scattering_rejected(self):
+        with pytest.raises(ValueError, match="g must lie"):
+            OpticalProperties.from_reduced(mu_a=0.0, mu_s_reduced=1.0, g=1.0)
+
+    def test_negative_reduced_rejected(self):
+        with pytest.raises(ValueError, match="mu_s_reduced"):
+            OpticalProperties.from_reduced(mu_a=0.0, mu_s_reduced=-1.0)
+
+
+class TestWithAnisotropy:
+    def test_preserves_reduced_scattering(self):
+        p = OpticalProperties(mu_a=0.1, mu_s=10.0, g=0.9)
+        q = p.with_anisotropy(0.0)
+        assert q.mu_s_reduced == pytest.approx(p.mu_s_reduced)
+        assert q.g == 0.0
+        assert q.mu_s == pytest.approx(1.0)
+
+    def test_invalid_target(self):
+        p = OpticalProperties(mu_a=0.1, mu_s=10.0, g=0.9)
+        with pytest.raises(ValueError):
+            p.with_anisotropy(1.0)

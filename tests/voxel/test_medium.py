@@ -1,0 +1,131 @@
+"""Tests for VoxelMedium and the builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tissue import Layer, LayerStack, OpticalProperties
+from repro.voxel import (
+    VoxelMedium,
+    from_layers,
+    homogeneous_block,
+    tilted_layers,
+    with_cylinder,
+    with_sphere,
+)
+
+PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+OTHER = OpticalProperties(mu_a=5.0, mu_s=2.0, g=0.5, n=1.4)
+
+
+class TestVoxelMedium:
+    def test_basic_properties(self):
+        m = homogeneous_block(PROPS, (10, 8, 4), half_extent=5.0, depth=2.0)
+        assert m.shape == (10, 8, 4)
+        assert m.n_materials == 1
+        assert m.voxel_size == (1.0, 1.25, 0.5)
+        assert m.n_medium == pytest.approx(1.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="3-D"):
+            VoxelMedium(np.zeros((2, 2), dtype=np.uint8), (PROPS,), 1.0, 1.0)
+        with pytest.raises(ValueError, match="integers"):
+            VoxelMedium(np.zeros((2, 2, 2)), (PROPS,), 1.0, 1.0)
+        with pytest.raises(ValueError, match="index materials"):
+            VoxelMedium(np.ones((2, 2, 2), dtype=np.uint8), (PROPS,), 1.0, 1.0)
+        with pytest.raises(ValueError, match="at least one"):
+            VoxelMedium(np.zeros((2, 2, 2), dtype=np.uint8), (), 1.0, 1.0)
+
+    def test_mixed_refractive_indices_rejected(self):
+        weird = OpticalProperties(mu_a=1.0, mu_s=1.0, n=1.6)
+        labels = np.zeros((2, 2, 2), dtype=np.uint8)
+        with pytest.raises(ValueError, match="refractive index"):
+            VoxelMedium(labels, (PROPS, weird), 1.0, 1.0)
+
+    def test_label_lookup_with_lateral_clamping(self):
+        m = homogeneous_block(PROPS, (4, 4, 4), half_extent=2.0, depth=2.0)
+        labels = m.labels.copy()
+        labels[0, :, :] = 0  # already 0; make the far x edge distinct
+        # Build two-material medium: left half 0, right half 1.
+        labels[2:, :, :] = 1
+        m2 = VoxelMedium(labels, (PROPS, OTHER), 2.0, 2.0)
+        # Far outside the +x face: clamps to the edge voxel's material (1).
+        lab = m2.label_at(np.array([100.0]), np.array([0.0]), np.array([1.0]))
+        assert lab[0] == 1
+        lab = m2.label_at(np.array([-100.0]), np.array([0.0]), np.array([1.0]))
+        assert lab[0] == 0
+
+    def test_volume_fractions(self):
+        labels = np.zeros((4, 4, 4), dtype=np.uint8)
+        labels[:, :, 2:] = 1
+        m = VoxelMedium(labels, (PROPS, OTHER), 1.0, 1.0)
+        np.testing.assert_allclose(m.material_volume_fractions(), [0.5, 0.5])
+
+
+class TestFromLayers:
+    def test_layer_structure_preserved(self, three_layer_stack):
+        m = from_layers(three_layer_stack, (8, 8, 40), half_extent=10.0, depth=10.0)
+        assert m.n_materials == 3
+        # Layer a occupies z in [0, 2): voxels 0..7 of 40 (dz = 0.25).
+        assert (m.labels[:, :, :7] == 0).all()
+        # Layer b occupies z in [2, 5).
+        assert (m.labels[:, :, 9:19] == 1).all()
+        # Layer c below.
+        assert (m.labels[:, :, 21:] == 2).all()
+
+    def test_semi_infinite_needs_depth(self, three_layer_stack):
+        with pytest.raises(ValueError, match="depth"):
+            from_layers(three_layer_stack, (4, 4, 4), half_extent=5.0)
+
+    def test_finite_stack_default_depth(self):
+        stack = LayerStack([Layer("a", PROPS, 1.0), Layer("b", OTHER, 2.0)])
+        m = from_layers(stack, (4, 4, 12), half_extent=5.0)
+        assert m.depth == pytest.approx(3.0)
+        fractions = m.material_volume_fractions()
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3], atol=0.05)
+
+
+class TestInclusions:
+    def test_sphere_volume(self):
+        block = homogeneous_block(PROPS, (40, 40, 40), half_extent=10.0, depth=20.0)
+        m = with_sphere(block, (0.0, 0.0, 10.0), 4.0, OTHER)
+        assert m.n_materials == 2
+        sphere_fraction = m.material_volume_fractions()[1]
+        expected = (4 / 3 * np.pi * 4.0**3) / (20.0 * 20.0 * 20.0)
+        assert sphere_fraction == pytest.approx(expected, rel=0.1)
+
+    def test_sphere_must_overlap(self):
+        block = homogeneous_block(PROPS, (4, 4, 4), half_extent=1.0, depth=1.0)
+        with pytest.raises(ValueError, match="overlap"):
+            with_sphere(block, (100.0, 0.0, 0.0), 0.5, OTHER)
+
+    def test_cylinder_runs_full_x(self):
+        block = homogeneous_block(PROPS, (8, 40, 40), half_extent=10.0, depth=20.0)
+        m = with_cylinder(block, y0=0.0, z0=10.0, radius=3.0, props=OTHER)
+        inc = m.labels == 1
+        # Every x slice contains the same inclusion cross-section.
+        assert (inc[0] == inc[-1]).all()
+        assert inc.any()
+
+    def test_original_medium_unchanged(self):
+        block = homogeneous_block(PROPS, (8, 8, 8), half_extent=4.0, depth=4.0)
+        with_sphere(block, (0.0, 0.0, 2.0), 1.0, OTHER)
+        assert (block.labels == 0).all()
+
+
+class TestTiltedLayers:
+    def test_zero_slope_matches_flat(self, three_layer_stack):
+        flat = from_layers(three_layer_stack, (8, 8, 20), half_extent=5.0, depth=10.0)
+        tilted = tilted_layers(three_layer_stack, (8, 8, 20), half_extent=5.0,
+                               depth=10.0, slope=0.0)
+        np.testing.assert_array_equal(flat.labels, tilted.labels)
+
+    def test_slope_shifts_interfaces(self, three_layer_stack):
+        m = tilted_layers(three_layer_stack, (20, 4, 40), half_extent=10.0,
+                          depth=10.0, slope=0.3)
+        # The first interface is deeper at +x than at -x: column at the
+        # high-x edge has more layer-0 voxels.
+        left_layer0 = (m.labels[0, 0, :] == 0).sum()
+        right_layer0 = (m.labels[-1, 0, :] == 0).sum()
+        assert right_layer0 > left_layer0
