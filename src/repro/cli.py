@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run distributed on this many local processes")
     run.add_argument("--task-size", type=int, default=10_000)
     run.add_argument("--save", type=str, default=None, metavar="FILE.npz")
+    run.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
+                     help="persist completed tasks to DIR so the run can be resumed")
+    run.add_argument("--resume", action="store_true",
+                     help="continue from an existing checkpoint in --checkpoint DIR")
+    run.add_argument("--task-deadline", type=float, default=None, metavar="SECONDS",
+                     help="speculatively re-dispatch tasks in flight longer than this")
 
     banana = sub.add_parser("banana", help="Fig. 3: banana sensitivity profile")
     banana.add_argument("--photons", type=int, default=40_000)
@@ -85,12 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
     serve.add_argument("--timeout", type=float, default=3600.0)
+    serve.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
+                       help="persist completed tasks to DIR so the run can be resumed")
+    serve.add_argument("--resume", action="store_true",
+                       help="continue from an existing checkpoint in --checkpoint DIR")
+    serve.add_argument("--task-deadline", type=float, default=None, metavar="SECONDS",
+                       help="speculatively re-dispatch tasks in flight longer than this")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="declare a silent client hung after this long (0 disables)")
 
     client = sub.add_parser("client", help="connect to a 'serve' instance and work")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, required=True)
     client.add_argument("--name", default=None)
     client.add_argument("--max-tasks", type=int, default=None)
+    client.add_argument("--heartbeat-interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="send a keep-alive this often while computing (0 disables)")
 
     fit = sub.add_parser(
         "fit", help="inverse problem: recover (mu_a, mu_s') from simulated R(rho)"
@@ -102,6 +120,28 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--seed", type=int, default=0)
 
     return parser
+
+
+def _checkpoint_from_args(args):
+    """Build the CheckpointManager requested by --checkpoint/--resume.
+
+    ``--resume`` requires ``--checkpoint``; without ``--resume`` an existing
+    checkpoint is refused rather than silently extended, so two unrelated
+    runs can never be mixed by a stale directory.
+    """
+    from .distributed import CheckpointManager
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    if not args.checkpoint:
+        return None
+    checkpoint = CheckpointManager(args.checkpoint)
+    if checkpoint.exists and not args.resume:
+        raise SystemExit(
+            f"checkpoint {args.checkpoint} already exists; "
+            "pass --resume to continue that run"
+        )
+    return checkpoint
 
 
 def _stack_for(model: str):
@@ -135,16 +175,32 @@ def _cmd_run(args) -> int:
         kwargs["detector"] = detector
     config = SimulationConfig(**kwargs)
 
-    if args.workers > 1:
+    checkpoint = _checkpoint_from_args(args)
+    if args.workers > 1 or checkpoint is not None:
+        from .distributed import SerialBackend
+
         manager = DataManager(config, args.photons, seed=args.seed,
-                              task_size=args.task_size, kernel=args.kernel)
-        with MultiprocessingBackend(args.workers) as backend:
-            report = manager.run(backend)
+                              task_size=args.task_size, kernel=args.kernel,
+                              task_deadline=args.task_deadline,
+                              checkpoint=checkpoint)
+        if args.workers > 1:
+            with MultiprocessingBackend(args.workers) as backend:
+                report = manager.run(backend)
+        else:
+            report = manager.run(SerialBackend())
         tally = report.tally
         print(f"# distributed over {args.workers} workers, "
-              f"{report.n_tasks} tasks, wall {report.wall_seconds:.1f}s")
+              f"{report.n_tasks} tasks, wall {report.wall_seconds:.1f}s, "
+              f"{report.retries} retries, "
+              f"{report.speculative_duplicates} speculative duplicates")
+        if checkpoint is not None:
+            print(f"# checkpoint: {checkpoint.directory} "
+                  f"({len(checkpoint.completed_indices())} tasks recorded)")
     else:
-        tally = Simulation(config).run(args.photons, seed=args.seed, kernel=args.kernel)
+        tally = Simulation(config).run(
+            args.photons, seed=args.seed, task_size=args.task_size,
+            kernel=args.kernel,
+        )
 
     rows = [[k, v] for k, v in tally.summary().items()]
     print(format_table(["quantity", "value"], rows, float_format="{:.6g}"))
@@ -261,13 +317,17 @@ def _cmd_serve(args) -> int:
     server = NetworkServer(
         config, n_photons=args.photons, seed=args.seed,
         task_size=args.task_size, host=args.host, port=args.port,
+        heartbeat_timeout=args.heartbeat_timeout or None,
+        task_deadline=args.task_deadline,
+        checkpoint=_checkpoint_from_args(args),
     ).start()
     print(f"# DataManager listening on {args.host}:{server.port} "
           f"({args.photons:,} photons in {args.task_size:,}-photon tasks)")
     print(f"# start workers with: tissue-mc client --port {server.port}")
     report = server.wait(timeout=args.timeout)
     print(f"# complete: {report.n_tasks} tasks in {report.wall_seconds:.1f}s, "
-          f"{report.retries} retries")
+          f"{report.retries} retries, "
+          f"{report.speculative_duplicates} speculative duplicates")
     from .io import format_table
 
     rows = [[k, v] for k, v in report.tally.summary().items()]
@@ -278,9 +338,16 @@ def _cmd_serve(args) -> int:
 def _cmd_client(args) -> int:
     from .distributed import run_network_client
 
-    completed = run_network_client(
-        args.host, args.port, worker_name=args.name, max_tasks=args.max_tasks
-    )
+    try:
+        completed = run_network_client(
+            args.host, args.port, worker_name=args.name, max_tasks=args.max_tasks,
+            heartbeat_interval=args.heartbeat_interval or None,
+        )
+    except OSError as exc:
+        # The server vanished (or refused us) — a non-dedicated client
+        # reports it and exits; its tasks are reassigned server-side.
+        print(f"# lost the server at {args.host}:{args.port}: {exc}")
+        return 1
     print(f"# completed {completed} tasks")
     return 0
 

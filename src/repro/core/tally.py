@@ -93,6 +93,50 @@ class Tally:
             z_max, n = r.penetration_bins
             self.penetration_hist = Histogram.linear(0.0, z_max, n)
 
+    # -- equality --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Exact (bitwise) equality — the distributed-reproducibility check.
+
+        Two tallies are equal iff every scalar, array, histogram and running
+        statistic matches bit for bit.  This is deliberately strict: it is
+        the contract that a resumed or re-scheduled distributed run must
+        reproduce the uninterrupted serial result exactly, not approximately.
+        """
+        if not isinstance(other, Tally):
+            return NotImplemented
+
+        def _array_eq(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+            if a is None or b is None:
+                return a is None and b is None
+            return np.array_equal(a, b)
+
+        def _hist_eq(a: Histogram | None, b: Histogram | None) -> bool:
+            if a is None or b is None:
+                return a is None and b is None
+            return np.array_equal(a.edges, b.edges) and np.array_equal(a.counts, b.counts)
+
+        return (
+            self.n_layers == other.n_layers
+            and self.records == other.records
+            and self.n_launched == other.n_launched
+            and self.specular_weight == other.specular_weight
+            and self.diffuse_reflectance_weight == other.diffuse_reflectance_weight
+            and self.transmittance_weight == other.transmittance_weight
+            and self.lost_weight == other.lost_weight
+            and self.roulette_net_weight == other.roulette_net_weight
+            and self.detected_count == other.detected_count
+            and self.detected_weight == other.detected_weight
+            and _array_eq(self.absorbed_by_layer, other.absorbed_by_layer)
+            and self.pathlength == other.pathlength
+            and self.penetration_depth == other.penetration_depth
+            and _array_eq(self.absorption_grid, other.absorption_grid)
+            and _array_eq(self.path_grid, other.path_grid)
+            and _hist_eq(self.pathlength_hist, other.pathlength_hist)
+            and _hist_eq(self.reflectance_rho_hist, other.reflectance_rho_hist)
+            and _hist_eq(self.penetration_hist, other.penetration_hist)
+        )
+
     # -- monoid ---------------------------------------------------------------
 
     def merge(self, other: "Tally") -> "Tally":

@@ -2,20 +2,39 @@
 
 from .backends import Backend, MultiprocessingBackend, SerialBackend, ThreadBackend
 from .campaign import Campaign, Experiment
+from .checkpoint import CheckpointError, CheckpointManager, run_key
 from .datamanager import DataManager, RunReport, TaskFailedError
 from .faults import FaultInjector, WorkerCrash
-from .net import NetworkServer, recv_message, run_network_client, send_message
-from .protocol import TaskResult, TaskSpec, decode, encode
+from .health import WorkerHealth, WorkerStats
+from .net import (
+    NetworkServer,
+    ProtocolError,
+    recv_message,
+    run_network_client,
+    send_message,
+)
+from .protocol import (
+    ResultValidationError,
+    TaskResult,
+    TaskSpec,
+    decode,
+    encode,
+    validate_result,
+)
 from .worker import execute_task, worker_identity
 
 __all__ = [
     "Backend",
     "Campaign",
+    "CheckpointError",
+    "CheckpointManager",
     "DataManager",
     "Experiment",
     "FaultInjector",
     "MultiprocessingBackend",
     "NetworkServer",
+    "ProtocolError",
+    "ResultValidationError",
     "RunReport",
     "SerialBackend",
     "TaskFailedError",
@@ -23,11 +42,15 @@ __all__ = [
     "TaskSpec",
     "ThreadBackend",
     "WorkerCrash",
+    "WorkerHealth",
+    "WorkerStats",
     "decode",
     "encode",
     "recv_message",
+    "run_key",
     "run_network_client",
     "send_message",
     "execute_task",
+    "validate_result",
     "worker_identity",
 ]

@@ -13,11 +13,13 @@ or removing an experiment never perturbs another's results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from ..core.config import SimulationConfig
 from ..core.simulation import KernelName
 from .backends import Backend
+from .checkpoint import CheckpointManager
 from .datamanager import DataManager, RunReport
 from .worker import execute_task
 
@@ -64,6 +66,14 @@ class Campaign:
         Campaign-level seed mixed into each experiment's namespace.
     task_size, kernel, max_retries, task_runner:
         Forwarded to each experiment's :class:`DataManager`.
+    task_deadline, retry_backoff, blacklist_after:
+        Fault-tolerance knobs, forwarded to each experiment's
+        :class:`DataManager` (see its docstring for semantics).
+    checkpoint_root:
+        Directory under which each experiment checkpoints into its own
+        subdirectory (named after the experiment), making a killed
+        campaign resumable experiment by experiment.  ``None`` disables
+        checkpointing.
     """
 
     experiments: list[Experiment]
@@ -73,6 +83,10 @@ class Campaign:
     max_retries: int = 2
     task_runner: Callable = execute_task
     progress: Callable[[str, int, int], None] | None = None
+    task_deadline: float | None = None
+    retry_backoff: float = 0.0
+    blacklist_after: int | None = 3
+    checkpoint_root: str | Path | None = None
     _reports: dict[str, RunReport] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -84,6 +98,11 @@ class Campaign:
         """Run every experiment on ``backend``; returns name -> report."""
         self._reports = {}
         for experiment in self.experiments:
+            checkpoint: CheckpointManager | None = None
+            if self.checkpoint_root is not None:
+                checkpoint = CheckpointManager(
+                    Path(self.checkpoint_root) / experiment.name
+                )
             manager = DataManager(
                 config=experiment.config,
                 n_photons=experiment.n_photons,
@@ -92,6 +111,10 @@ class Campaign:
                 kernel=self.kernel,
                 max_retries=self.max_retries,
                 task_runner=self.task_runner,
+                task_deadline=self.task_deadline,
+                retry_backoff=self.retry_backoff,
+                blacklist_after=self.blacklist_after,
+                checkpoint=checkpoint,
                 progress=(
                     None
                     if self.progress is None

@@ -11,31 +11,47 @@ client PCs and processes the returned results".  Concretely it
    whichever worker finishes first (pull-based *self-scheduling*, the
    policy that yields the paper's near-linear speedup on heterogeneous,
    non-dedicated machines);
-3. retries failed tasks up to ``max_retries`` times (non-dedicated clients
-   vanish; see :mod:`repro.distributed.faults`);
-4. merges the returned tallies and produces a :class:`RunReport` with
-   per-worker utilisation.
+3. retries failed tasks up to ``max_retries`` times with exponential
+   backoff (non-dedicated clients vanish; see
+   :mod:`repro.distributed.faults`), validating every returned result
+   before merging it (:func:`~repro.distributed.protocol.validate_result`)
+   so a corrupted client cannot poison the tally;
+4. enforces an optional per-task **deadline**: a straggling attempt is
+   speculatively re-dispatched, the first result wins, and late duplicates
+   are discarded by task index — correctness is unaffected because task
+   RNG streams are keyed by ``(seed, task_index)``, never by schedule;
+5. optionally **checkpoints** completed results to disk
+   (:mod:`repro.distributed.checkpoint`) so a killed run can resume
+   bit-identically;
+6. merges the returned tallies and produces a :class:`RunReport` with
+   per-worker utilisation and health
+   (:class:`~repro.distributed.health.WorkerHealth`).
 """
 
 from __future__ import annotations
 
 import logging
 import time
-from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from ..core.config import SimulationConfig
 from ..core.simulation import KernelName, split_photons
 from ..core.tally import Tally
 from .backends import Backend
-from .protocol import TaskResult, TaskSpec
+from .checkpoint import CheckpointManager, run_key
+from .health import WorkerHealth, WorkerStats
+from .protocol import ResultValidationError, TaskResult, TaskSpec, validate_result
 from .worker import execute_task
 
 logger = logging.getLogger(__name__)
 
 __all__ = ["DataManager", "RunReport", "TaskFailedError"]
+
+#: How long to wait for in-flight attempts to settle when a run is aborted.
+_DRAIN_TIMEOUT = 30.0
 
 
 class TaskFailedError(RuntimeError):
@@ -64,12 +80,19 @@ class RunReport:
         End-to-end time observed by the DataManager.
     retries:
         Total failed attempts that were retried.
+    speculative_duplicates:
+        Speculative attempts dispatched for straggling tasks (the losing
+        copies are discarded at merge time).
+    worker_health:
+        Per-worker failure/latency/blacklist stats, keyed by worker id.
     """
 
     tally: Tally
     task_results: list[TaskResult]
     wall_seconds: float
     retries: int = 0
+    speculative_duplicates: int = 0
+    worker_health: dict[str, WorkerStats] = field(default_factory=dict)
 
     @property
     def n_tasks(self) -> int:
@@ -81,13 +104,37 @@ class RunReport:
         return sum(r.elapsed_seconds for r in self.task_results)
 
     def per_worker(self) -> dict[str, dict[str, float]]:
-        """Utilisation summary keyed by worker id."""
+        """Utilisation and health summary keyed by worker id.
+
+        Each row carries the utilisation counters (``tasks``,
+        ``busy_seconds``, ``photons``) plus the health fields
+        (``failures``, ``blacklisted``, ``mean_latency_seconds``).  Workers
+        that only ever failed appear with zero completed tasks.
+        """
         out: dict[str, dict[str, float]] = {}
+
+        def row_for(worker_id: str) -> dict[str, float]:
+            return out.setdefault(
+                worker_id, {"tasks": 0.0, "busy_seconds": 0.0, "photons": 0.0}
+            )
+
         for r in self.task_results:
-            row = out.setdefault(r.worker_id, {"tasks": 0.0, "busy_seconds": 0.0, "photons": 0.0})
+            row = row_for(r.worker_id)
             row["tasks"] += 1.0
             row["busy_seconds"] += r.elapsed_seconds
             row["photons"] += float(r.tally.n_launched)
+        for worker_id, stats in self.worker_health.items():
+            row = row_for(worker_id)
+            row["failures"] = float(stats.failures)
+            row["blacklisted"] = stats.blacklisted
+            row["mean_latency_seconds"] = stats.mean_latency
+        for row in out.values():
+            row.setdefault("failures", 0.0)
+            row.setdefault("blacklisted", False)
+            row.setdefault(
+                "mean_latency_seconds",
+                row["busy_seconds"] / row["tasks"] if row["tasks"] else float("nan"),
+            )
         return out
 
 
@@ -117,6 +164,29 @@ class DataManager:
         picklable for the multiprocessing backend.
     progress:
         Optional callback ``(done_tasks, total_tasks) -> None``.
+    task_deadline:
+        Seconds an attempt may run before a speculative duplicate is
+        dispatched (``None`` disables speculation).  First result wins;
+        the loser is discarded, so the merged tally is unaffected.
+    max_speculative:
+        Speculative duplicates allowed per task.
+    retry_backoff:
+        Base delay before re-dispatching a failed task; doubles with each
+        failure of that task, capped at ``retry_backoff_cap``.  ``0``
+        (the default) retries immediately.
+    retry_backoff_cap:
+        Upper bound on the exponential backoff delay.
+    blacklist_after:
+        Consecutive failures after which a worker is marked blacklisted in
+        the :class:`~repro.distributed.health.WorkerHealth` report
+        (``None`` disables).  In-process backends cannot refuse work to a
+        thread, so here the flag is diagnostic; the
+        :class:`~repro.distributed.net.NetworkServer` enforces it.
+    checkpoint:
+        A :class:`~repro.distributed.checkpoint.CheckpointManager`, or a
+        directory path for one.  Completed task results are persisted as
+        they arrive and reloaded on the next :meth:`run` with the same
+        run key, making a killed run resumable bit-identically.
     """
 
     config: SimulationConfig
@@ -127,6 +197,12 @@ class DataManager:
     max_retries: int = 2
     task_runner: Callable[..., TaskResult] = execute_task
     progress: Callable[[int, int], None] | None = None
+    task_deadline: float | None = None
+    max_speculative: int = 1
+    retry_backoff: float = 0.0
+    retry_backoff_cap: float = 30.0
+    blacklist_after: int | None = 3
+    checkpoint: CheckpointManager | str | Path | None = None
     _retries: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -136,6 +212,16 @@ class DataManager:
             raise ValueError(f"task_size must be > 0, got {self.task_size}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError(
+                f"task_deadline must be > 0 or None, got {self.task_deadline}"
+            )
+        if self.max_speculative < 0:
+            raise ValueError(
+                f"max_speculative must be >= 0, got {self.max_speculative}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
 
     def tasks(self) -> list[TaskSpec]:
         """The canonical task decomposition of this experiment."""
@@ -144,53 +230,210 @@ class DataManager:
             for i, count in enumerate(split_photons(self.n_photons, self.task_size))
         ]
 
+    def run_key(self) -> dict:
+        """Identity of this run's decomposition (for checkpoint matching)."""
+        return run_key(
+            n_photons=self.n_photons,
+            seed=self.seed,
+            task_size=self.task_size,
+            kernel=self.kernel,
+        )
+
+    def _checkpoint_manager(self) -> CheckpointManager | None:
+        if self.checkpoint is None:
+            return None
+        if isinstance(self.checkpoint, CheckpointManager):
+            return self.checkpoint
+        return CheckpointManager(self.checkpoint)
+
+    def _backoff(self, n_failures: int) -> float:
+        if self.retry_backoff <= 0:
+            return 0.0
+        return min(self.retry_backoff * (2 ** (n_failures - 1)), self.retry_backoff_cap)
+
+    @staticmethod
+    def _drain(in_flight: dict[Future, tuple]) -> None:
+        """Settle in-flight attempts before aborting the run.
+
+        ``Future.cancel()`` is a no-op for already-running attempts, so we
+        must *wait* for them — otherwise the raise races with workers still
+        mutating backend state.
+        """
+        for fut in in_flight:
+            fut.cancel()
+        still_running = {f for f in in_flight if not f.cancelled()}
+        if still_running:
+            wait(still_running, timeout=_DRAIN_TIMEOUT)
+
     def run(self, backend: Backend) -> RunReport:
         """Execute the experiment on ``backend`` and merge the results."""
         start = time.perf_counter()
         tasks = self.tasks()
         self._retries = 0
+        health = WorkerHealth(blacklist_after=self.blacklist_after)
+        ckpt = self._checkpoint_manager()
+        restored: dict[int, TaskResult] = {}
+        if ckpt is not None:
+            restored = ckpt.load(self.run_key())
+            if restored:
+                logger.info(
+                    "resumed %d completed tasks from checkpoint %s",
+                    len(restored), ckpt.directory,
+                )
+
         if not tasks:
             empty = Tally(n_layers=len(self.config.stack), records=self.config.records)
-            return RunReport(tally=empty, task_results=[], wall_seconds=0.0)
+            return RunReport(
+                tally=empty,
+                task_results=[],
+                wall_seconds=time.perf_counter() - start,
+                worker_health=health.snapshot(),
+            )
 
-        queue: deque[tuple[TaskSpec, int]] = deque((t, 1) for t in tasks)
-        in_flight: dict[Future, tuple[TaskSpec, int]] = {}
-        results: dict[int, TaskResult] = {}
+        n_tasks = len(tasks)
+        by_index = {t.task_index: t for t in tasks}
+        results = {i: r for i, r in restored.items() if i in by_index}
+        # (not_before, task, attempt): retries carry a backoff release time.
+        pending: list[tuple[float, TaskSpec, int]] = [
+            (0.0, t, 1) for t in tasks if t.task_index not in results
+        ]
+        in_flight: dict[Future, tuple[TaskSpec, int, float]] = {}
+        inflight_count: dict[int, int] = {}
+        last_dispatch: dict[int, float] = {}
+        failures: dict[int, int] = {}
+        spec_count: dict[int, int] = {}
+        speculative = 0
+
+        def dispatch(task: TaskSpec, attempt: int) -> None:
+            now = time.perf_counter()
+            fut = backend.submit(self.task_runner, self.config, task, attempt=attempt)
+            in_flight[fut] = (task, attempt, now)
+            inflight_count[task.task_index] = inflight_count.get(task.task_index, 0) + 1
+            last_dispatch[task.task_index] = now
 
         def fill() -> None:
-            while queue and len(in_flight) < backend.max_workers:
-                task, attempt = queue.popleft()
-                fut = backend.submit(self.task_runner, self.config, task, attempt=attempt)
-                in_flight[fut] = (task, attempt)
+            now = time.perf_counter()
+            pending[:] = [
+                (nb, t, a) for nb, t, a in pending if t.task_index not in results
+            ]
+            i = 0
+            while i < len(pending) and len(in_flight) < backend.max_workers:
+                not_before, task, attempt = pending[i]
+                if not_before <= now:
+                    pending.pop(i)
+                    dispatch(task, attempt)
+                else:
+                    i += 1
 
         fill()
-        while in_flight:
-            done, _pending = wait(set(in_flight), return_when=FIRST_COMPLETED)
-            for fut in done:
-                task, attempt = in_flight.pop(fut)
-                error = fut.exception()
-                if error is None:
-                    results[task.task_index] = fut.result()
-                    if self.progress is not None:
-                        self.progress(len(results), len(tasks))
-                else:
-                    if attempt > self.max_retries:
-                        for other in in_flight:
-                            other.cancel()
-                        raise TaskFailedError(task, attempt, error)
-                    self._retries += 1
-                    logger.info(
-                        "task %d failed (%r); retrying (attempt %d)",
-                        task.task_index, error, attempt + 1,
+        while len(results) < n_tasks:
+            if not in_flight:
+                if not pending:
+                    raise RuntimeError(
+                        "scheduler stalled: tasks outstanding but nothing queued"
                     )
-                    queue.append((task, attempt + 1))
+                # Everything is backoff-delayed; sleep to the earliest release.
+                delay = min(nb for nb, _, _ in pending) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                fill()
+                continue
+
+            # Wake early enough to notice deadline crossings and backoff releases.
+            now = time.perf_counter()
+            wakeups = []
+            if self.task_deadline is not None:
+                wakeups.extend(
+                    last_dispatch[idx] + self.task_deadline
+                    for idx, count in inflight_count.items()
+                    if count > 0 and idx not in results
+                )
+            wakeups.extend(nb for nb, _, _ in pending if nb > now)
+            timeout = max(0.01, min(wakeups) - now) if wakeups else None
+
+            done, _pending_futs = wait(
+                set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.perf_counter()
+            for fut in done:
+                task, attempt, _started = in_flight.pop(fut)
+                idx = task.task_index
+                inflight_count[idx] -= 1
+                if idx in results:
+                    # Late outcome of a task already merged via speculation.
+                    logger.info("discarding duplicate outcome of task %d", idx)
+                    continue
+                error = fut.exception()
+                result: TaskResult | None = None
+                if error is None:
+                    candidate: TaskResult = fut.result()
+                    try:
+                        validate_result(candidate, task)
+                        result = candidate
+                    except ResultValidationError as exc:
+                        error = exc
+                        health.record_failure(candidate.worker_id)
+                        logger.warning("task %d result rejected: %s", idx, exc)
+                if result is not None:
+                    results[idx] = result
+                    health.record_success(result.worker_id, result.elapsed_seconds)
+                    if ckpt is not None:
+                        ckpt.record(result)
+                    if self.progress is not None:
+                        self.progress(len(results), n_tasks)
+                    continue
+                failures[idx] = failures.get(idx, 0) + 1
+                if failures[idx] > self.max_retries:
+                    if inflight_count.get(idx, 0) > 0:
+                        # A speculative sibling is still running; let it decide.
+                        continue
+                    self._drain(in_flight)
+                    if ckpt is not None:
+                        ckpt.flush()
+                    raise TaskFailedError(task, failures[idx], error)
+                self._retries += 1
+                delay = self._backoff(failures[idx])
+                logger.info(
+                    "task %d failed (%r); retrying in %.2fs (attempt %d)",
+                    idx, error, delay, attempt + 1,
+                )
+                pending.append((now + delay, task, attempt + 1))
+
+            if self.task_deadline is not None:
+                queued = {t.task_index for _, t, _ in pending}
+                for idx, count in inflight_count.items():
+                    if count <= 0 or idx in results or idx in queued:
+                        continue
+                    if now - last_dispatch[idx] <= self.task_deadline:
+                        continue
+                    if spec_count.get(idx, 0) >= self.max_speculative:
+                        continue
+                    spec_count[idx] = spec_count.get(idx, 0) + 1
+                    speculative += 1
+                    attempt_no = failures.get(idx, 0) + spec_count[idx] + 1
+                    logger.info(
+                        "task %d exceeded the %.2fs deadline; "
+                        "dispatching speculative duplicate",
+                        idx, self.task_deadline,
+                    )
+                    pending.append((now, by_index[idx], attempt_no))
             fill()
 
-        ordered = [results[i] for i in range(len(tasks))]
+        # Hung or superseded attempts may still be running; they are
+        # harmless (their results would be discarded) and the backend joins
+        # them at shutdown.  Cancel whatever has not started.
+        for fut in in_flight:
+            fut.cancel()
+
+        ordered = [results[i] for i in range(n_tasks)]
         tally = Tally.merge_all([r.tally for r in ordered])
+        if ckpt is not None:
+            ckpt.flush()
         return RunReport(
             tally=tally,
             task_results=ordered,
             wall_seconds=time.perf_counter() - start,
             retries=self._retries,
+            speculative_duplicates=speculative,
+            worker_health=health.snapshot(),
         )

@@ -3,14 +3,33 @@
 The paper's clients were *non-dedicated* PCs: they could disappear, slow
 down or be reclaimed by their owners at any time, so the DataManager must
 survive task failures.  ``FaultInjector`` wraps the worker entry point and
-makes tasks fail deterministically (by task index) or stochastically (with
-a seeded probability), letting the tests exercise the DataManager's retry
-and reassignment logic without a flaky real cluster.
+injects a deterministic taxonomy of the pathologies a heterogeneous,
+non-dedicated cluster produces:
+
+* **crash** — the attempt raises :class:`WorkerCrash` (a vanished PC);
+* **slowdown** — the attempt completes correctly but only after a delay
+  (a straggler; exercises deadline-driven speculative re-dispatch);
+* **hang** — the attempt blocks far beyond any deadline before returning
+  (a wedged-but-alive client; the speculative duplicate must win and the
+  late result be discarded);
+* **corrupt result** — the attempt returns a :class:`TaskResult` that fails
+  merge-time validation (NaN weights, photon-count mismatch, negative
+  tallies; exercises :func:`~repro.distributed.protocol.validate_result`);
+* **flaky worker** — every attempt crashes with probability
+  ``fail_probability``, drawn from a dedicated seeded stream.
+
+Deterministic variants key off the task index and fire on the *first*
+attempt only (retries succeed), so every recovery path is exercised
+reproducibly without a flaky real cluster.  The injector is thread-safe:
+thread backends call it concurrently.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -18,11 +37,15 @@ from ..core.config import SimulationConfig
 from .protocol import TaskResult, TaskSpec
 from .worker import execute_task
 
-__all__ = ["WorkerCrash", "FaultInjector"]
+__all__ = ["WorkerCrash", "FaultInjector", "CORRUPT_KINDS"]
 
 
 class WorkerCrash(RuntimeError):
     """Raised by an injected fault, standing in for a vanished client PC."""
+
+
+#: Supported ``corrupt_kind`` values and the validation rule each violates.
+CORRUPT_KINDS = ("nan", "photon_count", "negative")
 
 
 @dataclass
@@ -32,14 +55,34 @@ class FaultInjector:
     Parameters
     ----------
     fail_probability:
-        Chance that any given execution attempt crashes.  Drawn from a
-        dedicated seeded generator so tests are reproducible.
+        Chance that any given execution attempt crashes (the flaky-worker
+        scenario).  Drawn from a dedicated seeded generator so tests are
+        reproducible.
     fail_tasks_once:
         Task indices whose *first* attempt always crashes (retries then
         succeed) — the deterministic reassignment scenario.
     fail_tasks_always:
         Task indices that crash on every attempt — the permanently lost
         client scenario (the DataManager must eventually give up).
+    slow_tasks_once:
+        ``task_index -> delay_seconds``: the first attempt sleeps for the
+        delay, then completes *correctly* — the straggler scenario.  With a
+        task deadline shorter than the delay, the scheduler speculatively
+        re-dispatches and the first finisher wins.
+    hang_tasks_once:
+        Task indices whose first attempt hangs for ``hang_seconds`` before
+        completing — the hung-but-connected client.  Distinguished from a
+        slowdown only by intent: the hang should exceed every deadline in
+        the test so the result arrives after the task was already merged.
+    hang_seconds:
+        How long a hung attempt blocks before (correctly) completing.
+    corrupt_tasks_once:
+        Task indices whose first attempt returns a corrupt result instead
+        of raising; merge-time validation must reject it and retry.
+    corrupt_kind:
+        Which corruption to inject: ``"nan"`` (non-finite reflectance
+        weight), ``"photon_count"`` (tally launched-count mismatch) or
+        ``"negative"`` (negative absorbed weight).
     seed:
         Seed of the fault stream (independent of the physics streams).
     """
@@ -47,29 +90,78 @@ class FaultInjector:
     fail_probability: float = 0.0
     fail_tasks_once: frozenset[int] = frozenset()
     fail_tasks_always: frozenset[int] = frozenset()
+    slow_tasks_once: Mapping[int, float] = field(default_factory=dict)
+    hang_tasks_once: frozenset[int] = frozenset()
+    hang_seconds: float = 30.0
+    corrupt_tasks_once: frozenset[int] = frozenset()
+    corrupt_kind: str = "nan"
     seed: int = 0
     _rng: np.random.Generator = field(init=False, repr=False)
-    _seen: set[int] = field(init=False, repr=False, default_factory=set)
+    _lock: threading.Lock = field(init=False, repr=False, default_factory=threading.Lock)
+    _seen_fail: set[int] = field(init=False, repr=False, default_factory=set)
+    _seen_slow: set[int] = field(init=False, repr=False, default_factory=set)
+    _seen_hang: set[int] = field(init=False, repr=False, default_factory=set)
+    _seen_corrupt: set[int] = field(init=False, repr=False, default_factory=set)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fail_probability < 1.0:
             raise ValueError(
                 f"fail_probability must lie in [0, 1), got {self.fail_probability}"
             )
+        if self.corrupt_kind not in CORRUPT_KINDS:
+            raise ValueError(
+                f"corrupt_kind must be one of {CORRUPT_KINDS}, got {self.corrupt_kind!r}"
+            )
+        if self.hang_seconds < 0:
+            raise ValueError(f"hang_seconds must be >= 0, got {self.hang_seconds}")
         self.fail_tasks_once = frozenset(self.fail_tasks_once)
         self.fail_tasks_always = frozenset(self.fail_tasks_always)
+        self.hang_tasks_once = frozenset(self.hang_tasks_once)
+        self.corrupt_tasks_once = frozenset(self.corrupt_tasks_once)
+        self.slow_tasks_once = dict(self.slow_tasks_once)
+        if any(delay < 0 for delay in self.slow_tasks_once.values()):
+            raise ValueError("slow_tasks_once delays must be >= 0")
         self._rng = np.random.default_rng(self.seed)
+
+    def _first_time(self, seen: set[int], index: int) -> bool:
+        """True exactly once per (category, task index), thread-safely."""
+        with self._lock:
+            if index in seen:
+                return False
+            seen.add(index)
+            return True
+
+    def _corrupt(self, result: TaskResult) -> TaskResult:
+        if self.corrupt_kind == "nan":
+            result.tally.diffuse_reflectance_weight = float("nan")
+        elif self.corrupt_kind == "photon_count":
+            result.tally.n_launched += 1
+        else:  # "negative"
+            result.tally.absorbed_by_layer[0] = -1.0
+        return result
 
     def __call__(
         self, config: SimulationConfig, task: TaskSpec, *, attempt: int = 1
     ) -> TaskResult:
-        if task.task_index in self.fail_tasks_always:
-            raise WorkerCrash(f"task {task.task_index} permanently failing (injected)")
-        if task.task_index in self.fail_tasks_once and task.task_index not in self._seen:
-            self._seen.add(task.task_index)
-            raise WorkerCrash(f"task {task.task_index} first attempt failed (injected)")
-        if self.fail_probability > 0.0 and self._rng.random() < self.fail_probability:
-            raise WorkerCrash(
-                f"task {task.task_index} attempt {attempt} crashed (injected)"
+        index = task.task_index
+        if index in self.fail_tasks_always:
+            raise WorkerCrash(f"task {index} permanently failing (injected)")
+        if index in self.fail_tasks_once and self._first_time(self._seen_fail, index):
+            raise WorkerCrash(f"task {index} first attempt failed (injected)")
+        with self._lock:
+            flaky = (
+                self.fail_probability > 0.0
+                and self._rng.random() < self.fail_probability
             )
-        return execute_task(config, task, attempt=attempt)
+        if flaky:
+            raise WorkerCrash(f"task {index} attempt {attempt} crashed (injected)")
+        if index in self.hang_tasks_once and self._first_time(self._seen_hang, index):
+            time.sleep(self.hang_seconds)
+        elif index in self.slow_tasks_once and self._first_time(self._seen_slow, index):
+            time.sleep(self.slow_tasks_once[index])
+        result = execute_task(config, task, attempt=attempt)
+        if index in self.corrupt_tasks_once and self._first_time(
+            self._seen_corrupt, index
+        ):
+            return self._corrupt(result)
+        return result

@@ -1,0 +1,151 @@
+"""Per-worker health tracking for the distributed platform.
+
+The paper's clients were non-dedicated PCs of wildly varying quality: some
+crash once and recover, some are flaky forever, some are simply slow.  The
+scheduler needs to tell these apart — a task should be retried on a
+*different* machine when its worker has failed repeatedly.  ``WorkerHealth``
+accumulates per-worker outcomes (successes with their latency, failures of
+any kind: crash, hang, corrupt result) and blacklists workers that fail too
+many times in a row.  A snapshot of the tracker feeds the
+:class:`~repro.distributed.datamanager.RunReport` so operators can see which
+machines dragged a run down.
+
+Thread-safe: the ``NetworkServer`` records outcomes from many handler
+threads concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+__all__ = ["WorkerStats", "WorkerHealth"]
+
+
+@dataclass
+class WorkerStats:
+    """Accumulated outcomes of one worker.
+
+    Attributes
+    ----------
+    worker_id:
+        The worker's self-reported identity.
+    tasks_completed:
+        Results from this worker that passed validation and were merged.
+    failures:
+        Total failed attempts attributed to this worker (crashes, hangs,
+        rejected results).
+    consecutive_failures:
+        Failures since the last success — the blacklist criterion.  A
+        success resets it, so a long-lived worker with occasional faults is
+        never blacklisted.
+    busy_seconds:
+        Total task compute time reported by this worker's merged results.
+    blacklisted:
+        Whether the scheduler has stopped assigning work to this worker.
+    """
+
+    worker_id: str
+    tasks_completed: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    busy_seconds: float = 0.0
+    blacklisted: bool = False
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean seconds per completed task (NaN before the first success)."""
+        if self.tasks_completed == 0:
+            return math.nan
+        return self.busy_seconds / self.tasks_completed
+
+    def as_dict(self) -> dict[str, float | bool | str]:
+        """JSON-serialisable summary (used by report persistence)."""
+        return {
+            "worker_id": self.worker_id,
+            "tasks_completed": self.tasks_completed,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "busy_seconds": self.busy_seconds,
+            "blacklisted": self.blacklisted,
+            "mean_latency": self.mean_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkerStats":
+        return cls(
+            worker_id=d["worker_id"],
+            tasks_completed=int(d["tasks_completed"]),
+            failures=int(d["failures"]),
+            consecutive_failures=int(d["consecutive_failures"]),
+            busy_seconds=float(d["busy_seconds"]),
+            blacklisted=bool(d["blacklisted"]),
+        )
+
+
+class WorkerHealth:
+    """Thread-safe per-worker failure/latency tracker with blacklisting.
+
+    Parameters
+    ----------
+    blacklist_after:
+        Consecutive failures after which a worker is blacklisted (the
+        scheduler stops handing it tasks).  ``None`` disables blacklisting.
+    """
+
+    def __init__(self, blacklist_after: int | None = 3) -> None:
+        if blacklist_after is not None and blacklist_after <= 0:
+            raise ValueError(
+                f"blacklist_after must be > 0 or None, got {blacklist_after}"
+            )
+        self.blacklist_after = blacklist_after
+        self._lock = threading.Lock()
+        self._stats: dict[str, WorkerStats] = {}
+
+    def _get(self, worker_id: str) -> WorkerStats:
+        stats = self._stats.get(worker_id)
+        if stats is None:
+            stats = self._stats[worker_id] = WorkerStats(worker_id=worker_id)
+        return stats
+
+    def record_success(self, worker_id: str, elapsed_seconds: float) -> None:
+        """Record a merged result from ``worker_id``."""
+        with self._lock:
+            stats = self._get(worker_id)
+            stats.tasks_completed += 1
+            stats.busy_seconds += elapsed_seconds
+            stats.consecutive_failures = 0
+
+    def record_failure(self, worker_id: str) -> bool:
+        """Record a failed attempt; returns True if the worker is now blacklisted."""
+        with self._lock:
+            stats = self._get(worker_id)
+            stats.failures += 1
+            stats.consecutive_failures += 1
+            if (
+                self.blacklist_after is not None
+                and stats.consecutive_failures >= self.blacklist_after
+            ):
+                stats.blacklisted = True
+            return stats.blacklisted
+
+    def is_blacklisted(self, worker_id: str) -> bool:
+        with self._lock:
+            stats = self._stats.get(worker_id)
+            return stats.blacklisted if stats is not None else False
+
+    def snapshot(self) -> dict[str, WorkerStats]:
+        """A consistent copy of every worker's stats, keyed by worker id."""
+        with self._lock:
+            return {
+                wid: WorkerStats(
+                    worker_id=s.worker_id,
+                    tasks_completed=s.tasks_completed,
+                    failures=s.failures,
+                    consecutive_failures=s.consecutive_failures,
+                    busy_seconds=s.busy_seconds,
+                    blacklisted=s.blacklisted,
+                )
+                for wid, s in self._stats.items()
+            }

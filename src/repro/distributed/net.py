@@ -6,8 +6,13 @@ dedicated server running Linux...").  The in-process backends of
 :mod:`repro.distributed.backends` prove the scheduling logic; this module
 provides the actual wire deployment: a threaded TCP server that hands
 photon-batch tasks to any number of connecting clients, merges their
-results, survives client disconnects by reassigning the lost tasks, and
-reports the same :class:`~repro.distributed.datamanager.RunReport`.
+results, and survives the full fault taxonomy of non-dedicated machines —
+clients that vanish (reassignment), clients that hang while still connected
+(heartbeat timeout), stragglers (deadline-driven speculative re-dispatch)
+and clients that return garbage (merge-time validation).  It reports the
+same :class:`~repro.distributed.datamanager.RunReport`, including per-worker
+health, and can checkpoint/resume through a
+:class:`~repro.distributed.checkpoint.CheckpointManager`.
 
 Wire protocol (length-prefixed pickles, trusted-network only — exactly the
 trust model of the paper's Java serialisation):
@@ -17,11 +22,14 @@ trust model of the paper's Java serialisation):
     client -> server   {"type": "next"}                           ┐
     server -> client   {"type": "task", "task": TaskSpec,         │ repeats
                         "attempt": int} | {"type": "done"}        │
+    client -> server   {"type": "heartbeat"}   (0+ while working) │
     client -> server   {"type": "result", "result": TaskResult}   ┘
 
 The pull ("next") step makes departures unambiguous: a client that closes
 instead of pulling owes the server nothing; only a connection lost between
-task dispatch and result delivery triggers reassignment.
+task dispatch and result delivery triggers reassignment.  Heartbeats flow
+while a client computes, so a hung-but-connected client is detected when
+``heartbeat_timeout`` elapses without any message, and its task reassigned.
 """
 
 from __future__ import annotations
@@ -34,15 +42,24 @@ import struct
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..core.config import SimulationConfig
 from ..core.simulation import KernelName, split_photons
 from ..core.tally import Tally
+from .checkpoint import CheckpointManager, run_key
 from .datamanager import RunReport
-from .protocol import TaskResult, TaskSpec
+from .health import WorkerHealth
+from .protocol import ResultValidationError, TaskResult, TaskSpec, validate_result
 from .worker import execute_task
 
-__all__ = ["send_message", "recv_message", "NetworkServer", "run_network_client"]
+__all__ = [
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "NetworkServer",
+    "run_network_client",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -50,6 +67,19 @@ _LENGTH = struct.Struct(">Q")
 
 #: Refuse messages above this size (corrupt length prefix guard).
 _MAX_MESSAGE = 1 << 30
+
+#: How often an idle handler re-checks the task queue / scans for stragglers.
+_DISPATCH_POLL = 0.05
+
+
+class ProtocolError(ConnectionError):
+    """The peer sent bytes that cannot be a protocol message.
+
+    Covers corrupt or hostile length prefixes (value above the message-size
+    cap) and payloads that do not decode — both mean the stream is
+    unrecoverable, so this is a :class:`ConnectionError`: the connection
+    must be dropped, and any task it carried reassigned.
+    """
 
 
 def send_message(sock: socket.socket, obj) -> None:
@@ -70,12 +100,29 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket):
-    """Receive one length-prefixed pickled message."""
+def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE):
+    """Receive one length-prefixed pickled message.
+
+    Raises :class:`ConnectionError` on a truncated stream and
+    :class:`ProtocolError` (a ``ConnectionError`` subclass) on a length
+    prefix above ``max_size`` or an undecodable payload — a garbage prefix
+    must never make the receiver allocate gigabytes or interpret noise.
+    """
     (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
-    if length > _MAX_MESSAGE:
-        raise ValueError(f"message of {length} bytes exceeds the {_MAX_MESSAGE} cap")
-    return pickle.loads(_recv_exact(sock, length))
+    if length > max_size:
+        raise ProtocolError(
+            f"message of {length} bytes exceeds the {max_size} cap "
+            "(corrupt length prefix?)"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure is fatal
+        raise ProtocolError(f"undecodable message payload: {exc!r}") from exc
+
+
+class _WorkerHung(ConnectionError):
+    """A connected client stopped sending heartbeats mid-task."""
 
 
 @dataclass
@@ -85,6 +132,25 @@ class NetworkServer:
     Parameters mirror :class:`~repro.distributed.datamanager.DataManager`;
     ``host``/``port`` choose the listening endpoint (port 0 picks a free
     port, exposed as :attr:`port` after :meth:`start`).
+
+    Fault-tolerance knobs:
+
+    ``heartbeat_timeout``
+        Seconds without any message from a client that is holding a task
+        before it is declared hung, its connection dropped and its task
+        reassigned.  ``None`` (default) disables hang detection.
+    ``task_deadline`` / ``max_speculative``
+        A task dispatched longer than ``task_deadline`` seconds ago is
+        speculatively re-dispatched to the next idle client (at most
+        ``max_speculative`` duplicates per task); the first result wins and
+        late duplicates are discarded by task index.
+    ``blacklist_after``
+        A client whose connection fails this many consecutive times stops
+        receiving tasks (it is sent ``done`` on its next pull).
+    ``checkpoint``
+        A :class:`~repro.distributed.checkpoint.CheckpointManager` or
+        directory path; completed tasks are persisted as they merge and
+        reloaded by a future server with the same run key.
 
     Usage::
 
@@ -102,6 +168,11 @@ class NetworkServer:
     max_retries: int = 2
     host: str = "127.0.0.1"
     port: int = 0
+    heartbeat_timeout: float | None = None
+    task_deadline: float | None = None
+    max_speculative: int = 1
+    blacklist_after: int | None = 3
+    checkpoint: CheckpointManager | str | Path | None = None
 
     _listener: socket.socket | None = field(init=False, default=None)
     _threads: list[threading.Thread] = field(init=False, default_factory=list)
@@ -109,24 +180,75 @@ class NetworkServer:
     _lock: threading.Lock = field(init=False, default_factory=threading.Lock)
     _results: dict[int, TaskResult] = field(init=False, default_factory=dict)
     _retries: int = field(init=False, default=0)
+    _failures: dict[int, int] = field(init=False, default_factory=dict)
+    _spec_count: dict[int, int] = field(init=False, default_factory=dict)
+    _speculative: int = field(init=False, default=0)
+    _inflight_count: dict[int, int] = field(init=False, default_factory=dict)
+    _inflight_task: dict[int, TaskSpec] = field(init=False, default_factory=dict)
+    _dispatch_times: dict[int, float] = field(init=False, default_factory=dict)
     _failure: BaseException | None = field(init=False, default=None)
     _complete: threading.Event = field(init=False, default_factory=threading.Event)
     _started_at: float = field(init=False, default=0.0)
     _n_tasks: int = field(init=False, default=0)
+    _health: WorkerHealth = field(init=False, default=None)
+    _ckpt: CheckpointManager | None = field(init=False, default=None)
+    _conns: set = field(init=False, default_factory=set)
+    _closed: bool = field(init=False, default=False)
+    _close_lock: threading.Lock = field(init=False, default_factory=threading.Lock)
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0 or None, got {self.heartbeat_timeout}"
+            )
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError(
+                f"task_deadline must be > 0 or None, got {self.task_deadline}"
+            )
+        if self.max_speculative < 0:
+            raise ValueError(
+                f"max_speculative must be >= 0, got {self.max_speculative}"
+            )
+
+    def run_key(self) -> dict:
+        """Identity of this run's decomposition (for checkpoint matching)."""
+        return run_key(
+            n_photons=self.n_photons,
+            seed=self.seed,
+            task_size=self.task_size,
+            kernel=self.kernel,
+        )
 
     def start(self) -> "NetworkServer":
         """Bind, listen and start accepting clients (returns self)."""
         if self._listener is not None:
             raise RuntimeError("server already started")
+        self._health = WorkerHealth(blacklist_after=self.blacklist_after)
         tasks = [
             TaskSpec(task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel)
             for i, count in enumerate(split_photons(self.n_photons, self.task_size))
         ]
         self._n_tasks = len(tasks)
+        if self.checkpoint is not None:
+            self._ckpt = (
+                self.checkpoint
+                if isinstance(self.checkpoint, CheckpointManager)
+                else CheckpointManager(self.checkpoint)
+            )
+            restored = self._ckpt.load(self.run_key())
+            self._results.update(
+                (i, r) for i, r in restored.items() if i < self._n_tasks
+            )
+            if self._results:
+                logger.info(
+                    "resumed %d completed tasks from checkpoint %s",
+                    len(self._results), self._ckpt.directory,
+                )
         self._queue = queue.Queue()
         for task in tasks:
-            self._queue.put((task, 1))
-        if not tasks:
+            if task.task_index not in self._results:
+                self._queue.put((task, 1))
+        if len(self._results) == self._n_tasks:
             self._complete.set()
 
         self._listener = socket.create_server((self.host, self.port))
@@ -150,13 +272,111 @@ class NetworkServer:
             handler.start()
             self._threads.append(handler)
 
+    def _all_merged(self) -> bool:
+        with self._lock:
+            return len(self._results) == self._n_tasks
+
+    def _next_task(self) -> tuple[TaskSpec, int] | None:
+        """Pull the next live task, blocking; None means the run is over.
+
+        Replaces the old busy-wait (``get_nowait`` + ``sleep``) with a
+        blocking ``get``; the timeout exists only so an idle handler can
+        notice completion and scan for stragglers to speculate on.
+        """
+        while True:
+            try:
+                task, attempt = self._queue.get(timeout=_DISPATCH_POLL)
+            except queue.Empty:
+                if self._complete.is_set() or self._all_merged():
+                    return None
+                self._maybe_speculate()
+                continue
+            with self._lock:
+                if task.task_index in self._results:
+                    continue  # stale retry/speculative entry; drop it
+            return task, attempt
+
+    def _maybe_speculate(self) -> None:
+        """Re-dispatch straggling tasks past their deadline to idle clients."""
+        if self.task_deadline is None:
+            return
+        now = time.perf_counter()
+        with self._lock:
+            for idx, count in self._inflight_count.items():
+                if count <= 0 or idx in self._results:
+                    continue
+                if now - self._dispatch_times[idx] <= self.task_deadline:
+                    continue
+                if self._spec_count.get(idx, 0) >= self.max_speculative:
+                    continue
+                self._spec_count[idx] = self._spec_count.get(idx, 0) + 1
+                self._speculative += 1
+                task = self._inflight_task[idx]
+                attempt = self._failures.get(idx, 0) + self._spec_count[idx] + 1
+                logger.info(
+                    "task %d exceeded the %.2fs deadline; "
+                    "queueing speculative duplicate",
+                    idx, self.task_deadline,
+                )
+                self._queue.put((task, attempt))
+
+    def _record_dispatch(self, task: TaskSpec, attempt: int) -> None:
+        with self._lock:
+            idx = task.task_index
+            self._inflight_count[idx] = self._inflight_count.get(idx, 0) + 1
+            self._inflight_task[idx] = task
+            self._dispatch_times[idx] = time.perf_counter()
+
+    def _record_settled(self, task: TaskSpec) -> None:
+        with self._lock:
+            idx = task.task_index
+            self._inflight_count[idx] = max(0, self._inflight_count.get(idx, 0) - 1)
+
+    def _handle_failure(
+        self, task: TaskSpec, attempt: int, error: BaseException
+    ) -> None:
+        """A dispatched attempt was lost or rejected: requeue or give up."""
+        with self._lock:
+            idx = task.task_index
+            if idx in self._results or self._closed:
+                return  # a duplicate already delivered, or the run is over
+            self._failures[idx] = self._failures.get(idx, 0) + 1
+            if self._failures[idx] > self.max_retries:
+                if self._inflight_count.get(idx, 0) > 0:
+                    return  # a speculative sibling is still out there
+                self._failure = error
+                self._complete.set()
+                return
+            self._retries += 1
+            logger.info(
+                "reassigning task %d (attempt %d)", idx, attempt + 1
+            )
+            self._queue.put((task, attempt + 1))
+
+    def _merge_result(self, worker: str, task: TaskSpec, result: TaskResult) -> None:
+        with self._lock:
+            idx = result.task_index
+            if idx in self._results:
+                logger.info("discarding duplicate result of task %d", idx)
+                return
+            self._results[idx] = result
+            if self._ckpt is not None:
+                self._ckpt.record(result)
+            if len(self._results) == self._n_tasks:
+                self._complete.set()
+        self._health.record_success(worker, result.elapsed_seconds)
+
     def _serve_client(self, conn: socket.socket) -> None:
         in_flight: tuple[TaskSpec, int] | None = None
+        worker = "?"
+        with self._lock:
+            self._conns.add(conn)
         try:
             with conn:
                 hello = recv_message(conn)
                 if hello.get("type") != "hello":
-                    raise ValueError(f"expected hello, got {hello!r}")
+                    raise ProtocolError(f"expected hello, got {hello!r}")
+                worker = str(hello.get("worker", "?"))
                 send_message(
                     conn,
                     {"type": "session", "config": self.config, "kernel": self.kernel},
@@ -164,47 +384,71 @@ class NetworkServer:
 
                 while True:
                     pull = recv_message(conn)
+                    if pull.get("type") == "heartbeat":
+                        continue  # idle heartbeats are harmless noise
                     if pull.get("type") != "next":
-                        raise ValueError(f"expected next, got {pull!r}")
-                    task = None
-                    while task is None:
-                        try:
-                            task, attempt = self._queue.get_nowait()
-                        except queue.Empty:
-                            if self._complete.is_set() or self._all_merged():
-                                send_message(conn, {"type": "done"})
-                                return
-                            time.sleep(0.01)  # tasks may be re-queued by failures
+                        raise ProtocolError(f"expected next, got {pull!r}")
+                    if self._health.is_blacklisted(worker):
+                        logger.warning(
+                            "worker %s is blacklisted; refusing work", worker
+                        )
+                        send_message(conn, {"type": "done"})
+                        return
+                    handout = self._next_task()
+                    if handout is None:
+                        send_message(conn, {"type": "done"})
+                        return
+                    task, attempt = handout
+                    self._record_dispatch(task, attempt)
                     in_flight = (task, attempt)
-                    send_message(conn, {"type": "task", "task": task, "attempt": attempt})
-                    reply = recv_message(conn)
-                    if reply.get("type") != "result":
-                        raise ValueError(f"expected result, got {reply!r}")
+                    send_message(
+                        conn, {"type": "task", "task": task, "attempt": attempt}
+                    )
+
+                    # Await the result; heartbeats keep the window open, and
+                    # a silent-but-connected client trips the timeout.
+                    if self.heartbeat_timeout is not None:
+                        conn.settimeout(self.heartbeat_timeout)
+                    try:
+                        while True:
+                            try:
+                                reply = recv_message(conn)
+                            except (socket.timeout, TimeoutError):
+                                raise _WorkerHung(
+                                    f"no heartbeat from {worker} within "
+                                    f"{self.heartbeat_timeout}s"
+                                ) from None
+                            if reply.get("type") == "heartbeat":
+                                continue
+                            if reply.get("type") != "result":
+                                raise ProtocolError(f"expected result, got {reply!r}")
+                            break
+                    finally:
+                        conn.settimeout(None)
                     result: TaskResult = reply["result"]
+                    self._record_settled(task)
                     in_flight = None
-                    with self._lock:
-                        self._results[result.task_index] = result
-                        if len(self._results) == self._n_tasks:
-                            self._complete.set()
-        except BaseException as error:  # noqa: BLE001 - client vanished
+                    try:
+                        validate_result(result, task)
+                    except ResultValidationError as error:
+                        logger.warning(
+                            "rejecting result of task %d from %s: %s",
+                            task.task_index, worker, error,
+                        )
+                        self._health.record_failure(worker)
+                        self._handle_failure(task, attempt, error)
+                        continue
+                    self._merge_result(worker, task, result)
+        except BaseException as error:  # noqa: BLE001 - client vanished/hung
             logger.warning("client connection ended: %r", error)
             if in_flight is not None:
                 task, attempt = in_flight
-                with self._lock:
-                    if attempt > self.max_retries:
-                        self._failure = error
-                        self._complete.set()
-                    else:
-                        self._retries += 1
-                        logger.info(
-                            "reassigning task %d (attempt %d)",
-                            task.task_index, attempt + 1,
-                        )
-                        self._queue.put((task, attempt + 1))
-
-    def _all_merged(self) -> bool:
-        with self._lock:
-            return len(self._results) == self._n_tasks
+                self._record_settled(task)
+                self._health.record_failure(worker)
+                self._handle_failure(task, attempt, error)
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
 
     def wait(self, timeout: float | None = None) -> RunReport:
         """Block until every task is merged; return the report."""
@@ -220,21 +464,57 @@ class NetworkServer:
             tally = Tally.merge_all([r.tally for r in ordered])
         else:
             tally = Tally(n_layers=len(self.config.stack), records=self.config.records)
+        health = self._health.snapshot() if self._health is not None else {}
         return RunReport(
             tally=tally,
             task_results=ordered,
             wall_seconds=time.perf_counter() - self._started_at,
             retries=self._retries,
+            speculative_duplicates=self._speculative,
+            worker_health=health,
         )
 
     def close(self) -> None:
-        """Stop accepting clients and release the port."""
+        """Stop accepting clients, release the port and join handler threads.
+
+        Idempotent: safe to call repeatedly (``wait`` calls it on success,
+        error paths call it again).  Joining the handler threads means a
+        timed-out ``wait`` does not leak daemon threads blocked on reads.
+        """
+        with self._close_lock:
+            first = not self._closed
+            self._closed = True
         self._complete.set()
-        if self._listener is not None:
+        if first and self._listener is not None:
             try:
                 self._listener.close()
             except OSError:  # pragma: no cover
                 pass
+        # Grace period: handlers answer their client's final pull with
+        # "done" and exit on their own — force-closing immediately would
+        # sever clients mid-farewell.
+        current = threading.current_thread()
+        deadline = time.monotonic() + 2.0
+        for thread in list(self._threads):
+            if thread is not current:
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        # Anything still alive is stuck on a silent peer: sever it.
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for thread in list(self._threads):
+            if thread is not current:
+                thread.join(timeout=5.0)
+        if self._ckpt is not None:
+            self._ckpt.flush()
 
 
 def run_network_client(
@@ -244,19 +524,34 @@ def run_network_client(
     worker_name: str | None = None,
     max_tasks: int | None = None,
     crash_after: int | None = None,
+    hang_after: int | None = None,
+    slow_down: float | None = None,
+    corrupt_first: bool = False,
+    heartbeat_interval: float | None = 2.0,
 ) -> int:
     """Connect to a :class:`NetworkServer` and execute tasks until done.
 
-    Returns the number of tasks completed.  ``max_tasks`` makes the client
-    leave politely after that many tasks (a non-dedicated PC being
-    reclaimed); ``crash_after`` makes it drop the connection *mid-task*
-    after completing that many tasks (a vanished PC — used by the fault
-    tests; the abandoned task is reassigned by the server).
+    Returns the number of tasks completed.  While a task is computing, a
+    background thread sends a heartbeat every ``heartbeat_interval`` seconds
+    (``None`` disables them) so the server can tell "working" from "hung".
+
+    The remaining knobs simulate non-dedicated-PC behaviour for the fault
+    tests: ``max_tasks`` makes the client leave politely after that many
+    tasks (a PC being reclaimed); ``crash_after`` makes it drop the
+    connection *mid-task* (a powered-off PC; the abandoned task is
+    reassigned); ``hang_after`` makes it accept a task and then go silent —
+    no heartbeats, connection open — until the server cuts it off (a wedged
+    process; the server's heartbeat timeout reclaims the task);
+    ``slow_down`` adds that many seconds to every task while still
+    heartbeating (a straggler; the server's ``task_deadline`` speculation
+    should outrun it); ``corrupt_first`` poisons the first returned tally
+    with a NaN (a broken client; merge-time validation must reject it).
     """
     import os
 
     name = worker_name or f"net-{os.getpid()}"
     completed = 0
+    send_lock = threading.Lock()
     with socket.create_connection((host, port)) as sock:
         send_message(sock, {"type": "hello", "worker": name})
         session = recv_message(sock)
@@ -267,7 +562,8 @@ def run_network_client(
         while True:
             if max_tasks is not None and completed >= max_tasks:
                 return completed  # leave politely: just stop pulling
-            send_message(sock, {"type": "next"})
+            with send_lock:
+                send_message(sock, {"type": "next"})
             message = recv_message(sock)
             if message.get("type") == "done":
                 return completed
@@ -277,8 +573,42 @@ def run_network_client(
                 # Simulate a powered-off PC: vanish mid-task without a word.
                 sock.shutdown(socket.SHUT_RDWR)
                 return completed
+            if hang_after is not None and completed >= hang_after:
+                # Simulate a wedged process: hold the task, send nothing,
+                # and sit on the open connection until the server drops us.
+                try:
+                    sock.settimeout(60.0)
+                    recv_message(sock)
+                except (OSError, ConnectionError):
+                    pass
+                return completed
             task: TaskSpec = message["task"]
-            result = execute_task(config, task, attempt=message["attempt"])
+
+            stop_beats = threading.Event()
+
+            def _beat() -> None:
+                while not stop_beats.wait(heartbeat_interval):
+                    try:
+                        with send_lock:
+                            send_message(sock, {"type": "heartbeat"})
+                    except OSError:
+                        return
+
+            beater = None
+            if heartbeat_interval is not None:
+                beater = threading.Thread(target=_beat, daemon=True)
+                beater.start()
+            try:
+                result = execute_task(config, task, attempt=message["attempt"])
+                if slow_down is not None:
+                    time.sleep(slow_down)
+            finally:
+                stop_beats.set()
+            if beater is not None:
+                beater.join(timeout=5.0)
             result.worker_id = name
-            send_message(sock, {"type": "result", "result": result})
+            if corrupt_first and completed == 0:
+                result.tally.diffuse_reflectance_weight = float("nan")
+            with send_lock:
+                send_message(sock, {"type": "result", "result": result})
             completed += 1

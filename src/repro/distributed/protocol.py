@@ -15,14 +15,24 @@ schedule-independent (DESIGN.md §4).
 
 from __future__ import annotations
 
+import math
 import pickle
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.config import SimulationConfig
 from ..core.simulation import KernelName
 from ..core.tally import Tally
 
-__all__ = ["TaskSpec", "TaskResult", "encode", "decode"]
+__all__ = [
+    "TaskSpec",
+    "TaskResult",
+    "ResultValidationError",
+    "validate_result",
+    "encode",
+    "decode",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,77 @@ class TaskResult:
             raise ValueError(f"elapsed_seconds must be >= 0, got {self.elapsed_seconds}")
         if self.attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {self.attempt}")
+
+
+class ResultValidationError(ValueError):
+    """A returned :class:`TaskResult` failed sanity validation at merge time.
+
+    Raised by :func:`validate_result` when a worker returns a result that
+    cannot be physical: wrong task identity, photon-count mismatch, NaN or
+    infinite weights, or negative extensive quantities.  The scheduler treats
+    a validation failure exactly like a worker crash — the result is
+    discarded and the task retried — so a corrupted client cannot poison the
+    merged tally.
+    """
+
+
+def _check_array(name: str, array: np.ndarray, task_index: int) -> None:
+    if not np.all(np.isfinite(array)):
+        raise ResultValidationError(
+            f"task {task_index}: non-finite values in {name}"
+        )
+    if np.any(array < 0.0):
+        raise ResultValidationError(f"task {task_index}: negative values in {name}")
+
+
+def validate_result(result: TaskResult, task: TaskSpec) -> None:
+    """Reject physically impossible task results before they are merged.
+
+    Checks, in order: the result answers *this* task; the tally launched
+    exactly the requested number of photons; every extensive weight is
+    finite and non-negative (``roulette_net_weight`` may legitimately be
+    negative but must be finite); all recorded arrays are finite and
+    non-negative.  Raises :class:`ResultValidationError` on the first
+    violation, otherwise returns ``None``.
+    """
+    idx = task.task_index
+    if result.task_index != idx:
+        raise ResultValidationError(
+            f"result for task {result.task_index} returned against task {idx}"
+        )
+    t = result.tally
+    if t.n_launched != task.n_photons:
+        raise ResultValidationError(
+            f"task {idx}: photon-count mismatch "
+            f"(launched {t.n_launched}, requested {task.n_photons})"
+        )
+    if t.detected_count < 0:
+        raise ResultValidationError(
+            f"task {idx}: negative detected_count {t.detected_count}"
+        )
+    for name in (
+        "specular_weight",
+        "diffuse_reflectance_weight",
+        "transmittance_weight",
+        "lost_weight",
+        "detected_weight",
+    ):
+        value = getattr(t, name)
+        if not math.isfinite(value) or value < 0.0:
+            raise ResultValidationError(f"task {idx}: invalid {name} {value!r}")
+    if not math.isfinite(t.roulette_net_weight):
+        raise ResultValidationError(
+            f"task {idx}: non-finite roulette_net_weight {t.roulette_net_weight!r}"
+        )
+    _check_array("absorbed_by_layer", t.absorbed_by_layer, idx)
+    if t.absorption_grid is not None:
+        _check_array("absorption_grid", t.absorption_grid, idx)
+    if t.path_grid is not None:
+        _check_array("path_grid", t.path_grid, idx)
+    for name in ("pathlength_hist", "reflectance_rho_hist", "penetration_hist"):
+        hist = getattr(t, name)
+        if hist is not None:
+            _check_array(f"{name}.counts", hist.counts, idx)
 
 
 def encode(obj: TaskSpec | TaskResult | SimulationConfig) -> bytes:

@@ -15,6 +15,7 @@ import json
 from pathlib import Path
 
 from ..distributed.datamanager import RunReport
+from ..distributed.health import WorkerStats
 from ..distributed.protocol import TaskResult
 from .results import load_tally, save_tally
 
@@ -34,6 +35,11 @@ def save_report(directory: str | Path, report: RunReport) -> Path:
         "format_version": _FORMAT_VERSION,
         "wall_seconds": report.wall_seconds,
         "retries": report.retries,
+        "speculative_duplicates": report.speculative_duplicates,
+        "worker_health": {
+            worker_id: stats.as_dict()
+            for worker_id, stats in report.worker_health.items()
+        },
         "tasks": [],
     }
     for result in report.task_results:
@@ -76,4 +82,9 @@ def load_report(directory: str | Path) -> RunReport:
         task_results=task_results,
         wall_seconds=manifest["wall_seconds"],
         retries=manifest["retries"],
+        speculative_duplicates=manifest.get("speculative_duplicates", 0),
+        worker_health={
+            worker_id: WorkerStats.from_dict(d)
+            for worker_id, d in manifest.get("worker_health", {}).items()
+        },
     )

@@ -10,6 +10,7 @@ analogue of what the paper's DataManager does with client results.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -44,7 +45,13 @@ def _stat_from_list(v: list[float]) -> RunningStat:
 
 
 def save_tally(path: str | Path, tally: Tally) -> Path:
-    """Serialise a tally to ``path`` (``.npz``); returns the path written."""
+    """Serialise a tally to ``path`` (``.npz``); returns the path written.
+
+    The write is atomic (temp file + ``os.replace``): readers — including a
+    resuming :class:`~repro.distributed.checkpoint.CheckpointManager` —
+    never observe a torn archive at ``path``, even if the writer is killed
+    mid-save.
+    """
     path = Path(path)
     r = tally.records
     header = {
@@ -86,7 +93,13 @@ def save_tally(path: str | Path, tally: Tally) -> Path:
         if hist is not None:
             arrays[f"{name}_edges"] = hist.edges
             arrays[f"{name}_counts"] = hist.counts
-    np.savez_compressed(path, **arrays)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

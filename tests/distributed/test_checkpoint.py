@@ -1,0 +1,200 @@
+"""Tests for checkpoint/resume of distributed runs.
+
+The acceptance bar is *bit-identity*: a run killed mid-flight and resumed
+from its checkpoint must produce a tally equal — via the strict
+``Tally.__eq__`` — to the uninterrupted run with the same seed and
+decomposition, for both the in-process backends and the TCP server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.distributed import (
+    CheckpointError,
+    CheckpointManager,
+    DataManager,
+    FaultInjector,
+    NetworkServer,
+    SerialBackend,
+    TaskFailedError,
+    ThreadBackend,
+    execute_task,
+    run_key,
+    run_network_client,
+)
+from repro.distributed.protocol import TaskSpec
+
+
+def make_manager(fast_config, **kwargs):
+    defaults = dict(n_photons=500, seed=3, task_size=100)
+    defaults.update(kwargs)
+    return DataManager(fast_config, **defaults)
+
+
+class TestCheckpointManager:
+    def key(self):
+        return run_key(n_photons=500, seed=3, task_size=100, kernel="vector")
+
+    def test_fresh_load_is_empty_and_creates_manifest(self, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        assert not ckpt.exists
+        assert ckpt.load(self.key()) == {}
+        assert ckpt.exists
+        assert ckpt.completed_indices() == set()
+
+    def test_record_before_load_rejected(self, fast_config, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        result = execute_task(fast_config, TaskSpec(0, 50, 0))
+        with pytest.raises(CheckpointError, match="load"):
+            ckpt.record(result)
+
+    def test_record_and_reload(self, fast_config, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.load(self.key())
+        result = execute_task(fast_config, TaskSpec(2, 100, 3))
+        ckpt.record(result)
+
+        reloaded = CheckpointManager(tmp_path / "ck").load(self.key())
+        assert set(reloaded) == {2}
+        assert reloaded[2].tally == result.tally
+        assert reloaded[2].worker_id == result.worker_id
+
+    def test_run_key_mismatch_refused(self, tmp_path):
+        CheckpointManager(tmp_path / "ck").load(self.key())
+        other = run_key(n_photons=500, seed=99, task_size=100, kernel="vector")
+        with pytest.raises(CheckpointError, match="different run"):
+            CheckpointManager(tmp_path / "ck").load(other)
+
+    def test_corrupt_manifest_refused(self, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.load(self.key())
+        ckpt.manifest_path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CheckpointManager(tmp_path / "ck").load(self.key())
+
+    def test_torn_tally_file_dropped(self, fast_config, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.load(self.key())
+        ckpt.record(execute_task(fast_config, TaskSpec(0, 100, 3)))
+        ckpt.record(execute_task(fast_config, TaskSpec(1, 100, 3)))
+        # Simulate a crash mid-write: one archive is garbage on disk.
+        (tmp_path / "ck" / "task-000000.npz").write_bytes(b"torn write")
+        reloaded = CheckpointManager(tmp_path / "ck").load(self.key())
+        assert set(reloaded) == {1}
+
+    def test_manifest_flush_batching(self, fast_config, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck", interval=10)
+        ckpt.load(self.key())
+        ckpt.record(execute_task(fast_config, TaskSpec(0, 100, 3)))
+        manifest = json.loads(ckpt.manifest_path.read_text())
+        assert manifest["tasks"] == []  # batched, not yet flushed
+        ckpt.flush()
+        manifest = json.loads(ckpt.manifest_path.read_text())
+        assert [e["task_index"] for e in manifest["tasks"]] == [0]
+
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointManager(tmp_path / "ck", interval=0)
+
+
+class TestResumeInProcess:
+    def test_killed_run_resumes_bit_identical(self, fast_config, tmp_path):
+        baseline = make_manager(fast_config).run(SerialBackend()).tally
+
+        # Kill the run mid-flight: task 3 fails permanently, no retries.
+        interrupted = make_manager(
+            fast_config,
+            checkpoint=tmp_path / "ck",
+            max_retries=0,
+            task_runner=FaultInjector(fail_tasks_always=frozenset({3})),
+        )
+        with pytest.raises(TaskFailedError):
+            interrupted.run(SerialBackend())
+
+        # Resume with a runner that would crash on the already-completed
+        # tasks: success proves they were restored from disk, not re-run.
+        resumed = make_manager(
+            fast_config,
+            checkpoint=tmp_path / "ck",
+            task_runner=FaultInjector(fail_tasks_always=frozenset({0, 1, 2})),
+        )
+        report = resumed.run(SerialBackend())
+        assert report.tally == baseline  # strict bitwise Tally equality
+        assert report.n_tasks == 5
+
+    def test_resume_on_thread_backend(self, fast_config, tmp_path):
+        baseline = make_manager(fast_config).run(SerialBackend()).tally
+        interrupted = make_manager(
+            fast_config,
+            checkpoint=tmp_path / "ck",
+            max_retries=0,
+            task_runner=FaultInjector(fail_tasks_always=frozenset({4})),
+        )
+        with pytest.raises(TaskFailedError):
+            interrupted.run(SerialBackend())
+        with ThreadBackend(3) as backend:
+            report = make_manager(fast_config, checkpoint=tmp_path / "ck").run(backend)
+        assert report.tally == baseline
+
+    def test_completed_checkpoint_runs_nothing(self, fast_config, tmp_path):
+        first = make_manager(fast_config, checkpoint=tmp_path / "ck")
+        baseline = first.run(SerialBackend()).tally
+
+        def refuse(*args, **kwargs):
+            raise AssertionError("no task should execute on a complete checkpoint")
+
+        again = make_manager(fast_config, checkpoint=tmp_path / "ck", task_runner=refuse)
+        assert again.run(SerialBackend()).tally == baseline
+
+    def test_checkpoint_of_different_run_refused(self, fast_config, tmp_path):
+        make_manager(fast_config, checkpoint=tmp_path / "ck").run(SerialBackend())
+        other = make_manager(fast_config, seed=99, checkpoint=tmp_path / "ck")
+        with pytest.raises(CheckpointError, match="different run"):
+            other.run(SerialBackend())
+
+
+class TestResumeNetwork:
+    def client(self, port: int, name: str, **kwargs) -> threading.Thread:
+        thread = threading.Thread(
+            target=run_network_client,
+            args=("127.0.0.1", port),
+            kwargs={"worker_name": name, **kwargs},
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def test_killed_server_resumes_bit_identical(self, fast_config, tmp_path):
+        baseline = DataManager(fast_config, 600, seed=9, task_size=100).run(
+            SerialBackend()
+        ).tally
+
+        # First server is killed after a client completed only half the run.
+        first = NetworkServer(
+            fast_config, n_photons=600, seed=9, task_size=100,
+            checkpoint=tmp_path / "ck",
+        ).start()
+        partial = self.client(first.port, "part-timer", max_tasks=3)
+        partial.join(timeout=30)
+        with pytest.raises(TimeoutError):
+            first.wait(timeout=0.2)
+        first.close()
+
+        # A fresh server over the same checkpoint finishes the remainder.
+        second = NetworkServer(
+            fast_config, n_photons=600, seed=9, task_size=100,
+            checkpoint=tmp_path / "ck",
+        ).start()
+        finisher = self.client(second.port, "finisher")
+        report = second.wait(timeout=120)
+        finisher.join(timeout=30)
+
+        assert report.tally == baseline  # strict bitwise Tally equality
+        assert report.n_tasks == 6
+        # The resumed server only handed out the outstanding tasks.
+        fresh = [r for r in report.task_results if r.worker_id == "finisher"]
+        assert len(fresh) == 3

@@ -1,0 +1,128 @@
+"""Tests for per-worker health tracking and result validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributed import (
+    ResultValidationError,
+    WorkerHealth,
+    WorkerStats,
+    execute_task,
+    validate_result,
+)
+from repro.distributed.protocol import TaskSpec
+
+
+class TestWorkerStats:
+    def test_mean_latency(self):
+        stats = WorkerStats(worker_id="w", tasks_completed=4, busy_seconds=2.0)
+        assert stats.mean_latency == pytest.approx(0.5)
+
+    def test_mean_latency_without_tasks_is_nan(self):
+        assert math.isnan(WorkerStats(worker_id="w").mean_latency)
+
+    def test_dict_round_trip(self):
+        stats = WorkerStats(
+            worker_id="w",
+            tasks_completed=3,
+            failures=2,
+            consecutive_failures=1,
+            busy_seconds=1.5,
+            blacklisted=True,
+        )
+        assert WorkerStats.from_dict(stats.as_dict()) == stats
+
+
+class TestWorkerHealth:
+    def test_success_accumulates(self):
+        health = WorkerHealth()
+        health.record_success("w", 0.5)
+        health.record_success("w", 1.5)
+        stats = health.snapshot()["w"]
+        assert stats.tasks_completed == 2
+        assert stats.busy_seconds == pytest.approx(2.0)
+        assert stats.failures == 0
+        assert not stats.blacklisted
+
+    def test_blacklist_after_consecutive_failures(self):
+        health = WorkerHealth(blacklist_after=3)
+        assert health.record_failure("w") is False
+        assert health.record_failure("w") is False
+        assert health.record_failure("w") is True
+        assert health.is_blacklisted("w")
+        assert health.snapshot()["w"].failures == 3
+
+    def test_success_resets_consecutive_count(self):
+        health = WorkerHealth(blacklist_after=2)
+        health.record_failure("w")
+        health.record_success("w", 0.1)
+        health.record_failure("w")
+        assert not health.is_blacklisted("w")
+        # Total failures still accumulate even though the streak reset.
+        assert health.snapshot()["w"].failures == 2
+
+    def test_blacklisting_disabled(self):
+        health = WorkerHealth(blacklist_after=None)
+        for _ in range(10):
+            health.record_failure("w")
+        assert not health.is_blacklisted("w")
+
+    def test_workers_independent(self):
+        health = WorkerHealth(blacklist_after=1)
+        health.record_failure("bad")
+        assert health.is_blacklisted("bad")
+        assert not health.is_blacklisted("good")
+
+    def test_snapshot_is_a_copy(self):
+        health = WorkerHealth()
+        health.record_success("w", 0.1)
+        snap = health.snapshot()
+        snap["w"].tasks_completed = 99
+        assert health.snapshot()["w"].tasks_completed == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="blacklist_after"):
+            WorkerHealth(blacklist_after=0)
+
+
+class TestValidateResult:
+    def test_clean_result_passes(self, fast_config):
+        task = TaskSpec(0, 50, 0)
+        result = execute_task(fast_config, task)
+        validate_result(result, task)  # must not raise
+
+    def test_task_index_mismatch(self, fast_config):
+        task = TaskSpec(0, 50, 0)
+        result = execute_task(fast_config, task)
+        with pytest.raises(ResultValidationError, match="task"):
+            validate_result(result, TaskSpec(1, 50, 0))
+
+    def test_photon_count_mismatch(self, fast_config):
+        task = TaskSpec(0, 50, 0)
+        result = execute_task(fast_config, task)
+        result.tally.n_launched += 1
+        with pytest.raises(ResultValidationError, match="launched"):
+            validate_result(result, task)
+
+    def test_nan_weight_rejected(self, fast_config):
+        task = TaskSpec(0, 50, 0)
+        result = execute_task(fast_config, task)
+        result.tally.diffuse_reflectance_weight = float("nan")
+        with pytest.raises(ResultValidationError):
+            validate_result(result, task)
+
+    def test_negative_tally_rejected(self, fast_config):
+        task = TaskSpec(0, 50, 0)
+        result = execute_task(fast_config, task)
+        result.tally.absorbed_by_layer[0] = -1.0
+        with pytest.raises(ResultValidationError, match="negative"):
+            validate_result(result, task)
+
+    def test_negative_roulette_weight_is_legitimate(self, fast_config):
+        task = TaskSpec(0, 50, 0)
+        result = execute_task(fast_config, task)
+        result.tally.roulette_net_weight = -0.25
+        validate_result(result, task)  # survivors gain weight; net can be < 0

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import socket
+import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -12,6 +14,7 @@ from repro.core import SimulationConfig
 from repro.distributed import (
     DataManager,
     NetworkServer,
+    ProtocolError,
     SerialBackend,
     recv_message,
     run_network_client,
@@ -66,6 +69,42 @@ class TestFraming:
             with pytest.raises(ConnectionError):
                 recv_message(server)
 
+    def test_truncated_length_prefix(self):
+        server, client = socket.socketpair()
+        with server:
+            client.sendall(b"\x00\x00\x00")  # 3 of the 8 header bytes
+            client.close()
+            with pytest.raises(ConnectionError):
+                recv_message(server)
+
+    def test_corrupt_length_prefix_rejected(self):
+        """A garbage prefix must not make the receiver allocate gigabytes."""
+        server, client = socket.socketpair()
+        with server, client:
+            client.sendall(struct.pack(">Q", 1 << 60))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_message(server)
+
+    def test_oversized_message_rejected(self):
+        server, client = socket.socketpair()
+        with server, client:
+            send_message(client, list(range(100)))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_message(server, max_size=16)
+
+    def test_garbage_payload_rejected(self):
+        payload = b"definitely not a pickle"
+        server, client = socket.socketpair()
+        with server, client:
+            client.sendall(struct.pack(">Q", len(payload)) + payload)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_message(server)
+
+    def test_protocol_error_is_connection_error(self):
+        # Handlers catch ConnectionError to drop a bad client; ProtocolError
+        # must ride that path.
+        assert issubclass(ProtocolError, ConnectionError)
+
 
 class TestNetworkRun:
     def test_single_client_equals_serial(self, net_config):
@@ -90,8 +129,6 @@ class TestNetworkRun:
         assert len(report.per_worker()) >= 2
 
     def test_late_client_joins(self, net_config):
-        import time
-
         server = NetworkServer(net_config, n_photons=800, seed=1, task_size=100).start()
         first = run_clients(server.port, 1, worker_name="early")
         time.sleep(0.3)
@@ -151,3 +188,85 @@ class TestNetworkFaults:
             t.join(timeout=30)
         assert report.tally.n_launched == 500
         assert report.retries == 0  # nothing was lost, nothing retried
+
+    def test_hung_client_detected_and_task_reassigned(self, net_config):
+        """A silent-but-connected client must not stall the run forever.
+
+        The hung client sends no heartbeats, so the server's heartbeat
+        timeout fires, the connection is dropped and the task requeued for
+        the healthy client.
+        """
+        server = NetworkServer(
+            net_config, n_photons=400, seed=7, task_size=100,
+            heartbeat_timeout=0.5,
+        ).start()
+        hanger = run_clients(server.port, 1, worker_name="hanger", hang_after=0)
+        time.sleep(0.3)  # let the hanger claim its task first
+        healthy = run_clients(server.port, 1, worker_name="healthy")
+        report = server.wait(timeout=120)
+        for t in hanger + healthy:
+            t.join(timeout=30)
+        assert report.tally.n_launched == 400
+        assert report.retries >= 1
+        assert report.worker_health["hanger"].failures >= 1
+        assert all(r.worker_id == "healthy" for r in report.task_results)
+        serial = DataManager(net_config, 400, seed=7, task_size=100).run(SerialBackend())
+        assert report.tally.summary() == serial.tally.summary()
+
+    def test_straggler_speculatively_redispatched(self, net_config):
+        """A slow (heartbeating) client is outrun by a speculative duplicate."""
+        server = NetworkServer(
+            net_config, n_photons=300, seed=4, task_size=100,
+            task_deadline=0.3,
+        ).start()
+        slow = run_clients(
+            server.port, 1, worker_name="slow",
+            slow_down=1.5, max_tasks=1, heartbeat_interval=0.1,
+        )
+        time.sleep(0.3)  # let the slow client claim its task first
+        fast = run_clients(server.port, 1, worker_name="fast")
+        report = server.wait(timeout=120)
+        for t in slow + fast:
+            t.join(timeout=30)
+        assert report.tally.n_launched == 300
+        assert report.speculative_duplicates >= 1
+        serial = DataManager(net_config, 300, seed=4, task_size=100).run(SerialBackend())
+        assert report.tally.summary() == serial.tally.summary()
+
+    def test_corrupt_result_rejected_and_retried(self, net_config):
+        """Merge-time validation rejects a poisoned tally; the retry wins."""
+        server = NetworkServer(net_config, n_photons=300, seed=6, task_size=100).start()
+        threads = run_clients(server.port, 1, worker_name="fuzzy", corrupt_first=True)
+        report = server.wait(timeout=120)
+        for t in threads:
+            t.join(timeout=30)
+        assert report.tally.n_launched == 300
+        assert report.retries == 1
+        assert report.worker_health["fuzzy"].failures == 1
+        serial = DataManager(net_config, 300, seed=6, task_size=100).run(SerialBackend())
+        assert report.tally.summary() == serial.tally.summary()
+
+    def test_blacklisted_worker_refused_work(self, net_config):
+        """After blacklisting, a worker's next pull is answered with done."""
+        server = NetworkServer(
+            net_config, n_photons=200, seed=8, task_size=100,
+            blacklist_after=1,
+        ).start()
+        bad = run_clients(server.port, 1, worker_name="bad", corrupt_first=True)
+        time.sleep(0.3)
+        good = run_clients(server.port, 1, worker_name="good")
+        report = server.wait(timeout=120)
+        for t in bad + good:
+            t.join(timeout=30)
+        assert report.worker_health["bad"].blacklisted
+        # Every merged result came from the healthy client.
+        assert all(r.worker_id == "good" for r in report.task_results)
+        assert report.tally.n_launched == 200
+
+    def test_empty_run_report_fields(self, net_config):
+        server = NetworkServer(net_config, n_photons=0).start()
+        report = server.wait(timeout=10)
+        assert report.per_worker() == {}
+        assert report.retries == 0
+        assert report.speculative_duplicates == 0
+        assert report.worker_health == {}

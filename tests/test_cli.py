@@ -115,3 +115,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "recovered" in out
+
+
+class TestCheckpointCli:
+    def run_args(self, ck_dir):
+        return [
+            "run", "--model", "white_matter", "--photons", "300",
+            "--task-size", "100", "--seed", "1", "--checkpoint", str(ck_dir),
+        ]
+
+    def test_checkpoint_recorded_then_resumed(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        assert main(self.run_args(ck)) == 0
+        assert "checkpoint" in capsys.readouterr().out
+        assert (ck / "checkpoint.json").exists()
+
+        # Re-running over an existing checkpoint without --resume is refused
+        # (it would silently extend a different invocation's run).
+        with pytest.raises(SystemExit, match="--resume"):
+            main(self.run_args(ck))
+
+        # With --resume everything is already recorded: instant completion.
+        assert main(self.run_args(ck) + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "3 tasks recorded" in out
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["run", "--model", "white_matter", "--photons", "100", "--resume"])
+
+    def test_task_deadline_flag(self, capsys):
+        code = main([
+            "run", "--model", "white_matter", "--photons", "200",
+            "--workers", "2", "--task-size", "100", "--task-deadline", "30",
+        ])
+        assert code == 0
+        assert "distributed over 2 workers" in capsys.readouterr().out
