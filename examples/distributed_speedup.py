@@ -21,9 +21,9 @@ import time
 
 import numpy as np
 
+from repro.api import RunRequest, run
 from repro.cluster import speedup_curve
 from repro.core import SimulationConfig
-from repro.distributed import DataManager, MultiprocessingBackend, SerialBackend
 from repro.io import format_table
 from repro.sources import PencilBeam
 from repro.tissue import LayerStack, OpticalProperties
@@ -48,15 +48,16 @@ def real_local_run() -> None:
     config = SimulationConfig(
         stack=LayerStack.homogeneous(props), source=PencilBeam()
     )
-    manager = DataManager(config, n_photons=20_000, seed=0, task_size=2_000)
+    # One request, two substrates — only workers/backend differ, so the
+    # facade guarantees the merged physics cannot.
+    base = dict(config=config, n_photons=20_000, seed=0, task_size=2_000)
 
     start = time.perf_counter()
-    serial = manager.run(SerialBackend())
+    serial = run(RunRequest(**base))
     t_serial = time.perf_counter() - start
 
     start = time.perf_counter()
-    with MultiprocessingBackend(2) as backend:
-        parallel = manager.run(backend)
+    parallel = run(RunRequest(**base, workers=2, backend="process"))
     t_parallel = time.perf_counter() - start
 
     identical = all(

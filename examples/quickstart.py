@@ -15,7 +15,8 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.core import RecordConfig, RouletteConfig, Simulation, SimulationConfig
+from repro.api import RunRequest, run
+from repro.core import RecordConfig, RouletteConfig, SimulationConfig
 from repro.detect import AnnularDetector
 from repro.io import format_table
 from repro.sources import PencilBeam
@@ -39,7 +40,11 @@ def main() -> None:
 
     print(f"Tracing {n_photons:,} photons through the adult-head model ...")
     start = time.perf_counter()
-    tally = Simulation(config).run(n_photons, seed=42)
+    # The unified facade: the same request runs serially here, but adding
+    # workers=4 (or mode="serve") changes only the execution substrate,
+    # never the physics.  progress=True draws a live bar on stderr.
+    report = run(RunRequest(config=config, n_photons=n_photons, seed=42, progress=True))
+    tally = report.tally
     elapsed = time.perf_counter() - start
     print(f"done in {elapsed:.1f} s ({n_photons / elapsed:,.0f} photons/s)\n")
 

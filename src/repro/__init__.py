@@ -16,7 +16,15 @@ Quickstart
 >>> tally = Simulation(config).run(n_photons=1000, seed=42)
 >>> 0.9 < tally.energy_balance < 1.1  # R + A + T accounts for all energy
 True
+
+Or through the unified run facade (serial, pooled and served runs share
+one entry point and one telemetry attachment site):
+
+>>> from repro.api import RunRequest, run
+>>> report = run(RunRequest(model="white_matter", n_photons=1000, seed=42))
 """
+
+import importlib
 
 from .core import (
     RecordConfig,
@@ -34,5 +42,17 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "Tally",
+    "api",
+    "observe",
     "__version__",
 ]
+
+_LAZY_SUBMODULES = ("api", "observe", "distributed", "cluster")
+
+
+def __getattr__(name: str):
+    # ``repro.api`` / ``repro.observe`` resolve on first touch without
+    # dragging the distributed stack into every ``import repro``.
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,291 @@
+"""repro.api — one facade over every way to run a simulation.
+
+The platform grew four entry points — serial :class:`~repro.core.Simulation`,
+backend-pooled :class:`~repro.distributed.DataManager`, the TCP
+:class:`~repro.distributed.NetworkServer`, and checkpointed resume — each
+with its own construction ritual.  :func:`run` folds them behind a single
+declarative :class:`RunRequest`, so flags such as workers, checkpointing,
+deadlines and pathlength gating behave identically everywhere, and the
+telemetry hooks (:mod:`repro.observe`) attach in exactly one place.
+
+The decomposition contract still holds: a request's tally depends only on
+``(config, n_photons, seed, task_size, kernel)`` — never on the backend,
+worker count or schedule — so the same request run serially, on a process
+pool, or over TCP produces bit-identical physics.
+
+Examples
+--------
+>>> from repro.api import RunRequest, run
+>>> report = run(RunRequest(model="white_matter", n_photons=2000))
+>>> 0.0 < report.tally.diffuse_reflectance < 1.0
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from . import __version__
+from .core import RecordConfig, SimulationConfig
+from .core.simulation import KernelName
+from .distributed import (
+    CheckpointManager,
+    DataManager,
+    NetworkServer,
+    RunReport,
+    make_backend,
+)
+from .observe import ProgressReporter, Telemetry, TTYProgress
+
+__all__ = ["RunRequest", "run", "build_config", "resolve_checkpoint", "DEFAULT_TASK_SIZE"]
+
+#: Default self-scheduling chunk size.  Deliberately independent of the
+#: worker count: the decomposition — and therefore the tally — must be a
+#: function of the request, not of the execution substrate.
+DEFAULT_TASK_SIZE = 10_000
+
+_MODELS = ("white_matter", "adult_head", "neonatal_head")
+
+
+@dataclass
+class RunRequest:
+    """Declarative description of one simulation run.
+
+    Exactly one of ``config`` (a full
+    :class:`~repro.core.config.SimulationConfig`) or ``model`` (a named
+    tissue model: ``white_matter`` / ``adult_head`` / ``neonatal_head``,
+    given a pencil-beam source and the detector/gate fields below) must be
+    set.
+
+    Execution fields
+    ----------------
+    workers / backend:
+        ``backend`` is one of ``"serial" | "thread" | "process"`` (see
+        :func:`repro.distributed.make_backend`) or ``"auto"`` — serial for
+        one worker, a process pool otherwise.
+    mode:
+        ``"local"`` executes on an in-host backend; ``"serve"`` starts a
+        :class:`~repro.distributed.NetworkServer` on ``host:port`` and
+        blocks (up to ``serve_timeout``) until connecting clients finish
+        the photon budget.
+    checkpoint / resume / task_deadline:
+        The fault-tolerance knobs, identical in every mode: completed tasks
+        persist under the ``checkpoint`` directory, ``resume`` continues an
+        existing one (required — a stale directory is never extended
+        silently), ``task_deadline`` enables speculative re-dispatch.
+
+    Observability fields
+    --------------------
+    telemetry:
+        A caller-owned :class:`~repro.observe.Telemetry`; or
+    metrics_path / progress:
+        Convenience constructors — a JSONL event-sink path and/or a
+        progress reporter (``True`` for a TTY bar, or any
+        :class:`~repro.observe.ProgressReporter`).  The facade then owns
+        the telemetry lifecycle and attaches the final metrics snapshot to
+        :attr:`~repro.distributed.RunReport.metrics`.
+    """
+
+    config: SimulationConfig | None = None
+    model: str | None = None
+    n_photons: int = 20_000
+    seed: int = 0
+    kernel: KernelName = "vector"
+    task_size: int | None = None
+
+    # execution
+    workers: int = 1
+    backend: str = "auto"
+    mode: str = "local"
+    host: str = "127.0.0.1"
+    port: int = 0
+    serve_timeout: float = 3600.0
+    heartbeat_timeout: float | None = 30.0
+
+    # fault tolerance
+    checkpoint: str | Path | CheckpointManager | None = None
+    resume: bool = False
+    task_deadline: float | None = None
+    max_retries: int = 2
+
+    # model-building conveniences (ignored when ``config`` is given)
+    detector_spacing: float | None = None
+    gate: tuple[float, float] | None = None
+    boundary_mode: str = "probabilistic"
+    records: RecordConfig | None = None
+
+    # observability
+    telemetry: Telemetry | None = None
+    metrics_path: str | Path | None = None
+    progress: bool | ProgressReporter = False
+
+    #: Called with the live :class:`NetworkServer` right after it binds in
+    #: ``mode="serve"`` (e.g. to announce the chosen port); ignored otherwise.
+    on_server_start: Callable[[NetworkServer], None] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.config is None) == (self.model is None):
+            raise ValueError("set exactly one of RunRequest.config or RunRequest.model")
+        if self.model is not None and self.model not in _MODELS:
+            raise ValueError(f"unknown model {self.model!r}; choose from {_MODELS}")
+        if self.mode not in ("local", "serve"):
+            raise ValueError(f"mode must be 'local' or 'serve', got {self.mode!r}")
+        if self.workers <= 0:
+            raise ValueError(f"workers must be > 0, got {self.workers}")
+        if self.resume and self.checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint directory")
+
+    def resolved_task_size(self) -> int:
+        return self.task_size if self.task_size is not None else DEFAULT_TASK_SIZE
+
+    def resolved_backend(self) -> str:
+        if self.backend != "auto":
+            return self.backend
+        return "serial" if self.workers == 1 else "process"
+
+    def provenance(self) -> dict:
+        """Self-description embedded in saved tallies (``save_tally``)."""
+        return {
+            "package": "repro",
+            "version": __version__,
+            "model": self.model or "custom",
+            "n_photons": self.n_photons,
+            "seed": self.seed,
+            "kernel": self.kernel,
+            "task_size": self.resolved_task_size(),
+            "boundary_mode": self.boundary_mode,
+            "created_unix": time.time(),
+        }
+
+
+def build_config(request: RunRequest) -> SimulationConfig:
+    """The :class:`SimulationConfig` a request describes.
+
+    Returns ``request.config`` unchanged when one was given; otherwise
+    assembles the named tissue model with a pencil beam and the requested
+    detector/gate/boundary options (the construction the CLI has always
+    performed, now shared by every entry point).
+    """
+    if request.config is not None:
+        return request.config
+    from .detect import AnnularDetector, PathlengthGate
+    from .sources import PencilBeam
+    from .tissue import adult_head, neonatal_head, white_matter
+
+    stack = {
+        "white_matter": white_matter,
+        "adult_head": adult_head,
+        "neonatal_head": neonatal_head,
+    }[request.model]()
+    kwargs: dict = dict(
+        stack=stack,
+        source=PencilBeam(),
+        gate=PathlengthGate(*request.gate) if request.gate else None,
+        boundary_mode=request.boundary_mode,
+        records=(
+            request.records
+            if request.records is not None
+            else RecordConfig(penetration_bins=(50.0, 200))
+        ),
+    )
+    if request.detector_spacing is not None:
+        rho = request.detector_spacing
+        kwargs["detector"] = AnnularDetector(max(0.0, rho - 1.0), rho + 1.0)
+    return SimulationConfig(**kwargs)
+
+
+def resolve_checkpoint(
+    directory: str | Path | CheckpointManager | None, resume: bool
+) -> CheckpointManager | None:
+    """Build (or validate) the checkpoint manager a request asks for.
+
+    Without ``resume`` an *existing* checkpoint is refused rather than
+    silently extended, so two unrelated runs can never be mixed by a stale
+    directory (the semantics the CLI has always enforced).  A ready-made
+    :class:`CheckpointManager` is subject to the same check.
+    """
+    if resume and directory is None:
+        raise ValueError("resume requires a checkpoint directory")
+    if directory is None:
+        return None
+    manager = (
+        directory
+        if isinstance(directory, CheckpointManager)
+        else CheckpointManager(directory)
+    )
+    if manager.exists and not resume:
+        raise ValueError(
+            f"checkpoint {manager.directory} already exists; "
+            "pass resume=True to continue"
+        )
+    return manager
+
+
+def _resolve_telemetry(request: RunRequest) -> tuple[Telemetry | None, bool]:
+    """The run's telemetry and whether the facade owns its lifecycle."""
+    if request.telemetry is not None:
+        return request.telemetry, False
+    reporter: ProgressReporter | None = None
+    if isinstance(request.progress, ProgressReporter):
+        reporter = request.progress
+    elif request.progress:
+        reporter = TTYProgress()
+    if request.metrics_path is None and reporter is None:
+        return None, False
+    if request.metrics_path is not None:
+        return Telemetry.to_jsonl(str(request.metrics_path), progress=reporter), True
+    return Telemetry(progress=reporter), True
+
+
+def run(request: RunRequest) -> RunReport:
+    """Execute ``request`` and return its :class:`~repro.distributed.RunReport`.
+
+    The one entry point: serial, pooled, served-over-TCP and resumed runs
+    all route through here, with identical decomposition, fault-tolerance
+    and telemetry semantics.
+    """
+    config = build_config(request)
+    checkpoint = resolve_checkpoint(request.checkpoint, request.resume)
+    telemetry, owns_telemetry = _resolve_telemetry(request)
+    try:
+        if request.mode == "serve":
+            server = NetworkServer(
+                config,
+                n_photons=request.n_photons,
+                seed=request.seed,
+                task_size=request.resolved_task_size(),
+                kernel=request.kernel,
+                max_retries=request.max_retries,
+                host=request.host,
+                port=request.port,
+                heartbeat_timeout=request.heartbeat_timeout,
+                task_deadline=request.task_deadline,
+                checkpoint=checkpoint,
+                telemetry=telemetry,
+            ).start()
+            if request.on_server_start is not None:
+                request.on_server_start(server)
+            report = server.wait(timeout=request.serve_timeout)
+        else:
+            manager = DataManager(
+                config,
+                request.n_photons,
+                seed=request.seed,
+                task_size=request.resolved_task_size(),
+                kernel=request.kernel,
+                max_retries=request.max_retries,
+                task_deadline=request.task_deadline,
+                checkpoint=checkpoint,
+                telemetry=telemetry,
+            )
+            with make_backend(request.resolved_backend(), request.workers) as backend:
+                report = manager.run(backend)
+    finally:
+        if owns_telemetry:
+            final = telemetry.finish()
+    if owns_telemetry:
+        report.metrics = final
+    return report

@@ -46,9 +46,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--gate", type=float, nargs=2, default=None, metavar=("L_MIN", "L_MAX"),
                      help="pathlength gate in mm")
     run.add_argument("--workers", type=int, default=1,
-                     help="run distributed on this many local processes")
+                     help="run distributed on this many local workers")
+    run.add_argument("--backend", choices=("auto", "serial", "thread", "process"),
+                     default="auto",
+                     help="execution backend (auto: serial for 1 worker, "
+                     "process pool otherwise)")
     run.add_argument("--task-size", type=int, default=10_000)
     run.add_argument("--save", type=str, default=None, metavar="FILE.npz")
+    run.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
+                     help="write structured telemetry events (spans, counters, "
+                     "progress) to this JSONL file")
+    run.add_argument("--progress", action="store_true",
+                     help="live progress bar on stderr")
     run.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
                      help="persist completed tasks to DIR so the run can be resumed")
     run.add_argument("--resume", action="store_true",
@@ -100,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
                        metavar="SECONDS",
                        help="declare a silent client hung after this long (0 disables)")
+    serve.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
+                       help="write structured telemetry events to this JSONL file")
+    serve.add_argument("--progress", action="store_true",
+                       help="live progress bar on stderr")
 
     client = sub.add_parser("client", help="connect to a 'serve' instance and work")
     client.add_argument("--host", default="127.0.0.1")
@@ -125,23 +138,39 @@ def build_parser() -> argparse.ArgumentParser:
 def _checkpoint_from_args(args):
     """Build the CheckpointManager requested by --checkpoint/--resume.
 
-    ``--resume`` requires ``--checkpoint``; without ``--resume`` an existing
-    checkpoint is refused rather than silently extended, so two unrelated
-    runs can never be mixed by a stale directory.
+    The rules live in :func:`repro.api.resolve_checkpoint` (which the
+    facade re-applies); this wrapper only rephrases failures in terms of
+    the flags the user actually typed.
     """
-    from .distributed import CheckpointManager
+    from .api import resolve_checkpoint
 
-    if args.resume and not args.checkpoint:
-        raise SystemExit("--resume requires --checkpoint DIR")
-    if not args.checkpoint:
-        return None
-    checkpoint = CheckpointManager(args.checkpoint)
-    if checkpoint.exists and not args.resume:
+    try:
+        return resolve_checkpoint(args.checkpoint or None, args.resume)
+    except ValueError:
+        if args.resume and not args.checkpoint:
+            raise SystemExit("--resume requires --checkpoint DIR") from None
         raise SystemExit(
             f"checkpoint {args.checkpoint} already exists; "
             "pass --resume to continue that run"
-        )
-    return checkpoint
+        ) from None
+
+
+def _print_metrics_block(report) -> None:
+    """Render RunReport.metrics (counters/gauges) as a final summary table."""
+    from .io import format_table
+
+    metrics = report.metrics or {}
+    rows = []
+    for kind in ("counters", "gauges"):
+        for row in metrics.get(kind, ()):
+            labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+            rows.append([row["name"], labels, row["value"]])
+    for row in metrics.get("histograms", ()):
+        if row["count"]:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+            rows.append([f"{row['name']} (mean)", labels, row["mean"]])
+    if rows:
+        print(format_table(["metric", "labels", "value"], rows, float_format="{:.6g}"))
 
 
 def _stack_for(model: str):
@@ -152,43 +181,31 @@ def _stack_for(model: str):
 
 
 def _cmd_run(args) -> int:
-    from .core import RecordConfig, Simulation, SimulationConfig
-    from .detect import AnnularDetector, PathlengthGate
-    from .distributed import DataManager, MultiprocessingBackend
+    from .api import RunRequest, run
     from .io import format_table, save_tally
-    from .sources import PencilBeam
-
-    stack = _stack_for(args.model)
-    detector = None
-    if args.detector_spacing is not None:
-        rho = args.detector_spacing
-        detector = AnnularDetector(max(0.0, rho - 1.0), rho + 1.0)
-    gate = PathlengthGate(*args.gate) if args.gate else None
-    kwargs = dict(
-        stack=stack,
-        source=PencilBeam(),
-        gate=gate,
-        boundary_mode=args.boundary_mode,
-        records=RecordConfig(penetration_bins=(50.0, 200)),
-    )
-    if detector is not None:
-        kwargs["detector"] = detector
-    config = SimulationConfig(**kwargs)
 
     checkpoint = _checkpoint_from_args(args)
-    if args.workers > 1 or checkpoint is not None:
-        from .distributed import SerialBackend
+    request = RunRequest(
+        model=args.model,
+        n_photons=args.photons,
+        seed=args.seed,
+        kernel=args.kernel,
+        task_size=args.task_size,
+        workers=args.workers,
+        backend=args.backend,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        task_deadline=args.task_deadline,
+        detector_spacing=args.detector_spacing,
+        gate=tuple(args.gate) if args.gate else None,
+        boundary_mode=args.boundary_mode,
+        metrics_path=args.metrics,
+        progress=args.progress,
+    )
+    report = run(request)
+    tally = report.tally
 
-        manager = DataManager(config, args.photons, seed=args.seed,
-                              task_size=args.task_size, kernel=args.kernel,
-                              task_deadline=args.task_deadline,
-                              checkpoint=checkpoint)
-        if args.workers > 1:
-            with MultiprocessingBackend(args.workers) as backend:
-                report = manager.run(backend)
-        else:
-            report = manager.run(SerialBackend())
-        tally = report.tally
+    if args.workers > 1 or args.checkpoint:
         print(f"# distributed over {args.workers} workers, "
               f"{report.n_tasks} tasks, wall {report.wall_seconds:.1f}s, "
               f"{report.retries} retries, "
@@ -196,16 +213,15 @@ def _cmd_run(args) -> int:
         if checkpoint is not None:
             print(f"# checkpoint: {checkpoint.directory} "
                   f"({len(checkpoint.completed_indices())} tasks recorded)")
-    else:
-        tally = Simulation(config).run(
-            args.photons, seed=args.seed, task_size=args.task_size,
-            kernel=args.kernel,
-        )
 
     rows = [[k, v] for k, v in tally.summary().items()]
     print(format_table(["quantity", "value"], rows, float_format="{:.6g}"))
+    if report.metrics:
+        _print_metrics_block(report)
+    if args.metrics:
+        print(f"# telemetry events written to {args.metrics}")
     if args.save:
-        path = save_tally(args.save, tally)
+        path = save_tally(args.save, tally, provenance=request.provenance())
         print(f"# tally saved to {path}")
     return 0
 
@@ -309,29 +325,45 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .api import RunRequest, run
     from .core import SimulationConfig
-    from .distributed import NetworkServer
+    from .io import format_table
     from .sources import PencilBeam
 
-    config = SimulationConfig(stack=_stack_for(args.model), source=PencilBeam())
-    server = NetworkServer(
-        config, n_photons=args.photons, seed=args.seed,
-        task_size=args.task_size, host=args.host, port=args.port,
+    checkpoint = _checkpoint_from_args(args)
+
+    def announce(server) -> None:
+        print(f"# DataManager listening on {args.host}:{server.port} "
+              f"({args.photons:,} photons in {args.task_size:,}-photon tasks)")
+        print(f"# start workers with: tissue-mc client --port {server.port}")
+
+    request = RunRequest(
+        config=SimulationConfig(stack=_stack_for(args.model), source=PencilBeam()),
+        n_photons=args.photons,
+        seed=args.seed,
+        task_size=args.task_size,
+        mode="serve",
+        host=args.host,
+        port=args.port,
+        serve_timeout=args.timeout,
         heartbeat_timeout=args.heartbeat_timeout or None,
+        checkpoint=checkpoint,
+        resume=args.resume,
         task_deadline=args.task_deadline,
-        checkpoint=_checkpoint_from_args(args),
-    ).start()
-    print(f"# DataManager listening on {args.host}:{server.port} "
-          f"({args.photons:,} photons in {args.task_size:,}-photon tasks)")
-    print(f"# start workers with: tissue-mc client --port {server.port}")
-    report = server.wait(timeout=args.timeout)
+        metrics_path=args.metrics,
+        progress=args.progress,
+        on_server_start=announce,
+    )
+    report = run(request)
     print(f"# complete: {report.n_tasks} tasks in {report.wall_seconds:.1f}s, "
           f"{report.retries} retries, "
           f"{report.speculative_duplicates} speculative duplicates")
-    from .io import format_table
-
     rows = [[k, v] for k, v in report.tally.summary().items()]
     print(format_table(["quantity", "value"], rows, float_format="{:.6g}"))
+    if report.metrics:
+        _print_metrics_block(report)
+    if args.metrics:
+        print(f"# telemetry events written to {args.metrics}")
     return 0
 
 

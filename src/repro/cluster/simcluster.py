@@ -144,6 +144,7 @@ def simulate_run(
     seed: int = 0,
     static_assignment: np.ndarray | None = None,
     trace: bool = False,
+    telemetry=None,
 ) -> SimReport:
     """Simulate one distributed Monte Carlo run and return its timings.
 
@@ -164,6 +165,11 @@ def simulate_run(
     trace:
         Record per-task ``(start, end, photons)`` intervals in each
         machine's stats (enables :func:`repro.cluster.trace.ascii_gantt`).
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry`; implies ``trace`` and
+        replays the simulated task intervals as span events stamped with
+        simulated time (:func:`repro.cluster.trace.emit_span_events`) —
+        the same schema a real run emits.
 
     Returns
     -------
@@ -171,6 +177,8 @@ def simulate_run(
     """
     if not machines:
         raise ValueError("need at least one machine")
+    if telemetry is not None:
+        trace = True  # span replay needs the intervals
     task_sizes = split_photons(n_photons, task_size)
     n_tasks = len(task_sizes)
     rng = np.random.default_rng(seed)
@@ -287,7 +295,7 @@ def simulate_run(
         raise RuntimeError(
             f"simulation invariant violated: merged {merged} of {n_tasks} tasks"
         )
-    return SimReport(
+    report = SimReport(
         makespan_seconds=makespan,
         n_tasks=n_tasks,
         n_photons=sum(task_sizes),
@@ -295,3 +303,8 @@ def simulate_run(
         master_busy_seconds=master_busy_total,
         per_machine=stats,
     )
+    if telemetry is not None:
+        from .trace import emit_span_events
+
+        emit_span_events(report, telemetry)
+    return report

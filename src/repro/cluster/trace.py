@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from .simcluster import SimReport
 
-__all__ = ["TaskInterval", "extract_intervals", "ascii_gantt"]
+__all__ = ["TaskInterval", "extract_intervals", "ascii_gantt", "emit_span_events"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,52 @@ def extract_intervals(report: SimReport) -> list[TaskInterval]:
         for start, end, photons in getattr(stats, "intervals", ()):  # type: ignore[attr-defined]
             intervals.append(TaskInterval(machine_id, start, end, photons))
     return sorted(intervals, key=lambda iv: (iv.machine_id, iv.start))
+
+
+def emit_span_events(report: SimReport, telemetry, *, name: str = "task.attempt") -> None:
+    """Replay a traced report's task intervals into a telemetry stream.
+
+    Simulated runs thereby emit the *same* span schema as real ones —
+    ``span_start``/``span_end`` pairs named ``task.attempt`` — just stamped
+    with simulated seconds (``t``) instead of wall clock and tagged
+    ``sim=True``.  One consumer can therefore chart a DES what-if next to a
+    real run.  Counters and histograms (machine photons, task durations,
+    ``run.photons_per_s``) are filled from the same intervals.
+    """
+    intervals = extract_intervals(report)
+    telemetry.emit(
+        "run_start", t=0.0, sim=True,
+        n_tasks=report.n_tasks, n_photons=report.n_photons,
+        machines=report.n_machines,
+    )
+    timeline: list[tuple[float, int, dict]] = []
+    for interval in intervals:
+        span_id = telemetry.new_span_id()
+        fields = {
+            "name": name,
+            "span_id": span_id,
+            "machine": interval.machine_id,
+            "photons": interval.photons,
+            "sim": True,
+        }
+        timeline.append((interval.start, 0, {"event": "span_start", **fields}))
+        timeline.append((
+            interval.end, 1,
+            {"event": "span_end", "duration_s": interval.duration, **fields},
+        ))
+        telemetry.registry.counter(
+            "machine.photons", machine=str(interval.machine_id)
+        ).add(interval.photons)
+        telemetry.observe("task.seconds", interval.duration)
+    timeline.sort(key=lambda item: (item[0], item[1]))
+    for t, _, record in timeline:
+        kind = record.pop("event")
+        telemetry.emit(kind, t=t, **record)
+    telemetry.gauge("run.photons_per_s", report.photons_per_second)
+    telemetry.emit(
+        "run_end", t=report.makespan_seconds, sim=True,
+        n_tasks=report.n_tasks, wall_seconds=report.makespan_seconds,
+    )
 
 
 def ascii_gantt(

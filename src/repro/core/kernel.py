@@ -88,17 +88,32 @@ class _PathBuffer:
 
 
 def run_batch_scalar(
-    config: SimulationConfig, n_photons: int, rng: np.random.Generator
+    config: SimulationConfig,
+    n_photons: int,
+    rng: np.random.Generator,
+    *,
+    telemetry=None,
 ) -> Tally:
-    """Trace ``n_photons`` photons one at a time and return the tally."""
+    """Trace ``n_photons`` photons one at a time and return the tally.
+
+    ``telemetry`` (optional :class:`~repro.observe.Telemetry`) traces the
+    batch as one ``kernel.batch`` span; photons accumulate on the
+    ``kernel.photons`` counter.  The per-photon loop is never instrumented.
+    """
     if n_photons < 0:
         raise ValueError(f"n_photons must be >= 0, got {n_photons}")
     tally = Tally(n_layers=len(config.stack), records=config.records)
     if n_photons == 0:
         return tally
     positions, directions = config.source.sample(n_photons, rng)
-    for i in range(n_photons):
-        trace_photon(config, tally, rng, positions[i], directions[i])
+    if telemetry is None:
+        for i in range(n_photons):
+            trace_photon(config, tally, rng, positions[i], directions[i])
+    else:
+        with telemetry.span("kernel.batch", kernel="scalar", photons=n_photons):
+            for i in range(n_photons):
+                trace_photon(config, tally, rng, positions[i], directions[i])
+        telemetry.count("kernel.photons", n_photons, kernel="scalar")
     return tally
 
 

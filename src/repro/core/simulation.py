@@ -11,6 +11,8 @@ same ``(config, n_photons, seed, task_size)`` produce *identical* results.
 
 from __future__ import annotations
 
+import inspect
+from functools import lru_cache
 from typing import Callable, Literal
 
 import numpy as np
@@ -31,19 +33,46 @@ _KERNELS: dict[str, Callable[[SimulationConfig, int, np.random.Generator], Tally
 }
 
 
+@lru_cache(maxsize=None)
+def _accepts_telemetry(fn: Callable) -> bool:
+    """Whether a registered kernel declares a ``telemetry`` keyword.
+
+    Kernels are an open registry (e.g. :mod:`repro.voxel` registers
+    ``"voxel"``), so telemetry is forwarded only to kernels that opt in —
+    an external kernel without the parameter keeps working untraced.
+    """
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins/callables without signatures
+        return False
+    return "telemetry" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
 def run_photons(
     config: SimulationConfig,
     n_photons: int,
     rng: np.random.Generator,
     kernel: KernelName = "vector",
+    *,
+    telemetry=None,
 ) -> Tally:
-    """Trace ``n_photons`` with the named kernel (the worker-side entry point)."""
+    """Trace ``n_photons`` with the named kernel (the worker-side entry point).
+
+    ``telemetry`` (optional :class:`~repro.observe.Telemetry`) is handed to
+    the kernel, which traces batch timings; ``None`` disables telemetry at
+    zero cost.  Kernels that do not declare the parameter simply run
+    untraced.
+    """
     try:
         fn = _KERNELS[kernel]
     except KeyError:
         raise ValueError(
             f"unknown kernel {kernel!r}; choose from {sorted(_KERNELS)}"
         ) from None
+    if telemetry is not None and _accepts_telemetry(fn):
+        return fn(config, n_photons, rng, telemetry=telemetry)
     return fn(config, n_photons, rng)
 
 
@@ -89,6 +118,7 @@ class Simulation:
         *,
         kernel: KernelName = "vector",
         task_size: int | None = None,
+        telemetry=None,
     ) -> Tally:
         """Run the experiment and return the merged tally.
 
@@ -105,13 +135,30 @@ class Simulation:
             Photons per task.  ``None`` runs everything as one task.
             Choosing the same ``task_size`` as a distributed run makes the
             results bit-identical to it.
+        telemetry:
+            Optional :class:`~repro.observe.Telemetry`; traces per-task
+            spans, kernel batch timings and progress.  ``None`` (default)
+            disables telemetry at zero cost.
         """
         if task_size is None:
             task_size = max(n_photons, 1)
-        tallies = [
-            run_photons(self.config, count, task_rng(seed, i), kernel)
-            for i, count in enumerate(split_photons(n_photons, task_size))
-        ]
+        counts = split_photons(n_photons, task_size)
+        tallies = []
+        for i, count in enumerate(counts):
+            if telemetry is None:
+                tallies.append(run_photons(self.config, count, task_rng(seed, i), kernel))
+            else:
+                with telemetry.span("task", task=i, photons=count):
+                    tallies.append(
+                        run_photons(
+                            self.config, count, task_rng(seed, i), kernel,
+                            telemetry=telemetry,
+                        )
+                    )
+                telemetry.progress_update(i + 1, len(counts))
         if not tallies:
             return Tally(n_layers=len(self.config.stack), records=self.config.records)
-        return Tally.merge_all(tallies)
+        if telemetry is None:
+            return Tally.merge_all(tallies)
+        with telemetry.span("merge", tasks=len(tallies)):
+            return Tally.merge_all(tallies)

@@ -159,6 +159,7 @@ def run_batch_vectorized(
     rng: np.random.Generator,
     *,
     sub_batch: int = DEFAULT_SUB_BATCH,
+    telemetry=None,
 ) -> Tally:
     """Trace ``n_photons`` photons with the vectorised kernel.
 
@@ -173,6 +174,12 @@ def run_batch_vectorized(
         generator state (and hence of the task's stream).
     sub_batch:
         Photons per structure-of-arrays batch.
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry`; when given, each
+        sub-batch is traced as a ``kernel.batch`` span and photons
+        accumulate on the ``kernel.photons`` counter.  ``None`` (default)
+        adds a single identity check to the whole call — telemetry never
+        enters the per-iteration loop.
     """
     if n_photons < 0:
         raise ValueError(f"n_photons must be >= 0, got {n_photons}")
@@ -182,7 +189,12 @@ def run_batch_vectorized(
     done = 0
     while done < n_photons:
         n = min(sub_batch, n_photons - done)
-        _run_sub_batch(config, tally, n, rng)
+        if telemetry is None:
+            _run_sub_batch(config, tally, n, rng)
+        else:
+            with telemetry.span("kernel.batch", kernel="vector", photons=n):
+                _run_sub_batch(config, tally, n, rng)
+            telemetry.count("kernel.photons", n, kernel="vector")
         done += n
     return tally
 

@@ -1,6 +1,13 @@
 """Master-worker distributed platform (the paper's DataManager/Algorithm)."""
 
-from .backends import Backend, MultiprocessingBackend, SerialBackend, ThreadBackend
+from .backends import (
+    BACKEND_NAMES,
+    Backend,
+    MultiprocessingBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .campaign import Campaign, Experiment
 from .checkpoint import CheckpointError, CheckpointManager, run_key
 from .datamanager import DataManager, RunReport, TaskFailedError
@@ -24,6 +31,7 @@ from .protocol import (
 from .worker import execute_task, worker_identity
 
 __all__ = [
+    "BACKEND_NAMES",
     "Backend",
     "Campaign",
     "CheckpointError",
@@ -46,6 +54,7 @@ __all__ = [
     "WorkerStats",
     "decode",
     "encode",
+    "make_backend",
     "recv_message",
     "run_key",
     "run_network_client",

@@ -24,11 +24,22 @@ import abc
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable
 
-__all__ = ["Backend", "SerialBackend", "ThreadBackend", "MultiprocessingBackend"]
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "MultiprocessingBackend",
+    "BACKEND_NAMES",
+    "make_backend",
+]
 
 
 class Backend(abc.ABC):
     """Minimal executor interface used by the DataManager."""
+
+    #: Whether submitted callables run in this process (and can therefore
+    #: share in-process objects like a live Telemetry handle).
+    in_process: bool = True
 
     @property
     @abc.abstractmethod
@@ -94,6 +105,8 @@ class ThreadBackend(Backend):
 class MultiprocessingBackend(Backend):
     """Process-pool backend (true parallelism across cores)."""
 
+    in_process = False
+
     def __init__(self, n_workers: int) -> None:
         if n_workers <= 0:
             raise ValueError(f"n_workers must be > 0, got {n_workers}")
@@ -109,3 +122,46 @@ class MultiprocessingBackend(Backend):
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
+
+
+#: Canonical backend names accepted by :func:`make_backend` (and the CLI's
+#: ``--backend`` flag).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+_ALIASES = {
+    "serial": "serial",
+    "sync": "serial",
+    "thread": "thread",
+    "threads": "thread",
+    "threading": "thread",
+    "process": "process",
+    "processes": "process",
+    "mp": "process",
+    "multiprocessing": "process",
+}
+
+
+def make_backend(name: str = "serial", n_workers: int = 1) -> Backend:
+    """Construct a backend by name — the one blessed construction path.
+
+    ``name`` is one of :data:`BACKEND_NAMES` (a few obvious aliases such as
+    ``"multiprocessing"`` are accepted); ``n_workers`` sizes the pool and is
+    ignored by the serial backend (which is always one worker).  Use as a
+    context manager so the pool is shut down::
+
+        with make_backend("process", 4) as backend:
+            report = manager.run(backend)
+    """
+    try:
+        canonical = _ALIASES[str(name).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+        ) from None
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be > 0, got {n_workers}")
+    if canonical == "serial":
+        return SerialBackend()
+    if canonical == "thread":
+        return ThreadBackend(n_workers)
+    return MultiprocessingBackend(n_workers)

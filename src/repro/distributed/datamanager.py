@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import logging
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Callable
 
@@ -85,6 +86,10 @@ class RunReport:
         copies are discarded at merge time).
     worker_health:
         Per-worker failure/latency/blacklist stats, keyed by worker id.
+    metrics:
+        Final metrics block (the :meth:`repro.observe.Telemetry.snapshot`
+        of the run's registry) when the run was telemetered; ``None``
+        otherwise.
     """
 
     tally: Tally
@@ -93,6 +98,7 @@ class RunReport:
     retries: int = 0
     speculative_duplicates: int = 0
     worker_health: dict[str, WorkerStats] = field(default_factory=dict)
+    metrics: dict | None = None
 
     @property
     def n_tasks(self) -> int:
@@ -187,6 +193,15 @@ class DataManager:
         directory path for one.  Completed task results are persisted as
         they arrive and reloaded on the next :meth:`run` with the same
         run key, making a killed run resumable bit-identically.
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry`.  When given, the run
+        emits dispatch/merge spans and scheduling counters
+        (``tasks.dispatched`` / ``tasks.retried`` / ``tasks.speculative``),
+        observes per-task latency histograms and per-worker throughput,
+        drives the progress reporter, and attaches the final metrics
+        snapshot to :attr:`RunReport.metrics`.  The caller owns the
+        telemetry lifecycle (call :meth:`repro.observe.Telemetry.finish`
+        when the last run on it is over).
     """
 
     config: SimulationConfig
@@ -203,6 +218,7 @@ class DataManager:
     retry_backoff_cap: float = 30.0
     blacklist_after: int | None = 3
     checkpoint: CheckpointManager | str | Path | None = None
+    telemetry: object | None = None
     _retries: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -268,6 +284,7 @@ class DataManager:
     def run(self, backend: Backend) -> RunReport:
         """Execute the experiment on ``backend`` and merge the results."""
         start = time.perf_counter()
+        tel = self.telemetry
         tasks = self.tasks()
         self._retries = 0
         health = WorkerHealth(blacklist_after=self.blacklist_after)
@@ -288,9 +305,19 @@ class DataManager:
                 task_results=[],
                 wall_seconds=time.perf_counter() - start,
                 worker_health=health.snapshot(),
+                metrics=tel.snapshot() if tel is not None else None,
             )
 
         n_tasks = len(tasks)
+        if tel is not None:
+            tel.emit(
+                "run_start",
+                n_tasks=n_tasks,
+                n_photons=self.n_photons,
+                restored=len(restored),
+                workers=backend.max_workers,
+                kernel=self.kernel,
+            )
         by_index = {t.task_index: t for t in tasks}
         results = {i: r for i, r in restored.items() if i in by_index}
         # (not_before, task, attempt): retries carry a backoff release time.
@@ -304,12 +331,35 @@ class DataManager:
         spec_count: dict[int, int] = {}
         speculative = 0
 
+        attempt_spans: dict[Future, tuple[int, float]] = {}
+        # Kernel batch spans can only be shared by in-process workers; the
+        # stock runner grows a telemetry kwarg, custom runners are left alone.
+        runner_kwargs = {}
+        if (
+            tel is not None
+            and getattr(backend, "in_process", False)
+            and self.task_runner is execute_task
+        ):
+            runner_kwargs = {"telemetry": tel}
+
         def dispatch(task: TaskSpec, attempt: int) -> None:
             now = time.perf_counter()
-            fut = backend.submit(self.task_runner, self.config, task, attempt=attempt)
+            if tel is not None:
+                handle = tel.span_begin(
+                    "task.attempt", task=task.task_index, attempt=attempt,
+                    photons=task.n_photons,
+                )
+            fut = backend.submit(
+                self.task_runner, self.config, task, attempt=attempt,
+                **runner_kwargs,
+            )
             in_flight[fut] = (task, attempt, now)
             inflight_count[task.task_index] = inflight_count.get(task.task_index, 0) + 1
             last_dispatch[task.task_index] = now
+            if tel is not None:
+                attempt_spans[fut] = handle
+                tel.count("tasks.dispatched")
+                tel.gauge("tasks.in_flight", len(in_flight))
 
         def fill() -> None:
             now = time.perf_counter()
@@ -359,9 +409,14 @@ class DataManager:
                 task, attempt, _started = in_flight.pop(fut)
                 idx = task.task_index
                 inflight_count[idx] -= 1
+                span = attempt_spans.pop(fut, None)
+                if tel is not None:
+                    tel.gauge("tasks.in_flight", len(in_flight))
                 if idx in results:
                     # Late outcome of a task already merged via speculation.
                     logger.info("discarding duplicate outcome of task %d", idx)
+                    if span is not None:
+                        tel.span_finish("task.attempt", span, outcome="duplicate")
                     continue
                 error = fut.exception()
                 result: TaskResult | None = None
@@ -381,7 +436,28 @@ class DataManager:
                         ckpt.record(result)
                     if self.progress is not None:
                         self.progress(len(results), n_tasks)
+                    if tel is not None:
+                        tel.span_finish(
+                            "task.attempt", span,
+                            outcome="merged", worker=result.worker_id,
+                        )
+                        tel.count("tasks.completed")
+                        tel.count("photons.traced", result.tally.n_launched)
+                        tel.count(
+                            "worker.photons", result.tally.n_launched,
+                            worker=result.worker_id,
+                        )
+                        tel.count("worker.tasks", 1, worker=result.worker_id)
+                        tel.observe("task.seconds", result.elapsed_seconds)
+                        elapsed = time.perf_counter() - start
+                        done_photons = tel.registry.counter("photons.traced").value
+                        tel.progress_update(
+                            len(results), n_tasks,
+                            photons_per_s=done_photons / elapsed if elapsed else 0.0,
+                        )
                     continue
+                if tel is not None and span is not None:
+                    tel.span_finish("task.attempt", span, outcome="failed")
                 failures[idx] = failures.get(idx, 0) + 1
                 if failures[idx] > self.max_retries:
                     if inflight_count.get(idx, 0) > 0:
@@ -392,6 +468,8 @@ class DataManager:
                         ckpt.flush()
                     raise TaskFailedError(task, failures[idx], error)
                 self._retries += 1
+                if tel is not None:
+                    tel.count("tasks.retried")
                 delay = self._backoff(failures[idx])
                 logger.info(
                     "task %d failed (%r); retrying in %.2fs (attempt %d)",
@@ -410,6 +488,8 @@ class DataManager:
                         continue
                     spec_count[idx] = spec_count.get(idx, 0) + 1
                     speculative += 1
+                    if tel is not None:
+                        tel.count("tasks.speculative")
                     attempt_no = failures.get(idx, 0) + spec_count[idx] + 1
                     logger.info(
                         "task %d exceeded the %.2fs deadline; "
@@ -426,14 +506,64 @@ class DataManager:
             fut.cancel()
 
         ordered = [results[i] for i in range(n_tasks)]
-        tally = Tally.merge_all([r.tally for r in ordered])
+        if tel is None:
+            tally = Tally.merge_all([r.tally for r in ordered])
+        else:
+            merge_start = time.perf_counter()
+            with tel.span("merge", tasks=n_tasks):
+                tally = Tally.merge_all([r.tally for r in ordered])
+            tel.observe("merge.seconds", time.perf_counter() - merge_start)
         if ckpt is not None:
             ckpt.flush()
+        wall = time.perf_counter() - start
+        metrics = None
+        if tel is not None:
+            tel.gauge("run.photons_per_s", tally.n_launched / wall if wall else 0.0)
+            tel.emit("run_end", n_tasks=n_tasks, wall_seconds=wall,
+                     retries=self._retries, speculative=speculative)
+            metrics = tel.snapshot()
         return RunReport(
             tally=tally,
             task_results=ordered,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=wall,
             retries=self._retries,
             speculative_duplicates=speculative,
             worker_health=health.snapshot(),
+            metrics=metrics,
         )
+
+
+# --------------------------------------------------------------------------
+# Positional construction beyond (config, n_photons) is deprecated: the
+# field list has grown PR over PR (deadlines, checkpoints, telemetry...) and
+# positional call sites silently re-bind when a field is inserted.  The shim
+# keeps old code running — it maps the extra positionals onto the field
+# order and warns — while `repro.api.run` / keyword construction is the
+# supported path.
+_POSITIONAL_TAIL = [f.name for f in fields(DataManager) if f.init][2:]
+_DATACLASS_INIT = DataManager.__init__
+
+
+def _deprecating_init(self, config, n_photons, *args, **kwargs):
+    if args:
+        warnings.warn(
+            "constructing DataManager with positional arguments beyond "
+            "(config, n_photons) is deprecated; pass the remaining "
+            "parameters as keywords (or use repro.api.run)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > len(_POSITIONAL_TAIL):
+            raise TypeError(
+                f"DataManager takes at most {2 + len(_POSITIONAL_TAIL)} "
+                f"positional arguments ({2 + len(args)} given)"
+            )
+        for name, value in zip(_POSITIONAL_TAIL, args):
+            if name in kwargs:
+                raise TypeError(f"DataManager got multiple values for {name!r}")
+            kwargs[name] = value
+    _DATACLASS_INIT(self, config, n_photons, **kwargs)
+
+
+_deprecating_init.__wrapped__ = _DATACLASS_INIT
+DataManager.__init__ = _deprecating_init

@@ -82,10 +82,11 @@ class ProtocolError(ConnectionError):
     """
 
 
-def send_message(sock: socket.socket, obj) -> None:
-    """Send one length-prefixed pickled message."""
+def send_message(sock: socket.socket, obj) -> int:
+    """Send one length-prefixed pickled message; returns bytes put on the wire."""
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    return _LENGTH.size + len(payload)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -100,8 +101,12 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE):
+def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE, size_cb=None):
     """Receive one length-prefixed pickled message.
+
+    ``size_cb``, when given, is called with the total bytes read off the
+    wire for this message (prefix included) — the hook the telemetered
+    server uses to count traffic without a second protocol layer.
 
     Raises :class:`ConnectionError` on a truncated stream and
     :class:`ProtocolError` (a ``ConnectionError`` subclass) on a length
@@ -115,6 +120,8 @@ def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE):
             "(corrupt length prefix?)"
         )
     payload = _recv_exact(sock, length)
+    if size_cb is not None:
+        size_cb(_LENGTH.size + length)
     try:
         return pickle.loads(payload)
     except Exception as exc:  # noqa: BLE001 - any unpickling failure is fatal
@@ -151,6 +158,13 @@ class NetworkServer:
         A :class:`~repro.distributed.checkpoint.CheckpointManager` or
         directory path; completed tasks are persisted as they merge and
         reloaded by a future server with the same run key.
+    ``telemetry``
+        Optional :class:`~repro.observe.Telemetry`.  The server then emits
+        per-task wire round-trip spans (``net.task``) and counts traffic
+        (``net.bytes_sent`` / ``net.bytes_recv``), round-trips, heartbeats
+        (with a ``net.heartbeat_gap_s`` histogram of inter-message gaps
+        while a client computes) and connected clients, and attaches the
+        final metrics snapshot to the :class:`RunReport`.
 
     Usage::
 
@@ -173,6 +187,7 @@ class NetworkServer:
     max_speculative: int = 1
     blacklist_after: int | None = 3
     checkpoint: CheckpointManager | str | Path | None = None
+    telemetry: object | None = None
 
     _listener: socket.socket | None = field(init=False, default=None)
     _threads: list[threading.Thread] = field(init=False, default_factory=list)
@@ -254,6 +269,15 @@ class NetworkServer:
         self._listener = socket.create_server((self.host, self.port))
         self.port = self._listener.getsockname()[1]
         self._started_at = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "run_start",
+                n_tasks=self._n_tasks,
+                n_photons=self.n_photons,
+                restored=len(self._results),
+                kernel=self.kernel,
+                port=self.port,
+            )
         acceptor = threading.Thread(target=self._accept_loop, daemon=True)
         acceptor.start()
         self._threads.append(acceptor)
@@ -366,24 +390,47 @@ class NetworkServer:
                 self._complete.set()
         self._health.record_success(worker, result.elapsed_seconds)
 
+    def _send(self, conn: socket.socket, obj) -> None:
+        n = send_message(conn, obj)
+        tel = self.telemetry
+        if tel is not None:
+            tel.registry.counter("net.bytes_sent").add(n)
+
+    def _recv(self, conn: socket.socket):
+        tel = self.telemetry
+        if tel is None:
+            return recv_message(conn)
+        return recv_message(
+            conn, size_cb=tel.registry.counter("net.bytes_recv").add
+        )
+
+    def _client_gauge(self, delta: int) -> None:
+        tel = self.telemetry
+        if tel is not None:
+            with self._lock:
+                tel.gauge("net.clients", len(self._conns))
+
     def _serve_client(self, conn: socket.socket) -> None:
         in_flight: tuple[TaskSpec, int] | None = None
+        task_span = None
         worker = "?"
+        tel = self.telemetry
         with self._lock:
             self._conns.add(conn)
+        self._client_gauge(+1)
         try:
             with conn:
-                hello = recv_message(conn)
+                hello = self._recv(conn)
                 if hello.get("type") != "hello":
                     raise ProtocolError(f"expected hello, got {hello!r}")
                 worker = str(hello.get("worker", "?"))
-                send_message(
+                self._send(
                     conn,
                     {"type": "session", "config": self.config, "kernel": self.kernel},
                 )
 
                 while True:
-                    pull = recv_message(conn)
+                    pull = self._recv(conn)
                     if pull.get("type") == "heartbeat":
                         continue  # idle heartbeats are harmless noise
                     if pull.get("type") != "next":
@@ -392,16 +439,21 @@ class NetworkServer:
                         logger.warning(
                             "worker %s is blacklisted; refusing work", worker
                         )
-                        send_message(conn, {"type": "done"})
+                        self._send(conn, {"type": "done"})
                         return
                     handout = self._next_task()
                     if handout is None:
-                        send_message(conn, {"type": "done"})
+                        self._send(conn, {"type": "done"})
                         return
                     task, attempt = handout
                     self._record_dispatch(task, attempt)
                     in_flight = (task, attempt)
-                    send_message(
+                    if tel is not None:
+                        task_span = tel.span_begin(
+                            "net.task", task=task.task_index, attempt=attempt,
+                            worker=worker, photons=task.n_photons,
+                        )
+                    self._send(
                         conn, {"type": "task", "task": task, "attempt": attempt}
                     )
 
@@ -409,16 +461,25 @@ class NetworkServer:
                     # a silent-but-connected client trips the timeout.
                     if self.heartbeat_timeout is not None:
                         conn.settimeout(self.heartbeat_timeout)
+                    last_message = time.perf_counter()
                     try:
                         while True:
                             try:
-                                reply = recv_message(conn)
+                                reply = self._recv(conn)
                             except (socket.timeout, TimeoutError):
                                 raise _WorkerHung(
                                     f"no heartbeat from {worker} within "
                                     f"{self.heartbeat_timeout}s"
                                 ) from None
+                            if tel is not None:
+                                now = time.perf_counter()
+                                tel.observe(
+                                    "net.heartbeat_gap_s", now - last_message
+                                )
+                                last_message = now
                             if reply.get("type") == "heartbeat":
+                                if tel is not None:
+                                    tel.registry.counter("net.heartbeats").inc()
                                 continue
                             if reply.get("type") != "result":
                                 raise ProtocolError(f"expected result, got {reply!r}")
@@ -428,6 +489,8 @@ class NetworkServer:
                     result: TaskResult = reply["result"]
                     self._record_settled(task)
                     in_flight = None
+                    if tel is not None:
+                        tel.count("net.round_trips", worker=worker)
                     try:
                         validate_result(result, task)
                     except ResultValidationError as error:
@@ -435,20 +498,38 @@ class NetworkServer:
                             "rejecting result of task %d from %s: %s",
                             task.task_index, worker, error,
                         )
+                        if tel is not None and task_span is not None:
+                            tel.span_finish(
+                                "net.task", task_span, outcome="rejected"
+                            )
+                            task_span = None
                         self._health.record_failure(worker)
                         self._handle_failure(task, attempt, error)
                         continue
                     self._merge_result(worker, task, result)
+                    if tel is not None:
+                        if task_span is not None:
+                            tel.span_finish("net.task", task_span, outcome="merged")
+                            task_span = None
+                        tel.count("worker.photons", result.tally.n_launched,
+                                  worker=worker)
+                        tel.observe("task.seconds", result.elapsed_seconds)
+                        with self._lock:
+                            done, total = len(self._results), self._n_tasks
+                        tel.progress_update(done, total)
         except BaseException as error:  # noqa: BLE001 - client vanished/hung
             logger.warning("client connection ended: %r", error)
             if in_flight is not None:
                 task, attempt = in_flight
                 self._record_settled(task)
+                if tel is not None and task_span is not None:
+                    tel.span_finish("net.task", task_span, outcome="lost")
                 self._health.record_failure(worker)
                 self._handle_failure(task, attempt, error)
         finally:
             with self._lock:
                 self._conns.discard(conn)
+            self._client_gauge(-1)
 
     def wait(self, timeout: float | None = None) -> RunReport:
         """Block until every task is merged; return the report."""
@@ -460,18 +541,33 @@ class NetworkServer:
                 "a task exhausted its retry budget"
             ) from self._failure
         ordered = [self._results[i] for i in range(self._n_tasks)]
+        tel = self.telemetry
         if ordered:
-            tally = Tally.merge_all([r.tally for r in ordered])
+            if tel is None:
+                tally = Tally.merge_all([r.tally for r in ordered])
+            else:
+                merge_start = time.perf_counter()
+                with tel.span("merge", tasks=len(ordered)):
+                    tally = Tally.merge_all([r.tally for r in ordered])
+                tel.observe("merge.seconds", time.perf_counter() - merge_start)
         else:
             tally = Tally(n_layers=len(self.config.stack), records=self.config.records)
         health = self._health.snapshot() if self._health is not None else {}
+        wall = time.perf_counter() - self._started_at
+        metrics = None
+        if tel is not None:
+            tel.gauge("run.photons_per_s", tally.n_launched / wall if wall else 0.0)
+            tel.emit("run_end", n_tasks=self._n_tasks, wall_seconds=wall,
+                     retries=self._retries, speculative=self._speculative)
+            metrics = tel.snapshot()
         return RunReport(
             tally=tally,
             task_results=ordered,
-            wall_seconds=time.perf_counter() - self._started_at,
+            wall_seconds=wall,
             retries=self._retries,
             speculative_duplicates=self._speculative,
             worker_health=health,
+            metrics=metrics,
         )
 
     def close(self) -> None:

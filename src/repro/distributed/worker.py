@@ -26,16 +26,19 @@ def worker_identity() -> str:
 
 
 def execute_task(
-    config: SimulationConfig, task: TaskSpec, *, attempt: int = 1
+    config: SimulationConfig, task: TaskSpec, *, attempt: int = 1, telemetry=None
 ) -> TaskResult:
     """Run one task and return its result.
 
     This is the function every backend ultimately calls — in-process for
     the serial/thread backends, in a child process for multiprocessing.
+    ``telemetry`` (an optional :class:`~repro.observe.Telemetry`) reaches
+    the kernel for batch timing spans; it is only ever passed by in-process
+    backends — a child process cannot share the server's sink.
     """
     rng = task_rng(task.seed, task.task_index)
     start = time.perf_counter()
-    tally = run_photons(config, task.n_photons, rng, task.kernel)
+    tally = run_photons(config, task.n_photons, rng, task.kernel, telemetry=telemetry)
     elapsed = time.perf_counter() - start
     return TaskResult(
         task_index=task.task_index,

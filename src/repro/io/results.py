@@ -44,8 +44,14 @@ def _stat_from_list(v: list[float]) -> RunningStat:
     return RunningStat(*v)
 
 
-def save_tally(path: str | Path, tally: Tally) -> Path:
+def save_tally(path: str | Path, tally: Tally, provenance: dict | None = None) -> Path:
     """Serialise a tally to ``path`` (``.npz``); returns the path written.
+
+    ``provenance`` is an optional JSON-serialisable dict describing how the
+    tally was produced (model name, seed, photon budget, package version,
+    boundary mode, …); it is embedded in the archive header and restored by
+    :func:`load_tally` as the ``provenance`` attribute, so an archive found
+    months later still says what run created it.
 
     The write is atomic (temp file + ``os.replace``): readers — including a
     resuming :class:`~repro.distributed.checkpoint.CheckpointManager` —
@@ -56,6 +62,7 @@ def save_tally(path: str | Path, tally: Tally) -> Path:
     r = tally.records
     header = {
         "format_version": _FORMAT_VERSION,
+        "provenance": provenance,
         "n_layers": tally.n_layers,
         "n_launched": tally.n_launched,
         "specular_weight": tally.specular_weight,
@@ -104,7 +111,11 @@ def save_tally(path: str | Path, tally: Tally) -> Path:
 
 
 def load_tally(path: str | Path) -> Tally:
-    """Load a tally written by :func:`save_tally`."""
+    """Load a tally written by :func:`save_tally`.
+
+    If the archive carries run provenance it is attached to the returned
+    tally as a ``provenance`` dict attribute (``None`` otherwise).
+    """
     path = Path(path)
     with np.load(path) as data:
         header = json.loads(bytes(data["header"]).decode("utf-8"))
@@ -150,4 +161,5 @@ def load_tally(path: str | Path) -> Tally:
                     name,
                     Histogram(edges=data[f"{name}_edges"], counts=data[f"{name}_counts"]),
                 )
+        tally.provenance = header.get("provenance")
     return tally

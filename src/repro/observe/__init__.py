@@ -1,0 +1,46 @@
+"""repro.observe — lightweight, dependency-free telemetry.
+
+One :class:`Telemetry` handle bundles the three observability primitives —
+a :class:`MetricsRegistry` (counters/gauges/histograms), an event sink
+(JSONL spans, the ``--metrics FILE.jsonl`` stream) and a
+:class:`ProgressReporter` (TTY bar or machine-readable stream) — and is
+threaded through every layer of the platform: the Monte Carlo kernels
+(batch timings), the :class:`~repro.distributed.datamanager.DataManager`
+(dispatch/retry/merge spans), the TCP server (bytes, round-trips,
+heartbeat latency) and the discrete-event cluster simulator (the same
+span schema stamped with simulated time).
+
+Passing ``telemetry=None`` (the default everywhere) disables the whole
+subsystem at the cost of one identity check per call site.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    validate_event,
+)
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .progress import NullProgress, ProgressReporter, StreamProgress, TTYProgress
+from .telemetry import Telemetry
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_KINDS",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullProgress",
+    "NullSink",
+    "ProgressReporter",
+    "StreamProgress",
+    "TTYProgress",
+    "Telemetry",
+    "validate_event",
+]

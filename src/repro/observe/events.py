@@ -1,0 +1,157 @@
+"""Event sinks: where telemetry events go.
+
+An *event* is one flat JSON-serialisable dict.  Every event carries three
+reserved keys —
+
+``event``
+    The kind: ``"span_start"``, ``"span_end"``, ``"counter"``, ``"gauge"``,
+    ``"progress"``, ``"metrics"``, ``"run_start"``, ``"run_end"``, ...
+``t``
+    Seconds on the run's monotonic clock (simulated seconds for
+    discrete-event runs); non-decreasing within one sink.
+``ts``
+    Wall-clock Unix timestamp (absent for simulated events).
+
+— plus event-specific fields at the top level (``name``, ``task``,
+``worker``, ``duration_s``...).  :func:`validate_event` is the schema the
+tests (and any downstream consumer) can hold a stream to.
+
+Sinks are deliberately tiny: :class:`NullSink` is the disabled fast path
+(one attribute check and no allocation at call sites that gate on
+``telemetry``), :class:`JsonlSink` appends one JSON object per line to a
+file (the ``--metrics FILE.jsonl`` stream), and :class:`MemorySink` buffers
+events for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "EventSink",
+    "NullSink",
+    "JsonlSink",
+    "MemorySink",
+    "validate_event",
+    "EVENT_KINDS",
+]
+
+#: Every event kind the instrumented layers emit.
+EVENT_KINDS = frozenset({
+    "run_start",
+    "run_end",
+    "span_start",
+    "span_end",
+    "counter",
+    "gauge",
+    "progress",
+    "metrics",
+})
+
+
+class EventSink:
+    """Interface: accepts events; must be safe to call from many threads."""
+
+    #: Fast-path flag — instrumented code may skip building events entirely
+    #: when the sink declares itself inert.
+    enabled: bool = True
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; further emits are undefined."""
+
+
+class NullSink(EventSink):
+    """Discard everything (the telemetry-disabled fast path)."""
+
+    enabled = False
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Buffer events in a list (for tests and in-process consumers)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Append one JSON object per line to ``path`` (or an open stream).
+
+    Writes are serialised by a lock so concurrent server handler threads
+    never interleave half-lines.  ``close()`` flushes; the file handle is
+    only closed if this sink opened it.
+    """
+
+    def __init__(self, path: str | Path | IO[str]) -> None:
+        self._lock = threading.Lock()
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+            self.path = getattr(path, "name", None)
+        else:
+            self.path = Path(path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, separators=(",", ":"), default=float)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._fh.flush()
+            except ValueError:  # already closed
+                return
+            if self._owns:
+                self._fh.close()
+
+
+def validate_event(event: dict) -> None:
+    """Raise ``ValueError`` if ``event`` violates the telemetry schema.
+
+    Checks the reserved keys and the per-kind required fields; extra
+    fields are always allowed (they are the payload).
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be a dict, got {type(event).__name__}")
+    kind = event.get("event")
+    if kind not in EVENT_KINDS:
+        raise ValueError(f"unknown event kind {kind!r}")
+    t = event.get("t")
+    if not isinstance(t, (int, float)):
+        raise ValueError(f"event {kind!r} missing numeric 't', got {t!r}")
+    if "ts" in event and not isinstance(event["ts"], (int, float)):
+        raise ValueError(f"'ts' must be numeric, got {event['ts']!r}")
+    if kind in ("span_start", "span_end", "counter", "gauge"):
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"event {kind!r} requires a string 'name'")
+    if kind in ("span_start", "span_end"):
+        if not isinstance(event.get("span_id"), int):
+            raise ValueError(f"event {kind!r} requires an integer 'span_id'")
+    if kind == "span_end" and not isinstance(event.get("duration_s"), (int, float)):
+        raise ValueError("span_end requires numeric 'duration_s'")
+    if kind in ("counter", "gauge") and not isinstance(
+        event.get("value"), (int, float)
+    ):
+        raise ValueError(f"event {kind!r} requires numeric 'value'")
+    if kind == "progress":
+        for key in ("done", "total"):
+            if not isinstance(event.get(key), (int, float)):
+                raise ValueError(f"progress event requires numeric {key!r}")
+    if kind == "metrics" and not isinstance(event.get("metrics"), dict):
+        raise ValueError("metrics event requires a 'metrics' dict")

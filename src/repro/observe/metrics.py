@@ -1,0 +1,198 @@
+"""In-process metrics: counters, gauges and histograms.
+
+The paper's operators needed to know "the condition of each client" on a
+150-machine non-dedicated cluster; this module is the numeric half of that
+answer.  A :class:`MetricsRegistry` is a named bag of
+
+* :class:`Counter` — monotone totals (photons traced, tasks dispatched,
+  bytes on the wire);
+* :class:`Gauge` — last-write-wins levels (tasks in flight, connected
+  clients);
+* :class:`Histogram` — streaming distributions (task latency, merge
+  latency, heartbeat gaps) with fixed bucket edges plus exact
+  count/sum/min/max, so percentl-ish questions can be answered without
+  storing samples.
+
+Everything is dependency-free and thread-safe (one registry lock; metric
+updates happen at task granularity, never per photon, so contention is
+negligible).  ``snapshot()`` renders the whole registry as plain dicts —
+the "final metrics block" of a
+:class:`~repro.distributed.datamanager.RunReport` and the payload of the
+JSONL ``metrics`` event.
+
+Metrics support labels (``registry.counter("worker.photons", worker="w1")``)
+so per-worker throughput lives next to the global totals under one name.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured exponential
+#: ladder; fine for latencies from sub-millisecond to minutes).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total (thread-safe)."""
+
+    value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        with self._lock:
+            self.value += amount
+
+    def inc(self) -> None:
+        self.add(1.0)
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins level (thread-safe)."""
+
+    value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A streaming distribution with fixed bucket edges.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; one extra
+    overflow bucket counts the rest (Prometheus-style cumulative-free
+    layout, kept simple).
+    """
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.buckets)) != tuple(self.buckets):
+            raise ValueError("histogram bucket edges must be sorted")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+            self.bucket_counts[bisect_right(self.buckets, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+
+def _key(name: str, labels: dict[str, str]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+@dataclass(frozen=True)
+class _Entry:
+    name: str
+    labels: dict
+    metric: object
+
+
+class MetricsRegistry:
+    """Create-or-get factory and snapshot container for named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, _Entry] = {}
+
+    def _get(self, kind, name: str, labels: dict[str, str], **kwargs):
+        key = _key(name, labels)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry(name=name, labels=dict(labels), metric=kind(**kwargs))
+                self._entries[key] = entry
+            elif not isinstance(entry.metric, kind):
+                raise TypeError(
+                    f"metric {name!r}{labels or ''} already registered as "
+                    f"{type(entry.metric).__name__}, not {kind.__name__}"
+                )
+            return entry.metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """Render every metric as plain JSON-serialisable dicts.
+
+        Layout: ``{"counters": [...], "gauges": [...], "histograms": [...]}``
+        where each row carries ``name``, ``labels`` and the metric's values.
+        """
+        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            m = entry.metric
+            if isinstance(m, Counter):
+                out["counters"].append(
+                    {"name": entry.name, "labels": entry.labels, "value": m.value}
+                )
+            elif isinstance(m, Gauge):
+                out["gauges"].append(
+                    {"name": entry.name, "labels": entry.labels, "value": m.value}
+                )
+            elif isinstance(m, Histogram):
+                out["histograms"].append({
+                    "name": entry.name,
+                    "labels": entry.labels,
+                    "count": m.count,
+                    "total": m.total,
+                    "mean": None if m.count == 0 else m.mean,
+                    "min": None if m.count == 0 else m.minimum,
+                    "max": None if m.count == 0 else m.maximum,
+                    "buckets": list(m.buckets),
+                    "bucket_counts": list(m.bucket_counts),
+                })
+        for rows in out.values():
+            rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return out

@@ -1,0 +1,92 @@
+"""Progress reporters: humans get a TTY bar, machines get JSON lines.
+
+A :class:`ProgressReporter` receives ``update(done, total, **stats)`` calls
+from the run (task granularity — the DataManager calls it once per merged
+task) and renders them however it likes.  Implementations:
+
+* :class:`NullProgress` — the disabled default;
+* :class:`TTYProgress` — an in-place carriage-return bar on a terminal
+  stream, throttled so a 10 000-task run does not spend its life redrawing;
+* :class:`StreamProgress` — one machine-readable JSON object per update,
+  for driving dashboards or supervising processes over a pipe.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO
+
+__all__ = ["ProgressReporter", "NullProgress", "TTYProgress", "StreamProgress"]
+
+
+class ProgressReporter:
+    """Interface for run progress consumers."""
+
+    def update(self, done: int, total: int, **stats) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Finish the display (newline, final flush...)."""
+
+
+class NullProgress(ProgressReporter):
+    """Ignore progress (the disabled default)."""
+
+    def update(self, done: int, total: int, **stats) -> None:
+        pass
+
+
+class TTYProgress(ProgressReporter):
+    """An in-place ``[#####.....] done/total`` bar.
+
+    Redraws at most every ``min_interval`` seconds (the final update always
+    draws), writes to ``stream`` (default stderr so piped stdout stays
+    machine-clean), and appends any ``photons_per_s`` stat it is given.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        *,
+        width: int = 30,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = width
+        self.min_interval = min_interval
+        self._last_draw = -float("inf")
+        self._drew = False
+
+    def update(self, done: int, total: int, **stats) -> None:
+        now = time.perf_counter()
+        if done < total and now - self._last_draw < self.min_interval:
+            return
+        self._last_draw = now
+        frac = done / total if total else 1.0
+        filled = int(round(frac * self.width))
+        bar = "#" * filled + "." * (self.width - filled)
+        extra = ""
+        if "photons_per_s" in stats:
+            extra = f" {stats['photons_per_s']:,.0f} photons/s"
+        self.stream.write(f"\r[{bar}] {done}/{total} tasks{extra}")
+        self.stream.flush()
+        self._drew = True
+
+    def close(self) -> None:
+        if self._drew:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+class StreamProgress(ProgressReporter):
+    """One JSON object per update on ``stream`` (machine-readable)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def update(self, done: int, total: int, **stats) -> None:
+        record = {"progress": {"done": done, "total": total, **stats}}
+        self.stream.write(json.dumps(record, default=float) + "\n")
+        self.stream.flush()

@@ -1,0 +1,214 @@
+"""The :class:`Telemetry` handle — one object threaded through every layer.
+
+Design
+------
+Instrumented code takes ``telemetry: Telemetry | None = None``.  ``None``
+means *disabled* and costs one identity check on the hot path — the
+vectorised kernel's throughput is unchanged (the ``< 5 %`` acceptance bound
+of ISSUE 2 is enforced by ``benchmarks/bench_ablation_kernel.py``).  A live
+``Telemetry`` bundles the three observability primitives:
+
+* an event **sink** (:mod:`repro.observe.events`) receiving the JSONL
+  stream of spans, counters and progress;
+* a **metrics registry** (:mod:`repro.observe.metrics`) accumulating the
+  final numeric block (photons/s, retries, bytes, latencies);
+* a **progress reporter** (:mod:`repro.observe.progress`) for humans
+  (TTY bar) or machines (JSON stream).
+
+Timestamps: ``t`` is seconds on this telemetry's monotonic clock (zero at
+construction), ``ts`` the Unix wall clock.  Discrete-event simulations emit
+with explicit simulated ``t`` (:meth:`Telemetry.emit` accepts ``t=``), so a
+simulated run and a real run produce streams of the same schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+from .events import EventSink, JsonlSink, MemorySink, NullSink
+from .metrics import MetricsRegistry
+from .progress import NullProgress, ProgressReporter
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """A sink + registry + progress reporter with one emit API.
+
+    Examples
+    --------
+    >>> from repro.observe import Telemetry, MemorySink
+    >>> t = Telemetry(sink=MemorySink())
+    >>> with t.span("merge", task=3):
+    ...     pass
+    >>> [e["event"] for e in t.sink.events]
+    ['span_start', 'span_end']
+    """
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        registry: MetricsRegistry | None = None,
+        progress: ProgressReporter | None = None,
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.progress = progress if progress is not None else NullProgress()
+        self._span_ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self._last_t = 0.0
+        self._emit_lock = threading.Lock()
+
+    # -------------------------------------------------------------- factories
+    @classmethod
+    def to_jsonl(
+        cls,
+        path: str | IO[str],
+        *,
+        progress: ProgressReporter | None = None,
+    ) -> "Telemetry":
+        """Telemetry writing its event stream to a JSONL file (``--metrics``)."""
+        return cls(sink=JsonlSink(path), progress=progress)
+
+    @classmethod
+    def in_memory(cls, progress: ProgressReporter | None = None) -> "Telemetry":
+        """Telemetry buffering events in a :class:`MemorySink` (tests)."""
+        return cls(sink=MemorySink(), progress=progress)
+
+    # ---------------------------------------------------------------- plumbing
+    @property
+    def enabled(self) -> bool:
+        """Whether events reach a real sink (metrics always accumulate)."""
+        return self.sink.enabled
+
+    def now(self) -> float:
+        """Seconds on this telemetry's monotonic clock."""
+        return time.perf_counter() - self._epoch
+
+    def new_span_id(self) -> int:
+        """Allocate a fresh span id (for callers emitting raw span events)."""
+        return next(self._span_ids)
+
+    def emit(self, event: str, *, t: float | None = None, **fields) -> None:
+        """Emit one event.
+
+        ``t`` overrides the monotonic timestamp (used by the discrete-event
+        simulator to stamp simulated seconds); when given, no wall-clock
+        ``ts`` is attached.  Events are clamped monotone non-decreasing in
+        ``t`` so the stream is always time-ordered.
+        """
+        if not self.sink.enabled:
+            return
+        with self._emit_lock:
+            if t is None:
+                t = self.now()
+                fields.setdefault("ts", time.time())
+            # Clamp monotone: concurrent emitters and retro-stamped spans
+            # never push the stream backwards in time.
+            t = max(t, self._last_t)
+            self._last_t = t
+            record = {"event": event, "t": t}
+            record.update(fields)
+            self.sink.emit(record)
+
+    # ------------------------------------------------------------------ spans
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[None]:
+        """Trace one timed section as a ``span_start``/``span_end`` pair."""
+        if not self.sink.enabled:
+            yield
+            return
+        span_id = next(self._span_ids)
+        start = self.now()
+        self.emit("span_start", name=name, span_id=span_id, **fields)
+        try:
+            yield
+        finally:
+            self.emit(
+                "span_end",
+                name=name,
+                span_id=span_id,
+                duration_s=self.now() - start,
+                **fields,
+            )
+
+    def span_begin(self, name: str, **fields) -> tuple[int, float]:
+        """Open a span whose end happens at a different call site.
+
+        Returns an opaque ``(span_id, start_t)`` handle for
+        :meth:`span_finish`.  Unlike :meth:`span`, the pair need not nest —
+        the DataManager opens one per dispatched task attempt and closes it
+        whenever that attempt settles.
+        """
+        span_id = next(self._span_ids)
+        start = self.now()
+        self.emit("span_start", name=name, span_id=span_id, **fields)
+        return span_id, start
+
+    def span_finish(self, name: str, handle: tuple[int, float], **fields) -> None:
+        """Close a span opened with :meth:`span_begin`."""
+        span_id, start = handle
+        self.emit(
+            "span_end",
+            name=name,
+            span_id=span_id,
+            duration_s=self.now() - start,
+            **fields,
+        )
+
+    def emit_span(
+        self, name: str, start: float, end: float, **fields
+    ) -> None:
+        """Emit a complete span with explicit (e.g. simulated) timestamps."""
+        span_id = next(self._span_ids)
+        self.emit("span_start", t=start, name=name, span_id=span_id, **fields)
+        self.emit(
+            "span_end", t=end, name=name, span_id=span_id,
+            duration_s=end - start, **fields,
+        )
+
+    # ---------------------------------------------------------------- metrics
+    def count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Increment a counter and mirror it into the event stream."""
+        counter = self.registry.counter(name, **labels)
+        counter.add(amount)
+        if self.sink.enabled:
+            self.emit("counter", name=name, value=counter.value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge and mirror it into the event stream."""
+        self.registry.gauge(name, **labels).set(value)
+        if self.sink.enabled:
+            self.emit("gauge", name=name, value=value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one histogram observation (not mirrored per event)."""
+        self.registry.histogram(name, **labels).observe(value)
+
+    # --------------------------------------------------------------- progress
+    def progress_update(self, done: int, total: int, **stats) -> None:
+        """Advance the progress reporter and emit a ``progress`` event."""
+        self.progress.update(done, total, **stats)
+        if self.sink.enabled:
+            self.emit("progress", done=done, total=total, **stats)
+
+    # ------------------------------------------------------------- lifecycle
+    def snapshot(self) -> dict:
+        """The current metrics block (plain dicts)."""
+        return self.registry.snapshot()
+
+    def finish(self) -> dict:
+        """Emit the final ``metrics`` event, close sink and progress.
+
+        Returns the final metrics snapshot so callers can attach it to a
+        :class:`~repro.distributed.datamanager.RunReport`.
+        """
+        metrics = self.snapshot()
+        self.emit("metrics", metrics=metrics)
+        self.progress.close()
+        self.sink.close()
+        return metrics

@@ -43,8 +43,13 @@ def run_voxel_batch(
     rng: np.random.Generator,
     *,
     sub_batch: int = DEFAULT_SUB_BATCH,
+    telemetry=None,
 ) -> Tally:
-    """Trace ``n_photons`` photons through a voxel medium."""
+    """Trace ``n_photons`` photons through a voxel medium.
+
+    ``telemetry`` (optional :class:`~repro.observe.Telemetry`) traces one
+    ``kernel.batch`` span per sub-batch; ``None`` costs one comparison.
+    """
     if n_photons < 0:
         raise ValueError(f"n_photons must be >= 0, got {n_photons}")
     if sub_batch <= 0:
@@ -53,7 +58,12 @@ def run_voxel_batch(
     done = 0
     while done < n_photons:
         n = min(sub_batch, n_photons - done)
-        _run_sub_batch(config, tally, n, rng)
+        if telemetry is None:
+            _run_sub_batch(config, tally, n, rng)
+        else:
+            with telemetry.span("kernel.batch", kernel="voxel", photons=n):
+                _run_sub_batch(config, tally, n, rng)
+            telemetry.count("kernel.photons", n, kernel="voxel")
         done += n
     return tally
 

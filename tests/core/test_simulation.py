@@ -79,3 +79,30 @@ class TestSimulationFacade:
     def test_scalar_kernel_selectable(self, fast_config):
         tally = Simulation(fast_config).run(50, seed=1, kernel="scalar")
         assert tally.n_launched == 50
+
+
+class TestKernelTelemetryForwarding:
+    """Telemetry reaches only kernels that declare the parameter."""
+
+    def test_declaring_kernel_is_traced(self, fast_config):
+        from repro.observe import Telemetry
+
+        tel = Telemetry.in_memory()
+        run_photons(fast_config, 50, task_rng(0, 0), "vector", telemetry=tel)
+        assert any(e["event"] == "span_start" for e in tel.sink.events)
+
+    def test_legacy_kernel_without_parameter_runs_untraced(self, fast_config):
+        from repro.observe import Telemetry
+
+        def legacy_kernel(config, n_photons, rng):
+            return run_photons(config, n_photons, rng, "vector")
+
+        _KERNELS["legacy-test"] = legacy_kernel
+        try:
+            tel = Telemetry.in_memory()
+            tally = run_photons(
+                fast_config, 50, task_rng(0, 0), "legacy-test", telemetry=tel
+            )
+            assert tally.n_launched == 50
+        finally:
+            del _KERNELS["legacy-test"]

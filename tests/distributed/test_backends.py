@@ -86,3 +86,42 @@ class TestMultiprocessingBackend:
     def test_validation(self):
         with pytest.raises(ValueError, match="n_workers"):
             MultiprocessingBackend(-1)
+
+
+class TestMakeBackend:
+    def test_canonical_names(self):
+        from repro.distributed import make_backend
+
+        assert isinstance(make_backend("serial"), SerialBackend)
+        with make_backend("thread", 2) as backend:
+            assert isinstance(backend, ThreadBackend)
+            assert backend.max_workers == 2
+        with make_backend("process", 2) as backend:
+            assert isinstance(backend, MultiprocessingBackend)
+
+    def test_aliases(self):
+        from repro.distributed import make_backend
+
+        assert isinstance(make_backend("multiprocessing", 1), MultiprocessingBackend)
+        assert isinstance(make_backend("threads", 1), ThreadBackend)
+
+    def test_unknown_name_rejected(self):
+        from repro.distributed import make_backend
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_bad_worker_count_rejected(self):
+        from repro.distributed import make_backend
+
+        with pytest.raises(ValueError, match="n_workers"):
+            make_backend("thread", 0)
+
+    def test_serial_ignores_worker_count(self):
+        from repro.distributed import make_backend
+
+        assert make_backend("serial", 8).max_workers == 1
+
+    def test_in_process_flags(self):
+        assert SerialBackend().in_process is True
+        assert MultiprocessingBackend.in_process is False

@@ -176,3 +176,24 @@ class TestExecuteTask:
         a = execute_task(fast_config, TaskSpec(1, 100, 3))
         b = execute_task(fast_config, TaskSpec(1, 100, 3))
         assert tallies_equal(a.tally, b.tally)
+
+
+class TestPositionalDeprecation:
+    """Direct positional construction beyond (config, n_photons) is deprecated."""
+
+    def test_keyword_construction_is_silent(self, fast_config, recwarn):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            DataManager(fast_config, 100, seed=1, task_size=50)
+
+    def test_positional_tail_warns_and_still_works(self, fast_config):
+        import warnings
+
+        with pytest.warns(DeprecationWarning, match="positional"):
+            manager = DataManager(fast_config, 100, 7, 50)
+        assert manager.seed == 7
+        assert manager.task_size == 50
+        report = manager.run(SerialBackend())
+        assert report.tally.n_launched == 100

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import (
     RecordConfig,
+    Simulation,
     SimulationConfig,
     Tally,
     run_batch_vectorized,
@@ -96,3 +97,23 @@ class TestRoundTrip:
         np.savez(path, **arrays)
         with pytest.raises(ValueError, match="format version"):
             load_tally(path)
+
+
+class TestProvenance:
+    def test_roundtrip(self, tmp_path, fast_config):
+        tally = Simulation(fast_config).run(200, seed=4)
+        prov = {
+            "model": "fast",
+            "seed": 4,
+            "n_photons": 200,
+            "version": "1.0.0",
+            "boundary_mode": "probabilistic",
+        }
+        path = save_tally(tmp_path / "t.npz", tally, provenance=prov)
+        loaded = load_tally(path)
+        assert loaded.provenance == prov
+
+    def test_absent_provenance_loads_as_none(self, tmp_path, fast_config):
+        tally = Simulation(fast_config).run(100, seed=0)
+        loaded = load_tally(save_tally(tmp_path / "t.npz", tally))
+        assert loaded.provenance is None

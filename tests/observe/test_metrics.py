@@ -1,0 +1,105 @@
+"""Tests of the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observe import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("tasks")
+        assert c.value == 0.0
+        c.add(3)
+        c.add(0.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("tasks").add(-1)
+
+    def test_create_or_get_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("tasks") is reg.counter("tasks")
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("photons", worker="a").add(10)
+        reg.counter("photons", worker="b").add(20)
+        assert reg.counter("photons", worker="a").value == 10
+        assert reg.counter("photons", worker="b").value == 20
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = MetricsRegistry().gauge("in_flight")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_observations_accumulate(self):
+        h = MetricsRegistry().histogram("latency")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(0.6)
+        assert h.mean == pytest.approx(0.2)
+        assert h.minimum == pytest.approx(0.1)
+        assert h.maximum == pytest.approx(0.3)
+
+    def test_bucket_counts_cumulative_style(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        # one per bucket plus the overflow bucket
+        assert sum(h.bucket_counts) == 3
+
+
+class TestRegistry:
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").add(1)
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert [r["name"] for r in snap["counters"]] == ["c"]
+        assert snap["counters"][0]["labels"] == {"k": "v"}
+        assert snap["gauges"][0]["value"] == 2
+        assert snap["histograms"][0]["count"] == 1
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        for name in ("b", "a", "c"):
+            reg.counter(name)
+        assert [r["name"] for r in reg.snapshot()["counters"]] == ["a", "b", "c"]
+
+    def test_thread_safe_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+
+        def work():
+            for _ in range(10_000):
+                c.add(1)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000

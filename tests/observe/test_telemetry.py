@@ -1,0 +1,156 @@
+"""Tests of the telemetry pipeline: sinks, events, spans, progress."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.observe import (
+    EVENT_KINDS,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    StreamProgress,
+    Telemetry,
+    TTYProgress,
+    validate_event,
+)
+
+
+class TestSinks:
+    def test_null_sink_disabled(self):
+        assert NullSink().enabled is False
+
+    def test_memory_sink_records(self):
+        sink = MemorySink()
+        sink.emit({"event": "counter", "t": 0.0, "name": "x", "value": 1.0})
+        assert len(sink.events) == 1
+
+    def test_jsonl_sink_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"event": "run_start", "t": 0.0})
+        sink.emit({"event": "run_end", "t": 1.0})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["run_start", "run_end"]
+
+
+class TestValidateEvent:
+    def test_all_emitted_kinds_are_known(self):
+        assert "span_start" in EVENT_KINDS
+        assert "metrics" in EVENT_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            validate_event({"event": "nope", "t": 0.0})
+
+    def test_missing_time_rejected(self):
+        with pytest.raises(ValueError):
+            validate_event({"event": "run_start"})
+
+    def test_span_end_needs_duration(self):
+        with pytest.raises(ValueError):
+            validate_event(
+                {"event": "span_end", "t": 1.0, "name": "task", "span_id": 1}
+            )
+
+
+class TestTelemetry:
+    def test_disabled_by_default(self):
+        tel = Telemetry()
+        assert tel.enabled is False
+        with tel.span("task"):
+            pass
+        tel.count("photons", 10)
+        assert len(tel.registry) > 0  # registry still counts
+
+    def test_span_emits_start_end_pair(self):
+        tel = Telemetry.in_memory()
+        with tel.span("task", task=3):
+            pass
+        events = tel.sink.events
+        assert [e["event"] for e in events] == ["span_start", "span_end"]
+        start, end = events
+        assert start["span_id"] == end["span_id"]
+        assert end["duration_s"] >= 0
+        assert start["task"] == 3
+
+    def test_events_schema_valid_and_monotone(self):
+        tel = Telemetry.in_memory()
+        with tel.span("a"):
+            tel.count("photons", 5)
+        tel.gauge("in_flight", 2)
+        tel.progress_update(1, 4)
+        snap = tel.finish()
+        events = tel.sink.events
+        for event in events:
+            validate_event(event)
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+        assert events[-1]["event"] == "metrics"
+        assert snap["counters"][0]["name"] == "photons"
+
+    def test_count_mirrors_cumulative_value(self):
+        tel = Telemetry.in_memory()
+        tel.count("photons", 5)
+        tel.count("photons", 7)
+        counter_events = [e for e in tel.sink.events if e["event"] == "counter"]
+        assert [e["value"] for e in counter_events] == [5, 12]
+
+    def test_span_handle_api_for_split_call_sites(self):
+        tel = Telemetry.in_memory()
+        handle = tel.span_begin("task", task=0)
+        tel.span_finish("task", handle, outcome="merged")
+        start, end = tel.sink.events
+        assert start["span_id"] == end["span_id"]
+        assert end["outcome"] == "merged"
+
+    def test_explicit_simulated_time(self):
+        tel = Telemetry.in_memory()
+        tel.emit("run_start", t=0.0, sim=True)
+        tel.emit("run_end", t=12.5, sim=True)
+        assert [e["t"] for e in tel.sink.events] == [0.0, 12.5]
+        assert "ts" not in tel.sink.events[0]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tel = Telemetry.to_jsonl(path)
+        with tel.span("task"):
+            pass
+        tel.finish()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        for event in events:
+            validate_event(event)
+        assert events[-1]["event"] == "metrics"
+
+
+class TestProgress:
+    def test_stream_progress_emits_json_lines(self):
+        stream = io.StringIO()
+        reporter = StreamProgress(stream)
+        reporter.update(1, 4, photons_per_s=100.0)
+        reporter.close()
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert payload["progress"]["done"] == 1
+        assert payload["progress"]["total"] == 4
+
+    def test_tty_progress_draws_bar(self):
+        stream = io.StringIO()
+        reporter = TTYProgress(stream=stream, min_interval=0.0)
+        reporter.update(2, 4)
+        reporter.update(4, 4)
+        reporter.close()
+        text = stream.getvalue()
+        assert "4/4" in text
+        assert text.endswith("\n")
+
+    def test_progress_update_routed_through_telemetry(self):
+        stream = io.StringIO()
+        tel = Telemetry.in_memory(progress=StreamProgress(stream))
+        tel.progress_update(3, 10)
+        assert '"done": 3' in stream.getvalue()
+        progress_events = [e for e in tel.sink.events if e["event"] == "progress"]
+        assert progress_events[0]["done"] == 3

@@ -1,0 +1,186 @@
+"""Tests of the unified run facade (``repro.api``).
+
+The facade's contract: every execution substrate — serial, thread pool,
+process pool, checkpointed resume — routes through one entry point and
+produces bit-identical physics for the same request, with telemetry
+attaching in exactly one place.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import DEFAULT_TASK_SIZE, RunRequest, build_config, run
+from repro.observe import MemorySink, Telemetry, validate_event
+
+
+def _weights(tally):
+    return (
+        tally.n_launched,
+        tally.specular_weight,
+        tally.diffuse_reflectance_weight,
+        tally.transmittance_weight,
+        tally.lost_weight,
+        tally.detected_weight,
+    )
+
+
+class TestRunRequest:
+    def test_config_xor_model(self, fast_config):
+        with pytest.raises(ValueError, match="exactly one"):
+            RunRequest()
+        with pytest.raises(ValueError, match="exactly one"):
+            RunRequest(config=fast_config, model="white_matter")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            RunRequest(model="gray_matter")
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="resume"):
+            RunRequest(model="white_matter", resume=True)
+
+    def test_task_size_default_is_worker_independent(self):
+        one = RunRequest(model="white_matter", workers=1)
+        many = RunRequest(model="white_matter", workers=8)
+        assert one.resolved_task_size() == many.resolved_task_size() == DEFAULT_TASK_SIZE
+
+    def test_backend_auto_resolution(self):
+        assert RunRequest(model="white_matter").resolved_backend() == "serial"
+        assert RunRequest(model="white_matter", workers=4).resolved_backend() == "process"
+        assert (
+            RunRequest(model="white_matter", workers=4, backend="thread")
+            .resolved_backend()
+            == "thread"
+        )
+
+    def test_build_config_passthrough(self, fast_config):
+        assert build_config(RunRequest(config=fast_config)) is fast_config
+
+    def test_build_config_named_model(self):
+        config = build_config(RunRequest(model="white_matter", gate=(5.0, 50.0)))
+        assert config.gate is not None
+        assert config.stack[0].name == "white_matter"
+
+    def test_provenance_describes_the_run(self):
+        prov = RunRequest(model="adult_head", n_photons=123, seed=9).provenance()
+        assert prov["model"] == "adult_head"
+        assert prov["n_photons"] == 123
+        assert prov["seed"] == 9
+        assert prov["task_size"] == DEFAULT_TASK_SIZE
+        json.dumps(prov)  # must be JSON-serialisable for save_tally
+
+
+class TestRunIdentity:
+    """Same request, any substrate -> bit-identical tally."""
+
+    def test_serial_vs_thread_pool(self, fast_config):
+        base = RunRequest(config=fast_config, n_photons=4000, seed=11, task_size=500)
+        serial = run(base)
+        threaded = run(
+            RunRequest(
+                config=fast_config, n_photons=4000, seed=11, task_size=500,
+                workers=4, backend="thread",
+            )
+        )
+        assert _weights(serial.tally) == _weights(threaded.tally)
+
+    def test_serial_vs_process_pool(self, fast_config):
+        base = RunRequest(config=fast_config, n_photons=2000, seed=5, task_size=500)
+        serial = run(base)
+        pooled = run(
+            RunRequest(
+                config=fast_config, n_photons=2000, seed=5, task_size=500,
+                workers=2, backend="process",
+            )
+        )
+        assert _weights(serial.tally) == _weights(pooled.tally)
+
+    def test_telemetry_does_not_change_physics(self, fast_config):
+        kwargs = dict(config=fast_config, n_photons=2000, seed=3, task_size=500)
+        plain = run(RunRequest(**kwargs))
+        observed = run(
+            RunRequest(**kwargs, telemetry=Telemetry(sink=MemorySink()))
+        )
+        assert _weights(plain.tally) == _weights(observed.tally)
+
+    def test_disabled_metrics_attaches_nothing(self, fast_config):
+        report = run(RunRequest(config=fast_config, n_photons=1000, seed=0))
+        assert report.metrics is None
+
+
+class TestRunTelemetry:
+    def test_jsonl_events_schema_valid_and_monotone(self, fast_config, tmp_path):
+        path = tmp_path / "events.jsonl"
+        report = run(
+            RunRequest(
+                config=fast_config, n_photons=2000, seed=1, task_size=500,
+                workers=2, backend="thread", metrics_path=path,
+            )
+        )
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        for event in events:
+            validate_event(event)
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "metrics"
+        assert "span_start" in kinds and "span_end" in kinds
+        assert report.metrics is not None
+        counter_names = {c["name"] for c in report.metrics["counters"]}
+        assert {"tasks.dispatched", "tasks.completed", "photons.traced"} <= counter_names
+
+    def test_serial_and_pooled_share_event_schema(self, fast_config, tmp_path):
+        def kinds_of(workers, backend):
+            path = tmp_path / f"{backend}{workers}.jsonl"
+            run(
+                RunRequest(
+                    config=fast_config, n_photons=1000, seed=1, task_size=500,
+                    workers=workers, backend=backend, metrics_path=path,
+                )
+            )
+            return {
+                json.loads(line)["event"] for line in path.read_text().splitlines()
+            }
+
+        assert kinds_of(1, "serial") == kinds_of(4, "thread")
+
+    def test_caller_owned_telemetry_not_finished(self, fast_config):
+        tel = Telemetry(sink=MemorySink())
+        run(RunRequest(config=fast_config, n_photons=1000, seed=0, telemetry=tel))
+        # facade must not close a telemetry it does not own: no final
+        # "metrics" event until the caller finishes it.
+        assert all(e["event"] != "metrics" for e in tel.sink.events)
+        snap = tel.finish()
+        assert tel.sink.events[-1]["event"] == "metrics"
+        assert snap["counters"]
+
+
+class TestRunCheckpoint:
+    def test_resume_through_facade(self, fast_config, tmp_path):
+        ck = tmp_path / "ck"
+        first = run(
+            RunRequest(
+                config=fast_config, n_photons=1500, seed=2, task_size=500,
+                checkpoint=ck,
+            )
+        )
+        # a second run over the same directory must be refused without resume
+        with pytest.raises(ValueError, match="resume"):
+            run(
+                RunRequest(
+                    config=fast_config, n_photons=1500, seed=2, task_size=500,
+                    checkpoint=ck,
+                )
+            )
+        resumed = run(
+            RunRequest(
+                config=fast_config, n_photons=1500, seed=2, task_size=500,
+                checkpoint=ck, resume=True,
+            )
+        )
+        assert resumed.n_tasks == first.n_tasks
+        assert _weights(first.tally) == _weights(resumed.tally)

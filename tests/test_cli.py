@@ -151,3 +151,53 @@ class TestCheckpointCli:
         ])
         assert code == 0
         assert "distributed over 2 workers" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_run_with_metrics_and_backend(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "events.jsonl"
+        code = main([
+            "run", "--model", "white_matter", "--photons", "200",
+            "--seed", "1", "--task-size", "100",
+            "--backend", "thread", "--workers", "2",
+            "--metrics", str(metrics),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry events written" in out
+        assert "photons.traced" in out  # final metrics block
+        events = [json.loads(line) for line in metrics.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "metrics"
+        times = [e["t"] for e in events]
+        assert times == sorted(times)
+
+    def test_run_progress_flag(self, capsys):
+        code = main([
+            "run", "--model", "white_matter", "--photons", "200",
+            "--seed", "1", "--task-size", "100", "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2/2" in captured.err  # progress bar on stderr
+
+    def test_save_embeds_provenance(self, tmp_path):
+        out_file = tmp_path / "tally.npz"
+        code = main([
+            "run", "--model", "white_matter", "--photons", "200",
+            "--seed", "6", "--save", str(out_file),
+        ])
+        assert code == 0
+        from repro.io import load_tally
+
+        tally = load_tally(out_file)
+        assert tally.provenance["model"] == "white_matter"
+        assert tally.provenance["seed"] == 6
+        assert tally.provenance["n_photons"] == 200
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "gpu"])
