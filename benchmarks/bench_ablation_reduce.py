@@ -1,0 +1,120 @@
+"""Ablation — hold-all-then-merge vs incremental pairwise reduction.
+
+The PR-3 reducer claims two wins over the old end-of-run ``merge_all``:
+bounded memory (≤ ~⌈log₂ n⌉ pending tallies instead of all n) and no
+end-of-run merge stall (merging is amortised across task arrivals).  This
+bench measures both on a grid-recording workload where per-task tallies
+are megabyte-scale, prints the comparison, and writes the numbers to
+``BENCH_reduce.json`` for CI to archive.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import tracemalloc
+from pathlib import Path
+
+from conftest import scaled
+
+from repro.core import (
+    PairwiseReducer,
+    RecordConfig,
+    SimulationConfig,
+    reduce_all,
+    run_photons,
+    task_rng,
+)
+from repro.detect import GridSpec
+from repro.io import format_table
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+#: Dense recording grid so each per-task tally is ~1.7 MB — the regime the
+#: paper's long-running campaigns live in, where holding every task tally
+#: until the end is what actually exhausts a worker-station's memory.
+CONFIG = SimulationConfig(
+    stack=LayerStack.homogeneous(PROPS),
+    source=PencilBeam(),
+    records=RecordConfig(
+        absorption_grid=GridSpec(shape=(48, 48, 48), lo=(-5, -5, 0), hi=(5, 5, 10)),
+        pathlength_bins=(0.0, 100.0, 64),
+    ),
+)
+
+N_TASKS = 64
+
+
+def leaf(i: int, photons: int):
+    return run_photons(CONFIG, photons, task_rng(11, i))
+
+
+def run_hold_all(photons: int):
+    """Old pipeline: keep every task tally, one big merge at the end."""
+    tracemalloc.reset_peak()
+    tallies = [leaf(i, photons) for i in range(N_TASKS)]
+    t0 = time.perf_counter()
+    merged = reduce_all(tallies, owned=True)
+    stall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    return merged, stall, peak
+
+
+def run_incremental(photons: int):
+    """New pipeline: fold each tally into the pairwise tree as it arrives."""
+    tracemalloc.reset_peak()
+    reducer = PairwiseReducer(N_TASKS)
+    for i in range(N_TASKS):
+        reducer.add(i, leaf(i, photons), owned=True)
+    t0 = time.perf_counter()
+    merged = reducer.result()
+    stall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    return merged, stall, peak, reducer.pending_peak
+
+
+def test_ablation_reduce(benchmark, report):
+    photons = max(5, scaled(4000) // N_TASKS)
+
+    def run_both():
+        tracemalloc.start()
+        try:
+            hold = run_hold_all(photons)
+            inc = run_incremental(photons)
+        finally:
+            tracemalloc.stop()
+        return hold, inc
+
+    (hold_tally, hold_stall, hold_peak), (
+        inc_tally, inc_stall, inc_peak, pending_peak
+    ) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    report("\n=== Ablation: hold-all-then-merge vs incremental reduction ===")
+    report(format_table(
+        ["pipeline", "peak traced MB", "end-of-run stall (ms)"],
+        [
+            ["hold all, merge at end", hold_peak / 2**20, hold_stall * 1e3],
+            ["incremental pairwise", inc_peak / 2**20, inc_stall * 1e3],
+        ],
+        float_format="{:.3g}",
+    ))
+    report(
+        f"\npending peak: {pending_peak} tallies "
+        f"(bound: ceil(log2({N_TASKS})) = {math.ceil(math.log2(N_TASKS))})"
+    )
+
+    Path("BENCH_reduce.json").write_text(json.dumps({
+        "n_tasks": N_TASKS,
+        "photons_per_task": photons,
+        "hold_all": {"peak_bytes": hold_peak, "stall_seconds": hold_stall},
+        "incremental": {"peak_bytes": inc_peak, "stall_seconds": inc_stall,
+                        "pending_peak": pending_peak},
+    }, indent=2))
+
+    # --- correctness and the two claimed wins -------------------------------
+    assert inc_tally == hold_tally  # bit-identical to the old pipeline
+    assert pending_peak <= math.ceil(math.log2(N_TASKS))
+    assert inc_peak < hold_peak / 2  # bounded memory, with headroom
+    assert inc_stall < hold_stall  # the end-of-run merge stall is gone

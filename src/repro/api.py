@@ -76,6 +76,15 @@ class RunRequest:
         persist under the ``checkpoint`` directory, ``resume`` continues an
         existing one (required — a stale directory is never extended
         silently), ``task_deadline`` enables speculative re-dispatch.
+    compress:
+        In ``"serve"`` mode, offer zlib frame compression to connecting
+        clients (negotiated per connection; off by default).  Ignored in
+        ``"local"`` mode, which has no wire.
+    retain_task_tallies:
+        ``False`` drops each per-task tally once it is folded into the
+        incremental reduction, bounding memory on very large runs; the
+        merged tally is unaffected, but ``RunReport.task_results`` then
+        carry metadata only (see :mod:`repro.analysis` before disabling).
 
     Observability fields
     --------------------
@@ -110,6 +119,8 @@ class RunRequest:
     resume: bool = False
     task_deadline: float | None = None
     max_retries: int = 2
+    compress: bool = False
+    retain_task_tallies: bool = True
 
     # model-building conveniences (ignored when ``config`` is given)
     detector_spacing: float | None = None
@@ -264,6 +275,8 @@ def run(request: RunRequest) -> RunReport:
                 heartbeat_timeout=request.heartbeat_timeout,
                 task_deadline=request.task_deadline,
                 checkpoint=checkpoint,
+                compress=request.compress,
+                retain_task_tallies=request.retain_task_tallies,
                 telemetry=telemetry,
             ).start()
             if request.on_server_start is not None:
@@ -279,6 +292,7 @@ def run(request: RunRequest) -> RunReport:
                 max_retries=request.max_retries,
                 task_deadline=request.task_deadline,
                 checkpoint=checkpoint,
+                retain_task_tallies=request.retain_task_tallies,
                 telemetry=telemetry,
             )
             with make_backend(request.resolved_backend(), request.workers) as backend:

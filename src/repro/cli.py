@@ -109,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
                        metavar="SECONDS",
                        help="declare a silent client hung after this long (0 disables)")
+    serve.add_argument("--compress", action="store_true",
+                       help="offer zlib frame compression to clients "
+                            "(negotiated per connection)")
     serve.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
                        help="write structured telemetry events to this JSONL file")
     serve.add_argument("--progress", action="store_true",
@@ -350,6 +353,7 @@ def _cmd_serve(args) -> int:
         checkpoint=checkpoint,
         resume=args.resume,
         task_deadline=args.task_deadline,
+        compress=args.compress,
         metrics_path=args.metrics,
         progress=args.progress,
         on_server_start=announce,

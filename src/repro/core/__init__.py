@@ -8,6 +8,7 @@ from .fresnel import (
     specular_reflectance,
 )
 from .kernel import run_batch_scalar, trace_photon
+from .reduce import PairwiseReducer, reduce_all
 from .rng import StreamFactory, spawn_rngs, task_rng
 from .roulette import RouletteConfig, roulette
 from .sampling import (
@@ -24,6 +25,7 @@ from .vkernel import run_batch_vectorized
 __all__ = [
     "BoundaryMode",
     "KernelName",
+    "PairwiseReducer",
     "RecordConfig",
     "RouletteConfig",
     "Simulation",
@@ -34,6 +36,7 @@ __all__ = [
     "critical_cosine",
     "fresnel_reflectance",
     "hg_pdf",
+    "reduce_all",
     "rotate_direction",
     "roulette",
     "run_batch_scalar",

@@ -1,0 +1,174 @@
+"""Incremental, deterministic, bounded-memory tally reduction.
+
+The distributed ``DataManager`` of the source paper merges worker results
+as they arrive; buffering every task tally and folding once at the end
+(the pre-PR-3 behaviour) costs O(n_tasks) memory and a serial end-of-run
+stall.  :class:`PairwiseReducer` replaces that with a **fixed binary
+reduction tree keyed by task index**: the shape of the tree depends only
+on ``n_tasks``, never on completion order, so the reduced tally is
+bit-identical no matter how the scheduler interleaves workers — the same
+reproducibility contract the serial/distributed cross-checks rely on.
+
+How it works
+------------
+Tree node ``(level, slot)`` covers task indices
+``[slot * 2**level, (slot + 1) * 2**level)``.  A completed task enters as
+leaf ``(0, task_index)`` and climbs:
+
+- if its sibling ``(level, slot ^ 1)`` is already pending, the two merge
+  and the parent continues climbing;
+- if the sibling's range starts at or beyond ``n_tasks`` it can never
+  exist, so the node is promoted to its parent unchanged (this keeps the
+  tree canonical for non-power-of-two task counts — exactly one root);
+- otherwise the node parks in the pending table and waits.
+
+Each pairwise combination is a single IEEE-754 add per field, which is
+commutative bitwise, so *which* operand accumulates into which does not
+affect the bits; only the tree shape matters, and that is fixed.
+
+Memory bound
+------------
+With in-order completion the pending table is a binary counter:
+≤ ⌈log₂ n_tasks⌉ entries.  Out-of-order completion adds at most ~log₂ n
+pending nodes per "hole" (an outstanding task splitting two completed
+runs), i.e. peak pending ≈ ⌈log₂ n_tasks⌉ + tasks in flight — versus
+n_tasks for the old buffer-then-fold approach.  ``pending_peak`` reports
+the observed maximum.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from .tally import Tally
+
+__all__ = ["PairwiseReducer", "reduce_all"]
+
+
+class PairwiseReducer:
+    """Fold task tallies into a canonical binary tree, in any arrival order.
+
+    Parameters
+    ----------
+    n_tasks:
+        Total number of tasks that will be fed in (``add`` rejects indices
+        outside ``[0, n_tasks)`` and duplicates).  Must be ``> 0``.
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry` (duck-typed).  On
+        :meth:`result` the reducer emits a ``reduce.pending_peak`` gauge
+        and a ``reduce.seconds`` counter.
+
+    The reducer never mutates a tally added with ``owned=False`` — pass
+    ``owned=True`` when the caller relinquishes the tally (e.g. it will
+    not be retained in a ``RunReport``) so the reducer may accumulate into
+    it in place instead of allocating a copy at the first merge.
+    """
+
+    def __init__(self, n_tasks: int, *, telemetry=None) -> None:
+        if n_tasks <= 0:
+            raise ValueError(f"n_tasks must be > 0, got {n_tasks}")
+        self.n_tasks = n_tasks
+        self._telemetry = telemetry
+        # (level, slot) -> (tally, owned); bounded by ~log2(n) + holes.
+        self._nodes: dict[tuple[int, int], tuple[Tally, bool]] = {}
+        # One bit per task index: duplicate detection in n/8 bytes.
+        self._seen = bytearray((n_tasks + 7) // 8)
+        self._n_added = 0
+        self._pending_peak = 0
+        self._seconds = 0.0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of partially reduced tallies currently held."""
+        return len(self._nodes)
+
+    @property
+    def pending_peak(self) -> int:
+        """Maximum number of tallies ever held simultaneously."""
+        return self._pending_peak
+
+    @property
+    def n_added(self) -> int:
+        return self._n_added
+
+    @property
+    def seconds(self) -> float:
+        """Cumulative wall time spent combining tallies."""
+        return self._seconds
+
+    # -- reduction -------------------------------------------------------------
+
+    def add(self, task_index: int, tally: Tally, *, owned: bool = False) -> None:
+        """Feed one completed task's tally into the tree.
+
+        Raises ``ValueError`` on an out-of-range or duplicate index —
+        speculative duplicates must be filtered *before* reduction, since
+        adding a task twice would double-count its photons.
+        """
+        if not 0 <= task_index < self.n_tasks:
+            raise ValueError(
+                f"task_index {task_index} out of range [0, {self.n_tasks})"
+            )
+        byte, bit = divmod(task_index, 8)
+        if self._seen[byte] & (1 << bit):
+            raise ValueError(f"task {task_index} already reduced (duplicate result)")
+        self._seen[byte] |= 1 << bit
+
+        start = time.perf_counter()
+        level, slot = 0, task_index
+        node, node_owned = tally, owned
+        while (1 << level) < self.n_tasks:
+            sibling = self._nodes.pop((level, slot ^ 1), None)
+            if sibling is not None:
+                other, other_owned = sibling
+                # A single pairwise merge is order-independent bitwise, so
+                # accumulate into whichever operand we are allowed to mutate.
+                if node_owned:
+                    node = node.imerge(other)
+                elif other_owned:
+                    node, node_owned = other.imerge(node), True
+                else:
+                    node, node_owned = node.merge(other), True
+            elif ((slot | 1) << level) >= self.n_tasks:
+                pass  # sibling range is empty: promote unchanged
+            else:
+                break  # park and wait for the sibling
+            level += 1
+            slot >>= 1
+        self._nodes[(level, slot)] = (node, node_owned)
+        self._n_added += 1
+        if len(self._nodes) > self._pending_peak:
+            self._pending_peak = len(self._nodes)
+        self._seconds += time.perf_counter() - start
+
+    def result(self) -> Tally:
+        """Return the fully reduced tally; all tasks must have been added."""
+        if self._n_added != self.n_tasks:
+            raise ValueError(
+                f"reduction incomplete: {self._n_added}/{self.n_tasks} tasks added"
+            )
+        assert len(self._nodes) == 1, "complete reduction must leave a single root"
+        ((tally, _),) = self._nodes.values()
+        tel = self._telemetry
+        if tel is not None:
+            tel.gauge("reduce.pending_peak", float(self._pending_peak))
+            tel.count("reduce.seconds", self._seconds)
+        return tally
+
+
+def reduce_all(tallies: Iterable[Tally], *, owned: bool = False) -> Tally:
+    """Reduce a non-empty sequence through the canonical pairwise tree.
+
+    Equivalent to feeding a :class:`PairwiseReducer` in index order; the
+    drop-in deterministic replacement for ``Tally.merge_all``.
+    """
+    items = list(tallies)
+    if not items:
+        raise ValueError("reduce_all needs at least one tally")
+    reducer = PairwiseReducer(len(items))
+    for i, tally in enumerate(items):
+        reducer.add(i, tally, owned=owned)
+    return reducer.result()

@@ -17,8 +17,10 @@ from typing import Callable, Literal
 
 import numpy as np
 
+from ..observe import maybe_span
 from .config import SimulationConfig
 from .kernel import run_batch_scalar
+from .reduce import PairwiseReducer
 from .rng import task_rng
 from .tally import Tally
 from .vkernel import run_batch_vectorized
@@ -143,22 +145,23 @@ class Simulation:
         if task_size is None:
             task_size = max(n_photons, 1)
         counts = split_photons(n_photons, task_size)
-        tallies = []
-        for i, count in enumerate(counts):
-            if telemetry is None:
-                tallies.append(run_photons(self.config, count, task_rng(seed, i), kernel))
-            else:
-                with telemetry.span("task", task=i, photons=count):
-                    tallies.append(
-                        run_photons(
-                            self.config, count, task_rng(seed, i), kernel,
-                            telemetry=telemetry,
-                        )
-                    )
-                telemetry.progress_update(i + 1, len(counts))
-        if not tallies:
+        if not counts:
             return Tally(n_layers=len(self.config.stack), records=self.config.records)
-        if telemetry is None:
-            return Tally.merge_all(tallies)
-        with telemetry.span("merge", tasks=len(tallies)):
-            return Tally.merge_all(tallies)
+        # Incremental pairwise reduction: each task tally is folded in as
+        # soon as it is produced (no end-of-run merge pass), through the
+        # same canonical tree the distributed DataManager uses — so serial
+        # and distributed runs remain bit-identical.
+        reducer = PairwiseReducer(len(counts), telemetry=telemetry)
+        for i, count in enumerate(counts):
+            with maybe_span(telemetry, "task", task=i, photons=count):
+                reducer.add(
+                    i,
+                    run_photons(
+                        self.config, count, task_rng(seed, i), kernel,
+                        telemetry=telemetry,
+                    ),
+                    owned=True,
+                )
+            if telemetry is not None:
+                telemetry.progress_update(i + 1, len(counts))
+        return reducer.result()

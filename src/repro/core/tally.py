@@ -139,18 +139,21 @@ class Tally:
 
     # -- monoid ---------------------------------------------------------------
 
-    def merge(self, other: "Tally") -> "Tally":
-        """Combine two tallies from independent photon batches.
-
-        Both tallies must describe the same experiment shape (same layer
-        count and recording configuration).
-        """
+    def _check_mergeable(self, other: "Tally") -> None:
         if self.n_layers != other.n_layers:
             raise ValueError(
                 f"cannot merge tallies with {self.n_layers} vs {other.n_layers} layers"
             )
         if self.records != other.records:
             raise ValueError("cannot merge tallies with different RecordConfigs")
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Combine two tallies from independent photon batches.
+
+        Both tallies must describe the same experiment shape (same layer
+        count and recording configuration).
+        """
+        self._check_mergeable(other)
 
         merged = Tally(
             n_layers=self.n_layers,
@@ -182,6 +185,42 @@ class Tally:
         if self.penetration_hist is not None:
             merged.penetration_hist = self.penetration_hist.merge(other.penetration_hist)
         return merged
+
+    def imerge(self, other: "Tally") -> "Tally":
+        """In-place :meth:`merge`: accumulate ``other`` into ``self``.
+
+        Returns ``self``.  Produces bit-identical results to ``merge``
+        (every field combines by IEEE-754 addition or min/max, both of
+        which are commutative bitwise), while reusing ``self``'s arrays so
+        incremental reduction does not allocate per step.  ``other`` is not
+        modified.
+        """
+        self._check_mergeable(other)
+
+        self.n_launched += other.n_launched
+        self.specular_weight += other.specular_weight
+        self.diffuse_reflectance_weight += other.diffuse_reflectance_weight
+        self.transmittance_weight += other.transmittance_weight
+        self.lost_weight += other.lost_weight
+        self.roulette_net_weight += other.roulette_net_weight
+        self.detected_count += other.detected_count
+        self.detected_weight += other.detected_weight
+        self.absorbed_by_layer += other.absorbed_by_layer
+        self.pathlength = self.pathlength.merge(other.pathlength)
+        self.penetration_depth = self.penetration_depth.merge(other.penetration_depth)
+        if self.absorption_grid is not None:
+            self.absorption_grid += other.absorption_grid
+        if self.path_grid is not None:
+            self.path_grid += other.path_grid
+        if self.pathlength_hist is not None:
+            self.pathlength_hist = self.pathlength_hist.merge(other.pathlength_hist)
+        if self.reflectance_rho_hist is not None:
+            self.reflectance_rho_hist = self.reflectance_rho_hist.merge(
+                other.reflectance_rho_hist
+            )
+        if self.penetration_hist is not None:
+            self.penetration_hist = self.penetration_hist.merge(other.penetration_hist)
+        return self
 
     def record_penetration(self, max_depths: np.ndarray) -> None:
         """Record lifetime maximum depths of terminated photons (one count each).

@@ -73,13 +73,25 @@ class _PathEvents:
 
     def append(self, gid, x, y, z, w) -> None:
         flat, inside = self.spec.world_to_index(x, y, z)
+        flat = np.atleast_1d(flat)
+        inside = np.atleast_1d(inside)
+        # Normalise dtypes and shapes *before* masking: gid and w may arrive
+        # as lists, scalars or narrower dtypes, and a scalar weight applies
+        # to every event.  Masking unaligned inputs with `inside` would
+        # silently mispair weights with voxels, so misalignment is an error.
+        gid = np.atleast_1d(np.asarray(gid, dtype=np.int64))
+        w = np.asarray(w, dtype=np.float64)
+        w = np.broadcast_to(w, flat.shape) if w.ndim == 0 else np.atleast_1d(w)
+        if gid.shape != flat.shape or w.shape != flat.shape:
+            raise ValueError(
+                "misaligned path-event inputs: "
+                f"gid {gid.shape}, w {w.shape}, positions {flat.shape}"
+            )
         if not inside.any():
             return
-        gid = np.asarray(gid, dtype=np.int64)
-        w = np.asarray(w, dtype=np.float64)
         self.gids.append(gid[inside])
         self.voxels.append(flat[inside])
-        self.ws.append(w[inside])
+        self.ws.append(np.ascontiguousarray(w[inside], dtype=np.float64))
 
     def _append_raw(self, gid: np.ndarray, voxel: np.ndarray, w: np.ndarray) -> None:
         self.gids.append(gid)
@@ -109,6 +121,11 @@ class _PathEvents:
 
         dep = deposit_mask_by_gid[gid]
         if dep.any():
+            # reshape(-1) on a non-contiguous grid would return a *copy* and
+            # the deposit would vanish silently; grids from GridSpec.zeros()
+            # are always contiguous, so this only guards external arrays.
+            if not grid.flags["C_CONTIGUOUS"]:
+                raise ValueError("recording grid must be C-contiguous")
             np.add.at(grid.reshape(-1), voxel[dep], w[dep])
         # A photon can be both detected and still alive in classical mode
         # (the Fresnel remnant keeps propagating); exclude already-deposited

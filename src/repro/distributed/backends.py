@@ -99,7 +99,10 @@ class ThreadBackend(Backend):
         return self._pool.submit(fn, *args, **kwargs)
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        # Queued-but-unstarted attempts are superseded duplicates by the
+        # time the DataManager shuts a backend down; cancel instead of
+        # running them to completion.
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 class MultiprocessingBackend(Backend):
@@ -121,7 +124,7 @@ class MultiprocessingBackend(Backend):
         return self._pool.submit(fn, *args, **kwargs)
 
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 #: Canonical backend names accepted by :func:`make_backend` (and the CLI's

@@ -6,12 +6,14 @@ hour 1.9.  A :class:`CheckpointManager` persists every merged task result to
 a directory as it arrives (per-task tally archives plus a JSON manifest
 listing the completed set), so a killed run can be resumed: completed tasks
 are loaded from disk, only the outstanding ones are re-executed, and the
-final merge — always performed in task-index order over per-task tallies —
-is **bit-identical** to the uninterrupted run.  Bit-identity holds because
-task RNG streams are keyed by ``(seed, task_index)``, never by schedule, and
-because checkpoints store *per-task* tallies rather than a running merged
-sum (floating-point merges are not associative, so merge order must be
-reconstructed, not replayed incrementally).
+reduction — restored and fresh results alike are fed through the canonical
+pairwise tree of :class:`repro.core.reduce.PairwiseReducer`, whose shape
+depends only on the task count — is **bit-identical** to the uninterrupted
+run.  Bit-identity holds because task RNG streams are keyed by
+``(seed, task_index)``, never by schedule, and because checkpoints store
+*per-task* tallies rather than a running merged sum (floating-point merges
+are not associative, so the reduction tree must be reconstructed from the
+leaves, never replayed from a partial sum).
 
 The manifest carries a *run key* (photon budget, seed, task size, kernel);
 resuming against a checkpoint whose key differs is refused rather than

@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..core.config import SimulationConfig
+from ..core.reduce import PairwiseReducer
 from ..core.simulation import KernelName, split_photons
 from ..core.tally import Tally
 from .backends import Backend
@@ -76,7 +77,10 @@ class RunReport:
     tally:
         The merged physics result.
     task_results:
-        Per-task results in task order.
+        Per-task results in task order.  When the run was executed with
+        ``retain_task_tallies=False`` each entry keeps its metadata
+        (worker, timing, photon count) but its ``tally`` is ``None`` —
+        the weight data lives only in the merged ``tally`` above.
     wall_seconds:
         End-to-end time observed by the DataManager.
     retries:
@@ -128,7 +132,7 @@ class RunReport:
             row = row_for(r.worker_id)
             row["tasks"] += 1.0
             row["busy_seconds"] += r.elapsed_seconds
-            row["photons"] += float(r.tally.n_launched)
+            row["photons"] += float(r.photons)
         for worker_id, stats in self.worker_health.items():
             row = row_for(worker_id)
             row["failures"] = float(stats.failures)
@@ -193,6 +197,13 @@ class DataManager:
         directory path for one.  Completed task results are persisted as
         they arrive and reloaded on the next :meth:`run` with the same
         run key, making a killed run resumable bit-identically.
+    retain_task_tallies:
+        Keep each task's tally on its :class:`TaskResult` (default, needed
+        by :mod:`repro.analysis` and :mod:`repro.io.reports`).  Set
+        ``False`` for large runs: tallies are released the moment they are
+        folded into the incremental pairwise reduction, bounding live
+        tallies at ~⌈log₂ n_tasks⌉ + tasks in flight instead of n_tasks,
+        while ``task_results`` keeps all scheduling metadata.
     telemetry:
         Optional :class:`~repro.observe.Telemetry`.  When given, the run
         emits dispatch/merge spans and scheduling counters
@@ -219,6 +230,7 @@ class DataManager:
     blacklist_after: int | None = 3
     checkpoint: CheckpointManager | str | Path | None = None
     telemetry: object | None = None
+    retain_task_tallies: bool = True
     _retries: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -320,6 +332,23 @@ class DataManager:
             )
         by_index = {t.task_index: t for t in tasks}
         results = {i: r for i, r in restored.items() if i in by_index}
+        # Incremental deterministic reduction: results are folded into a
+        # canonical binary tree keyed by task index as they arrive, so the
+        # merged tally is bit-identical to serial no matter the completion
+        # order, there is no end-of-run merge stall, and (with
+        # retain_task_tallies=False) at most ~log2(n_tasks) + in-flight
+        # tallies are ever held in memory.  Checkpointed results re-enter
+        # through the same reducer, keeping resumed runs on the same tree.
+        retain = self.retain_task_tallies
+        reducer = PairwiseReducer(n_tasks, telemetry=tel)
+        for i in sorted(results):
+            # Release before feeding the reducer: with an owned leaf the
+            # reducer merges siblings into it in place, which would corrupt
+            # the per-task photon count release_tally() snapshots.
+            leaf = results[i].tally
+            if not retain:
+                results[i].release_tally()
+            reducer.add(i, leaf, owned=not retain)
         # (not_before, task, attempt): retries carry a backoff release time.
         pending: list[tuple[float, TaskSpec, int]] = [
             (0.0, t, 1) for t in tasks if t.task_index not in results
@@ -434,6 +463,14 @@ class DataManager:
                     health.record_success(result.worker_id, result.elapsed_seconds)
                     if ckpt is not None:
                         ckpt.record(result)
+                    leaf = result.tally
+                    n_launched = leaf.n_launched
+                    # Release first: an owned leaf may be merged into in
+                    # place by the reducer, so snapshotting the photon
+                    # count must happen before add().
+                    if not retain:
+                        result.release_tally()
+                    reducer.add(idx, leaf, owned=not retain)
                     if self.progress is not None:
                         self.progress(len(results), n_tasks)
                     if tel is not None:
@@ -442,9 +479,9 @@ class DataManager:
                             outcome="merged", worker=result.worker_id,
                         )
                         tel.count("tasks.completed")
-                        tel.count("photons.traced", result.tally.n_launched)
+                        tel.count("photons.traced", n_launched)
                         tel.count(
-                            "worker.photons", result.tally.n_launched,
+                            "worker.photons", n_launched,
                             worker=result.worker_id,
                         )
                         tel.count("worker.tasks", 1, worker=result.worker_id)
@@ -506,13 +543,9 @@ class DataManager:
             fut.cancel()
 
         ordered = [results[i] for i in range(n_tasks)]
-        if tel is None:
-            tally = Tally.merge_all([r.tally for r in ordered])
-        else:
-            merge_start = time.perf_counter()
-            with tel.span("merge", tasks=n_tasks):
-                tally = Tally.merge_all([r.tally for r in ordered])
-            tel.observe("merge.seconds", time.perf_counter() - merge_start)
+        # Every result was already folded in on arrival — no end-of-run
+        # merge pass (and no "merge" span) remains.
+        tally = reducer.result()
         if ckpt is not None:
             ckpt.flush()
         wall = time.perf_counter() - start

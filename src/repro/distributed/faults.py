@@ -21,7 +21,12 @@ non-dedicated cluster produces:
 Deterministic variants key off the task index and fire on the *first*
 attempt only (retries succeed), so every recovery path is exercised
 reproducibly without a flaky real cluster.  The injector is thread-safe:
-thread backends call it concurrently.
+thread backends call it concurrently.  It is also picklable for process
+backends — but note each pickled copy carries its own "first attempt"
+bookkeeping, so with a process pool a ``*_once`` fault fires once per
+*submission* rather than once globally (each submission ships a fresh
+copy).  Results stay correct either way: the scheduler's first-result-wins
+rule discards the duplicates.
 """
 
 from __future__ import annotations
@@ -122,6 +127,17 @@ class FaultInjector:
         if any(delay < 0 for delay in self.slow_tasks_once.values()):
             raise ValueError("slow_tasks_once delays must be >= 0")
         self._rng = np.random.default_rng(self.seed)
+
+    def __getstate__(self) -> dict:
+        # threading.Lock is unpicklable; drop it (and recreate on load) so
+        # the injector can ship to process-pool workers.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def _first_time(self, seen: set[int], index: int) -> bool:
         """True exactly once per (category, task index), thread-safely."""

@@ -17,8 +17,9 @@ health, and can checkpoint/resume through a
 Wire protocol (length-prefixed pickles, trusted-network only — exactly the
 trust model of the paper's Java serialisation):
 
-    client -> server   {"type": "hello", "worker": str}
-    server -> client   {"type": "session", "config": ..., "kernel": ...}
+    client -> server   {"type": "hello", "worker": str, "compress": bool}
+    server -> client   {"type": "session", "config": ..., "kernel": ...,
+                        "compress": bool}
     client -> server   {"type": "next"}                           ┐
     server -> client   {"type": "task", "task": TaskSpec,         │ repeats
                         "attempt": int} | {"type": "done"}        │
@@ -30,6 +31,14 @@ instead of pulling owes the server nothing; only a connection lost between
 task dispatch and result delivery triggers reassignment.  Heartbeats flow
 while a client computes, so a hung-but-connected client is detected when
 ``heartbeat_timeout`` elapses without any message, and its task reassigned.
+
+Frame compression: tally payloads dominate the traffic (per-task grids and
+histograms), so frames may optionally be zlib-compressed.  The feature is
+negotiated per connection — a client advertises ``"compress": True`` in its
+hello, and the server enables it only when constructed with
+``compress=True`` (off by default) — and is carried in-band: the top bit of
+the 8-byte length prefix marks a compressed frame, so small frames
+(heartbeats, pulls) skip compression with zero overhead.
 """
 
 from __future__ import annotations
@@ -41,10 +50,12 @@ import socket
 import struct
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.config import SimulationConfig
+from ..core.reduce import PairwiseReducer
 from ..core.simulation import KernelName, split_photons
 from ..core.tally import Tally
 from .checkpoint import CheckpointManager, run_key
@@ -65,6 +76,15 @@ logger = logging.getLogger(__name__)
 
 _LENGTH = struct.Struct(">Q")
 
+#: Top bit of the length prefix marks a zlib-compressed frame; the low 63
+#: bits remain the (compressed) payload length.
+_COMPRESS_FLAG = 1 << 63
+_LENGTH_MASK = _COMPRESS_FLAG - 1
+
+#: Frames below this size are never compressed (control messages,
+#: heartbeats — the zlib header would cost more than it saves).
+_COMPRESS_MIN = 1 << 10
+
 #: Refuse messages above this size (corrupt length prefix guard).
 _MAX_MESSAGE = 1 << 30
 
@@ -82,10 +102,26 @@ class ProtocolError(ConnectionError):
     """
 
 
-def send_message(sock: socket.socket, obj) -> int:
-    """Send one length-prefixed pickled message; returns bytes put on the wire."""
+def send_message(sock: socket.socket, obj, *, compress: bool = False, saved_cb=None) -> int:
+    """Send one length-prefixed pickled message; returns bytes put on the wire.
+
+    With ``compress=True`` payloads of at least ``_COMPRESS_MIN`` bytes are
+    zlib-compressed when that actually shrinks them, flagged by the top bit
+    of the length prefix.  ``saved_cb``, when given, receives the bytes
+    saved by compression (the ``net.bytes_saved`` hook).  Only enable
+    compression towards a peer that negotiated it — a pre-compression peer
+    would misread the flagged prefix as an oversized frame.
+    """
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    header = len(payload)
+    if compress and len(payload) >= _COMPRESS_MIN:
+        squeezed = zlib.compress(payload)
+        if len(squeezed) < len(payload):
+            if saved_cb is not None:
+                saved_cb(len(payload) - len(squeezed))
+            payload = squeezed
+            header = len(payload) | _COMPRESS_FLAG
+    sock.sendall(_LENGTH.pack(header) + payload)
     return _LENGTH.size + len(payload)
 
 
@@ -113,7 +149,9 @@ def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE, size_cb=N
     prefix above ``max_size`` or an undecodable payload — a garbage prefix
     must never make the receiver allocate gigabytes or interpret noise.
     """
-    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    (header,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    compressed = bool(header & _COMPRESS_FLAG)
+    length = header & _LENGTH_MASK
     if length > max_size:
         raise ProtocolError(
             f"message of {length} bytes exceeds the {max_size} cap "
@@ -122,6 +160,19 @@ def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE, size_cb=N
     payload = _recv_exact(sock, length)
     if size_cb is not None:
         size_cb(_LENGTH.size + length)
+    if compressed:
+        # Bounded decompression: a hostile/corrupt frame must not expand
+        # past the same cap the prefix is held to (zlib-bomb guard).
+        decomp = zlib.decompressobj()
+        try:
+            payload = decomp.decompress(payload, max_size)
+        except zlib.error as exc:
+            raise ProtocolError(f"corrupt compressed payload: {exc!r}") from exc
+        if decomp.unconsumed_tail or not decomp.eof:
+            raise ProtocolError(
+                "compressed payload is truncated or decompresses past the "
+                f"{max_size} cap"
+            )
     try:
         return pickle.loads(payload)
     except Exception as exc:  # noqa: BLE001 - any unpickling failure is fatal
@@ -158,13 +209,23 @@ class NetworkServer:
         A :class:`~repro.distributed.checkpoint.CheckpointManager` or
         directory path; completed tasks are persisted as they merge and
         reloaded by a future server with the same run key.
+    ``compress``
+        Offer zlib frame compression to clients (negotiated per
+        connection; a client that does not advertise support keeps an
+        uncompressed stream).  Off by default.
+    ``retain_task_tallies``
+        As on :class:`~repro.distributed.datamanager.DataManager`:
+        ``False`` releases each task tally once it is folded into the
+        incremental pairwise reduction, bounding resident tallies at
+        ~⌈log₂ n_tasks⌉ + tasks in flight.
     ``telemetry``
         Optional :class:`~repro.observe.Telemetry`.  The server then emits
         per-task wire round-trip spans (``net.task``) and counts traffic
-        (``net.bytes_sent`` / ``net.bytes_recv``), round-trips, heartbeats
-        (with a ``net.heartbeat_gap_s`` histogram of inter-message gaps
-        while a client computes) and connected clients, and attaches the
-        final metrics snapshot to the :class:`RunReport`.
+        (``net.bytes_sent`` / ``net.bytes_recv``, plus ``net.bytes_saved``
+        when compression is active), round-trips, heartbeats (with a
+        ``net.heartbeat_gap_s`` histogram of inter-message gaps while a
+        client computes) and connected clients, and attaches the final
+        metrics snapshot to the :class:`RunReport`.
 
     Usage::
 
@@ -187,6 +248,8 @@ class NetworkServer:
     max_speculative: int = 1
     blacklist_after: int | None = 3
     checkpoint: CheckpointManager | str | Path | None = None
+    compress: bool = False
+    retain_task_tallies: bool = True
     telemetry: object | None = None
 
     _listener: socket.socket | None = field(init=False, default=None)
@@ -206,12 +269,19 @@ class NetworkServer:
     _started_at: float = field(init=False, default=0.0)
     _n_tasks: int = field(init=False, default=0)
     _health: WorkerHealth = field(init=False, default=None)
+    _reducer: PairwiseReducer | None = field(init=False, default=None)
     _ckpt: CheckpointManager | None = field(init=False, default=None)
     _conns: set = field(init=False, default_factory=set)
     _closed: bool = field(init=False, default=False)
     _close_lock: threading.Lock = field(init=False, default_factory=threading.Lock)
 
     def __post_init__(self) -> None:
+        if self.n_photons < 0:
+            raise ValueError(f"n_photons must be >= 0, got {self.n_photons}")
+        if self.task_size <= 0:
+            raise ValueError(f"task_size must be > 0, got {self.task_size}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
             raise ValueError(
                 f"heartbeat_timeout must be > 0 or None, got {self.heartbeat_timeout}"
@@ -259,6 +329,18 @@ class NetworkServer:
                     "resumed %d completed tasks from checkpoint %s",
                     len(self._results), self._ckpt.directory,
                 )
+        # Results fold into the canonical pairwise tree as they arrive;
+        # checkpointed results re-enter through the same reducer, so a
+        # resumed run stays bit-identical to an uninterrupted one.
+        if self._n_tasks:
+            self._reducer = PairwiseReducer(self._n_tasks, telemetry=self.telemetry)
+            for i in sorted(self._results):
+                # Release before add(): an owned leaf may be merged into in
+                # place, which would corrupt the snapshotted photon count.
+                leaf = self._results[i].tally
+                if not self.retain_task_tallies:
+                    self._results[i].release_tally()
+                self._reducer.add(i, leaf, owned=not self.retain_task_tallies)
         self._queue = queue.Queue()
         for task in tasks:
             if task.task_index not in self._results:
@@ -381,18 +463,29 @@ class NetworkServer:
         with self._lock:
             idx = result.task_index
             if idx in self._results:
+                # Speculative duplicate: discarded *before* reduction, so it
+                # can never be double-counted in the merged tally.
                 logger.info("discarding duplicate result of task %d", idx)
                 return
             self._results[idx] = result
             if self._ckpt is not None:
                 self._ckpt.record(result)
+            # Release before add(): an owned leaf may be merged into in
+            # place, which would corrupt the snapshotted photon count.
+            leaf = result.tally
+            if not self.retain_task_tallies:
+                result.release_tally()
+            self._reducer.add(idx, leaf, owned=not self.retain_task_tallies)
             if len(self._results) == self._n_tasks:
                 self._complete.set()
         self._health.record_success(worker, result.elapsed_seconds)
 
-    def _send(self, conn: socket.socket, obj) -> None:
-        n = send_message(conn, obj)
+    def _send(self, conn: socket.socket, obj, *, compress: bool = False) -> None:
         tel = self.telemetry
+        saved_cb = (
+            tel.registry.counter("net.bytes_saved").add if tel is not None else None
+        )
+        n = send_message(conn, obj, compress=compress, saved_cb=saved_cb)
         if tel is not None:
             tel.registry.counter("net.bytes_sent").add(n)
 
@@ -424,9 +517,18 @@ class NetworkServer:
                 if hello.get("type") != "hello":
                     raise ProtocolError(f"expected hello, got {hello!r}")
                 worker = str(hello.get("worker", "?"))
+                # Compression is negotiated per connection: on only when
+                # the server offers it AND this client advertised support.
+                wire_compress = bool(self.compress and hello.get("compress"))
                 self._send(
                     conn,
-                    {"type": "session", "config": self.config, "kernel": self.kernel},
+                    {
+                        "type": "session",
+                        "config": self.config,
+                        "kernel": self.kernel,
+                        "compress": wire_compress,
+                    },
+                    compress=wire_compress,
                 )
 
                 while True:
@@ -454,7 +556,9 @@ class NetworkServer:
                             worker=worker, photons=task.n_photons,
                         )
                     self._send(
-                        conn, {"type": "task", "task": task, "attempt": attempt}
+                        conn,
+                        {"type": "task", "task": task, "attempt": attempt},
+                        compress=wire_compress,
                     )
 
                     # Await the result; heartbeats keep the window open, and
@@ -506,13 +610,13 @@ class NetworkServer:
                         self._health.record_failure(worker)
                         self._handle_failure(task, attempt, error)
                         continue
+                    n_launched = result.tally.n_launched
                     self._merge_result(worker, task, result)
                     if tel is not None:
                         if task_span is not None:
                             tel.span_finish("net.task", task_span, outcome="merged")
                             task_span = None
-                        tel.count("worker.photons", result.tally.n_launched,
-                                  worker=worker)
+                        tel.count("worker.photons", n_launched, worker=worker)
                         tel.observe("task.seconds", result.elapsed_seconds)
                         with self._lock:
                             done, total = len(self._results), self._n_tasks
@@ -542,14 +646,10 @@ class NetworkServer:
             ) from self._failure
         ordered = [self._results[i] for i in range(self._n_tasks)]
         tel = self.telemetry
-        if ordered:
-            if tel is None:
-                tally = Tally.merge_all([r.tally for r in ordered])
-            else:
-                merge_start = time.perf_counter()
-                with tel.span("merge", tasks=len(ordered)):
-                    tally = Tally.merge_all([r.tally for r in ordered])
-                tel.observe("merge.seconds", time.perf_counter() - merge_start)
+        if self._reducer is not None:
+            # Every result was folded in as it arrived — no end-of-run
+            # merge pass (and no "merge" span) remains.
+            tally = self._reducer.result()
         else:
             tally = Tally(n_layers=len(self.config.stack), records=self.config.records)
         health = self._health.snapshot() if self._health is not None else {}
@@ -649,11 +749,14 @@ def run_network_client(
     completed = 0
     send_lock = threading.Lock()
     with socket.create_connection((host, port)) as sock:
-        send_message(sock, {"type": "hello", "worker": name})
+        # Always advertise compression support; the server decides whether
+        # this connection actually uses it (its `compress` flag).
+        send_message(sock, {"type": "hello", "worker": name, "compress": True})
         session = recv_message(sock)
         if session.get("type") != "session":
             raise ValueError(f"expected session, got {session!r}")
         config = session["config"]
+        wire_compress = bool(session.get("compress"))
 
         while True:
             if max_tasks is not None and completed >= max_tasks:
@@ -706,5 +809,9 @@ def run_network_client(
             if corrupt_first and completed == 0:
                 result.tally.diffuse_reflectance_weight = float("nan")
             with send_lock:
-                send_message(sock, {"type": "result", "result": result})
+                send_message(
+                    sock,
+                    {"type": "result", "result": result},
+                    compress=wire_compress,
+                )
             completed += 1

@@ -69,20 +69,37 @@ class TaskResult:
     """A completed task: the tally plus execution metadata.
 
     ``worker_id`` is informational only (it feeds the utilisation report);
-    no physics depends on it.
+    no physics depends on it.  ``tally`` may be ``None`` after
+    :meth:`release_tally` — runs with ``retain_task_tallies=False`` detach
+    each tally once it has been folded into the incremental reduction,
+    keeping only the launched-photon count in ``n_photons``.
     """
 
     task_index: int
-    tally: Tally
+    tally: Tally | None
     worker_id: str
     elapsed_seconds: float
     attempt: int = 1
+    n_photons: int | None = None
 
     def __post_init__(self) -> None:
         if self.elapsed_seconds < 0:
             raise ValueError(f"elapsed_seconds must be >= 0, got {self.elapsed_seconds}")
         if self.attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {self.attempt}")
+
+    @property
+    def photons(self) -> int:
+        """Photons this task launched, available even after release_tally."""
+        if self.tally is not None:
+            return self.tally.n_launched
+        return self.n_photons if self.n_photons is not None else 0
+
+    def release_tally(self) -> None:
+        """Drop the tally reference, keeping the photon count as metadata."""
+        if self.tally is not None:
+            self.n_photons = self.tally.n_launched
+            self.tally = None
 
 
 class ResultValidationError(ValueError):

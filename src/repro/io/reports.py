@@ -43,15 +43,20 @@ def save_report(directory: str | Path, report: RunReport) -> Path:
         "tasks": [],
     }
     for result in report.task_results:
-        filename = f"task-{result.task_index:06d}.npz"
-        save_tally(directory / filename, result.tally)
-        manifest["tasks"].append({
+        entry = {
             "task_index": result.task_index,
             "worker_id": result.worker_id,
             "elapsed_seconds": result.elapsed_seconds,
             "attempt": result.attempt,
-            "tally": filename,
-        })
+            "n_photons": result.photons,
+        }
+        # Runs with retain_task_tallies=False carry metadata-only results;
+        # only the merged tally exists to persist.
+        if result.tally is not None:
+            filename = f"task-{result.task_index:06d}.npz"
+            save_tally(directory / filename, result.tally)
+            entry["tally"] = filename
+        manifest["tasks"].append(entry)
     (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
     return directory
 
@@ -70,10 +75,15 @@ def load_report(directory: str | Path) -> RunReport:
     task_results = [
         TaskResult(
             task_index=entry["task_index"],
-            tally=load_tally(directory / entry["tally"]),
+            tally=(
+                load_tally(directory / entry["tally"])
+                if entry.get("tally") is not None
+                else None
+            ),
             worker_id=entry["worker_id"],
             elapsed_seconds=entry["elapsed_seconds"],
             attempt=entry["attempt"],
+            n_photons=entry.get("n_photons"),
         )
         for entry in manifest["tasks"]
     ]

@@ -24,7 +24,7 @@ from .events import (
 )
 from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .progress import NullProgress, ProgressReporter, StreamProgress, TTYProgress
-from .telemetry import Telemetry
+from .telemetry import Telemetry, maybe_span
 
 __all__ = [
     "Counter",
@@ -42,5 +42,6 @@ __all__ = [
     "StreamProgress",
     "TTYProgress",
     "Telemetry",
+    "maybe_span",
     "validate_event",
 ]

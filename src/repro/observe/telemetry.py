@@ -33,7 +33,21 @@ from .events import EventSink, JsonlSink, MemorySink, NullSink
 from .metrics import MetricsRegistry
 from .progress import NullProgress, ProgressReporter
 
-__all__ = ["Telemetry"]
+__all__ = ["Telemetry", "maybe_span"]
+
+
+@contextmanager
+def maybe_span(telemetry: "Telemetry | None", name: str, **fields) -> Iterator[None]:
+    """``telemetry.span(...)`` that no-ops when ``telemetry`` is ``None``.
+
+    Collapses the ``if telemetry is None: work() else: with span(): work()``
+    duplication at call sites — the work appears exactly once.
+    """
+    if telemetry is None:
+        yield
+        return
+    with telemetry.span(name, **fields):
+        yield
 
 
 class Telemetry:

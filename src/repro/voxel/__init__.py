@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import simulation as _simulation
+from ..core.reduce import reduce_all
 from ..core.rng import task_rng
 from ..core.tally import Tally
 from .builders import (
@@ -61,4 +62,6 @@ def run_voxel(
     ]
     if not tallies:
         return Tally(n_layers=config.medium.n_materials, records=config.records)
-    return Tally.merge_all(tallies)
+    # Same canonical pairwise tree as Simulation/DataManager, so voxel runs
+    # keep the serial == distributed bit-identity contract.
+    return reduce_all(tallies, owned=True)

@@ -1,0 +1,187 @@
+"""Tests for the incremental pairwise tally reduction (repro.core.reduce)."""
+
+from __future__ import annotations
+
+import copy
+import math
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PairwiseReducer,
+    RecordConfig,
+    SimulationConfig,
+    Tally,
+    reduce_all,
+    task_rng,
+)
+from repro.core.simulation import run_photons
+from repro.detect.records import GridSpec
+from repro.observe import Telemetry
+from repro.sources import PencilBeam
+
+
+@pytest.fixture
+def rich_config(fast_stack) -> SimulationConfig:
+    """Config with every optional recording on, so merges touch all fields."""
+    return SimulationConfig(
+        stack=fast_stack,
+        source=PencilBeam(),
+        records=RecordConfig(
+            absorption_grid=GridSpec(shape=(4, 4, 4), lo=(-2, -2, 0), hi=(2, 2, 4)),
+            pathlength_bins=(0.0, 50.0, 16),
+            penetration_bins=(10.0, 16),
+        ),
+    )
+
+
+def make_tallies(config: SimulationConfig, n: int, photons: int = 30) -> list[Tally]:
+    return [run_photons(config, photons, task_rng(7, i)) for i in range(n)]
+
+
+class TestImerge:
+    def test_bit_identical_to_merge(self, rich_config):
+        a, b = make_tallies(rich_config, 2)
+        merged = a.merge(b)
+        accumulated = copy.deepcopy(a).imerge(b)
+        assert accumulated == merged  # Tally.__eq__ is bitwise-strict
+
+    def test_returns_self_and_leaves_other_untouched(self, rich_config):
+        a, b = make_tallies(rich_config, 2)
+        b_before = copy.deepcopy(b)
+        out = a.imerge(b)
+        assert out is a
+        assert b == b_before
+
+    def test_operand_order_is_bitwise_irrelevant(self, rich_config):
+        """IEEE-754 addition is commutative bitwise, so accumulate-into-a
+        equals accumulate-into-b — the property that lets the reducer mutate
+        whichever operand it owns."""
+        a, b = make_tallies(rich_config, 2)
+        ab = copy.deepcopy(a).imerge(b)
+        ba = copy.deepcopy(b).imerge(a)
+        assert ab == ba
+
+    def test_shape_mismatch_rejected(self, rich_config, fast_config):
+        a = make_tallies(rich_config, 1)[0]
+        c = make_tallies(fast_config, 1)[0]
+        with pytest.raises(ValueError, match="RecordConfig"):
+            a.imerge(c)
+
+
+class TestPairwiseReducer:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_any_completion_order_is_bit_identical(self, rich_config, n):
+        tallies = make_tallies(rich_config, n)
+        baseline = reduce_all([copy.deepcopy(t) for t in tallies], owned=True)
+        rng = random.Random(42)
+        for _ in range(4):
+            order = list(range(n))
+            rng.shuffle(order)
+            reducer = PairwiseReducer(n)
+            for i in order:
+                reducer.add(i, copy.deepcopy(tallies[i]), owned=True)
+            result = reducer.result()
+            assert result == baseline
+            assert pickle.dumps(result) == pickle.dumps(baseline)
+
+    def test_owned_and_copied_paths_match(self, rich_config):
+        tallies = make_tallies(rich_config, 5)
+        owned = PairwiseReducer(5)
+        shared = PairwiseReducer(5)
+        for i, t in enumerate(tallies):
+            owned.add(i, copy.deepcopy(t), owned=True)
+            shared.add(i, t, owned=False)
+        assert owned.result() == shared.result()
+
+    def test_unowned_leaves_never_mutated(self, rich_config):
+        tallies = make_tallies(rich_config, 4)
+        snapshots = [copy.deepcopy(t) for t in tallies]
+        reducer = PairwiseReducer(4)
+        for i, t in enumerate(tallies):
+            reducer.add(i, t, owned=False)
+        reducer.result()
+        for t, snap in zip(tallies, snapshots):
+            assert t == snap
+
+    def test_duplicate_index_rejected(self, rich_config):
+        (t,) = make_tallies(rich_config, 1)
+        reducer = PairwiseReducer(3)
+        reducer.add(1, t)
+        with pytest.raises(ValueError, match="duplicate"):
+            reducer.add(1, t)
+
+    def test_out_of_range_rejected(self, rich_config):
+        (t,) = make_tallies(rich_config, 1)
+        reducer = PairwiseReducer(3)
+        with pytest.raises(ValueError, match="out of range"):
+            reducer.add(3, t)
+        with pytest.raises(ValueError, match="out of range"):
+            reducer.add(-1, t)
+
+    def test_incomplete_result_raises(self, rich_config):
+        (t,) = make_tallies(rich_config, 1)
+        reducer = PairwiseReducer(2)
+        reducer.add(0, t)
+        with pytest.raises(ValueError, match="incomplete"):
+            reducer.result()
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(ValueError, match="n_tasks"):
+            PairwiseReducer(0)
+
+    def test_reduce_all_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            reduce_all([])
+
+
+class TestMemoryBound:
+    def test_in_order_peak_is_logarithmic(self, rich_config):
+        """In-order completion is a binary counter: ≤ ⌈log₂ n⌉ pending."""
+        n = 100
+        tallies = make_tallies(rich_config, n, photons=5)
+        reducer = PairwiseReducer(n)
+        for i, t in enumerate(tallies):
+            reducer.add(i, t, owned=True)
+        assert reducer.pending == 1
+        assert reducer.pending_peak <= math.ceil(math.log2(n))
+
+    @pytest.mark.parametrize("window", [1, 4, 8])
+    def test_windowed_completion_peak_bound(self, rich_config, window):
+        """Self-scheduling dispatch is in task order, so completions are a
+        shuffle within a bounded window: pending stays ≤ ⌈log₂ n⌉ + window
+        (the issue's acceptance bound, with `window` = tasks in flight)."""
+        n = 64
+        tallies = make_tallies(rich_config, n, photons=5)
+        rng = np.random.default_rng(window)
+        reducer = PairwiseReducer(n)
+        in_flight: list[int] = []
+        next_task = 0
+        while reducer.n_added < n:
+            while next_task < n and len(in_flight) < window:
+                in_flight.append(next_task)
+                next_task += 1
+            done = in_flight.pop(rng.integers(len(in_flight)))
+            reducer.add(done, tallies[done], owned=True)
+            assert reducer.pending <= math.ceil(math.log2(n)) + window
+        assert reducer.pending_peak <= math.ceil(math.log2(n)) + window
+        reducer.result()
+
+
+class TestTelemetry:
+    def test_metrics_emitted_at_result(self, rich_config):
+        tel = Telemetry.in_memory()
+        tallies = make_tallies(rich_config, 6, photons=5)
+        reducer = PairwiseReducer(6, telemetry=tel)
+        for i, t in enumerate(tallies):
+            reducer.add(i, t, owned=True)
+        reducer.result()
+        snapshot = tel.snapshot()
+        gauges = {g["name"]: g["value"] for g in snapshot["gauges"]}
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        assert gauges["reduce.pending_peak"] >= 1
+        assert gauges["reduce.pending_peak"] <= math.ceil(math.log2(6))
+        assert counters["reduce.seconds"] >= 0.0

@@ -70,6 +70,76 @@ class TestPathEvents:
         events.compact(np.zeros(2, bool), np.zeros(2, bool), grid)
         assert grid.sum() == 0.0
 
+    def test_mixed_dtype_inputs_deposit_exact_weights(self, spec):
+        """gid/w arrive as lists or narrow dtypes; conversion must happen
+        before masking so weights stay paired with their voxels."""
+        events = _PathEvents(spec)
+        events.append(
+            [0, 1, 2],  # plain list gid
+            np.array([0.5, 99.0, 2.5], dtype=np.float32),  # photon 1 outside
+            np.array([0.5, 0.5, 0.5], dtype=np.float32),
+            np.array([0.5, 0.5, 0.5], dtype=np.float32),
+            np.array([1.25, 7.0, 0.5], dtype=np.float32),  # float32 weights
+        )
+        assert events.gids[0].dtype == np.int64
+        assert events.ws[0].dtype == np.float64
+        assert events.gids[0].tolist() == [0, 2]
+        grid = spec.zeros()
+        events.compact(
+            np.zeros(3, bool), np.array([True, False, True]), grid
+        )
+        assert grid.sum() == pytest.approx(np.float32(1.25) + np.float32(0.5))
+        # Each weight landed in its own photon's voxel, not a neighbour's.
+        flat = grid.reshape(-1)
+        assert flat[flat > 0].tolist() == [
+            pytest.approx(float(np.float32(1.25))),
+            pytest.approx(float(np.float32(0.5))),
+        ]
+
+    def test_scalar_weight_broadcasts_to_all_events(self, spec):
+        events = _PathEvents(spec)
+        events.append(
+            np.array([0, 1], dtype=np.int32),  # narrow gid dtype
+            np.array([0.5, 1.5]),
+            np.array([0.5, 0.5]),
+            np.array([0.5, 0.5]),
+            0.75,  # scalar weight applies to every event
+        )
+        grid = spec.zeros()
+        events.compact(np.zeros(2, bool), np.ones(2, bool), grid)
+        assert grid.sum() == pytest.approx(1.5)
+
+    def test_misaligned_inputs_rejected(self, spec):
+        events = _PathEvents(spec)
+        with pytest.raises(ValueError, match="misaligned"):
+            events.append(
+                np.array([0, 1, 2]),  # three gids for two positions
+                np.array([0.5, 1.5]),
+                np.array([0.5, 0.5]),
+                np.array([0.5, 0.5]),
+                np.array([1.0, 2.0]),
+            )
+        with pytest.raises(ValueError, match="misaligned"):
+            events.append(
+                np.array([0, 1]),
+                np.array([0.5, 1.5]),
+                np.array([0.5, 0.5]),
+                np.array([0.5, 0.5]),
+                np.array([1.0]),  # one weight for two positions
+            )
+        assert not events.gids  # nothing was buffered by the failed appends
+
+    def test_non_contiguous_grid_rejected_not_silently_dropped(self, spec):
+        events = _PathEvents(spec)
+        events.append(
+            np.array([0]), np.array([0.5]), np.array([0.5]), np.array([0.5]),
+            np.array([1.0]),
+        )
+        base = np.zeros((4, 4, 8))
+        view = base[:, :, ::2]  # non-contiguous: reshape(-1) would copy
+        with pytest.raises(ValueError, match="contiguous"):
+            events.compact(np.zeros(1, bool), np.ones(1, bool), view)
+
 
 class TestState:
     def make_state(self, n=5):

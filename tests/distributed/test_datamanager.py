@@ -61,6 +61,30 @@ class TestSerialRun:
         assert report.tally.n_launched == 0
         assert report.n_tasks == 0
 
+    def test_zero_photons_report_well_formed(self, fast_config):
+        """A 0-photon run with telemetry still yields a complete report."""
+        from repro.observe import Telemetry
+
+        tel = Telemetry.in_memory()
+        manager = DataManager(fast_config, n_photons=0, telemetry=tel)
+        report = manager.run(SerialBackend())
+        assert report.task_results == []
+        assert report.retries == 0
+        assert report.speculative_duplicates == 0
+        assert report.per_worker() == {}
+        assert report.wall_seconds >= 0.0
+        assert report.metrics is not None
+        assert report.tally.energy_balance != report.tally.energy_balance  # NaN
+
+    def test_sub_task_size_run_is_single_task(self, fast_config):
+        """n_photons < task_size collapses to one task, bitwise == serial."""
+        manager = DataManager(fast_config, n_photons=30, seed=4, task_size=100)
+        report = manager.run(SerialBackend())
+        assert report.n_tasks == 1
+        assert report.task_results[0].photons == 30
+        serial = Simulation(fast_config).run(30, seed=4, task_size=100)
+        assert report.tally == serial
+
     def test_matches_simulation_facade_exactly(self, fast_config):
         """Distributed == serial: the headline reproducibility guarantee."""
         manager = DataManager(fast_config, n_photons=400, seed=9, task_size=150)

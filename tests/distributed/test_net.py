@@ -106,6 +106,93 @@ class TestFraming:
         assert issubclass(ProtocolError, ConnectionError)
 
 
+class TestCompression:
+    def test_round_trip_shrinks_wire_bytes(self):
+        payload = {"grid": np.zeros(50_000)}  # highly compressible
+        saved: list[int] = []
+        server, client = socket.socketpair()
+        with server, client:
+            sender = threading.Thread(
+                target=send_message,
+                args=(client, payload),
+                kwargs={"compress": True, "saved_cb": saved.append},
+            )
+            sender.start()
+            received = recv_message(server)
+            sender.join()
+        np.testing.assert_array_equal(received["grid"], payload["grid"])
+        assert saved and saved[0] > 0  # net.bytes_saved accounting hook
+
+    def test_small_frames_skip_compression(self):
+        saved: list[int] = []
+        server, client = socket.socketpair()
+        with server, client:
+            send_message(client, {"type": "next"}, compress=True,
+                         saved_cb=saved.append)
+            header = struct.unpack(">Q", server.recv(8, socket.MSG_PEEK))[0]
+            assert not header & (1 << 63)  # flag bit clear: plain frame
+            assert recv_message(server) == {"type": "next"}
+        assert saved == []
+
+    def test_off_by_default(self):
+        server, client = socket.socketpair()
+        with server, client:
+            send_message(client, list(range(2000)))  # > _COMPRESS_MIN pickled
+            header = struct.unpack(">Q", server.recv(8, socket.MSG_PEEK))[0]
+            assert not header & (1 << 63)
+            assert recv_message(server) == list(range(2000))
+
+    def test_corrupt_compressed_payload_rejected(self):
+        garbage = b"this is not a zlib stream at all"
+        server, client = socket.socketpair()
+        with server, client:
+            header = struct.pack(">Q", (1 << 63) | len(garbage))
+            client.sendall(header + garbage)
+            with pytest.raises(ProtocolError, match="compressed"):
+                recv_message(server)
+
+    def test_zlib_bomb_capped(self):
+        """A frame must not decompress past max_size (zlib-bomb guard)."""
+        import pickle
+        import zlib
+
+        bomb = zlib.compress(pickle.dumps(bytes(1 << 20)))
+        server, client = socket.socketpair()
+        with server, client:
+            client.sendall(struct.pack(">Q", (1 << 63) | len(bomb)) + bomb)
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_message(server, max_size=4096)
+
+    def test_end_to_end_negotiated_compression(self, net_config):
+        from repro.observe import Telemetry
+
+        tel = Telemetry.in_memory()
+        server = NetworkServer(
+            net_config, n_photons=400, seed=7, task_size=100,
+            compress=True, telemetry=tel,
+        ).start()
+        threads = run_clients(server.port, 2)
+        report = server.wait(timeout=120)
+        for t in threads:
+            t.join(timeout=30)
+        serial = DataManager(net_config, 400, seed=7, task_size=100).run(
+            SerialBackend()
+        )
+        assert report.tally == serial.tally  # bitwise, compression lossless
+        counters = {c["name"]: c["value"] for c in report.metrics["counters"]}
+        assert counters.get("net.bytes_saved", 0) > 0
+
+
+class TestServerValidation:
+    def test_constructor_rejects_bad_parameters(self, net_config):
+        with pytest.raises(ValueError, match="n_photons"):
+            NetworkServer(net_config, n_photons=-1)
+        with pytest.raises(ValueError, match="task_size"):
+            NetworkServer(net_config, n_photons=1, task_size=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            NetworkServer(net_config, n_photons=1, max_retries=-1)
+
+
 class TestNetworkRun:
     def test_single_client_equals_serial(self, net_config):
         server = NetworkServer(net_config, n_photons=500, seed=3, task_size=100).start()

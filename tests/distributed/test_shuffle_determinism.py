@@ -1,0 +1,166 @@
+"""Completion-order shuffle determinism (the PR 3 acceptance tests).
+
+The incremental pairwise reducer must make the merged tally a function of
+the request alone: thread/process parallelism, stragglers and speculative
+duplicate injection may scramble the completion order arbitrarily, yet the
+result stays **bit-identical** to a serial run — and the reduction must do
+it in bounded memory with no end-of-run merge stall.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.core import Simulation
+from repro.distributed import (
+    DataManager,
+    FaultInjector,
+    MultiprocessingBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.io import load_tally, save_tally
+from repro.observe import MemorySink, Telemetry
+
+
+def assert_bit_identical(a, b) -> None:
+    assert a == b  # Tally.__eq__ is bitwise-strict
+    assert pickle.dumps(a) == pickle.dumps(b)
+
+
+@pytest.fixture
+def serial_tally(fast_config):
+    return Simulation(fast_config).run(600, seed=11, task_size=75)
+
+
+class TestShuffledCompletion:
+    def test_threads_with_speculative_duplicates(self, fast_config, serial_tally):
+        """Stragglers + speculation scramble completion order; bits hold."""
+        manager = DataManager(
+            fast_config,
+            n_photons=600,
+            seed=11,
+            task_size=75,
+            task_runner=FaultInjector(slow_tasks_once={1: 0.6, 5: 0.6}),
+            task_deadline=0.05,
+            max_speculative=1,
+        )
+        with ThreadBackend(4) as backend:
+            report = manager.run(backend)
+        assert report.speculative_duplicates >= 1
+        assert_bit_identical(report.tally, serial_tally)
+
+    def test_process_pool_matches_serial(self, fast_config, serial_tally):
+        manager = DataManager(fast_config, n_photons=600, seed=11, task_size=75)
+        with MultiprocessingBackend(2) as backend:
+            report = manager.run(backend)
+        assert_bit_identical(report.tally, serial_tally)
+
+    def test_npz_round_trip_identical(self, fast_config, serial_tally, tmp_path):
+        """The persisted .npz archives agree array-for-array with serial."""
+        manager = DataManager(
+            fast_config,
+            n_photons=600,
+            seed=11,
+            task_size=75,
+            task_runner=FaultInjector(slow_tasks_once={2: 0.5}),
+            task_deadline=0.05,
+        )
+        with ThreadBackend(4) as backend:
+            report = manager.run(backend)
+        save_tally(tmp_path / "distributed.npz", report.tally)
+        save_tally(tmp_path / "serial.npz", serial_tally)
+        assert_bit_identical(
+            load_tally(tmp_path / "distributed.npz"),
+            load_tally(tmp_path / "serial.npz"),
+        )
+
+    def test_fault_injector_is_picklable(self, fast_config):
+        """Process backends ship the injector to workers by pickling it."""
+        injector = FaultInjector(slow_tasks_once={0: 0.0}, fail_tasks_once={9})
+        clone = pickle.loads(pickle.dumps(injector))
+        from repro.distributed.protocol import TaskSpec
+
+        result = clone(fast_config, TaskSpec(0, 20, 0))
+        assert result.tally.n_launched == 20
+
+
+class TestReduceTelemetry:
+    def test_no_merge_span_and_bounded_pending(self, fast_config, serial_tally):
+        tel = Telemetry(sink=MemorySink())
+        manager = DataManager(
+            fast_config,
+            n_photons=600,
+            seed=11,
+            task_size=75,
+            task_deadline=0.05,
+            task_runner=FaultInjector(slow_tasks_once={1: 0.5}),
+            telemetry=tel,
+        )
+        with ThreadBackend(4) as backend:
+            report = manager.run(backend)
+        assert_bit_identical(report.tally, serial_tally)
+
+        # The end-of-run merge stall is gone from the telemetry stream.
+        span_names = {
+            e.get("name") for e in tel.sink.events if e["event"] == "span_start"
+        }
+        assert "merge" not in span_names
+
+        gauges = {g["name"]: g["value"] for g in report.metrics["gauges"]}
+        counters = {c["name"]: c["value"] for c in report.metrics["counters"]}
+        n_tasks = report.n_tasks
+        bound = math.ceil(math.log2(n_tasks)) + 4 + report.speculative_duplicates
+        assert 1 <= gauges["reduce.pending_peak"] <= bound
+        assert counters["reduce.seconds"] >= 0.0
+
+    def test_serial_run_emits_reduce_metrics(self, fast_config):
+        tel = Telemetry.in_memory()
+        Simulation(fast_config).run(300, seed=1, task_size=100, telemetry=tel)
+        snapshot = tel.snapshot()
+        gauges = {g["name"]: g["value"] for g in snapshot["gauges"]}
+        assert gauges["reduce.pending_peak"] <= math.ceil(math.log2(3))
+        span_names = {
+            e.get("name") for e in tel.sink.events if e["event"] == "span_start"
+        }
+        assert "merge" not in span_names
+
+
+class TestDroppedTaskTallies:
+    def test_merged_tally_unchanged_and_metadata_kept(self, fast_config, serial_tally):
+        lean = DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75,
+            retain_task_tallies=False,
+        )
+        with ThreadBackend(3) as backend:
+            report = lean.run(backend)
+        assert_bit_identical(report.tally, serial_tally)
+        assert all(r.tally is None for r in report.task_results)
+        assert [r.photons for r in report.task_results] == [75] * 8
+        per_worker = report.per_worker()
+        assert sum(v["photons"] for v in per_worker.values()) == 600
+
+    def test_checkpoint_resume_through_reducer(self, fast_config, tmp_path):
+        baseline = DataManager(
+            fast_config, n_photons=500, seed=3, task_size=100
+        ).run(SerialBackend())
+
+        ckpt_dir = tmp_path / "ckpt"
+        first = DataManager(
+            fast_config, n_photons=500, seed=3, task_size=100,
+            checkpoint=ckpt_dir, retain_task_tallies=False,
+            task_runner=FaultInjector(fail_tasks_always=frozenset({3})),
+            max_retries=0,
+        )
+        with pytest.raises(Exception):
+            first.run(SerialBackend())
+
+        resumed = DataManager(
+            fast_config, n_photons=500, seed=3, task_size=100,
+            checkpoint=ckpt_dir, retain_task_tallies=False,
+        ).run(SerialBackend())
+        assert_bit_identical(resumed.tally, baseline.tally)
+        assert all(r.tally is None for r in resumed.task_results)
