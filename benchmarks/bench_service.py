@@ -1,0 +1,127 @@
+"""Service path — cold simulation vs cached result vs coalesced riders.
+
+The serving subsystem (PR-5) claims that a repeated request costs a disk
+read instead of a simulation, and that N concurrent identical requests
+cost *one* simulation instead of N.  This bench measures the three
+latencies on the same request, prints the comparison, and writes the
+numbers to ``BENCH_service.json`` for CI to archive.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from conftest import scaled
+
+from repro import api
+from repro.api import RunRequest
+from repro.core import SimulationConfig
+from repro.io import format_table
+from repro.service import JobManager, ResultStore
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+CONFIG = SimulationConfig(stack=LayerStack.homogeneous(PROPS), source=PencilBeam())
+
+N_RIDERS = 8
+
+
+def make_request(photons: int) -> RunRequest:
+    return RunRequest(config=CONFIG, n_photons=photons, seed=3, task_size=photons)
+
+
+def run_service_paths(photons: int, root: Path):
+    calls = []
+
+    def counting_runner(request):
+        calls.append(request)
+        return api.run(request).tally
+
+    store = ResultStore(root / "store")
+    manager = JobManager(store, max_workers=2, runner=counting_runner)
+    try:
+        request = make_request(photons)
+
+        t0 = time.perf_counter()
+        cold_tally = manager.submit(request).result(timeout=600)
+        cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        job = manager.submit(request)
+        cached_tally = job.result(timeout=600)
+        cached = time.perf_counter() - t0
+        assert job.cache_hit
+        assert cached_tally == cold_tally  # bit-identical, no re-simulation
+
+        # Coalescing: empty the store so the request must simulate again,
+        # then race N identical submissions.
+        store.clear()
+        sims_before = len(calls)
+        barrier = threading.Barrier(N_RIDERS)
+        jobs = [None] * N_RIDERS
+
+        def submit(i):
+            barrier.wait()
+            jobs[i] = manager.submit(request)
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(N_RIDERS)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        results = []
+        for t in threads:
+            t.join()
+        for job in jobs:
+            results.append(job.result(timeout=600))
+        coalesced = time.perf_counter() - t0
+
+        sims = len(calls) - sims_before
+        assert sims == 1, f"{N_RIDERS} identical submissions ran {sims} simulations"
+        assert all(r == cold_tally for r in results)
+        return cold, cached, coalesced, sims
+    finally:
+        manager.close()
+
+
+def test_service_latency(benchmark, report, tmp_path):
+    photons = scaled(4000)
+
+    cold, cached, coalesced, sims = benchmark.pedantic(
+        run_service_paths, args=(photons, tmp_path), rounds=1, iterations=1
+    )
+
+    report("\n=== Service: cold vs cached vs coalesced ===")
+    report(format_table(
+        ["path", "latency (ms)", "simulations"],
+        [
+            ["cold (miss, simulate)", cold * 1e3, 1],
+            ["cached (store hit)", cached * 1e3, 0],
+            [f"coalesced ({N_RIDERS} riders)", coalesced * 1e3, sims],
+        ],
+        float_format="{:.3g}",
+    ))
+    report(
+        f"\ncache speedup: {cold / cached:.1f}x; "
+        f"{N_RIDERS} riders share one simulation "
+        f"({coalesced / cold:.2f}x the cold latency)"
+    )
+
+    Path("BENCH_service.json").write_text(json.dumps({
+        "photons": photons,
+        "n_riders": N_RIDERS,
+        "cold_seconds": cold,
+        "cached_seconds": cached,
+        "coalesced_seconds": coalesced,
+        "coalesced_simulations": sims,
+    }, indent=2))
+
+    # --- the two claimed wins ----------------------------------------------
+    assert cached < cold  # a store hit never re-simulates
+    # N riders cost ~one simulation, not N: far below the serial worst case.
+    assert coalesced < cold * (N_RIDERS / 2)

@@ -44,10 +44,11 @@ __all__ = [
     "Tally",
     "api",
     "observe",
+    "service",
     "__version__",
 ]
 
-_LAZY_SUBMODULES = ("api", "observe", "distributed", "cluster")
+_LAZY_SUBMODULES = ("api", "observe", "distributed", "cluster", "service")
 
 
 def __getattr__(name: str):

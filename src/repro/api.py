@@ -158,7 +158,15 @@ class RunRequest:
         return "serial" if self.workers == 1 else "process"
 
     def provenance(self) -> dict:
-        """Self-description embedded in saved tallies (``save_tally``)."""
+        """Self-description embedded in saved tallies (``save_tally``).
+
+        Includes the canonical request ``fingerprint``
+        (:func:`repro.service.request_fingerprint`), so any archive can be
+        verified against the request that claims it
+        (``load_tally(expected_fingerprint=...)``).
+        """
+        from .service.fingerprint import request_fingerprint
+
         return {
             "package": "repro",
             "version": __version__,
@@ -168,6 +176,7 @@ class RunRequest:
             "kernel": self.kernel,
             "task_size": self.resolved_task_size(),
             "boundary_mode": self.boundary_mode,
+            "fingerprint": request_fingerprint(self),
             "created_unix": time.time(),
         }
 

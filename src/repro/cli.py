@@ -11,6 +11,11 @@ Subcommands map one-to-one onto the paper's experiments:
 * ``speedup``  — the Fig. 2 experiment: simulated homogeneous-cluster
   speedup/efficiency curve;
 * ``table2``   — the heterogeneous-cluster experiment of Table 2.
+
+Beyond the paper: ``serve``/``client`` run the TCP master–worker platform,
+and ``serve-http`` exposes simulations as an HTTP service with
+content-addressed result caching and request coalescing
+(:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -64,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="continue from an existing checkpoint in --checkpoint DIR")
     run.add_argument("--task-deadline", type=float, default=None, metavar="SECONDS",
                      help="speculatively re-dispatch tasks in flight longer than this")
+    run.add_argument("--no-retain-task-tallies", dest="retain_task_tallies",
+                     action="store_false",
+                     help="drop per-task tallies once folded into the reduction "
+                          "(bounds memory; task results carry metadata only)")
+    run.add_argument("--compress", action="store_true",
+                     help="offer zlib frame compression on the task wire "
+                          "(meaningful when the run involves TCP clients; "
+                          "a purely local run has no wire and ignores it)")
 
     banana = sub.add_parser("banana", help="Fig. 3: banana sensitivity profile")
     banana.add_argument("--photons", type=int, default=40_000)
@@ -112,10 +125,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--compress", action="store_true",
                        help="offer zlib frame compression to clients "
                             "(negotiated per connection)")
+    serve.add_argument("--no-retain-task-tallies", dest="retain_task_tallies",
+                       action="store_false",
+                       help="drop per-task tallies once folded into the reduction "
+                            "(bounds server memory on long campaigns)")
     serve.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
                        help="write structured telemetry events to this JSONL file")
     serve.add_argument("--progress", action="store_true",
                        help="live progress bar on stderr")
+
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="HTTP simulation service with content-addressed result caching "
+             "and request coalescing",
+    )
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8080,
+                            help="0 picks a free port")
+    serve_http.add_argument("--store", type=str, default="tally-store", metavar="DIR",
+                            help="content-addressed result store directory")
+    serve_http.add_argument("--store-max-mb", type=float, default=1024.0,
+                            help="LRU-evict stored tallies beyond this footprint")
+    serve_http.add_argument("--job-workers", type=int, default=2,
+                            help="simulations running concurrently")
+    serve_http.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
+                            help="write structured telemetry events to this JSONL file")
+    serve_http.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                            help="serve for this long then exit (default: forever)")
 
     client = sub.add_parser("client", help="connect to a 'serve' instance and work")
     client.add_argument("--host", default="127.0.0.1")
@@ -199,6 +235,8 @@ def _cmd_run(args) -> int:
         checkpoint=checkpoint,
         resume=args.resume,
         task_deadline=args.task_deadline,
+        compress=args.compress,
+        retain_task_tallies=args.retain_task_tallies,
         detector_spacing=args.detector_spacing,
         gate=tuple(args.gate) if args.gate else None,
         boundary_mode=args.boundary_mode,
@@ -354,6 +392,7 @@ def _cmd_serve(args) -> int:
         resume=args.resume,
         task_deadline=args.task_deadline,
         compress=args.compress,
+        retain_task_tallies=args.retain_task_tallies,
         metrics_path=args.metrics,
         progress=args.progress,
         on_server_start=announce,
@@ -368,6 +407,41 @@ def _cmd_serve(args) -> int:
         _print_metrics_block(report)
     if args.metrics:
         print(f"# telemetry events written to {args.metrics}")
+    return 0
+
+
+def _cmd_serve_http(args) -> int:
+    from .observe import Telemetry
+    from .service import JobManager, ResultStore, ServiceServer
+
+    telemetry = Telemetry.to_jsonl(args.metrics) if args.metrics else Telemetry()
+    store = ResultStore(
+        args.store,
+        max_bytes=int(args.store_max_mb * 2**20),
+        telemetry=telemetry,
+    )
+    manager = JobManager(store, max_workers=args.job_workers, telemetry=telemetry)
+    server = ServiceServer(manager, host=args.host, port=args.port)
+    print(f"# simulation service listening on {server.url}")
+    print(f"# result store: {store.root} "
+          f"({len(store)} cached, {store.total_bytes() / 2**20:.1f} MB, "
+          f"bound {args.store_max_mb:g} MB)")
+    print(f"# submit:  curl -X POST {server.url}/v1/runs "
+          "-d '{\"model\": \"adult_head\", \"n_photons\": 100000}'")
+    print(f"# metrics: curl {server.url}/v1/metrics")
+    try:
+        if args.timeout is not None:
+            server.start()
+            import time as _time
+
+            _time.sleep(args.timeout)
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        print("# interrupted, shutting down")
+    finally:
+        server.close()
+        telemetry.finish()
     return 0
 
 
@@ -432,6 +506,7 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": _cmd_speedup,
         "table2": _cmd_table2,
         "serve": _cmd_serve,
+        "serve-http": _cmd_serve_http,
         "client": _cmd_client,
         "fit": _cmd_fit,
     }

@@ -110,11 +110,17 @@ def save_tally(path: str | Path, tally: Tally, provenance: dict | None = None) -
     return path
 
 
-def load_tally(path: str | Path) -> Tally:
+def load_tally(path: str | Path, *, expected_fingerprint: str | None = None) -> Tally:
     """Load a tally written by :func:`save_tally`.
 
     If the archive carries run provenance it is attached to the returned
     tally as a ``provenance`` dict attribute (``None`` otherwise).
+
+    ``expected_fingerprint`` makes the load *self-verifying*: the archive
+    must carry that request fingerprint in its provenance (see
+    :func:`repro.service.request_fingerprint`) or a ``ValueError`` is
+    raised.  The content-addressed result store uses this to detect stale
+    or foreign artifacts instead of serving them as answers.
     """
     path = Path(path)
     with np.load(path) as data:
@@ -123,6 +129,14 @@ def load_tally(path: str | Path) -> Tally:
             raise ValueError(
                 f"unsupported tally format version {header.get('format_version')!r}"
             )
+        if expected_fingerprint is not None:
+            found = (header.get("provenance") or {}).get("fingerprint")
+            if found != expected_fingerprint:
+                raise ValueError(
+                    f"tally at {path} belongs to a different request: "
+                    f"provenance fingerprint {found!r} != expected "
+                    f"{expected_fingerprint!r}"
+                )
         rd = header["records"]
         records = RecordConfig(
             absorption_grid=_grid_spec_from_dict(rd["absorption_grid"]),

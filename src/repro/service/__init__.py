@@ -1,0 +1,52 @@
+"""repro.service — the simulation-serving subsystem.
+
+Turns the batch reproduction into a serving system by exploiting the
+determinism contract of :mod:`repro.api` (same request → bit-identical
+tally on any substrate):
+
+* :mod:`~repro.service.fingerprint` — a versioned, canonical hash of a
+  :class:`~repro.api.RunRequest`, so semantically identical requests
+  collide on one address;
+* :mod:`~repro.service.store` — a content-addressed, size-bounded LRU
+  store of tally archives keyed by fingerprint, with self-verifying reads;
+* :mod:`~repro.service.jobs` — an async job manager that answers repeats
+  from the store, coalesces concurrent identical submissions onto one
+  running simulation, and executes cold work with bounded concurrency;
+* :mod:`~repro.service.http` — a stdlib-only HTTP front end
+  (``POST /v1/runs``, ``GET /v1/runs/<id>``,
+  ``GET /v1/results/<fingerprint>``, ``GET /v1/metrics``), exposed on the
+  CLI as ``tissue-mc serve-http``.
+
+Example
+-------
+>>> from repro.api import RunRequest
+>>> from repro.service import JobManager
+>>> with JobManager() as jobs:
+...     job = jobs.submit(RunRequest(model="white_matter", n_photons=2000))
+...     tally = job.result(timeout=60)
+>>> tally.n_launched
+2000
+"""
+
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_request,
+    canonicalize,
+    request_fingerprint,
+)
+from .http import ServiceServer, request_from_json
+from .jobs import Job, JobManager, JobState
+from .store import ResultStore
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "Job",
+    "JobManager",
+    "JobState",
+    "ResultStore",
+    "ServiceServer",
+    "canonical_request",
+    "canonicalize",
+    "request_from_json",
+    "request_fingerprint",
+]

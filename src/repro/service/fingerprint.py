@@ -1,0 +1,169 @@
+"""Canonical request fingerprinting.
+
+The decomposition contract of :mod:`repro.api` — a request's tally depends
+only on ``(config, n_photons, seed, task_size, kernel)``, never on the
+execution substrate — makes identical requests perfectly cacheable: two
+:class:`~repro.api.RunRequest` objects that describe the same physics are
+guaranteed to produce bit-identical tallies.  This module turns that
+guarantee into an address.  :func:`request_fingerprint` hashes a *canonical*
+form of the request in which
+
+* only physics-bearing fields participate (``workers``, ``backend``,
+  ``mode``, checkpointing, telemetry, compression, … are excluded: they
+  cannot change the tally);
+* defaults are materialized (``task_size=None`` and
+  ``task_size=DEFAULT_TASK_SIZE`` collide; a ``model`` name and the
+  explicit :class:`~repro.core.SimulationConfig` it builds collide);
+* field order is irrelevant (every mapping is serialised with sorted keys);
+* numeric types are normalised (``np.float64(2.0)`` and ``2.0`` collide;
+  ``-0.0`` collapses to ``+0.0``; floats hash by their IEEE-754 bits, so
+  no decimal round-trip can split or merge values);
+* numpy arrays hash by dtype, shape and raw contiguous bytes.
+
+The canonical form is versioned: :data:`FINGERPRINT_VERSION` participates
+in the hash, so any future change to the canonicalization rules moves every
+fingerprint and a store populated under the old rules can never serve a
+wrong answer — only a cold one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import struct
+import types
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..tissue.layer import LayerStack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api import RunRequest
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "canonicalize",
+    "canonical_request",
+    "request_fingerprint",
+]
+
+#: Version of the canonicalization rules.  Bump on ANY change to
+#: :func:`canonicalize` or :func:`canonical_request` — the version is part
+#: of the hashed payload, so a bump invalidates every existing fingerprint.
+FINGERPRINT_VERSION = 1
+
+
+def _float_token(x: float) -> list:
+    """A float as its IEEE-754 bits (exact, JSON-safe, inf/nan included)."""
+    x = float(x) + 0.0  # collapse -0.0 onto +0.0
+    if math.isnan(x):
+        return ["f", "nan"]
+    return ["f", struct.pack("<d", x).hex()]
+
+
+def canonicalize(obj: object) -> object:
+    """Reduce ``obj`` to a JSON-serialisable canonical form.
+
+    Handles the value types that appear in simulation configs: scalars
+    (python and numpy), sequences, mappings, numpy arrays, dataclasses
+    (fields materialized, including defaults) and plain objects (public
+    ``__dict__`` attributes).  Raises ``TypeError`` for anything it cannot
+    canonicalize deterministically — silently guessing would risk two
+    different requests sharing a fingerprint.
+    """
+    if obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return _float_token(obj)
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        if np.issubdtype(data.dtype, np.floating):
+            data = data + 0.0  # collapse -0.0 onto +0.0, elementwise
+        return [
+            "a",
+            data.dtype.str,
+            list(data.shape),
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, LayerStack):
+        # Not a dataclass; the coefficient vectors it precomputes are
+        # derived from the layers, so only the defining state participates.
+        return [
+            "o",
+            "repro.tissue.layer.LayerStack",
+            {
+                "layers": [canonicalize(layer) for layer in obj.layers],
+                "n_above": _float_token(obj.n_above),
+                "n_below": _float_token(obj.n_below),
+            },
+        ]
+    cls = type(obj)
+    name = f"{cls.__module__}.{cls.__qualname__}"
+    if isinstance(
+        obj,
+        (types.FunctionType, types.BuiltinFunctionType, types.MethodType, type),
+    ):
+        # Functions, lambdas and classes have a ``__dict__`` but carry their
+        # behaviour in code — two different ones could collide on identical
+        # (typically empty) attribute dicts.
+        raise TypeError(f"cannot canonicalize {name} for fingerprinting")
+    if dataclasses.is_dataclass(obj):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return ["o", name, fields]
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return [
+            "o",
+            name,
+            {k: canonicalize(v) for k, v in state.items() if not k.startswith("_")},
+        ]
+    raise TypeError(f"cannot canonicalize {name} for fingerprinting")
+
+
+def canonical_request(request: "RunRequest") -> dict:
+    """The canonical (physics-only) form of a request.
+
+    Builds the full :class:`~repro.core.SimulationConfig` first, so a named
+    ``model`` request and the equivalent explicit-``config`` request reduce
+    to the same form, and every default is materialized.
+    """
+    from ..api import build_config
+
+    return {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "n_photons": int(request.n_photons),
+        "seed": int(request.seed),
+        "kernel": str(request.kernel),
+        "task_size": int(request.resolved_task_size()),
+        "config": canonicalize(build_config(request)),
+    }
+
+
+def request_fingerprint(request: "RunRequest") -> str:
+    """Stable hex fingerprint of the physics a request describes.
+
+    Two requests share a fingerprint iff their canonical forms are equal —
+    and by the decomposition contract, equal canonical forms guarantee
+    bit-identical tallies on any substrate.
+    """
+    payload = json.dumps(
+        canonical_request(request),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,235 @@
+"""Stdlib-only HTTP front end for the simulation service.
+
+A :class:`ServiceServer` wraps a :class:`~repro.service.jobs.JobManager`
+behind ``http.server.ThreadingHTTPServer`` — no framework, no third-party
+dependency, in keeping with the repo's stdlib+numpy discipline.  The API:
+
+``POST /v1/runs``
+    Submit a run.  Body: a JSON object with the physics fields of a
+    :class:`~repro.api.RunRequest` (``model``, ``n_photons``, ``seed``,
+    ``kernel``, ``task_size``, ``detector_spacing``, ``gate``,
+    ``boundary_mode``) plus local execution knobs (``workers``,
+    ``backend``, ``retain_task_tallies``).  Returns ``200`` with the job
+    status when the result was already cached, ``202`` otherwise.
+``GET /v1/runs/<job_id>``
+    Job status (state, fingerprint, cache/coalesce flags, timings, error).
+``GET /v1/results/<fingerprint>``
+    The stored tally as the raw ``.npz`` archive written by
+    :func:`repro.io.save_tally` — load it with
+    :func:`repro.io.load_tally`.  ``404`` until the run has completed.
+``GET /v1/metrics``
+    JSON snapshot of the service metrics registry (cache hits/misses,
+    coalesced submissions, queue depth, job latency, kernel counters).
+
+Responses are JSON except for the archive endpoint
+(``application/octet-stream``).  Errors carry ``{"error": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..api import RunRequest
+from .jobs import JobManager, JobState
+
+__all__ = ["ServiceServer", "request_from_json"]
+
+#: RunRequest fields a remote caller may set.  Everything else — mode,
+#: host/port, checkpointing, telemetry, callbacks — is the server's
+#: business, not the wire's.
+_REQUEST_FIELDS = frozenset({
+    "model",
+    "n_photons",
+    "seed",
+    "kernel",
+    "task_size",
+    "workers",
+    "backend",
+    "detector_spacing",
+    "gate",
+    "boundary_mode",
+    "retain_task_tallies",
+})
+
+
+def request_from_json(payload: object) -> RunRequest:
+    """Build a :class:`RunRequest` from an untrusted JSON body.
+
+    Only whitelisted fields are accepted (unknown keys are a hard error so
+    typos fail loudly instead of silently simulating the wrong thing), and
+    the resulting request is validated by ``RunRequest`` itself.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = sorted(set(payload) - _REQUEST_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown request field(s) {unknown}; allowed: {sorted(_REQUEST_FIELDS)}"
+        )
+    if "model" not in payload:
+        raise ValueError("request must name a 'model'")
+    kwargs = dict(payload)
+    if kwargs.get("gate") is not None:
+        gate = kwargs["gate"]
+        if not isinstance(gate, (list, tuple)) or len(gate) != 2:
+            raise ValueError(f"gate must be a [l_min, l_max] pair, got {gate!r}")
+        kwargs["gate"] = (float(gate[0]), float(gate[1]))
+    try:
+        return RunRequest(**kwargs)
+    except TypeError as exc:
+        raise ValueError(str(exc)) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; routing only — all state lives in the JobManager."""
+
+    manager: JobManager  # injected by ServiceServer via a subclass attribute
+    protocol_version = "HTTP/1.1"
+
+    # ----------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the service speaks through /v1/metrics, not stderr
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, data: bytes, content_type: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    # ------------------------------------------------------------------ routes
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/v1/runs":
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            request = request_from_json(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            job = self.manager.submit(request)
+        except RuntimeError as exc:  # manager closed
+            self._send_json(503, {"error": str(exc)})
+            return
+        status = 200 if job.state == JobState.DONE else 202
+        self._send_json(status, job.as_dict())
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = [p for p in self.path.split("/") if p]
+        if parts == ["v1", "metrics"]:
+            self._send_json(200, self.manager.telemetry.snapshot())
+        elif parts == ["v1", "healthz"]:
+            self._send_json(200, {"ok": True})
+        elif len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+            job = self.manager.job(parts[2])
+            if job is None:
+                self._send_json(404, {"error": f"unknown job {parts[2]!r}"})
+            else:
+                self._send_json(200, job.as_dict())
+        elif len(parts) == 3 and parts[:2] == ["v1", "results"]:
+            self._get_result(parts[2])
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        parts = [p for p in self.path.split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+            if self.manager.cancel(parts[2]):
+                self._send_json(200, self.manager.job(parts[2]).as_dict())
+            else:
+                self._send_json(409, {"error": f"job {parts[2]!r} not cancellable"})
+        else:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def _get_result(self, fingerprint: str) -> None:
+        store = self.manager.store
+        if store is None:
+            self._send_json(404, {"error": "server runs without a result store"})
+            return
+        try:
+            data = store.read_bytes(fingerprint)
+        except ValueError as exc:  # malformed fingerprint
+            self._send_json(400, {"error": str(exc)})
+            return
+        if data is None:
+            self._send_json(404, {"error": f"no result for {fingerprint!r}"})
+            return
+        self.manager.telemetry.count("service.results.served")
+        self._send_bytes(data, "application/octet-stream")
+
+
+class ServiceServer:
+    """The HTTP face of a :class:`JobManager`.
+
+    ``port=0`` binds a free port (read :attr:`port` after construction).
+    :meth:`start` serves on a daemon thread; :meth:`serve_forever` serves on
+    the calling thread (the CLI's foreground mode).  Closing the server
+    also closes the manager unless it was caller-owned
+    (``close(shutdown_manager=False)``).
+    """
+
+    def __init__(
+        self, manager: JobManager, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.manager = manager
+        handler = type("BoundHandler", (_Handler,), {"manager": manager})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self, *, shutdown_manager: bool = True) -> None:
+        if self._serving:
+            # shutdown() waits on the serve loop; calling it on a server
+            # that never served would block forever.
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if shutdown_manager:
+            self.manager.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

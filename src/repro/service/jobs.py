@@ -1,0 +1,313 @@
+"""Async job manager: dedup, coalesce, execute with bounded concurrency.
+
+The paper's platform answers one question per campaign; a *serving* system
+faces many callers asking overlapping questions concurrently.  The
+:class:`JobManager` is the piece that exploits determinism at submission
+time:
+
+1. **Cache check** — the request's fingerprint is looked up in the
+   :class:`~repro.service.store.ResultStore`; a hit completes the job
+   immediately, no simulation.
+2. **Coalescing** — if an identical request is already *in flight*, the new
+   submission attaches to the running flight instead of starting a second
+   simulation: N concurrent identical submissions cost exactly one run, and
+   every attached job receives the same result.
+3. **Execution** — cache-cold, un-coalesced work runs through the
+   :func:`repro.api.run` facade on a bounded thread pool (each run may
+   itself fan out over its own process/thread backend).
+
+Job lifecycle: ``queued → running → done | failed | cancelled``.  A queued
+job can be cancelled; cancelling every job of a flight cancels the flight
+(if it has not started).  All state transitions are metered into
+:mod:`repro.observe` — cache hits/misses, coalesced submissions, a
+queue-depth gauge and a job-latency histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..api import RunRequest
+from ..core.tally import Tally
+from ..observe import Telemetry
+from .fingerprint import request_fingerprint
+from .store import ResultStore
+
+__all__ = ["Job", "JobManager", "JobState"]
+
+
+class JobState:
+    """The five job states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class Job:
+    """One submission: identity, state and (eventually) a result."""
+
+    id: str
+    fingerprint: str
+    request: RunRequest
+    state: str = JobState.QUEUED
+    cache_hit: bool = False
+    coalesced: bool = False
+    error: str | None = None
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    tally: Tally | None = None
+    _done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job settles; False on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Tally:
+        """The job's tally, blocking until it settles.
+
+        Raises ``TimeoutError`` if the job does not settle in time and
+        ``RuntimeError`` if it failed or was cancelled.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.id} did not settle in {timeout}s")
+        if self.state != JobState.DONE:
+            raise RuntimeError(f"job {self.id} {self.state}: {self.error or ''}")
+        assert self.tally is not None
+        return self.tally
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view (the HTTP status payload)."""
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+
+    # -- transitions (called by the manager, under its lock) -----------------
+    def _complete(self, tally: Tally, *, cache_hit: bool = False) -> None:
+        self.tally = tally
+        self.cache_hit = cache_hit
+        self.state = JobState.DONE
+        self.finished = time.time()
+        self._done.set()
+
+    def _fail(self, error: str) -> None:
+        self.error = error
+        self.state = JobState.FAILED
+        self.finished = time.time()
+        self._done.set()
+
+    def _cancel(self) -> None:
+        self.state = JobState.CANCELLED
+        self.finished = time.time()
+        self._done.set()
+
+
+class _Flight:
+    """One in-flight simulation and the jobs riding on it."""
+
+    def __init__(self, fingerprint: str, request: RunRequest) -> None:
+        self.fingerprint = fingerprint
+        self.request = request
+        self.jobs: list[Job] = []
+        self.future = None
+        self.started = False
+        self.started_at: float | None = None
+        self.cancelled = False
+
+
+class JobManager:
+    """Submit/track/cancel simulation jobs with caching and coalescing."""
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        *,
+        max_workers: int = 2,
+        telemetry: Telemetry | None = None,
+        runner=None,
+    ) -> None:
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be > 0, got {max_workers}")
+        self.store = store
+        #: Always present: metrics accumulate even with a Null event sink,
+        #: so ``/v1/metrics`` works out of the box.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if store is not None and store.telemetry is None:
+            store.telemetry = self.telemetry
+        self._runner = runner if runner is not None else self._default_runner
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._flights: dict[str, _Flight] = {}
+        self._closed = False
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running flights."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+        with self._lock:
+            flights = list(self._flights.values())
+            self._flights.clear()
+        for flight in flights:
+            if not flight.started:
+                for job in flight.jobs:
+                    job._cancel()
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ submission
+    def submit(self, request: RunRequest) -> Job:
+        """Register a run request; returns immediately with a :class:`Job`.
+
+        The job may already be ``done`` (cache hit), attached to an
+        in-flight identical request (``coalesced``), or queued for
+        execution.
+        """
+        fingerprint = request_fingerprint(request)
+        job = Job(id=uuid.uuid4().hex, fingerprint=fingerprint, request=request)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobManager is closed")
+            self._jobs[job.id] = job
+        self.telemetry.count("service.jobs.submitted")
+
+        if self.store is not None:
+            tally = self.store.get(fingerprint)
+            if tally is not None:
+                job._complete(tally, cache_hit=True)
+                self.telemetry.count("service.cache.hits")
+                return job
+        self.telemetry.count("service.cache.misses")
+
+        with self._lock:
+            flight = self._flights.get(fingerprint)
+            if flight is not None:
+                job.coalesced = True
+                job.state = JobState.RUNNING if flight.started else JobState.QUEUED
+                job.started = flight.started_at
+                flight.jobs.append(job)
+                self.telemetry.count("service.coalesced")
+                self._update_queue_depth()
+                return job
+            flight = _Flight(fingerprint, request)
+            flight.jobs.append(job)
+            self._flights[fingerprint] = flight
+            self._update_queue_depth()
+        flight.future = self._executor.submit(self._execute, flight)
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel one job; True if it was still cancellable.
+
+        A coalesced job detaches from its flight without disturbing the
+        other riders.  When the last rider of a not-yet-started flight
+        cancels, the flight itself is cancelled.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in JobState.TERMINAL:
+                return False
+            flight = self._flights.get(job.fingerprint)
+            if flight is not None and job in flight.jobs:
+                flight.jobs.remove(job)
+                if not flight.jobs:
+                    flight.cancelled = True
+                    if flight.future is not None:
+                        flight.future.cancel()
+                    if not flight.started:
+                        self._flights.pop(job.fingerprint, None)
+            job._cancel()
+            self._update_queue_depth()
+        self.telemetry.count("service.jobs.cancelled")
+        return True
+
+    # ------------------------------------------------------------- execution
+    @staticmethod
+    def _default_runner(request: RunRequest) -> Tally:
+        from .. import api
+
+        return api.run(request).tally
+
+    def _execute(self, flight: _Flight) -> None:
+        with self._lock:
+            if flight.cancelled:
+                self._flights.pop(flight.fingerprint, None)
+                self._update_queue_depth()
+                return
+            flight.started = True
+            flight.started_at = now = time.time()
+            for job in flight.jobs:
+                job.state = JobState.RUNNING
+                job.started = now
+        t0 = time.perf_counter()
+        tally: Tally | None = None
+        error: str | None = None
+        try:
+            request = flight.request
+            if request.telemetry is None:
+                # Attach the service telemetry so kernel/dispatch spans and
+                # photon counters land in the same registry as the service
+                # metrics (a request carrying its own telemetry keeps it).
+                request = replace(request, telemetry=self.telemetry)
+            tally = self._runner(request)
+            if self.store is not None:
+                self.store.put(
+                    flight.fingerprint, tally, provenance=flight.request.provenance()
+                )
+        except Exception as exc:  # noqa: BLE001 - failures settle the job
+            error = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self._flights.pop(flight.fingerprint, None)
+            riders = list(flight.jobs)
+            self._update_queue_depth()
+        for job in riders:
+            if job.state in JobState.TERMINAL:
+                continue
+            if error is None and tally is not None:
+                job._complete(tally)
+            else:
+                job._fail(error or "no result")
+        self.telemetry.observe("service.job.seconds", time.perf_counter() - t0)
+        if error is not None:
+            self.telemetry.count("service.jobs.failed")
+
+    def _update_queue_depth(self) -> None:
+        # Callers hold self._lock; gauge = jobs not yet settled.
+        depth = sum(len(f.jobs) for f in self._flights.values())
+        self.telemetry.registry.gauge("service.queue.depth").set(depth)

@@ -1,0 +1,233 @@
+"""Content-addressed result store.
+
+Tallies are persisted under their request fingerprint —
+``<root>/<fingerprint>.npz`` — via the versioned archive format of
+:mod:`repro.io.results`, alongside a JSON index carrying sizes and access
+times.  The store is the serving system's memory: a request whose
+fingerprint is present never has to be simulated again.
+
+Properties
+----------
+* **Atomic writes.**  Both the archive (``save_tally``'s temp-file +
+  ``os.replace``) and the index are written atomically; a reader or a
+  concurrent server process never observes a torn artifact.
+* **Self-verifying reads.**  Every stored tally embeds its fingerprint in
+  the archive provenance; :meth:`ResultStore.get` re-checks it on load
+  (see ``load_tally(expected_fingerprint=...)``).  A stale or foreign
+  artifact — hand-copied into the store, or produced under different
+  canonicalization rules — is evicted and reported as a miss instead of
+  being served as a wrong answer.
+* **Bounded size.**  ``max_bytes`` caps the total archive footprint with
+  least-recently-used eviction (access order, not insertion order).
+* **Observability.**  Hits, misses, evictions, foreign rejections and the
+  current byte footprint flow into a :class:`~repro.observe.Telemetry`
+  when one is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from ..core.tally import Tally
+from ..io.results import load_tally, save_tally
+from ..observe import Telemetry
+
+__all__ = ["ResultStore"]
+
+_INDEX_NAME = "index.json"
+_INDEX_VERSION = 1
+
+#: Default size bound: 1 GiB of tally archives.
+DEFAULT_MAX_BYTES = 1 << 30
+
+
+class ResultStore:
+    """A size-bounded, content-addressed cache of simulation tallies."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0 or None, got {max_bytes}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.telemetry = telemetry
+        self._lock = threading.RLock()
+        self._index: dict[str, dict] = self._load_index()
+        self._prune_missing()
+
+    # ------------------------------------------------------------- index I/O
+    @property
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def _load_index(self) -> dict[str, dict]:
+        try:
+            raw = json.loads(self._index_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+        if raw.get("index_version") != _INDEX_VERSION:
+            return {}
+        return dict(raw.get("entries", {}))
+
+    def _save_index(self) -> None:
+        payload = json.dumps(
+            {"index_version": _INDEX_VERSION, "entries": self._index}
+        )
+        tmp = self._index_path.with_name(_INDEX_NAME + ".tmp")
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, self._index_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _prune_missing(self) -> None:
+        with self._lock:
+            stale = [fp for fp in self._index if not self.path(fp).exists()]
+            for fp in stale:
+                del self._index[fp]
+            if stale:
+                self._save_index()
+            self._set_bytes_gauge()
+
+    # ------------------------------------------------------------- accessors
+    def path(self, fingerprint: str) -> Path:
+        """Where an artifact with this fingerprint lives (existing or not)."""
+        if not fingerprint or "/" in fingerprint or "." in fingerprint:
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return self.root / f"{fingerprint}.npz"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return list(self._index)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(e["bytes"] for e in self._index.values())
+
+    # ------------------------------------------------------------ operations
+    def get(self, fingerprint: str) -> Tally | None:
+        """The stored tally, or ``None`` on miss.
+
+        A present-but-foreign artifact (provenance fingerprint absent or
+        different) is deleted and counted as ``service.store.foreign`` — the
+        store never serves a result it cannot prove belongs to the request.
+        """
+        with self._lock:
+            entry = self._index.get(fingerprint)
+            if entry is None or not self.path(fingerprint).exists():
+                self._count("service.store.misses")
+                return None
+            try:
+                tally = load_tally(
+                    self.path(fingerprint), expected_fingerprint=fingerprint
+                )
+            except (ValueError, OSError, KeyError):
+                self._evict(fingerprint)
+                self._save_index()
+                self._count("service.store.foreign")
+                self._count("service.store.misses")
+                return None
+            entry["last_access"] = time.time()
+            self._save_index()
+            self._count("service.store.hits")
+            return tally
+
+    def read_bytes(self, fingerprint: str) -> bytes | None:
+        """The raw ``.npz`` archive bytes (for HTTP serving), or ``None``."""
+        path = self.path(fingerprint)  # validates before touching the index
+        with self._lock:
+            entry = self._index.get(fingerprint)
+            if entry is None:
+                return None
+            try:
+                data = path.read_bytes()
+            except OSError:
+                self._evict(fingerprint)
+                self._save_index()
+                return None
+            entry["last_access"] = time.time()
+            self._save_index()
+            return data
+
+    def put(
+        self, fingerprint: str, tally: Tally, provenance: dict | None = None
+    ) -> Path:
+        """Persist ``tally`` under ``fingerprint``; returns the archive path.
+
+        The fingerprint is stamped into the archive provenance (overriding
+        any caller-supplied value) so :meth:`get` can verify the artifact.
+        Eviction runs after the write: least-recently-used artifacts are
+        deleted until the store fits ``max_bytes`` again (the newly written
+        artifact is kept even if it alone exceeds the bound — a cache that
+        rejects its newest entry would never converge).
+        """
+        provenance = dict(provenance or {})
+        provenance["fingerprint"] = fingerprint
+        with self._lock:
+            path = save_tally(self.path(fingerprint), tally, provenance=provenance)
+            now = time.time()
+            self._index[fingerprint] = {
+                "bytes": path.stat().st_size,
+                "created": now,
+                "last_access": now,
+            }
+            self._evict_over_budget(keep=fingerprint)
+            self._save_index()
+            self._set_bytes_gauge()
+            return path
+
+    def clear(self) -> None:
+        with self._lock:
+            for fp in list(self._index):
+                self._evict(fp)
+            self._save_index()
+            self._set_bytes_gauge()
+
+    # -------------------------------------------------------------- eviction
+    def _evict_over_budget(self, keep: str) -> None:
+        if self.max_bytes is None:
+            return
+        total = sum(e["bytes"] for e in self._index.values())
+        victims = sorted(
+            (fp for fp in self._index if fp != keep),
+            key=lambda fp: self._index[fp]["last_access"],
+        )
+        for fp in victims:
+            if total <= self.max_bytes:
+                break
+            total -= self._index[fp]["bytes"]
+            self._evict(fp)
+            self._count("service.store.evictions")
+
+    def _evict(self, fingerprint: str) -> None:
+        self._index.pop(fingerprint, None)
+        self.path(fingerprint).unlink(missing_ok=True)
+
+    # --------------------------------------------------------------- metrics
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name)
+
+    def _set_bytes_gauge(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge(
+                "service.store.bytes", sum(e["bytes"] for e in self._index.values())
+            )

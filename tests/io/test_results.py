@@ -117,3 +117,23 @@ class TestProvenance:
         tally = Simulation(fast_config).run(100, seed=0)
         loaded = load_tally(save_tally(tmp_path / "t.npz", tally))
         assert loaded.provenance is None
+
+    def test_expected_fingerprint_match_and_mismatch(self, tmp_path, fast_config):
+        tally = Simulation(fast_config).run(100, seed=0)
+        path = save_tally(
+            tmp_path / "t.npz", tally, provenance={"fingerprint": "ab12" * 16}
+        )
+        loaded = load_tally(path, expected_fingerprint="ab12" * 16)
+        assert loaded.provenance["fingerprint"] == "ab12" * 16
+        with pytest.raises(ValueError, match="different request"):
+            load_tally(path, expected_fingerprint="cd34" * 16)
+
+    def test_expected_fingerprint_rejects_unstamped_archive(
+        self, tmp_path, fast_config
+    ):
+        tally = Simulation(fast_config).run(100, seed=0)
+        path = save_tally(tmp_path / "t.npz", tally)  # no provenance
+        with pytest.raises(ValueError, match="different request"):
+            load_tally(path, expected_fingerprint="ab12" * 16)
+        # Without the check, the archive still loads fine.
+        assert load_tally(path).provenance is None

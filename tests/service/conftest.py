@@ -1,0 +1,41 @@
+"""Fixtures for the serving-subsystem tests.
+
+The default request uses the suite's *fast* medium (absorption within an
+order of magnitude of scattering — photons die in ~10 steps), following
+the convention in ``tests/conftest.py``: the service layer's job is
+bookkeeping, not physics, so its simulations only need to be quick and
+deterministic.  Pass ``model=...`` to get a named-model request instead
+(the HTTP wire can only express those); fingerprinting a request costs no
+simulation either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunRequest
+from repro.core import SimulationConfig
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+_FAST_PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+
+
+def fast_service_config() -> SimulationConfig:
+    return SimulationConfig(
+        stack=LayerStack.homogeneous(_FAST_PROPS, name="fast"), source=PencilBeam()
+    )
+
+
+@pytest.fixture
+def make_request():
+    """Factory for small, deterministic run requests on the fast medium."""
+
+    def _make(**overrides) -> RunRequest:
+        kwargs = dict(n_photons=400, seed=7, task_size=200)
+        if not overrides.get("model") and "config" not in overrides:
+            kwargs["config"] = fast_service_config()
+        kwargs.update(overrides)
+        return RunRequest(**kwargs)
+
+    return _make

@@ -1,0 +1,149 @@
+"""Fingerprint stability: semantically identical requests must collide.
+
+The fingerprint is the cache address; every test here is a statement about
+what "the same request" means.  False splits (same physics, different
+hash) waste simulations; false merges (different physics, same hash) would
+serve wrong answers — so the suite checks both directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import DEFAULT_TASK_SIZE, RunRequest, build_config
+from repro.core import RecordConfig, SimulationConfig
+from repro.detect import PathlengthGate
+from repro.service import fingerprint as fp_mod
+from repro.service import canonical_request, canonicalize, request_fingerprint
+from repro.sources import PencilBeam
+from repro.tissue import white_matter
+
+
+class TestCollisions:
+    """Same physics -> same fingerprint."""
+
+    def test_deterministic(self, make_request):
+        assert request_fingerprint(make_request()) == request_fingerprint(make_request())
+
+    def test_materialized_default_task_size(self, make_request):
+        explicit = make_request(task_size=DEFAULT_TASK_SIZE)
+        defaulted = make_request(task_size=None)
+        assert request_fingerprint(explicit) == request_fingerprint(defaulted)
+
+    def test_model_name_vs_explicit_config(self, make_request):
+        named = make_request(model="white_matter")
+        explicit = make_request(config=build_config(make_request(model="white_matter")))
+        assert request_fingerprint(named) == request_fingerprint(explicit)
+
+    def test_numpy_scalars_vs_python_numbers(self, make_request):
+        plain = make_request(model="white_matter", detector_spacing=2.0)
+        numpied = make_request(
+            model="white_matter",
+            n_photons=np.int64(400),
+            seed=np.int32(7),
+            task_size=np.int64(200),
+            detector_spacing=np.float64(2.0),
+        )
+        assert request_fingerprint(plain) == request_fingerprint(numpied)
+
+    def test_execution_fields_are_irrelevant(self, make_request):
+        base = request_fingerprint(make_request())
+        for overrides in (
+            dict(workers=8),
+            dict(workers=4, backend="thread"),
+            dict(retain_task_tallies=False),
+            dict(compress=True),
+            dict(task_deadline=5.0, max_retries=7),
+            dict(progress=True),
+        ):
+            assert request_fingerprint(make_request(**overrides)) == base, overrides
+
+    def test_negative_zero_collapses(self, make_request):
+        stack = white_matter()
+        plus = SimulationConfig(stack=stack, source=PencilBeam(x0=0.0))
+        minus = SimulationConfig(stack=stack, source=PencilBeam(x0=-0.0))
+        assert request_fingerprint(
+            make_request(config=plus)
+        ) == request_fingerprint(make_request(config=minus))
+
+
+class TestSplits:
+    """Different physics -> different fingerprint."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(n_photons=401),
+            dict(seed=8),
+            dict(task_size=100),
+            dict(kernel="scalar"),
+            dict(model="adult_head"),
+            dict(gate=(0.0, 50.0)),
+            dict(detector_spacing=2.0),
+            dict(boundary_mode="classical"),
+        ],
+    )
+    def test_physics_fields_split(self, make_request, overrides):
+        base = make_request(model="white_matter")
+        changed = make_request(**dict({"model": "white_matter"}, **overrides))
+        assert request_fingerprint(changed) != request_fingerprint(base)
+
+    def test_version_bump_changes_every_fingerprint(self, make_request, monkeypatch):
+        before = request_fingerprint(make_request())
+        monkeypatch.setattr(fp_mod, "FINGERPRINT_VERSION", fp_mod.FINGERPRINT_VERSION + 1)
+        assert request_fingerprint(make_request()) != before
+
+
+class TestCanonicalize:
+    def test_mapping_key_order_is_irrelevant(self):
+        a = json.dumps(canonicalize({"x": 1, "y": 2.0}), sort_keys=True)
+        b = json.dumps(canonicalize({"y": 2.0, "x": 1}), sort_keys=True)
+        assert a == b
+
+    def test_tuple_and_list_collide(self):
+        assert canonicalize((1, 2.5)) == canonicalize([1, 2.5])
+
+    def test_floats_hash_by_bits(self):
+        # 0.1 + 0.2 != 0.3 in IEEE-754; the canonical form must not merge
+        # them through decimal formatting.
+        assert canonicalize(0.1 + 0.2) != canonicalize(0.3)
+        assert canonicalize(np.float64(0.3)) == canonicalize(0.3)
+
+    def test_arrays_hash_by_dtype_shape_and_bytes(self):
+        a = np.arange(6, dtype=np.float64)
+        assert canonicalize(a) == canonicalize(a.copy())
+        assert canonicalize(a) != canonicalize(a.astype(np.float32))
+        assert canonicalize(a) != canonicalize(a.reshape(2, 3))
+
+    def test_dataclass_defaults_materialize(self):
+        # An explicitly-passed default and an omitted field are the same
+        # record configuration.
+        assert canonicalize(RecordConfig()) == canonicalize(
+            RecordConfig(absorption_grid=None)
+        )
+
+    def test_gate_objects_canonicalize(self):
+        assert canonicalize(PathlengthGate(1.0, 2.0)) == canonicalize(
+            PathlengthGate(l_max=2.0, l_min=1.0)
+        )
+        assert canonicalize(PathlengthGate(1.0, 2.0)) != canonicalize(
+            PathlengthGate(1.0, 3.0)
+        )
+
+    def test_unknown_objects_are_rejected(self):
+        with pytest.raises(TypeError, match="cannot canonicalize"):
+            canonicalize(lambda: None)
+
+    def test_canonical_request_is_json_and_versioned(self, make_request):
+        payload = canonical_request(make_request())
+        assert payload["fingerprint_version"] == fp_mod.FINGERPRINT_VERSION
+        json.dumps(payload, sort_keys=True, allow_nan=False)
+
+
+def test_fingerprint_is_hex_sha256(make_request):
+    fp = request_fingerprint(make_request())
+    assert len(fp) == 64
+    int(fp, 16)

@@ -1,0 +1,223 @@
+"""HTTP front end: the full serve → poll → fetch → cache-hit lifecycle.
+
+``test_lifecycle_and_cache_hit`` is the subsystem's acceptance test: a
+cached ``GET /v1/results/<fingerprint>`` must be bit-identical to a fresh
+``api.run`` of the same request, served without re-simulating (cache-hit
+counter increments, zero new kernel spans).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import RunRequest, run
+from repro.io import load_tally
+from repro.observe import Telemetry
+from repro.service import (
+    JobManager,
+    JobState,
+    ResultStore,
+    ServiceServer,
+    request_from_json,
+    request_fingerprint,
+)
+
+REQUEST_BODY = {"model": "white_matter", "n_photons": 400, "seed": 7, "task_size": 200}
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _get_bytes(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read()
+
+
+def _post(url: str, payload: dict):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _poll_done(url: str, job_id: str, timeout: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, payload = _get(f"{url}/v1/runs/{job_id}")
+        if payload["state"] in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
+            return payload
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} did not settle")
+
+
+@pytest.fixture
+def server(tmp_path):
+    telemetry = Telemetry.in_memory()
+    store = ResultStore(tmp_path / "store", telemetry=telemetry)
+    manager = JobManager(store, max_workers=2, telemetry=telemetry)
+    with ServiceServer(manager) as srv:
+        yield srv
+
+
+def _kernel_spans(server) -> int:
+    events = server.manager.telemetry.sink.events
+    return sum(
+        1
+        for e in events
+        if e["event"] == "span_start" and e.get("name") == "kernel.batch"
+    )
+
+
+def _counter_value(metrics: dict, name: str) -> float:
+    for row in metrics["counters"]:
+        if row["name"] == name:
+            return row["value"]
+    return 0.0
+
+
+class TestLifecycle:
+    def test_lifecycle_and_cache_hit(self, server):
+        url = server.url
+
+        # --- submit (cold) --------------------------------------------------
+        status, job = _post(f"{url}/v1/runs", REQUEST_BODY)
+        assert status == 202
+        assert job["state"] in (JobState.QUEUED, JobState.RUNNING)
+
+        # --- poll to completion --------------------------------------------
+        done = _poll_done(url, job["id"])
+        assert done["state"] == JobState.DONE
+        assert done["error"] is None
+
+        # --- fetch the archive and compare against a direct api.run --------
+        data = _get_bytes(f"{url}/v1/results/{done['fingerprint']}")
+        archive = server.manager.store.root / "fetched.npz"
+        archive.write_bytes(data)
+        served = load_tally(archive)
+        archive.unlink()
+        direct = run(RunRequest(**REQUEST_BODY)).tally
+        assert served == direct  # Tally.__eq__: np.array_equal on every array
+        assert served.provenance["fingerprint"] == done["fingerprint"]
+        assert done["fingerprint"] == request_fingerprint(RunRequest(**REQUEST_BODY))
+
+        # --- resubmit: answered from the store, no re-simulation -----------
+        _, metrics_before = _get(f"{url}/v1/metrics")
+        hits_before = _counter_value(metrics_before, "service.cache.hits")
+        spans_before = _kernel_spans(server)
+
+        status, repeat = _post(f"{url}/v1/runs", REQUEST_BODY)
+        assert status == 200  # completed at submission time
+        assert repeat["state"] == JobState.DONE
+        assert repeat["cache_hit"] is True
+
+        _, metrics_after = _get(f"{url}/v1/metrics")
+        assert (
+            _counter_value(metrics_after, "service.cache.hits") == hits_before + 1
+        )
+        assert _kernel_spans(server) == spans_before  # zero new kernel spans
+
+        cached = load_tally(
+            server.manager.store.path(repeat["fingerprint"]),
+            expected_fingerprint=repeat["fingerprint"],
+        )
+        assert cached == direct
+
+    def test_metrics_endpoint_shape(self, server):
+        status, metrics = _get(f"{server.url}/v1/metrics")
+        assert status == 200
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+
+    def test_healthz(self, server):
+        assert _get(f"{server.url}/v1/healthz") == (200, {"ok": True})
+
+
+class TestErrors:
+    def _status_of(self, call):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            call()
+        return err.value.code, json.loads(err.value.read())
+
+    def test_unknown_job_404(self, server):
+        code, payload = self._status_of(lambda: _get(f"{server.url}/v1/runs/nope"))
+        assert code == 404
+        assert "unknown job" in payload["error"]
+
+    def test_missing_result_404(self, server):
+        code, _ = self._status_of(
+            lambda: _get(f"{server.url}/v1/results/{'0' * 64}")
+        )
+        assert code == 404
+
+    def test_malformed_fingerprint_400(self, server):
+        code, _ = self._status_of(
+            lambda: _get(f"{server.url}/v1/results/..%2Fescape")
+        )
+        assert code == 400
+
+    def test_unknown_field_400(self, server):
+        code, payload = self._status_of(
+            lambda: _post(f"{server.url}/v1/runs", {"model": "white_matter", "fotons": 5})
+        )
+        assert code == 400
+        assert "fotons" in payload["error"]
+
+    def test_invalid_model_400(self, server):
+        code, _ = self._status_of(
+            lambda: _post(f"{server.url}/v1/runs", {"model": "gray_matter"})
+        )
+        assert code == 400
+
+    def test_non_object_body_400(self, server):
+        code, _ = self._status_of(lambda: _post(f"{server.url}/v1/runs", ["nope"]))
+        assert code == 400
+
+    def test_unknown_endpoint_404(self, server):
+        code, _ = self._status_of(lambda: _get(f"{server.url}/v2/everything"))
+        assert code == 404
+
+
+class TestRequestFromJson:
+    def test_round_trip_fields(self):
+        request = request_from_json(dict(REQUEST_BODY, gate=[5.0, 50.0], workers=2))
+        assert request.model == "white_matter"
+        assert request.gate == (5.0, 50.0)
+        assert request.workers == 2
+
+    def test_model_required(self):
+        with pytest.raises(ValueError, match="model"):
+            request_from_json({"n_photons": 100})
+
+    def test_forbidden_fields_rejected(self):
+        for field in ("mode", "checkpoint", "telemetry", "on_server_start"):
+            with pytest.raises(ValueError, match="unknown request field"):
+                request_from_json({"model": "white_matter", field: "x"})
+
+    def test_bad_gate_rejected(self):
+        with pytest.raises(ValueError, match="gate"):
+            request_from_json({"model": "white_matter", "gate": [1.0]})
+
+
+def test_smoke_end_to_end(tmp_path):
+    """The CI service smoke: cold run, poll, fetch, bit-identical, cache hit."""
+    store = ResultStore(tmp_path / "store")
+    with ServiceServer(JobManager(store, max_workers=2)) as server:
+        status, job = _post(f"{server.url}/v1/runs", REQUEST_BODY)
+        done = _poll_done(server.url, job["id"])
+        assert done["state"] == JobState.DONE
+        data = _get_bytes(f"{server.url}/v1/results/{done['fingerprint']}")
+        path = tmp_path / "result.npz"
+        path.write_bytes(data)
+        assert load_tally(path) == run(RunRequest(**REQUEST_BODY)).tally
+        status, repeat = _post(f"{server.url}/v1/runs", REQUEST_BODY)
+        assert status == 200 and repeat["cache_hit"]

@@ -1,0 +1,199 @@
+"""Job manager: caching, coalescing, lifecycle, cancellation.
+
+The coalescing tests are the heart of the subsystem's claim: N concurrent
+identical submissions must cost exactly one simulation and deliver N
+identical results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import run
+from repro.observe import Telemetry
+from repro.service import JobManager, JobState, ResultStore
+
+
+def _counter(manager: JobManager, name: str) -> float:
+    return manager.telemetry.registry.counter(name).value
+
+
+class TestLifecycle:
+    def test_submit_and_result_matches_direct_run(self, make_request):
+        request = make_request()
+        with JobManager() as manager:
+            job = manager.submit(request)
+            tally = job.result(timeout=60)
+        assert tally == run(make_request()).tally  # bitwise Tally.__eq__
+        assert job.state == JobState.DONE
+        assert job.started is not None and job.finished is not None
+
+    def test_job_lookup_and_as_dict(self, make_request):
+        with JobManager() as manager:
+            job = manager.submit(make_request())
+            assert manager.job(job.id) is job
+            assert manager.job("nope") is None
+            job.wait(60)
+            payload = job.as_dict()
+        assert payload["state"] == JobState.DONE
+        assert payload["fingerprint"] == job.fingerprint
+        assert payload["error"] is None
+
+    def test_failed_run_settles_the_job(self, make_request):
+        def broken(request):
+            raise RuntimeError("kernel exploded")
+
+        with JobManager(runner=broken) as manager:
+            job = manager.submit(make_request())
+            assert job.wait(10)
+            assert job.state == JobState.FAILED
+            assert "kernel exploded" in job.error
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                job.result(timeout=1)
+        assert _counter(manager, "service.jobs.failed") == 1
+
+    def test_closed_manager_rejects_submissions(self, make_request):
+        manager = JobManager()
+        manager.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            manager.submit(make_request())
+
+
+class TestCaching:
+    def test_second_submission_is_a_cache_hit(self, tmp_path, make_request):
+        store = ResultStore(tmp_path / "store")
+        calls = []
+
+        def counting(request):
+            calls.append(request)
+            return run(request).tally
+
+        with JobManager(store, runner=counting) as manager:
+            first = manager.submit(make_request()).result(timeout=60)
+            second_job = manager.submit(make_request())
+            second = second_job.result(timeout=10)
+        assert len(calls) == 1  # the repeat never reached the runner
+        assert second_job.cache_hit
+        assert second_job.state == JobState.DONE
+        assert first == second
+        assert _counter(manager, "service.cache.hits") == 1
+        assert _counter(manager, "service.cache.misses") == 1
+
+    def test_cache_survives_manager_restart(self, tmp_path, make_request):
+        root = tmp_path / "store"
+        with JobManager(ResultStore(root)) as manager:
+            manager.submit(make_request()).result(timeout=60)
+        with JobManager(ResultStore(root)) as manager:
+            job = manager.submit(make_request())
+            assert job.cache_hit
+            job.result(timeout=10)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_run_once(self, make_request):
+        n_threads = 8
+        calls = []
+        release = threading.Event()
+
+        def gated(request):
+            calls.append(request)
+            release.wait(30)
+            return run(request).tally
+
+        jobs = []
+        jobs_lock = threading.Lock()
+
+        with JobManager(runner=gated, max_workers=4) as manager:
+
+            def submit():
+                job = manager.submit(make_request())
+                with jobs_lock:
+                    jobs.append(job)
+
+            threads = [threading.Thread(target=submit) for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            release.set()
+
+            results = [job.result(timeout=60) for job in jobs]
+
+        assert len(calls) == 1  # N submissions -> 1 simulation
+        assert all(r == results[0] for r in results)  # N identical results
+        assert sum(job.coalesced for job in jobs) == n_threads - 1
+        assert _counter(manager, "service.coalesced") == n_threads - 1
+
+    def test_different_requests_do_not_coalesce(self, make_request):
+        with JobManager(max_workers=2) as manager:
+            a = manager.submit(make_request(seed=1))
+            b = manager.submit(make_request(seed=2))
+            ta, tb = a.result(timeout=60), b.result(timeout=60)
+        assert not b.coalesced
+        assert ta != tb
+
+    def test_queue_depth_returns_to_zero(self, make_request):
+        with JobManager() as manager:
+            manager.submit(make_request()).result(timeout=60)
+            depth = manager.telemetry.registry.gauge("service.queue.depth").value
+        assert depth == 0
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, make_request):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(30)
+            return run(request).tally
+
+        with JobManager(runner=gated, max_workers=1) as manager:
+            blocker = manager.submit(make_request(seed=1))
+            queued = manager.submit(make_request(seed=2))  # pool is busy
+            assert manager.cancel(queued.id)
+            assert queued.state == JobState.CANCELLED
+            release.set()
+            blocker.result(timeout=60)
+            assert not manager.cancel(blocker.id)  # already done
+
+    def test_cancelled_rider_does_not_disturb_the_flight(self, make_request):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated(request):
+            started.set()
+            release.wait(30)
+            return run(request).tally
+
+        with JobManager(runner=gated) as manager:
+            first = manager.submit(make_request())
+            assert started.wait(10)
+            rider = manager.submit(make_request())
+            assert rider.coalesced
+            assert manager.cancel(rider.id)
+            release.set()
+            tally = first.result(timeout=60)
+        assert tally is not None
+        assert rider.state == JobState.CANCELLED
+
+    def test_cancel_unknown_job(self, make_request):
+        with JobManager() as manager:
+            assert not manager.cancel("nope")
+
+
+class TestTelemetryAttachment:
+    def test_kernel_metrics_land_in_service_registry(self, make_request):
+        with JobManager() as manager:
+            manager.submit(make_request()).result(timeout=60)
+        # The facade threads the service telemetry through to the kernels.
+        assert _counter(manager, "photons.traced") > 0
+
+    def test_caller_owned_telemetry_is_kept(self, make_request):
+        own = Telemetry.in_memory()
+        with JobManager() as manager:
+            manager.submit(make_request(telemetry=own)).result(timeout=60)
+        kinds = {e["event"] for e in own.sink.events}
+        assert "span_start" in kinds

@@ -1,0 +1,139 @@
+"""Content-addressed store: round-trips, verification, LRU bounds."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core import Simulation
+from repro.api import build_config
+from repro.io import save_tally
+from repro.observe import Telemetry
+from repro.service import ResultStore, request_fingerprint
+
+
+def _counter(telemetry: Telemetry, name: str) -> float:
+    return telemetry.registry.counter(name).value
+
+
+@pytest.fixture
+def tally(make_request):
+    return Simulation(build_config(make_request())).run(300, seed=2)
+
+
+@pytest.fixture
+def fingerprint(make_request):
+    return request_fingerprint(make_request())
+
+
+class TestRoundTrip:
+    def test_put_get_bit_identical(self, tmp_path, tally, fingerprint):
+        store = ResultStore(tmp_path / "store")
+        store.put(fingerprint, tally)
+        loaded = store.get(fingerprint)
+        assert loaded == tally  # Tally.__eq__ is bitwise
+
+    def test_get_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store", telemetry=Telemetry())
+        assert store.get("0" * 64) is None
+        assert _counter(store.telemetry, "service.store.misses") == 1
+
+    def test_put_stamps_fingerprint_into_provenance(
+        self, tmp_path, tally, fingerprint, make_request
+    ):
+        store = ResultStore(tmp_path / "store")
+        store.put(fingerprint, tally, provenance=make_request().provenance())
+        loaded = store.get(fingerprint)
+        assert loaded.provenance["fingerprint"] == fingerprint
+        assert loaded.provenance["model"] == "custom"
+        assert loaded.provenance["n_photons"] == 400
+
+    def test_index_survives_reopen(self, tmp_path, tally, fingerprint):
+        root = tmp_path / "store"
+        ResultStore(root).put(fingerprint, tally)
+        reopened = ResultStore(root)
+        assert fingerprint in reopened
+        assert reopened.get(fingerprint) == tally
+
+    def test_missing_files_pruned_on_open(self, tmp_path, tally, fingerprint):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        path = store.put(fingerprint, tally)
+        path.unlink()
+        assert fingerprint not in ResultStore(root)
+
+    def test_malformed_fingerprint_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for bad in ("", "../../etc/passwd", "a.b"):
+            with pytest.raises(ValueError, match="malformed"):
+                store.path(bad)
+
+
+class TestVerification:
+    """The store never serves an artifact it cannot prove belongs there."""
+
+    def test_foreign_artifact_rejected_and_evicted(
+        self, tmp_path, tally, fingerprint
+    ):
+        store = ResultStore(tmp_path / "store", telemetry=Telemetry())
+        path = store.put(fingerprint, tally)
+        # Overwrite with an archive claiming a different fingerprint —
+        # e.g. hand-copied from another store.
+        save_tally(path, tally, provenance={"fingerprint": "deadbeef"})
+        assert store.get(fingerprint) is None
+        assert not path.exists()
+        assert _counter(store.telemetry, "service.store.foreign") == 1
+
+    def test_unstamped_artifact_rejected(self, tmp_path, tally, fingerprint):
+        store = ResultStore(tmp_path / "store")
+        path = store.put(fingerprint, tally)
+        save_tally(path, tally)  # no provenance at all
+        assert store.get(fingerprint) is None
+
+
+class TestLRUEviction:
+    def _filled(self, tmp_path, tally, n=1, **kwargs):
+        store = ResultStore(tmp_path / "store", **kwargs)
+        fps = [f"{i:064x}" for i in range(n)]
+        for fp in fps:
+            store.put(fp, tally)
+            time.sleep(0.01)  # distinct last_access stamps
+        return store, fps
+
+    def test_unbounded_store_keeps_everything(self, tmp_path, tally):
+        store, fps = self._filled(tmp_path, tally, n=4, max_bytes=None)
+        assert len(store) == 4
+
+    def test_least_recently_used_is_evicted(self, tmp_path, tally):
+        store, _ = self._filled(tmp_path, tally, n=1)
+        size = store.total_bytes()
+        store.clear()
+        store.max_bytes = int(2.5 * size)
+
+        a, b, c = "a" * 64, "b" * 64, "c" * 64
+        store.put(a, tally)
+        time.sleep(0.01)
+        store.put(b, tally)
+        time.sleep(0.01)
+        assert store.get(a) is not None  # touch a: b is now the LRU entry
+        time.sleep(0.01)
+        store.put(c, tally)  # over budget -> evict b, not a
+        assert set(store.fingerprints()) == {a, c}
+        assert not store.path(b).exists()
+        assert store.total_bytes() <= store.max_bytes
+
+    def test_newest_entry_survives_even_alone_over_budget(self, tmp_path, tally):
+        store, fps = self._filled(tmp_path, tally, n=1)
+        store.max_bytes = 1  # absurdly small
+        fp2 = "f" * 64
+        store.put(fp2, tally)
+        assert fp2 in store
+        assert fps[0] not in store
+
+    def test_index_is_valid_json_throughout(self, tmp_path, tally):
+        store, _ = self._filled(tmp_path, tally, n=3)
+        raw = json.loads((store.root / "index.json").read_text())
+        assert raw["index_version"] == 1
+        assert set(raw["entries"]) == set(store.fingerprints())

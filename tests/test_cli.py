@@ -21,6 +21,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--model", "bone"])
 
+    def test_run_reduction_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.retain_task_tallies is True
+        assert args.compress is False
+        args = build_parser().parse_args(
+            ["run", "--no-retain-task-tallies", "--compress"]
+        )
+        assert args.retain_task_tallies is False
+        assert args.compress is True
+
+    def test_serve_retain_flag(self):
+        args = build_parser().parse_args(["serve", "--no-retain-task-tallies"])
+        assert args.retain_task_tallies is False
+
+    def test_serve_http_defaults(self):
+        args = build_parser().parse_args(["serve-http"])
+        assert args.port == 8080
+        assert args.store == "tally-store"
+        assert args.job_workers == 2
+        assert args.timeout is None
+
 
 class TestCommands:
     def test_run_white_matter(self, capsys):
@@ -201,3 +222,44 @@ class TestObservabilityFlags:
     def test_bad_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--backend", "gpu"])
+
+
+class TestServiceCli:
+    def test_run_with_no_retain_task_tallies(self, capsys):
+        code = main([
+            "run", "--model", "white_matter", "--photons", "400",
+            "--workers", "2", "--backend", "thread", "--task-size", "200",
+            "--no-retain-task-tallies",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diffuse_reflectance" in out
+
+    def test_save_embeds_request_fingerprint(self, tmp_path):
+        out_file = tmp_path / "tally.npz"
+        code = main([
+            "run", "--model", "white_matter", "--photons", "200",
+            "--seed", "6", "--save", str(out_file),
+        ])
+        assert code == 0
+        from repro.api import RunRequest
+        from repro.io import load_tally
+        from repro.service import request_fingerprint
+
+        expected = request_fingerprint(
+            RunRequest(model="white_matter", n_photons=200, seed=6, task_size=10_000)
+        )
+        tally = load_tally(out_file, expected_fingerprint=expected)
+        assert tally.provenance["fingerprint"] == expected
+        with pytest.raises(ValueError, match="different request"):
+            load_tally(out_file, expected_fingerprint="0" * 64)
+
+    def test_serve_http_runs_and_exits(self, tmp_path, capsys):
+        code = main([
+            "serve-http", "--port", "0", "--store", str(tmp_path / "store"),
+            "--timeout", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulation service listening on http://127.0.0.1:" in out
+        assert "result store" in out
