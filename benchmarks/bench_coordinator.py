@@ -1,0 +1,152 @@
+"""Coordinator throughput — per-task pickles vs span dispatch + codec.
+
+The paper's DataManager deserialises and merges *every* worker's result;
+at high task counts that single thread is the scaling ceiling (the classic
+master bottleneck behind the Fig. 2 efficiency roll-off).  PR 5 attacks it
+twice: tree-aligned spans folded worker-side cut the number of payloads
+and coordinator merges by the span factor, and the zero-copy tally codec
+replaces per-result pickle reconstruction with ``np.frombuffer`` views.
+
+This bench isolates the coordinator loop: identical leaf tallies are fed
+through both pipelines at 64 / 512 / 4096 tasks on the grid workload, and
+the coordinator-side deserialised bytes, merge CPU and wall time are
+compared.  The numbers land in ``BENCH_coordinator.json`` for CI to
+archive; the smoke threshold (≥5× byte reduction at 512 tasks) guards the
+headline claim.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pickle
+import time
+from pathlib import Path
+
+from conftest import scaled
+
+from repro.core import (
+    PairwiseReducer,
+    RecordConfig,
+    SimulationConfig,
+    SpanFolder,
+    aligned_spans,
+    run_photons,
+    task_rng,
+)
+from repro.detect import GridSpec
+from repro.io import format_table
+from repro.io.codec import decode_tally, encode_tally
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
+#: The issue's grid workload: ~1 MB per task tally, the regime where
+#: coordinator-side deserialisation actually dominates.
+CONFIG = SimulationConfig(
+    stack=LayerStack.homogeneous(PROPS),
+    source=PencilBeam(),
+    records=RecordConfig(
+        absorption_grid=GridSpec(shape=(48, 48, 48), lo=(-5, -5, 0), hi=(5, 5, 10)),
+        pathlength_bins=(0.0, 100.0, 64),
+    ),
+)
+
+TASK_COUNTS = (64, 512, 4096)
+SPAN_SIZE = 8
+
+
+def coordinator_baseline(payload: bytes, n_tasks: int):
+    """Pre-PR-5 coordinator: unpickle and merge every per-task result."""
+    reducer = PairwiseReducer(n_tasks)
+    t0 = time.perf_counter()
+    for i in range(n_tasks):
+        reducer.add(i, pickle.loads(payload), owned=True)
+    wall = time.perf_counter() - t0
+    return reducer.result(), {
+        "payloads": n_tasks,
+        "bytes": n_tasks * len(payload),
+        "merge_seconds": reducer.seconds,
+        "wall_seconds": wall,
+    }
+
+
+def coordinator_span(partial_payload: bytes, n_tasks: int):
+    """PR-5 coordinator: decode one codec buffer per span, merge per span."""
+    spans = aligned_spans(n_tasks, SPAN_SIZE)
+    reducer = PairwiseReducer(n_tasks)
+    t0 = time.perf_counter()
+    for start, stop in spans:
+        partial = decode_tally(bytearray(partial_payload))
+        reducer.add_span(start, stop, partial, owned=True)
+    wall = time.perf_counter() - t0
+    return reducer.result(), {
+        "payloads": len(spans),
+        "span_size": SPAN_SIZE,
+        "bytes": len(spans) * len(partial_payload),
+        "merge_seconds": reducer.seconds,
+        "wall_seconds": wall,
+    }
+
+
+def test_coordinator_throughput(benchmark, report):
+    photons = max(5, scaled(4000) // 64)
+    template = run_photons(CONFIG, photons, task_rng(11, 0))
+    task_payload = pickle.dumps(template, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def measure():
+        results = {}
+        for n_tasks in TASK_COUNTS:
+            # Worker-side span fold (its cost moves off the coordinator;
+            # every leaf is the template, so one folded partial serves all
+            # full-width spans of this run).
+            t0 = time.perf_counter()
+            folder = SpanFolder(n_tasks, 0, SPAN_SIZE)
+            for i in range(SPAN_SIZE):
+                folder.add(i, copy.deepcopy(template), owned=True)
+            partial_payload = bytes(encode_tally(folder.partial()))
+            fold_seconds = time.perf_counter() - t0
+
+            base_tally, base = coordinator_baseline(task_payload, n_tasks)
+            span_tally, span = coordinator_span(partial_payload, n_tasks)
+            assert span_tally == base_tally  # bit-identical pipelines
+            span["worker_fold_seconds"] = fold_seconds
+            results[n_tasks] = {"baseline": base, "span_codec": span}
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    report("\n=== Coordinator throughput: per-task pickles vs spans + codec ===")
+    rows = []
+    for n_tasks, r in results.items():
+        base, span = r["baseline"], r["span_codec"]
+        rows.append([
+            n_tasks,
+            base["bytes"] / 2**20,
+            span["bytes"] / 2**20,
+            base["bytes"] / span["bytes"],
+            base["merge_seconds"] * 1e3,
+            span["merge_seconds"] * 1e3,
+            base["wall_seconds"] * 1e3,
+            span["wall_seconds"] * 1e3,
+        ])
+    report(format_table(
+        ["tasks", "pickle MB", "codec MB", "bytes ratio",
+         "merge ms (base)", "merge ms (span)",
+         "coord ms (base)", "coord ms (span)"],
+        rows,
+        float_format="{:.3g}",
+    ))
+
+    Path("BENCH_coordinator.json").write_text(json.dumps({
+        "photons_per_task": photons,
+        "span_size": SPAN_SIZE,
+        "task_payload_bytes": len(task_payload),
+        "runs": {str(n): r for n, r in results.items()},
+    }, indent=2))
+
+    # --- the headline claims, guarded at 512 tasks --------------------------
+    base, span = results[512]["baseline"], results[512]["span_codec"]
+    assert base["bytes"] / span["bytes"] >= 5.0  # ≥5× fewer deserialised bytes
+    assert span["merge_seconds"] < base["merge_seconds"]  # parent merge CPU drops
+    assert span["payloads"] * SPAN_SIZE == base["payloads"]

@@ -80,6 +80,16 @@ class RunRequest:
         In ``"serve"`` mode, offer zlib frame compression to connecting
         clients (negotiated per connection; off by default).  Ignored in
         ``"local"`` mode, which has no wire.
+    span_size / sub_batch:
+        Coordinator-throughput and kernel-tuning knobs.  ``span_size``
+        groups tasks into tree-aligned spans folded worker-side (one
+        payload and one coordinator merge per span; bit-identical to
+        per-task dispatch).  ``sub_batch`` overrides the vectorized
+        kernel's internal batch size; results are statistically equivalent
+        but not bit-identical across different values.  Both are
+        execution-only: neither enters the request fingerprint
+        (:mod:`repro.service.fingerprint`), and ``span_size`` never
+        changes the merged tally at all.
     retain_task_tallies:
         ``False`` drops each per-task tally once it is folded into the
         incremental reduction, bounding memory on very large runs; the
@@ -122,6 +132,10 @@ class RunRequest:
     compress: bool = False
     retain_task_tallies: bool = True
 
+    # coordinator-throughput / kernel tuning (execution-only knobs)
+    span_size: int | None = None
+    sub_batch: int | None = None
+
     # model-building conveniences (ignored when ``config`` is given)
     detector_spacing: float | None = None
     gate: tuple[float, float] | None = None
@@ -148,6 +162,10 @@ class RunRequest:
             raise ValueError(f"workers must be > 0, got {self.workers}")
         if self.resume and self.checkpoint is None:
             raise ValueError("resume=True requires a checkpoint directory")
+        if self.span_size is not None and self.span_size < 1:
+            raise ValueError(f"span_size must be >= 1 or None, got {self.span_size}")
+        if self.sub_batch is not None and self.sub_batch <= 0:
+            raise ValueError(f"sub_batch must be > 0 or None, got {self.sub_batch}")
 
     def resolved_task_size(self) -> int:
         return self.task_size if self.task_size is not None else DEFAULT_TASK_SIZE
@@ -175,6 +193,7 @@ class RunRequest:
             "seed": self.seed,
             "kernel": self.kernel,
             "task_size": self.resolved_task_size(),
+            "sub_batch": self.sub_batch,
             "boundary_mode": self.boundary_mode,
             "fingerprint": request_fingerprint(self),
             "created_unix": time.time(),
@@ -286,6 +305,8 @@ def run(request: RunRequest) -> RunReport:
                 checkpoint=checkpoint,
                 compress=request.compress,
                 retain_task_tallies=request.retain_task_tallies,
+                span_size=request.span_size,
+                sub_batch=request.sub_batch,
                 telemetry=telemetry,
             ).start()
             if request.on_server_start is not None:
@@ -302,6 +323,8 @@ def run(request: RunRequest) -> RunReport:
                 task_deadline=request.task_deadline,
                 checkpoint=checkpoint,
                 retain_task_tallies=request.retain_task_tallies,
+                span_size=request.span_size,
+                sub_batch=request.sub_batch,
                 telemetry=telemetry,
             )
             with make_backend(request.resolved_backend(), request.workers) as backend:

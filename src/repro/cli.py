@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution backend (auto: serial for 1 worker, "
                      "process pool otherwise)")
     run.add_argument("--task-size", type=int, default=10_000)
+    run.add_argument("--span-size", type=int, default=None, metavar="N",
+                     help="fold up to N tasks worker-side into one tree-aligned "
+                          "span per dispatch (rounded down to a power of two; "
+                          "bit-identical to per-task dispatch)")
+    run.add_argument("--sub-batch", type=int, default=None, metavar="N",
+                     help="vectorized-kernel sub-batch override (execution "
+                          "tuning; results differ bit-for-bit across values "
+                          "but are statistically equivalent)")
     run.add_argument("--save", type=str, default=None, metavar="FILE.npz")
     run.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
                      help="write structured telemetry events (spans, counters, "
@@ -110,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--photons", type=int, default=100_000)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--task-size", type=int, default=10_000)
+    serve.add_argument("--span-size", type=int, default=None, metavar="N",
+                       help="dispatch tree-aligned spans of up to N tasks; each "
+                            "client folds its span and returns one partial "
+                            "(bit-identical, ~N× fewer coordinator merges)")
+    serve.add_argument("--sub-batch", type=int, default=None, metavar="N",
+                       help="vectorized-kernel sub-batch override shipped with "
+                            "every task")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
     serve.add_argument("--timeout", type=float, default=3600.0)
@@ -237,6 +252,8 @@ def _cmd_run(args) -> int:
         task_deadline=args.task_deadline,
         compress=args.compress,
         retain_task_tallies=args.retain_task_tallies,
+        span_size=args.span_size,
+        sub_batch=args.sub_batch,
         detector_spacing=args.detector_spacing,
         gate=tuple(args.gate) if args.gate else None,
         boundary_mode=args.boundary_mode,
@@ -393,6 +410,8 @@ def _cmd_serve(args) -> int:
         task_deadline=args.task_deadline,
         compress=args.compress,
         retain_task_tallies=args.retain_task_tallies,
+        span_size=args.span_size,
+        sub_batch=args.sub_batch,
         metrics_path=args.metrics,
         progress=args.progress,
         on_server_start=announce,

@@ -8,7 +8,7 @@ from .fresnel import (
     specular_reflectance,
 )
 from .kernel import run_batch_scalar, trace_photon
-from .reduce import PairwiseReducer, reduce_all
+from .reduce import PairwiseReducer, SpanFolder, aligned_spans, reduce_all, span_level
 from .rng import StreamFactory, spawn_rngs, task_rng
 from .roulette import RouletteConfig, roulette
 from .sampling import (
@@ -30,8 +30,10 @@ __all__ = [
     "RouletteConfig",
     "Simulation",
     "SimulationConfig",
+    "SpanFolder",
     "StreamFactory",
     "Tally",
+    "aligned_spans",
     "cos_transmitted",
     "critical_cosine",
     "fresnel_reflectance",
@@ -45,6 +47,7 @@ __all__ = [
     "sample_azimuth",
     "sample_hg_cosine",
     "sample_step_length",
+    "span_level",
     "spawn_rngs",
     "specular_reflectance",
     "split_photons",

@@ -43,7 +43,58 @@ from typing import Iterable
 
 from .tally import Tally
 
-__all__ = ["PairwiseReducer", "reduce_all"]
+__all__ = [
+    "PairwiseReducer",
+    "SpanFolder",
+    "aligned_spans",
+    "reduce_all",
+    "span_level",
+]
+
+
+def span_level(start: int, stop: int, n_tasks: int) -> int:
+    """Level of the canonical subtree covering task range ``[start, stop)``.
+
+    A span is *tree-aligned* when the canonical reduction tree for
+    ``n_tasks`` contains a single node whose (clipped) leaf range is exactly
+    ``[start, stop)`` — i.e. ``start`` is a multiple of ``2**level`` and the
+    span runs to the end of that block (or to ``n_tasks`` for the tail
+    block).  Only aligned spans may be folded worker-side: their internal
+    pairwise merges are precisely the merges the parent tree would have
+    performed, so the folded partial is bit-identical to feeding the leaves
+    individually.
+
+    Returns the subtree level; raises ``ValueError`` for a misaligned span.
+    """
+    if not 0 <= start < stop <= n_tasks:
+        raise ValueError(
+            f"span [{start}, {stop}) out of range for {n_tasks} tasks"
+        )
+    level = (stop - start - 1).bit_length()
+    size = 1 << level
+    if start % size or min(start + size, n_tasks) != stop:
+        raise ValueError(
+            f"span [{start}, {stop}) is not aligned to the canonical "
+            f"reduction tree of {n_tasks} tasks"
+        )
+    return level
+
+
+def aligned_spans(n_tasks: int, span_size: int) -> list[tuple[int, int]]:
+    """Partition ``[0, n_tasks)`` into contiguous tree-aligned spans.
+
+    ``span_size`` is rounded *down* to a power of two (alignment demands
+    it); every returned ``(start, stop)`` satisfies :func:`span_level`, so
+    each span can be folded worker-side and re-injected with
+    :meth:`PairwiseReducer.add_span` without changing a single bit of the
+    reduced tally.  The final span may be shorter (the tail block).
+    """
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    if span_size < 1:
+        raise ValueError(f"span_size must be >= 1, got {span_size}")
+    width = 1 << (span_size.bit_length() - 1)
+    return [(s, min(s + width, n_tasks)) for s in range(0, n_tasks, width)]
 
 
 class PairwiseReducer:
@@ -101,24 +152,17 @@ class PairwiseReducer:
 
     # -- reduction -------------------------------------------------------------
 
-    def add(self, task_index: int, tally: Tally, *, owned: bool = False) -> None:
-        """Feed one completed task's tally into the tree.
+    def _mark_seen(self, start: int, stop: int) -> None:
+        for task_index in range(start, stop):
+            byte, bit = divmod(task_index, 8)
+            if self._seen[byte] & (1 << bit):
+                raise ValueError(
+                    f"task {task_index} already reduced (duplicate result)"
+                )
+            self._seen[byte] |= 1 << bit
 
-        Raises ``ValueError`` on an out-of-range or duplicate index —
-        speculative duplicates must be filtered *before* reduction, since
-        adding a task twice would double-count its photons.
-        """
-        if not 0 <= task_index < self.n_tasks:
-            raise ValueError(
-                f"task_index {task_index} out of range [0, {self.n_tasks})"
-            )
-        byte, bit = divmod(task_index, 8)
-        if self._seen[byte] & (1 << bit):
-            raise ValueError(f"task {task_index} already reduced (duplicate result)")
-        self._seen[byte] |= 1 << bit
-
-        start = time.perf_counter()
-        level, slot = 0, task_index
+    def _climb(self, level: int, slot: int, tally: Tally, owned: bool) -> None:
+        """Insert a node and climb the tree, merging/promoting as far as possible."""
         node, node_owned = tally, owned
         while (1 << level) < self.n_tasks:
             sibling = self._nodes.pop((level, slot ^ 1), None)
@@ -139,10 +183,49 @@ class PairwiseReducer:
             level += 1
             slot >>= 1
         self._nodes[(level, slot)] = (node, node_owned)
-        self._n_added += 1
         if len(self._nodes) > self._pending_peak:
             self._pending_peak = len(self._nodes)
+
+    def add(self, task_index: int, tally: Tally, *, owned: bool = False) -> None:
+        """Feed one completed task's tally into the tree.
+
+        Raises ``ValueError`` on an out-of-range or duplicate index —
+        speculative duplicates must be filtered *before* reduction, since
+        adding a task twice would double-count its photons.
+        """
+        if not 0 <= task_index < self.n_tasks:
+            raise ValueError(
+                f"task_index {task_index} out of range [0, {self.n_tasks})"
+            )
+        self._mark_seen(task_index, task_index + 1)
+        start = time.perf_counter()
+        self._climb(0, task_index, tally, owned)
+        self._n_added += 1
         self._seconds += time.perf_counter() - start
+
+    def add_span(
+        self, start: int, stop: int, partial: Tally, *, owned: bool = False
+    ) -> None:
+        """Feed a worker-folded subtree partial covering tasks ``[start, stop)``.
+
+        ``partial`` must be the canonical bottom-up fold of that span's task
+        tallies (:class:`SpanFolder` produces exactly this), and the span
+        must be tree-aligned (:func:`span_level`).  The partial enters the
+        tree at its subtree node and climbs like any other node, so the
+        final result is bit-identical to adding the ``stop - start`` leaves
+        individually — the worker merely performed the subtree's merges on
+        the parent's behalf.
+
+        Raises ``ValueError`` on a misaligned span or if any covered task
+        was already reduced (speculative span duplicates must be filtered
+        before reduction).
+        """
+        level = span_level(start, stop, self.n_tasks)
+        self._mark_seen(start, stop)
+        t0 = time.perf_counter()
+        self._climb(level, start >> level, partial, owned)
+        self._n_added += stop - start
+        self._seconds += time.perf_counter() - t0
 
     def result(self) -> Tally:
         """Return the fully reduced tally; all tasks must have been added."""
@@ -156,6 +239,71 @@ class PairwiseReducer:
         if tel is not None:
             tel.gauge("reduce.pending_peak", float(self._pending_peak))
             tel.count("reduce.seconds", self._seconds)
+        return tally
+
+
+class SpanFolder:
+    """Fold one tree-aligned span of task tallies into its subtree partial.
+
+    A worker assigned the contiguous task range ``[start, stop)`` feeds each
+    task's tally in (any order) and ships the single :meth:`partial` back to
+    the coordinator, which re-injects it with
+    :meth:`PairwiseReducer.add_span`.  The folder performs **exactly** the
+    pairwise merges the parent's canonical tree would have performed for
+    this subtree — same node pairing, same promote-on-empty rule for the
+    tail block — so the partial is bit-identical to feeding the leaves to
+    the parent individually, while the coordinator does ``stop - start``
+    times less merging and receives one payload instead of many.
+    """
+
+    def __init__(self, n_tasks: int, start: int, stop: int) -> None:
+        self.level = span_level(start, stop, n_tasks)
+        self.n_tasks = n_tasks
+        self.start = start
+        self.stop = stop
+        self._nodes: dict[tuple[int, int], tuple[Tally, bool]] = {}
+        self._seen: set[int] = set()
+        self._added = 0
+
+    def add(self, task_index: int, tally: Tally, *, owned: bool = False) -> None:
+        """Feed one task of the span; rejects out-of-span and duplicate indices."""
+        if not self.start <= task_index < self.stop:
+            raise ValueError(
+                f"task_index {task_index} outside span [{self.start}, {self.stop})"
+            )
+        if task_index in self._seen:
+            raise ValueError(f"task {task_index} already folded (duplicate)")
+        self._seen.add(task_index)
+        level, slot = 0, task_index
+        node, node_owned = tally, owned
+        while level < self.level:
+            sibling = self._nodes.pop((level, slot ^ 1), None)
+            if sibling is not None:
+                other, other_owned = sibling
+                if node_owned:
+                    node = node.imerge(other)
+                elif other_owned:
+                    node, node_owned = other.imerge(node), True
+                else:
+                    node, node_owned = node.merge(other), True
+            elif ((slot | 1) << level) >= self.n_tasks:
+                pass  # sibling range is empty (tail block): promote unchanged
+            else:
+                break  # park and wait for the in-span sibling
+            level += 1
+            slot >>= 1
+        self._nodes[(level, slot)] = (node, node_owned)
+        self._added += 1
+
+    def partial(self) -> Tally:
+        """The folded subtree partial; every task of the span must be added."""
+        if self._added != self.stop - self.start:
+            raise ValueError(
+                f"span fold incomplete: {self._added}/{self.stop - self.start} "
+                "tasks added"
+            )
+        assert len(self._nodes) == 1, "complete span fold must leave a single node"
+        ((tally, _),) = self._nodes.values()
         return tally
 
 

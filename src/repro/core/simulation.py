@@ -36,18 +36,19 @@ _KERNELS: dict[str, Callable[[SimulationConfig, int, np.random.Generator], Tally
 
 
 @lru_cache(maxsize=None)
-def _accepts_telemetry(fn: Callable) -> bool:
-    """Whether a registered kernel declares a ``telemetry`` keyword.
+def _accepts_kwarg(fn: Callable, name: str) -> bool:
+    """Whether a registered kernel declares keyword parameter ``name``.
 
     Kernels are an open registry (e.g. :mod:`repro.voxel` registers
-    ``"voxel"``), so telemetry is forwarded only to kernels that opt in —
-    an external kernel without the parameter keeps working untraced.
+    ``"voxel"``), so optional keywords — ``telemetry``, ``sub_batch`` — are
+    forwarded only to kernels that opt in; an external kernel without the
+    parameter keeps working unchanged.
     """
     try:
         params = inspect.signature(fn).parameters
     except (TypeError, ValueError):  # builtins/callables without signatures
         return False
-    return "telemetry" in params or any(
+    return name in params or any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
     )
 
@@ -58,14 +59,19 @@ def run_photons(
     rng: np.random.Generator,
     kernel: KernelName = "vector",
     *,
+    sub_batch: int | None = None,
     telemetry=None,
 ) -> Tally:
     """Trace ``n_photons`` with the named kernel (the worker-side entry point).
 
     ``telemetry`` (optional :class:`~repro.observe.Telemetry`) is handed to
     the kernel, which traces batch timings; ``None`` disables telemetry at
-    zero cost.  Kernels that do not declare the parameter simply run
-    untraced.
+    zero cost.  ``sub_batch`` overrides the vectorized kernel's internal
+    batching (``None`` keeps the kernel's default); it is an execution
+    tuning knob — results for different sub-batch sizes are statistically
+    equivalent but not bit-identical, so hold it fixed when comparing runs
+    bit-for-bit.  Kernels that do not declare a parameter simply run
+    without it (the scalar kernel has no sub-batching).
     """
     try:
         fn = _KERNELS[kernel]
@@ -73,9 +79,12 @@ def run_photons(
         raise ValueError(
             f"unknown kernel {kernel!r}; choose from {sorted(_KERNELS)}"
         ) from None
-    if telemetry is not None and _accepts_telemetry(fn):
-        return fn(config, n_photons, rng, telemetry=telemetry)
-    return fn(config, n_photons, rng)
+    kwargs = {}
+    if sub_batch is not None and _accepts_kwarg(fn, "sub_batch"):
+        kwargs["sub_batch"] = sub_batch
+    if telemetry is not None and _accepts_kwarg(fn, "telemetry"):
+        kwargs["telemetry"] = telemetry
+    return fn(config, n_photons, rng, **kwargs)
 
 
 def split_photons(n_photons: int, task_size: int) -> list[int]:
@@ -120,6 +129,7 @@ class Simulation:
         *,
         kernel: KernelName = "vector",
         task_size: int | None = None,
+        sub_batch: int | None = None,
         telemetry=None,
     ) -> Tally:
         """Run the experiment and return the merged tally.
@@ -137,6 +147,9 @@ class Simulation:
             Photons per task.  ``None`` runs everything as one task.
             Choosing the same ``task_size`` as a distributed run makes the
             results bit-identical to it.
+        sub_batch:
+            Vectorized-kernel sub-batch override (see :func:`run_photons`);
+            an execution tuning knob, ``None`` keeps the kernel default.
         telemetry:
             Optional :class:`~repro.observe.Telemetry`; traces per-task
             spans, kernel batch timings and progress.  ``None`` (default)
@@ -158,7 +171,7 @@ class Simulation:
                     i,
                     run_photons(
                         self.config, count, task_rng(seed, i), kernel,
-                        telemetry=telemetry,
+                        sub_batch=sub_batch, telemetry=telemetry,
                     ),
                     owned=True,
                 )

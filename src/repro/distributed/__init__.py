@@ -22,13 +22,17 @@ from .net import (
 )
 from .protocol import (
     ResultValidationError,
+    SpanSpec,
     TaskResult,
     TaskSpec,
     decode,
     encode,
+    freeze_result,
+    make_units,
+    thaw_result,
     validate_result,
 )
-from .worker import execute_task, worker_identity
+from .worker import execute_span, execute_task, execute_unit, worker_identity
 
 __all__ = [
     "BACKEND_NAMES",
@@ -45,6 +49,7 @@ __all__ = [
     "ResultValidationError",
     "RunReport",
     "SerialBackend",
+    "SpanSpec",
     "TaskFailedError",
     "TaskResult",
     "TaskSpec",
@@ -54,12 +59,17 @@ __all__ = [
     "WorkerStats",
     "decode",
     "encode",
+    "execute_span",
+    "execute_task",
+    "execute_unit",
+    "freeze_result",
     "make_backend",
+    "make_units",
     "recv_message",
     "run_key",
     "run_network_client",
     "send_message",
-    "execute_task",
+    "thaw_result",
     "validate_result",
     "worker_identity",
 ]

@@ -45,19 +45,36 @@ class CheckpointError(RuntimeError):
     """The checkpoint directory cannot be used (corrupt or mismatched run)."""
 
 
-def run_key(*, n_photons: int, seed: int, task_size: int, kernel: str) -> dict:
+def run_key(
+    *,
+    n_photons: int,
+    seed: int,
+    task_size: int,
+    kernel: str,
+    span_size: int | None = None,
+    sub_batch: int | None = None,
+) -> dict:
     """The identity of a run's task decomposition.
 
     Two runs with the same key produce the same task list and per-task RNG
     streams, so their checkpoints are interchangeable; anything else must be
-    refused at resume time.
+    refused at resume time.  ``span_size`` changes the dispatch-unit (and
+    therefore checkpoint-entry) granularity, and ``sub_batch`` changes the
+    kernel's RNG consumption pattern — both must match for a resume to stay
+    bit-identical, but they enter the key only when set so checkpoints
+    written before these knobs existed keep resuming.
     """
-    return {
+    key = {
         "n_photons": int(n_photons),
         "seed": int(seed),
         "task_size": int(task_size),
         "kernel": str(kernel),
     }
+    if span_size is not None:
+        key["span_size"] = int(span_size)
+    if sub_batch is not None:
+        key["sub_batch"] = int(sub_batch)
+    return key
 
 
 @dataclass
@@ -140,12 +157,14 @@ class CheckpointManager:
                 except Exception:  # noqa: BLE001 - torn write: redo the task
                     logger.warning("dropping unreadable checkpoint tally %s", path)
                     continue
+                span = entry.get("span")
                 results[idx] = TaskResult(
                     task_index=idx,
                     tally=tally,
                     worker_id=entry["worker_id"],
                     elapsed_seconds=entry["elapsed_seconds"],
                     attempt=entry["attempt"],
+                    span=tuple(span) if span is not None else None,
                 )
                 entries[idx] = dict(entry)
         with self._lock:
@@ -163,13 +182,18 @@ class CheckpointManager:
         filename = f"task-{result.task_index:06d}.npz"
         save_tally(Path(self.directory) / filename, result.tally)
         with self._lock:
-            self._entries[result.task_index] = {
+            entry = {
                 "task_index": result.task_index,
                 "worker_id": result.worker_id,
                 "elapsed_seconds": result.elapsed_seconds,
                 "attempt": result.attempt,
                 "tally": filename,
             }
+            if result.span is not None:
+                # Span results index by unit; the covered task range is
+                # needed to re-inject the partial at its subtree node.
+                entry["span"] = list(result.span)
+            self._entries[result.task_index] = entry
             self._dirty += 1
             if self._dirty >= self.interval:
                 self._write_manifest()

@@ -45,8 +45,16 @@ from ..core.tally import Tally
 from .backends import Backend
 from .checkpoint import CheckpointManager, run_key
 from .health import WorkerHealth, WorkerStats
-from .protocol import ResultValidationError, TaskResult, TaskSpec, validate_result
-from .worker import execute_task
+from .protocol import (
+    ResultValidationError,
+    SpanSpec,
+    TaskResult,
+    TaskSpec,
+    make_units,
+    thaw_result,
+    validate_result,
+)
+from .worker import execute_task, execute_unit, execute_unit_ipc
 
 logger = logging.getLogger(__name__)
 
@@ -192,6 +200,20 @@ class DataManager:
         (``None`` disables).  In-process backends cannot refuse work to a
         thread, so here the flag is diagnostic; the
         :class:`~repro.distributed.net.NetworkServer` enforces it.
+    span_size:
+        Tasks per dispatch unit for hierarchical worker-local reduction
+        (``None``, the default, keeps per-task dispatch).  Tasks are
+        grouped into tree-aligned spans (the size is rounded down to a
+        power of two); the worker folds each span's tallies bottom-up into
+        the canonical subtree partial and ships that single payload, so
+        IPC payload count and parent merge CPU drop by the span factor
+        while the merged tally stays bit-identical to serial.  Retries,
+        speculation and checkpoints operate on whole spans.
+    sub_batch:
+        Vectorized-kernel sub-batch override shipped with every task
+        (``None`` keeps the kernel default).  Execution-only: results are
+        statistically equivalent across sub-batch sizes but not
+        bit-identical, so the value participates in the checkpoint run key.
     checkpoint:
         A :class:`~repro.distributed.checkpoint.CheckpointManager`, or a
         directory path for one.  Completed task results are persisted as
@@ -231,6 +253,8 @@ class DataManager:
     checkpoint: CheckpointManager | str | Path | None = None
     telemetry: object | None = None
     retain_task_tallies: bool = True
+    span_size: int | None = None
+    sub_batch: int | None = None
     _retries: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -250,13 +274,26 @@ class DataManager:
             )
         if self.retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.span_size is not None and self.span_size < 1:
+            raise ValueError(
+                f"span_size must be >= 1 or None, got {self.span_size}"
+            )
+        if self.sub_batch is not None and self.sub_batch <= 0:
+            raise ValueError(f"sub_batch must be > 0 or None, got {self.sub_batch}")
 
     def tasks(self) -> list[TaskSpec]:
         """The canonical task decomposition of this experiment."""
         return [
-            TaskSpec(task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel)
+            TaskSpec(
+                task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel,
+                sub_batch=self.sub_batch,
+            )
             for i, count in enumerate(split_photons(self.n_photons, self.task_size))
         ]
+
+    def units(self) -> list[TaskSpec] | list[SpanSpec]:
+        """The dispatch units: per-task, or tree-aligned spans of tasks."""
+        return make_units(self.tasks(), self.span_size)
 
     def run_key(self) -> dict:
         """Identity of this run's decomposition (for checkpoint matching)."""
@@ -265,6 +302,8 @@ class DataManager:
             seed=self.seed,
             task_size=self.task_size,
             kernel=self.kernel,
+            span_size=self.span_size,
+            sub_batch=self.sub_batch,
         )
 
     def _checkpoint_manager(self) -> CheckpointManager | None:
@@ -298,6 +337,7 @@ class DataManager:
         start = time.perf_counter()
         tel = self.telemetry
         tasks = self.tasks()
+        units = make_units(tasks, self.span_size)
         self._retries = 0
         health = WorkerHealth(blacklist_after=self.blacklist_after)
         ckpt = self._checkpoint_manager()
@@ -306,7 +346,7 @@ class DataManager:
             restored = ckpt.load(self.run_key())
             if restored:
                 logger.info(
-                    "resumed %d completed tasks from checkpoint %s",
+                    "resumed %d completed units from checkpoint %s",
                     len(restored), ckpt.directory,
                 )
 
@@ -321,16 +361,18 @@ class DataManager:
             )
 
         n_tasks = len(tasks)
+        n_units = len(units)
         if tel is not None:
             tel.emit(
                 "run_start",
                 n_tasks=n_tasks,
+                n_units=n_units,
                 n_photons=self.n_photons,
                 restored=len(restored),
                 workers=backend.max_workers,
                 kernel=self.kernel,
             )
-        by_index = {t.task_index: t for t in tasks}
+        by_index = {u.task_index: u for u in units}
         results = {i: r for i, r in restored.items() if i in by_index}
         # Incremental deterministic reduction: results are folded into a
         # canonical binary tree keyed by task index as they arrive, so the
@@ -339,19 +381,34 @@ class DataManager:
         # retain_task_tallies=False) at most ~log2(n_tasks) + in-flight
         # tallies are ever held in memory.  Checkpointed results re-enter
         # through the same reducer, keeping resumed runs on the same tree.
+        # A span result enters at its subtree node (add_span) — the worker
+        # already performed that subtree's merges, bit-identically.
         retain = self.retain_task_tallies
         reducer = PairwiseReducer(n_tasks, telemetry=tel)
-        for i in sorted(results):
+
+        def fold(idx: int, result: TaskResult) -> None:
             # Release before feeding the reducer: with an owned leaf the
             # reducer merges siblings into it in place, which would corrupt
-            # the per-task photon count release_tally() snapshots.
-            leaf = results[i].tally
+            # the per-unit photon count release_tally() snapshots.
+            leaf = result.tally
+            span = result.span
             if not retain:
-                results[i].release_tally()
-            reducer.add(i, leaf, owned=not retain)
-        # (not_before, task, attempt): retries carry a backoff release time.
-        pending: list[tuple[float, TaskSpec, int]] = [
-            (0.0, t, 1) for t in tasks if t.task_index not in results
+                result.release_tally()
+            # Codec-decoded tallies may be zero-copy views into a read-only
+            # buffer; the reducer may only accumulate into writable arrays.
+            owned = (not retain) and leaf.absorbed_by_layer.flags.writeable
+            if span is not None:
+                reducer.add_span(span[0], span[1], leaf, owned=owned)
+                if tel is not None and span[1] - span[0] > 1:
+                    tel.count("reduce.worker_folds", span[1] - span[0] - 1)
+            else:
+                reducer.add(idx, leaf, owned=owned)
+
+        for i in sorted(results):
+            fold(i, results[i])
+        # (not_before, unit, attempt): retries carry a backoff release time.
+        pending: list[tuple[float, TaskSpec | SpanSpec, int]] = [
+            (0.0, u, 1) for u in units if u.task_index not in results
         ]
         in_flight: dict[Future, tuple[TaskSpec, int, float]] = {}
         inflight_count: dict[int, int] = {}
@@ -361,17 +418,20 @@ class DataManager:
         speculative = 0
 
         attempt_spans: dict[Future, tuple[int, float]] = {}
+        # Every attempt routes through the unit entry points: execute_unit
+        # runs tasks or folds spans in place; execute_unit_ipc additionally
+        # returns the tally in zero-copy codec form, stripping the pickle
+        # reconstruction cost off a process pool's parent-side hot path.
         # Kernel batch spans can only be shared by in-process workers; the
-        # stock runner grows a telemetry kwarg, custom runners are left alone.
-        runner_kwargs = {}
-        if (
-            tel is not None
-            and getattr(backend, "in_process", False)
-            and self.task_runner is execute_task
-        ):
-            runner_kwargs = {"telemetry": tel}
+        # stock runner grows a telemetry kwarg, custom runners are left
+        # alone (execute_unit forwards telemetry only to execute_task).
+        in_process = getattr(backend, "in_process", False)
+        unit_entry = execute_unit if in_process else execute_unit_ipc
+        runner_kwargs = {"runner": self.task_runner}
+        if tel is not None and in_process and self.task_runner is execute_task:
+            runner_kwargs["telemetry"] = tel
 
-        def dispatch(task: TaskSpec, attempt: int) -> None:
+        def dispatch(task: TaskSpec | SpanSpec, attempt: int) -> None:
             now = time.perf_counter()
             if tel is not None:
                 handle = tel.span_begin(
@@ -379,7 +439,7 @@ class DataManager:
                     photons=task.n_photons,
                 )
             fut = backend.submit(
-                self.task_runner, self.config, task, attempt=attempt,
+                unit_entry, self.config, task, attempt=attempt,
                 **runner_kwargs,
             )
             in_flight[fut] = (task, attempt, now)
@@ -405,7 +465,7 @@ class DataManager:
                     i += 1
 
         fill()
-        while len(results) < n_tasks:
+        while len(results) < n_units:
             if not in_flight:
                 if not pending:
                     raise RuntimeError(
@@ -452,9 +512,15 @@ class DataManager:
                 if error is None:
                     candidate: TaskResult = fut.result()
                     try:
+                        # A process-pool result arrives codec-encoded; thaw
+                        # it into zero-copy views before validation.
+                        thaw_result(candidate, telemetry=tel)
                         validate_result(candidate, task)
                         result = candidate
-                    except ResultValidationError as exc:
+                    except ValueError as exc:
+                        # ResultValidationError, or a CodecError from a
+                        # corrupt encoded payload — either way the result
+                        # is unusable and the unit is retried.
                         error = exc
                         health.record_failure(candidate.worker_id)
                         logger.warning("task %d result rejected: %s", idx, exc)
@@ -463,16 +529,10 @@ class DataManager:
                     health.record_success(result.worker_id, result.elapsed_seconds)
                     if ckpt is not None:
                         ckpt.record(result)
-                    leaf = result.tally
-                    n_launched = leaf.n_launched
-                    # Release first: an owned leaf may be merged into in
-                    # place by the reducer, so snapshotting the photon
-                    # count must happen before add().
-                    if not retain:
-                        result.release_tally()
-                    reducer.add(idx, leaf, owned=not retain)
+                    n_launched = result.tally.n_launched
+                    fold(idx, result)
                     if self.progress is not None:
-                        self.progress(len(results), n_tasks)
+                        self.progress(len(results), n_units)
                     if tel is not None:
                         tel.span_finish(
                             "task.attempt", span,
@@ -489,7 +549,7 @@ class DataManager:
                         elapsed = time.perf_counter() - start
                         done_photons = tel.registry.counter("photons.traced").value
                         tel.progress_update(
-                            len(results), n_tasks,
+                            len(results), n_units,
                             photons_per_s=done_photons / elapsed if elapsed else 0.0,
                         )
                     continue
@@ -542,7 +602,7 @@ class DataManager:
         for fut in in_flight:
             fut.cancel()
 
-        ordered = [results[i] for i in range(n_tasks)]
+        ordered = [results[i] for i in range(n_units)]
         # Every result was already folded in on arrival — no end-of-run
         # merge pass (and no "merge" span) remains.
         tally = reducer.result()

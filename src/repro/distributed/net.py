@@ -17,11 +17,12 @@ health, and can checkpoint/resume through a
 Wire protocol (length-prefixed pickles, trusted-network only — exactly the
 trust model of the paper's Java serialisation):
 
-    client -> server   {"type": "hello", "worker": str, "compress": bool}
+    client -> server   {"type": "hello", "worker": str, "compress": bool,
+                        "codec": bool}
     server -> client   {"type": "session", "config": ..., "kernel": ...,
-                        "compress": bool}
+                        "compress": bool, "codec": bool}
     client -> server   {"type": "next"}                           ┐
-    server -> client   {"type": "task", "task": TaskSpec,         │ repeats
+    server -> client   {"type": "task", "task": TaskSpec|SpanSpec,│ repeats
                         "attempt": int} | {"type": "done"}        │
     client -> server   {"type": "heartbeat"}   (0+ while working) │
     client -> server   {"type": "result", "result": TaskResult}   ┘
@@ -39,6 +40,22 @@ hello, and the server enables it only when constructed with
 ``compress=True`` (off by default) — and is carried in-band: the top bit of
 the 8-byte length prefix marks a compressed frame, so small frames
 (heartbeats, pulls) skip compression with zero overhead.
+
+Two further coordinator-throughput features are negotiated the same way:
+
+* **Zero-copy tally transport** (``"codec"``): a client that advertises
+  support ships each result's tally as one contiguous
+  :class:`~repro.io.codec.EncodedTally` buffer instead of a pickled
+  :class:`~repro.core.tally.Tally`; the server reconstructs it as
+  ``np.frombuffer`` views into the received frame (the frame itself is
+  read with ``recv_into`` into a preallocated ``bytearray``, so the bytes
+  are copied exactly once off the socket).  On by default on both sides;
+  a legacy peer simply keeps the pickled form.
+* **Span dispatch** (``span_size``): tasks are grouped into tree-aligned
+  :class:`~repro.distributed.protocol.SpanSpec` units; the client folds
+  each span worker-side (``reduce.worker_folds`` counts the merges the
+  server no longer performs) and returns one partial per span, dropping
+  result payload count from n_tasks to n_spans bit-identically.
 """
 
 from __future__ import annotations
@@ -61,8 +78,17 @@ from ..core.tally import Tally
 from .checkpoint import CheckpointManager, run_key
 from .datamanager import RunReport
 from .health import WorkerHealth
-from .protocol import ResultValidationError, TaskResult, TaskSpec, validate_result
-from .worker import execute_task
+from .protocol import (
+    ResultValidationError,
+    SpanSpec,
+    TaskResult,
+    TaskSpec,
+    freeze_result,
+    make_units,
+    thaw_result,
+    validate_result,
+)
+from .worker import execute_unit
 
 __all__ = [
     "ProtocolError",
@@ -125,16 +151,24 @@ def send_message(sock: socket.socket, obj, *, compress: bool = False, saved_cb=N
     return _LENGTH.size + len(payload)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    """Read exactly ``n`` bytes into one preallocated buffer.
+
+    ``recv_into`` a single ``bytearray`` instead of the old
+    chunk-list-then-join: the bytes are copied exactly once off the socket,
+    and the returned buffer is *writable* — so a zero-copy decoded tally
+    (``np.frombuffer`` views into this very buffer) can be merged into in
+    place by the reducer.
+    """
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        read = sock.recv_into(view[got:], n - got)
+        if not read:
             raise ConnectionError("peer closed the connection mid-message")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        got += read
+    return buf
 
 
 def recv_message(sock: socket.socket, *, max_size: int = _MAX_MESSAGE, size_cb=None):
@@ -213,6 +247,21 @@ class NetworkServer:
         Offer zlib frame compression to clients (negotiated per
         connection; a client that does not advertise support keeps an
         uncompressed stream).  Off by default.
+    ``codec``
+        Offer zero-copy tally transport (negotiated per connection like
+        compression; on by default).  A client that advertises support
+        returns each tally as one :class:`~repro.io.codec.EncodedTally`
+        buffer, decoded server-side into ``np.frombuffer`` views; the
+        ``codec.bytes`` / ``codec.bytes_saved`` counters quantify it.
+    ``span_size``
+        Tasks per dispatch unit (``None`` keeps per-task dispatch): tasks
+        are grouped into tree-aligned spans, each client folds its span
+        into the canonical subtree partial and the server performs one
+        merge per span instead of per task — bit-identically (the
+        ``reduce.worker_folds`` counter reports the merges delegated).
+    ``sub_batch``
+        Vectorized-kernel sub-batch override shipped with every task
+        (execution-only; participates in the checkpoint run key).
     ``retain_task_tallies``
         As on :class:`~repro.distributed.datamanager.DataManager`:
         ``False`` releases each task tally once it is folded into the
@@ -249,12 +298,16 @@ class NetworkServer:
     blacklist_after: int | None = 3
     checkpoint: CheckpointManager | str | Path | None = None
     compress: bool = False
+    codec: bool = True
     retain_task_tallies: bool = True
     telemetry: object | None = None
+    span_size: int | None = None
+    sub_batch: int | None = None
 
     _listener: socket.socket | None = field(init=False, default=None)
     _threads: list[threading.Thread] = field(init=False, default_factory=list)
     _queue: "queue.Queue[tuple[TaskSpec, int]]" = field(init=False, default=None)
+    _n_units: int = field(init=False, default=0)
     _lock: threading.Lock = field(init=False, default_factory=threading.Lock)
     _results: dict[int, TaskResult] = field(init=False, default_factory=dict)
     _retries: int = field(init=False, default=0)
@@ -294,6 +347,12 @@ class NetworkServer:
             raise ValueError(
                 f"max_speculative must be >= 0, got {self.max_speculative}"
             )
+        if self.span_size is not None and self.span_size < 1:
+            raise ValueError(
+                f"span_size must be >= 1 or None, got {self.span_size}"
+            )
+        if self.sub_batch is not None and self.sub_batch <= 0:
+            raise ValueError(f"sub_batch must be > 0 or None, got {self.sub_batch}")
 
     def run_key(self) -> dict:
         """Identity of this run's decomposition (for checkpoint matching)."""
@@ -302,7 +361,27 @@ class NetworkServer:
             seed=self.seed,
             task_size=self.task_size,
             kernel=self.kernel,
+            span_size=self.span_size,
+            sub_batch=self.sub_batch,
         )
+
+    def _fold(self, idx: int, result: TaskResult) -> None:
+        """Feed a merged unit's tally into the reduction tree (lock held)."""
+        leaf = result.tally
+        span = result.span
+        if not self.retain_task_tallies:
+            result.release_tally()
+        # Codec-decoded tallies may be zero-copy views into a read-only
+        # buffer; the reducer may only accumulate into writable arrays.
+        owned = (
+            not self.retain_task_tallies
+        ) and leaf.absorbed_by_layer.flags.writeable
+        if span is not None:
+            self._reducer.add_span(span[0], span[1], leaf, owned=owned)
+            if self.telemetry is not None and span[1] - span[0] > 1:
+                self.telemetry.count("reduce.worker_folds", span[1] - span[0] - 1)
+        else:
+            self._reducer.add(idx, leaf, owned=owned)
 
     def start(self) -> "NetworkServer":
         """Bind, listen and start accepting clients (returns self)."""
@@ -310,10 +389,15 @@ class NetworkServer:
             raise RuntimeError("server already started")
         self._health = WorkerHealth(blacklist_after=self.blacklist_after)
         tasks = [
-            TaskSpec(task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel)
+            TaskSpec(
+                task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel,
+                sub_batch=self.sub_batch,
+            )
             for i, count in enumerate(split_photons(self.n_photons, self.task_size))
         ]
+        units = make_units(tasks, self.span_size)
         self._n_tasks = len(tasks)
+        self._n_units = len(units)
         if self.checkpoint is not None:
             self._ckpt = (
                 self.checkpoint
@@ -322,30 +406,26 @@ class NetworkServer:
             )
             restored = self._ckpt.load(self.run_key())
             self._results.update(
-                (i, r) for i, r in restored.items() if i < self._n_tasks
+                (i, r) for i, r in restored.items() if i < self._n_units
             )
             if self._results:
                 logger.info(
-                    "resumed %d completed tasks from checkpoint %s",
+                    "resumed %d completed units from checkpoint %s",
                     len(self._results), self._ckpt.directory,
                 )
         # Results fold into the canonical pairwise tree as they arrive;
         # checkpointed results re-enter through the same reducer, so a
-        # resumed run stays bit-identical to an uninterrupted one.
+        # resumed run stays bit-identical to an uninterrupted one.  Span
+        # partials enter at their subtree node (add_span).
         if self._n_tasks:
             self._reducer = PairwiseReducer(self._n_tasks, telemetry=self.telemetry)
             for i in sorted(self._results):
-                # Release before add(): an owned leaf may be merged into in
-                # place, which would corrupt the snapshotted photon count.
-                leaf = self._results[i].tally
-                if not self.retain_task_tallies:
-                    self._results[i].release_tally()
-                self._reducer.add(i, leaf, owned=not self.retain_task_tallies)
+                self._fold(i, self._results[i])
         self._queue = queue.Queue()
-        for task in tasks:
-            if task.task_index not in self._results:
-                self._queue.put((task, 1))
-        if len(self._results) == self._n_tasks:
+        for unit in units:
+            if unit.task_index not in self._results:
+                self._queue.put((unit, 1))
+        if len(self._results) == self._n_units:
             self._complete.set()
 
         self._listener = socket.create_server((self.host, self.port))
@@ -380,7 +460,7 @@ class NetworkServer:
 
     def _all_merged(self) -> bool:
         with self._lock:
-            return len(self._results) == self._n_tasks
+            return len(self._results) == self._n_units
 
     def _next_task(self) -> tuple[TaskSpec, int] | None:
         """Pull the next live task, blocking; None means the run is over.
@@ -470,13 +550,8 @@ class NetworkServer:
             self._results[idx] = result
             if self._ckpt is not None:
                 self._ckpt.record(result)
-            # Release before add(): an owned leaf may be merged into in
-            # place, which would corrupt the snapshotted photon count.
-            leaf = result.tally
-            if not self.retain_task_tallies:
-                result.release_tally()
-            self._reducer.add(idx, leaf, owned=not self.retain_task_tallies)
-            if len(self._results) == self._n_tasks:
+            self._fold(idx, result)
+            if len(self._results) == self._n_units:
                 self._complete.set()
         self._health.record_success(worker, result.elapsed_seconds)
 
@@ -517,9 +592,11 @@ class NetworkServer:
                 if hello.get("type") != "hello":
                     raise ProtocolError(f"expected hello, got {hello!r}")
                 worker = str(hello.get("worker", "?"))
-                # Compression is negotiated per connection: on only when
-                # the server offers it AND this client advertised support.
+                # Compression and zero-copy tally transport are negotiated
+                # per connection: on only when the server offers the feature
+                # AND this client advertised support.
                 wire_compress = bool(self.compress and hello.get("compress"))
+                wire_codec = bool(self.codec and hello.get("codec"))
                 self._send(
                     conn,
                     {
@@ -527,6 +604,7 @@ class NetworkServer:
                         "config": self.config,
                         "kernel": self.kernel,
                         "compress": wire_compress,
+                        "codec": wire_codec,
                     },
                     compress=wire_compress,
                 )
@@ -596,8 +674,13 @@ class NetworkServer:
                     if tel is not None:
                         tel.count("net.round_trips", worker=worker)
                     try:
+                        # Decode a codec-encoded tally before validation;
+                        # CodecError is a ValueError, so a corrupt encoded
+                        # payload is rejected and retried like any other
+                        # bad result rather than crashing the handler.
+                        thaw_result(result, telemetry=tel)
                         validate_result(result, task)
-                    except ResultValidationError as error:
+                    except ValueError as error:
                         logger.warning(
                             "rejecting result of task %d from %s: %s",
                             task.task_index, worker, error,
@@ -619,7 +702,7 @@ class NetworkServer:
                         tel.count("worker.photons", n_launched, worker=worker)
                         tel.observe("task.seconds", result.elapsed_seconds)
                         with self._lock:
-                            done, total = len(self._results), self._n_tasks
+                            done, total = len(self._results), self._n_units
                         tel.progress_update(done, total)
         except BaseException as error:  # noqa: BLE001 - client vanished/hung
             logger.warning("client connection ended: %r", error)
@@ -644,7 +727,7 @@ class NetworkServer:
             raise RuntimeError(
                 "a task exhausted its retry budget"
             ) from self._failure
-        ordered = [self._results[i] for i in range(self._n_tasks)]
+        ordered = [self._results[i] for i in range(self._n_units)]
         tel = self.telemetry
         if self._reducer is not None:
             # Every result was folded in as it arrived — no end-of-run
@@ -749,14 +832,17 @@ def run_network_client(
     completed = 0
     send_lock = threading.Lock()
     with socket.create_connection((host, port)) as sock:
-        # Always advertise compression support; the server decides whether
-        # this connection actually uses it (its `compress` flag).
-        send_message(sock, {"type": "hello", "worker": name, "compress": True})
+        # Always advertise compression and codec support; the server
+        # decides whether this connection actually uses them.
+        send_message(
+            sock, {"type": "hello", "worker": name, "compress": True, "codec": True}
+        )
         session = recv_message(sock)
         if session.get("type") != "session":
             raise ValueError(f"expected session, got {session!r}")
         config = session["config"]
         wire_compress = bool(session.get("compress"))
+        wire_codec = bool(session.get("codec"))
 
         while True:
             if max_tasks is not None and completed >= max_tasks:
@@ -781,7 +867,7 @@ def run_network_client(
                 except (OSError, ConnectionError):
                     pass
                 return completed
-            task: TaskSpec = message["task"]
+            task: TaskSpec | SpanSpec = message["task"]
 
             stop_beats = threading.Event()
 
@@ -798,7 +884,7 @@ def run_network_client(
                 beater = threading.Thread(target=_beat, daemon=True)
                 beater.start()
             try:
-                result = execute_task(config, task, attempt=message["attempt"])
+                result = execute_unit(config, task, attempt=message["attempt"])
                 if slow_down is not None:
                     time.sleep(slow_down)
             finally:
@@ -807,7 +893,11 @@ def run_network_client(
                 beater.join(timeout=5.0)
             result.worker_id = name
             if corrupt_first and completed == 0:
+                # Poison *before* freezing so the corruption travels through
+                # the codec exactly like a genuinely broken client's would.
                 result.tally.diffuse_reflectance_weight = float("nan")
+            if wire_codec:
+                freeze_result(result)
             with send_lock:
                 send_message(
                     sock,

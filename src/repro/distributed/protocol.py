@@ -22,14 +22,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.config import SimulationConfig
+from ..core.reduce import span_level
 from ..core.simulation import KernelName
 from ..core.tally import Tally
 
 __all__ = [
     "TaskSpec",
+    "SpanSpec",
     "TaskResult",
     "ResultValidationError",
     "validate_result",
+    "freeze_result",
+    "thaw_result",
+    "make_units",
     "encode",
     "decode",
 ]
@@ -56,12 +61,98 @@ class TaskSpec:
     n_photons: int
     seed: int
     kernel: KernelName = "vector"
+    #: Vectorized-kernel sub-batch size (``None`` = the kernel's default).
+    #: An execution-only knob: it changes traversal batching, never the
+    #: physics the task describes.
+    sub_batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.task_index < 0:
             raise ValueError(f"task_index must be >= 0, got {self.task_index}")
         if self.n_photons <= 0:
             raise ValueError(f"n_photons must be > 0, got {self.n_photons}")
+        if self.sub_batch is not None and self.sub_batch <= 0:
+            raise ValueError(f"sub_batch must be > 0 or None, got {self.sub_batch}")
+
+    @property
+    def span(self) -> None:
+        """A plain task covers no span (symmetry with :class:`SpanSpec`)."""
+        return None
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """A tree-aligned contiguous run of tasks dispatched as one unit.
+
+    The scheduling unit of hierarchical reduction: the worker executes
+    every contained task, folds the tallies bottom-up into the canonical
+    subtree partial (:class:`~repro.core.reduce.SpanFolder`) and returns a
+    single :class:`TaskResult` carrying the partial — one payload and one
+    coordinator-side merge per span instead of per task.
+
+    ``index`` is the span's position in the unit list (the scheduler keys
+    retries, speculation and checkpoints by it, via the ``task_index``
+    property every unit exposes); ``n_total_tasks`` is the full run's task
+    count, needed to validate tree alignment of the tail span.
+    """
+
+    index: int
+    n_total_tasks: int
+    tasks: tuple[TaskSpec, ...]
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+        if not self.tasks:
+            raise ValueError("a span must contain at least one task")
+        indices = [t.task_index for t in self.tasks]
+        if indices != list(range(indices[0], indices[0] + len(indices))):
+            raise ValueError(f"span tasks must be contiguous, got indices {indices}")
+        # Raises ValueError when the range is not a canonical subtree.
+        span_level(self.start, self.stop, self.n_total_tasks)
+
+    @property
+    def task_index(self) -> int:
+        """Scheduler key of this unit (the span index, *not* a task index)."""
+        return self.index
+
+    @property
+    def start(self) -> int:
+        return self.tasks[0].task_index
+
+    @property
+    def stop(self) -> int:
+        return self.tasks[-1].task_index + 1
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return (self.start, self.stop)
+
+    @property
+    def n_photons(self) -> int:
+        """Total photon budget of the span (what its partial must launch)."""
+        return sum(t.n_photons for t in self.tasks)
+
+
+def make_units(
+    tasks: list[TaskSpec], span_size: int | None
+) -> list[TaskSpec] | list[SpanSpec]:
+    """Group a task list into dispatch units.
+
+    ``span_size=None`` keeps per-task dispatch (the pre-span wire format);
+    otherwise tasks are grouped into tree-aligned spans of at most
+    ``span_size`` tasks (rounded down to a power of two, see
+    :func:`~repro.core.reduce.aligned_spans`) and each span becomes one
+    :class:`SpanSpec` unit.
+    """
+    if span_size is None:
+        return tasks
+    from ..core.reduce import aligned_spans
+
+    return [
+        SpanSpec(index=i, n_total_tasks=len(tasks), tasks=tuple(tasks[s:e]))
+        for i, (s, e) in enumerate(aligned_spans(len(tasks), span_size))
+    ]
 
 
 @dataclass
@@ -81,6 +172,10 @@ class TaskResult:
     elapsed_seconds: float
     attempt: int = 1
     n_photons: int | None = None
+    #: ``(start, stop)`` task range this result covers when it answers a
+    #: :class:`SpanSpec` (its tally is then the folded subtree partial and
+    #: ``task_index`` is the span index); ``None`` for a plain task.
+    span: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.elapsed_seconds < 0:
@@ -123,20 +218,26 @@ def _check_array(name: str, array: np.ndarray, task_index: int) -> None:
         raise ResultValidationError(f"task {task_index}: negative values in {name}")
 
 
-def validate_result(result: TaskResult, task: TaskSpec) -> None:
+def validate_result(result: TaskResult, task: TaskSpec | SpanSpec) -> None:
     """Reject physically impossible task results before they are merged.
 
-    Checks, in order: the result answers *this* task; the tally launched
-    exactly the requested number of photons; every extensive weight is
-    finite and non-negative (``roulette_net_weight`` may legitimately be
-    negative but must be finite); all recorded arrays are finite and
-    non-negative.  Raises :class:`ResultValidationError` on the first
-    violation, otherwise returns ``None``.
+    Checks, in order: the result answers *this* unit (index and — for span
+    units — the covered task range); the tally launched exactly the
+    requested number of photons (a span's folded partial must launch the
+    span's whole budget); every extensive weight is finite and non-negative
+    (``roulette_net_weight`` may legitimately be negative but must be
+    finite); all recorded arrays are finite and non-negative.  Raises
+    :class:`ResultValidationError` on the first violation, otherwise
+    returns ``None``.
     """
     idx = task.task_index
     if result.task_index != idx:
         raise ResultValidationError(
             f"result for task {result.task_index} returned against task {idx}"
+        )
+    if result.span != task.span:
+        raise ResultValidationError(
+            f"unit {idx}: result covers span {result.span}, expected {task.span}"
         )
     t = result.tally
     if t.n_launched != task.n_photons:
@@ -171,6 +272,47 @@ def validate_result(result: TaskResult, task: TaskSpec) -> None:
         hist = getattr(t, name)
         if hist is not None:
             _check_array(f"{name}.counts", hist.counts, idx)
+
+
+def freeze_result(result: TaskResult) -> TaskResult:
+    """Replace the result's live tally with its zero-copy codec form, in place.
+
+    Applied worker-side before a result crosses a byte transport (the TCP
+    wire, a process-pool pipe): the receiving coordinator pays one
+    ``np.frombuffer`` per array instead of a full pickle reconstruction.
+    No-op when the tally is already encoded or released.  Returns the
+    result for chaining.
+    """
+    # Lazy: repro.io.reports imports this package back (see checkpoint.py).
+    from ..io.codec import EncodedTally, encode_tally
+
+    if isinstance(result.tally, Tally):
+        result.n_photons = result.tally.n_launched
+        result.tally = EncodedTally(encode_tally(result.tally))
+    return result
+
+
+def thaw_result(result: TaskResult, telemetry=None) -> TaskResult:
+    """Decode an encoded result tally back into zero-copy ndarray views.
+
+    The inverse of :func:`freeze_result`, called once at the coordinator
+    before validation/merge.  ``telemetry``, when given, receives the
+    ``codec.bytes`` counter (payload bytes actually deserialised) and the
+    ``codec.bytes_saved`` counter (pickle baseline minus payload — what the
+    wire *didn't* carry; see
+    :func:`repro.io.codec.pickled_baseline_bytes`).  No-op for a plain or
+    released tally.  Returns the result for chaining.
+    """
+    from ..io.codec import EncodedTally, pickled_baseline_bytes
+
+    if isinstance(result.tally, EncodedTally):
+        payload_bytes = result.tally.nbytes
+        result.tally = result.tally.decode()
+        if telemetry is not None:
+            telemetry.count("codec.bytes", payload_bytes)
+            baseline = pickled_baseline_bytes(result.tally)
+            telemetry.count("codec.bytes_saved", max(0, baseline - payload_bytes))
+    return result
 
 
 def encode(obj: TaskSpec | TaskResult | SimulationConfig) -> bytes:

@@ -1,9 +1,13 @@
 """Client-side task execution — the paper's ``Algorithm`` class.
 
-A worker receives a :class:`~repro.distributed.protocol.TaskSpec` and the
-shared :class:`~repro.core.config.SimulationConfig`, materialises the task's
-RNG stream locally from ``(seed, task_index)``, runs the Monte Carlo kernel
-and returns a :class:`~repro.distributed.protocol.TaskResult`.
+A worker receives a :class:`~repro.distributed.protocol.TaskSpec` (or a
+tree-aligned :class:`~repro.distributed.protocol.SpanSpec` of several), and
+the shared :class:`~repro.core.config.SimulationConfig`, materialises each
+task's RNG stream locally from ``(seed, task_index)``, runs the Monte Carlo
+kernel and returns a :class:`~repro.distributed.protocol.TaskResult`.  For a
+span, the per-task tallies are folded bottom-up into the canonical subtree
+partial before returning — the coordinator receives one payload and performs
+one merge where it used to perform ``len(span)``.
 """
 
 from __future__ import annotations
@@ -13,11 +17,18 @@ import threading
 import time
 
 from ..core.config import SimulationConfig
+from ..core.reduce import SpanFolder
 from ..core.rng import task_rng
 from ..core.simulation import run_photons
-from .protocol import TaskResult, TaskSpec
+from .protocol import SpanSpec, TaskResult, TaskSpec, freeze_result
 
-__all__ = ["execute_task", "worker_identity"]
+__all__ = [
+    "execute_task",
+    "execute_span",
+    "execute_unit",
+    "execute_unit_ipc",
+    "worker_identity",
+]
 
 
 def worker_identity() -> str:
@@ -38,7 +49,11 @@ def execute_task(
     """
     rng = task_rng(task.seed, task.task_index)
     start = time.perf_counter()
-    tally = run_photons(config, task.n_photons, rng, task.kernel, telemetry=telemetry)
+    tally = run_photons(
+        config, task.n_photons, rng, task.kernel,
+        sub_batch=getattr(task, "sub_batch", None),
+        telemetry=telemetry,
+    )
     elapsed = time.perf_counter() - start
     return TaskResult(
         task_index=task.task_index,
@@ -47,3 +62,79 @@ def execute_task(
         elapsed_seconds=elapsed,
         attempt=attempt,
     )
+
+
+def execute_span(
+    config: SimulationConfig,
+    span: SpanSpec,
+    *,
+    attempt: int = 1,
+    runner=execute_task,
+    telemetry=None,
+) -> TaskResult:
+    """Run every task of a span and fold the tallies into its subtree partial.
+
+    ``runner`` executes each contained task (replaceable for fault
+    injection, exactly like ``DataManager.task_runner``); the fold through
+    :class:`~repro.core.reduce.SpanFolder` performs precisely the pairwise
+    merges the coordinator's canonical tree would have, so re-injecting the
+    partial with ``PairwiseReducer.add_span`` is bit-identical to shipping
+    each leaf individually.  A failure in any contained task fails the
+    whole span attempt — retries and speculation operate on spans.
+    """
+    start = time.perf_counter()
+    folder = SpanFolder(span.n_total_tasks, span.start, span.stop)
+    for task in span.tasks:
+        if runner is execute_task:
+            leaf = runner(config, task, attempt=attempt, telemetry=telemetry)
+        else:
+            leaf = runner(config, task, attempt=attempt)
+        # The leaf tally was produced for this fold alone: let the folder
+        # accumulate siblings into it in place.
+        folder.add(task.task_index, leaf.tally, owned=True)
+    elapsed = time.perf_counter() - start
+    return TaskResult(
+        task_index=span.index,
+        tally=folder.partial(),
+        worker_id=worker_identity(),
+        elapsed_seconds=elapsed,
+        attempt=attempt,
+        span=span.span,
+    )
+
+
+def execute_unit(
+    config: SimulationConfig,
+    unit: TaskSpec | SpanSpec,
+    *,
+    attempt: int = 1,
+    runner=execute_task,
+    telemetry=None,
+) -> TaskResult:
+    """Execute one dispatch unit — a plain task or a span — uniformly."""
+    if isinstance(unit, SpanSpec):
+        return execute_span(
+            config, unit, attempt=attempt, runner=runner, telemetry=telemetry
+        )
+    if runner is execute_task:
+        return runner(config, unit, attempt=attempt, telemetry=telemetry)
+    return runner(config, unit, attempt=attempt)
+
+
+def execute_unit_ipc(
+    config: SimulationConfig,
+    unit: TaskSpec | SpanSpec,
+    *,
+    attempt: int = 1,
+    runner=execute_task,
+) -> TaskResult:
+    """:func:`execute_unit`, returning the tally in zero-copy codec form.
+
+    The entry point process-pool backends submit: the child encodes the
+    tally into one contiguous buffer
+    (:func:`~repro.distributed.protocol.freeze_result`) so the parent's
+    round-trip deserialisation is ``np.frombuffer`` views instead of a full
+    pickle reconstruction.  Telemetry is never forwarded — a child process
+    cannot share the parent's sink.
+    """
+    return freeze_result(execute_unit(config, unit, attempt=attempt, runner=runner))

@@ -1,10 +1,15 @@
-"""Result persistence and report formatting."""
+"""Result persistence, report formatting and the zero-copy tally codec."""
 
+from .codec import CodecError, EncodedTally, decode_tally, encode_tally
 from .reports import load_report, save_report
 from .results import load_tally, save_tally
 from .tables import format_table
 
 __all__ = [
+    "CodecError",
+    "EncodedTally",
+    "decode_tally",
+    "encode_tally",
     "format_table",
     "load_report",
     "load_tally",

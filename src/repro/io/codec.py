@@ -1,0 +1,283 @@
+"""Zero-copy binary tally codec for the distributed transports.
+
+Pickling a :class:`~repro.core.tally.Tally` rebuilds every ndarray, stat
+and histogram object on the receiving side and copies each array out of the
+pickle stream.  On the coordinator — which deserialises *every* worker's
+result — that object churn is the paper's classic master bottleneck.  This
+module replaces the pickled tally with a single self-describing buffer:
+
+    ┌──────────────────────────────────────────────────────────────┐
+    │ magic ``b"RTLY"`` · u16 version · u32 header length   (16 B) │
+    ├──────────────────────────────────────────────────────────────┤
+    │ JSON manifest: scalars, RunningStats, RecordConfig,          │
+    │ and an array table of ``{name, dtype, shape, offset}``       │
+    ├──────────────────────────────────────────────────────────────┤
+    │ raw ndarray bytes, each 8-byte aligned                       │
+    └──────────────────────────────────────────────────────────────┘
+
+:func:`decode_tally` reconstructs arrays as ``np.frombuffer`` **views into
+the received buffer** — no copy, no per-array allocation.  Views inherit
+the buffer's mutability: decode from a ``bytearray`` (what the network
+layer's ``recv_into`` and pickle round-trips of :class:`EncodedTally`
+produce) and the tally is writable, so the reducer can merge siblings into
+it in place; decode from immutable ``bytes`` and the arrays are read-only
+(merge sites must treat such a tally as unowned).
+
+The format is versioned: a decoder refuses buffers whose magic or version
+it does not understand, so the codec can evolve without silent corruption.
+The codec composes with, and is orthogonal to, the frame-level zlib
+compression negotiated by :mod:`repro.distributed.net`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import RecordConfig
+from ..core.tally import Tally
+from ..detect.records import Histogram
+from .results import (
+    _grid_spec_from_dict,
+    _grid_spec_to_dict,
+    _stat_from_list,
+    _stat_to_list,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "EncodedTally",
+    "decode_tally",
+    "encode_tally",
+    "pickled_baseline_bytes",
+]
+
+#: Bump on any incompatible change to the buffer layout or manifest schema.
+CODEC_VERSION = 1
+
+_MAGIC = b"RTLY"
+#: magic, version, header(manifest) length; padded to 16 bytes so the
+#: manifest starts aligned.
+_PREAMBLE = struct.Struct("<4sHxxI4x")
+_ALIGN = 8
+
+
+class CodecError(ValueError):
+    """The buffer is not a tally this codec (version) can decode."""
+
+
+def _pad(n: int) -> int:
+    return (-n) % _ALIGN
+
+
+#: (name, attribute) pairs of the optional histogram recordings.
+_HISTS = ("pathlength_hist", "reflectance_rho_hist", "penetration_hist")
+
+
+def encode_tally(tally: Tally) -> bytearray:
+    """Serialise ``tally`` into one contiguous, self-describing buffer.
+
+    Returns a ``bytearray`` (not ``bytes``) deliberately: pickle preserves
+    the type, so a buffer that crosses a process pool still decodes into
+    *writable* zero-copy views on the other side.
+    """
+    arrays: list[tuple[str, np.ndarray]] = [
+        ("absorbed_by_layer", tally.absorbed_by_layer)
+    ]
+    if tally.absorption_grid is not None:
+        arrays.append(("absorption_grid", tally.absorption_grid))
+    if tally.path_grid is not None:
+        arrays.append(("path_grid", tally.path_grid))
+    for name in _HISTS:
+        hist = getattr(tally, name)
+        if hist is not None:
+            arrays.append((f"{name}_edges", hist.edges))
+            arrays.append((f"{name}_counts", hist.counts))
+
+    table = []
+    offset = 0  # relative to the start of the array section
+    prepared: list[np.ndarray] = []
+    for name, array in arrays:
+        data = np.ascontiguousarray(array)
+        prepared.append(data)
+        table.append(
+            {
+                "name": name,
+                "dtype": data.dtype.str,
+                "shape": list(data.shape),
+                "offset": offset,
+            }
+        )
+        offset += data.nbytes + _pad(data.nbytes)
+
+    r = tally.records
+    manifest = json.dumps(
+        {
+            "n_layers": tally.n_layers,
+            "n_launched": tally.n_launched,
+            "specular_weight": tally.specular_weight,
+            "diffuse_reflectance_weight": tally.diffuse_reflectance_weight,
+            "transmittance_weight": tally.transmittance_weight,
+            "lost_weight": tally.lost_weight,
+            "roulette_net_weight": tally.roulette_net_weight,
+            "detected_count": tally.detected_count,
+            "detected_weight": tally.detected_weight,
+            "pathlength": _stat_to_list(tally.pathlength),
+            "penetration_depth": _stat_to_list(tally.penetration_depth),
+            "records": {
+                "absorption_grid": _grid_spec_to_dict(r.absorption_grid),
+                "path_grid": _grid_spec_to_dict(r.path_grid),
+                "pathlength_bins": (
+                    list(r.pathlength_bins) if r.pathlength_bins else None
+                ),
+                "reflectance_rho_bins": (
+                    list(r.reflectance_rho_bins) if r.reflectance_rho_bins else None
+                ),
+                "penetration_bins": (
+                    list(r.penetration_bins) if r.penetration_bins else None
+                ),
+            },
+            "arrays": table,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    manifest += b" " * _pad(len(manifest))
+
+    buf = bytearray(_PREAMBLE.size + len(manifest) + offset)
+    _PREAMBLE.pack_into(buf, 0, _MAGIC, CODEC_VERSION, len(manifest))
+    buf[_PREAMBLE.size : _PREAMBLE.size + len(manifest)] = manifest
+    base = _PREAMBLE.size + len(manifest)
+    for entry, data in zip(table, prepared):
+        start = base + entry["offset"]
+        buf[start : start + data.nbytes] = data.tobytes()
+    return buf
+
+
+def decode_tally(buf: bytes | bytearray | memoryview) -> Tally:
+    """Rebuild a :class:`Tally` whose arrays are zero-copy views into ``buf``.
+
+    The views are writable iff ``buf`` is (``bytearray``: writable;
+    ``bytes``: read-only).  Raises :class:`CodecError` on a foreign,
+    truncated or future-versioned buffer.
+    """
+    view = memoryview(buf)
+    if len(view) < _PREAMBLE.size:
+        raise CodecError(f"buffer of {len(view)} bytes is too short for a tally")
+    magic, version, header_len = _PREAMBLE.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise CodecError(f"bad magic {magic!r}: not an encoded tally")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"unsupported tally codec version {version} (supported: {CODEC_VERSION})"
+        )
+    base = _PREAMBLE.size + header_len
+    if len(view) < base:
+        raise CodecError("truncated tally buffer: manifest incomplete")
+    try:
+        manifest = json.loads(bytes(view[_PREAMBLE.size : base]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"corrupt tally manifest: {exc}") from exc
+
+    views: dict[str, np.ndarray] = {}
+    for entry in manifest["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        start = base + entry["offset"]
+        if start + count * dtype.itemsize > len(view):
+            raise CodecError(
+                f"truncated tally buffer: array {entry['name']!r} out of bounds"
+            )
+        views[entry["name"]] = np.frombuffer(
+            buf, dtype=dtype, count=count, offset=start
+        ).reshape(shape)
+
+    rd = manifest["records"]
+    records = RecordConfig(
+        absorption_grid=_grid_spec_from_dict(rd["absorption_grid"]),
+        path_grid=_grid_spec_from_dict(rd["path_grid"]),
+        pathlength_bins=(
+            tuple(rd["pathlength_bins"]) if rd["pathlength_bins"] else None
+        ),
+        reflectance_rho_bins=(
+            tuple(rd["reflectance_rho_bins"]) if rd["reflectance_rho_bins"] else None
+        ),
+        penetration_bins=(
+            tuple(rd["penetration_bins"]) if rd["penetration_bins"] else None
+        ),
+    )
+    tally = Tally(
+        n_layers=manifest["n_layers"],
+        records=records,
+        n_launched=manifest["n_launched"],
+        specular_weight=manifest["specular_weight"],
+        diffuse_reflectance_weight=manifest["diffuse_reflectance_weight"],
+        transmittance_weight=manifest["transmittance_weight"],
+        lost_weight=manifest["lost_weight"],
+        roulette_net_weight=manifest["roulette_net_weight"],
+        detected_count=manifest["detected_count"],
+        detected_weight=manifest["detected_weight"],
+        absorbed_by_layer=views["absorbed_by_layer"],
+        pathlength=_stat_from_list(manifest["pathlength"]),
+        penetration_depth=_stat_from_list(manifest["penetration_depth"]),
+    )
+    if "absorption_grid" in views:
+        tally.absorption_grid = views["absorption_grid"]
+    if "path_grid" in views:
+        tally.path_grid = views["path_grid"]
+    for name in _HISTS:
+        if f"{name}_edges" in views:
+            setattr(
+                tally,
+                name,
+                Histogram(edges=views[f"{name}_edges"], counts=views[f"{name}_counts"]),
+            )
+    return tally
+
+
+@dataclass
+class EncodedTally:
+    """A tally in codec form, ready for any byte transport.
+
+    Travels inside protocol messages in place of a live :class:`Tally`;
+    the receiving side calls :meth:`decode` (or
+    :func:`repro.distributed.protocol.thaw_result`) exactly once, at the
+    point the arrays are actually needed.
+    """
+
+    payload: bytearray
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def decode(self) -> Tally:
+        return decode_tally(self.payload)
+
+
+#: Pickle-size baselines keyed by tally shape — see
+#: :func:`pickled_baseline_bytes`.
+_baselines: dict[tuple[int, RecordConfig], int] = {}
+
+
+def pickled_baseline_bytes(tally: Tally) -> int:
+    """What pickling this tally would have cost, calibrated once per shape.
+
+    The ``codec.bytes_saved`` telemetry compares the codec payload against
+    the pickle the wire used to carry.  Pickling every tally just to
+    measure it would reintroduce the cost the codec removes, so the
+    baseline is measured once per ``(n_layers, records)`` shape — tallies
+    of one run share a shape, and their pickles differ by at most a few
+    bytes of varint wiggle.
+    """
+    key = (tally.n_layers, tally.records)
+    cached = _baselines.get(key)
+    if cached is None:
+        cached = len(pickle.dumps(tally, protocol=pickle.HIGHEST_PROTOCOL))
+        _baselines[key] = cached
+    return cached

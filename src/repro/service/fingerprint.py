@@ -9,8 +9,10 @@ guarantee into an address.  :func:`request_fingerprint` hashes a *canonical*
 form of the request in which
 
 * only physics-bearing fields participate (``workers``, ``backend``,
-  ``mode``, checkpointing, telemetry, compression, … are excluded: they
-  cannot change the tally);
+  ``mode``, checkpointing, telemetry, compression, ``span_size``,
+  ``sub_batch``, … are excluded — execution-only knobs: ``span_size``
+  cannot change the tally at all, and ``sub_batch`` yields statistically
+  equivalent tallies, so neither may split the cache address);
 * defaults are materialized (``task_size=None`` and
   ``task_size=DEFAULT_TASK_SIZE`` collide; a ``model`` name and the
   explicit :class:`~repro.core.SimulationConfig` it builds collide);

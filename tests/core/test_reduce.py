@@ -14,8 +14,11 @@ from repro.core import (
     PairwiseReducer,
     RecordConfig,
     SimulationConfig,
+    SpanFolder,
     Tally,
+    aligned_spans,
     reduce_all,
+    span_level,
     task_rng,
 )
 from repro.core.simulation import run_photons
@@ -136,6 +139,129 @@ class TestPairwiseReducer:
     def test_reduce_all_empty_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
             reduce_all([])
+
+
+class TestAlignedSpans:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 16, 17])
+    @pytest.mark.parametrize("span_size", [1, 2, 3, 4, 8, 64])
+    def test_spans_cover_range_and_are_tree_aligned(self, n, span_size):
+        spans = aligned_spans(n, span_size)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == n
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start  # contiguous, no overlap
+        for start, stop in spans:
+            span_level(start, stop, n)  # raises if not a canonical subtree
+
+    def test_span_size_rounds_down_to_power_of_two(self):
+        assert aligned_spans(16, 3) == aligned_spans(16, 2)
+        assert aligned_spans(16, 7) == aligned_spans(16, 4)
+        assert [e - s for s, e in aligned_spans(16, 4)] == [4, 4, 4, 4]
+
+    def test_tail_span_may_be_short(self):
+        assert aligned_spans(13, 4) == [(0, 4), (4, 8), (8, 12), (12, 13)]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            aligned_spans(8, 0)
+        with pytest.raises(ValueError):
+            aligned_spans(-1, 4)
+
+
+class TestSpanLevel:
+    def test_misaligned_start_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            span_level(2, 6, 8)  # width 4 but start not a multiple of 4
+
+    def test_partial_non_tail_block_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            span_level(0, 3, 8)  # [0, 3) is not a subtree when 3 < 8
+
+    def test_tail_block_accepted(self):
+        # [8, 13) is the clipped level-3 block [8, 16) of a 13-task run,
+        # and a single-task tail is its own leaf.
+        assert span_level(8, 13, 13) == 3
+        assert span_level(12, 13, 13) == 0
+
+
+class TestSpanFolding:
+    """Worker-local folds must reproduce the coordinator's merges bitwise."""
+
+    @pytest.mark.parametrize("n,span_size", [(8, 4), (13, 4), (16, 8), (5, 2)])
+    def test_span_folds_bit_identical_to_per_leaf(self, rich_config, n, span_size):
+        tallies = make_tallies(rich_config, n, photons=10)
+        baseline = PairwiseReducer(n)
+        for i, t in enumerate(tallies):
+            baseline.add(i, copy.deepcopy(t), owned=True)
+        expected = baseline.result()
+
+        rng = random.Random(9)
+        for _ in range(3):
+            spans = aligned_spans(n, span_size)
+            rng.shuffle(spans)  # spans complete in any order
+            reducer = PairwiseReducer(n)
+            for start, stop in spans:
+                folder = SpanFolder(n, start, stop)
+                order = list(range(start, stop))
+                rng.shuffle(order)  # leaves fold in any order too
+                for i in order:
+                    folder.add(i, copy.deepcopy(tallies[i]), owned=True)
+                reducer.add_span(start, stop, folder.partial(), owned=True)
+            result = reducer.result()
+            assert result == expected
+            assert pickle.dumps(result) == pickle.dumps(expected)
+
+    def test_mixed_spans_and_singles(self, rich_config):
+        n = 11
+        tallies = make_tallies(rich_config, n, photons=10)
+        expected = reduce_all([copy.deepcopy(t) for t in tallies], owned=True)
+
+        reducer = PairwiseReducer(n)
+        folder = SpanFolder(n, 0, 4)
+        for i in range(4):
+            folder.add(i, copy.deepcopy(tallies[i]), owned=True)
+        reducer.add_span(0, 4, folder.partial(), owned=True)
+        for i in range(4, 8):
+            reducer.add(i, copy.deepcopy(tallies[i]), owned=True)
+        tail = SpanFolder(n, 8, 11)
+        for i in range(8, 11):
+            tail.add(i, copy.deepcopy(tallies[i]), owned=True)
+        reducer.add_span(8, 11, tail.partial(), owned=True)
+        assert reducer.result() == expected
+
+    def test_misaligned_span_rejected(self, rich_config):
+        (t,) = make_tallies(rich_config, 1)
+        reducer = PairwiseReducer(8)
+        with pytest.raises(ValueError, match="align"):
+            reducer.add_span(2, 6, t)
+
+    def test_duplicate_across_span_and_leaf_rejected(self, rich_config):
+        tallies = make_tallies(rich_config, 4, photons=10)
+        reducer = PairwiseReducer(8)
+        folder = SpanFolder(8, 0, 4)
+        for i in range(4):
+            folder.add(i, tallies[i])
+        reducer.add_span(0, 4, folder.partial())
+        with pytest.raises(ValueError, match="duplicate"):
+            reducer.add(2, tallies[2])
+        with pytest.raises(ValueError, match="duplicate"):
+            reducer.add_span(0, 4, tallies[0])
+
+    def test_folder_rejects_out_of_span_and_duplicate(self, rich_config):
+        tallies = make_tallies(rich_config, 3, photons=10)
+        folder = SpanFolder(8, 0, 4)
+        with pytest.raises(ValueError, match="outside"):
+            folder.add(5, tallies[0])
+        folder.add(1, tallies[1])
+        with pytest.raises(ValueError, match="duplicate"):
+            folder.add(1, tallies[1])
+
+    def test_incomplete_folder_partial_raises(self, rich_config):
+        (t,) = make_tallies(rich_config, 1)
+        folder = SpanFolder(8, 0, 4)
+        folder.add(0, t)
+        with pytest.raises(ValueError, match="incomplete"):
+            folder.partial()
 
 
 class TestMemoryBound:

@@ -1,0 +1,233 @@
+"""Span dispatch determinism (the PR 5 acceptance tests).
+
+Hierarchical reduction must be invisible in the bits: grouping tasks into
+tree-aligned spans folded worker-side — on threads, process pools or the
+TCP wire, under shuffled completion, speculative duplicates and checkpoint
+resume — yields the identical merged tally a serial run produces.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core import Simulation
+from repro.distributed import (
+    DataManager,
+    FaultInjector,
+    MultiprocessingBackend,
+    NetworkServer,
+    SerialBackend,
+    SpanSpec,
+    TaskResult,
+    TaskSpec,
+    ThreadBackend,
+    make_units,
+    run_network_client,
+    validate_result,
+)
+from repro.distributed.protocol import ResultValidationError
+from repro.distributed.worker import execute_span, execute_task
+from repro.observe import Telemetry
+
+
+def assert_bit_identical(a, b) -> None:
+    assert a == b  # Tally.__eq__ is bitwise-strict
+    assert pickle.dumps(a) == pickle.dumps(b)
+
+
+@pytest.fixture
+def serial_tally(fast_config):
+    return Simulation(fast_config).run(600, seed=11, task_size=75)
+
+
+def _tasks(n=8, photons=75, seed=11):
+    return [TaskSpec(task_index=i, n_photons=photons, seed=seed) for i in range(n)]
+
+
+class TestSpanSpec:
+    def test_make_units_none_keeps_tasks(self):
+        tasks = _tasks()
+        assert make_units(tasks, None) is tasks
+
+    def test_make_units_groups_aligned_spans(self):
+        units = make_units(_tasks(), 4)
+        assert [u.span for u in units] == [(0, 4), (4, 8)]
+        assert [u.task_index for u in units] == [0, 1]
+        assert units[0].n_photons == 300
+
+    def test_non_contiguous_tasks_rejected(self):
+        t = _tasks()
+        with pytest.raises(ValueError, match="contiguous"):
+            SpanSpec(index=0, n_total_tasks=8, tasks=(t[0], t[2]))
+
+    def test_misaligned_span_rejected(self):
+        t = _tasks()
+        with pytest.raises(ValueError, match="aligned"):
+            SpanSpec(index=0, n_total_tasks=8, tasks=tuple(t[1:3]))
+
+    def test_result_span_mismatch_rejected(self, fast_config):
+        unit = make_units(_tasks(n=4, photons=20), 2)[0]
+        result = execute_span(fast_config, unit)
+        validate_result(result, unit)  # the genuine pairing passes
+        forged = TaskResult(
+            task_index=unit.task_index,
+            tally=result.tally,
+            worker_id="w",
+            elapsed_seconds=0.0,
+            span=(0, 4),
+        )
+        with pytest.raises(ResultValidationError, match="span"):
+            validate_result(forged, unit)
+
+
+class TestSpanDispatchBitIdentity:
+    def test_serial_backend(self, fast_config, serial_tally):
+        manager = DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75, span_size=4
+        )
+        report = manager.run(SerialBackend())
+        assert len(report.task_results) == 2  # units, not tasks
+        assert all(r.span is not None for r in report.task_results)
+        assert_bit_identical(report.tally, serial_tally)
+
+    def test_threads_with_speculative_duplicates(self, fast_config, serial_tally):
+        """Straggling spans get speculated; duplicates may not change a bit."""
+        manager = DataManager(
+            fast_config,
+            n_photons=600,
+            seed=11,
+            task_size=75,
+            span_size=2,
+            task_runner=FaultInjector(slow_tasks_once={1: 0.6, 5: 0.6}),
+            task_deadline=0.05,
+            max_speculative=1,
+        )
+        with ThreadBackend(4) as backend:
+            report = manager.run(backend)
+        assert report.speculative_duplicates >= 1
+        assert_bit_identical(report.tally, serial_tally)
+
+    def test_span_retry_after_leaf_failure(self, fast_config, serial_tally):
+        """A failing leaf fails its whole span attempt; the retry heals it."""
+        manager = DataManager(
+            fast_config,
+            n_photons=600,
+            seed=11,
+            task_size=75,
+            span_size=4,
+            task_runner=FaultInjector(fail_tasks_once={2}),
+        )
+        with ThreadBackend(3) as backend:
+            report = manager.run(backend)
+        assert report.retries >= 1
+        assert_bit_identical(report.tally, serial_tally)
+
+    def test_process_pool(self, fast_config, serial_tally):
+        """Spans + the zero-copy codec across a real process boundary."""
+        manager = DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75, span_size=4,
+            retain_task_tallies=False,
+        )
+        with MultiprocessingBackend(2) as backend:
+            report = manager.run(backend)
+        assert_bit_identical(report.tally, serial_tally)
+        assert all(r.tally is None for r in report.task_results)
+
+    def test_tcp_clients(self, fast_config, serial_tally):
+        tel = Telemetry.in_memory()
+        server = NetworkServer(
+            fast_config, n_photons=600, seed=11, task_size=75, span_size=4,
+            telemetry=tel,
+        ).start()
+        clients = [
+            threading.Thread(
+                target=run_network_client, args=("127.0.0.1", server.port)
+            )
+            for _ in range(2)
+        ]
+        for t in clients:
+            t.start()
+        report = server.wait(timeout=120)
+        for t in clients:
+            t.join()
+        assert_bit_identical(report.tally, serial_tally)
+        counters = {c["name"]: c["value"] for c in report.metrics["counters"]}
+        # 2 spans of 4 tasks: 3 merges each were delegated to the clients.
+        assert counters["reduce.worker_folds"] == 6
+        assert counters["codec.bytes"] > 0
+
+    def test_checkpoint_resume_with_spans(self, fast_config, serial_tally, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        first = DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75, span_size=2,
+            checkpoint=ckpt_dir,
+            task_runner=FaultInjector(fail_tasks_always=frozenset({5})),
+            max_retries=0,
+        )
+        with pytest.raises(Exception):
+            first.run(SerialBackend())
+
+        resumed = DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75, span_size=2,
+            checkpoint=ckpt_dir,
+        ).run(SerialBackend())
+        assert_bit_identical(resumed.tally, serial_tally)
+
+    def test_checkpoint_span_size_enters_run_key(self, fast_config, tmp_path):
+        """A span-dispatched checkpoint is keyed by unit, so a different
+        span_size must be refused rather than silently misinterpreted."""
+        ckpt_dir = tmp_path / "ckpt"
+        DataManager(
+            fast_config, n_photons=300, seed=1, task_size=75, span_size=2,
+            checkpoint=ckpt_dir,
+        ).run(SerialBackend())
+        from repro.distributed import CheckpointError
+
+        with pytest.raises(CheckpointError, match="different run"):
+            DataManager(
+                fast_config, n_photons=300, seed=1, task_size=75, span_size=4,
+                checkpoint=ckpt_dir,
+            ).run(SerialBackend())
+
+
+class TestWorkerFoldTelemetry:
+    def test_worker_folds_counted(self, fast_config):
+        tel = Telemetry.in_memory()
+        manager = DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75, span_size=4,
+            telemetry=tel,
+        )
+        manager.run(SerialBackend())
+        counters = {c["name"]: c["value"] for c in tel.snapshot()["counters"]}
+        assert counters["reduce.worker_folds"] == 6
+
+    def test_per_task_dispatch_reports_no_folds(self, fast_config):
+        tel = Telemetry.in_memory()
+        DataManager(
+            fast_config, n_photons=600, seed=11, task_size=75, telemetry=tel,
+        ).run(SerialBackend())
+        counters = {c["name"]: c["value"] for c in tel.snapshot()["counters"]}
+        assert "reduce.worker_folds" not in counters
+
+
+class TestExecuteSpan:
+    def test_span_result_shape(self, fast_config):
+        unit = make_units(_tasks(n=4, photons=20), 4)[0]
+        result = execute_span(fast_config, unit)
+        assert result.task_index == 0
+        assert result.span == (0, 4)
+        assert result.tally.n_launched == 80
+
+    def test_fault_injector_runs_per_leaf(self, fast_config):
+        """The injector targets *task* indices even under span dispatch."""
+        unit = make_units(_tasks(n=4, photons=20), 4)[0]
+        injector = FaultInjector(fail_tasks_once={2})
+        with pytest.raises(Exception):
+            execute_span(fast_config, unit, runner=injector)
+        # Second attempt: the one-shot fault is spent, the span completes.
+        result = execute_span(fast_config, unit, attempt=2, runner=injector)
+        baseline = execute_span(fast_config, unit, runner=execute_task)
+        assert_bit_identical(result.tally, baseline.tally)

@@ -58,6 +58,8 @@ class TestCollisions:
             dict(compress=True),
             dict(task_deadline=5.0, max_retries=7),
             dict(progress=True),
+            dict(span_size=4),
+            dict(sub_batch=64),
         ):
             assert request_fingerprint(make_request(**overrides)) == base, overrides
 

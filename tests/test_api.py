@@ -64,6 +64,21 @@ class TestRunRequest:
         assert config.gate is not None
         assert config.stack[0].name == "white_matter"
 
+    def test_invalid_span_size_and_sub_batch_rejected(self):
+        with pytest.raises(ValueError, match="span_size"):
+            RunRequest(model="white_matter", span_size=0)
+        with pytest.raises(ValueError, match="sub_batch"):
+            RunRequest(model="white_matter", sub_batch=0)
+        with pytest.raises(ValueError, match="sub_batch"):
+            RunRequest(model="white_matter", sub_batch=-4)
+
+    def test_provenance_records_sub_batch(self):
+        assert RunRequest(model="white_matter").provenance()["sub_batch"] is None
+        assert (
+            RunRequest(model="white_matter", sub_batch=128).provenance()["sub_batch"]
+            == 128
+        )
+
     def test_provenance_describes_the_run(self):
         prov = RunRequest(model="adult_head", n_photons=123, seed=9).provenance()
         assert prov["model"] == "adult_head"

@@ -35,6 +35,17 @@ class TestParser:
         args = build_parser().parse_args(["serve", "--no-retain-task-tallies"])
         assert args.retain_task_tallies is False
 
+    def test_span_and_sub_batch_flags(self):
+        for command in ("run", "serve"):
+            args = build_parser().parse_args([command])
+            assert args.span_size is None
+            assert args.sub_batch is None
+            args = build_parser().parse_args(
+                [command, "--span-size", "8", "--sub-batch", "256"]
+            )
+            assert args.span_size == 8
+            assert args.sub_batch == 256
+
     def test_serve_http_defaults(self):
         args = build_parser().parse_args(["serve-http"])
         assert args.port == 8080
