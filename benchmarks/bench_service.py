@@ -1,10 +1,13 @@
-"""Service path — cold simulation vs cached result vs coalesced riders.
+"""Service path — caching/coalescing wins, overload backpressure, recovery.
 
-The serving subsystem (PR-5) claims that a repeated request costs a disk
-read instead of a simulation, and that N concurrent identical requests
-cost *one* simulation instead of N.  This bench measures the three
-latencies on the same request, prints the comparison, and writes the
-numbers to ``BENCH_service.json`` for CI to archive.
+The serving subsystem claims that a repeated request costs a disk read
+instead of a simulation, that N concurrent identical requests cost *one*
+simulation instead of N (PR-5), and — since the crash-safety work — that
+sustained over-capacity load is answered with explicit 429/503
+backpressure (never a hang or an unbounded queue) and that a manager
+killed mid-run recovers from its journal, resuming from checkpoints.
+Each scenario measures its latencies, prints the comparison, and merges
+its numbers into ``BENCH_service.json`` for CI to archive.
 """
 
 from __future__ import annotations
@@ -12,6 +15,8 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 from conftest import scaled
@@ -20,7 +25,14 @@ from repro import api
 from repro.api import RunRequest
 from repro.core import SimulationConfig
 from repro.io import format_table
-from repro.service import JobManager, ResultStore
+from repro.service import (
+    AdmissionController,
+    JobJournal,
+    JobManager,
+    ResultStore,
+    ServiceServer,
+    request_fingerprint,
+)
 from repro.sources import PencilBeam
 from repro.tissue import LayerStack, OpticalProperties
 
@@ -28,6 +40,20 @@ PROPS = OpticalProperties(mu_a=1.0, mu_s=10.0, g=0.8, n=1.4)
 CONFIG = SimulationConfig(stack=LayerStack.homogeneous(PROPS), source=PencilBeam())
 
 N_RIDERS = 8
+
+BENCH_PATH = Path("BENCH_service.json")
+
+
+def merge_bench(update: dict) -> None:
+    """Fold one scenario's numbers into BENCH_service.json (last run wins)."""
+    try:
+        payload = json.loads(BENCH_PATH.read_text())
+        if not isinstance(payload, dict):
+            payload = {}
+    except (OSError, json.JSONDecodeError):
+        payload = {}
+    payload.update(update)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2))
 
 
 def make_request(photons: int) -> RunRequest:
@@ -112,16 +138,221 @@ def test_service_latency(benchmark, report, tmp_path):
         f"({coalesced / cold:.2f}x the cold latency)"
     )
 
-    Path("BENCH_service.json").write_text(json.dumps({
+    merge_bench({
         "photons": photons,
         "n_riders": N_RIDERS,
         "cold_seconds": cold,
         "cached_seconds": cached,
         "coalesced_seconds": coalesced,
         "coalesced_simulations": sims,
-    }, indent=2))
+    })
 
     # --- the two claimed wins ----------------------------------------------
     assert cached < cold  # a store hit never re-simulates
     # N riders cost ~one simulation, not N: far below the serial worst case.
     assert coalesced < cold * (N_RIDERS / 2)
+
+
+# --------------------------------------------------------------------------
+# Overload: sustained over-capacity offered load → explicit 429/503, no hang
+# --------------------------------------------------------------------------
+
+N_CLIENTS = 4
+REQUESTS_PER_CLIENT = 15
+HOLD_SECONDS = 0.15  # how long each admitted flight occupies a worker
+
+
+def run_overload(root: Path):
+    canned = api.run(make_request(1000)).tally
+
+    def slow_runner(request):
+        time.sleep(HOLD_SECONDS)
+        return canned
+
+    manager = JobManager(
+        ResultStore(root / "store"), max_workers=2, runner=slow_runner
+    )
+    admission = AdmissionController(
+        max_queue=6,
+        rate_photons_per_s=20_000,
+        burst_photons=20_000,  # two requests of burst per client
+        max_inflight_per_client=4,
+    )
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    with ServiceServer(manager, admission=admission) as server:
+        url = f"{server.url}/v1/runs"
+
+        def client(name: str, base_seed: int) -> None:
+            for i in range(REQUESTS_PER_CLIENT):
+                body = json.dumps({
+                    "model": "white_matter",
+                    "n_photons": 10_000,
+                    "seed": base_seed + i,
+                    "task_size": 10_000,
+                }).encode()
+                req = urllib.request.Request(
+                    url, data=body, method="POST",
+                    headers={"Content-Type": "application/json", "X-Client": name},
+                )
+                try:
+                    with urllib.request.urlopen(req, timeout=30) as resp:
+                        code = resp.status
+                        resp.read()
+                except urllib.error.HTTPError as err:
+                    code = err.code
+                    err.read()
+                with lock:
+                    statuses.append(code)
+
+        threads = [
+            threading.Thread(target=client, args=(f"client-{i}", 1000 * i))
+            for i in range(N_CLIENTS)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        depth = manager.queue_depth()
+    return statuses, elapsed, depth
+
+
+def test_service_overload(report, tmp_path):
+    statuses, elapsed, depth = run_overload(tmp_path)
+
+    total = len(statuses)
+    counts = {code: statuses.count(code) for code in sorted(set(statuses))}
+    admitted = counts.get(202, 0) + counts.get(200, 0)
+    throttled = counts.get(429, 0)
+    saturated = counts.get(503, 0)
+
+    report("\n=== Service: sustained over-capacity load ===")
+    report(format_table(
+        ["outcome", "status", "count"],
+        [
+            ["admitted", "202/200", admitted],
+            ["throttled (rate/quota)", 429, throttled],
+            ["saturated (queue full)", 503, saturated],
+        ],
+    ))
+    report(
+        f"\n{total} requests from {N_CLIENTS} clients answered in "
+        f"{elapsed:.2f}s ({total / elapsed:.0f} req/s); "
+        f"queue depth bounded at <= 6 (now {depth})"
+    )
+
+    merge_bench({"overload": {
+        "requests": total,
+        "clients": N_CLIENTS,
+        "status_counts": {str(k): v for k, v in counts.items()},
+        "elapsed_seconds": elapsed,
+    }})
+
+    # Every request is answered (no hang), overload is *refused* loudly,
+    # and the service still admits work (it degrades, it doesn't die).
+    assert total == N_CLIENTS * REQUESTS_PER_CLIENT
+    assert throttled + saturated > 0, "over-capacity load produced no backpressure"
+    assert admitted > 0
+    assert set(counts) <= {200, 202, 429, 503}
+
+
+# --------------------------------------------------------------------------
+# Recovery: kill a journaled manager mid-run, restart, resume from checkpoint
+# --------------------------------------------------------------------------
+
+RECOVERY_REQUEST = RunRequest(
+    model="white_matter", n_photons=200, seed=21, task_size=50
+)  # 4 tasks; the "crash" lands after 2 are durably checkpointed
+
+
+class _DyingRunner:
+    """Completes tasks until ``crash_at``, then blocks (the process 'dies')."""
+
+    def __init__(self, crash_at: int) -> None:
+        self.crash_at = crash_at
+        self.reached = threading.Event()
+        self.released = threading.Event()
+
+    def _task_runner(self, config, task, **kwargs):
+        from repro.distributed import WorkerCrash, execute_task
+
+        if task.task_index >= self.crash_at:
+            self.reached.set()
+            self.released.wait(120)
+            raise WorkerCrash("simulated process death (bench)")
+        return execute_task(config, task, **kwargs)
+
+    def __call__(self, request: RunRequest):
+        from repro.distributed import DataManager, SerialBackend
+
+        manager = DataManager(
+            api.build_config(request),
+            request.n_photons,
+            seed=request.seed,
+            task_size=request.resolved_task_size(),
+            checkpoint=request.checkpoint,
+            task_runner=self._task_runner,
+            max_retries=1,
+        )
+        return manager.run(SerialBackend()).tally
+
+
+def run_recovery(root: Path):
+    t0 = time.perf_counter()
+    reference = api.run(RECOVERY_REQUEST).tally
+    uninterrupted = time.perf_counter() - t0
+
+    dying = _DyingRunner(crash_at=2)
+    manager1 = JobManager(
+        ResultStore(root / "store"), journal=JobJournal(root / "journal"),
+        runner=dying,
+    )
+    job = manager1.submit(RECOVERY_REQUEST)
+    assert dying.reached.wait(120)
+
+    t0 = time.perf_counter()
+    manager2 = JobManager(
+        ResultStore(root / "store"), journal=JobJournal(root / "journal")
+    )
+    try:
+        recovered_job = manager2.job(job.id)
+        tally = recovered_job.result(timeout=600)
+        recovery = time.perf_counter() - t0
+        bit_identical = tally == reference
+    finally:
+        dying.released.set()
+        manager1.close()
+        manager2.close()
+    return uninterrupted, recovery, bit_identical
+
+
+def test_service_recovery(report, tmp_path):
+    uninterrupted, recovery, bit_identical = run_recovery(tmp_path)
+
+    report("\n=== Service: crash mid-run, journal replay, checkpoint resume ===")
+    report(format_table(
+        ["scenario", "seconds"],
+        [
+            ["uninterrupted run", uninterrupted],
+            ["restart + resume (2 of 4 tasks checkpointed)", recovery],
+        ],
+        float_format="{:.3g}",
+    ))
+    report(
+        f"\nrecovered bit-identical: {bit_identical}; "
+        f"resume cost {recovery / uninterrupted:.2f}x the uninterrupted run"
+    )
+
+    merge_bench({"recovery": {
+        "photons": RECOVERY_REQUEST.n_photons,
+        "uninterrupted_seconds": uninterrupted,
+        "recovery_seconds": recovery,
+        "bit_identical": bit_identical,
+    }})
+
+    assert bit_identical  # the acceptance bar: resume == uninterrupted
+    # Half the work was checkpointed; resume must beat a full re-run.
+    assert recovery < uninterrupted

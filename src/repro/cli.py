@@ -163,6 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
                             help="LRU-evict stored tallies beyond this footprint")
     serve_http.add_argument("--job-workers", type=int, default=2,
                             help="simulations running concurrently")
+    serve_http.add_argument("--journal", type=str, default=None, metavar="DIR",
+                            help="crash-safe job journal: transitions are fsynced "
+                                 "to DIR before acknowledgement and replayed on "
+                                 "restart (interrupted jobs resume from their "
+                                 "checkpoints bit-identically)")
+    serve_http.add_argument("--max-queue", type=int, default=64, metavar="N",
+                            help="refuse new runs with 503 when this many jobs "
+                                 "are unsettled (0 disables the bound)")
+    serve_http.add_argument("--rate-limit", type=float, default=None,
+                            metavar="PHOTONS_PER_S",
+                            help="per-client token-bucket refill rate in photons "
+                                 "per second (429 + Retry-After when exhausted; "
+                                 "default: no rate limit)")
+    serve_http.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                            help="unsettled jobs one client may hold (default: "
+                                 "unbounded)")
+    serve_http.add_argument("--drain-timeout", type=float, default=30.0,
+                            metavar="SECONDS",
+                            help="on SIGTERM/SIGINT, wait this long for running "
+                                 "jobs to finish before exiting (unfinished jobs "
+                                 "stay journaled for the next start)")
+    serve_http.add_argument("--job-attempts", type=int, default=1, metavar="N",
+                            help="attempts per job before it fails (transient "
+                                 "failures retry with exponential backoff)")
+    serve_http.add_argument("--job-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="fail a job running longer than this wall budget")
     serve_http.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
                             help="write structured telemetry events to this JSONL file")
     serve_http.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -430,8 +457,11 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_serve_http(args) -> int:
+    import signal
+    import threading
+
     from .observe import Telemetry
-    from .service import JobManager, ResultStore, ServiceServer
+    from .service import AdmissionController, JobManager, ResultStore, ServiceServer
 
     telemetry = Telemetry.to_jsonl(args.metrics) if args.metrics else Telemetry()
     store = ResultStore(
@@ -439,27 +469,57 @@ def _cmd_serve_http(args) -> int:
         max_bytes=int(args.store_max_mb * 2**20),
         telemetry=telemetry,
     )
-    manager = JobManager(store, max_workers=args.job_workers, telemetry=telemetry)
-    server = ServiceServer(manager, host=args.host, port=args.port)
-    print(f"# simulation service listening on {server.url}")
+    manager = JobManager(
+        store,
+        max_workers=args.job_workers,
+        telemetry=telemetry,
+        journal=args.journal,
+        max_attempts=args.job_attempts,
+        job_timeout=args.job_timeout,
+    )
+    admission = AdmissionController(
+        max_queue=args.max_queue or None,
+        rate_photons_per_s=args.rate_limit,
+        max_inflight_per_client=args.max_inflight,
+        telemetry=telemetry,
+    )
+    server = ServiceServer(
+        manager,
+        host=args.host,
+        port=args.port,
+        admission=admission,
+        drain_timeout=args.drain_timeout,
+    )
+    # Handlers go in *before* the listening banner: anything supervising
+    # this process (systemd, CI, the chaos tests) may signal the instant
+    # the URL appears, and a SIGTERM in that window must drain, not kill.
+    stop = threading.Event()
+    for signum in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
+        if signum is not None:
+            signal.signal(signum, lambda *_: stop.set())
+
+    print(f"# simulation service listening on {server.url}", flush=True)
     print(f"# result store: {store.root} "
           f"({len(store)} cached, {store.total_bytes() / 2**20:.1f} MB, "
           f"bound {args.store_max_mb:g} MB)")
+    if args.journal:
+        recovered = sum(job.recovered for job in manager.jobs())
+        print(f"# journal: {args.journal} ({recovered} job(s) replayed)")
     print(f"# submit:  curl -X POST {server.url}/v1/runs "
           "-d '{\"model\": \"adult_head\", \"n_photons\": 100000}'")
-    print(f"# metrics: curl {server.url}/v1/metrics")
+    print(f"# metrics: curl {server.url}/v1/metrics", flush=True)
+    drained = True
     try:
-        if args.timeout is not None:
-            server.start()
-            import time as _time
-
-            _time.sleep(args.timeout)
-        else:
-            server.serve_forever()
-    except KeyboardInterrupt:
-        print("# interrupted, shutting down")
+        server.start()
+        stop.wait(args.timeout)  # timeout=None waits for a signal forever
     finally:
-        server.close()
+        print(f"# draining (up to {args.drain_timeout:g}s) ...", flush=True)
+        drained = server.drain(args.drain_timeout)
+        if drained:
+            print("# drained cleanly, shutting down", flush=True)
+        else:
+            print("# drain timed out; unfinished jobs stay journaled "
+                  "for the next start", flush=True)
         telemetry.finish()
     return 0
 

@@ -8,14 +8,23 @@ tally on any substrate):
   :class:`~repro.api.RunRequest`, so semantically identical requests
   collide on one address;
 * :mod:`~repro.service.store` — a content-addressed, size-bounded LRU
-  store of tally archives keyed by fingerprint, with self-verifying reads;
+  store of tally archives keyed by fingerprint, with self-verifying reads
+  and an index that rebuilds itself from the artifacts after corruption;
 * :mod:`~repro.service.jobs` — an async job manager that answers repeats
   from the store, coalesces concurrent identical submissions onto one
-  running simulation, and executes cold work with bounded concurrency;
+  running simulation, and executes cold work with bounded concurrency in
+  priority order, with per-flight retry/backoff and wall budgets;
+* :mod:`~repro.service.journal` — a crash-safe append-only job journal:
+  transitions are fsynced before they are acknowledged and replayed on
+  startup, resuming interrupted flights from their checkpoints
+  bit-identically;
+* :mod:`~repro.service.admission` — photon-budget-aware admission
+  control: per-client token buckets and in-flight quotas, a bounded
+  queue, explicit 429/503 backpressure;
 * :mod:`~repro.service.http` — a stdlib-only HTTP front end
   (``POST /v1/runs``, ``GET /v1/runs/<id>``,
   ``GET /v1/results/<fingerprint>``, ``GET /v1/metrics``), exposed on the
-  CLI as ``tissue-mc serve-http``.
+  CLI as ``tissue-mc serve-http`` with drain-on-SIGTERM.
 
 Example
 -------
@@ -28,25 +37,35 @@ Example
 2000
 """
 
+from .admission import AdmissionController, AdmissionDecision, estimate_cost
 from .fingerprint import (
     FINGERPRINT_VERSION,
     canonical_request,
     canonicalize,
     request_fingerprint,
 )
-from .http import ServiceServer, request_from_json
-from .jobs import Job, JobManager, JobState
+from .http import ServiceServer, request_from_json, request_to_json
+from .jobs import PRIORITIES, Job, JobManager, JobState, JobTimeout
+from .journal import JobJournal, OpenJob
 from .store import ResultStore
 
 __all__ = [
     "FINGERPRINT_VERSION",
+    "PRIORITIES",
+    "AdmissionController",
+    "AdmissionDecision",
     "Job",
+    "JobJournal",
     "JobManager",
     "JobState",
+    "JobTimeout",
+    "OpenJob",
     "ResultStore",
     "ServiceServer",
     "canonical_request",
     "canonicalize",
+    "estimate_cost",
     "request_from_json",
     "request_fingerprint",
+    "request_to_json",
 ]

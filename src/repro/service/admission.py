@@ -1,0 +1,209 @@
+"""Admission control for the serving subsystem.
+
+The paper's platform was sized for one campaign; a public-facing service
+must survive *arbitrary* offered load on fixed hardware, the regime Yu et
+al. (arXiv 1711.03244) scale photon transport under.  The
+:class:`AdmissionController` decides — before a request touches the job
+manager — whether to accept work, and answers rejected callers with
+explicit backpressure instead of an unbounded queue:
+
+* **Photon-budget-aware cost.**  The natural unit of service cost is the
+  photon, not the request: ``estimate_cost`` is the request's photon
+  budget, so one 10⁸-photon submission weighs as much as a thousand
+  10⁵-photon ones.
+* **Per-client token buckets.**  Each client refills at
+  ``rate_photons_per_s`` up to ``burst_photons``; a request is admitted
+  only when its cost fits the bucket (HTTP 429 + ``Retry-After``
+  otherwise, with the exact refill time).
+* **Per-client in-flight quota.**  ``max_inflight_per_client`` bounds the
+  number of unsettled jobs a single caller may hold (429).
+* **Bounded queue.**  Admission is refused outright when the manager's
+  queue is at ``max_queue`` (HTTP 503 — the *service* is saturated, not
+  the caller misbehaving).
+* **Per-request ceiling.**  ``max_photons_per_request`` rejects budgets no
+  single admission could ever cover (429, no ``Retry-After`` — retrying
+  the same request cannot succeed).
+
+Decisions and rejection reasons are metered as ``service.admitted`` and
+``service.rejected{reason=...}``.  The controller is deliberately
+stateless about *jobs* except for lazily-pruned in-flight tracking, so it
+never needs completion callbacks from the manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..observe import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api import RunRequest
+    from .jobs import Job
+
+__all__ = ["AdmissionController", "AdmissionDecision", "estimate_cost"]
+
+
+def estimate_cost(request: "RunRequest") -> float:
+    """Service cost of a request, in photons (the unit all budgets share)."""
+    return float(request.n_photons)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check (maps directly onto the HTTP reply)."""
+
+    admitted: bool
+    status: int = 202
+    reason: str | None = None
+    retry_after: float | None = None
+
+    @staticmethod
+    def ok() -> "AdmissionDecision":
+        return AdmissionDecision(admitted=True)
+
+
+class _Bucket:
+    """One client's token bucket, in photon units."""
+
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class AdmissionController:
+    """Decide, per request, between admit / 429 (throttle) / 503 (saturated).
+
+    Parameters
+    ----------
+    max_queue:
+        Unsettled jobs the manager may hold before new work is refused
+        with 503 (``None`` disables the bound — not recommended).
+    rate_photons_per_s / burst_photons:
+        Per-client token bucket: refill rate and capacity, in photons.
+        ``burst_photons`` defaults to ten seconds of refill.  ``None``
+        rate disables rate limiting.
+    max_inflight_per_client:
+        Unsettled jobs one client may hold concurrently (``None``
+        disables).
+    max_photons_per_request:
+        Absolute per-request budget ceiling (``None`` disables).
+    saturation_retry_after:
+        ``Retry-After`` hint (seconds) attached to 503 responses.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue: int | None = 64,
+        rate_photons_per_s: float | None = None,
+        burst_photons: float | None = None,
+        max_inflight_per_client: int | None = None,
+        max_photons_per_request: float | None = None,
+        saturation_retry_after: float = 2.0,
+        telemetry: Telemetry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1 or None, got {max_queue}")
+        if rate_photons_per_s is not None and rate_photons_per_s <= 0:
+            raise ValueError(
+                f"rate_photons_per_s must be > 0 or None, got {rate_photons_per_s}"
+            )
+        if burst_photons is not None and burst_photons <= 0:
+            raise ValueError(
+                f"burst_photons must be > 0 or None, got {burst_photons}"
+            )
+        if max_inflight_per_client is not None and max_inflight_per_client < 1:
+            raise ValueError(
+                "max_inflight_per_client must be >= 1 or None, "
+                f"got {max_inflight_per_client}"
+            )
+        if max_photons_per_request is not None and max_photons_per_request <= 0:
+            raise ValueError(
+                "max_photons_per_request must be > 0 or None, "
+                f"got {max_photons_per_request}"
+            )
+        if saturation_retry_after < 0:
+            raise ValueError(
+                f"saturation_retry_after must be >= 0, got {saturation_retry_after}"
+            )
+        self.max_queue = max_queue
+        self.rate = rate_photons_per_s
+        self.burst = (
+            burst_photons
+            if burst_photons is not None
+            else (rate_photons_per_s * 10.0 if rate_photons_per_s else None)
+        )
+        self.max_inflight = max_inflight_per_client
+        self.max_cost = max_photons_per_request
+        self.saturation_retry_after = saturation_retry_after
+        self.telemetry = telemetry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, _Bucket] = {}
+        self._inflight: dict[str, list] = {}  # client -> [Job, ...], lazily pruned
+
+    # -------------------------------------------------------------- decision
+    def admit(
+        self, client: str, request: "RunRequest", *, queue_depth: int = 0
+    ) -> AdmissionDecision:
+        """One admission check; deducts the request's cost when admitted."""
+        cost = estimate_cost(request)
+        if self.max_cost is not None and cost > self.max_cost:
+            # Retrying an over-ceiling request can never succeed: no hint.
+            return self._reject(429, "over_budget", None)
+        if self.max_queue is not None and queue_depth >= self.max_queue:
+            return self._reject(503, "saturated", self.saturation_retry_after)
+        with self._lock:
+            if self.max_inflight is not None:
+                from .jobs import JobState  # local import: jobs imports us back
+
+                jobs = self._inflight.setdefault(client, [])
+                jobs[:] = [j for j in jobs if j.state not in JobState.TERMINAL]
+                if len(jobs) >= self.max_inflight:
+                    return self._reject(429, "inflight", 1.0)
+            if self.rate is not None:
+                now = self._clock()
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = self._buckets[client] = _Bucket(self.burst, now)
+                bucket.tokens = min(
+                    self.burst, bucket.tokens + (now - bucket.updated) * self.rate
+                )
+                bucket.updated = now
+                # A single request larger than the whole bucket drains it
+                # fully rather than being unservable forever.
+                charge = min(cost, self.burst)
+                if bucket.tokens < charge:
+                    wait = (charge - bucket.tokens) / self.rate
+                    return self._reject(429, "rate", wait)
+                bucket.tokens -= charge
+        self._count("service.admitted")
+        return AdmissionDecision.ok()
+
+    def track(self, client: str, job: "Job") -> None:
+        """Register an admitted job against its client's in-flight quota."""
+        if self.max_inflight is None:
+            return
+        with self._lock:
+            self._inflight.setdefault(client, []).append(job)
+
+    # -------------------------------------------------------------- internal
+    def _reject(
+        self, status: int, reason: str, retry_after: float | None
+    ) -> AdmissionDecision:
+        self._count("service.rejected", reason=reason)
+        return AdmissionDecision(
+            admitted=False, status=status, reason=reason, retry_after=retry_after
+        )
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.count(name, **labels)

@@ -9,17 +9,23 @@ dependency, in keeping with the repo's stdlib+numpy discipline.  The API:
     :class:`~repro.api.RunRequest` (``model``, ``n_photons``, ``seed``,
     ``kernel``, ``task_size``, ``detector_spacing``, ``gate``,
     ``boundary_mode``) plus local execution knobs (``workers``,
-    ``backend``, ``retain_task_tallies``).  Returns ``200`` with the job
-    status when the result was already cached, ``202`` otherwise.
+    ``backend``, ``retain_task_tallies``).  Optional headers:
+    ``X-Priority: high|normal|low`` (queue class) and ``X-Client``
+    (admission-control identity; defaults to the peer address).  Returns
+    ``200`` with the job status when the result was already cached,
+    ``202`` otherwise; ``429`` (rate/quota, with ``Retry-After``) or
+    ``503`` (queue saturated or draining) under admission control.
 ``GET /v1/runs/<job_id>``
-    Job status (state, fingerprint, cache/coalesce flags, timings, error).
+    Job status (state, fingerprint, cache/coalesce/recovered flags,
+    timings, error).
 ``GET /v1/results/<fingerprint>``
     The stored tally as the raw ``.npz`` archive written by
     :func:`repro.io.save_tally` — load it with
     :func:`repro.io.load_tally`.  ``404`` until the run has completed.
 ``GET /v1/metrics``
     JSON snapshot of the service metrics registry (cache hits/misses,
-    coalesced submissions, queue depth, job latency, kernel counters).
+    coalesced submissions, admission decisions, queue depth, journal
+    fsync latency, job latency, kernel counters).
 
 Responses are JSON except for the archive endpoint
 (``application/octet-stream``).  Errors carry ``{"error": ...}``.
@@ -32,9 +38,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..api import RunRequest
-from .jobs import JobManager, JobState
+from .admission import AdmissionController
+from .jobs import JobManager, JobState, PRIORITIES
 
-__all__ = ["ServiceServer", "request_from_json"]
+__all__ = ["ServiceServer", "request_from_json", "request_to_json"]
 
 #: RunRequest fields a remote caller may set.  Everything else — mode,
 #: host/port, checkpointing, telemetry, callbacks — is the server's
@@ -82,21 +89,55 @@ def request_from_json(payload: object) -> RunRequest:
         raise ValueError(str(exc)) from None
 
 
+def request_to_json(request: RunRequest) -> dict | None:
+    """The wire form of a request, or ``None`` when the wire can't carry it.
+
+    The inverse of :func:`request_from_json`, used by the job journal: a
+    journaled request must round-trip *exactly* (same fingerprint, same
+    RNG consumption) or not at all.  Requests built from an explicit
+    ``config``, carrying custom ``records``, a ``sub_batch`` override
+    (changes RNG consumption but not the fingerprint) or a non-local
+    ``mode`` are therefore unexpressible — the journal records them
+    without a payload and refuses to replay them, rather than silently
+    re-simulating something else.
+    """
+    if (
+        request.model is None
+        or request.records is not None
+        or request.sub_batch is not None
+        or request.mode != "local"
+    ):
+        return None
+    payload = {}
+    for name in sorted(_REQUEST_FIELDS):
+        value = getattr(request, name)
+        payload[name] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request; routing only — all state lives in the JobManager."""
 
-    manager: JobManager  # injected by ServiceServer via a subclass attribute
+    server_ref: "ServiceServer"  # injected by ServiceServer via a subclass attr
     protocol_version = "HTTP/1.1"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server_ref.manager
 
     # ----------------------------------------------------------------- plumbing
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # the service speaks through /v1/metrics, not stderr
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -112,6 +153,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path.rstrip("/") != "/v1/runs":
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
             return
+        server = self.server_ref
+        if server.draining:
+            self._send_json(
+                503, {"error": "draining: not admitting new runs"},
+                headers={"Retry-After": "30"},
+            )
+            return
         try:
             length = int(self.headers.get("Content-Length", 0))
             payload = json.loads(self.rfile.read(length) or b"{}")
@@ -119,11 +167,40 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": str(exc)})
             return
-        try:
-            job = self.manager.submit(request)
-        except RuntimeError as exc:  # manager closed
-            self._send_json(503, {"error": str(exc)})
+        priority = self.headers.get("X-Priority", "normal")
+        if priority not in PRIORITIES:
+            self._send_json(
+                400,
+                {"error": f"unknown priority {priority!r}; "
+                          f"choose from {sorted(PRIORITIES)}"},
+            )
             return
+        client = self.headers.get("X-Client") or self.client_address[0]
+        admission = server.admission
+        if admission is not None:
+            decision = admission.admit(
+                client, request, queue_depth=self.manager.queue_depth()
+            )
+            if not decision.admitted:
+                headers = {}
+                if decision.retry_after is not None:
+                    headers["Retry-After"] = f"{decision.retry_after:.0f}" \
+                        if decision.retry_after >= 1 else "1"
+                self._send_json(
+                    decision.status,
+                    {"error": f"admission refused: {decision.reason}",
+                     "reason": decision.reason,
+                     "retry_after": decision.retry_after},
+                    headers=headers,
+                )
+                return
+        try:
+            job = self.manager.submit(request, priority=priority, client=client)
+        except RuntimeError as exc:  # manager closed or draining
+            self._send_json(503, {"error": str(exc)}, headers={"Retry-After": "30"})
+            return
+        if admission is not None:
+            admission.track(client, job)
         status = 200 if job.state == JobState.DONE else 202
         self._send_json(status, job.as_dict())
 
@@ -132,7 +209,9 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["v1", "metrics"]:
             self._send_json(200, self.manager.telemetry.snapshot())
         elif parts == ["v1", "healthz"]:
-            self._send_json(200, {"ok": True})
+            self._send_json(
+                200, {"ok": True, "draining": self.server_ref.draining}
+            )
         elif len(parts) == 3 and parts[:2] == ["v1", "runs"]:
             job = self.manager.job(parts[2])
             if job is None:
@@ -178,18 +257,38 @@ class ServiceServer:
     :meth:`start` serves on a daemon thread; :meth:`serve_forever` serves on
     the calling thread (the CLI's foreground mode).  Closing the server
     also closes the manager unless it was caller-owned
-    (``close(shutdown_manager=False)``).
+    (``close(shutdown_manager=False)``).  :meth:`close` is idempotent and
+    joins both the HTTP thread and the manager's worker threads, so a
+    bounced server never leaks threads.  An optional
+    :class:`~repro.service.admission.AdmissionController` guards
+    ``POST /v1/runs``; :meth:`drain` is the graceful-shutdown path (stop
+    admitting → let flights checkpoint/finish → close).
     """
 
     def __init__(
-        self, manager: JobManager, *, host: str = "127.0.0.1", port: int = 0
+        self,
+        manager: JobManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admission: AdmissionController | None = None,
+        drain_timeout: float = 30.0,
     ) -> None:
+        if drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.manager = manager
-        handler = type("BoundHandler", (_Handler,), {"manager": manager})
+        self.admission = admission
+        self.drain_timeout = drain_timeout
+        self.draining = False
+        if admission is not None and admission.telemetry is None:
+            admission.telemetry = manager.telemetry
+        handler = type("BoundHandler", (_Handler,), {"server_ref": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
         self._serving = False
+        self._closed = False
+        self._close_lock = threading.Lock()
 
     @property
     def host(self) -> str:
@@ -215,7 +314,27 @@ class ServiceServer:
         self._serving = True
         self._httpd.serve_forever()
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: refuse new runs, let running jobs settle, close.
+
+        Returns ``True`` when every job settled within ``timeout``
+        (default :attr:`drain_timeout`).  Jobs still running at the
+        deadline keep their journal records and checkpoints, so a
+        restarted server resumes them; either way the listener and the
+        manager are closed (worker threads joined) before returning.
+        """
+        if timeout is None:
+            timeout = self.drain_timeout
+        self.draining = True  # handler answers 503 from here on
+        drained = self.manager.drain(timeout)
+        self.close()
+        return drained
+
     def close(self, *, shutdown_manager: bool = True) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._serving:
             # shutdown() waits on the serve loop; calling it on a server
             # that never served would block forever.

@@ -14,30 +14,65 @@ time:
    every attached job receives the same result.
 3. **Execution** — cache-cold, un-coalesced work runs through the
    :func:`repro.api.run` facade on a bounded thread pool (each run may
-   itself fan out over its own process/thread backend).
+   itself fan out over its own process/thread backend), in priority order
+   (``high`` before ``normal`` before ``low``; FIFO within a class).
 
 Job lifecycle: ``queued → running → done | failed | cancelled``.  A queued
 job can be cancelled; cancelling every job of a flight cancels the flight
 (if it has not started).  All state transitions are metered into
 :mod:`repro.observe` — cache hits/misses, coalesced submissions, a
 queue-depth gauge and a job-latency histogram.
+
+Crash safety (optional)
+-----------------------
+Given a :class:`~repro.service.journal.JobJournal`, every transition is
+journaled durably *before* it is acknowledged, each flight checkpoints its
+tasks under the journal's ``checkpoints/<fingerprint>/`` directory (via
+:mod:`repro.distributed.checkpoint`), and a restarted manager **replays**
+the journal: queued jobs are re-enqueued, and jobs that were running when
+the process died resume from their latest checkpoint — the recovered tally
+is bit-identical to an uninterrupted run, because checkpoint resume is.
+Cache hits are not journaled (they are terminal at submission; there is
+nothing to recover).  Requests the wire cannot express (explicit
+``config``, custom ``records``, ``sub_batch``, non-local mode) are
+journaled without a request payload and marked failed on replay rather
+than silently re-simulated wrong.
+
+Resilience knobs: ``max_attempts``/``retry_backoff`` retry a flight whose
+run raised (transient worker failures), and ``job_timeout`` fails a flight
+that exceeds its wall budget (the abandoned run finishes on a daemon
+thread and is discarded).
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import shutil
 import threading
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from ..api import RunRequest
 from ..core.tally import Tally
+from ..distributed.checkpoint import CheckpointError, CheckpointManager
 from ..observe import Telemetry
 from .fingerprint import request_fingerprint
+from .journal import JobJournal, OpenJob
 from .store import ResultStore
 
-__all__ = ["Job", "JobManager", "JobState"]
+__all__ = ["Job", "JobManager", "JobState", "JobTimeout", "PRIORITIES"]
+
+#: Priority classes, lower number dispatches first.
+PRIORITIES = {"high": 0, "normal": 1, "low": 2}
+_PRIORITY_NAMES = {v: k for k, v in PRIORITIES.items()}
+
+
+class JobTimeout(RuntimeError):
+    """A flight exceeded the manager's ``job_timeout`` wall budget."""
 
 
 class JobState:
@@ -58,10 +93,12 @@ class Job:
 
     id: str
     fingerprint: str
-    request: RunRequest
+    request: RunRequest | None
     state: str = JobState.QUEUED
+    priority: int = PRIORITIES["normal"]
     cache_hit: bool = False
     coalesced: bool = False
+    recovered: bool = False
     error: str | None = None
     created: float = field(default_factory=time.time)
     started: float | None = None
@@ -94,8 +131,10 @@ class Job:
             "id": self.id,
             "fingerprint": self.fingerprint,
             "state": self.state,
+            "priority": _PRIORITY_NAMES.get(self.priority, str(self.priority)),
             "cache_hit": self.cache_hit,
             "coalesced": self.coalesced,
+            "recovered": self.recovered,
             "error": self.error,
             "created": self.created,
             "started": self.started,
@@ -125,18 +164,39 @@ class Job:
 class _Flight:
     """One in-flight simulation and the jobs riding on it."""
 
-    def __init__(self, fingerprint: str, request: RunRequest) -> None:
+    def __init__(
+        self, fingerprint: str, request: RunRequest, priority: int = 1
+    ) -> None:
         self.fingerprint = fingerprint
         self.request = request
+        self.priority = priority
         self.jobs: list[Job] = []
-        self.future = None
         self.started = False
         self.started_at: float | None = None
         self.cancelled = False
 
 
 class JobManager:
-    """Submit/track/cancel simulation jobs with caching and coalescing."""
+    """Submit/track/cancel simulation jobs with caching and coalescing.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore` answering repeats from disk.
+    max_workers:
+        Simulations running concurrently.
+    journal:
+        A :class:`~repro.service.journal.JobJournal` (or its directory
+        path) making job state durable; the constructor replays it, so
+        jobs interrupted by a crash are re-enqueued/resumed immediately.
+    max_attempts / retry_backoff:
+        A flight whose run raises is retried up to ``max_attempts`` total
+        attempts, sleeping ``retry_backoff * 2**(attempt-1)`` seconds (cap
+        30 s) in between — transient worker failures don't fail jobs.
+    job_timeout:
+        Wall-clock budget per flight attempt; exceeding it fails the job
+        with :class:`JobTimeout` (no retry — a timeout is not transient).
+    """
 
     def __init__(
         self,
@@ -145,15 +205,33 @@ class JobManager:
         max_workers: int = 2,
         telemetry: Telemetry | None = None,
         runner=None,
+        journal: JobJournal | str | Path | None = None,
+        max_attempts: int = 1,
+        retry_backoff: float = 0.5,
+        job_timeout: float | None = None,
     ) -> None:
         if max_workers <= 0:
             raise ValueError(f"max_workers must be > 0, got {max_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0 or None, got {job_timeout}")
         self.store = store
         #: Always present: metrics accumulate even with a Null event sink,
         #: so ``/v1/metrics`` works out of the box.
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         if store is not None and store.telemetry is None:
             store.telemetry = self.telemetry
+        if journal is not None and not isinstance(journal, JobJournal):
+            journal = JobJournal(journal)
+        self.journal = journal
+        if journal is not None and journal.telemetry is None:
+            journal.telemetry = self.telemetry
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.job_timeout = job_timeout
         self._runner = runner if runner is not None else self._default_runner
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -161,21 +239,61 @@ class JobManager:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._flights: dict[str, _Flight] = {}
+        self._pending: list[tuple[int, int, _Flight]] = []  # priority heap
+        self._seq = itertools.count()
+        self._idle = threading.Condition(self._lock)  # notified per settled flight
         self._closed = False
+        self._draining = False
+        if self.journal is not None:
+            self._recover()
 
     # -------------------------------------------------------------- lifecycle
     def close(self, *, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for running flights."""
+        """Stop accepting work and (optionally) wait for running flights.
+
+        Idempotent: the second and later calls return immediately.  With
+        ``wait=True`` the worker threads are joined, so tests can never
+        leak a ``repro-service`` thread into the next case.  Queued jobs
+        are cancelled locally but — when a journal is attached — their
+        ``submitted`` records remain, so a restarted manager replays them.
+        """
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=True)
         with self._lock:
             flights = list(self._flights.values())
             self._flights.clear()
+            self._pending.clear()
+            self._idle.notify_all()
         for flight in flights:
             if not flight.started:
                 for job in flight.jobs:
                     job._cancel()
+        if self.journal is not None:
+            self.journal.close()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown, phase one: stop admitting, let flights finish.
+
+        Returns ``True`` when every flight settled within ``timeout``.
+        Flights still running when the timeout expires keep their journal
+        ``started`` records and their checkpoint directories, so the next
+        process resumes them from the latest checkpoint rather than from
+        photon zero.  Call :meth:`close` afterwards either way.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._draining = True
+            while self._flights or self._pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
 
     def __enter__(self) -> "JobManager":
         return self
@@ -184,31 +302,60 @@ class JobManager:
         self.close()
 
     # ------------------------------------------------------------ submission
-    def submit(self, request: RunRequest) -> Job:
+    def submit(
+        self,
+        request: RunRequest,
+        *,
+        priority: str | int = "normal",
+        client: str | None = None,
+    ) -> Job:
         """Register a run request; returns immediately with a :class:`Job`.
 
         The job may already be ``done`` (cache hit), attached to an
         in-flight identical request (``coalesced``), or queued for
-        execution.
+        execution in priority order.  With a journal attached, the job is
+        durable before this method returns.
         """
+        rank = self._resolve_priority(priority)
         fingerprint = request_fingerprint(request)
-        job = Job(id=uuid.uuid4().hex, fingerprint=fingerprint, request=request)
+        job = Job(
+            id=uuid.uuid4().hex,
+            fingerprint=fingerprint,
+            request=request,
+            priority=rank,
+        )
         with self._lock:
-            if self._closed:
-                raise RuntimeError("JobManager is closed")
+            if self._closed or self._draining:
+                raise RuntimeError(
+                    "JobManager is draining" if self._draining else "JobManager is closed"
+                )
             self._jobs[job.id] = job
         self.telemetry.count("service.jobs.submitted")
 
         if self.store is not None:
             tally = self.store.get(fingerprint)
             if tally is not None:
+                # Terminal at submission: nothing to recover, not journaled.
                 job._complete(tally, cache_hit=True)
                 self.telemetry.count("service.cache.hits")
                 return job
         self.telemetry.count("service.cache.misses")
 
+        self._journal_record(
+            "submitted",
+            job.id,
+            fingerprint=fingerprint,
+            request=self._request_payload(request),
+            priority=rank,
+            client=client,
+        )
+        self._enqueue(job, request)
+        return job
+
+    def _enqueue(self, job: Job, request: RunRequest) -> None:
+        """Attach ``job`` to an existing flight or open (and queue) a new one."""
         with self._lock:
-            flight = self._flights.get(fingerprint)
+            flight = self._flights.get(job.fingerprint)
             if flight is not None:
                 job.coalesced = True
                 job.state = JobState.RUNNING if flight.started else JobState.QUEUED
@@ -216,13 +363,25 @@ class JobManager:
                 flight.jobs.append(job)
                 self.telemetry.count("service.coalesced")
                 self._update_queue_depth()
-                return job
-            flight = _Flight(fingerprint, request)
+                return
+            flight = _Flight(job.fingerprint, request, priority=job.priority)
             flight.jobs.append(job)
-            self._flights[fingerprint] = flight
+            self._flights[job.fingerprint] = flight
+            heapq.heappush(self._pending, (flight.priority, next(self._seq), flight))
             self._update_queue_depth()
-        flight.future = self._executor.submit(self._execute, flight)
-        return job
+        # One pool slot per pending flight; each slot runs the *highest
+        # priority* flight pending at the moment it frees up.
+        self._executor.submit(self._run_next)
+
+    def _resolve_priority(self, priority: str | int) -> int:
+        if isinstance(priority, int):
+            return priority
+        try:
+            return PRIORITIES[priority]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {priority!r}; choose from {sorted(PRIORITIES)}"
+            ) from None
 
     def job(self, job_id: str) -> Job | None:
         with self._lock:
@@ -231,6 +390,11 @@ class JobManager:
     def jobs(self) -> list[Job]:
         with self._lock:
             return list(self._jobs.values())
+
+    def queue_depth(self) -> int:
+        """Jobs not yet settled (queued + running, riders included)."""
+        with self._lock:
+            return sum(len(f.jobs) for f in self._flights.values())
 
     def cancel(self, job_id: str) -> bool:
         """Cancel one job; True if it was still cancellable.
@@ -248,14 +412,94 @@ class JobManager:
                 flight.jobs.remove(job)
                 if not flight.jobs:
                     flight.cancelled = True
-                    if flight.future is not None:
-                        flight.future.cancel()
                     if not flight.started:
                         self._flights.pop(job.fingerprint, None)
+                        self._idle.notify_all()
             job._cancel()
             self._update_queue_depth()
+        self._journal_record("cancelled", job_id)
         self.telemetry.count("service.jobs.cancelled")
         return True
+
+    # --------------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Replay the journal: re-enqueue open jobs, resume interrupted ones."""
+        open_jobs = self.journal.replay()
+        if not open_jobs:
+            self._journal_compact()
+            return
+        from .http import request_from_json  # lazy: http imports this module
+
+        for entry in open_jobs:
+            request = None
+            error = None
+            if entry.request is None:
+                error = "not recoverable: request not journalable"
+            else:
+                try:
+                    request = request_from_json(entry.request)
+                except ValueError as exc:
+                    error = f"not recoverable: {exc}"
+            if request is not None and request_fingerprint(request) != entry.fingerprint:
+                # Canonicalization rules moved underneath the journal
+                # (version bump): refuse rather than file the result under
+                # a stale address.
+                request, error = None, "not recoverable: fingerprint drift"
+            job = Job(
+                id=entry.job_id,
+                fingerprint=entry.fingerprint,
+                request=request,
+                priority=entry.priority,
+                recovered=True,
+                created=entry.submitted_ts or time.time(),
+            )
+            with self._lock:
+                self._jobs[job.id] = job
+            if request is None:
+                job._fail(error)
+                self.telemetry.count("service.journal.unrecoverable")
+                continue
+            if self.store is not None:
+                tally = self.store.get(entry.fingerprint)
+                if tally is not None:
+                    # The crash lost the acknowledgement, not the result.
+                    job._complete(tally, cache_hit=True)
+                    self.telemetry.count("service.recovered")
+                    continue
+            self._enqueue(job, request)
+            self.telemetry.count("service.recovered")
+        self._journal_compact()
+
+    def _journal_record(self, event: str, job_id: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal.record(event, job_id, **fields)
+
+    def _journal_compact(self) -> None:
+        """Rewrite the journal to the currently open jobs (atomic)."""
+        if self.journal is None:
+            return
+        with self._lock:
+            open_jobs = [
+                OpenJob(
+                    job_id=job.id,
+                    fingerprint=job.fingerprint,
+                    request=self._request_payload(job.request),
+                    priority=job.priority,
+                    submitted_ts=job.created,
+                    was_running=flight.started,
+                )
+                for flight in self._flights.values()
+                for job in flight.jobs
+            ]
+        self.journal.compact(open_jobs)
+
+    @staticmethod
+    def _request_payload(request: RunRequest | None) -> dict | None:
+        if request is None:
+            return None
+        from .http import request_to_json  # lazy: http imports this module
+
+        return request_to_json(request)
 
     # ------------------------------------------------------------- execution
     @staticmethod
@@ -264,45 +508,148 @@ class JobManager:
 
         return api.run(request).tally
 
+    def _run_next(self) -> None:
+        """Pool entry point: execute the highest-priority pending flight."""
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                _, _, flight = heapq.heappop(self._pending)
+            if flight.cancelled:
+                with self._lock:
+                    self._flights.pop(flight.fingerprint, None)
+                    self._update_queue_depth()
+                    self._idle.notify_all()
+                continue  # this slot serves the next pending flight, if any
+            self._execute(flight)
+            return
+
+    def _checkpointed(self, request: RunRequest, fingerprint: str) -> RunRequest:
+        """Attach the flight's durable checkpoint directory (journal mode)."""
+        if self.journal is None or request.checkpoint is not None:
+            return request
+        manager = CheckpointManager(self.journal.checkpoint_dir(fingerprint))
+        return replace(request, checkpoint=manager, resume=manager.exists)
+
+    def _run_once(self, request: RunRequest) -> Tally:
+        """One runner attempt, bounded by ``job_timeout`` when set."""
+        if self.job_timeout is None:
+            return self._runner(request)
+        box: dict = {}
+        done = threading.Event()
+
+        def target() -> None:
+            try:
+                box["tally"] = self._runner(request)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=target, name="repro-job", daemon=True)
+        thread.start()
+        if not done.wait(self.job_timeout):
+            # The abandoned attempt finishes on its daemon thread and is
+            # discarded; with a journal its checkpoints survive for resume.
+            self.telemetry.count("service.jobs.timeout")
+            raise JobTimeout(f"flight exceeded job_timeout={self.job_timeout}s")
+        if "error" in box:
+            raise box["error"]
+        return box["tally"]
+
     def _execute(self, flight: _Flight) -> None:
         with self._lock:
             if flight.cancelled:
                 self._flights.pop(flight.fingerprint, None)
                 self._update_queue_depth()
+                self._idle.notify_all()
                 return
             flight.started = True
             flight.started_at = now = time.time()
+            job_ids = [job.id for job in flight.jobs]
             for job in flight.jobs:
                 job.state = JobState.RUNNING
                 job.started = now
+        for job_id in job_ids:
+            self._journal_record("started", job_id)
         t0 = time.perf_counter()
         tally: Tally | None = None
         error: str | None = None
-        try:
-            request = flight.request
-            if request.telemetry is None:
-                # Attach the service telemetry so kernel/dispatch spans and
-                # photon counters land in the same registry as the service
-                # metrics (a request carrying its own telemetry keeps it).
-                request = replace(request, telemetry=self.telemetry)
-            tally = self._runner(request)
-            if self.store is not None:
-                self.store.put(
-                    flight.fingerprint, tally, provenance=flight.request.provenance()
+        wiped_stale_checkpoint = False
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                request = self._checkpointed(flight.request, flight.fingerprint)
+                if request.telemetry is None:
+                    # Attach the service telemetry so kernel/dispatch spans
+                    # and photon counters land in the same registry as the
+                    # service metrics (a request carrying its own telemetry
+                    # keeps it).
+                    request = replace(request, telemetry=self.telemetry)
+                tally = self._run_once(request)
+                error = None
+                if self.store is not None:
+                    self.store.put(
+                        flight.fingerprint, tally, provenance=flight.request.provenance()
+                    )
+                break
+            except CheckpointError:
+                # The durable checkpoint belongs to a different decomposition
+                # (e.g. an execution knob outside the fingerprint changed).
+                # Wipe it once and restart the flight from photon zero.
+                if self.journal is None or wiped_stale_checkpoint:
+                    error = "CheckpointError: stale checkpoint"
+                    break
+                wiped_stale_checkpoint = True
+                attempt -= 1
+                self.telemetry.count("service.journal.stale_checkpoints")
+                shutil.rmtree(
+                    self.journal.checkpoint_dir(flight.fingerprint),
+                    ignore_errors=True,
                 )
-        except Exception as exc:  # noqa: BLE001 - failures settle the job
-            error = f"{type(exc).__name__}: {exc}"
+            except JobTimeout as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                break  # a wall-budget overrun is not transient: no retry
+            except Exception as exc:  # noqa: BLE001 - failures settle the job
+                error = f"{type(exc).__name__}: {exc}"
+                with self._lock:
+                    aborting = self._closed or flight.cancelled
+                if attempt >= self.max_attempts or aborting:
+                    break
+                self.telemetry.count("service.jobs.retried")
+                time.sleep(min(self.retry_backoff * 2 ** (attempt - 1), 30.0))
         with self._lock:
             self._flights.pop(flight.fingerprint, None)
             riders = list(flight.jobs)
             self._update_queue_depth()
+            self._idle.notify_all()
         for job in riders:
             if job.state in JobState.TERMINAL:
                 continue
+            # Journal the terminal event *before* releasing the waiter: an
+            # acknowledgement a client can observe must already be durable.
+            # The finally keeps a journal I/O failure from stranding waiters.
             if error is None and tally is not None:
-                job._complete(tally)
+                try:
+                    self._journal_record("done", job.id)
+                finally:
+                    job._complete(tally)
             else:
-                job._fail(error or "no result")
+                try:
+                    self._journal_record("failed", job.id)
+                finally:
+                    job._fail(error or "no result")
+        if error is None and self.journal is not None:
+            # The run is durable in the store; its checkpoints are spent.
+            shutil.rmtree(
+                self.journal.checkpoint_dir(flight.fingerprint), ignore_errors=True
+            )
+        if (
+            self.journal is not None
+            and self.journal.size() > self.journal.max_bytes
+        ):
+            self._journal_compact()
         self.telemetry.observe("service.job.seconds", time.perf_counter() - t0)
         if error is not None:
             self.telemetry.count("service.jobs.failed")

@@ -27,6 +27,7 @@ Properties
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import time
@@ -37,6 +38,8 @@ from ..io.results import load_tally, save_tally
 from ..observe import Telemetry
 
 __all__ = ["ResultStore"]
+
+logger = logging.getLogger(__name__)
 
 _INDEX_NAME = "index.json"
 _INDEX_VERSION = 1
@@ -62,7 +65,11 @@ class ResultStore:
         self.max_bytes = max_bytes
         self.telemetry = telemetry
         self._lock = threading.RLock()
+        self._rebuilt = False
         self._index: dict[str, dict] = self._load_index()
+        if self._rebuilt:
+            with self._lock:
+                self._save_index()
         self._prune_missing()
 
     # ------------------------------------------------------------- index I/O
@@ -73,11 +80,50 @@ class ResultStore:
     def _load_index(self) -> dict[str, dict]:
         try:
             raw = json.loads(self._index_path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
-            return {}
-        if raw.get("index_version") != _INDEX_VERSION:
-            return {}
-        return dict(raw.get("entries", {}))
+        except FileNotFoundError:
+            # No index at all.  A fresh store is the common case; artifacts
+            # without an index mean the index was lost — rebuild from them.
+            return self._rebuild_index() if any(self.root.glob("*.npz")) else {}
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Corrupt or truncated index (e.g. the process died mid-crash
+            # with a torn file): the artifacts are the ground truth.
+            return self._rebuild_index()
+        if not isinstance(raw, dict) or raw.get("index_version") != _INDEX_VERSION:
+            return self._rebuild_index()
+        entries = raw.get("entries")
+        if not isinstance(entries, dict):
+            return self._rebuild_index()
+        return dict(entries)
+
+    def _rebuild_index(self) -> dict[str, dict]:
+        """Reconstruct the index from the ``*.npz`` artifacts on disk.
+
+        Sizes and access times come from ``stat``; content correctness is
+        not re-verified here — every :meth:`get` self-verifies the archive
+        provenance anyway, so a corrupt artifact is evicted on first read
+        rather than blocking startup.
+        """
+        entries: dict[str, dict] = {}
+        for path in sorted(self.root.glob("*.npz")):
+            fingerprint = path.stem
+            if not fingerprint or "/" in fingerprint or "." in fingerprint:
+                continue  # not a store artifact
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries[fingerprint] = {
+                "bytes": st.st_size,
+                "created": st.st_mtime,
+                "last_access": st.st_mtime,
+            }
+        logger.warning(
+            "result store %s: index unreadable, rebuilt from %d artifact(s)",
+            self.root, len(entries),
+        )
+        self._count("service.store.index_rebuilds")
+        self._rebuilt = True
+        return entries
 
     def _save_index(self) -> None:
         payload = json.dumps(

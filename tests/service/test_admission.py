@@ -1,0 +1,179 @@
+"""Admission control: token buckets, quotas, queue bounds, backpressure."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import RunRequest
+from repro.observe import Telemetry
+from repro.service import AdmissionController, JobState, estimate_cost
+
+
+def _request(n_photons: int = 1000) -> RunRequest:
+    return RunRequest(model="white_matter", n_photons=n_photons)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_estimate_cost_is_photon_budget():
+    assert estimate_cost(_request(12345)) == 12345.0
+
+
+class TestDefaults:
+    def test_unconfigured_controller_admits_everything(self):
+        ctrl = AdmissionController(max_queue=None)
+        for _ in range(100):
+            assert ctrl.admit("c", _request(), queue_depth=10_000).admitted
+
+    def test_admitted_decision_shape(self):
+        decision = AdmissionController().admit("c", _request(), queue_depth=0)
+        assert decision.admitted and decision.status == 202
+        assert decision.reason is None and decision.retry_after is None
+
+
+class TestQueueBound:
+    def test_saturated_queue_rejects_503(self):
+        ctrl = AdmissionController(max_queue=4, saturation_retry_after=2.5)
+        decision = ctrl.admit("c", _request(), queue_depth=4)
+        assert not decision.admitted
+        assert decision.status == 503
+        assert decision.reason == "saturated"
+        assert decision.retry_after == 2.5
+
+    def test_below_bound_admits(self):
+        ctrl = AdmissionController(max_queue=4)
+        assert ctrl.admit("c", _request(), queue_depth=3).admitted
+
+
+class TestRateLimit:
+    def test_burst_then_throttle_then_refill(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            max_queue=None, rate_photons_per_s=1000, burst_photons=2000, clock=clock
+        )
+        # Burst capacity admits two 1000-photon requests back to back.
+        assert ctrl.admit("c", _request(1000)).admitted
+        assert ctrl.admit("c", _request(1000)).admitted
+        # Bucket empty: the third is throttled with an exact refill hint.
+        decision = ctrl.admit("c", _request(1000))
+        assert not decision.admitted and decision.status == 429
+        assert decision.reason == "rate"
+        assert decision.retry_after == pytest.approx(1.0)
+        # After the hinted wait the request is admitted.
+        clock.advance(1.0)
+        assert ctrl.admit("c", _request(1000)).admitted
+
+    def test_buckets_are_per_client(self):
+        ctrl = AdmissionController(
+            max_queue=None, rate_photons_per_s=1000, burst_photons=1000,
+            clock=FakeClock(),
+        )
+        assert ctrl.admit("alice", _request(1000)).admitted
+        assert not ctrl.admit("alice", _request(1000)).admitted
+        assert ctrl.admit("bob", _request(1000)).admitted
+
+    def test_request_larger_than_burst_drains_bucket_but_is_servable(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            max_queue=None, rate_photons_per_s=100, burst_photons=1000, clock=clock
+        )
+        # Cost 5000 > burst 1000: charged at the bucket capacity, not refused
+        # forever.
+        assert ctrl.admit("c", _request(5000)).admitted
+        decision = ctrl.admit("c", _request(5000))
+        assert decision.reason == "rate"
+        assert decision.retry_after == pytest.approx(10.0)  # 1000 tokens @ 100/s
+
+    def test_burst_defaults_to_ten_seconds_of_refill(self):
+        ctrl = AdmissionController(rate_photons_per_s=50)
+        assert ctrl.burst == 500.0
+
+
+class TestPerRequestCeiling:
+    def test_over_budget_is_429_with_no_retry_hint(self):
+        ctrl = AdmissionController(max_photons_per_request=10_000)
+        decision = ctrl.admit("c", _request(10_001), queue_depth=0)
+        assert not decision.admitted and decision.status == 429
+        assert decision.reason == "over_budget"
+        assert decision.retry_after is None
+
+    def test_at_budget_admits(self):
+        ctrl = AdmissionController(max_photons_per_request=10_000)
+        assert ctrl.admit("c", _request(10_000)).admitted
+
+
+class TestInflightQuota:
+    def test_quota_blocks_and_lazily_prunes(self):
+        ctrl = AdmissionController(max_queue=None, max_inflight_per_client=2)
+        live = [SimpleNamespace(state=JobState.RUNNING) for _ in range(2)]
+        for job in live:
+            assert ctrl.admit("c", _request()).admitted
+            ctrl.track("c", job)
+        decision = ctrl.admit("c", _request())
+        assert not decision.admitted and decision.status == 429
+        assert decision.reason == "inflight"
+        assert decision.retry_after == 1.0
+        # Settling a job frees the slot without any completion callback.
+        live[0].state = JobState.DONE
+        assert ctrl.admit("c", _request()).admitted
+
+    def test_quota_is_per_client(self):
+        ctrl = AdmissionController(max_queue=None, max_inflight_per_client=1)
+        assert ctrl.admit("alice", _request()).admitted
+        ctrl.track("alice", SimpleNamespace(state=JobState.QUEUED))
+        assert not ctrl.admit("alice", _request()).admitted
+        assert ctrl.admit("bob", _request()).admitted
+
+
+class TestDecisionOrdering:
+    def test_saturation_rejection_does_not_charge_the_bucket(self):
+        ctrl = AdmissionController(
+            max_queue=1, rate_photons_per_s=1000, burst_photons=1000,
+            clock=FakeClock(),
+        )
+        assert ctrl.admit("c", _request(1000), queue_depth=1).status == 503
+        # The 503 consumed no tokens: the same request fits once unsaturated.
+        assert ctrl.admit("c", _request(1000), queue_depth=0).admitted
+
+
+class TestTelemetry:
+    def test_admitted_and_rejected_counters(self):
+        telemetry = Telemetry()
+        ctrl = AdmissionController(
+            max_queue=2, max_photons_per_request=100, telemetry=telemetry
+        )
+        ctrl.admit("c", _request(50), queue_depth=0)
+        ctrl.admit("c", _request(500), queue_depth=0)
+        ctrl.admit("c", _request(50), queue_depth=2)
+        registry = telemetry.registry
+        assert registry.counter("service.admitted").value == 1
+        assert registry.counter("service.rejected", reason="over_budget").value == 1
+        assert registry.counter("service.rejected", reason="saturated").value == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue": 0},
+            {"rate_photons_per_s": 0},
+            {"rate_photons_per_s": 100, "burst_photons": -1},
+            {"max_inflight_per_client": 0},
+            {"max_photons_per_request": 0},
+            {"saturation_retry_after": -1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)

@@ -1,0 +1,200 @@
+"""End-to-end chaos: ``kill -9`` the HTTP service mid-job and restart it.
+
+These tests drive the real ``tissue-mc serve-http`` process over the wire —
+the same artifact CI's ``service-chaos`` job exercises:
+
+* **SIGKILL + restart** — the acceptance criterion of the crash-safety
+  work: a job interrupted by ``kill -9`` is replayed from the journal on
+  the next start (same job id), resumes from its checkpoints, and its
+  result is bit-identical to an uninterrupted in-process run.
+* **SIGTERM drain** — graceful degradation: the server stops admitting,
+  finishes running flights within the drain budget, and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunRequest, run
+from repro.io import load_tally
+from repro.service import request_fingerprint
+
+pytestmark = pytest.mark.slow
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# ~30 photons/s on the white-matter model: 6 tasks of ~1.7 s each — long
+# enough to kill mid-run with tasks durably checkpointed on both sides.
+REQUEST_BODY = {"model": "white_matter", "n_photons": 300, "seed": 13, "task_size": 50}
+
+
+class Server:
+    """One ``serve-http`` subprocess with line-buffered stdout capture."""
+
+    def __init__(self, tmp_path: Path, *extra: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli", "serve-http",
+                "--port", "0",
+                "--store", str(tmp_path / "store"),
+                "--journal", str(tmp_path / "journal"),
+                *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.lines: list[str] = []
+        self._new_line = threading.Condition()
+        # A dedicated reader thread: selecting on a buffered TextIOWrapper
+        # misses lines the wrapper already swallowed, so just read eagerly.
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        self.url = self._await_line("# simulation service listening on ").split()[-1]
+
+    def _pump(self) -> None:
+        for line in self.proc.stdout:
+            with self._new_line:
+                self.lines.append(line)
+                self._new_line.notify_all()
+        with self._new_line:
+            self._new_line.notify_all()  # EOF: wake any waiter to fail fast
+
+    def _await_line(self, prefix: str, timeout: float = 30.0) -> str:
+        deadline = time.monotonic() + timeout
+        scanned = 0
+        with self._new_line:
+            while True:
+                for line in self.lines[scanned:]:
+                    if line.startswith(prefix):
+                        return line.strip()
+                scanned = len(self.lines)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or (
+                    self.proc.poll() is not None and not self._reader.is_alive()
+                ):
+                    raise AssertionError(
+                        f"server never printed {prefix!r}; "
+                        f"output so far: {self.lines!r}"
+                    )
+                self._new_line.wait(min(remaining, 0.2))
+
+    def kill9(self) -> None:
+        self.proc.kill()  # SIGKILL: no drain, no journal compaction
+        self.proc.wait(timeout=10)
+
+    def terminate(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        self.proc.wait(timeout=120)
+        self._reader.join(timeout=10)
+        return self.proc.returncode
+
+    def __del__(self) -> None:  # belt and braces for failed tests
+        if self.proc.poll() is None:
+            self.proc.kill()
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        f"{url}/v1/runs",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _get(url: str, path: str):
+    with urllib.request.urlopen(f"{url}{path}", timeout=10) as resp:
+        return resp.status, resp.read()
+
+
+def _poll_done(url: str, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, raw = _get(url, f"/v1/runs/{job_id}")
+        payload = json.loads(raw)
+        if payload["state"] in ("done", "failed", "cancelled"):
+            return payload
+        time.sleep(0.2)
+    raise TimeoutError(f"job {job_id} did not settle")
+
+
+def _await_checkpointed(journal_root: Path, fingerprint: str, timeout: float = 60.0):
+    """Block until the flight has durably checkpointed at least one task."""
+    manifest = journal_root / "checkpoints" / fingerprint / "checkpoint.json"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if json.loads(manifest.read_text())["tasks"]:
+                return
+        except (OSError, json.JSONDecodeError, KeyError):
+            pass
+        time.sleep(0.1)
+    raise AssertionError(f"no task checkpointed under {manifest}")
+
+
+def test_kill9_restart_completes_bit_identical(tmp_path):
+    fingerprint = request_fingerprint(RunRequest(**REQUEST_BODY))
+
+    # --- first life: submit, wait for durable progress, kill -9 ------------
+    first = Server(tmp_path)
+    job = _post(first.url, REQUEST_BODY)
+    assert job["state"] in ("queued", "running")
+    _await_checkpointed(tmp_path / "journal", fingerprint)
+    first.kill9()
+
+    # --- second life: same journal + store ---------------------------------
+    second = Server(tmp_path)
+    try:
+        assert "(1 job(s) replayed)" in second._await_line("# journal:")
+
+        done = _poll_done(second.url, job["id"])  # replay preserves the id
+        assert done["state"] == "done"
+        assert done["recovered"] is True
+        assert done["fingerprint"] == fingerprint
+
+        _, data = _get(second.url, f"/v1/results/{fingerprint}")
+        archive = tmp_path / "recovered.npz"
+        archive.write_bytes(data)
+    finally:
+        assert second.terminate() == 0
+
+    # The acceptance bar: bit-identical to an uninterrupted run.
+    assert load_tally(archive) == run(RunRequest(**REQUEST_BODY)).tally
+
+
+def test_sigterm_drains_cleanly(tmp_path):
+    server = Server(tmp_path, "--drain-timeout", "120")
+    body = dict(REQUEST_BODY, n_photons=100, task_size=100)  # one ~3 s task
+    job = _post(server.url, body)
+    assert job["state"] in ("queued", "running")
+
+    assert server.terminate() == 0
+    out = "".join(server.lines)
+    assert "# drained cleanly, shutting down" in out
+
+    # Drain finished the flight: the result is durable in the store and the
+    # journal replays nothing on the next start.
+    third = Server(tmp_path)
+    try:
+        assert "(0 job(s) replayed)" in third._await_line("# journal:")
+        repeat = _post(third.url, body)
+        assert repeat["state"] == "done" and repeat["cache_hit"] is True
+    finally:
+        assert third.terminate() == 0

@@ -79,6 +79,13 @@ def _kernel_spans(server) -> int:
     )
 
 
+def _cheap_tally():
+    """A real tally from the fast test medium (~0.2 s, not white matter)."""
+    from .conftest import fast_service_config
+
+    return run(RunRequest(config=fast_service_config(), n_photons=50)).tally
+
+
 def _counter_value(metrics: dict, name: str) -> float:
     for row in metrics["counters"]:
         if row["name"] == name:
@@ -139,7 +146,9 @@ class TestLifecycle:
         assert set(metrics) == {"counters", "gauges", "histograms"}
 
     def test_healthz(self, server):
-        assert _get(f"{server.url}/v1/healthz") == (200, {"ok": True})
+        assert _get(f"{server.url}/v1/healthz") == (
+            200, {"ok": True, "draining": False}
+        )
 
 
 class TestErrors:
@@ -206,6 +215,172 @@ class TestRequestFromJson:
     def test_bad_gate_rejected(self):
         with pytest.raises(ValueError, match="gate"):
             request_from_json({"model": "white_matter", "gate": [1.0]})
+
+
+class TestBackpressure:
+    """Admission control speaks HTTP: 429/503 with Retry-After, never a hang."""
+
+    def _refused(self, call):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            call()
+        return err.value.code, err.value.headers, json.loads(err.value.read())
+
+    def test_over_budget_429_without_retry_after(self, tmp_path):
+        from repro.service import AdmissionController
+
+        manager = JobManager(ResultStore(tmp_path / "store"))
+        admission = AdmissionController(max_photons_per_request=100)
+        with ServiceServer(manager, admission=admission) as server:
+            code, headers, payload = self._refused(
+                lambda: _post(f"{server.url}/v1/runs", REQUEST_BODY)
+            )
+        assert code == 429
+        assert payload["reason"] == "over_budget"
+        assert "admission refused" in payload["error"]
+        assert headers.get("Retry-After") is None  # retrying cannot succeed
+
+    def test_rate_limited_429_with_retry_after(self, tmp_path):
+        from repro.service import AdmissionController
+
+        manager = JobManager(ResultStore(tmp_path / "store"))
+        admission = AdmissionController(
+            rate_photons_per_s=100, burst_photons=400
+        )
+        with ServiceServer(manager, admission=admission) as server:
+            first = _post(f"{server.url}/v1/runs", REQUEST_BODY)  # drains burst
+            assert first[0] == 202
+            code, headers, payload = self._refused(
+                lambda: _post(f"{server.url}/v1/runs", dict(REQUEST_BODY, seed=8))
+            )
+        assert code == 429
+        assert payload["reason"] == "rate"
+        assert float(headers["Retry-After"]) >= 1
+
+    def test_saturated_queue_503(self, tmp_path):
+        import threading
+
+        from repro.service import AdmissionController
+
+        release = threading.Event()
+        canned = _cheap_tally()
+
+        def blocking_runner(request):
+            release.wait(30)
+            return canned
+
+        manager = JobManager(
+            ResultStore(tmp_path / "store"), max_workers=1, runner=blocking_runner
+        )
+        admission = AdmissionController(max_queue=1)
+        try:
+            with ServiceServer(manager, admission=admission) as server:
+                assert _post(f"{server.url}/v1/runs", REQUEST_BODY)[0] == 202
+                code, headers, payload = self._refused(
+                    lambda: _post(f"{server.url}/v1/runs", dict(REQUEST_BODY, seed=8))
+                )
+                assert code == 503
+                assert payload["reason"] == "saturated"
+                assert headers["Retry-After"] is not None
+                release.set()
+        finally:
+            release.set()
+
+    def test_inflight_quota_is_per_client_header(self, tmp_path):
+        import threading
+
+        from repro.service import AdmissionController
+
+        release = threading.Event()
+        canned = _cheap_tally()
+
+        def blocking_runner(request):
+            release.wait(30)
+            return canned
+
+        manager = JobManager(
+            ResultStore(tmp_path / "store"), max_workers=1, runner=blocking_runner
+        )
+        admission = AdmissionController(max_inflight_per_client=1)
+
+        def post_as(url, body, client):
+            req = urllib.request.Request(
+                url, data=json.dumps(body).encode(), method="POST",
+                headers={"Content-Type": "application/json", "X-Client": client},
+            )
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+
+        try:
+            with ServiceServer(manager, admission=admission) as server:
+                url = f"{server.url}/v1/runs"
+                assert post_as(url, REQUEST_BODY, "alice")[0] == 202
+                code, _, payload = self._refused(
+                    lambda: post_as(url, dict(REQUEST_BODY, seed=8), "alice")
+                )
+                assert code == 429 and payload["reason"] == "inflight"
+                # A different identity is not throttled by alice's quota.
+                assert post_as(url, dict(REQUEST_BODY, seed=9), "bob")[0] == 202
+                release.set()
+        finally:
+            release.set()
+
+
+class TestPriorities:
+    def test_priority_header_lands_on_the_job(self, server):
+        req = urllib.request.Request(
+            f"{server.url}/v1/runs",
+            data=json.dumps(REQUEST_BODY).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json", "X-Priority": "high"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            payload = json.loads(resp.read())
+        assert payload["priority"] == "high"
+        _poll_done(server.url, payload["id"])
+
+    def test_unknown_priority_400(self, server):
+        req = urllib.request.Request(
+            f"{server.url}/v1/runs",
+            data=json.dumps(REQUEST_BODY).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json", "X-Priority": "urgent"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        assert "urgent" in json.loads(err.value.read())["error"]
+
+
+class TestGracefulShutdown:
+    def test_draining_server_refuses_submissions(self, server):
+        server.draining = True
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{server.url}/v1/runs", REQUEST_BODY)
+        assert err.value.code == 503
+        assert err.value.headers["Retry-After"] == "30"
+        assert _get(f"{server.url}/v1/healthz")[1]["draining"] is True
+
+    def test_drain_of_idle_server_returns_true_and_closes(self, tmp_path):
+        server = ServiceServer(JobManager(ResultStore(tmp_path / "store")))
+        server.start()
+        assert server.drain(timeout=5.0) is True
+        # Fully closed: the port no longer answers.
+        with pytest.raises(OSError):
+            _get(f"{server.url}/v1/healthz")
+
+    def test_close_is_idempotent_and_joins_workers(self, tmp_path):
+        import threading
+
+        manager = JobManager(ResultStore(tmp_path / "store"))
+        server = ServiceServer(manager)
+        server.start()
+        server.close()
+        server.close()  # second close: no-op, no error
+        manager.close()  # manager close is idempotent too
+        assert not [
+            t for t in threading.enumerate()
+            if t.name.startswith(("repro-service", "repro-http"))
+        ]
 
 
 def test_smoke_end_to_end(tmp_path):

@@ -1,0 +1,191 @@
+"""Job journal: durable append, replay, torn tails, atomic compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observe import Telemetry
+from repro.service import JobJournal, JobManager, request_to_json
+from repro.service.journal import OpenJob
+
+
+def _lines(journal: JobJournal) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in journal.path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestAppendReplay:
+    def test_submitted_job_is_open(self, tmp_path):
+        with JobJournal(tmp_path) as journal:
+            journal.record(
+                "submitted", "j1", fingerprint="f" * 8,
+                request={"model": "white_matter"}, priority=0, client="alice",
+            )
+        replayed = JobJournal(tmp_path).replay()
+        assert len(replayed) == 1
+        job = replayed[0]
+        assert job.job_id == "j1"
+        assert job.fingerprint == "f" * 8
+        assert job.request == {"model": "white_matter"}
+        assert job.priority == 0
+        assert job.client == "alice"
+        assert not job.was_running
+
+    def test_started_marks_was_running(self, tmp_path):
+        with JobJournal(tmp_path) as journal:
+            journal.record("submitted", "j1", fingerprint="f1")
+            journal.record("started", "j1")
+        (job,) = JobJournal(tmp_path).replay()
+        assert job.was_running
+
+    @pytest.mark.parametrize("terminal", ["done", "failed", "cancelled"])
+    def test_terminal_events_close_the_job(self, tmp_path, terminal):
+        with JobJournal(tmp_path) as journal:
+            journal.record("submitted", "j1", fingerprint="f1")
+            journal.record("started", "j1")
+            journal.record(terminal, "j1")
+            journal.record("submitted", "j2", fingerprint="f2")
+        replayed = JobJournal(tmp_path).replay()
+        assert [job.job_id for job in replayed] == ["j2"]
+
+    def test_replay_preserves_submission_order(self, tmp_path):
+        with JobJournal(tmp_path) as journal:
+            for i in range(5):
+                journal.record("submitted", f"j{i}", fingerprint=f"f{i}")
+            journal.record("done", "j2")
+        replayed = JobJournal(tmp_path).replay()
+        assert [job.job_id for job in replayed] == ["j0", "j1", "j3", "j4"]
+
+    def test_empty_or_missing_journal_replays_empty(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        assert journal.replay() == []
+        journal.close()
+
+
+class TestTornTail:
+    def test_truncated_last_line_is_skipped(self, tmp_path):
+        telemetry = Telemetry()
+        with JobJournal(tmp_path) as journal:
+            journal.record("submitted", "j1", fingerprint="f1")
+            journal.record("submitted", "j2", fingerprint="f2")
+        # Simulate kill -9 mid-append: chop the file mid-way through j2.
+        raw = tmp_path.joinpath("journal.jsonl").read_bytes()
+        tmp_path.joinpath("journal.jsonl").write_bytes(raw[:-15])
+        journal = JobJournal(tmp_path, telemetry=telemetry)
+        replayed = journal.replay()
+        assert [job.job_id for job in replayed] == ["j1"]
+        assert telemetry.registry.counter("service.journal.torn").value == 1
+        journal.close()
+
+    def test_unknown_version_line_is_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.path.write_text(
+            '{"v": 99, "event": "submitted", "job_id": "jX", "fingerprint": "f"}\n'
+        )
+        assert journal.replay() == []
+        journal.close()
+
+
+class TestCompaction:
+    def test_compact_rewrites_to_open_jobs_only(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        for i in range(10):
+            journal.record("submitted", f"j{i}", fingerprint=f"f{i}")
+            journal.record("done", f"j{i}")
+        journal.record("submitted", "alive", fingerprint="fa")
+        journal.compact([
+            OpenJob(job_id="alive", fingerprint="fa", request=None, was_running=True)
+        ])
+        lines = _lines(journal)
+        assert [ln["event"] for ln in lines] == ["submitted", "started"]
+        assert lines[0]["job_id"] == "alive"
+        # The compacted journal replays identically.
+        (job,) = journal.replay()
+        assert job.job_id == "alive" and job.was_running
+        journal.close()
+
+    def test_append_still_works_after_compaction(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.record("submitted", "j1", fingerprint="f1")
+        journal.compact([])
+        journal.record("submitted", "j2", fingerprint="f2")
+        assert [job.job_id for job in journal.replay()] == ["j2"]
+        journal.close()
+
+
+class TestTelemetry:
+    def test_fsync_histogram_and_record_counter(self, tmp_path):
+        telemetry = Telemetry()
+        with JobJournal(tmp_path, telemetry=telemetry) as journal:
+            journal.record("submitted", "j1", fingerprint="f1")
+            journal.record("done", "j1")
+        hist = telemetry.registry.histogram("service.journal.fsync_seconds")
+        assert hist.count == 2
+        assert telemetry.registry.counter("service.journal.records").value == 2
+
+
+class TestCheckpointDirs:
+    def test_checkpoint_dir_is_under_journal_root(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        path = journal.checkpoint_dir("a" * 64)
+        assert path.parent == journal.checkpoints_root
+        journal.close()
+
+    def test_malformed_fingerprint_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        for bad in ("", "../x", "a.b"):
+            with pytest.raises(ValueError, match="malformed"):
+                journal.checkpoint_dir(bad)
+        journal.close()
+
+
+class TestManagerIntegration:
+    def test_journal_records_full_lifecycle(self, tmp_path, make_request):
+        request = make_request(model="white_matter", n_photons=400)
+        with JobManager(journal=JobJournal(tmp_path / "j")) as manager:
+            job = manager.submit(request)
+            job.result(timeout=120)
+            journal_path = manager.journal.path
+        events = [json.loads(ln)["event"] for ln in journal_path.read_text().splitlines()]
+        assert events == ["submitted", "started", "done"]
+
+    def test_cache_hits_are_not_journaled(self, tmp_path, make_request):
+        from repro.service import ResultStore
+
+        request = make_request(model="white_matter", n_photons=400)
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, journal=JobJournal(tmp_path / "j")) as manager:
+            manager.submit(request).result(timeout=120)
+            lines_before = len(_lines(manager.journal))
+            hit = manager.submit(request)
+            assert hit.cache_hit
+            assert len(_lines(manager.journal)) == lines_before
+
+    def test_oversized_journal_is_compacted_after_flights(self, tmp_path, make_request):
+        journal = JobJournal(tmp_path / "j", max_bytes=1)  # compact every flight
+        with JobManager(journal=journal) as manager:
+            manager.submit(make_request(model="white_matter", n_photons=400)).result(
+                timeout=120
+            )
+        # Everything settled: the compacted journal is empty.
+        assert JobJournal(tmp_path / "j").replay() == []
+
+
+class TestRequestRoundTrip:
+    def test_model_request_round_trips(self, make_request):
+        from repro.service import request_fingerprint, request_from_json
+
+        request = make_request(model="white_matter", gate=(5.0, 50.0))
+        payload = request_to_json(request)
+        assert payload is not None
+        rebuilt = request_from_json(payload)
+        assert request_fingerprint(rebuilt) == request_fingerprint(request)
+
+    def test_unexpressible_requests_return_none(self, make_request):
+        assert request_to_json(make_request()) is None  # explicit config
+        assert request_to_json(make_request(model="white_matter", sub_batch=64)) is None

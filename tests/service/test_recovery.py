@@ -1,0 +1,213 @@
+"""Crash recovery: kill a JobManager mid-run, restart, resume bit-identical.
+
+``test_kill_and_restart_bit_identical`` is the tentpole acceptance test: a
+manager is abandoned while its flight is mid-simulation under a
+``FaultInjector`` (first attempt of one task crashed, two tasks durably
+checkpointed), a second manager is started on the same journal and store,
+and the replayed job's final tally must equal — via the strict
+``Tally.__eq__`` — an uninterrupted run of the same request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import api
+from repro.api import RunRequest
+from repro.distributed import (
+    DataManager,
+    FaultInjector,
+    SerialBackend,
+    WorkerCrash,
+)
+from repro.observe import Telemetry
+from repro.service import (
+    JobJournal,
+    JobManager,
+    JobState,
+    ResultStore,
+    request_fingerprint,
+    request_to_json,
+)
+
+# 4 tasks of 50 photons: enough structure to checkpoint half a run and
+# crash in the middle, small enough to simulate in seconds.
+REQUEST = RunRequest(model="white_matter", n_photons=200, seed=11, task_size=50)
+
+
+def _canned_tally():
+    """A real (cheap) tally for runner stubs — content is irrelevant."""
+    from .conftest import fast_service_config
+
+    return api.run(RunRequest(config=fast_service_config(), n_photons=50)).tally
+
+
+class _CrashingRunner:
+    """Runner for the manager that will be 'killed'.
+
+    Honors the checkpoint the manager attached to the request, injects a
+    first-attempt crash on task 1 (FaultInjector), and — once ``crash_at``
+    is reached — signals ``reached`` and blocks until ``released``, after
+    which every attempt raises.  Blocking-then-raising models a process
+    death: the journal keeps the job's ``started`` record, the checkpoint
+    directory keeps the completed tasks, and no terminal event is written.
+    """
+
+    def __init__(self, crash_at: int) -> None:
+        self.crash_at = crash_at
+        self.reached = threading.Event()
+        self.released = threading.Event()
+        self._inject = FaultInjector(fail_tasks_once=frozenset({1}))
+
+    def _task_runner(self, config, task, **kwargs):
+        if task.task_index >= self.crash_at:
+            self.reached.set()
+            self.released.wait(60)
+            raise WorkerCrash("simulated process death (injected)")
+        return self._inject(config, task, **kwargs)
+
+    def __call__(self, request: RunRequest):
+        manager = DataManager(
+            api.build_config(request),
+            request.n_photons,
+            seed=request.seed,
+            task_size=request.resolved_task_size(),
+            checkpoint=request.checkpoint,
+            task_runner=self._task_runner,
+            max_retries=1,
+        )
+        return manager.run(SerialBackend()).tally
+
+
+@pytest.mark.slow
+def test_kill_and_restart_bit_identical(tmp_path):
+    journal_root = tmp_path / "journal"
+    crasher = _CrashingRunner(crash_at=2)
+    telemetry = Telemetry()
+
+    # --- first life: run until two tasks are checkpointed, then "die" ------
+    manager1 = JobManager(
+        ResultStore(tmp_path / "store"), journal=JobJournal(journal_root),
+        runner=crasher,
+    )
+    job1 = manager1.submit(REQUEST)
+    assert crasher.reached.wait(60), "flight never reached the crash point"
+    assert job1.state == JobState.RUNNING  # mid-flight when the process dies
+
+    # The durable state a real kill -9 would leave behind:
+    fingerprint = request_fingerprint(REQUEST)
+    checkpoints = JobJournal(journal_root).checkpoint_dir(fingerprint)
+    assert (checkpoints / "checkpoint.json").exists()
+
+    # --- second life: same journal + store, a healthy default runner -------
+    manager2 = JobManager(
+        ResultStore(tmp_path / "store"),
+        journal=JobJournal(journal_root),
+        telemetry=telemetry,
+    )
+    try:
+        recovered = manager2.job(job1.id)
+        assert recovered is not None, "replay must preserve the job id"
+        assert recovered.recovered
+        resumed = recovered.result(timeout=120)
+    finally:
+        # Let the abandoned flight fail and join manager1's threads; its
+        # journal handle points at the pre-compaction inode, so nothing it
+        # writes now is visible to manager2.
+        crasher.released.set()
+        manager1.close()
+        manager2.close()
+
+    assert telemetry.registry.counter("service.recovered").value == 1
+    assert resumed == api.run(REQUEST).tally  # strict Tally.__eq__
+    assert not checkpoints.exists()  # spent checkpoints are reclaimed
+
+
+class TestReplayMechanics:
+    """Replay paths that need no real simulation (canned runner)."""
+
+    def test_queued_job_is_reenqueued_and_runs(self, tmp_path):
+        tally = _canned_tally()
+        with JobJournal(tmp_path / "j") as journal:
+            journal.record(
+                "submitted", "q1",
+                fingerprint=request_fingerprint(REQUEST),
+                request=request_to_json(REQUEST),
+            )
+        telemetry = Telemetry()
+        with JobManager(
+            journal=JobJournal(tmp_path / "j"),
+            runner=lambda request: tally,
+            telemetry=telemetry,
+        ) as manager:
+            job = manager.job("q1")
+            assert job is not None and job.recovered
+            assert job.result(timeout=30) == tally
+        assert telemetry.registry.counter("service.recovered").value == 1
+
+    def test_result_already_in_store_completes_without_rerun(self, tmp_path):
+        # The crash lost the acknowledgement, not the result: replay must
+        # answer from the store, not re-simulate.
+        fingerprint = request_fingerprint(REQUEST)
+        store = ResultStore(tmp_path / "store")
+        store.put(fingerprint, _canned_tally())
+        with JobJournal(tmp_path / "j") as journal:
+            journal.record(
+                "submitted", "s1",
+                fingerprint=fingerprint, request=request_to_json(REQUEST),
+            )
+            journal.record("started", "s1")
+
+        def exploding_runner(request):
+            raise AssertionError("must not re-simulate a stored result")
+
+        with JobManager(
+            store, journal=JobJournal(tmp_path / "j"), runner=exploding_runner
+        ) as manager:
+            job = manager.job("s1")
+            assert job.state == JobState.DONE
+            assert job.cache_hit and job.recovered
+
+    def test_unjournalable_request_fails_closed(self, tmp_path):
+        with JobJournal(tmp_path / "j") as journal:
+            journal.record("submitted", "u1", fingerprint="f" * 64, request=None)
+        telemetry = Telemetry()
+        with JobManager(
+            journal=JobJournal(tmp_path / "j"), telemetry=telemetry
+        ) as manager:
+            job = manager.job("u1")
+            assert job.state == JobState.FAILED
+            assert "not recoverable" in job.error
+        assert (
+            telemetry.registry.counter("service.journal.unrecoverable").value == 1
+        )
+
+    def test_fingerprint_drift_fails_closed(self, tmp_path):
+        # Payload replays fine but hashes to a different address than the
+        # journal recorded (canonicalization version bump): refuse.
+        with JobJournal(tmp_path / "j") as journal:
+            journal.record(
+                "submitted", "d1",
+                fingerprint="0" * 64, request=request_to_json(REQUEST),
+            )
+        with JobManager(journal=JobJournal(tmp_path / "j")) as manager:
+            job = manager.job("d1")
+            assert job.state == JobState.FAILED
+            assert "fingerprint drift" in job.error
+
+    def test_replay_then_compact_leaves_settled_journal_empty(self, tmp_path):
+        tally = _canned_tally()
+        with JobJournal(tmp_path / "j") as journal:
+            journal.record(
+                "submitted", "c1",
+                fingerprint=request_fingerprint(REQUEST),
+                request=request_to_json(REQUEST),
+            )
+        with JobManager(
+            journal=JobJournal(tmp_path / "j", max_bytes=1),
+            runner=lambda request: tally,
+        ) as manager:
+            manager.job("c1").result(timeout=30)
+        assert JobJournal(tmp_path / "j").replay() == []

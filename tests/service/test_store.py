@@ -137,3 +137,59 @@ class TestLRUEviction:
         raw = json.loads((store.root / "index.json").read_text())
         assert raw["index_version"] == 1
         assert set(raw["entries"]) == set(store.fingerprints())
+
+
+class TestIndexRebuild:
+    """A corrupt or missing index is rebuilt from the artifacts on disk."""
+
+    def _seed_store(self, tmp_path, tally):
+        store = ResultStore(tmp_path / "store")
+        fps = ["a" * 64, "b" * 64]
+        for fp in fps:
+            store.put(fp, tally)
+        return store.root, fps
+
+    def test_corrupt_index_rebuilt(self, tmp_path, tally):
+        root, fps = self._seed_store(tmp_path, tally)
+        (root / "index.json").write_text("{ not json")
+        telemetry = Telemetry()
+        store = ResultStore(root, telemetry=telemetry)
+        assert set(store.fingerprints()) == set(fps)
+        assert store.get(fps[0]) == tally  # artifacts still self-verify
+        assert _counter(telemetry, "service.store.index_rebuilds") == 1
+
+    def test_truncated_index_rebuilt(self, tmp_path, tally):
+        root, fps = self._seed_store(tmp_path, tally)
+        raw = (root / "index.json").read_bytes()
+        (root / "index.json").write_bytes(raw[: len(raw) // 2])  # torn write
+        store = ResultStore(root)
+        assert set(store.fingerprints()) == set(fps)
+
+    def test_missing_index_with_artifacts_rebuilt(self, tmp_path, tally):
+        root, fps = self._seed_store(tmp_path, tally)
+        (root / "index.json").unlink()
+        store = ResultStore(root)
+        assert set(store.fingerprints()) == set(fps)
+        # The rebuilt index is persisted for the next open.
+        assert json.loads((root / "index.json").read_text())["index_version"] == 1
+
+    def test_wrong_version_index_rebuilt(self, tmp_path, tally):
+        root, fps = self._seed_store(tmp_path, tally)
+        (root / "index.json").write_text(
+            json.dumps({"index_version": 999, "entries": "what"})
+        )
+        store = ResultStore(root)
+        assert set(store.fingerprints()) == set(fps)
+
+    def test_fresh_store_is_not_a_rebuild(self, tmp_path):
+        telemetry = Telemetry()
+        ResultStore(tmp_path / "fresh", telemetry=telemetry)
+        assert _counter(telemetry, "service.store.index_rebuilds") == 0
+
+    def test_rebuild_ignores_non_artifact_files(self, tmp_path, tally):
+        root, fps = self._seed_store(tmp_path, tally)
+        (root / "index.json").write_text("{")
+        (root / "notes.txt").write_text("not an artifact")
+        (root / "weird.name.npz").write_bytes(b"x")  # dotted stem: skipped
+        store = ResultStore(root)
+        assert set(store.fingerprints()) == set(fps)
