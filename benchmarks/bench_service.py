@@ -356,3 +356,77 @@ def test_service_recovery(report, tmp_path):
     assert bit_identical  # the acceptance bar: resume == uninterrupted
     # Half the work was checkpointed; resume must beat a full re-run.
     assert recovery < uninterrupted
+
+
+# --------------------------------------------------------------------------
+# Prefix extension: a cached smaller budget pays only for the delta photons
+# --------------------------------------------------------------------------
+
+
+def run_prefix_extension(photons: int, root: Path):
+    task_size = photons // 8
+
+    def request_for(budget: int) -> RunRequest:
+        return RunRequest(config=CONFIG, n_photons=budget, seed=3, task_size=task_size)
+
+    with JobManager(ResultStore(root / "ext-store"), max_workers=2) as manager:
+        t0 = time.perf_counter()
+        manager.submit(request_for(photons // 4)).result(timeout=600)
+        base = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        half_job = manager.submit(request_for(photons // 2))
+        half_job.result(timeout=600)
+        quarter_delta = time.perf_counter() - t0
+        assert half_job.cache == "prefix"
+        assert half_job.delta_photons == photons // 4
+
+        t0 = time.perf_counter()
+        full_job = manager.submit(request_for(photons))
+        extended = full_job.result(timeout=600)
+        half_delta = time.perf_counter() - t0
+        assert full_job.cache == "prefix"
+        assert full_job.delta_photons == photons // 2
+
+    with JobManager(ResultStore(root / "cold-store"), max_workers=2) as manager:
+        t0 = time.perf_counter()
+        cold_tally = manager.submit(request_for(photons)).result(timeout=600)
+        cold = time.perf_counter() - t0
+
+    assert extended == cold_tally  # bit-identical to the from-scratch run
+    return base, quarter_delta, half_delta, cold
+
+
+def test_service_prefix_extension(report, tmp_path):
+    photons = scaled(16_000)
+
+    base, quarter_delta, half_delta, cold = run_prefix_extension(photons, tmp_path)
+
+    report("\n=== Service: prefix extension pays only for the delta ===")
+    report(format_table(
+        ["request", "simulated photons", "latency (ms)"],
+        [
+            [f"cold base ({photons // 4})", photons // 4, base * 1e3],
+            [f"extend to {photons // 2}", photons // 4, quarter_delta * 1e3],
+            [f"extend to {photons}", photons // 2, half_delta * 1e3],
+            [f"cold full ({photons})", photons, cold * 1e3],
+        ],
+        float_format="{:.3g}",
+    ))
+    report(
+        f"\nextension to {photons} cost {half_delta / cold:.2f}x the cold full "
+        f"run (delta is half the budget); bit-identical result"
+    )
+
+    merge_bench({"prefix_extension": {
+        "photons": photons,
+        "base_seconds": base,
+        "quarter_delta_seconds": quarter_delta,
+        "half_delta_seconds": half_delta,
+        "cold_full_seconds": cold,
+    }})
+
+    # The claimed win: extension cost tracks the *delta*, not the budget —
+    # both extensions must beat re-simulating the full budget from scratch.
+    assert quarter_delta < cold
+    assert half_delta < cold

@@ -136,6 +136,22 @@ class RunRequest:
     span_size: int | None = None
     sub_batch: int | None = None
 
+    # prefix extension / partial-range runs
+    #: Run only tasks ``[start, stop)`` of the canonical decomposition.  The
+    #: tally is the deterministic partial fold of that range; *physics-
+    #: bearing* (a partial tally is a different result), so it participates
+    #: in the request fingerprint.  ``mode="local"`` only.
+    task_range: tuple[int, int] | None = None
+    #: A :class:`~repro.core.reduce.TallyFrontier` from a cached smaller-
+    #: budget run of the same physics; its covered tasks are primed into the
+    #: reducer and not re-simulated (the delta run).  Execution-only: the
+    #: final tally is bit-identical with or without it, so it does NOT enter
+    #: the fingerprint.  ``mode="local"`` only.
+    frontier: "TallyFrontier | None" = None
+    #: Capture the run's reduction frontier onto ``RunReport.frontier`` so
+    #: the result can later be budget-extended.  Execution-only.
+    capture_frontier: bool = False
+
     # model-building conveniences (ignored when ``config`` is given)
     detector_spacing: float | None = None
     gate: tuple[float, float] | None = None
@@ -166,6 +182,22 @@ class RunRequest:
             raise ValueError(f"span_size must be >= 1 or None, got {self.span_size}")
         if self.sub_batch is not None and self.sub_batch <= 0:
             raise ValueError(f"sub_batch must be > 0 or None, got {self.sub_batch}")
+        if self.task_range is not None:
+            lo, hi = self.task_range
+            n_tasks = -(-self.n_photons // self.resolved_task_size())
+            if not 0 <= lo < hi <= n_tasks:
+                raise ValueError(
+                    f"task_range [{lo}, {hi}) out of range for the "
+                    f"{n_tasks}-task decomposition of {self.n_photons} photons"
+                )
+        if self.mode == "serve" and (
+            self.task_range is not None
+            or self.frontier is not None
+            or self.capture_frontier
+        ):
+            raise ValueError(
+                "task_range / frontier / capture_frontier require mode='local'"
+            )
 
     def resolved_task_size(self) -> int:
         return self.task_size if self.task_size is not None else DEFAULT_TASK_SIZE
@@ -183,9 +215,9 @@ class RunRequest:
         verified against the request that claims it
         (``load_tally(expected_fingerprint=...)``).
         """
-        from .service.fingerprint import request_fingerprint
+        from .service.fingerprint import physics_fingerprint, request_fingerprint
 
-        return {
+        out = {
             "package": "repro",
             "version": __version__,
             "model": self.model or "custom",
@@ -196,8 +228,12 @@ class RunRequest:
             "sub_batch": self.sub_batch,
             "boundary_mode": self.boundary_mode,
             "fingerprint": request_fingerprint(self),
+            "physics_fingerprint": physics_fingerprint(self),
             "created_unix": time.time(),
         }
+        if self.task_range is not None:
+            out["task_range"] = [int(self.task_range[0]), int(self.task_range[1])]
+        return out
 
 
 def build_config(request: RunRequest) -> SimulationConfig:
@@ -325,6 +361,9 @@ def run(request: RunRequest) -> RunReport:
                 retain_task_tallies=request.retain_task_tallies,
                 span_size=request.span_size,
                 sub_batch=request.sub_batch,
+                base_frontier=request.frontier,
+                capture_frontier=request.capture_frontier,
+                task_range=request.task_range,
                 telemetry=telemetry,
             )
             with make_backend(request.resolved_backend(), request.workers) as backend:

@@ -65,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="vectorized-kernel sub-batch override (execution "
                           "tuning; results differ bit-for-bit across values "
                           "but are statistically equivalent)")
+    run.add_argument("--task-range", type=int, nargs=2, default=None,
+                     metavar=("LO", "HI"),
+                     help="simulate only tasks [LO, HI) of the decomposition "
+                          "(a partial tally; fingerprinted separately)")
+    run.add_argument("--capture-frontier", action="store_true",
+                     help="store the reducer's span partials in --save so the "
+                          "archive can later seed a larger-budget run")
+    run.add_argument("--extend-from", type=str, default=None, metavar="FILE.npz",
+                     help="prime this run with the frontier saved in a "
+                          "smaller-budget archive of the same physics and "
+                          "simulate only the missing tasks (bit-identical to "
+                          "a from-scratch run; implies --capture-frontier)")
     run.add_argument("--save", type=str, default=None, metavar="FILE.npz")
     run.add_argument("--metrics", type=str, default=None, metavar="FILE.jsonl",
                      help="write structured telemetry events (spans, counters, "
@@ -286,7 +298,11 @@ def _cmd_run(args) -> int:
         boundary_mode=args.boundary_mode,
         metrics_path=args.metrics,
         progress=args.progress,
+        task_range=tuple(args.task_range) if args.task_range else None,
+        capture_frontier=args.capture_frontier or bool(args.extend_from),
     )
+    if args.extend_from:
+        request = _extend_from(request, args.extend_from)
     report = run(request)
     tally = report.tally
 
@@ -306,9 +322,52 @@ def _cmd_run(args) -> int:
     if args.metrics:
         print(f"# telemetry events written to {args.metrics}")
     if args.save:
-        path = save_tally(args.save, tally, provenance=request.provenance())
+        frontier = report.frontier
+        path = save_tally(
+            args.save, tally, provenance=request.provenance(), frontier=frontier
+        )
         print(f"# tally saved to {path}")
+        if frontier is not None and len(frontier):
+            print(f"# frontier: {len(frontier)} span(s) covering "
+                  f"{frontier.n_covered} task(s) — archive is budget-extendable")
     return 0
+
+
+def _extend_from(request, archive: str):
+    """Prime ``request`` with the frontier saved in a same-physics archive."""
+    from dataclasses import replace
+
+    from .io import archive_summary, load_frontier
+    from .service import physics_fingerprint
+
+    try:
+        summary = archive_summary(archive)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--extend-from {archive}: {exc}") from None
+    provenance = summary["provenance"] or {}
+    archived_physics = provenance.get("physics_fingerprint")
+    expected = physics_fingerprint(request)
+    if archived_physics != expected:
+        raise SystemExit(
+            f"--extend-from {archive}: archive physics fingerprint "
+            f"{archived_physics!r} does not match this request ({expected!r}); "
+            "an extension must share config, seed, kernel and task size"
+        )
+    frontier = load_frontier(archive)
+    if frontier is None or frontier.prefix_tasks == 0:
+        raise SystemExit(
+            f"--extend-from {archive}: archive carries no prefix frontier "
+            "(re-run the base with --capture-frontier)"
+        )
+    covered = frontier.prefix_tasks * request.resolved_task_size()
+    if covered >= request.n_photons:
+        raise SystemExit(
+            f"--extend-from {archive}: archive already covers "
+            f"{covered:,} photons; request a larger --photons budget"
+        )
+    print(f"# extending {archive}: {covered:,} photons cached, "
+          f"{request.n_photons - covered:,} to simulate")
+    return replace(request, frontier=frontier)
 
 
 def _cmd_banana(args) -> int:

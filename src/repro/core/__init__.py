@@ -8,7 +8,15 @@ from .fresnel import (
     specular_reflectance,
 )
 from .kernel import run_batch_scalar, trace_photon
-from .reduce import PairwiseReducer, SpanFolder, aligned_spans, reduce_all, span_level
+from .reduce import (
+    PairwiseReducer,
+    SpanFolder,
+    TallyFrontier,
+    aligned_spans,
+    prefix_spans,
+    reduce_all,
+    span_level,
+)
 from .rng import StreamFactory, spawn_rngs, task_rng
 from .roulette import RouletteConfig, roulette
 from .sampling import (
@@ -33,11 +41,13 @@ __all__ = [
     "SpanFolder",
     "StreamFactory",
     "Tally",
+    "TallyFrontier",
     "aligned_spans",
     "cos_transmitted",
     "critical_cosine",
     "fresnel_reflectance",
     "hg_pdf",
+    "prefix_spans",
     "reduce_all",
     "rotate_direction",
     "roulette",

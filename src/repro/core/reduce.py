@@ -46,7 +46,9 @@ from .tally import Tally
 __all__ = [
     "PairwiseReducer",
     "SpanFolder",
+    "TallyFrontier",
     "aligned_spans",
+    "prefix_spans",
     "reduce_all",
     "span_level",
 ]
@@ -97,6 +99,89 @@ def aligned_spans(n_tasks: int, span_size: int) -> list[tuple[int, int]]:
     return [(s, min(s + width, n_tasks)) for s in range(0, n_tasks, width)]
 
 
+def prefix_spans(k: int) -> list[tuple[int, int]]:
+    """Canonical aligned-span decomposition of the task prefix ``[0, k)``.
+
+    The spans follow the binary digits of ``k`` from most to least
+    significant (``k = 13`` → ``[0, 8), [8, 12), [12, 13)``): each span
+    ``[s, s + 2**l)`` starts at a multiple of its own power-of-two width,
+    so every span satisfies :func:`span_level` in the reduction tree of
+    *any* total task count ``n_tasks >= k``.  This is exactly the pending
+    set a :class:`PairwiseReducer` holds after being fed tasks ``[0, k)``
+    — independent of ``n_tasks`` — which is what makes a cached run's
+    frontier re-injectable into a larger run's tree (see
+    :class:`TallyFrontier`).
+    """
+    if k < 0:
+        raise ValueError(f"prefix length must be >= 0, got {k}")
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for level in range(k.bit_length() - 1, -1, -1):
+        width = 1 << level
+        if k & width:
+            spans.append((start, start + width))
+            start += width
+    return spans
+
+
+class TallyFrontier:
+    """Re-injectable partial reduction state: canonical span partials.
+
+    A frontier is a list of ``(start, stop, tally)`` span partials, each
+    the canonical subtree fold of the task range ``[start, stop)``.  A
+    frontier captured from a run of ``k`` full tasks (spans =
+    :func:`prefix_spans` ``(k)``) can be primed into the reduction tree of
+    any larger run via :meth:`PairwiseReducer.add_span`; folding the
+    missing tasks on top then yields a tally bit-identical to reducing all
+    tasks from scratch — the prefix-extension contract the serving cache
+    relies on.
+
+    Spans must be non-overlapping and sorted by ``start``.
+    """
+
+    __slots__ = ("spans",)
+
+    def __init__(self, spans: list[tuple[int, int, Tally]]) -> None:
+        prev = None
+        for start, stop, _tally in spans:
+            if not 0 <= start < stop:
+                raise ValueError(f"invalid frontier span [{start}, {stop})")
+            if prev is not None and start < prev:
+                raise ValueError("frontier spans must be sorted and disjoint")
+            prev = stop
+        self.spans = list(spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    @property
+    def n_covered(self) -> int:
+        """Total number of tasks covered by the frontier's spans."""
+        return sum(stop - start for start, stop, _ in self.spans)
+
+    @property
+    def prefix_tasks(self) -> int:
+        """Length ``k`` of the contiguous prefix ``[0, k)`` covered, or 0.
+
+        A frontier is only usable as a budget-extension base when its
+        spans tile ``[0, k)`` exactly; holes or a non-zero start make it a
+        partial-range export (still resumable, not a prefix).
+        """
+        expect = 0
+        for start, stop, _ in self.spans:
+            if start != expect:
+                return 0
+            expect = stop
+        return expect
+
+    def copy(self) -> "TallyFrontier":
+        """Deep copy (independent tallies, safe to mutate or re-inject)."""
+        return TallyFrontier([(s, e, t.copy()) for s, e, t in self.spans])
+
+
 class PairwiseReducer:
     """Fold task tallies into a canonical binary tree, in any arrival order.
 
@@ -116,7 +201,13 @@ class PairwiseReducer:
     it in place instead of allocating a copy at the first merge.
     """
 
-    def __init__(self, n_tasks: int, *, telemetry=None) -> None:
+    def __init__(
+        self,
+        n_tasks: int,
+        *,
+        telemetry=None,
+        capture_spans: "Iterable[tuple[int, int]] | None" = None,
+    ) -> None:
         if n_tasks <= 0:
             raise ValueError(f"n_tasks must be > 0, got {n_tasks}")
         self.n_tasks = n_tasks
@@ -128,6 +219,21 @@ class PairwiseReducer:
         self._n_added = 0
         self._pending_peak = 0
         self._seconds = 0.0
+        # Snapshot requests: tree node -> span; filled into _captured as the
+        # climb passes through each node with its complete subtree fold.
+        self._capture: dict[tuple[int, int], tuple[int, int]] = {}
+        self._captured: dict[tuple[int, int], Tally] = {}
+        self._capture_order: list[tuple[int, int]] = []
+        for start, stop in capture_spans or ():
+            level = span_level(start, stop, n_tasks)
+            if stop - start != 1 << level:
+                raise ValueError(
+                    f"capture span [{start}, {stop}) is clipped by n_tasks="
+                    f"{n_tasks}; only full-width spans can be captured"
+                )
+            self._capture[(level, start >> level)] = (start, stop)
+            self._capture_order.append((start, stop))
+        self._capture_order.sort()
 
     # -- introspection ---------------------------------------------------------
 
@@ -164,7 +270,17 @@ class PairwiseReducer:
     def _climb(self, level: int, slot: int, tally: Tally, owned: bool) -> None:
         """Insert a node and climb the tree, merging/promoting as far as possible."""
         node, node_owned = tally, owned
-        while (1 << level) < self.n_tasks:
+        while True:
+            if self._capture:
+                # A node position is only ever reached carrying the complete
+                # canonical fold of its task range (both children merged, or
+                # promoted past an empty tail sibling), so snapshotting here
+                # yields exactly the subtree partial the span denotes.
+                span = self._capture.pop((level, slot), None)
+                if span is not None:
+                    self._captured[span] = node.copy()
+            if (1 << level) >= self.n_tasks:
+                break  # at the root: park
             sibling = self._nodes.pop((level, slot ^ 1), None)
             if sibling is not None:
                 other, other_owned = sibling
@@ -240,6 +356,62 @@ class PairwiseReducer:
             tel.gauge("reduce.pending_peak", float(self._pending_peak))
             tel.count("reduce.seconds", self._seconds)
         return tally
+
+    # -- frontiers -------------------------------------------------------------
+
+    def prime(self, frontier: TallyFrontier) -> None:
+        """Re-inject a previously exported frontier's span partials.
+
+        Each span enters the tree at its canonical subtree node (via
+        :meth:`add_span`), so priming a cached run's frontier and then
+        adding only the missing tasks reproduces the from-scratch reduction
+        bit for bit.  The frontier's tallies are not mutated.
+        """
+        for start, stop, tally in frontier:
+            self.add_span(start, stop, tally, owned=False)
+
+    def captured_frontier(self) -> TallyFrontier:
+        """The frontier snapshotted at the requested ``capture_spans``.
+
+        Raises ``ValueError`` while any requested span has not yet formed
+        (its tasks are still outstanding).
+        """
+        if self._capture:
+            missing = sorted(self._capture.values())
+            raise ValueError(f"capture incomplete: spans {missing} not yet formed")
+        return TallyFrontier(
+            [(s, e, self._captured[(s, e)]) for s, e in self._capture_order]
+        )
+
+    def export_pending(self) -> TallyFrontier:
+        """Snapshot the current pending nodes as a re-injectable frontier.
+
+        Each pending node is the complete canonical fold of its (clipped)
+        task range, so the export can resume this same-``n_tasks``
+        reduction later via :meth:`prime`.  Tallies are deep-copied.
+        """
+        spans = []
+        for (level, slot), (tally, _owned) in self._nodes.items():
+            start = slot << level
+            stop = min(start + (1 << level), self.n_tasks)
+            spans.append((start, stop, tally.copy()))
+        spans.sort(key=lambda item: item[0])
+        return TallyFrontier(spans)
+
+    def partial_result(self) -> Tally:
+        """Merge the pending partials left-to-right without consuming them.
+
+        For an incomplete reduction (e.g. a partial task-range run) this is
+        the deterministic tally of everything added so far; for a complete
+        one it equals a copy of :meth:`result`.
+        """
+        if not self._nodes:
+            raise ValueError("no tallies added: nothing to reduce")
+        items = sorted(self._nodes.items(), key=lambda kv: kv[0][1] << kv[0][0])
+        out = items[0][1][0].copy()
+        for _key, (tally, _owned) in items[1:]:
+            out.imerge(tally)
+        return out
 
 
 class SpanFolder:

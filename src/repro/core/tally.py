@@ -222,6 +222,64 @@ class Tally:
             self.penetration_hist = self.penetration_hist.merge(other.penetration_hist)
         return self
 
+    def copy(self) -> "Tally":
+        """Bitwise-identical deep copy.
+
+        Snapshotting via ``merge`` with an empty tally is *not* safe here:
+        IEEE-754 addition with 0.0 is not the identity on the bit level
+        (``-0.0 + 0.0 == +0.0``), so a merged "copy" could differ from the
+        original by a sign bit.  This copy duplicates every field verbatim.
+        """
+        out = Tally(
+            n_layers=self.n_layers,
+            records=self.records,
+            n_launched=self.n_launched,
+            specular_weight=self.specular_weight,
+            diffuse_reflectance_weight=self.diffuse_reflectance_weight,
+            transmittance_weight=self.transmittance_weight,
+            lost_weight=self.lost_weight,
+            roulette_net_weight=self.roulette_net_weight,
+            detected_count=self.detected_count,
+            detected_weight=self.detected_weight,
+            absorbed_by_layer=self.absorbed_by_layer.copy(),
+            pathlength=RunningStat(
+                count=self.pathlength.count,
+                weight=self.pathlength.weight,
+                weighted_sum=self.pathlength.weighted_sum,
+                weighted_sumsq=self.pathlength.weighted_sumsq,
+                minimum=self.pathlength.minimum,
+                maximum=self.pathlength.maximum,
+            ),
+            penetration_depth=RunningStat(
+                count=self.penetration_depth.count,
+                weight=self.penetration_depth.weight,
+                weighted_sum=self.penetration_depth.weighted_sum,
+                weighted_sumsq=self.penetration_depth.weighted_sumsq,
+                minimum=self.penetration_depth.minimum,
+                maximum=self.penetration_depth.maximum,
+            ),
+        )
+        if self.absorption_grid is not None:
+            out.absorption_grid = self.absorption_grid.copy()
+        if self.path_grid is not None:
+            out.path_grid = self.path_grid.copy()
+        if self.pathlength_hist is not None:
+            out.pathlength_hist = Histogram(
+                edges=self.pathlength_hist.edges.copy(),
+                counts=self.pathlength_hist.counts.copy(),
+            )
+        if self.reflectance_rho_hist is not None:
+            out.reflectance_rho_hist = Histogram(
+                edges=self.reflectance_rho_hist.edges.copy(),
+                counts=self.reflectance_rho_hist.counts.copy(),
+            )
+        if self.penetration_hist is not None:
+            out.penetration_hist = Histogram(
+                edges=self.penetration_hist.edges.copy(),
+                counts=self.penetration_hist.counts.copy(),
+            )
+        return out
+
     def record_penetration(self, max_depths: np.ndarray) -> None:
         """Record lifetime maximum depths of terminated photons (one count each).
 

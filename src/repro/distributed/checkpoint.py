@@ -53,6 +53,8 @@ def run_key(
     kernel: str,
     span_size: int | None = None,
     sub_batch: int | None = None,
+    task_range: "tuple[int, int] | None" = None,
+    base_spans: "list[tuple[int, int]] | None" = None,
 ) -> dict:
     """The identity of a run's task decomposition.
 
@@ -61,8 +63,11 @@ def run_key(
     refused at resume time.  ``span_size`` changes the dispatch-unit (and
     therefore checkpoint-entry) granularity, and ``sub_batch`` changes the
     kernel's RNG consumption pattern — both must match for a resume to stay
-    bit-identical, but they enter the key only when set so checkpoints
-    written before these knobs existed keep resuming.
+    bit-identical.  ``task_range`` (a partial-range run) and ``base_spans``
+    (the coverage of a primed base frontier in a budget-extension delta run)
+    change *which* tasks the run executes, so a delta run's checkpoint can
+    only resume the same delta.  All four enter the key only when set, so
+    checkpoints written before these knobs existed keep resuming.
     """
     key = {
         "n_photons": int(n_photons),
@@ -74,6 +79,10 @@ def run_key(
         key["span_size"] = int(span_size)
     if sub_batch is not None:
         key["sub_batch"] = int(sub_batch)
+    if task_range is not None:
+        key["task_range"] = [int(task_range[0]), int(task_range[1])]
+    if base_spans is not None:
+        key["base_spans"] = [[int(s), int(e)] for s, e in base_spans]
     return key
 
 

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..core.config import SimulationConfig
-from ..core.reduce import PairwiseReducer
+from ..core.reduce import PairwiseReducer, TallyFrontier, prefix_spans
 from ..core.simulation import KernelName, split_photons
 from ..core.tally import Tally
 from .backends import Backend
@@ -102,6 +102,14 @@ class RunReport:
         Final metrics block (the :meth:`repro.observe.Telemetry.snapshot`
         of the run's registry) when the run was telemetered; ``None``
         otherwise.
+    frontier:
+        The run's re-injectable reduction frontier
+        (:class:`~repro.core.reduce.TallyFrontier`) when the run was
+        executed with ``capture_frontier=True``; ``None`` otherwise.  For a
+        complete run this is the canonical prefix-span decomposition of the
+        full-size tasks (the budget-extension base); for a partial
+        ``task_range`` run it is the pending-node export (resumable into a
+        same-decomposition reducer).
     """
 
     tally: Tally
@@ -111,6 +119,7 @@ class RunReport:
     speculative_duplicates: int = 0
     worker_health: dict[str, WorkerStats] = field(default_factory=dict)
     metrics: dict | None = None
+    frontier: TallyFrontier | None = None
 
     @property
     def n_tasks(self) -> int:
@@ -219,6 +228,26 @@ class DataManager:
         directory path for one.  Completed task results are persisted as
         they arrive and reloaded on the next :meth:`run` with the same
         run key, making a killed run resumable bit-identically.
+    base_frontier:
+        A :class:`~repro.core.reduce.TallyFrontier` from a previous run of
+        the same physics and task size (smaller budget, or a disjoint
+        ``task_range``).  Its span partials are primed into the reducer
+        before any task is dispatched and the covered task indices are
+        **not** re-simulated — the run executes only the missing tasks and
+        the merged tally is bit-identical to a from-scratch run of the full
+        decomposition (task RNG streams are keyed by ``(seed, task_index)``,
+        and the frontier spans are canonical subtree folds).  The frontier's
+        tallies are not mutated.  ``span_size`` is ignored (delta tasks are
+        dispatched per-task: spans could straddle the coverage boundary).
+    capture_frontier:
+        Snapshot the run's reduction frontier and attach it to
+        :attr:`RunReport.frontier`, making the result budget-extendable.
+        Costs one deep tally copy per frontier span (≤ ⌈log₂ n⌉ + 1 spans).
+    task_range:
+        Run only tasks ``[start, stop)`` of the canonical decomposition.
+        The tally is the deterministic partial fold of those tasks; the
+        report's frontier (with ``capture_frontier=True``) can seed a later
+        run that completes the remainder.  ``span_size`` is ignored.
     retain_task_tallies:
         Keep each task's tally on its :class:`TaskResult` (default, needed
         by :mod:`repro.analysis` and :mod:`repro.io.reports`).  Set
@@ -255,6 +284,9 @@ class DataManager:
     retain_task_tallies: bool = True
     span_size: int | None = None
     sub_batch: int | None = None
+    base_frontier: TallyFrontier | None = None
+    capture_frontier: bool = False
+    task_range: tuple[int, int] | None = None
     _retries: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -280,6 +312,21 @@ class DataManager:
             )
         if self.sub_batch is not None and self.sub_batch <= 0:
             raise ValueError(f"sub_batch must be > 0 or None, got {self.sub_batch}")
+        n_tasks = len(split_photons(self.n_photons, self.task_size))
+        if self.task_range is not None:
+            lo, hi = self.task_range
+            if not 0 <= lo < hi <= n_tasks:
+                raise ValueError(
+                    f"task_range [{lo}, {hi}) out of range for the "
+                    f"{n_tasks}-task decomposition of {self.n_photons} photons"
+                )
+        if self.base_frontier is not None:
+            for start, stop, _tally in self.base_frontier:
+                if not 0 <= start < stop <= n_tasks:
+                    raise ValueError(
+                        f"base_frontier span [{start}, {stop}) out of range "
+                        f"for the {n_tasks}-task decomposition"
+                    )
 
     def tasks(self) -> list[TaskSpec]:
         """The canonical task decomposition of this experiment."""
@@ -304,6 +351,12 @@ class DataManager:
             kernel=self.kernel,
             span_size=self.span_size,
             sub_batch=self.sub_batch,
+            task_range=self.task_range,
+            base_spans=(
+                [(s, e) for s, e, _t in self.base_frontier]
+                if self.base_frontier is not None
+                else None
+            ),
         )
 
     def _checkpoint_manager(self) -> CheckpointManager | None:
@@ -337,7 +390,18 @@ class DataManager:
         start = time.perf_counter()
         tel = self.telemetry
         tasks = self.tasks()
-        units = make_units(tasks, self.span_size)
+        base = self.base_frontier
+        covered: set[int] = set()
+        if base is not None:
+            for span_start, span_stop, _t in base:
+                covered.update(range(span_start, span_stop))
+        if base is None and self.task_range is None:
+            units = make_units(tasks, self.span_size)
+        else:
+            # Delta / partial-range runs dispatch per-task: worker-fold
+            # spans could straddle the base-coverage or range boundary.
+            lo, hi = self.task_range if self.task_range is not None else (0, len(tasks))
+            units = [t for t in tasks[lo:hi] if t.task_index not in covered]
         self._retries = 0
         health = WorkerHealth(blacklist_after=self.blacklist_after)
         ckpt = self._checkpoint_manager()
@@ -358,6 +422,7 @@ class DataManager:
                 wall_seconds=time.perf_counter() - start,
                 worker_health=health.snapshot(),
                 metrics=tel.snapshot() if tel is not None else None,
+                frontier=TallyFrontier([]) if self.capture_frontier else None,
             )
 
         n_tasks = len(tasks)
@@ -384,7 +449,22 @@ class DataManager:
         # A span result enters at its subtree node (add_span) — the worker
         # already performed that subtree's merges, bit-identically.
         retain = self.retain_task_tallies
-        reducer = PairwiseReducer(n_tasks, telemetry=tel)
+        # ``complete`` — this run (base coverage + its own tasks) reduces the
+        # whole decomposition, so result() applies and the prefix frontier
+        # can be captured; otherwise the run yields a deterministic partial.
+        # (Plain runs dispatch spans, so count per-task only on delta paths.)
+        if base is None and self.task_range is None:
+            complete = True
+        else:
+            complete = len(covered) + len(units) == n_tasks
+        capture_spans = None
+        if self.capture_frontier and complete:
+            k_full = self.n_photons // self.task_size
+            if k_full:
+                capture_spans = prefix_spans(k_full)
+        reducer = PairwiseReducer(n_tasks, telemetry=tel, capture_spans=capture_spans)
+        if base is not None:
+            reducer.prime(base)
 
         def fold(idx: int, result: TaskResult) -> None:
             # Release before feeding the reducer: with an owned leaf the
@@ -602,10 +682,15 @@ class DataManager:
         for fut in in_flight:
             fut.cancel()
 
-        ordered = [results[i] for i in range(n_units)]
+        ordered = [results[u.task_index] for u in units]
         # Every result was already folded in on arrival — no end-of-run
         # merge pass (and no "merge" span) remains.
-        tally = reducer.result()
+        tally = reducer.result() if complete else reducer.partial_result()
+        frontier = None
+        if self.capture_frontier:
+            frontier = (
+                reducer.captured_frontier() if complete else reducer.export_pending()
+            )
         if ckpt is not None:
             ckpt.flush()
         wall = time.perf_counter() - start
@@ -623,6 +708,7 @@ class DataManager:
             speculative_duplicates=speculative,
             worker_health=health.snapshot(),
             metrics=metrics,
+            frontier=frontier,
         )
 
 

@@ -5,6 +5,14 @@ header).  The format is explicitly versioned, self-describing and
 round-trips everything a :class:`~repro.core.tally.Tally` holds, so long
 simulations can be resumed by merging saved partial tallies — the on-disk
 analogue of what the paper's DataManager does with client results.
+
+Since format version 2 an archive can also carry the run's **reduction
+frontier** (:class:`~repro.core.reduce.TallyFrontier`): the canonical
+span partials of the reducer tree, stored alongside the final tally.  A
+frontier-bearing archive is *budget-extendable* — a later run with the
+same physics and a larger photon budget can prime the frontier back into
+its reducer and simulate only the missing tasks, producing a tally
+bit-identical to a from-scratch run (see ``repro.service.store``).
 """
 
 from __future__ import annotations
@@ -16,12 +24,14 @@ from pathlib import Path
 import numpy as np
 
 from ..core.config import RecordConfig
+from ..core.reduce import TallyFrontier
 from ..core.tally import Tally
 from ..detect.records import GridSpec, Histogram, RunningStat
 
-__all__ = ["save_tally", "load_tally"]
+__all__ = ["save_tally", "load_tally", "load_frontier", "archive_summary"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _grid_spec_to_dict(spec: GridSpec | None) -> dict | None:
@@ -44,25 +54,11 @@ def _stat_from_list(v: list[float]) -> RunningStat:
     return RunningStat(*v)
 
 
-def save_tally(path: str | Path, tally: Tally, provenance: dict | None = None) -> Path:
-    """Serialise a tally to ``path`` (``.npz``); returns the path written.
-
-    ``provenance`` is an optional JSON-serialisable dict describing how the
-    tally was produced (model name, seed, photon budget, package version,
-    boundary mode, …); it is embedded in the archive header and restored by
-    :func:`load_tally` as the ``provenance`` attribute, so an archive found
-    months later still says what run created it.
-
-    The write is atomic (temp file + ``os.replace``): readers — including a
-    resuming :class:`~repro.distributed.checkpoint.CheckpointManager` —
-    never observe a torn archive at ``path``, even if the writer is killed
-    mid-save.
-    """
-    path = Path(path)
+def _pack_tally(tally: Tally, arrays: dict, prefix: str = "") -> dict:
+    """Serialise one tally: scalars into the returned header dict, arrays
+    into ``arrays`` under ``prefix``-ed keys."""
     r = tally.records
     header = {
-        "format_version": _FORMAT_VERSION,
-        "provenance": provenance,
         "n_layers": tally.n_layers,
         "n_launched": tally.n_launched,
         "specular_weight": tally.specular_weight,
@@ -84,22 +80,109 @@ def save_tally(path: str | Path, tally: Tally, provenance: dict | None = None) -
             "penetration_bins": list(r.penetration_bins) if r.penetration_bins else None,
         },
     }
-    arrays: dict[str, np.ndarray] = {
-        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
-        "absorbed_by_layer": tally.absorbed_by_layer,
-    }
+    arrays[f"{prefix}absorbed_by_layer"] = tally.absorbed_by_layer
     if tally.absorption_grid is not None:
-        arrays["absorption_grid"] = tally.absorption_grid
+        arrays[f"{prefix}absorption_grid"] = tally.absorption_grid
     if tally.path_grid is not None:
-        arrays["path_grid"] = tally.path_grid
+        arrays[f"{prefix}path_grid"] = tally.path_grid
     for name, hist in (
         ("pathlength_hist", tally.pathlength_hist),
         ("reflectance_rho_hist", tally.reflectance_rho_hist),
         ("penetration_hist", tally.penetration_hist),
     ):
         if hist is not None:
-            arrays[f"{name}_edges"] = hist.edges
-            arrays[f"{name}_counts"] = hist.counts
+            arrays[f"{prefix}{name}_edges"] = hist.edges
+            arrays[f"{prefix}{name}_counts"] = hist.counts
+    return header
+
+
+def _unpack_tally(header: dict, data, prefix: str = "") -> Tally:
+    """Rebuild one tally from a header dict + the ``prefix``-ed arrays."""
+    rd = header["records"]
+    records = RecordConfig(
+        absorption_grid=_grid_spec_from_dict(rd["absorption_grid"]),
+        path_grid=_grid_spec_from_dict(rd["path_grid"]),
+        pathlength_bins=tuple(rd["pathlength_bins"]) if rd["pathlength_bins"] else None,
+        reflectance_rho_bins=(
+            tuple(rd["reflectance_rho_bins"]) if rd["reflectance_rho_bins"] else None
+        ),
+        penetration_bins=(
+            tuple(rd["penetration_bins"]) if rd["penetration_bins"] else None
+        ),
+    )
+    tally = Tally(
+        n_layers=header["n_layers"],
+        records=records,
+        n_launched=header["n_launched"],
+        specular_weight=header["specular_weight"],
+        diffuse_reflectance_weight=header["diffuse_reflectance_weight"],
+        transmittance_weight=header["transmittance_weight"],
+        lost_weight=header["lost_weight"],
+        roulette_net_weight=header["roulette_net_weight"],
+        detected_count=header["detected_count"],
+        detected_weight=header["detected_weight"],
+        absorbed_by_layer=data[f"{prefix}absorbed_by_layer"],
+        pathlength=_stat_from_list(header["pathlength"]),
+        penetration_depth=_stat_from_list(header["penetration_depth"]),
+    )
+    if f"{prefix}absorption_grid" in data:
+        tally.absorption_grid = data[f"{prefix}absorption_grid"]
+    if f"{prefix}path_grid" in data:
+        tally.path_grid = data[f"{prefix}path_grid"]
+    for name in ("pathlength_hist", "reflectance_rho_hist", "penetration_hist"):
+        if f"{prefix}{name}_edges" in data:
+            setattr(
+                tally,
+                name,
+                Histogram(
+                    edges=data[f"{prefix}{name}_edges"],
+                    counts=data[f"{prefix}{name}_counts"],
+                ),
+            )
+    return tally
+
+
+def save_tally(
+    path: str | Path,
+    tally: Tally,
+    provenance: dict | None = None,
+    *,
+    frontier: TallyFrontier | None = None,
+) -> Path:
+    """Serialise a tally to ``path`` (``.npz``); returns the path written.
+
+    ``provenance`` is an optional JSON-serialisable dict describing how the
+    tally was produced (model name, seed, photon budget, package version,
+    boundary mode, …); it is embedded in the archive header and restored by
+    :func:`load_tally` as the ``provenance`` attribute, so an archive found
+    months later still says what run created it.
+
+    ``frontier`` optionally stores the run's reducer span partials next to
+    the final tally, making the archive budget-extendable (restored by
+    :func:`load_frontier`; invisible to :func:`load_tally`).
+
+    The write is atomic (temp file + ``os.replace``): readers — including a
+    resuming :class:`~repro.distributed.checkpoint.CheckpointManager` —
+    never observe a torn archive at ``path``, even if the writer is killed
+    mid-save.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    header = _pack_tally(tally, arrays)
+    header["format_version"] = _FORMAT_VERSION
+    header["provenance"] = provenance
+    if frontier is not None and len(frontier):
+        span_headers = []
+        for i, (start, stop, partial) in enumerate(frontier):
+            sub = _pack_tally(partial, arrays, prefix=f"f{i}_")
+            sub["start"] = int(start)
+            sub["stop"] = int(stop)
+            span_headers.append(sub)
+        header["frontier"] = span_headers
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        **arrays,
+    }
     tmp = path.with_name(path.name + ".tmp")
     try:
         with open(tmp, "wb") as fh:
@@ -108,6 +191,26 @@ def save_tally(path: str | Path, tally: Tally, provenance: dict | None = None) -
     finally:
         tmp.unlink(missing_ok=True)
     return path
+
+
+def _read_header(data, path: Path) -> dict:
+    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    if header.get("format_version") not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported tally format version {header.get('format_version')!r}"
+        )
+    return header
+
+
+def _check_fingerprint(header: dict, path: Path, expected: str | None) -> None:
+    if expected is None:
+        return
+    found = (header.get("provenance") or {}).get("fingerprint")
+    if found != expected:
+        raise ValueError(
+            f"tally at {path} belongs to a different request: "
+            f"provenance fingerprint {found!r} != expected {expected!r}"
+        )
 
 
 def load_tally(path: str | Path, *, expected_fingerprint: str | None = None) -> Tally:
@@ -124,56 +227,50 @@ def load_tally(path: str | Path, *, expected_fingerprint: str | None = None) -> 
     """
     path = Path(path)
     with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported tally format version {header.get('format_version')!r}"
-            )
-        if expected_fingerprint is not None:
-            found = (header.get("provenance") or {}).get("fingerprint")
-            if found != expected_fingerprint:
-                raise ValueError(
-                    f"tally at {path} belongs to a different request: "
-                    f"provenance fingerprint {found!r} != expected "
-                    f"{expected_fingerprint!r}"
-                )
-        rd = header["records"]
-        records = RecordConfig(
-            absorption_grid=_grid_spec_from_dict(rd["absorption_grid"]),
-            path_grid=_grid_spec_from_dict(rd["path_grid"]),
-            pathlength_bins=tuple(rd["pathlength_bins"]) if rd["pathlength_bins"] else None,
-            reflectance_rho_bins=(
-                tuple(rd["reflectance_rho_bins"]) if rd["reflectance_rho_bins"] else None
-            ),
-            penetration_bins=(
-                tuple(rd["penetration_bins"]) if rd["penetration_bins"] else None
-            ),
-        )
-        tally = Tally(
-            n_layers=header["n_layers"],
-            records=records,
-            n_launched=header["n_launched"],
-            specular_weight=header["specular_weight"],
-            diffuse_reflectance_weight=header["diffuse_reflectance_weight"],
-            transmittance_weight=header["transmittance_weight"],
-            lost_weight=header["lost_weight"],
-            roulette_net_weight=header["roulette_net_weight"],
-            detected_count=header["detected_count"],
-            detected_weight=header["detected_weight"],
-            absorbed_by_layer=data["absorbed_by_layer"],
-            pathlength=_stat_from_list(header["pathlength"]),
-            penetration_depth=_stat_from_list(header["penetration_depth"]),
-        )
-        if "absorption_grid" in data:
-            tally.absorption_grid = data["absorption_grid"]
-        if "path_grid" in data:
-            tally.path_grid = data["path_grid"]
-        for name in ("pathlength_hist", "reflectance_rho_hist", "penetration_hist"):
-            if f"{name}_edges" in data:
-                setattr(
-                    tally,
-                    name,
-                    Histogram(edges=data[f"{name}_edges"], counts=data[f"{name}_counts"]),
-                )
+        header = _read_header(data, path)
+        _check_fingerprint(header, path, expected_fingerprint)
+        tally = _unpack_tally(header, data)
         tally.provenance = header.get("provenance")
     return tally
+
+
+def archive_summary(path: str | Path) -> dict:
+    """Cheap metadata peek: provenance + frontier span layout, no tallies.
+
+    Reads only the JSON header member of the archive.  Returns
+    ``{"provenance": dict | None, "frontier_spans": [(start, stop), ...]}``
+    (an empty span list when the archive carries no frontier).  Used by the
+    result store to rebuild its index from artifacts on disk.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        header = _read_header(data, path)
+    spans = [
+        (int(sub["start"]), int(sub["stop"]))
+        for sub in header.get("frontier") or []
+    ]
+    return {"provenance": header.get("provenance"), "frontier_spans": spans}
+
+
+def load_frontier(
+    path: str | Path, *, expected_fingerprint: str | None = None
+) -> TallyFrontier | None:
+    """Load the reduction frontier stored in an archive, if any.
+
+    Returns ``None`` when the archive carries no frontier (format-1
+    archives, or saves that did not request capture).  Like
+    :func:`load_tally`, ``expected_fingerprint`` makes the read
+    self-verifying against the provenance fingerprint.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        header = _read_header(data, path)
+        _check_fingerprint(header, path, expected_fingerprint)
+        span_headers = header.get("frontier")
+        if not span_headers:
+            return None
+        spans = []
+        for i, sub in enumerate(span_headers):
+            partial = _unpack_tally(sub, data, prefix=f"f{i}_")
+            spans.append((int(sub["start"]), int(sub["stop"]), partial))
+    return TallyFrontier(spans)

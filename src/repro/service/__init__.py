@@ -5,15 +5,21 @@ determinism contract of :mod:`repro.api` (same request → bit-identical
 tally on any substrate):
 
 * :mod:`~repro.service.fingerprint` — a versioned, canonical hash of a
-  :class:`~repro.api.RunRequest`, so semantically identical requests
-  collide on one address;
+  :class:`~repro.api.RunRequest`, split since version 2 into a *physics
+  fingerprint* (everything but the photon budget) plus ``n_photons``, so
+  semantically identical requests collide on one address and a smaller
+  cached run is addressable as a bitwise prefix of a larger one;
 * :mod:`~repro.service.store` — a content-addressed, size-bounded LRU
-  store of tally archives keyed by fingerprint, with self-verifying reads
-  and an index that rebuilds itself from the artifacts after corruption;
+  store of tally archives keyed by fingerprint, with self-verifying reads,
+  an index that rebuilds itself from the artifacts after corruption, and
+  prefix queries (largest cached budget below a request) over archives
+  that carry their reduction frontier;
 * :mod:`~repro.service.jobs` — an async job manager that answers repeats
   from the store, coalesces concurrent identical submissions onto one
-  running simulation, and executes cold work with bounded concurrency in
-  priority order, with per-flight retry/backoff and wall budgets;
+  running simulation, extends cached smaller-budget results by simulating
+  only the delta tasks (bit-identical to a cold run), and executes cold
+  work with bounded concurrency in priority order, with per-flight
+  retry/backoff and wall budgets;
 * :mod:`~repro.service.journal` — a crash-safe append-only job journal:
   transitions are fsynced before they are acknowledged and replayed on
   startup, resuming interrupted flights from their checkpoints
@@ -40,8 +46,10 @@ Example
 from .admission import AdmissionController, AdmissionDecision, estimate_cost
 from .fingerprint import (
     FINGERPRINT_VERSION,
+    canonical_physics,
     canonical_request,
     canonicalize,
+    physics_fingerprint,
     request_fingerprint,
 )
 from .http import ServiceServer, request_from_json, request_to_json
@@ -62,9 +70,11 @@ __all__ = [
     "OpenJob",
     "ResultStore",
     "ServiceServer",
+    "canonical_physics",
     "canonical_request",
     "canonicalize",
     "estimate_cost",
+    "physics_fingerprint",
     "request_from_json",
     "request_fingerprint",
     "request_to_json",

@@ -26,6 +26,20 @@ The canonical form is versioned: :data:`FINGERPRINT_VERSION` participates
 in the hash, so any future change to the canonicalization rules moves every
 fingerprint and a store populated under the old rules can never serve a
 wrong answer — only a cold one.
+
+Split addressing (version 2)
+----------------------------
+Task RNG streams are keyed by ``(seed, task_index)``, so a cached run is a
+strict bitwise prefix of any larger-budget run with the same physics and
+task size.  To exploit that, the address splits into a **physics
+fingerprint** (:func:`physics_fingerprint` — everything *except*
+``n_photons``) and the photon budget: the full :func:`request_fingerprint`
+hashes the physics fingerprint together with ``n_photons`` (and
+``task_range`` when a partial-range run is requested, since a partial
+tally is a different result).  The store indexes archives by physics key
+and can answer "largest cached budget ≤ requested" queries; the version
+bump to 2 moves every address, so stores written under version 1 go cold,
+never wrong.
 """
 
 from __future__ import annotations
@@ -48,14 +62,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "FINGERPRINT_VERSION",
     "canonicalize",
+    "canonical_physics",
     "canonical_request",
+    "physics_fingerprint",
     "request_fingerprint",
 ]
 
 #: Version of the canonicalization rules.  Bump on ANY change to
-#: :func:`canonicalize` or :func:`canonical_request` — the version is part
-#: of the hashed payload, so a bump invalidates every existing fingerprint.
-FINGERPRINT_VERSION = 1
+#: :func:`canonicalize`, :func:`canonical_physics` or
+#: :func:`canonical_request` — the version is part of the hashed payload,
+#: so a bump invalidates every existing fingerprint.  Version 2 split the
+#: address into physics fingerprint + photon budget.
+FINGERPRINT_VERSION = 2
 
 
 def _float_token(x: float) -> list:
@@ -136,18 +154,28 @@ def canonicalize(obj: object) -> object:
     raise TypeError(f"cannot canonicalize {name} for fingerprinting")
 
 
-def canonical_request(request: "RunRequest") -> dict:
-    """The canonical (physics-only) form of a request.
+def _digest(payload: dict) -> str:
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
-    Builds the full :class:`~repro.core.SimulationConfig` first, so a named
-    ``model`` request and the equivalent explicit-``config`` request reduce
-    to the same form, and every default is materialized.
+
+def canonical_physics(request: "RunRequest") -> dict:
+    """The canonical budget-independent form of a request.
+
+    Everything that determines per-task results — config, seed, kernel,
+    task size — but **not** ``n_photons``: two requests that differ only in
+    budget share this form, which is what lets the store treat a smaller
+    cached run as a bitwise prefix of a larger one.  Builds the full
+    :class:`~repro.core.SimulationConfig` first, so a named ``model``
+    request and the equivalent explicit-``config`` request reduce to the
+    same form, and every default is materialized.
     """
     from ..api import build_config
 
     return {
         "fingerprint_version": FINGERPRINT_VERSION,
-        "n_photons": int(request.n_photons),
         "seed": int(request.seed),
         "kernel": str(request.kernel),
         "task_size": int(request.resolved_task_size()),
@@ -155,17 +183,37 @@ def canonical_request(request: "RunRequest") -> dict:
     }
 
 
+def canonical_request(request: "RunRequest") -> dict:
+    """The canonical (physics + budget) form of a request.
+
+    The physics part participates as its own fingerprint, so the full
+    address is literally ``hash(physics_key, n_photons, task_range)`` —
+    the split the prefix-hit store exploits.  ``task_range`` (a partial
+    tally is a different result) joins the budget side; in-memory
+    execution knobs like a primed frontier do not participate at all
+    (priming never changes the final tally).
+    """
+    payload = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "physics": physics_fingerprint(request),
+        "n_photons": int(request.n_photons),
+    }
+    task_range = getattr(request, "task_range", None)
+    if task_range is not None:
+        payload["task_range"] = [int(task_range[0]), int(task_range[1])]
+    return payload
+
+
+def physics_fingerprint(request: "RunRequest") -> str:
+    """Stable hex fingerprint of a request's budget-independent physics."""
+    return _digest(canonical_physics(request))
+
+
 def request_fingerprint(request: "RunRequest") -> str:
-    """Stable hex fingerprint of the physics a request describes.
+    """Stable hex fingerprint of the result a request describes.
 
     Two requests share a fingerprint iff their canonical forms are equal —
     and by the decomposition contract, equal canonical forms guarantee
     bit-identical tallies on any substrate.
     """
-    payload = json.dumps(
-        canonical_request(request),
-        sort_keys=True,
-        separators=(",", ":"),
-        allow_nan=False,
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return _digest(canonical_request(request))

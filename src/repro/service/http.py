@@ -27,8 +27,26 @@ dependency, in keeping with the repo's stdlib+numpy discipline.  The API:
     coalesced submissions, admission decisions, queue depth, journal
     fsync latency, job latency, kernel counters).
 
+API v2
+------
+Every endpoint is also served under ``/v2/...``; the two prefixes are
+aliases for one release (the ``/v1`` spelling is a compatibility shim —
+see README).  The v2 *surface* applies to both prefixes:
+
+* **Uniform error envelope.**  Every error response carries
+  ``{"error": {"code": <machine-readable>, "message": <human-readable>,
+  "retry_after": <seconds|null>}}`` — admission rejections use the
+  controller's reason as the code (``rate``, ``inflight``, ``saturated``,
+  ``over_budget``) and still set the ``Retry-After`` header.
+* **Cache provenance.**  Job payloads report how the cache served them via
+  ``cache`` (``"exact"`` / ``"prefix"`` / ``"miss"``); prefix extensions
+  add ``base_fingerprint`` and ``delta_photons``.
+* **Partial-range runs.**  Requests may carry ``task_range: [lo, hi)``
+  (task indices) to simulate a slice of the budget; the partial tally is
+  cached under its own fingerprint.
+
 Responses are JSON except for the archive endpoint
-(``application/octet-stream``).  Errors carry ``{"error": ...}``.
+(``application/octet-stream``).
 """
 
 from __future__ import annotations
@@ -58,6 +76,7 @@ _REQUEST_FIELDS = frozenset({
     "gate",
     "boundary_mode",
     "retain_task_tallies",
+    "task_range",
 })
 
 
@@ -83,6 +102,18 @@ def request_from_json(payload: object) -> RunRequest:
         if not isinstance(gate, (list, tuple)) or len(gate) != 2:
             raise ValueError(f"gate must be a [l_min, l_max] pair, got {gate!r}")
         kwargs["gate"] = (float(gate[0]), float(gate[1]))
+    if kwargs.get("task_range") is not None:
+        task_range = kwargs["task_range"]
+        if (
+            not isinstance(task_range, (list, tuple))
+            or len(task_range) != 2
+            or not all(isinstance(v, int) for v in task_range)
+        ):
+            raise ValueError(
+                f"task_range must be a [lo, hi) pair of task indices, "
+                f"got {task_range!r}"
+            )
+        kwargs["task_range"] = (int(task_range[0]), int(task_range[1]))
     try:
         return RunRequest(**kwargs)
     except TypeError as exc:
@@ -99,13 +130,18 @@ def request_to_json(request: RunRequest) -> dict | None:
     (changes RNG consumption but not the fingerprint) or a non-local
     ``mode`` are therefore unexpressible — the journal records them
     without a payload and refuses to replay them, rather than silently
-    re-simulating something else.
+    re-simulating something else.  So is a request carrying an injected
+    ``frontier`` (it changes which tasks are simulated) or an explicit
+    ``capture_frontier`` flag (dropping it would silently produce a
+    non-extendable archive on replay).
     """
     if (
         request.model is None
         or request.records is not None
         or request.sub_batch is not None
         or request.mode != "local"
+        or request.frontier is not None
+        or request.capture_frontier
     ):
         return None
     payload = {}
@@ -148,16 +184,44 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
+        """The v2 error envelope: one shape for every failure.
+
+        ``retry_after`` (seconds) doubles as the ``Retry-After`` header,
+        rounded up to at least 1 for header validity.
+        """
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = (
+                f"{retry_after:.0f}" if retry_after >= 1 else "1"
+            )
+        self._send_json(
+            status,
+            {"error": {"code": code, "message": message,
+                       "retry_after": retry_after}},
+            headers=headers,
+        )
+
     # ------------------------------------------------------------------ routes
+    #: Path prefixes served; /v1 is a one-release compatibility alias of /v2.
+    _API_VERSIONS = ("v1", "v2")
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path.rstrip("/") != "/v1/runs":
-            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+        if self.path.rstrip("/") not in ("/v1/runs", "/v2/runs"):
+            self._send_error(404, "not_found", f"no such endpoint {self.path!r}")
             return
         server = self.server_ref
         if server.draining:
-            self._send_json(
-                503, {"error": "draining: not admitting new runs"},
-                headers={"Retry-After": "30"},
+            self._send_error(
+                503, "draining", "draining: not admitting new runs",
+                retry_after=30.0,
             )
             return
         try:
@@ -165,14 +229,13 @@ class _Handler(BaseHTTPRequestHandler):
             payload = json.loads(self.rfile.read(length) or b"{}")
             request = request_from_json(payload)
         except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_error(400, "bad_request", str(exc))
             return
         priority = self.headers.get("X-Priority", "normal")
         if priority not in PRIORITIES:
-            self._send_json(
-                400,
-                {"error": f"unknown priority {priority!r}; "
-                          f"choose from {sorted(PRIORITIES)}"},
+            self._send_error(
+                400, "bad_request",
+                f"unknown priority {priority!r}; choose from {sorted(PRIORITIES)}",
             )
             return
         client = self.headers.get("X-Client") or self.client_address[0]
@@ -182,22 +245,17 @@ class _Handler(BaseHTTPRequestHandler):
                 client, request, queue_depth=self.manager.queue_depth()
             )
             if not decision.admitted:
-                headers = {}
-                if decision.retry_after is not None:
-                    headers["Retry-After"] = f"{decision.retry_after:.0f}" \
-                        if decision.retry_after >= 1 else "1"
-                self._send_json(
+                self._send_error(
                     decision.status,
-                    {"error": f"admission refused: {decision.reason}",
-                     "reason": decision.reason,
-                     "retry_after": decision.retry_after},
-                    headers=headers,
+                    decision.reason or "rejected",
+                    f"admission refused: {decision.reason}",
+                    retry_after=decision.retry_after,
                 )
                 return
         try:
             job = self.manager.submit(request, priority=priority, client=client)
         except RuntimeError as exc:  # manager closed or draining
-            self._send_json(503, {"error": str(exc)}, headers={"Retry-After": "30"})
+            self._send_error(503, "unavailable", str(exc), retry_after=30.0)
             return
         if admission is not None:
             admission.track(client, job)
@@ -206,45 +264,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parts = [p for p in self.path.split("/") if p]
-        if parts == ["v1", "metrics"]:
+        version = parts[0] if parts else None
+        if version not in self._API_VERSIONS:
+            self._send_error(404, "not_found", f"no such endpoint {self.path!r}")
+        elif parts[1:] == ["metrics"]:
             self._send_json(200, self.manager.telemetry.snapshot())
-        elif parts == ["v1", "healthz"]:
+        elif parts[1:] == ["healthz"]:
             self._send_json(
                 200, {"ok": True, "draining": self.server_ref.draining}
             )
-        elif len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+        elif len(parts) == 3 and parts[1] == "runs":
             job = self.manager.job(parts[2])
             if job is None:
-                self._send_json(404, {"error": f"unknown job {parts[2]!r}"})
+                self._send_error(404, "not_found", f"unknown job {parts[2]!r}")
             else:
                 self._send_json(200, job.as_dict())
-        elif len(parts) == 3 and parts[:2] == ["v1", "results"]:
+        elif len(parts) == 3 and parts[1] == "results":
             self._get_result(parts[2])
         else:
-            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            self._send_error(404, "not_found", f"no such endpoint {self.path!r}")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         parts = [p for p in self.path.split("/") if p]
-        if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+        if len(parts) == 3 and parts[0] in self._API_VERSIONS and parts[1] == "runs":
             if self.manager.cancel(parts[2]):
                 self._send_json(200, self.manager.job(parts[2]).as_dict())
             else:
-                self._send_json(409, {"error": f"job {parts[2]!r} not cancellable"})
+                self._send_error(
+                    409, "not_cancellable", f"job {parts[2]!r} not cancellable"
+                )
         else:
-            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            self._send_error(404, "not_found", f"no such endpoint {self.path!r}")
 
     def _get_result(self, fingerprint: str) -> None:
         store = self.manager.store
         if store is None:
-            self._send_json(404, {"error": "server runs without a result store"})
+            self._send_error(404, "no_store", "server runs without a result store")
             return
         try:
             data = store.read_bytes(fingerprint)
         except ValueError as exc:  # malformed fingerprint
-            self._send_json(400, {"error": str(exc)})
+            self._send_error(400, "bad_request", str(exc))
             return
         if data is None:
-            self._send_json(404, {"error": f"no result for {fingerprint!r}"})
+            self._send_error(404, "not_found", f"no result for {fingerprint!r}")
             return
         self.manager.telemetry.count("service.results.served")
         self._send_bytes(data, "application/octet-stream")

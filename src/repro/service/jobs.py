@@ -12,10 +12,23 @@ time:
    submission attaches to the running flight instead of starting a second
    simulation: N concurrent identical submissions cost exactly one run, and
    every attached job receives the same result.
-3. **Execution** — cache-cold, un-coalesced work runs through the
-   :func:`repro.api.run` facade on a bounded thread pool (each run may
-   itself fan out over its own process/thread backend), in priority order
-   (``high`` before ``normal`` before ``low``; FIFO within a class).
+3. **Prefix extension** — a cache-cold request whose *physics* (everything
+   but ``n_photons``) matches a stored smaller-budget entry does not start
+   from photon zero: the flight primes the cached archive's reduction
+   frontier into its reducer and simulates only the missing tasks.  The
+   extended tally is bit-identical to a from-scratch run (task RNG streams
+   are keyed by ``(seed, task_index)``), so it is stored and served exactly
+   as a cold result would be.  Jobs report how they were served via
+   ``Job.cache`` (``"exact"`` / ``"prefix"`` / ``"miss"``).
+4. **Budget chaining** — a queued flight whose physics matches a smaller
+   in-flight budget waits for that flight instead of racing it cold: when
+   the base settles, the chained flight is released and (on success) finds
+   the freshly stored entry as its extension base, so concurrent
+   escalating budgets cost one full run plus deltas.
+5. **Execution** — remaining work runs through the :func:`repro.api.run`
+   facade on a bounded thread pool (each run may itself fan out over its
+   own process/thread backend), in priority order (``high`` before
+   ``normal`` before ``low``; FIFO within a class).
 
 Job lifecycle: ``queued → running → done | failed | cancelled``.  A queued
 job can be cancelled; cancelling every job of a flight cancels the flight
@@ -60,7 +73,7 @@ from ..api import RunRequest
 from ..core.tally import Tally
 from ..distributed.checkpoint import CheckpointError, CheckpointManager
 from ..observe import Telemetry
-from .fingerprint import request_fingerprint
+from .fingerprint import physics_fingerprint, request_fingerprint
 from .journal import JobJournal, OpenJob
 from .store import ResultStore
 
@@ -99,6 +112,14 @@ class Job:
     cache_hit: bool = False
     coalesced: bool = False
     recovered: bool = False
+    #: How the cache served this job: ``"exact"`` (stored result returned
+    #: as-is), ``"prefix"`` (a smaller-budget entry was extended by a delta
+    #: run), or ``"miss"`` (simulated from scratch).
+    cache: str = "miss"
+    #: Fingerprint of the cached entry a prefix extension started from.
+    base_fingerprint: str | None = None
+    #: Photons actually simulated by the delta run of a prefix extension.
+    delta_photons: int | None = None
     error: str | None = None
     created: float = field(default_factory=time.time)
     started: float | None = None
@@ -127,12 +148,13 @@ class Job:
 
     def as_dict(self) -> dict:
         """JSON-serialisable view (the HTTP status payload)."""
-        return {
+        out = {
             "id": self.id,
             "fingerprint": self.fingerprint,
             "state": self.state,
             "priority": _PRIORITY_NAMES.get(self.priority, str(self.priority)),
             "cache_hit": self.cache_hit,
+            "cache": self.cache,
             "coalesced": self.coalesced,
             "recovered": self.recovered,
             "error": self.error,
@@ -140,11 +162,17 @@ class Job:
             "started": self.started,
             "finished": self.finished,
         }
+        if self.base_fingerprint is not None:
+            out["base_fingerprint"] = self.base_fingerprint
+            out["delta_photons"] = self.delta_photons
+        return out
 
     # -- transitions (called by the manager, under its lock) -----------------
     def _complete(self, tally: Tally, *, cache_hit: bool = False) -> None:
         self.tally = tally
         self.cache_hit = cache_hit
+        if cache_hit:
+            self.cache = "exact"
         self.state = JobState.DONE
         self.finished = time.time()
         self._done.set()
@@ -165,12 +193,22 @@ class _Flight:
     """One in-flight simulation and the jobs riding on it."""
 
     def __init__(
-        self, fingerprint: str, request: RunRequest, priority: int = 1
+        self,
+        fingerprint: str,
+        request: RunRequest,
+        priority: int = 1,
+        physics: str | None = None,
     ) -> None:
         self.fingerprint = fingerprint
         self.request = request
         self.priority = priority
+        #: Physics fingerprint (budget-independent); ``None`` when the
+        #: request is not eligible for prefix extension or chaining.
+        self.physics = physics
         self.jobs: list[Job] = []
+        #: Flights with the same physics and a larger budget, parked until
+        #: this flight settles (see ``JobManager._release_chained``).
+        self.chained: list["_Flight"] = []
         self.started = False
         self.started_at: float | None = None
         self.cancelled = False
@@ -354,6 +392,9 @@ class JobManager:
 
     def _enqueue(self, job: Job, request: RunRequest) -> None:
         """Attach ``job`` to an existing flight or open (and queue) a new one."""
+        physics = (
+            physics_fingerprint(request) if self._extendable(request) else None
+        )
         with self._lock:
             flight = self._flights.get(job.fingerprint)
             if flight is not None:
@@ -364,14 +405,71 @@ class JobManager:
                 self.telemetry.count("service.coalesced")
                 self._update_queue_depth()
                 return
-            flight = _Flight(job.fingerprint, request, priority=job.priority)
+            flight = _Flight(
+                job.fingerprint, request, priority=job.priority, physics=physics
+            )
             flight.jobs.append(job)
             self._flights[job.fingerprint] = flight
+            base = self._chain_base(flight)
+            if base is not None:
+                # Same physics, smaller budget already in flight: wait for
+                # it instead of racing it cold — when it settles (and its
+                # result is stored) this flight is released and extends it.
+                base.chained.append(flight)
+                self.telemetry.count("service.chained")
+                self._update_queue_depth()
+                return
             heapq.heappush(self._pending, (flight.priority, next(self._seq), flight))
             self._update_queue_depth()
         # One pool slot per pending flight; each slot runs the *highest
         # priority* flight pending at the moment it frees up.
         self._executor.submit(self._run_next)
+
+    def _extendable(self, request: RunRequest) -> bool:
+        """Can this request participate in prefix extension / chaining?"""
+        return (
+            self.store is not None
+            and request.mode == "local"
+            and request.task_range is None
+            and request.frontier is None
+        )
+
+    def _chain_base(self, flight: _Flight) -> "_Flight | None":
+        """The best in-flight extension base for ``flight`` (lock held).
+
+        Largest strictly-smaller budget with the same physics; ``None``
+        when nothing qualifies (the flight then runs independently).
+        """
+        if flight.physics is None:
+            return None
+        best = None
+        for other in self._flights.values():
+            if (
+                other is flight
+                or other.cancelled
+                or other.physics != flight.physics
+                or other.request.n_photons >= flight.request.n_photons
+            ):
+                continue
+            if best is None or other.request.n_photons > best.request.n_photons:
+                best = other
+        return best
+
+    def _release_chained(self, flight: _Flight) -> None:
+        """Queue the flights parked behind ``flight`` (call without lock)."""
+        with self._lock:
+            chained, flight.chained = flight.chained, []
+            if self._closed:
+                return  # close() cancels their riders via its flight sweep
+            for waiter in chained:
+                heapq.heappush(
+                    self._pending, (waiter.priority, next(self._seq), waiter)
+                )
+        for _ in chained:
+            try:
+                self._executor.submit(self._run_next)
+            except RuntimeError:  # raced close(): riders cancelled there
+                return
 
     def _resolve_priority(self, priority: str | int) -> int:
         if isinstance(priority, int):
@@ -403,6 +501,7 @@ class JobManager:
         other riders.  When the last rider of a not-yet-started flight
         cancels, the flight itself is cancelled.
         """
+        released: _Flight | None = None
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.state in JobState.TERMINAL:
@@ -415,8 +514,11 @@ class JobManager:
                     if not flight.started:
                         self._flights.pop(job.fingerprint, None)
                         self._idle.notify_all()
+                        released = flight
             job._cancel()
             self._update_queue_depth()
+        if released is not None:
+            self._release_chained(released)
         self._journal_record("cancelled", job_id)
         self.telemetry.count("service.jobs.cancelled")
         return True
@@ -503,10 +605,14 @@ class JobManager:
 
     # ------------------------------------------------------------- execution
     @staticmethod
-    def _default_runner(request: RunRequest) -> Tally:
+    def _default_runner(request: RunRequest):
+        # Returns the full RunReport so the captured frontier travels with
+        # the tally into the store.  Custom runners may still return a bare
+        # Tally; _execute accepts either (such results just aren't
+        # budget-extendable).
         from .. import api
 
-        return api.run(request).tally
+        return api.run(request)
 
     def _run_next(self) -> None:
         """Pool entry point: execute the highest-priority pending flight."""
@@ -520,6 +626,7 @@ class JobManager:
                     self._flights.pop(flight.fingerprint, None)
                     self._update_queue_depth()
                     self._idle.notify_all()
+                self._release_chained(flight)
                 continue  # this slot serves the next pending flight, if any
             self._execute(flight)
             return
@@ -531,8 +638,11 @@ class JobManager:
         manager = CheckpointManager(self.journal.checkpoint_dir(fingerprint))
         return replace(request, checkpoint=manager, resume=manager.exists)
 
-    def _run_once(self, request: RunRequest) -> Tally:
-        """One runner attempt, bounded by ``job_timeout`` when set."""
+    def _run_once(self, request: RunRequest):
+        """One runner attempt, bounded by ``job_timeout`` when set.
+
+        Returns whatever the runner returns (a RunReport or a bare Tally).
+        """
         if self.job_timeout is None:
             return self._runner(request)
         box: dict = {}
@@ -540,7 +650,7 @@ class JobManager:
 
         def target() -> None:
             try:
-                box["tally"] = self._runner(request)
+                box["result"] = self._runner(request)
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 box["error"] = exc
             finally:
@@ -555,70 +665,148 @@ class JobManager:
             raise JobTimeout(f"flight exceeded job_timeout={self.job_timeout}s")
         if "error" in box:
             raise box["error"]
-        return box["tally"]
+        return box["result"]
+
+    def _plan(self, flight: _Flight):
+        """Decide how to serve a flight *at execute time*.
+
+        Planning is deferred to execution (not submission) so a flight
+        released from a budget chain sees the entry its base just stored.
+        Returns ``(run_request, exact_tally, base_fp, base_photons,
+        delta_photons)``:
+
+        * ``exact_tally`` non-None: the store answered the exact address
+          meanwhile (e.g. another process shares the directory) — settle
+          without running.
+        * ``base_fp`` non-None: prefix hit.  ``run_request`` carries the
+          cached frontier and simulates only the delta tasks.
+        * otherwise a cold run; extendable requests still get
+          ``capture_frontier=True`` so the stored entry can seed future
+          extensions.
+        """
+        run_request = flight.request
+        if flight.physics is None:
+            return run_request, None, None, None, None
+        exact = self.store.get(flight.fingerprint)
+        if exact is not None:
+            return run_request, exact, None, None, None
+        hit = self.store.best_prefix(flight.physics, flight.request.n_photons)
+        if hit is not None:
+            fp, cached_photons, _frontier_tasks = hit
+            frontier = self.store.get_frontier(fp)
+            covered = frontier.prefix_tasks if frontier is not None else 0
+            if covered > 0:
+                task_size = flight.request.resolved_task_size()
+                delta = flight.request.n_photons - covered * task_size
+                run_request = replace(
+                    flight.request, frontier=frontier, capture_frontier=True
+                )
+                self.telemetry.count("service.prefix.hits")
+                self.telemetry.count("service.prefix.delta_photons", delta)
+                self.telemetry.count(
+                    "service.prefix.photons_saved", covered * task_size
+                )
+                return run_request, None, fp, cached_photons, delta
+        return replace(flight.request, capture_frontier=True), None, None, None, None
 
     def _execute(self, flight: _Flight) -> None:
         with self._lock:
-            if flight.cancelled:
+            cancelled = flight.cancelled
+            if cancelled:
                 self._flights.pop(flight.fingerprint, None)
                 self._update_queue_depth()
                 self._idle.notify_all()
-                return
-            flight.started = True
-            flight.started_at = now = time.time()
-            job_ids = [job.id for job in flight.jobs]
-            for job in flight.jobs:
-                job.state = JobState.RUNNING
-                job.started = now
-        for job_id in job_ids:
-            self._journal_record("started", job_id)
+            else:
+                flight.started = True
+                flight.started_at = now = time.time()
+                job_ids = [job.id for job in flight.jobs]
+                for job in flight.jobs:
+                    job.state = JobState.RUNNING
+                    job.started = now
+        if cancelled:
+            self._release_chained(flight)
+            return
         t0 = time.perf_counter()
-        tally: Tally | None = None
+        run_request, tally, base_fp, base_photons, delta_photons = self._plan(flight)
         error: str | None = None
-        wiped_stale_checkpoint = False
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                request = self._checkpointed(flight.request, flight.fingerprint)
-                if request.telemetry is None:
-                    # Attach the service telemetry so kernel/dispatch spans
-                    # and photon counters land in the same registry as the
-                    # service metrics (a request carrying its own telemetry
-                    # keeps it).
-                    request = replace(request, telemetry=self.telemetry)
-                tally = self._run_once(request)
-                error = None
-                if self.store is not None:
-                    self.store.put(
-                        flight.fingerprint, tally, provenance=flight.request.provenance()
+        exact_hit = tally is not None
+        if exact_hit:
+            # Exact hit at execute time: serve from the store, no run.
+            self.telemetry.count("service.cache.hits")
+        else:
+            derivation: dict = {}
+            if base_fp is not None:
+                derivation = {
+                    "cache": "prefix",
+                    "base_fingerprint": base_fp,
+                    "base_n_photons": base_photons,
+                    "delta_photons": delta_photons,
+                }
+            for job_id in job_ids:
+                self._journal_record("started", job_id, **derivation)
+            wiped_stale_checkpoint = False
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    request = self._checkpointed(run_request, flight.fingerprint)
+                    if request.telemetry is None:
+                        # Attach the service telemetry so kernel/dispatch
+                        # spans and photon counters land in the same registry
+                        # as the service metrics (a request carrying its own
+                        # telemetry keeps it).
+                        request = replace(request, telemetry=self.telemetry)
+                    out = self._run_once(request)
+                    tally = out.tally if hasattr(out, "tally") else out
+                    frontier_out = getattr(out, "frontier", None)
+                    error = None
+                    if self.store is not None:
+                        provenance = flight.request.provenance()
+                        if base_fp is not None:
+                            provenance["derived_from"] = {
+                                "base_fingerprint": base_fp,
+                                "base_n_photons": base_photons,
+                                "delta_photons": delta_photons,
+                            }
+                        self.store.put(
+                            flight.fingerprint,
+                            tally,
+                            provenance=provenance,
+                            physics=flight.physics,
+                            n_photons=(
+                                flight.request.n_photons
+                                if flight.physics is not None
+                                else None
+                            ),
+                            frontier=frontier_out,
+                        )
+                    break
+                except CheckpointError:
+                    # The durable checkpoint belongs to a different
+                    # decomposition (e.g. an execution knob outside the
+                    # fingerprint changed, or the extension base moved since
+                    # the crash).  Wipe it once and restart the flight.
+                    if self.journal is None or wiped_stale_checkpoint:
+                        error = "CheckpointError: stale checkpoint"
+                        break
+                    wiped_stale_checkpoint = True
+                    attempt -= 1
+                    self.telemetry.count("service.journal.stale_checkpoints")
+                    shutil.rmtree(
+                        self.journal.checkpoint_dir(flight.fingerprint),
+                        ignore_errors=True,
                     )
-                break
-            except CheckpointError:
-                # The durable checkpoint belongs to a different decomposition
-                # (e.g. an execution knob outside the fingerprint changed).
-                # Wipe it once and restart the flight from photon zero.
-                if self.journal is None or wiped_stale_checkpoint:
-                    error = "CheckpointError: stale checkpoint"
-                    break
-                wiped_stale_checkpoint = True
-                attempt -= 1
-                self.telemetry.count("service.journal.stale_checkpoints")
-                shutil.rmtree(
-                    self.journal.checkpoint_dir(flight.fingerprint),
-                    ignore_errors=True,
-                )
-            except JobTimeout as exc:
-                error = f"{type(exc).__name__}: {exc}"
-                break  # a wall-budget overrun is not transient: no retry
-            except Exception as exc:  # noqa: BLE001 - failures settle the job
-                error = f"{type(exc).__name__}: {exc}"
-                with self._lock:
-                    aborting = self._closed or flight.cancelled
-                if attempt >= self.max_attempts or aborting:
-                    break
-                self.telemetry.count("service.jobs.retried")
-                time.sleep(min(self.retry_backoff * 2 ** (attempt - 1), 30.0))
+                except JobTimeout as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    break  # a wall-budget overrun is not transient: no retry
+                except Exception as exc:  # noqa: BLE001 - failures settle the job
+                    error = f"{type(exc).__name__}: {exc}"
+                    with self._lock:
+                        aborting = self._closed or flight.cancelled
+                    if attempt >= self.max_attempts or aborting:
+                        break
+                    self.telemetry.count("service.jobs.retried")
+                    time.sleep(min(self.retry_backoff * 2 ** (attempt - 1), 30.0))
         with self._lock:
             self._flights.pop(flight.fingerprint, None)
             riders = list(flight.jobs)
@@ -631,15 +819,20 @@ class JobManager:
             # acknowledgement a client can observe must already be durable.
             # The finally keeps a journal I/O failure from stranding waiters.
             if error is None and tally is not None:
+                if base_fp is not None:
+                    job.cache = "prefix"
+                    job.base_fingerprint = base_fp
+                    job.delta_photons = delta_photons
                 try:
                     self._journal_record("done", job.id)
                 finally:
-                    job._complete(tally)
+                    job._complete(tally, cache_hit=exact_hit)
             else:
                 try:
                     self._journal_record("failed", job.id)
                 finally:
                     job._fail(error or "no result")
+        self._release_chained(flight)
         if error is None and self.journal is not None:
             # The run is durable in the store; its checkpoints are spent.
             shutil.rmtree(

@@ -144,8 +144,15 @@ class JobJournal:
         request: dict | None = None,
         priority: int | None = None,
         client: str | None = None,
+        **extra,
     ) -> None:
-        """Append one transition and make it durable before returning."""
+        """Append one transition and make it durable before returning.
+
+        ``extra`` fields (JSON-serialisable) ride along in the record —
+        e.g. a ``started`` record for a prefix-extension delta run carries
+        ``cache``/``base_fingerprint``/``delta_photons``.  Replay ignores
+        fields it does not know, so extras never break recovery.
+        """
         payload: dict = {"v": _RECORD_VERSION, "event": event, "job_id": job_id,
                          "ts": time.time()}
         if fingerprint is not None:
@@ -156,6 +163,9 @@ class JobJournal:
             payload["priority"] = priority
         if client is not None:
             payload["client"] = client
+        for key, value in extra.items():
+            if value is not None:
+                payload[key] = value
         line = json.dumps(payload, separators=(",", ":")) + "\n"
         with self._lock:
             if self._file.closed:

@@ -19,9 +19,19 @@ Properties
   being served as a wrong answer.
 * **Bounded size.**  ``max_bytes`` caps the total archive footprint with
   least-recently-used eviction (access order, not insertion order).
-* **Observability.**  Hits, misses, evictions, foreign rejections and the
-  current byte footprint flow into a :class:`~repro.observe.Telemetry`
-  when one is attached.
+* **Prefix addressing.**  Entries carry their **physics fingerprint**
+  (budget-independent; see :func:`repro.service.physics_fingerprint`) and
+  photon budget, so :meth:`ResultStore.best_prefix` answers "largest
+  cached budget below the requested one" queries.  An archive saved with
+  its reduction frontier (:meth:`put` ``frontier=...``) is
+  *budget-extendable*: :meth:`get_frontier` restores the span partials a
+  delta run primes into its reducer.  Storing a larger budget for the
+  same physics **supersedes** dominated smaller-budget entries (same
+  physics, smaller budget, no wider frontier) — the larger archive
+  answers every query the smaller one could.
+* **Observability.**  Hits, misses, evictions, supersessions, foreign
+  rejections and the current byte footprint flow into a
+  :class:`~repro.observe.Telemetry` when one is attached.
 """
 
 from __future__ import annotations
@@ -33,8 +43,9 @@ import threading
 import time
 from pathlib import Path
 
+from ..core.reduce import TallyFrontier
 from ..core.tally import Tally
-from ..io.results import load_tally, save_tally
+from ..io.results import archive_summary, load_frontier, load_tally, save_tally
 from ..observe import Telemetry
 
 __all__ = ["ResultStore"]
@@ -42,10 +53,20 @@ __all__ = ["ResultStore"]
 logger = logging.getLogger(__name__)
 
 _INDEX_NAME = "index.json"
-_INDEX_VERSION = 1
+_INDEX_VERSION = 2
 
 #: Default size bound: 1 GiB of tally archives.
 DEFAULT_MAX_BYTES = 1 << 30
+
+
+def _prefix_tasks(spans) -> int:
+    """Tasks covered by a contiguous-from-zero span list, else 0."""
+    expect = 0
+    for start, stop in spans:
+        if start != expect:
+            return 0
+        expect = stop
+    return expect
 
 
 class ResultStore:
@@ -112,11 +133,28 @@ class ResultStore:
                 st = path.stat()
             except OSError:
                 continue
-            entries[fingerprint] = {
+            entry = {
                 "bytes": st.st_size,
                 "created": st.st_mtime,
                 "last_access": st.st_mtime,
+                "physics": None,
+                "n_photons": None,
+                "frontier_tasks": 0,
             }
+            # Recover the prefix-addressing metadata from the archive
+            # header; an unreadable artifact still gets a bare entry —
+            # the first get() self-verifies and evicts it if foreign.
+            try:
+                summary = archive_summary(path)
+            except (ValueError, OSError, KeyError, json.JSONDecodeError):
+                summary = None
+            if summary is not None:
+                prov = summary["provenance"] or {}
+                entry["physics"] = prov.get("physics_fingerprint")
+                if prov.get("task_range") is None:
+                    entry["n_photons"] = prov.get("n_photons")
+                entry["frontier_tasks"] = _prefix_tasks(summary["frontier_spans"])
+            entries[fingerprint] = entry
         logger.warning(
             "result store %s: index unreadable, rebuilt from %d artifact(s)",
             self.root, len(entries),
@@ -214,12 +252,28 @@ class ResultStore:
             return data
 
     def put(
-        self, fingerprint: str, tally: Tally, provenance: dict | None = None
+        self,
+        fingerprint: str,
+        tally: Tally,
+        provenance: dict | None = None,
+        *,
+        physics: str | None = None,
+        n_photons: int | None = None,
+        frontier: TallyFrontier | None = None,
     ) -> Path:
         """Persist ``tally`` under ``fingerprint``; returns the archive path.
 
         The fingerprint is stamped into the archive provenance (overriding
         any caller-supplied value) so :meth:`get` can verify the artifact.
+
+        ``physics`` / ``n_photons`` register the entry for
+        :meth:`best_prefix` queries; ``frontier`` stores the run's reducer
+        span partials in the archive, making the entry budget-extendable
+        (restored via :meth:`get_frontier`).  A new entry **supersedes**
+        same-physics entries with a smaller budget whose frontier covers no
+        more tasks than the new one — the larger archive answers every
+        query the smaller one could, so the smaller is freed immediately.
+
         Eviction runs after the write: least-recently-used artifacts are
         deleted until the store fits ``max_bytes`` again (the newly written
         artifact is kept even if it alone exceeds the bound — a cache that
@@ -227,18 +281,89 @@ class ResultStore:
         """
         provenance = dict(provenance or {})
         provenance["fingerprint"] = fingerprint
+        if physics is not None:
+            provenance.setdefault("physics_fingerprint", physics)
+        frontier_tasks = frontier.prefix_tasks if frontier is not None else 0
         with self._lock:
-            path = save_tally(self.path(fingerprint), tally, provenance=provenance)
+            path = save_tally(
+                self.path(fingerprint), tally, provenance=provenance,
+                frontier=frontier,
+            )
             now = time.time()
             self._index[fingerprint] = {
                 "bytes": path.stat().st_size,
                 "created": now,
                 "last_access": now,
+                "physics": physics,
+                "n_photons": int(n_photons) if n_photons is not None else None,
+                "frontier_tasks": frontier_tasks,
             }
+            if physics is not None and n_photons is not None:
+                for fp, entry in list(self._index.items()):
+                    if (
+                        fp != fingerprint
+                        and entry.get("physics") == physics
+                        and entry.get("n_photons") is not None
+                        and entry["n_photons"] < n_photons
+                        and entry.get("frontier_tasks", 0) <= frontier_tasks
+                    ):
+                        self._evict(fp)
+                        self._count("service.store.superseded")
             self._evict_over_budget(keep=fingerprint)
             self._save_index()
             self._set_bytes_gauge()
             return path
+
+    def best_prefix(
+        self, physics: str, n_photons: int
+    ) -> tuple[str, int, int] | None:
+        """The best budget-extension base for a ``(physics, n_photons)`` query.
+
+        Returns ``(fingerprint, cached_n_photons, frontier_tasks)`` for the
+        largest-budget entry with the same physics fingerprint, a strictly
+        smaller budget, and a usable (non-empty, prefix-shaped) stored
+        frontier — or ``None`` when no such entry exists.  An exact-budget
+        hit is :meth:`get`'s business, not this method's.
+        """
+        with self._lock:
+            best: tuple[str, int, int] | None = None
+            for fp, entry in self._index.items():
+                cached = entry.get("n_photons")
+                if (
+                    entry.get("physics") != physics
+                    or cached is None
+                    or cached >= n_photons
+                    or entry.get("frontier_tasks", 0) <= 0
+                ):
+                    continue
+                if best is None or cached > best[1]:
+                    best = (fp, cached, entry["frontier_tasks"])
+            return best
+
+    def get_frontier(self, fingerprint: str) -> TallyFrontier | None:
+        """The stored reduction frontier for an entry, or ``None``.
+
+        Self-verifying like :meth:`get`: a foreign or unreadable artifact
+        is evicted and reported as a miss, never served as a base.
+        """
+        with self._lock:
+            entry = self._index.get(fingerprint)
+            if entry is None or not self.path(fingerprint).exists():
+                return None
+            try:
+                frontier = load_frontier(
+                    self.path(fingerprint), expected_fingerprint=fingerprint
+                )
+            except (ValueError, OSError, KeyError):
+                self._evict(fingerprint)
+                self._save_index()
+                self._count("service.store.foreign")
+                return None
+            if frontier is None:
+                return None
+            entry["last_access"] = time.time()
+            self._save_index()
+            return frontier
 
     def clear(self) -> None:
         with self._lock:

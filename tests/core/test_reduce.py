@@ -12,11 +12,13 @@ import pytest
 
 from repro.core import (
     PairwiseReducer,
+    TallyFrontier,
     RecordConfig,
     SimulationConfig,
     SpanFolder,
     Tally,
     aligned_spans,
+    prefix_spans,
     reduce_all,
     span_level,
     task_rng,
@@ -311,3 +313,119 @@ class TestTelemetry:
         assert gauges["reduce.pending_peak"] >= 1
         assert gauges["reduce.pending_peak"] <= math.ceil(math.log2(6))
         assert counters["reduce.seconds"] >= 0.0
+
+
+class TestPrefixSpans:
+    def test_binary_decomposition(self):
+        assert prefix_spans(0) == []
+        assert prefix_spans(1) == [(0, 1)]
+        assert prefix_spans(13) == [(0, 8), (8, 12), (12, 13)]
+
+    @pytest.mark.parametrize("k", list(range(1, 40)))
+    def test_tiles_prefix_with_aligned_power_of_two_spans(self, k):
+        spans = prefix_spans(k)
+        cursor = 0
+        for start, stop in spans:
+            width = stop - start
+            assert start == cursor
+            assert width & (width - 1) == 0  # power of two
+            assert start % width == 0  # tree-aligned
+            cursor = stop
+        assert cursor == k
+
+    def test_smaller_prefix_spans_nest_inside_larger(self):
+        # The invariant extension relies on: every capture span of a smaller
+        # budget lies entirely inside one capture span of any larger budget,
+        # so a primed k1-frontier folds cleanly up to the k2 positions.
+        for k1 in range(1, 32):
+            for k2 in range(k1 + 1, 33):
+                larger = prefix_spans(k2)
+                for start, stop in prefix_spans(k1):
+                    assert any(s <= start and stop <= e for s, e in larger), (
+                        k1, k2, (start, stop),
+                    )
+
+
+class TestTallyFrontier:
+    def test_validation(self, rich_config):
+        (t,) = make_tallies(rich_config, 1)
+        with pytest.raises(ValueError):
+            TallyFrontier([(2, 2, t)])  # empty span
+        with pytest.raises(ValueError):
+            TallyFrontier([(0, 2, t), (1, 3, t)])  # overlap
+        with pytest.raises(ValueError):
+            TallyFrontier([(2, 4, t), (0, 2, t)])  # unsorted
+
+    def test_prefix_tasks(self, rich_config):
+        a, b = make_tallies(rich_config, 2)
+        assert TallyFrontier([(0, 2, a), (2, 3, b)]).prefix_tasks == 3
+        assert TallyFrontier([(1, 2, a)]).prefix_tasks == 0  # hole at 0
+        assert TallyFrontier([(0, 2, a), (3, 4, b)]).prefix_tasks == 0  # gap
+        assert TallyFrontier([]).prefix_tasks == 0
+
+
+class TestFrontierCapture:
+    @pytest.mark.parametrize("k,n", [(1, 2), (2, 5), (3, 8), (5, 13), (8, 9)])
+    def test_extension_is_bit_identical(self, rich_config, k, n):
+        tallies = make_tallies(rich_config, n)
+        base = PairwiseReducer(k, capture_spans=prefix_spans(k))
+        for i in range(k):
+            base.add(i, copy.deepcopy(tallies[i]), owned=True)
+        base.result()
+        frontier = base.captured_frontier()
+        assert frontier.prefix_tasks == k
+
+        cold = PairwiseReducer(n)
+        for i in range(n):
+            cold.add(i, copy.deepcopy(tallies[i]), owned=True)
+        baseline = cold.result()
+
+        order = list(range(k, n))
+        random.Random(1).shuffle(order)
+        extended = PairwiseReducer(n)
+        extended.prime(frontier)
+        for i in order:
+            extended.add(i, copy.deepcopy(tallies[i]), owned=True)
+        assert extended.result() == baseline
+
+    def test_captured_frontier_requires_completion(self, rich_config):
+        tallies = make_tallies(rich_config, 2)
+        reducer = PairwiseReducer(2, capture_spans=prefix_spans(2))
+        reducer.add(0, tallies[0])
+        with pytest.raises(ValueError, match="incomplete"):
+            reducer.captured_frontier()
+
+    def test_export_pending_resumes_bit_identically(self, rich_config):
+        tallies = make_tallies(rich_config, 6)
+        cold = PairwiseReducer(6)
+        for i, t in enumerate(tallies):
+            cold.add(i, copy.deepcopy(t), owned=True)
+        baseline = cold.result()
+
+        first = PairwiseReducer(6)
+        for i in (0, 1, 4):
+            first.add(i, copy.deepcopy(tallies[i]), owned=True)
+        pending = first.export_pending()
+        second = PairwiseReducer(6)
+        second.prime(pending)
+        for i in (2, 3, 5):
+            second.add(i, copy.deepcopy(tallies[i]), owned=True)
+        assert second.result() == baseline
+
+    def test_capture_with_remainder_task(self, rich_config):
+        # n_photons not divisible by task_size: the tree has one more task
+        # than the capture decomposition covers (the clipped remainder).
+        tallies = make_tallies(rich_config, 5)
+        reducer = PairwiseReducer(5, capture_spans=prefix_spans(4))
+        for i, t in enumerate(tallies):
+            reducer.add(i, copy.deepcopy(t), owned=True)
+        reducer.result()
+        frontier = reducer.captured_frontier()
+        assert [(s, e) for s, e, _ in frontier] == [(0, 4)]
+        assert frontier.prefix_tasks == 4
+
+    def test_clipped_capture_span_rejected(self):
+        # (4, 7) is a legal clipped tail span of a 7-task tree, but clipped
+        # spans are not canonical across budgets so capture refuses them.
+        with pytest.raises(ValueError, match="clipped"):
+            PairwiseReducer(7, capture_spans=[(4, 7)])

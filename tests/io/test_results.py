@@ -137,3 +137,76 @@ class TestProvenance:
             load_tally(path, expected_fingerprint="ab12" * 16)
         # Without the check, the archive still loads fine.
         assert load_tally(path).provenance is None
+
+
+class TestFrontierPersistence:
+    def _frontier(self, fast_config, n=3):
+        from repro.core.reduce import TallyFrontier
+
+        tallies = [run_batch_vectorized(fast_config, 100, task_rng(0, i)) for i in range(n)]
+        return TallyFrontier([(0, 2, tallies[0].merge(tallies[1])), (2, 3, tallies[2])])
+
+    def test_roundtrip_bitwise(self, tmp_path, fast_config):
+        from repro.io import load_frontier
+
+        tally = Simulation(fast_config).run(100, seed=0)
+        frontier = self._frontier(fast_config)
+        path = save_tally(tmp_path / "t.npz", tally, frontier=frontier)
+        loaded = load_frontier(path)
+        assert [(s, e) for s, e, _ in loaded] == [(0, 2), (2, 3)]
+        for (s1, e1, t1), (s2, e2, t2) in zip(frontier, loaded):
+            assert t1 == t2  # Tally.__eq__ is bitwise-strict
+
+    def test_frontier_is_invisible_to_load_tally(self, tmp_path, fast_config):
+        tally = Simulation(fast_config).run(100, seed=0)
+        path = save_tally(
+            tmp_path / "t.npz", tally, frontier=self._frontier(fast_config)
+        )
+        loaded = load_tally(path)
+        assert loaded == tally
+
+    def test_frontierless_archive_loads_none(self, tmp_path, fast_config):
+        from repro.io import load_frontier
+
+        tally = Simulation(fast_config).run(100, seed=0)
+        assert load_frontier(save_tally(tmp_path / "t.npz", tally)) is None
+
+    def test_frontier_read_is_self_verifying(self, tmp_path, fast_config):
+        from repro.io import load_frontier
+
+        tally = Simulation(fast_config).run(100, seed=0)
+        path = save_tally(
+            tmp_path / "t.npz",
+            tally,
+            provenance={"fingerprint": "ab12" * 16},
+            frontier=self._frontier(fast_config),
+        )
+        assert load_frontier(path, expected_fingerprint="ab12" * 16) is not None
+        with pytest.raises(ValueError, match="different request"):
+            load_frontier(path, expected_fingerprint="cd34" * 16)
+
+
+class TestArchiveSummary:
+    def test_reports_provenance_and_span_layout(self, tmp_path, fast_config):
+        from repro.core.reduce import TallyFrontier
+        from repro.io import archive_summary
+
+        tally = Simulation(fast_config).run(100, seed=0)
+        extra = run_batch_vectorized(fast_config, 100, task_rng(0, 0))
+        path = save_tally(
+            tmp_path / "t.npz",
+            tally,
+            provenance={"n_photons": 100},
+            frontier=TallyFrontier([(0, 1, extra)]),
+        )
+        summary = archive_summary(path)
+        assert summary["provenance"] == {"n_photons": 100}
+        assert summary["frontier_spans"] == [(0, 1)]
+
+    def test_plain_archive(self, tmp_path, fast_config):
+        from repro.io import archive_summary
+
+        tally = Simulation(fast_config).run(100, seed=0)
+        summary = archive_summary(save_tally(tmp_path / "t.npz", tally))
+        assert summary["provenance"] is None
+        assert summary["frontier_spans"] == []

@@ -16,8 +16,14 @@ import pytest
 from repro.api import DEFAULT_TASK_SIZE, RunRequest, build_config
 from repro.core import RecordConfig, SimulationConfig
 from repro.detect import PathlengthGate
+from repro.core.reduce import TallyFrontier
 from repro.service import fingerprint as fp_mod
-from repro.service import canonical_request, canonicalize, request_fingerprint
+from repro.service import (
+    canonical_request,
+    canonicalize,
+    physics_fingerprint,
+    request_fingerprint,
+)
 from repro.sources import PencilBeam
 from repro.tissue import white_matter
 
@@ -97,6 +103,48 @@ class TestSplits:
         before = request_fingerprint(make_request())
         monkeypatch.setattr(fp_mod, "FINGERPRINT_VERSION", fp_mod.FINGERPRINT_VERSION + 1)
         assert request_fingerprint(make_request()) != before
+
+    def test_version_bump_changes_physics_fingerprint(self, make_request, monkeypatch):
+        before = physics_fingerprint(make_request())
+        monkeypatch.setattr(fp_mod, "FINGERPRINT_VERSION", fp_mod.FINGERPRINT_VERSION + 1)
+        assert physics_fingerprint(make_request()) != before
+
+
+class TestSplitAddressing:
+    """Version 2: physics fingerprint + budget, the prefix-hit contract."""
+
+    def test_budgets_share_physics_key(self, make_request):
+        small = make_request(n_photons=400)
+        large = make_request(n_photons=4000)
+        assert physics_fingerprint(small) == physics_fingerprint(large)
+        assert request_fingerprint(small) != request_fingerprint(large)
+
+    def test_physics_change_splits_physics_key(self, make_request):
+        base = physics_fingerprint(make_request())
+        for overrides in (
+            dict(seed=8),
+            dict(task_size=100),
+            dict(kernel="scalar"),
+            dict(model="adult_head"),
+        ):
+            assert physics_fingerprint(make_request(**overrides)) != base, overrides
+
+    def test_task_range_enters_request_fingerprint(self, make_request):
+        full = make_request()
+        partial = make_request(task_range=(0, 1))
+        assert request_fingerprint(partial) != request_fingerprint(full)
+        assert physics_fingerprint(partial) == physics_fingerprint(full)
+
+    def test_execution_frontier_fields_do_not_split(self, make_request):
+        base = request_fingerprint(make_request())
+        primed = make_request(frontier=TallyFrontier([]), capture_frontier=True)
+        assert request_fingerprint(primed) == base
+
+    def test_canonical_request_embeds_physics_fingerprint(self, make_request):
+        request = make_request()
+        payload = canonical_request(request)
+        assert payload["physics"] == physics_fingerprint(request)
+        assert payload["n_photons"] == request.n_photons
 
 
 class TestCanonicalize:

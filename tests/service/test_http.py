@@ -8,10 +8,13 @@ counter increments, zero new kernel spans).
 
 from __future__ import annotations
 
+import io
 import json
 import time
 import urllib.error
 import urllib.request
+
+import numpy as np
 
 import pytest
 
@@ -20,6 +23,7 @@ from repro.io import load_tally
 from repro.observe import Telemetry
 from repro.service import (
     JobManager,
+    request_to_json,
     JobState,
     ResultStore,
     ServiceServer,
@@ -160,7 +164,8 @@ class TestErrors:
     def test_unknown_job_404(self, server):
         code, payload = self._status_of(lambda: _get(f"{server.url}/v1/runs/nope"))
         assert code == 404
-        assert "unknown job" in payload["error"]
+        assert payload["error"]["code"] == "not_found"
+        assert "unknown job" in payload["error"]["message"]
 
     def test_missing_result_404(self, server):
         code, _ = self._status_of(
@@ -179,7 +184,8 @@ class TestErrors:
             lambda: _post(f"{server.url}/v1/runs", {"model": "white_matter", "fotons": 5})
         )
         assert code == 400
-        assert "fotons" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "fotons" in payload["error"]["message"]
 
     def test_invalid_model_400(self, server):
         code, _ = self._status_of(
@@ -216,6 +222,29 @@ class TestRequestFromJson:
         with pytest.raises(ValueError, match="gate"):
             request_from_json({"model": "white_matter", "gate": [1.0]})
 
+    def test_task_range_round_trips(self):
+        # Journal replay depends on this: a partial-range request must
+        # re-materialise with the identical range (same fingerprint).
+        request = request_from_json(dict(REQUEST_BODY, task_range=[1, 2]))
+        assert request.task_range == (1, 2)
+        wire = request_to_json(request)
+        assert wire["task_range"] == [1, 2]
+        assert request_from_json(wire) == request
+
+    def test_bad_task_range_rejected(self):
+        for bad in ([1], [0.5, 2], "0:2", [1, 2, 3]):
+            with pytest.raises(ValueError, match="task_range"):
+                request_from_json(dict(REQUEST_BODY, task_range=bad))
+
+    def test_frontier_requests_are_unexpressible(self):
+        from dataclasses import replace
+
+        from repro.core.reduce import TallyFrontier
+
+        request = request_from_json(dict(REQUEST_BODY))
+        assert request_to_json(replace(request, frontier=TallyFrontier([]))) is None
+        assert request_to_json(replace(request, capture_frontier=True)) is None
+
 
 class TestBackpressure:
     """Admission control speaks HTTP: 429/503 with Retry-After, never a hang."""
@@ -235,8 +264,9 @@ class TestBackpressure:
                 lambda: _post(f"{server.url}/v1/runs", REQUEST_BODY)
             )
         assert code == 429
-        assert payload["reason"] == "over_budget"
-        assert "admission refused" in payload["error"]
+        assert payload["error"]["code"] == "over_budget"
+        assert "admission refused" in payload["error"]["message"]
+        assert payload["error"]["retry_after"] is None
         assert headers.get("Retry-After") is None  # retrying cannot succeed
 
     def test_rate_limited_429_with_retry_after(self, tmp_path):
@@ -253,7 +283,7 @@ class TestBackpressure:
                 lambda: _post(f"{server.url}/v1/runs", dict(REQUEST_BODY, seed=8))
             )
         assert code == 429
-        assert payload["reason"] == "rate"
+        assert payload["error"]["code"] == "rate"
         assert float(headers["Retry-After"]) >= 1
 
     def test_saturated_queue_503(self, tmp_path):
@@ -279,7 +309,7 @@ class TestBackpressure:
                     lambda: _post(f"{server.url}/v1/runs", dict(REQUEST_BODY, seed=8))
                 )
                 assert code == 503
-                assert payload["reason"] == "saturated"
+                assert payload["error"]["code"] == "saturated"
                 assert headers["Retry-After"] is not None
                 release.set()
         finally:
@@ -317,7 +347,7 @@ class TestBackpressure:
                 code, _, payload = self._refused(
                     lambda: post_as(url, dict(REQUEST_BODY, seed=8), "alice")
                 )
-                assert code == 429 and payload["reason"] == "inflight"
+                assert code == 429 and payload["error"]["code"] == "inflight"
                 # A different identity is not throttled by alice's quota.
                 assert post_as(url, dict(REQUEST_BODY, seed=9), "bob")[0] == 202
                 release.set()
@@ -348,7 +378,7 @@ class TestPriorities:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(req, timeout=10)
         assert err.value.code == 400
-        assert "urgent" in json.loads(err.value.read())["error"]
+        assert "urgent" in json.loads(err.value.read())["error"]["message"]
 
 
 class TestGracefulShutdown:
@@ -381,6 +411,96 @@ class TestGracefulShutdown:
             t for t in threading.enumerate()
             if t.name.startswith(("repro-service", "repro-http"))
         ]
+
+
+def _archive_parts(raw: bytes) -> tuple[dict, dict]:
+    """Split an .npz archive into (header sans provenance, array bytes)."""
+    with np.load(io.BytesIO(raw)) as z:
+        arrays = {k: z[k].tobytes() for k in z.files if k != "header"}
+        header = json.loads(bytes(z["header"]).decode("utf-8"))
+    header.pop("provenance", None)
+    return header, arrays
+
+
+class TestApiV2:
+    # Budgets kept small: white_matter photons are expensive, and this
+    # class runs three simulations (base, delta, cold comparator).
+    SMALL = dict(REQUEST_BODY, n_photons=100, task_size=50)
+    LARGE = dict(REQUEST_BODY, n_photons=200, task_size=50)
+
+    def test_v2_paths_alias_v1(self, server):
+        status, job = _post(f"{server.url}/v2/runs", REQUEST_BODY)
+        assert status == 202
+        done = _poll_done(server.url, job["id"])
+        assert done["cache"] == "miss"
+        _, via_v2 = _get(f"{server.url}/v2/runs/{job['id']}")
+        _, via_v1 = _get(f"{server.url}/v1/runs/{job['id']}")
+        assert via_v2 == via_v1
+        assert _get_bytes(
+            f"{server.url}/v2/results/{done['fingerprint']}"
+        ) == _get_bytes(f"{server.url}/v1/results/{done['fingerprint']}")
+
+    def test_prefix_extension_is_byte_identical_to_cold_run(self, server, tmp_path):
+        """The PR's acceptance test: a budget-extended archive must match a
+        from-scratch full-budget archive byte for byte, provenance aside."""
+        _, base = _post(f"{server.url}/v2/runs", self.SMALL)
+        base_done = _poll_done(server.url, base["id"], timeout=120)
+        assert base_done["cache"] == "miss"
+
+        _, ext = _post(f"{server.url}/v2/runs", self.LARGE)
+        ext_done = _poll_done(server.url, ext["id"], timeout=120)
+        assert ext_done["state"] == JobState.DONE
+        assert ext_done["cache"] == "prefix"
+        assert ext_done["base_fingerprint"] == base_done["fingerprint"]
+        assert ext_done["delta_photons"] == 100
+        extended = _get_bytes(f"{server.url}/v2/results/{ext_done['fingerprint']}")
+
+        cold_store = ResultStore(tmp_path / "cold-store")
+        with ServiceServer(JobManager(cold_store, max_workers=2)) as cold_server:
+            _, cold = _post(f"{cold_server.url}/v2/runs", self.LARGE)
+            cold_done = _poll_done(cold_server.url, cold["id"], timeout=120)
+            assert cold_done["cache"] == "miss"
+            cold_bytes = _get_bytes(
+                f"{cold_server.url}/v2/results/{cold_done['fingerprint']}"
+            )
+
+        assert ext_done["fingerprint"] == cold_done["fingerprint"]
+        ext_header, ext_arrays = _archive_parts(extended)
+        cold_header, cold_arrays = _archive_parts(cold_bytes)
+        assert ext_header == cold_header  # tally + frontier layout
+        assert ext_arrays == cold_arrays  # every array byte-identical
+
+    def test_prefix_provenance_in_archive(self, server):
+        _, base = _post(f"{server.url}/v2/runs", self.SMALL)
+        base_done = _poll_done(server.url, base["id"], timeout=120)
+        _, ext = _post(f"{server.url}/v2/runs", self.LARGE)
+        ext_done = _poll_done(server.url, ext["id"], timeout=120)
+        raw = _get_bytes(f"{server.url}/v2/results/{ext_done['fingerprint']}")
+        with np.load(io.BytesIO(raw)) as z:
+            header = json.loads(bytes(z["header"]).decode("utf-8"))
+        derived = header["provenance"]["derived_from"]
+        assert derived["base_fingerprint"] == base_done["fingerprint"]
+        assert derived["delta_photons"] == 100
+
+    def test_task_range_over_the_wire(self, server):
+        _, job = _post(f"{server.url}/v2/runs", dict(REQUEST_BODY, task_range=[0, 1]))
+        done = _poll_done(server.url, job["id"])
+        assert done["state"] == JobState.DONE
+        raw = _get_bytes(f"{server.url}/v2/results/{done['fingerprint']}")
+        with np.load(io.BytesIO(raw)) as z:
+            header = json.loads(bytes(z["header"]).decode("utf-8"))
+        assert header["n_launched"] == 200  # one 200-photon task of the budget
+
+    def test_bad_task_range_gets_enveloped_400(self, server):
+        try:
+            _post(f"{server.url}/v2/runs", dict(REQUEST_BODY, task_range="0:2"))
+        except urllib.error.HTTPError as exc:
+            payload = json.loads(exc.read())
+            assert exc.code == 400
+            assert payload["error"]["code"] == "bad_request"
+            assert "task_range" in payload["error"]["message"]
+        else:
+            pytest.fail("expected 400")
 
 
 def test_smoke_end_to_end(tmp_path):

@@ -197,3 +197,152 @@ class TestTelemetryAttachment:
             manager.submit(make_request(telemetry=own)).result(timeout=60)
         kinds = {e["event"] for e in own.sink.events}
         assert "span_start" in kinds
+
+
+class TestPrefixExtension:
+    """Budget-extending cache: smaller cached run + delta = larger run."""
+
+    def test_larger_budget_extends_cached_smaller_run(self, tmp_path, make_request):
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1) as manager:
+            small = manager.submit(make_request(n_photons=400))
+            small.result(timeout=60)
+            assert small.cache == "miss"
+            large = manager.submit(make_request(n_photons=800))
+            extended = large.result(timeout=60)
+        assert large.cache == "prefix"
+        assert large.base_fingerprint == small.fingerprint
+        assert large.delta_photons == 400
+        assert not large.cache_hit  # exact-hit flag stays exact-only
+        assert _counter(manager, "service.prefix.hits") == 1
+        # The acceptance criterion: bit-identical to a from-scratch run.
+        with JobManager(max_workers=1) as cold_manager:
+            cold = cold_manager.submit(make_request(n_photons=800)).result(timeout=60)
+        assert extended == cold  # bitwise Tally.__eq__
+
+    def test_extension_result_is_stored_and_extendable_again(
+        self, tmp_path, make_request
+    ):
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1) as manager:
+            manager.submit(make_request(n_photons=400)).result(timeout=60)
+            manager.submit(make_request(n_photons=800)).result(timeout=60)
+            third = manager.submit(make_request(n_photons=1200))
+            third.result(timeout=60)
+        assert third.cache == "prefix"
+        assert third.delta_photons == 400  # only the new tasks, not 1200
+
+    def test_as_dict_reports_cache_provenance(self, tmp_path, make_request):
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1) as manager:
+            manager.submit(make_request(n_photons=400)).result(timeout=60)
+            job = manager.submit(make_request(n_photons=800))
+            job.result(timeout=60)
+            payload = job.as_dict()
+            exact = manager.submit(make_request(n_photons=800))
+            exact_payload = exact.as_dict()
+        assert payload["cache"] == "prefix"
+        assert payload["base_fingerprint"] == job.base_fingerprint
+        assert payload["delta_photons"] == 400
+        assert exact_payload["cache"] == "exact"
+        assert exact_payload["cache_hit"] is True
+        assert "base_fingerprint" not in exact_payload
+
+    def test_derivation_stamped_into_stored_provenance(self, tmp_path, make_request):
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1) as manager:
+            base = manager.submit(make_request(n_photons=400))
+            base.result(timeout=60)
+            job = manager.submit(make_request(n_photons=800))
+            job.result(timeout=60)
+            stored = store.get(job.fingerprint)
+        derived = stored.provenance["derived_from"]
+        assert derived["base_fingerprint"] == base.fingerprint
+        assert derived["base_n_photons"] == 400
+        assert derived["delta_photons"] == 400
+
+    def test_different_physics_never_extends(self, tmp_path, make_request):
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1) as manager:
+            manager.submit(make_request(n_photons=400)).result(timeout=60)
+            other = manager.submit(make_request(n_photons=800, seed=99))
+            other.result(timeout=60)
+        assert other.cache == "miss"
+        assert other.base_fingerprint is None
+
+    def test_bare_tally_runner_disables_extension_but_still_works(
+        self, tmp_path, make_request
+    ):
+        # Legacy custom runners return a Tally, not a RunReport: no frontier
+        # is captured, so nothing is extendable — but everything still runs.
+        def bare(request):
+            return run(request).tally
+
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1, runner=bare) as manager:
+            manager.submit(make_request(n_photons=400)).result(timeout=60)
+            large = manager.submit(make_request(n_photons=800))
+            large.result(timeout=60)
+        assert large.cache == "miss"
+        assert store.best_prefix("0" * 64, 10**9) is None
+
+
+class TestBudgetChaining:
+    """Escalating concurrent budgets: one full run + deltas, no races."""
+
+    def test_queued_larger_budget_chains_to_inflight_smaller(
+        self, tmp_path, make_request
+    ):
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1) as manager:
+            small = manager.submit(make_request(n_photons=400))
+            large = manager.submit(make_request(n_photons=800))
+            extended = large.result(timeout=120)
+            small.result(timeout=10)
+        assert _counter(manager, "service.chained") == 1
+        assert large.cache == "prefix"
+        assert large.delta_photons == 400
+        with JobManager(max_workers=1) as cold_manager:
+            cold = cold_manager.submit(make_request(n_photons=800)).result(timeout=60)
+        assert extended == cold
+
+    def test_cancelled_base_releases_chained_flight(self, tmp_path, make_request):
+        release = threading.Event()
+
+        def gated(request):
+            release.wait(30)
+            return run(request)
+
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1, runner=gated) as manager:
+            blocker = manager.submit(make_request(seed=5))  # occupies the slot
+            small = manager.submit(make_request(n_photons=400))
+            large = manager.submit(make_request(n_photons=800))
+            assert _counter(manager, "service.chained") == 1
+            assert manager.cancel(small.id)
+            release.set()
+            extended = large.result(timeout=120)
+            blocker.result(timeout=60)
+        # The chained flight was released and ran cold (no base was stored).
+        assert large.cache == "miss"
+        assert extended.n_launched == 800
+
+    def test_chained_flight_failure_does_not_strand_waiters(
+        self, tmp_path, make_request
+    ):
+        calls = []
+
+        def failing_large(request):
+            calls.append(request.n_photons)
+            if request.n_photons >= 800:
+                raise RuntimeError("delta exploded")
+            return run(request)
+
+        store = ResultStore(tmp_path / "store")
+        with JobManager(store, max_workers=1, runner=failing_large) as manager:
+            small = manager.submit(make_request(n_photons=400))
+            large = manager.submit(make_request(n_photons=800))
+            small.result(timeout=60)
+            assert large.wait(60)
+        assert large.state == JobState.FAILED
+        assert "delta exploded" in large.error

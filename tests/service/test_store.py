@@ -135,7 +135,7 @@ class TestLRUEviction:
     def test_index_is_valid_json_throughout(self, tmp_path, tally):
         store, _ = self._filled(tmp_path, tally, n=3)
         raw = json.loads((store.root / "index.json").read_text())
-        assert raw["index_version"] == 1
+        assert raw["index_version"] == 2
         assert set(raw["entries"]) == set(store.fingerprints())
 
 
@@ -171,7 +171,7 @@ class TestIndexRebuild:
         store = ResultStore(root)
         assert set(store.fingerprints()) == set(fps)
         # The rebuilt index is persisted for the next open.
-        assert json.loads((root / "index.json").read_text())["index_version"] == 1
+        assert json.loads((root / "index.json").read_text())["index_version"] == 2
 
     def test_wrong_version_index_rebuilt(self, tmp_path, tally):
         root, fps = self._seed_store(tmp_path, tally)
@@ -193,3 +193,150 @@ class TestIndexRebuild:
         (root / "weird.name.npz").write_bytes(b"x")  # dotted stem: skipped
         store = ResultStore(root)
         assert set(store.fingerprints()) == set(fps)
+
+
+class TestPrefixIndex:
+    """Split addressing: best_prefix queries, supersession, frontier reads."""
+
+    @staticmethod
+    def _frontier(tally, k):
+        from repro.core.reduce import TallyFrontier
+
+        return TallyFrontier([(0, k, tally)])
+
+    @staticmethod
+    def _keys(make_request, n_photons):
+        from repro.service import physics_fingerprint
+
+        request = make_request(n_photons=n_photons)
+        return request_fingerprint(request), physics_fingerprint(request)
+
+    def test_best_prefix_returns_largest_smaller_budget(
+        self, tmp_path, tally, make_request
+    ):
+        store = ResultStore(tmp_path / "store")
+        fp200, physics = self._keys(make_request, 200)
+        fp600, _ = self._keys(make_request, 600)
+        store.put(fp200, tally, physics=physics, n_photons=200,
+                  frontier=self._frontier(tally, 1))
+        store.put(fp600, tally, physics=physics, n_photons=600,
+                  frontier=self._frontier(tally, 3))
+        assert store.best_prefix(physics, 800) == (fp600, 600, 3)
+        assert store.best_prefix(physics, 600) is None  # exact is get()'s job
+        assert store.best_prefix(physics, 200) is None
+        assert store.best_prefix("f" * 64, 800) is None  # foreign physics
+
+    def test_frontierless_entries_are_not_extension_bases(
+        self, tmp_path, tally, make_request
+    ):
+        store = ResultStore(tmp_path / "store")
+        fp, physics = self._keys(make_request, 200)
+        store.put(fp, tally, physics=physics, n_photons=200)  # no frontier
+        assert store.best_prefix(physics, 800) is None
+
+    def test_get_frontier_roundtrip(self, tmp_path, tally, make_request):
+        store = ResultStore(tmp_path / "store")
+        fp, physics = self._keys(make_request, 400)
+        store.put(fp, tally, physics=physics, n_photons=400,
+                  frontier=self._frontier(tally, 2))
+        frontier = store.get_frontier(fp)
+        assert frontier is not None and frontier.prefix_tasks == 2
+        assert frontier.spans[0][2] == tally  # bitwise
+        assert store.get_frontier("0" * 64) is None
+
+    def test_put_supersedes_smaller_budget(self, tmp_path, tally, make_request):
+        telemetry = Telemetry()
+        store = ResultStore(tmp_path / "store", telemetry=telemetry)
+        fp200, physics = self._keys(make_request, 200)
+        fp400, _ = self._keys(make_request, 400)
+        store.put(fp200, tally, physics=physics, n_photons=200,
+                  frontier=self._frontier(tally, 1))
+        store.put(fp400, tally, physics=physics, n_photons=400,
+                  frontier=self._frontier(tally, 2))
+        assert fp200 not in store
+        assert fp400 in store
+        assert _counter(telemetry, "service.store.superseded") == 1
+
+    def test_richer_smaller_frontier_survives_supersession(
+        self, tmp_path, tally, make_request
+    ):
+        # A smaller-budget entry whose frontier covers MORE tasks than the
+        # new entry's still answers extension queries the new one cannot.
+        store = ResultStore(tmp_path / "store")
+        fp200, physics = self._keys(make_request, 200)
+        fp400, _ = self._keys(make_request, 400)
+        store.put(fp200, tally, physics=physics, n_photons=200,
+                  frontier=self._frontier(tally, 1))
+        store.put(fp400, tally, physics=physics, n_photons=400)  # frontierless
+        assert fp200 in store
+        assert store.best_prefix(physics, 800) == (fp200, 200, 1)
+
+    def test_rebuild_recovers_prefix_metadata(self, tmp_path, tally, make_request):
+        root = tmp_path / "store"
+        fp, physics = self._keys(make_request, 400)
+        ResultStore(root).put(
+            fp, tally, provenance={"n_photons": 400},
+            physics=physics, n_photons=400, frontier=self._frontier(tally, 2),
+        )
+        (root / "index.json").unlink()
+        reopened = ResultStore(root)
+        assert reopened.best_prefix(physics, 800) == (fp, 400, 2)
+        frontier = reopened.get_frontier(fp)
+        assert frontier is not None and frontier.prefix_tasks == 2
+
+
+class TestEvictionFrontierInterplay:
+    """LRU eviction x pending extensions: stale plans degrade, never corrupt."""
+
+    def test_evicted_base_is_a_clean_frontier_miss(
+        self, tmp_path, tally, make_request
+    ):
+        from repro.core.reduce import TallyFrontier
+        from repro.service import physics_fingerprint
+
+        store = ResultStore(tmp_path / "store")
+        request = make_request(n_photons=200)
+        fp = request_fingerprint(request)
+        physics = physics_fingerprint(request)
+        store.put(fp, tally, physics=physics, n_photons=200,
+                  frontier=TallyFrontier([(0, 1, tally)]))
+        hit = store.best_prefix(physics, 800)
+        assert hit is not None
+        # The base vanishes between planning and the frontier read (LRU
+        # pressure, another process, a supersession race) ...
+        store.clear()
+        # ... and the read degrades to a miss instead of serving bytes of a
+        # deleted artifact; the caller falls back to a cold run.
+        assert store.get_frontier(hit[0]) is None
+        assert store.best_prefix(physics, 800) is None
+
+    def test_lru_pressure_evicts_base_without_corrupting_index(
+        self, tmp_path, tally, make_request
+    ):
+        from repro.core.reduce import TallyFrontier
+        from repro.service import physics_fingerprint
+        import json as _json
+
+        request = make_request(n_photons=200)
+        physics = physics_fingerprint(request)
+        base_fp = request_fingerprint(request)
+        size = len(
+            ResultStore(tmp_path / "probe").put(
+                base_fp, tally, physics=physics, n_photons=200,
+                frontier=TallyFrontier([(0, 1, tally)]),
+            ).read_bytes()
+        )
+        store = ResultStore(tmp_path / "store", max_bytes=int(size * 2.5))
+        store.put(base_fp, tally, physics=physics, n_photons=200,
+                  frontier=TallyFrontier([(0, 1, tally)]))
+        # Unrelated entries push the base out of the LRU window.
+        for i in range(3):
+            store.put(f"{i:064x}", tally)
+        assert base_fp not in store
+        assert store.get_frontier(base_fp) is None
+        index = _json.loads((tmp_path / "store" / "index.json").read_text())
+        assert base_fp not in index["entries"]
+        # Re-putting the base re-registers it for extension queries.
+        store.put(base_fp, tally, physics=physics, n_photons=200,
+                  frontier=TallyFrontier([(0, 1, tally)]))
+        assert store.best_prefix(physics, 800) == (base_fp, 200, 1)
