@@ -1,0 +1,126 @@
+"""Perturbation MC — one captured run answers a μa sweep, cold runs don't.
+
+The derivation graph's claim: a request differing from a cached captured
+run only in optical coefficients is served by reweighting the parent's
+path records, so an N-point absorption sweep costs one simulation plus N
+cheap derivations instead of N simulations.  The scenario runs a 16-point
+μa sweep both ways through the real ``JobManager`` and merges the
+latencies into ``BENCH_perturb.json`` for CI to archive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import scaled
+
+from repro.api import RunRequest
+from repro.core import SimulationConfig
+from repro.io import format_table
+from repro.service import JobManager, ResultStore
+from repro.sources import PencilBeam
+from repro.tissue import LayerStack, OpticalProperties
+
+N_POINTS = 16
+BASE_MU_A = 1.0
+
+BENCH_PATH = Path("BENCH_perturb.json")
+
+
+def merge_bench(update: dict) -> None:
+    """Fold one scenario's numbers into BENCH_perturb.json (last run wins)."""
+    try:
+        payload = json.loads(BENCH_PATH.read_text())
+        if not isinstance(payload, dict):
+            payload = {}
+    except (OSError, json.JSONDecodeError):
+        payload = {}
+    payload.update(update)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2))
+
+
+def make_request(mu_a: float, photons: int) -> RunRequest:
+    props = OpticalProperties(mu_a=mu_a, mu_s=10.0, g=0.8, n=1.4)
+    config = SimulationConfig(
+        stack=LayerStack.homogeneous(props), source=PencilBeam()
+    )
+    return RunRequest(
+        config=config, n_photons=photons, seed=3, task_size=photons // 8
+    )
+
+
+def sweep_points() -> list[float]:
+    # ±25% around the parent's absorption, parent value excluded.
+    return [
+        BASE_MU_A * (0.75 + 0.5 * i / (N_POINTS - 1)) for i in range(N_POINTS)
+    ]
+
+
+def run_sweep(photons: int, root: Path):
+    # Derivation path: one captured parent, then every sweep point derived.
+    with JobManager(ResultStore(root / "derived-store"), max_workers=2) as manager:
+        t0 = time.perf_counter()
+        manager.submit(make_request(BASE_MU_A, photons)).result(timeout=600)
+        parent = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        jobs = [manager.submit(make_request(mu_a, photons)) for mu_a in sweep_points()]
+        for job in jobs:
+            job.result(timeout=600)
+        derived_sweep = time.perf_counter() - t0
+        derived_count = sum(job.cache == "derived" for job in jobs)
+        assert derived_count == N_POINTS, (
+            f"only {derived_count}/{N_POINTS} sweep points were derived"
+        )
+
+    # Cold path: the same sweep with path capture off — every point simulates.
+    with JobManager(
+        ResultStore(root / "cold-store"), max_workers=2, capture_paths=False
+    ) as manager:
+        t0 = time.perf_counter()
+        jobs = [manager.submit(make_request(mu_a, photons)) for mu_a in sweep_points()]
+        for job in jobs:
+            job.result(timeout=600)
+        cold_sweep = time.perf_counter() - t0
+        assert all(job.cache == "miss" for job in jobs)
+
+    return parent, derived_sweep, cold_sweep
+
+
+def test_perturb_sweep(benchmark, report, tmp_path):
+    photons = scaled(16_000)
+
+    parent, derived_sweep, cold_sweep = benchmark.pedantic(
+        run_sweep, args=(photons, tmp_path), rounds=1, iterations=1
+    )
+
+    speedup = cold_sweep / derived_sweep
+    report(f"\n=== Perturbation MC: {N_POINTS}-point mu_a sweep ===")
+    report(format_table(
+        ["path", "simulations", "latency (ms)"],
+        [
+            [f"captured parent run ({photons} photons)", 1, parent * 1e3],
+            [f"sweep by derivation ({N_POINTS} points)", 0, derived_sweep * 1e3],
+            [f"sweep by cold runs ({N_POINTS} points)", N_POINTS, cold_sweep * 1e3],
+        ],
+        float_format="{:.3g}",
+    ))
+    report(
+        f"\nderived sweep is {speedup:.1f}x faster than re-simulating; "
+        f"even counting the parent run it costs "
+        f"{(parent + derived_sweep) / cold_sweep:.2f}x the cold sweep"
+    )
+
+    merge_bench({
+        "photons": photons,
+        "sweep_points": N_POINTS,
+        "parent_seconds": parent,
+        "derived_sweep_seconds": derived_sweep,
+        "cold_sweep_seconds": cold_sweep,
+        "speedup": speedup,
+    })
+
+    # The claimed win: deriving the sweep beats simulating it by >= 10x.
+    assert speedup >= 10.0, f"derivation speedup {speedup:.1f}x < 10x"

@@ -182,7 +182,7 @@ def run_overload(root: Path):
     lock = threading.Lock()
 
     with ServiceServer(manager, admission=admission) as server:
-        url = f"{server.url}/v1/runs"
+        url = f"{server.url}/v2/runs"
 
         def client(name: str, base_seed: int) -> None:
             for i in range(REQUESTS_PER_CLIENT):

@@ -135,6 +135,12 @@ class RunRequest:
     # coordinator-throughput / kernel tuning (execution-only knobs)
     span_size: int | None = None
     sub_batch: int | None = None
+    #: Record per-detected-photon path records onto ``tally.paths`` — the
+    #: raw material for :mod:`repro.perturb` reweighting.  Execution-only:
+    #: capture adds no RNG draws, every other tally field is bit-identical
+    #: with or without it, so it does NOT enter the request fingerprint.
+    #: Works in both modes (the flag ships with every ``TaskSpec``).
+    capture_paths: bool = False
 
     # prefix extension / partial-range runs
     #: Run only tasks ``[start, stop)`` of the canonical decomposition.  The
@@ -215,7 +221,12 @@ class RunRequest:
         verified against the request that claims it
         (``load_tally(expected_fingerprint=...)``).
         """
-        from .service.fingerprint import physics_fingerprint, request_fingerprint
+        from .service.fingerprint import (
+            derivation_basis,
+            perturbable_coefficients,
+            physics_fingerprint,
+            request_fingerprint,
+        )
 
         out = {
             "package": "repro",
@@ -229,6 +240,8 @@ class RunRequest:
             "boundary_mode": self.boundary_mode,
             "fingerprint": request_fingerprint(self),
             "physics_fingerprint": physics_fingerprint(self),
+            "derivation_basis": derivation_basis(self),
+            "coefficients": perturbable_coefficients(self),
             "created_unix": time.time(),
         }
         if self.task_range is not None:
@@ -343,6 +356,7 @@ def run(request: RunRequest) -> RunReport:
                 retain_task_tallies=request.retain_task_tallies,
                 span_size=request.span_size,
                 sub_batch=request.sub_batch,
+                capture_paths=request.capture_paths,
                 telemetry=telemetry,
             ).start()
             if request.on_server_start is not None:
@@ -361,6 +375,7 @@ def run(request: RunRequest) -> RunReport:
                 retain_task_tallies=request.retain_task_tallies,
                 span_size=request.span_size,
                 sub_batch=request.sub_batch,
+                capture_paths=request.capture_paths,
                 base_frontier=request.frontier,
                 capture_frontier=request.capture_frontier,
                 task_range=request.task_range,

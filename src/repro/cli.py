@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--capture-frontier", action="store_true",
                      help="store the reducer's span partials in --save so the "
                           "archive can later seed a larger-budget run")
+    run.add_argument("--capture-paths", action="store_true",
+                     help="record per-detected-photon per-layer pathlengths "
+                          "into the tally (and --save archive) so 'perturb "
+                          "sweep' can derive perturbed tallies without "
+                          "re-simulating")
     run.add_argument("--extend-from", type=str, default=None, metavar="FILE.npz",
                      help="prime this run with the frontier saved in a "
                           "smaller-budget archive of the same physics and "
@@ -225,6 +230,36 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--photons", type=int, default=80_000)
     fit.add_argument("--seed", type=int, default=0)
 
+    perturb = sub.add_parser(
+        "perturb",
+        help="derive perturbed tallies from a path-capturing archive "
+             "(no re-simulation)",
+    )
+    perturb_sub = perturb.add_subparsers(dest="action", required=True)
+    sweep = perturb_sub.add_parser(
+        "sweep",
+        help="sweep one layer's mu_a across derived tallies "
+             "(parent archive from 'run --capture-paths --save')",
+    )
+    sweep.add_argument("archive", metavar="PARENT.npz",
+                       help="archive written by 'run --capture-paths --save'")
+    sweep.add_argument("--layer", type=int, default=0,
+                       help="index of the layer to perturb (default 0)")
+    sweep.add_argument("--mu-a", type=float, nargs="+", required=True,
+                       metavar="MUA",
+                       help="absolute mu_a values (mm^-1) to derive, e.g. "
+                            "--mu-a 0.01 0.02 0.03 (absorption reweighting "
+                            "is exact)")
+    sweep.add_argument("--alpha-s", type=float, default=1.0, metavar="ALPHA",
+                       help="additionally scale the layer's mu_s by ALPHA "
+                            "(first-order approximation, flagged in the "
+                            "output; default 1 = no scattering change)")
+    sweep.add_argument("--save-dir", type=str, default=None, metavar="DIR",
+                       help="write each derived tally to "
+                            "DIR/mua<layer>_<value>.npz")
+    sweep.add_argument("--json", dest="json_path", type=str, default=None,
+                       metavar="FILE", help="write the sweep table as JSON")
+
     return parser
 
 
@@ -300,6 +335,7 @@ def _cmd_run(args) -> int:
         progress=args.progress,
         task_range=tuple(args.task_range) if args.task_range else None,
         capture_frontier=args.capture_frontier or bool(args.extend_from),
+        capture_paths=args.capture_paths,
     )
     if args.extend_from:
         request = _extend_from(request, args.extend_from)
@@ -330,6 +366,9 @@ def _cmd_run(args) -> int:
         if frontier is not None and len(frontier):
             print(f"# frontier: {len(frontier)} span(s) covering "
                   f"{frontier.n_covered} task(s) — archive is budget-extendable")
+        if tally.paths is not None:
+            print(f"# paths: {tally.paths.n_rows} detected-photon record(s) — "
+                  "archive can seed 'repro perturb sweep'")
     return 0
 
 
@@ -564,9 +603,9 @@ def _cmd_serve_http(args) -> int:
     if args.journal:
         recovered = sum(job.recovered for job in manager.jobs())
         print(f"# journal: {args.journal} ({recovered} job(s) replayed)")
-    print(f"# submit:  curl -X POST {server.url}/v1/runs "
+    print(f"# submit:  curl -X POST {server.url}/v2/runs "
           "-d '{\"model\": \"adult_head\", \"n_photons\": 100000}'")
-    print(f"# metrics: curl {server.url}/v1/metrics", flush=True)
+    print(f"# metrics: curl {server.url}/v2/metrics", flush=True)
     drained = True
     try:
         server.start()
@@ -635,6 +674,102 @@ def _cmd_fit(args) -> int:
     return 0
 
 
+def _cmd_perturb(args) -> int:
+    """Derive perturbed tallies from one captured parent archive."""
+    import json as _json
+    from pathlib import Path
+
+    from .io import format_table, load_paths, load_tally, save_tally
+    from .perturb import PerturbationDelta, PerturbationError, derive_tally
+
+    try:
+        parent = load_tally(args.archive)
+        parent.paths = load_paths(args.archive)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"perturb sweep {args.archive}: {exc}") from None
+    if parent.paths is None:
+        raise SystemExit(
+            f"perturb sweep {args.archive}: archive carries no path records; "
+            "re-run the parent with 'run --capture-paths --save'"
+        )
+    provenance = parent.provenance or {}
+    coefficients = provenance.get("coefficients") or {}
+    parent_mu_a = coefficients.get("mu_a")
+    n_layers = parent.paths.n_layers
+    if not 0 <= args.layer < n_layers:
+        raise SystemExit(
+            f"--layer {args.layer} out of range for the archive's "
+            f"{n_layers} layer(s)"
+        )
+    if parent_mu_a is None:
+        raise SystemExit(
+            f"perturb sweep {args.archive}: archive provenance carries no "
+            "perturbable coefficients (pre-perturbation archive?); re-save "
+            "the parent with a current build"
+        )
+    base_mu_a = float(parent_mu_a[args.layer])
+    save_dir = None
+    if args.save_dir is not None:
+        save_dir = Path(args.save_dir)
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    mode = "exact" if args.alpha_s == 1.0 else "first-order"
+    print(f"# deriving {len(args.mu_a)} perturbed point(s) from {args.archive} "
+          f"(layer {args.layer}, parent mu_a={base_mu_a:g}/mm, {mode}) — "
+          "0 photons simulated")
+    rows, points = [], []
+    for target in args.mu_a:
+        d_mu_a = [0.0] * n_layers
+        d_mu_a[args.layer] = float(target) - base_mu_a
+        alpha_s = [1.0] * n_layers
+        alpha_s[args.layer] = float(args.alpha_s)
+        delta = PerturbationDelta(d_mu_a=tuple(d_mu_a), alpha_s=tuple(alpha_s))
+        try:
+            derived = derive_tally(parent, delta, mu_s=coefficients.get("mu_s"))
+        except PerturbationError as exc:
+            raise SystemExit(f"perturb sweep {args.archive}: {exc}") from None
+        std = derived.derivation["derived_std"]
+        rows.append([f"{target:g}", derived.detected_weight, std, mode])
+        point = {
+            "mu_a": float(target),
+            "detected_weight": derived.detected_weight,
+            "derived_std": std,
+            "exact": delta.is_exact,
+        }
+        if save_dir is not None:
+            out_path = save_dir / f"mua{args.layer}_{target:g}.npz"
+            save_tally(
+                out_path,
+                derived,
+                provenance={
+                    "derived_from": {
+                        "parent_fingerprint": provenance.get("fingerprint"),
+                        "perturbation": delta.as_dict(),
+                    }
+                },
+            )
+            point["archive"] = str(out_path)
+        points.append(point)
+    print(format_table(
+        ["mu_a (1/mm)", "detected weight", "1 sigma", "reweighting"],
+        rows, float_format="{:.6g}",
+    ))
+    if save_dir is not None:
+        print(f"# {len(points)} derived archive(s) written to {save_dir}")
+    if args.json_path:
+        payload = {
+            "archive": args.archive,
+            "layer": args.layer,
+            "parent_mu_a": base_mu_a,
+            "alpha_s": float(args.alpha_s),
+            "n_records": parent.paths.n_rows,
+            "points": points,
+        }
+        Path(args.json_path).write_text(_json.dumps(payload, indent=2))
+        print(f"# sweep table written to {args.json_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -647,6 +782,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-http": _cmd_serve_http,
         "client": _cmd_client,
         "fit": _cmd_fit,
+        "perturb": _cmd_perturb,
     }
     return handlers[args.command](args)
 

@@ -41,7 +41,7 @@ import math
 
 import numpy as np
 
-from ..detect.records import GridSpec
+from ..detect.records import GridSpec, PathRecords
 from .config import SimulationConfig
 from .fresnel import fresnel_reflectance
 from .sampling import rotate_direction, sample_hg_cosine
@@ -93,16 +93,25 @@ def run_batch_scalar(
     rng: np.random.Generator,
     *,
     telemetry=None,
+    capture_paths: bool = False,
 ) -> Tally:
     """Trace ``n_photons`` photons one at a time and return the tally.
 
     ``telemetry`` (optional :class:`~repro.observe.Telemetry`) traces the
     batch as one ``kernel.batch`` span; photons accumulate on the
     ``kernel.photons`` counter.  The per-photon loop is never instrumented.
+
+    ``capture_paths`` records one :class:`~repro.detect.PathRecords` row per
+    detection event (per-layer pathlength, exit weight, optical pathlength,
+    maximum depth) on ``tally.paths``.  Capture consumes no RNG draws, so
+    every other tally field is bit-identical with and without it; the
+    caller seals the records under its task index.
     """
     if n_photons < 0:
         raise ValueError(f"n_photons must be >= 0, got {n_photons}")
     tally = Tally(n_layers=len(config.stack), records=config.records)
+    if capture_paths:
+        tally.paths = PathRecords(len(config.stack))
     if n_photons == 0:
         return tally
     positions, directions = config.source.sample(n_photons, rng)
@@ -134,6 +143,9 @@ def trace_photon(
     gate = config.pathlength_gate()
     record_path = tally.path_grid is not None
     path = _PathBuffer() if record_path else None
+    # Per-layer geometric pathlength, maintained only when the caller wants
+    # perturbation-MC records; the transport itself never reads it.
+    layer_paths = [0.0] * len(stack) if tally.paths is not None else None
 
     x, y, z = float(position[0]), float(position[1]), float(position[2])
     ux, uy, uz = float(direction[0]), float(direction[1]), float(direction[2])
@@ -205,6 +217,8 @@ def trace_photon(
             y += uy * d_boundary
             z += uz * d_boundary
             optical_path += n_here * d_boundary
+            if layer_paths is not None:
+                layer_paths[layer] += d_boundary
             if mu_t > 0.0:
                 s_dimless -= d_boundary * mu_t
 
@@ -229,7 +243,7 @@ def trace_photon(
                     _score_escape(
                         config, tally, gate, path,
                         x, y, uz, escaped, optical_path, max_depth,
-                        top=going_up, terminal=False,
+                        top=going_up, terminal=False, layer_paths=layer_paths,
                     )
                 w *= r_fresnel
                 if w <= _TINY:
@@ -245,7 +259,7 @@ def trace_photon(
                         _score_escape(
                             config, tally, gate, path,
                             x, y, uz, w, optical_path, max_depth,
-                            top=going_up, terminal=True,
+                            top=going_up, terminal=True, layer_paths=layer_paths,
                         )
                         return  # photon left the tissue (detected or not)
                     # refract into the adjacent layer (Snell)
@@ -267,6 +281,8 @@ def trace_photon(
         y += uy * d_step
         z += uz * d_step
         optical_path += n_here * d_step
+        if layer_paths is not None:
+            layer_paths[layer] += d_step
         s_dimless = 0.0
         max_depth = max(max_depth, z)
 
@@ -327,6 +343,7 @@ def _score_escape(
     *,
     top: bool,
     terminal: bool,
+    layer_paths: list[float] | None = None,
 ) -> bool:
     """Score an escaping weight; returns False when the photon was detected.
 
@@ -361,6 +378,12 @@ def _score_escape(
     tally.penetration_depth.add(np.asarray([max_depth]), np.asarray([weight]))
     if tally.pathlength_hist is not None:
         tally.pathlength_hist.add(np.asarray([optical_path]), np.asarray([weight]))
+    if tally.paths is not None and layer_paths is not None:
+        # Snapshot: a classical-mode photon continues after a partial
+        # escape and may be detected again with longer paths.
+        tally.paths.append(
+            np.asarray(layer_paths), weight, optical_path, max_depth, 0
+        )
     if path is not None and tally.path_grid is not None:
         path.commit(config.records.path_grid, tally.path_grid)
     return False

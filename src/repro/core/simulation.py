@@ -61,6 +61,7 @@ def run_photons(
     *,
     sub_batch: int | None = None,
     telemetry=None,
+    capture_paths: bool = False,
 ) -> Tally:
     """Trace ``n_photons`` with the named kernel (the worker-side entry point).
 
@@ -70,8 +71,12 @@ def run_photons(
     batching (``None`` keeps the kernel's default); it is an execution
     tuning knob — results for different sub-batch sizes are statistically
     equivalent but not bit-identical, so hold it fixed when comparing runs
-    bit-for-bit.  Kernels that do not declare a parameter simply run
-    without it (the scalar kernel has no sub-batching).
+    bit-for-bit.  ``capture_paths`` asks the kernel to record per-detected-
+    photon path records (``Tally.paths``, perturbation-MC raw material);
+    the returned records are *unsealed* — the caller owns assigning the
+    task key via ``tally.paths.seal(task_index)``.  Kernels that do not
+    declare a parameter simply run without it (the scalar kernel has no
+    sub-batching; external kernels may predate path capture).
     """
     try:
         fn = _KERNELS[kernel]
@@ -84,6 +89,12 @@ def run_photons(
         kwargs["sub_batch"] = sub_batch
     if telemetry is not None and _accepts_kwarg(fn, "telemetry"):
         kwargs["telemetry"] = telemetry
+    if capture_paths:
+        if not _accepts_kwarg(fn, "capture_paths"):
+            raise ValueError(
+                f"kernel {kernel!r} does not support capture_paths"
+            )
+        kwargs["capture_paths"] = True
     return fn(config, n_photons, rng, **kwargs)
 
 
@@ -131,6 +142,7 @@ class Simulation:
         task_size: int | None = None,
         sub_batch: int | None = None,
         telemetry=None,
+        capture_paths: bool = False,
     ) -> Tally:
         """Run the experiment and return the merged tally.
 
@@ -154,6 +166,13 @@ class Simulation:
             Optional :class:`~repro.observe.Telemetry`; traces per-task
             spans, kernel batch timings and progress.  ``None`` (default)
             disables telemetry at zero cost.
+        capture_paths:
+            Record per-detected-photon path records (``Tally.paths``)
+            keyed by task index — the raw material for perturbation
+            Monte Carlo reweighting (:mod:`repro.perturb`).  Captured
+            records do not change any other tally field; the merged
+            records are bit-identical across serial and distributed
+            execution for the same ``task_size``.
         """
         if task_size is None:
             task_size = max(n_photons, 1)
@@ -167,14 +186,14 @@ class Simulation:
         reducer = PairwiseReducer(len(counts), telemetry=telemetry)
         for i, count in enumerate(counts):
             with maybe_span(telemetry, "task", task=i, photons=count):
-                reducer.add(
-                    i,
-                    run_photons(
-                        self.config, count, task_rng(seed, i), kernel,
-                        sub_batch=sub_batch, telemetry=telemetry,
-                    ),
-                    owned=True,
+                tally = run_photons(
+                    self.config, count, task_rng(seed, i), kernel,
+                    sub_batch=sub_batch, telemetry=telemetry,
+                    capture_paths=capture_paths,
                 )
+                if tally.paths is not None:
+                    tally.paths.seal(i)
+                reducer.add(i, tally, owned=True)
             if telemetry is not None:
                 telemetry.progress_update(i + 1, len(counts))
         return reducer.result()

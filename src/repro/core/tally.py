@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..detect.records import GridSpec, Histogram, RunningStat
+from ..detect.records import GridSpec, Histogram, PathRecords, RunningStat
 from .config import RecordConfig
 
 __all__ = ["Tally"]
@@ -68,6 +68,15 @@ class Tally:
     pathlength_hist: Histogram | None = None
     reflectance_rho_hist: Histogram | None = None
     penetration_hist: Histogram | None = None
+
+    #: Per-detected-photon path records (perturbation-MC raw material).
+    #: Execution-scoped, not part of the experiment shape: excluded from
+    #: ``__eq__`` (two runs are "the same result" whether or not paths were
+    #: captured — capture adds no RNG draws), and all-or-nothing under
+    #: merge: combining a paths-bearing tally with a paths-less one yields
+    #: ``paths=None``, because a partial record set would silently
+    #: misrepresent the ensemble it claims to describe.
+    paths: PathRecords | None = None
 
     def __post_init__(self) -> None:
         if self.n_layers <= 0:
@@ -184,6 +193,8 @@ class Tally:
             )
         if self.penetration_hist is not None:
             merged.penetration_hist = self.penetration_hist.merge(other.penetration_hist)
+        if self.paths is not None and other.paths is not None:
+            merged.paths = self.paths.merge(other.paths)
         return merged
 
     def imerge(self, other: "Tally") -> "Tally":
@@ -220,6 +231,12 @@ class Tally:
             )
         if self.penetration_hist is not None:
             self.penetration_hist = self.penetration_hist.merge(other.penetration_hist)
+        if self.paths is not None:
+            # All-or-nothing: a one-sided record set must not survive the
+            # merge claiming to describe the combined ensemble.
+            self.paths = (
+                self.paths.imerge(other.paths) if other.paths is not None else None
+            )
         return self
 
     def copy(self) -> "Tally":
@@ -278,6 +295,8 @@ class Tally:
                 edges=self.penetration_hist.edges.copy(),
                 counts=self.penetration_hist.counts.copy(),
             )
+        if self.paths is not None:
+            out.paths = self.paths.copy()
         return out
 
     def record_penetration(self, max_depths: np.ndarray) -> None:

@@ -140,7 +140,7 @@ class _State:
 
     __slots__ = (
         "x", "y", "z", "ux", "uy", "uz", "w", "layer",
-        "opl", "maxz", "s_dim", "alive", "gid",
+        "opl", "maxz", "s_dim", "alive", "gid", "lpl",
     )
 
     def __init__(self, pos: np.ndarray, dirs: np.ndarray, layer: np.ndarray, w: np.ndarray):
@@ -158,6 +158,9 @@ class _State:
         self.s_dim = np.zeros(n)
         self.alive = np.ones(n, dtype=bool)
         self.gid = np.arange(n, dtype=np.int64)
+        #: Per-layer geometric pathlength, (n, n_layers); allocated only
+        #: when the caller captures perturbation-MC path records.
+        self.lpl: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -167,7 +170,9 @@ class _State:
         """Drop dead photons from every state array (stream compaction)."""
         keep = self.alive
         for name in self.__slots__:
-            setattr(self, name, getattr(self, name)[keep])
+            value = getattr(self, name)
+            if value is not None:
+                setattr(self, name, value[keep])
 
 
 def run_batch_vectorized(
@@ -177,6 +182,7 @@ def run_batch_vectorized(
     *,
     sub_batch: int = DEFAULT_SUB_BATCH,
     telemetry=None,
+    capture_paths: bool = False,
 ) -> Tally:
     """Trace ``n_photons`` photons with the vectorised kernel.
 
@@ -197,12 +203,21 @@ def run_batch_vectorized(
         accumulate on the ``kernel.photons`` counter.  ``None`` (default)
         adds a single identity check to the whole call — telemetry never
         enters the per-iteration loop.
+    capture_paths:
+        Record per-detection-event path statistics (per-layer pathlength,
+        exit weight, optical pathlength, maximum depth) on ``tally.paths``
+        for perturbation Monte Carlo.  Capture consumes no RNG draws, so
+        all other tally fields are bit-identical with and without it.
     """
     if n_photons < 0:
         raise ValueError(f"n_photons must be >= 0, got {n_photons}")
     if sub_batch <= 0:
         raise ValueError(f"sub_batch must be > 0, got {sub_batch}")
     tally = Tally(n_layers=len(config.stack), records=config.records)
+    if capture_paths:
+        from ..detect.records import PathRecords
+
+        tally.paths = PathRecords(len(config.stack))
     done = 0
     while done < n_photons:
         n = min(sub_batch, n_photons - done)
@@ -246,6 +261,8 @@ def _run_sub_batch(
         layer[buried] = np.minimum(np.maximum(idx, 0), n_layers - 1)
 
     st = _State(pos, dirs, layer, w)
+    if tally.paths is not None:
+        st.lpl = np.zeros((n, n_layers))
     tally.n_launched += n
 
     detected_flag = np.zeros(n, dtype=bool)
@@ -315,6 +332,11 @@ def _run_sub_batch(
         st.y += st.uy * d
         st.z += st.uz * d
         st.opl += n_med * d
+        if st.lpl is not None:
+            if single_layer:
+                st.lpl[:, 0] += d
+            else:
+                st.lpl[np.arange(st.size), st.layer] += d
         np.maximum(st.maxz, st.z, out=st.maxz)
         # Spend the step: boundary hits retain the unused remainder,
         # interactions reset to zero (drawn afresh next iteration).
@@ -420,6 +442,7 @@ def _handle_boundaries(
             st.gid[ce], st.x[ce], st.y[ce], st.uz[ce], escaped,
             st.opl[ce], st.maxz[ce], going_up[classical_exit],
             terminal=False,
+            elpl=None if st.lpl is None else st.lpl[ce],
         )
         st.w[ce] *= r_ce
         st.uz[ce] = -st.uz[ce]
@@ -455,6 +478,7 @@ def _handle_boundaries(
             st.gid[oi], st.x[oi], st.y[oi], st.uz[oi], st.w[oi],
             st.opl[oi], st.maxz[oi], up_rest[out],
             terminal=True,
+            elpl=None if st.lpl is None else st.lpl[oi],
         )
         st.alive[oi] = False
         st.w[oi] = 0.0
@@ -480,13 +504,14 @@ def _handle_boundaries(
 def _score_escapes(
     config, tally, gate, detected_flag,
     gids, ex, ey, euz, ew, eopl, emaxz, going_up,
-    *, terminal: bool,
+    *, terminal: bool, elpl=None,
 ) -> None:
     """Score escaping weight: reflectance/transmittance, detection, gating.
 
     ``terminal`` marks escapes that end the photon (probabilistic mode);
     classical-mode partial escapes keep the photon alive and must not be
-    counted in the per-photon penetration histogram.
+    counted in the per-photon penetration histogram.  ``elpl`` carries the
+    escaping photons' per-layer pathlengths when path records are captured.
     """
     if terminal:
         tally.record_penetration(emaxz)
@@ -517,6 +542,10 @@ def _score_escapes(
     tally.penetration_depth.add(tmaxz[accepted], tw[accepted])
     if tally.pathlength_hist is not None:
         tally.pathlength_hist.add(topl[accepted], tw[accepted])
+    if tally.paths is not None and elpl is not None:
+        tally.paths.append(
+            elpl[up][accepted], tw[accepted], topl[accepted], tmaxz[accepted], 0
+        )
     detected_flag[tg[accepted]] = True
 
 

@@ -8,7 +8,7 @@ from .quantities import (
     mean_time_of_flight,
     radial_reflectance,
 )
-from .records import GridSpec, Histogram, RunningStat
+from .records import GridSpec, Histogram, PathRecords, RunningStat
 from .tpsf import tpsf, tpsf_moments
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "DiscDetector",
     "GridSpec",
     "Histogram",
+    "PathRecords",
     "PathlengthGate",
     "RunningStat",
     "TimeGate",

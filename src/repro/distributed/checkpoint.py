@@ -55,6 +55,7 @@ def run_key(
     sub_batch: int | None = None,
     task_range: "tuple[int, int] | None" = None,
     base_spans: "list[tuple[int, int]] | None" = None,
+    capture_paths: bool = False,
 ) -> dict:
     """The identity of a run's task decomposition.
 
@@ -66,8 +67,12 @@ def run_key(
     bit-identical.  ``task_range`` (a partial-range run) and ``base_spans``
     (the coverage of a primed base frontier in a budget-extension delta run)
     change *which* tasks the run executes, so a delta run's checkpoint can
-    only resume the same delta.  All four enter the key only when set, so
-    checkpoints written before these knobs existed keep resuming.
+    only resume the same delta.  ``capture_paths`` changes what each
+    checkpoint entry *stores* (per-photon path records): a capture run must
+    not resume from paths-less entries — the merged records would silently
+    vanish (``Tally.paths`` is all-or-nothing under merge).  All five enter
+    the key only when set, so checkpoints written before these knobs
+    existed keep resuming.
     """
     key = {
         "n_photons": int(n_photons),
@@ -83,6 +88,8 @@ def run_key(
         key["task_range"] = [int(task_range[0]), int(task_range[1])]
     if base_spans is not None:
         key["base_spans"] = [[int(s), int(e)] for s, e in base_spans]
+    if capture_paths:
+        key["capture_paths"] = True
     return key
 
 
@@ -133,7 +140,7 @@ class CheckpointManager:
         """
         # Imported here, not at module top: repro.io.reports imports the
         # distributed package back, so a top-level import would be circular.
-        from ..io.results import load_tally
+        from ..io.results import load_paths, load_tally
 
         directory = Path(self.directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -163,6 +170,10 @@ class CheckpointManager:
                     continue
                 try:
                     tally = load_tally(path)
+                    # save_tally persists Tally.paths automatically when the
+                    # result carried records; reattach so a capture run's
+                    # resume keeps them (plain load_tally stays paths-blind).
+                    tally.paths = load_paths(path)
                 except Exception:  # noqa: BLE001 - torn write: redo the task
                     logger.warning("dropping unreadable checkpoint tally %s", path)
                     continue

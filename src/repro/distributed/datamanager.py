@@ -223,6 +223,12 @@ class DataManager:
         (``None`` keeps the kernel default).  Execution-only: results are
         statistically equivalent across sub-batch sizes but not
         bit-identical, so the value participates in the checkpoint run key.
+    capture_paths:
+        Ship ``capture_paths=True`` with every task: workers record
+        per-detected-photon path records (``Tally.paths``, the raw
+        material for :mod:`repro.perturb` reweighting), sealed under the
+        task index so the merged record set is bit-identical across
+        backends and schedules.  No other tally field changes.
     checkpoint:
         A :class:`~repro.distributed.checkpoint.CheckpointManager`, or a
         directory path for one.  Completed task results are persisted as
@@ -284,6 +290,7 @@ class DataManager:
     retain_task_tallies: bool = True
     span_size: int | None = None
     sub_batch: int | None = None
+    capture_paths: bool = False
     base_frontier: TallyFrontier | None = None
     capture_frontier: bool = False
     task_range: tuple[int, int] | None = None
@@ -333,7 +340,7 @@ class DataManager:
         return [
             TaskSpec(
                 task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel,
-                sub_batch=self.sub_batch,
+                sub_batch=self.sub_batch, capture_paths=self.capture_paths,
             )
             for i, count in enumerate(split_photons(self.n_photons, self.task_size))
         ]
@@ -351,6 +358,7 @@ class DataManager:
             kernel=self.kernel,
             span_size=self.span_size,
             sub_batch=self.sub_batch,
+            capture_paths=self.capture_paths,
             task_range=self.task_range,
             base_spans=(
                 [(s, e) for s, e, _t in self.base_frontier]

@@ -262,6 +262,12 @@ class NetworkServer:
     ``sub_batch``
         Vectorized-kernel sub-batch override shipped with every task
         (execution-only; participates in the checkpoint run key).
+    ``capture_paths``
+        Ship ``capture_paths=True`` with every task: clients record
+        per-detected-photon path records, sealed under the task index, so
+        the merged ``Tally.paths`` is bit-identical to a serial capture
+        run of the same ``task_size`` (raw material for
+        :mod:`repro.perturb`).
     ``retain_task_tallies``
         As on :class:`~repro.distributed.datamanager.DataManager`:
         ``False`` releases each task tally once it is folded into the
@@ -303,6 +309,7 @@ class NetworkServer:
     telemetry: object | None = None
     span_size: int | None = None
     sub_batch: int | None = None
+    capture_paths: bool = False
 
     _listener: socket.socket | None = field(init=False, default=None)
     _threads: list[threading.Thread] = field(init=False, default_factory=list)
@@ -363,6 +370,7 @@ class NetworkServer:
             kernel=self.kernel,
             span_size=self.span_size,
             sub_batch=self.sub_batch,
+            capture_paths=self.capture_paths,
         )
 
     def _fold(self, idx: int, result: TaskResult) -> None:
@@ -391,7 +399,7 @@ class NetworkServer:
         tasks = [
             TaskSpec(
                 task_index=i, n_photons=count, seed=self.seed, kernel=self.kernel,
-                sub_batch=self.sub_batch,
+                sub_batch=self.sub_batch, capture_paths=self.capture_paths,
             )
             for i, count in enumerate(split_photons(self.n_photons, self.task_size))
         ]

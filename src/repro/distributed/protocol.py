@@ -65,6 +65,10 @@ class TaskSpec:
     #: An execution-only knob: it changes traversal batching, never the
     #: physics the task describes.
     sub_batch: int | None = None
+    #: Capture per-detected-photon path records (``Tally.paths``) on the
+    #: worker.  Execution-only: capture adds no RNG draws, so every other
+    #: tally field is bit-identical with or without it.
+    capture_paths: bool = False
 
     def __post_init__(self) -> None:
         if self.task_index < 0:
@@ -272,6 +276,25 @@ def validate_result(result: TaskResult, task: TaskSpec | SpanSpec) -> None:
         hist = getattr(t, name)
         if hist is not None:
             _check_array(f"{name}.counts", hist.counts, idx)
+    wants_paths = (
+        all(s.capture_paths for s in task.tasks)
+        if isinstance(task, SpanSpec)
+        else task.capture_paths
+    )
+    if wants_paths:
+        if t.paths is None:
+            raise ResultValidationError(
+                f"task {idx}: capture_paths requested but no path records returned"
+            )
+        if not t.paths.is_sealed:
+            raise ResultValidationError(f"task {idx}: path records not sealed")
+        if t.paths.n_rows != t.detected_count:
+            raise ResultValidationError(
+                f"task {idx}: {t.paths.n_rows} path records for "
+                f"{t.detected_count} detected photons"
+            )
+        for name in ("layer_paths", "weight", "opl", "max_depth"):
+            _check_array(f"paths.{name}", t.paths.column(name), idx)
 
 
 def freeze_result(result: TaskResult) -> TaskResult:

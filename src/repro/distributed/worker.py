@@ -53,7 +53,13 @@ def execute_task(
         config, task.n_photons, rng, task.kernel,
         sub_batch=getattr(task, "sub_batch", None),
         telemetry=telemetry,
+        capture_paths=getattr(task, "capture_paths", False),
     )
+    if tally.paths is not None:
+        # Seal under the task key: the merged record set is then ordered
+        # by task index regardless of worker schedule — bit-identical to a
+        # serial run with the same task_size.
+        tally.paths.seal(task.task_index)
     elapsed = time.perf_counter() - start
     return TaskResult(
         task_index=task.task_index,

@@ -2,7 +2,13 @@
 
 from .codec import CodecError, EncodedTally, decode_tally, encode_tally
 from .reports import load_report, save_report
-from .results import archive_summary, load_frontier, load_tally, save_tally
+from .results import (
+    archive_summary,
+    load_frontier,
+    load_paths,
+    load_tally,
+    save_tally,
+)
 from .tables import format_table
 
 __all__ = [
@@ -13,6 +19,7 @@ __all__ = [
     "encode_tally",
     "format_table",
     "load_frontier",
+    "load_paths",
     "load_report",
     "load_tally",
     "save_report",

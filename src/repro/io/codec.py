@@ -40,7 +40,7 @@ import numpy as np
 
 from ..core.config import RecordConfig
 from ..core.tally import Tally
-from ..detect.records import Histogram
+from ..detect.records import Histogram, PathRecords
 from .results import (
     _grid_spec_from_dict,
     _grid_spec_to_dict,
@@ -98,6 +98,13 @@ def encode_tally(tally: Tally) -> bytearray:
         if hist is not None:
             arrays.append((f"{name}_edges", hist.edges))
             arrays.append((f"{name}_counts", hist.counts))
+    paths_meta = None
+    if tally.paths is not None:
+        # Records must be sealed before crossing a transport (the worker
+        # seals under its task index right after the kernel returns).
+        for name, array in tally.paths.to_arrays().items():
+            arrays.append((f"paths_{name}", array))
+        paths_meta = {"n_layers": tally.paths.n_layers}
 
     table = []
     offset = 0  # relative to the start of the array section
@@ -142,6 +149,7 @@ def encode_tally(tally: Tally) -> bytearray:
                     list(r.penetration_bins) if r.penetration_bins else None
                 ),
             },
+            "paths": paths_meta,
             "arrays": table,
         },
         separators=(",", ":"),
@@ -237,6 +245,18 @@ def decode_tally(buf: bytes | bytearray | memoryview) -> Tally:
                 name,
                 Histogram(edges=views[f"{name}_edges"], counts=views[f"{name}_counts"]),
             )
+    paths_meta = manifest.get("paths")
+    if paths_meta is not None:
+        tally.paths = PathRecords.from_arrays(
+            int(paths_meta["n_layers"]),
+            {
+                key: views[f"paths_{key}"]
+                for key in (
+                    "layer_paths", "weight", "opl", "max_depth",
+                    "detector", "keys", "lengths",
+                )
+            },
+        )
     return tally
 
 

@@ -26,9 +26,15 @@ import numpy as np
 from ..core.config import RecordConfig
 from ..core.reduce import TallyFrontier
 from ..core.tally import Tally
-from ..detect.records import GridSpec, Histogram, RunningStat
+from ..detect.records import GridSpec, Histogram, PathRecords, RunningStat
 
-__all__ = ["save_tally", "load_tally", "load_frontier", "archive_summary"]
+__all__ = [
+    "save_tally",
+    "load_tally",
+    "load_frontier",
+    "load_paths",
+    "archive_summary",
+]
 
 _FORMAT_VERSION = 2
 _READABLE_VERSIONS = (1, 2)
@@ -161,6 +167,13 @@ def save_tally(
     the final tally, making the archive budget-extendable (restored by
     :func:`load_frontier`; invisible to :func:`load_tally`).
 
+    When the tally carries per-detected-photon path records
+    (``tally.paths``, from a ``capture_paths`` run) they are persisted
+    automatically under ``p_``-prefixed arrays — the raw material for
+    :mod:`repro.perturb` derivation.  Like the frontier they are restored
+    by a dedicated reader (:func:`load_paths`) and invisible to plain
+    :func:`load_tally`.
+
     The write is atomic (temp file + ``os.replace``): readers — including a
     resuming :class:`~repro.distributed.checkpoint.CheckpointManager` —
     never observe a torn archive at ``path``, even if the writer is killed
@@ -179,6 +192,10 @@ def save_tally(
             sub["stop"] = int(stop)
             span_headers.append(sub)
         header["frontier"] = span_headers
+    if tally.paths is not None:
+        for name, array in tally.paths.to_arrays().items():
+            arrays[f"p_{name}"] = array
+        header["paths"] = {"n_layers": tally.paths.n_layers}
     arrays = {
         "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
         **arrays,
@@ -235,12 +252,21 @@ def load_tally(path: str | Path, *, expected_fingerprint: str | None = None) -> 
 
 
 def archive_summary(path: str | Path) -> dict:
-    """Cheap metadata peek: provenance + frontier span layout, no tallies.
+    """Cheap metadata peek: provenance + optional-section layout, no tallies.
 
-    Reads only the JSON header member of the archive.  Returns
-    ``{"provenance": dict | None, "frontier_spans": [(start, stop), ...]}``
-    (an empty span list when the archive carries no frontier).  Used by the
-    result store to rebuild its index from artifacts on disk.
+    Reads only the JSON header member of the archive.  Returns::
+
+        {
+            "provenance": dict | None,
+            "frontier_spans": [(start, stop), ...],   # [] without a frontier
+            "sections": ["frontier", "paths", ...],    # optional sections present
+        }
+
+    ``sections`` names the optional payloads the archive carries beyond the
+    plain tally: ``"frontier"`` (budget-extension span partials, see
+    :func:`load_frontier`) and ``"paths"`` (per-detected-photon path
+    records, see :func:`load_paths`).  Used by the result store to rebuild
+    its index from artifacts on disk without deserialising any arrays.
     """
     path = Path(path)
     with np.load(path) as data:
@@ -249,7 +275,43 @@ def archive_summary(path: str | Path) -> dict:
         (int(sub["start"]), int(sub["stop"]))
         for sub in header.get("frontier") or []
     ]
-    return {"provenance": header.get("provenance"), "frontier_spans": spans}
+    sections = []
+    if spans:
+        sections.append("frontier")
+    if header.get("paths") is not None:
+        sections.append("paths")
+    return {
+        "provenance": header.get("provenance"),
+        "frontier_spans": spans,
+        "sections": sections,
+    }
+
+
+def load_paths(
+    path: str | Path, *, expected_fingerprint: str | None = None
+) -> PathRecords | None:
+    """Load the per-detected-photon path records stored in an archive, if any.
+
+    Returns ``None`` when the archive carries no records (saves of runs
+    without ``capture_paths``, or archives predating path capture).  Like
+    :func:`load_tally`, ``expected_fingerprint`` makes the read
+    self-verifying against the provenance fingerprint.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        header = _read_header(data, path)
+        _check_fingerprint(header, path, expected_fingerprint)
+        meta = header.get("paths")
+        if meta is None:
+            return None
+        arrays = {
+            key: data[f"p_{key}"]
+            for key in (
+                "layer_paths", "weight", "opl", "max_depth",
+                "detector", "keys", "lengths",
+            )
+        }
+    return PathRecords.from_arrays(int(meta["n_layers"]), arrays)
 
 
 def load_frontier(

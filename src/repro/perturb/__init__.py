@@ -1,0 +1,46 @@
+"""Perturbation ("white") Monte Carlo: derive tallies without re-simulating.
+
+A detected photon's contribution factorises over the layers it crossed:
+``w · Π_i μs_i^{k_i} e^{-μt_i L_i}`` (collisions ``k_i``, geometric path
+``L_i`` in layer ``i``).  Given the per-layer pathlengths of every detected
+photon (:class:`~repro.detect.records.PathRecords`, captured with
+``capture_paths=True``), the detected-photon estimators for *perturbed*
+optical properties follow by reweighting each recorded photon:
+
+* absorption ``μa → μa + Δμa`` — **exact**: ratio ``e^{-Δμa_i·L_i}``
+  per layer (the path geometry does not depend on μa in an MCML-style
+  kernel, where step lengths are sampled from μt but weight carries the
+  survival factor; here steps are sampled from μt, so the absorption
+  reweighting over recorded paths is the standard pMC estimator);
+* scattering ``μs → α·μs`` — **first-order**: the collision count is
+  approximated by its expectation ``k_i ≈ μs_i·L_i``, giving
+  ``exp(μs_i·L_i·(ln α_i − α_i + 1))``.  Flagged in provenance; accurate
+  for ``|α−1|`` of a few percent.
+
+The service layer (:mod:`repro.service`) uses these kernels to answer a
+request that differs from a cached run only in μa/μs by *deriving* it from
+the cached run's records — the derivation-graph counterpart of the
+prefix-extension budget cache.
+"""
+
+from .reweight import (
+    DERIVED_FIELDS,
+    PARENT_VALUED_FIELDS,
+    PerturbationDelta,
+    PerturbationError,
+    derive_tally,
+    derived_std,
+    reweight_factors,
+)
+from .archive import derive_from_archive
+
+__all__ = [
+    "DERIVED_FIELDS",
+    "PARENT_VALUED_FIELDS",
+    "PerturbationDelta",
+    "PerturbationError",
+    "derive_from_archive",
+    "derive_tally",
+    "derived_std",
+    "reweight_factors",
+]

@@ -1,0 +1,317 @@
+"""Reweighting kernels: per-photon factors and derived tallies.
+
+Everything here is pure NumPy over sealed
+:class:`~repro.detect.records.PathRecords` — no RNG, no simulation.  A
+derivation is deterministic: the same parent records and delta always
+produce the bit-identical derived tally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tally import Tally
+from ..detect.records import PathRecords, RunningStat
+
+__all__ = [
+    "DERIVED_FIELDS",
+    "PARENT_VALUED_FIELDS",
+    "PerturbationDelta",
+    "PerturbationError",
+    "derive_tally",
+    "derived_std",
+    "reweight_factors",
+]
+
+#: Tally fields a derivation actually recomputes — the detected-photon
+#: estimators, for which the recorded paths are a sufficient statistic.
+DERIVED_FIELDS = (
+    "detected_weight",
+    "pathlength",
+    "penetration_depth",
+    "pathlength_hist",
+    "paths",
+)
+
+#: Tally fields a derived tally carries over *unchanged from the parent*.
+#: They describe the whole photon ensemble (absorbed energy, escape
+#: weights, grids), not just the detected sub-ensemble the records cover;
+#: deriving them would need per-collision data no record row stores.  A
+#: derived tally flags this in its provenance
+#: (``perturbation.fields_at_parent_properties``) so downstream readers of
+#: e.g. ``absorbed_by_layer`` know those numbers belong to the parent's
+#: optical properties.
+PARENT_VALUED_FIELDS = (
+    "specular_weight",
+    "diffuse_reflectance_weight",
+    "transmittance_weight",
+    "absorbed_by_layer",
+    "lost_weight",
+    "roulette_net_weight",
+    "absorption_grid",
+    "path_grid",
+    "reflectance_rho_hist",
+    "penetration_hist",
+)
+
+
+class PerturbationError(ValueError):
+    """A derivation cannot be performed from the given parent material."""
+
+
+@dataclass(frozen=True)
+class PerturbationDelta:
+    """A per-layer optical-property perturbation.
+
+    ``d_mu_a[i]`` is the *additive* absorption change of layer ``i`` (in
+    1/mm, the unit μa is specified in); ``alpha_s[i]`` is the
+    *multiplicative* scattering scale (``μs' = α·μs``).  The identity
+    delta is ``d_mu_a == 0`` and ``alpha_s == 1`` everywhere.
+    """
+
+    d_mu_a: tuple[float, ...]
+    alpha_s: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "d_mu_a", tuple(float(v) for v in self.d_mu_a)
+        )
+        object.__setattr__(
+            self, "alpha_s", tuple(float(v) for v in self.alpha_s)
+        )
+        if len(self.d_mu_a) != len(self.alpha_s):
+            raise ValueError(
+                f"d_mu_a has {len(self.d_mu_a)} layers, "
+                f"alpha_s has {len(self.alpha_s)}"
+            )
+        if not self.d_mu_a:
+            raise ValueError("a perturbation needs at least one layer")
+        for v in self.d_mu_a:
+            if not math.isfinite(v):
+                raise ValueError(f"non-finite d_mu_a entry {v!r}")
+        for a in self.alpha_s:
+            if not math.isfinite(a) or a <= 0.0:
+                raise ValueError(f"alpha_s entries must be finite and > 0, got {a!r}")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.d_mu_a)
+
+    @property
+    def is_zero(self) -> bool:
+        """Exactly the identity perturbation (bit-for-bit zero deltas)."""
+        return all(v == 0.0 for v in self.d_mu_a) and all(
+            a == 1.0 for a in self.alpha_s
+        )
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the reweighting is exact (absorption-only perturbation).
+
+        Scattering scaling uses the first-order collision-count
+        approximation ``k ≈ μs·L``; absorption reweighting has no
+        approximation at all.
+        """
+        return all(a == 1.0 for a in self.alpha_s)
+
+    @classmethod
+    def between(cls, parent: dict, child: dict) -> "PerturbationDelta":
+        """The delta turning ``parent`` coefficients into ``child``.
+
+        Both arguments are ``{"mu_a": [...], "mu_s": [...]}`` dicts as
+        produced by
+        :func:`repro.service.fingerprint.perturbable_coefficients`.
+        """
+        pa, ps = list(parent["mu_a"]), list(parent["mu_s"])
+        ca, cs = list(child["mu_a"]), list(child["mu_s"])
+        if not (len(pa) == len(ps) == len(ca) == len(cs)):
+            raise ValueError(
+                "parent and child coefficient vectors must share one layer count"
+            )
+        for v in ps:
+            if not (math.isfinite(v) and v > 0.0):
+                raise ValueError(
+                    f"parent mu_s entries must be finite and > 0, got {v!r}"
+                )
+        return cls(
+            d_mu_a=tuple(float(c) - float(p) for c, p in zip(ca, pa)),
+            alpha_s=tuple(float(c) / float(p) for c, p in zip(cs, ps)),
+        )
+
+    @classmethod
+    def from_stacks(cls, parent, child) -> "PerturbationDelta":
+        """The delta between two :class:`~repro.tissue.layer.LayerStack`."""
+        return cls.between(
+            {"mu_a": list(parent.mu_a), "mu_s": list(parent.mu_s)},
+            {"mu_a": list(child.mu_a), "mu_s": list(child.mu_s)},
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (for provenance and journal records)."""
+        return {
+            "d_mu_a": list(self.d_mu_a),
+            "alpha_s": list(self.alpha_s),
+            "exact": self.is_exact,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PerturbationDelta":
+        return cls(d_mu_a=tuple(d["d_mu_a"]), alpha_s=tuple(d["alpha_s"]))
+
+
+def reweight_factors(
+    paths: PathRecords,
+    delta: PerturbationDelta,
+    *,
+    mu_s: "np.ndarray | list[float] | None" = None,
+) -> np.ndarray:
+    """Per-record likelihood ratios for the perturbed optical properties.
+
+    For record ``j`` with per-layer geometric paths ``L_ij``::
+
+        r_j = exp( Σ_i [ -Δμa_i·L_ij + μs_i·L_ij·(ln α_i - α_i + 1) ] )
+
+    The absorption term is exact; the scattering term approximates the
+    collision count by its expectation ``k_i ≈ μs_i·L_ij`` (first order —
+    see the package docstring).  ``mu_s`` is the **parent's** per-layer
+    scattering coefficient, required only when the delta actually scales
+    scattering.
+    """
+    if paths.n_layers != delta.n_layers:
+        raise PerturbationError(
+            f"records cover {paths.n_layers} layers, delta {delta.n_layers}"
+        )
+    lp = paths.column("layer_paths")  # (rows, n_layers); requires sealed
+    exponent = lp @ (-np.asarray(delta.d_mu_a, dtype=np.float64))
+    if not delta.is_exact:
+        if mu_s is None:
+            raise PerturbationError(
+                "scattering perturbation needs the parent per-layer mu_s"
+            )
+        mu_s = np.asarray(mu_s, dtype=np.float64)
+        if mu_s.shape != (paths.n_layers,):
+            raise PerturbationError(
+                f"mu_s has shape {mu_s.shape}, expected ({paths.n_layers},)"
+            )
+        if not np.all(np.isfinite(mu_s) & (mu_s > 0.0)):
+            raise PerturbationError("parent mu_s must be finite and > 0 per layer")
+        alpha = np.asarray(delta.alpha_s, dtype=np.float64)
+        exponent = exponent + (lp * mu_s) @ (np.log(alpha) - alpha + 1.0)
+    return np.exp(exponent)
+
+
+def derived_std(paths: PathRecords, factors: np.ndarray) -> float:
+    """1σ uncertainty of the derived ``detected_weight`` sum.
+
+    Detected photons are independent, so the variance of the reweighted
+    sum ``Σ w_j·r_j`` is estimated by ``Σ (w_j·r_j)²`` (the single-sample
+    per-photon estimator; the relative error of the *normalized* detected
+    weight follows by dividing by ``n_launched``).  This is what the
+    3σ agreement tests — and callers judging whether a derivation's
+    statistics are still useful — compare against.
+    """
+    rw = paths.column("weight") * np.asarray(factors, dtype=np.float64)
+    return float(np.sqrt(np.sum(rw * rw)))
+
+
+def _stat_from(values: np.ndarray, weights: np.ndarray) -> RunningStat:
+    """A RunningStat as if ``add(values, weights)`` had run once per row."""
+    if values.size == 0:
+        return RunningStat()
+    return RunningStat(
+        count=float(values.size),
+        weight=float(weights.sum()),
+        weighted_sum=float((weights * values).sum()),
+        weighted_sumsq=float((weights * values * values).sum()),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+    )
+
+
+def derive_tally(
+    parent: Tally,
+    delta: PerturbationDelta,
+    *,
+    mu_s: "np.ndarray | list[float] | None" = None,
+) -> Tally:
+    """Derive the tally for perturbed optical properties from ``parent``.
+
+    Requires ``parent.paths`` (a ``capture_paths=True`` run) — raises
+    :class:`PerturbationError` otherwise; a derivation never silently
+    falls back to re-simulation.  The identity delta short-circuits to a
+    plain deep copy, bit-identical to the parent.
+
+    The derived tally recomputes the detected-photon estimators
+    (:data:`DERIVED_FIELDS`) from the reweighted records — including the
+    records themselves, whose ``weight`` column becomes ``w·r`` so the
+    derived tally remains self-consistent and further derivable.  Every
+    other field keeps the parent's value (:data:`PARENT_VALUED_FIELDS`);
+    the attached ``derivation`` attribute says so::
+
+        tally.derivation = {
+            "perturbation": delta.as_dict(),
+            "fields_at_parent_properties": [...],
+            "derived_std": <1σ of the derived detected-weight sum>,
+        }
+    """
+    if parent.paths is None:
+        raise PerturbationError(
+            "parent tally carries no path records; re-run the parent with "
+            "capture_paths=True (derivation does not fall back to simulation)"
+        )
+    if not parent.paths.is_sealed:
+        raise PerturbationError("parent path records are not sealed")
+    if parent.paths.n_layers != delta.n_layers:
+        raise PerturbationError(
+            f"parent records cover {parent.paths.n_layers} layers, "
+            f"delta {delta.n_layers}"
+        )
+    if parent.paths.n_rows != parent.detected_count:
+        raise PerturbationError(
+            f"parent records hold {parent.paths.n_rows} rows for "
+            f"{parent.detected_count} detected photons — partial records "
+            "cannot stand in for the detected ensemble"
+        )
+
+    out = parent.copy()
+    if delta.is_zero:
+        out.derivation = {
+            "perturbation": delta.as_dict(),
+            "fields_at_parent_properties": [],
+            "derived_std": derived_std(parent.paths, np.ones(parent.paths.n_rows)),
+        }
+        return out
+
+    factors = reweight_factors(parent.paths, delta, mu_s=mu_s)
+    weights = parent.paths.column("weight")
+    opl = parent.paths.column("opl")
+    max_depth = parent.paths.column("max_depth")
+    rw = weights * factors
+
+    out.detected_weight = float(rw.sum())
+    out.pathlength = _stat_from(opl, rw)
+    out.penetration_depth = _stat_from(max_depth, rw)
+    if parent.pathlength_hist is not None:
+        rebuilt = type(parent.pathlength_hist)(
+            edges=parent.pathlength_hist.edges.copy()
+        )
+        rebuilt.add(opl, rw)
+        out.pathlength_hist = rebuilt
+
+    # Reweight the records in place on the copy: segmentation (and thus
+    # mergeability/shape) is preserved, only the weight column changes.
+    offset = 0
+    for _, segment in out.paths._segments:
+        n = segment["weight"].size
+        segment["weight"] = np.ascontiguousarray(rw[offset:offset + n])
+        offset += n
+
+    out.derivation = {
+        "perturbation": delta.as_dict(),
+        "fields_at_parent_properties": list(PARENT_VALUED_FIELDS),
+        "derived_std": derived_std(parent.paths, factors),
+    }
+    return out

@@ -28,8 +28,8 @@ tally on any substrate):
   control: per-client token buckets and in-flight quotas, a bounded
   queue, explicit 429/503 backpressure;
 * :mod:`~repro.service.http` — a stdlib-only HTTP front end
-  (``POST /v1/runs``, ``GET /v1/runs/<id>``,
-  ``GET /v1/results/<fingerprint>``, ``GET /v1/metrics``), exposed on the
+  (``POST /v2/runs``, ``GET /v2/runs/<id>``,
+  ``GET /v2/results/<fingerprint>``, ``GET /v2/metrics``), exposed on the
   CLI as ``tissue-mc serve-http`` with drain-on-SIGTERM.
 
 Example

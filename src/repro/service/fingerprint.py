@@ -64,6 +64,9 @@ __all__ = [
     "canonicalize",
     "canonical_physics",
     "canonical_request",
+    "canonical_basis",
+    "derivation_basis",
+    "perturbable_coefficients",
     "physics_fingerprint",
     "request_fingerprint",
 ]
@@ -202,6 +205,86 @@ def canonical_request(request: "RunRequest") -> dict:
     if task_range is not None:
         payload["task_range"] = [int(task_range[0]), int(task_range[1])]
     return payload
+
+
+def _normalized_stack(stack: LayerStack) -> LayerStack:
+    """The stack with every perturbable coefficient pinned to 1.0.
+
+    Two requests share a normalized stack iff they differ *only* in layer
+    absorption/scattering coefficients — exactly the family that
+    :mod:`repro.perturb` can derive one member of from another without
+    re-simulating.
+    """
+    from ..tissue.layer import Layer, OpticalProperties
+
+    return LayerStack(
+        [
+            Layer(
+                name=layer.name,
+                properties=OpticalProperties(
+                    mu_a=1.0,
+                    mu_s=1.0,
+                    g=layer.properties.g,
+                    n=layer.properties.n,
+                ),
+                thickness=layer.thickness,
+            )
+            for layer in stack.layers
+        ],
+        n_above=stack.n_above,
+        n_below=stack.n_below,
+    )
+
+
+def canonical_basis(request: "RunRequest") -> dict:
+    """The canonical form of a request with μa/μs factored out.
+
+    Identical to :func:`canonical_physics` except the tissue stack's
+    ``mu_a``/``mu_s`` are pinned to 1.0 per layer — all other physics
+    (geometry, anisotropy, refractive indices, source, detector, gate,
+    boundary mode, seed, kernel, task size) stays in.  Two requests with
+    equal bases are perturbation siblings: the detected-photon estimators
+    of one can be derived from the other's path records.
+    """
+    from ..api import build_config
+
+    config = build_config(request)
+    payload = canonical_physics(request)
+    payload["config"] = canonicalize(
+        dataclasses.replace(config, stack=_normalized_stack(config.stack))
+    )
+    # Distinct namespace: an all-ones stack must not collide with its own
+    # physics fingerprint.
+    payload["role"] = "derivation_basis"
+    return payload
+
+
+def derivation_basis(request: "RunRequest") -> str:
+    """Stable hex key of a request's perturbation family.
+
+    Requests that differ only in layer μa/μs (and possibly ``n_photons``)
+    share a basis; the result store indexes paths-bearing archives by it so
+    a miss can be answered by reweighting a sibling's records
+    (:mod:`repro.perturb`) instead of re-simulating.
+    """
+    return _digest(canonical_basis(request))
+
+
+def perturbable_coefficients(request: "RunRequest") -> dict:
+    """The per-layer μa/μs a request asks for (plain floats, layer order).
+
+    The complement of :func:`canonical_basis`: together they reconstruct
+    the physics of the request.  Stored in provenance and the result-store
+    index so a derivation can compute the coefficient delta between a
+    request and a cached sibling without rebuilding either config.
+    """
+    from ..api import build_config
+
+    stack = build_config(request).stack
+    return {
+        "mu_a": [float(v) for v in stack.mu_a],
+        "mu_s": [float(v) for v in stack.mu_s],
+    }
 
 
 def physics_fingerprint(request: "RunRequest") -> str:

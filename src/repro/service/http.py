@@ -4,34 +4,31 @@ A :class:`ServiceServer` wraps a :class:`~repro.service.jobs.JobManager`
 behind ``http.server.ThreadingHTTPServer`` — no framework, no third-party
 dependency, in keeping with the repo's stdlib+numpy discipline.  The API:
 
-``POST /v1/runs``
+``POST /v2/runs``
     Submit a run.  Body: a JSON object with the physics fields of a
     :class:`~repro.api.RunRequest` (``model``, ``n_photons``, ``seed``,
     ``kernel``, ``task_size``, ``detector_spacing``, ``gate``,
     ``boundary_mode``) plus local execution knobs (``workers``,
-    ``backend``, ``retain_task_tallies``).  Optional headers:
-    ``X-Priority: high|normal|low`` (queue class) and ``X-Client``
-    (admission-control identity; defaults to the peer address).  Returns
-    ``200`` with the job status when the result was already cached,
-    ``202`` otherwise; ``429`` (rate/quota, with ``Retry-After``) or
-    ``503`` (queue saturated or draining) under admission control.
-``GET /v1/runs/<job_id>``
+    ``backend``, ``retain_task_tallies``, ``capture_paths``).  Optional
+    headers: ``X-Priority: high|normal|low`` (queue class) and
+    ``X-Client`` (admission-control identity; defaults to the peer
+    address).  Returns ``200`` with the job status when the result was
+    already cached, ``202`` otherwise; ``429`` (rate/quota, with
+    ``Retry-After``) or ``503`` (queue saturated or draining) under
+    admission control.
+``GET /v2/runs/<job_id>``
     Job status (state, fingerprint, cache/coalesce/recovered flags,
     timings, error).
-``GET /v1/results/<fingerprint>``
+``GET /v2/results/<fingerprint>``
     The stored tally as the raw ``.npz`` archive written by
     :func:`repro.io.save_tally` — load it with
     :func:`repro.io.load_tally`.  ``404`` until the run has completed.
-``GET /v1/metrics``
+``GET /v2/metrics``
     JSON snapshot of the service metrics registry (cache hits/misses,
     coalesced submissions, admission decisions, queue depth, journal
     fsync latency, job latency, kernel counters).
 
-API v2
-------
-Every endpoint is also served under ``/v2/...``; the two prefixes are
-aliases for one release (the ``/v1`` spelling is a compatibility shim —
-see README).  The v2 *surface* applies to both prefixes:
+The v2 surface:
 
 * **Uniform error envelope.**  Every error response carries
   ``{"error": {"code": <machine-readable>, "message": <human-readable>,
@@ -39,11 +36,17 @@ see README).  The v2 *surface* applies to both prefixes:
   controller's reason as the code (``rate``, ``inflight``, ``saturated``,
   ``over_budget``) and still set the ``Retry-After`` header.
 * **Cache provenance.**  Job payloads report how the cache served them via
-  ``cache`` (``"exact"`` / ``"prefix"`` / ``"miss"``); prefix extensions
-  add ``base_fingerprint`` and ``delta_photons``.
+  ``cache`` (``"exact"`` / ``"prefix"`` / ``"derived"`` / ``"miss"``);
+  prefix extensions add ``base_fingerprint`` and ``delta_photons``,
+  derivations add ``base_fingerprint`` and ``perturbation``.
 * **Partial-range runs.**  Requests may carry ``task_range: [lo, hi)``
   (task indices) to simulate a slice of the budget; the partial tally is
   cached under its own fingerprint.
+
+The retired ``/v1`` prefix (an alias of ``/v2`` for one release) now
+answers ``410 Gone`` with the v2 error envelope naming the ``/v2``
+replacement path — a machine-actionable pointer instead of a silent
+``404``.
 
 Responses are JSON except for the archive endpoint
 (``application/octet-stream``).
@@ -77,6 +80,7 @@ _REQUEST_FIELDS = frozenset({
     "boundary_mode",
     "retain_task_tallies",
     "task_range",
+    "capture_paths",
 })
 
 
@@ -163,7 +167,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------------------- plumbing
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # the service speaks through /v1/metrics, not stderr
+        pass  # the service speaks through /v2/metrics, not stderr
 
     def _send_json(
         self, status: int, payload: dict, headers: dict | None = None
@@ -210,11 +214,31 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     # ------------------------------------------------------------------ routes
-    #: Path prefixes served; /v1 is a one-release compatibility alias of /v2.
-    _API_VERSIONS = ("v1", "v2")
+    #: Path prefixes served.  /v1 was an alias of /v2 for one release and
+    #: is now retired: every /v1 path answers 410 Gone (see _retired).
+    _API_VERSIONS = ("v2",)
+
+    def _retired(self) -> bool:
+        """Answer retired ``/v1`` paths with ``410 Gone``; True if handled.
+
+        The envelope's message names the exact ``/v2`` replacement path so
+        a stale client's error log is its own migration guide.
+        """
+        parts = [p for p in self.path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            return False
+        replacement = "/".join(["/v2", *parts[1:]])
+        self._send_error(
+            410,
+            "gone",
+            f"the /v1 API has been retired; use {replacement}",
+        )
+        return True
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path.rstrip("/") not in ("/v1/runs", "/v2/runs"):
+        if self._retired():
+            return
+        if self.path.rstrip("/") != "/v2/runs":
             self._send_error(404, "not_found", f"no such endpoint {self.path!r}")
             return
         server = self.server_ref
@@ -263,6 +287,8 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, job.as_dict())
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self._retired():
+            return
         parts = [p for p in self.path.split("/") if p]
         version = parts[0] if parts else None
         if version not in self._API_VERSIONS:
@@ -285,6 +311,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(404, "not_found", f"no such endpoint {self.path!r}")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        if self._retired():
+            return
         parts = [p for p in self.path.split("/") if p]
         if len(parts) == 3 and parts[0] in self._API_VERSIONS and parts[1] == "runs":
             if self.manager.cancel(parts[2]):
@@ -324,7 +352,7 @@ class ServiceServer:
     joins both the HTTP thread and the manager's worker threads, so a
     bounced server never leaks threads.  An optional
     :class:`~repro.service.admission.AdmissionController` guards
-    ``POST /v1/runs``; :meth:`drain` is the graceful-shutdown path (stop
+    ``POST /v2/runs``; :meth:`drain` is the graceful-shutdown path (stop
     admitting → let flights checkpoint/finish → close).
     """
 

@@ -19,13 +19,30 @@ time:
    extended tally is bit-identical to a from-scratch run (task RNG streams
    are keyed by ``(seed, task_index)``), so it is stored and served exactly
    as a cold result would be.  Jobs report how they were served via
-   ``Job.cache`` (``"exact"`` / ``"prefix"`` / ``"miss"``).
-4. **Budget chaining** — a queued flight whose physics matches a smaller
+   ``Job.cache`` (``"exact"`` / ``"prefix"`` / ``"derived"`` / ``"miss"``).
+4. **Derivation** — a request that differs from a cached entry *only in
+   the perturbable optical coefficients* (per-layer μa/μs; same
+   :func:`~repro.service.fingerprint.derivation_basis`, same budget) is
+   answered by **reweighting** the cached parent's path records
+   (:mod:`repro.perturb`) — zero photons simulated.  The derived tally is
+   stored under the request's own fingerprint (``derived_from`` +
+   perturbation delta in its provenance, ``derived=True`` in the index) so
+   repeats are exact hits and it can itself seed further derivations —
+   though simulation-born parents are always preferred, so scattering
+   approximation error never compounds.  Any load/reweight failure falls
+   through to a cold run: auto-derivation is an optimisation, never a
+   correctness gate (the fail-closed path is
+   :func:`repro.perturb.derive_from_archive`).  Cold extendable runs
+   capture path records by default (``capture_paths=True`` on the
+   manager) so their stored entries are eligible parents.
+5. **Budget chaining** — a queued flight whose physics matches a smaller
    in-flight budget waits for that flight instead of racing it cold: when
    the base settles, the chained flight is released and (on success) finds
    the freshly stored entry as its extension base, so concurrent
-   escalating budgets cost one full run plus deltas.
-5. **Execution** — remaining work runs through the :func:`repro.api.run`
+   escalating budgets cost one full run plus deltas.  Flights whose
+   *derivation basis* matches an in-flight equal-budget run chain the
+   same way: the parent simulates once, the waiters each derive.
+6. **Execution** — remaining work runs through the :func:`repro.api.run`
    facade on a bounded thread pool (each run may itself fan out over its
    own process/thread backend), in priority order (``high`` before
    ``normal`` before ``low``; FIFO within a class).
@@ -73,7 +90,13 @@ from ..api import RunRequest
 from ..core.tally import Tally
 from ..distributed.checkpoint import CheckpointError, CheckpointManager
 from ..observe import Telemetry
-from .fingerprint import physics_fingerprint, request_fingerprint
+from ..perturb import PerturbationDelta, PerturbationError, derive_tally
+from .fingerprint import (
+    derivation_basis,
+    perturbable_coefficients,
+    physics_fingerprint,
+    request_fingerprint,
+)
 from .journal import JobJournal, OpenJob
 from .store import ResultStore
 
@@ -114,12 +137,17 @@ class Job:
     recovered: bool = False
     #: How the cache served this job: ``"exact"`` (stored result returned
     #: as-is), ``"prefix"`` (a smaller-budget entry was extended by a delta
-    #: run), or ``"miss"`` (simulated from scratch).
+    #: run), ``"derived"`` (reweighted from a same-basis cached parent,
+    #: zero photons simulated), or ``"miss"`` (simulated from scratch).
     cache: str = "miss"
-    #: Fingerprint of the cached entry a prefix extension started from.
+    #: Fingerprint of the cached entry a prefix extension or derivation
+    #: started from.
     base_fingerprint: str | None = None
     #: Photons actually simulated by the delta run of a prefix extension.
     delta_photons: int | None = None
+    #: The perturbation delta of a ``"derived"`` job
+    #: (:meth:`~repro.perturb.PerturbationDelta.as_dict` form).
+    perturbation: dict | None = None
     error: str | None = None
     created: float = field(default_factory=time.time)
     started: float | None = None
@@ -164,7 +192,10 @@ class Job:
         }
         if self.base_fingerprint is not None:
             out["base_fingerprint"] = self.base_fingerprint
-            out["delta_photons"] = self.delta_photons
+            if self.perturbation is not None:
+                out["perturbation"] = self.perturbation
+            else:
+                out["delta_photons"] = self.delta_photons
         return out
 
     # -- transitions (called by the manager, under its lock) -----------------
@@ -198,6 +229,7 @@ class _Flight:
         request: RunRequest,
         priority: int = 1,
         physics: str | None = None,
+        basis: str | None = None,
     ) -> None:
         self.fingerprint = fingerprint
         self.request = request
@@ -205,13 +237,35 @@ class _Flight:
         #: Physics fingerprint (budget-independent); ``None`` when the
         #: request is not eligible for prefix extension or chaining.
         self.physics = physics
+        #: Derivation basis (coefficient-independent); ``None`` when the
+        #: request is not eligible for perturbation derivation.
+        self.basis = basis
         self.jobs: list[Job] = []
-        #: Flights with the same physics and a larger budget, parked until
-        #: this flight settles (see ``JobManager._release_chained``).
+        #: Flights with the same physics and a larger budget — or the same
+        #: derivation basis and an equal budget — parked until this flight
+        #: settles (see ``JobManager._release_chained``).
         self.chained: list["_Flight"] = []
         self.started = False
         self.started_at: float | None = None
         self.cancelled = False
+
+
+@dataclass
+class _Plan:
+    """How ``_execute`` should serve a flight (decided at execute time)."""
+
+    run_request: RunRequest
+    #: Non-None: the flight settles without running (exact or derived).
+    tally: Tally | None = None
+    cache: str = "miss"  # "exact" | "prefix" | "derived" | "miss"
+    #: Prefix-extension base or derivation parent.
+    base_fingerprint: str | None = None
+    base_n_photons: int | None = None
+    delta_photons: int | None = None
+    #: ``PerturbationDelta.as_dict()`` of a derived plan.
+    perturbation: dict | None = None
+    #: Whether the derivation parent was itself derived (provenance detail).
+    parent_derived: bool = False
 
 
 class JobManager:
@@ -234,6 +288,12 @@ class JobManager:
     job_timeout:
         Wall-clock budget per flight attempt; exceeding it fails the job
         with :class:`JobTimeout` (no retry — a timeout is not transient).
+    capture_paths:
+        Capture per-detected-photon path records on cold extendable runs
+        (the default), making their stored entries eligible perturbation
+        parents.  ``False`` disables capture — and with it derivation
+        chaining — for memory/storage-constrained deployments; explicit
+        ``RunRequest.capture_paths`` is honoured either way.
     """
 
     def __init__(
@@ -247,6 +307,7 @@ class JobManager:
         max_attempts: int = 1,
         retry_backoff: float = 0.5,
         job_timeout: float | None = None,
+        capture_paths: bool = True,
     ) -> None:
         if max_workers <= 0:
             raise ValueError(f"max_workers must be > 0, got {max_workers}")
@@ -270,6 +331,7 @@ class JobManager:
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.job_timeout = job_timeout
+        self.capture_paths = capture_paths
         self._runner = runner if runner is not None else self._default_runner
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -392,9 +454,9 @@ class JobManager:
 
     def _enqueue(self, job: Job, request: RunRequest) -> None:
         """Attach ``job`` to an existing flight or open (and queue) a new one."""
-        physics = (
-            physics_fingerprint(request) if self._extendable(request) else None
-        )
+        extendable = self._extendable(request)
+        physics = physics_fingerprint(request) if extendable else None
+        basis = derivation_basis(request) if extendable else None
         with self._lock:
             flight = self._flights.get(job.fingerprint)
             if flight is not None:
@@ -406,7 +468,11 @@ class JobManager:
                 self._update_queue_depth()
                 return
             flight = _Flight(
-                job.fingerprint, request, priority=job.priority, physics=physics
+                job.fingerprint,
+                request,
+                priority=job.priority,
+                physics=physics,
+                basis=basis,
             )
             flight.jobs.append(job)
             self._flights[job.fingerprint] = flight
@@ -435,25 +501,37 @@ class JobManager:
         )
 
     def _chain_base(self, flight: _Flight) -> "_Flight | None":
-        """The best in-flight extension base for ``flight`` (lock held).
+        """The best in-flight base for ``flight`` to wait on (lock held).
 
-        Largest strictly-smaller budget with the same physics; ``None``
-        when nothing qualifies (the flight then runs independently).
+        Prefers the largest strictly-smaller budget with the same physics
+        (budget chain, the released flight prefix-extends it); otherwise,
+        when cold runs capture path records, any equal-budget flight with
+        the same derivation basis (derivation chain, the released flight
+        reweights it).  ``None`` when nothing qualifies — the flight then
+        runs independently.
         """
         if flight.physics is None:
             return None
         best = None
+        peer = None
         for other in self._flights.values():
-            if (
-                other is flight
-                or other.cancelled
-                or other.physics != flight.physics
-                or other.request.n_photons >= flight.request.n_photons
-            ):
+            if other is flight or other.cancelled:
                 continue
-            if best is None or other.request.n_photons > best.request.n_photons:
-                best = other
-        return best
+            if (
+                other.physics == flight.physics
+                and other.request.n_photons < flight.request.n_photons
+            ):
+                if best is None or other.request.n_photons > best.request.n_photons:
+                    best = other
+            elif (
+                peer is None
+                and self.capture_paths
+                and flight.basis is not None
+                and other.basis == flight.basis
+                and other.request.n_photons == flight.request.n_photons
+            ):
+                peer = other
+        return best if best is not None else peer
 
     def _release_chained(self, flight: _Flight) -> None:
         """Queue the flights parked behind ``flight`` (call without lock)."""
@@ -667,29 +745,31 @@ class JobManager:
             raise box["error"]
         return box["result"]
 
-    def _plan(self, flight: _Flight):
+    def _plan(self, flight: _Flight) -> _Plan:
         """Decide how to serve a flight *at execute time*.
 
         Planning is deferred to execution (not submission) so a flight
-        released from a budget chain sees the entry its base just stored.
-        Returns ``(run_request, exact_tally, base_fp, base_photons,
-        delta_photons)``:
+        released from a budget or derivation chain sees the entry its base
+        just stored.  Resolution order: **exact → prefix → derivation →
+        miss**:
 
-        * ``exact_tally`` non-None: the store answered the exact address
+        * ``cache="exact"``: the store answered the exact address
           meanwhile (e.g. another process shares the directory) — settle
           without running.
-        * ``base_fp`` non-None: prefix hit.  ``run_request`` carries the
-          cached frontier and simulates only the delta tasks.
-        * otherwise a cold run; extendable requests still get
-          ``capture_frontier=True`` so the stored entry can seed future
-          extensions.
+        * ``cache="prefix"``: ``run_request`` carries the cached frontier
+          and simulates only the delta tasks.
+        * ``cache="derived"``: ``tally`` was reweighted from a same-basis
+          cached parent — settle without running.
+        * ``cache="miss"``: a cold run; extendable requests still get
+          ``capture_frontier=True`` (and, per the manager's
+          ``capture_paths`` knob, path capture) so the stored entry can
+          seed future extensions and derivations.
         """
-        run_request = flight.request
         if flight.physics is None:
-            return run_request, None, None, None, None
+            return _Plan(run_request=flight.request)
         exact = self.store.get(flight.fingerprint)
         if exact is not None:
-            return run_request, exact, None, None, None
+            return _Plan(run_request=flight.request, tally=exact, cache="exact")
         hit = self.store.best_prefix(flight.physics, flight.request.n_photons)
         if hit is not None:
             fp, cached_photons, _frontier_tasks = hit
@@ -699,15 +779,76 @@ class JobManager:
                 task_size = flight.request.resolved_task_size()
                 delta = flight.request.n_photons - covered * task_size
                 run_request = replace(
-                    flight.request, frontier=frontier, capture_frontier=True
+                    flight.request,
+                    frontier=frontier,
+                    capture_frontier=True,
+                    # The primed frontier spans carry no path records, so
+                    # the merged tally cannot either (all-or-nothing):
+                    # skip the capture cost on the delta tasks.
+                    capture_paths=False,
                 )
                 self.telemetry.count("service.prefix.hits")
                 self.telemetry.count("service.prefix.delta_photons", delta)
                 self.telemetry.count(
                     "service.prefix.photons_saved", covered * task_size
                 )
-                return run_request, None, fp, cached_photons, delta
-        return replace(flight.request, capture_frontier=True), None, None, None, None
+                return _Plan(
+                    run_request=run_request,
+                    cache="prefix",
+                    base_fingerprint=fp,
+                    base_n_photons=cached_photons,
+                    delta_photons=delta,
+                )
+        derived = self._plan_derivation(flight)
+        if derived is not None:
+            return derived
+        cold = replace(flight.request, capture_frontier=True)
+        if self.capture_paths and not cold.capture_paths:
+            cold = replace(cold, capture_paths=True)
+        return _Plan(run_request=cold)
+
+    def _plan_derivation(self, flight: _Flight) -> "_Plan | None":
+        """A reweighting plan from a same-basis cached parent, or ``None``.
+
+        Every failure mode — parent evicted between index lookup and load,
+        records missing, foreign coefficients — returns ``None`` and the
+        flight falls through to a cold run: auto-derivation is an
+        optimisation, never a correctness gate.
+        """
+        if flight.basis is None:
+            return None
+        hit = self.store.best_derivation(
+            flight.basis, flight.request.n_photons, exclude=flight.fingerprint
+        )
+        if hit is None:
+            return None
+        parent_fp, parent_coeffs, parent_derived = hit
+        try:
+            delta = PerturbationDelta.between(
+                parent_coeffs, perturbable_coefficients(flight.request)
+            )
+        except (KeyError, TypeError, ValueError):
+            return None  # degenerate/foreign coefficients: run cold
+        parent = self.store.get(parent_fp)
+        if parent is None:
+            return None
+        parent.paths = self.store.get_paths(parent_fp)
+        try:
+            tally = derive_tally(parent, delta, mu_s=parent_coeffs.get("mu_s"))
+        except PerturbationError:
+            return None
+        self.telemetry.count("service.derivation.hits")
+        self.telemetry.count(
+            "service.derivation.photons_saved", flight.request.n_photons
+        )
+        return _Plan(
+            run_request=flight.request,
+            tally=tally,
+            cache="derived",
+            base_fingerprint=parent_fp,
+            perturbation=delta.as_dict(),
+            parent_derived=parent_derived,
+        )
 
     def _execute(self, flight: _Flight) -> None:
         with self._lock:
@@ -727,20 +868,54 @@ class JobManager:
             self._release_chained(flight)
             return
         t0 = time.perf_counter()
-        run_request, tally, base_fp, base_photons, delta_photons = self._plan(flight)
+        plan = self._plan(flight)
+        run_request, tally = plan.run_request, plan.tally
         error: str | None = None
-        exact_hit = tally is not None
+        exact_hit = plan.cache == "exact"
         if exact_hit:
             # Exact hit at execute time: serve from the store, no run.
             self.telemetry.count("service.cache.hits")
+        elif plan.cache == "derived":
+            # Reweighted from a cached parent: no run.  The derived entry
+            # is stored under this flight's own fingerprint so repeats are
+            # exact hits; a store failure only costs the caching, never
+            # the (already computed) result.
+            for job_id in job_ids:
+                self._journal_record(
+                    "started",
+                    job_id,
+                    cache="derived",
+                    base_fingerprint=plan.base_fingerprint,
+                    perturbation=plan.perturbation,
+                )
+            if self.store is not None:
+                provenance = flight.request.provenance()
+                provenance["derived_from"] = {
+                    "parent_fingerprint": plan.base_fingerprint,
+                    "perturbation": plan.perturbation,
+                    "parent_derived": plan.parent_derived,
+                }
+                try:
+                    self.store.put(
+                        flight.fingerprint,
+                        tally,
+                        provenance=provenance,
+                        physics=flight.physics,
+                        n_photons=flight.request.n_photons,
+                        basis=flight.basis,
+                        coefficients=perturbable_coefficients(flight.request),
+                        derived=True,
+                    )
+                except Exception:  # noqa: BLE001 - caching is best-effort here
+                    self.telemetry.count("service.derivation.store_failures")
         else:
             derivation: dict = {}
-            if base_fp is not None:
+            if plan.base_fingerprint is not None:
                 derivation = {
                     "cache": "prefix",
-                    "base_fingerprint": base_fp,
-                    "base_n_photons": base_photons,
-                    "delta_photons": delta_photons,
+                    "base_fingerprint": plan.base_fingerprint,
+                    "base_n_photons": plan.base_n_photons,
+                    "delta_photons": plan.delta_photons,
                 }
             for job_id in job_ids:
                 self._journal_record("started", job_id, **derivation)
@@ -762,11 +937,11 @@ class JobManager:
                     error = None
                     if self.store is not None:
                         provenance = flight.request.provenance()
-                        if base_fp is not None:
+                        if plan.base_fingerprint is not None:
                             provenance["derived_from"] = {
-                                "base_fingerprint": base_fp,
-                                "base_n_photons": base_photons,
-                                "delta_photons": delta_photons,
+                                "base_fingerprint": plan.base_fingerprint,
+                                "base_n_photons": plan.base_n_photons,
+                                "delta_photons": plan.delta_photons,
                             }
                         self.store.put(
                             flight.fingerprint,
@@ -779,6 +954,12 @@ class JobManager:
                                 else None
                             ),
                             frontier=frontier_out,
+                            basis=flight.basis,
+                            coefficients=(
+                                perturbable_coefficients(flight.request)
+                                if flight.basis is not None
+                                else None
+                            ),
                         )
                     break
                 except CheckpointError:
@@ -819,10 +1000,11 @@ class JobManager:
             # acknowledgement a client can observe must already be durable.
             # The finally keeps a journal I/O failure from stranding waiters.
             if error is None and tally is not None:
-                if base_fp is not None:
-                    job.cache = "prefix"
-                    job.base_fingerprint = base_fp
-                    job.delta_photons = delta_photons
+                if plan.base_fingerprint is not None:
+                    job.cache = plan.cache
+                    job.base_fingerprint = plan.base_fingerprint
+                    job.delta_photons = plan.delta_photons
+                    job.perturbation = plan.perturbation
                 try:
                     self._journal_record("done", job.id)
                 finally:

@@ -27,8 +27,16 @@ Properties
   *budget-extendable*: :meth:`get_frontier` restores the span partials a
   delta run primes into its reducer.  Storing a larger budget for the
   same physics **supersedes** dominated smaller-budget entries (same
-  physics, smaller budget, no wider frontier) — the larger archive
-  answers every query the smaller one could.
+  physics, smaller budget, no wider frontier, no path records the new
+  entry lacks) — the larger archive answers every query the smaller one
+  could.
+* **Derivation addressing.**  Entries also carry their **derivation
+  basis** (μa/μs factored out; see
+  :func:`repro.service.derivation_basis`), the per-layer coefficients,
+  and whether the archive holds per-photon path records.
+  :meth:`best_derivation` answers "which cached sibling can a
+  perturbation-MC reweighting (:mod:`repro.perturb`) derive this request
+  from" queries; :meth:`get_paths` restores the records.
 * **Observability.**  Hits, misses, evictions, supersessions, foreign
   rejections and the current byte footprint flow into a
   :class:`~repro.observe.Telemetry` when one is attached.
@@ -45,7 +53,14 @@ from pathlib import Path
 
 from ..core.reduce import TallyFrontier
 from ..core.tally import Tally
-from ..io.results import archive_summary, load_frontier, load_tally, save_tally
+from ..detect.records import PathRecords
+from ..io.results import (
+    archive_summary,
+    load_frontier,
+    load_paths,
+    load_tally,
+    save_tally,
+)
 from ..observe import Telemetry
 
 __all__ = ["ResultStore"]
@@ -53,7 +68,8 @@ __all__ = ["ResultStore"]
 logger = logging.getLogger(__name__)
 
 _INDEX_NAME = "index.json"
-_INDEX_VERSION = 2
+#: Version 3 added derivation addressing (basis, coefficients, paths flag).
+_INDEX_VERSION = 3
 
 #: Default size bound: 1 GiB of tally archives.
 DEFAULT_MAX_BYTES = 1 << 30
@@ -140,10 +156,15 @@ class ResultStore:
                 "physics": None,
                 "n_photons": None,
                 "frontier_tasks": 0,
+                "basis": None,
+                "coefficients": None,
+                "paths": False,
+                "derived": False,
             }
-            # Recover the prefix-addressing metadata from the archive
-            # header; an unreadable artifact still gets a bare entry —
-            # the first get() self-verifies and evicts it if foreign.
+            # Recover the prefix/derivation-addressing metadata from the
+            # archive header; an unreadable artifact still gets a bare
+            # entry — the first get() self-verifies and evicts it if
+            # foreign.
             try:
                 summary = archive_summary(path)
             except (ValueError, OSError, KeyError, json.JSONDecodeError):
@@ -154,6 +175,14 @@ class ResultStore:
                 if prov.get("task_range") is None:
                     entry["n_photons"] = prov.get("n_photons")
                 entry["frontier_tasks"] = _prefix_tasks(summary["frontier_spans"])
+                entry["basis"] = prov.get("derivation_basis")
+                entry["coefficients"] = prov.get("coefficients")
+                entry["paths"] = "paths" in summary.get("sections", [])
+                # "derived" means perturbation-reweighted (approximate for
+                # scattering); prefix-extended entries also carry
+                # ``derived_from`` but are exact simulation — distinguish
+                # by the perturbation payload.
+                entry["derived"] = "perturbation" in (prov.get("derived_from") or {})
             entries[fingerprint] = entry
         logger.warning(
             "result store %s: index unreadable, rebuilt from %d artifact(s)",
@@ -260,6 +289,9 @@ class ResultStore:
         physics: str | None = None,
         n_photons: int | None = None,
         frontier: TallyFrontier | None = None,
+        basis: str | None = None,
+        coefficients: dict | None = None,
+        derived: bool = False,
     ) -> Path:
         """Persist ``tally`` under ``fingerprint``; returns the archive path.
 
@@ -269,10 +301,20 @@ class ResultStore:
         ``physics`` / ``n_photons`` register the entry for
         :meth:`best_prefix` queries; ``frontier`` stores the run's reducer
         span partials in the archive, making the entry budget-extendable
-        (restored via :meth:`get_frontier`).  A new entry **supersedes**
-        same-physics entries with a smaller budget whose frontier covers no
-        more tasks than the new one — the larger archive answers every
-        query the smaller one could, so the smaller is freed immediately.
+        (restored via :meth:`get_frontier`).  ``basis`` / ``coefficients``
+        (see :func:`repro.service.derivation_basis` and
+        :func:`repro.service.perturbable_coefficients`) register it for
+        :meth:`best_derivation` queries; path records travel on
+        ``tally.paths`` and are persisted automatically by ``save_tally``.
+        ``derived`` marks entries produced by reweighting rather than
+        simulation (dispreferred as future derivation parents, so
+        approximation error never compounds silently).
+
+        A new entry **supersedes** same-physics entries with a smaller
+        budget whose frontier covers no more tasks than the new one and
+        which hold no path records the new entry lacks — the larger
+        archive then answers every query the smaller one could, so the
+        smaller is freed immediately.
 
         Eviction runs after the write: least-recently-used artifacts are
         deleted until the store fits ``max_bytes`` again (the newly written
@@ -283,7 +325,12 @@ class ResultStore:
         provenance["fingerprint"] = fingerprint
         if physics is not None:
             provenance.setdefault("physics_fingerprint", physics)
+        if basis is not None:
+            provenance.setdefault("derivation_basis", basis)
+        if coefficients is not None:
+            provenance.setdefault("coefficients", coefficients)
         frontier_tasks = frontier.prefix_tasks if frontier is not None else 0
+        has_paths = tally.paths is not None
         with self._lock:
             path = save_tally(
                 self.path(fingerprint), tally, provenance=provenance,
@@ -297,6 +344,10 @@ class ResultStore:
                 "physics": physics,
                 "n_photons": int(n_photons) if n_photons is not None else None,
                 "frontier_tasks": frontier_tasks,
+                "basis": basis,
+                "coefficients": coefficients,
+                "paths": has_paths,
+                "derived": bool(derived),
             }
             if physics is not None and n_photons is not None:
                 for fp, entry in list(self._index.items()):
@@ -306,6 +357,9 @@ class ResultStore:
                         and entry.get("n_photons") is not None
                         and entry["n_photons"] < n_photons
                         and entry.get("frontier_tasks", 0) <= frontier_tasks
+                        # Never free a paths-bearing entry for a paths-less
+                        # one: the records are what derivations feed on.
+                        and (has_paths or not entry.get("paths", False))
                     ):
                         self._evict(fp)
                         self._count("service.store.superseded")
@@ -339,6 +393,65 @@ class ResultStore:
                 if best is None or cached > best[1]:
                     best = (fp, cached, entry["frontier_tasks"])
             return best
+
+    def best_derivation(
+        self, basis: str, n_photons: int, *, exclude: str | None = None
+    ) -> tuple[str, dict, bool] | None:
+        """The best perturbation parent for a ``(basis, n_photons)`` query.
+
+        Returns ``(fingerprint, coefficients, derived)`` for a cached entry
+        with the same derivation basis, the **same** photon budget (a
+        derivation reweights the detected ensemble — it cannot change its
+        size) and stored path records, or ``None``.  Simulation-born
+        parents are preferred over derived ones (so scattering
+        approximation error never compounds); among equals the most
+        recently accessed wins.  ``exclude`` skips one fingerprint
+        (typically the request's own, which would be an exact hit, not a
+        derivation).
+        """
+        with self._lock:
+            best: tuple[str, dict, bool] | None = None
+            best_rank: tuple | None = None
+            for fp, entry in self._index.items():
+                if (
+                    fp == exclude
+                    or entry.get("basis") != basis
+                    or entry.get("basis") is None
+                    or not entry.get("paths", False)
+                    or entry.get("n_photons") != n_photons
+                    or not entry.get("coefficients")
+                ):
+                    continue
+                rank = (not entry.get("derived", False), entry.get("last_access", 0))
+                if best_rank is None or rank > best_rank:
+                    best = (fp, entry["coefficients"], bool(entry.get("derived")))
+                    best_rank = rank
+            return best
+
+    def get_paths(self, fingerprint: str) -> PathRecords | None:
+        """The stored path records for an entry, or ``None``.
+
+        Self-verifying like :meth:`get`: a foreign or unreadable artifact
+        is evicted and reported as a miss, never served as a parent.
+        """
+        with self._lock:
+            entry = self._index.get(fingerprint)
+            if entry is None or not self.path(fingerprint).exists():
+                return None
+            try:
+                paths = load_paths(
+                    self.path(fingerprint), expected_fingerprint=fingerprint
+                )
+            except (ValueError, OSError, KeyError):
+                self._evict(fingerprint)
+                self._save_index()
+                self._count("service.store.foreign")
+                return None
+            if paths is None:
+                return None
+            entry["last_access"] = time.time()
+            self._save_index()
+            return paths
 
     def get_frontier(self, fingerprint: str) -> TallyFrontier | None:
         """The stored reduction frontier for an entry, or ``None``.

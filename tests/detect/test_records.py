@@ -167,3 +167,134 @@ class TestHistogram:
     def test_centres(self):
         h = Histogram.linear(0.0, 4.0, 4)
         np.testing.assert_allclose(h.centres, [0.5, 1.5, 2.5, 3.5])
+
+
+class TestPathRecords:
+    """Per-detected-photon records: sealing, merging, round-trips."""
+
+    @staticmethod
+    def _filled(keys=(0,), n_layers=2, rows=3, base=0.0):
+        from repro.detect import PathRecords
+
+        records = PathRecords(n_layers)
+        for i, key in enumerate(keys):
+            lp = np.arange(rows * n_layers, dtype=float).reshape(rows, n_layers)
+            lp = lp + base + 10.0 * i
+            records.append(
+                lp,
+                np.full(rows, 0.5 + i),
+                lp.sum(axis=1) * 1.4,
+                lp.max(axis=1),
+                i,
+            )
+            records.seal(key)
+        return records
+
+    def test_append_and_seal(self):
+        from repro.detect import PathRecords
+
+        records = PathRecords(2)
+        records.append([1.0, 2.0], 0.5, 4.2, 1.0)
+        assert not records.is_sealed and records.n_rows == 1
+        records.seal(3)
+        assert records.is_sealed
+        assert records.segment_keys == (3,)
+        np.testing.assert_allclose(records.column("layer_paths"), [[1.0, 2.0]])
+        np.testing.assert_allclose(records.column("weight"), [0.5])
+        assert records.column("detector").dtype == np.int64
+        assert records.nbytes > 0
+
+    def test_empty_seal_is_allowed(self):
+        from repro.detect import PathRecords
+
+        records = PathRecords(3)
+        records.seal(0)
+        assert records.n_rows == 0 and records.segment_keys == (0,)
+        assert records.column("weight").size == 0
+
+    def test_column_requires_sealed(self):
+        from repro.detect import PathRecords
+
+        records = PathRecords(2)
+        records.append([1.0, 2.0], 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="seal"):
+            records.column("weight")
+        with pytest.raises(KeyError):
+            self._filled().column("nope")
+
+    def test_duplicate_seal_rejected(self):
+        records = self._filled(keys=(1,))
+        with pytest.raises(ValueError, match="already sealed"):
+            records.seal(1)
+
+    def test_layer_count_validated(self):
+        from repro.detect import PathRecords
+
+        records = PathRecords(2)
+        with pytest.raises(ValueError, match="layers"):
+            records.append([1.0, 2.0, 3.0], 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PathRecords(0)
+
+    def test_merge_is_key_ordered_regardless_of_operand_order(self):
+        a = self._filled(keys=(0, 2))
+        b = self._filled(keys=(1, 3), base=100.0)
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.segment_keys == (0, 1, 2, 3)
+        assert ab == ba  # commutative in effect: canonical row order
+        # rows follow segment keys, not insertion order
+        np.testing.assert_allclose(
+            ab.column("weight"),
+            np.concatenate(
+                [a._segments[0][1]["weight"], b._segments[0][1]["weight"],
+                 a._segments[1][1]["weight"], b._segments[1][1]["weight"]]
+            ),
+        )
+
+    def test_merge_rejects_duplicates_unsealed_and_foreign(self):
+        from repro.detect import PathRecords
+
+        a = self._filled(keys=(0,))
+        with pytest.raises(ValueError, match="both sides"):
+            a.merge(self._filled(keys=(0,)))
+        with pytest.raises(ValueError, match="layers"):
+            a.merge(self._filled(keys=(1,), n_layers=3))
+        unsealed = PathRecords(2)
+        unsealed.append([1.0, 2.0], 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="seal"):
+            a.merge(unsealed)
+        with pytest.raises(TypeError):
+            a.merge("records")
+
+    def test_copy_is_independent_and_equal(self):
+        a = self._filled(keys=(0, 1))
+        b = a.copy()
+        assert a == b
+        b._segments[0][1]["weight"][0] += 1.0
+        assert a != b
+
+    def test_roundtrip_through_arrays(self):
+        from repro.detect import PathRecords
+
+        a = self._filled(keys=(0, 2, 5), rows=4)
+        arrays = a.to_arrays()
+        back = PathRecords.from_arrays(2, arrays)
+        assert back == a
+        assert back.segment_keys == (0, 2, 5)
+        # restored records stay mergeable (segmentation survived)
+        merged = back.merge(self._filled(keys=(1,), base=50.0))
+        assert merged.segment_keys == (0, 1, 2, 5)
+
+    def test_from_arrays_validates(self):
+        from repro.detect import PathRecords
+
+        arrays = self._filled(keys=(0, 1)).to_arrays()
+        bad = dict(arrays, lengths=arrays["lengths"][:1])
+        with pytest.raises(ValueError, match="matching"):
+            PathRecords.from_arrays(2, bad)
+        bad = dict(arrays, weight=arrays["weight"][:-1])
+        with pytest.raises(ValueError, match="rows"):
+            PathRecords.from_arrays(2, bad)
+        bad = dict(arrays, keys=np.array([0, 0]))
+        with pytest.raises(ValueError, match="duplicate"):
+            PathRecords.from_arrays(2, bad)

@@ -56,6 +56,15 @@ class TestRoundTrip:
         tally = Tally(n_layers=3, records=RECORD_SHAPES[shape])
         assert decode_tally(encode_tally(tally)) == tally
 
+    def test_path_records_round_trip(self, fast_stack):
+        config = SimulationConfig(stack=fast_stack, source=PencilBeam())
+        tally = run_photons(config, 40, task_rng(3, 0), capture_paths=True)
+        tally.paths.seal(0)
+        decoded = decode_tally(encode_tally(tally))
+        assert decoded.paths == tally.paths
+        assert decoded.paths.segment_keys == (0,)
+        assert decoded == tally
+
     def test_merge_of_decoded_matches_merge_of_originals(self, fast_stack):
         records = RECORD_SHAPES["everything"]
         config = SimulationConfig(

@@ -202,6 +202,7 @@ class TestArchiveSummary:
         summary = archive_summary(path)
         assert summary["provenance"] == {"n_photons": 100}
         assert summary["frontier_spans"] == [(0, 1)]
+        assert summary["sections"] == ["frontier"]
 
     def test_plain_archive(self, tmp_path, fast_config):
         from repro.io import archive_summary
@@ -210,3 +211,53 @@ class TestArchiveSummary:
         summary = archive_summary(save_tally(tmp_path / "t.npz", tally))
         assert summary["provenance"] is None
         assert summary["frontier_spans"] == []
+        assert summary["sections"] == []
+
+    def test_paths_section_reported(self, tmp_path, fast_config):
+        from repro.core import run_photons, task_rng
+        from repro.io import archive_summary
+
+        tally = run_photons(fast_config, 50, task_rng(0, 0), capture_paths=True)
+        tally.paths.seal(0)
+        summary = archive_summary(save_tally(tmp_path / "t.npz", tally))
+        assert summary["sections"] == ["paths"]
+
+
+class TestPathPersistence:
+    """Path records ride along in the archive, invisibly to load_tally."""
+
+    def _captured(self, fast_config):
+        from repro.core import run_photons, task_rng
+
+        tally = run_photons(fast_config, 60, task_rng(2, 0), capture_paths=True)
+        tally.paths.seal(0)
+        return tally
+
+    def test_round_trip(self, tmp_path, fast_config):
+        from repro.io import load_paths
+
+        tally = self._captured(fast_config)
+        path = save_tally(tmp_path / "t.npz", tally)
+        back = load_paths(path)
+        assert back == tally.paths
+        assert back.segment_keys == (0,)
+        # The records stay invisible to a plain tally load: same archive,
+        # same tally, no paths attached.
+        assert load_tally(path).paths is None
+
+    def test_absent_records_load_as_none(self, tmp_path, fast_config):
+        from repro.io import load_paths
+
+        tally = Simulation(fast_config).run(50, seed=0)
+        assert load_paths(save_tally(tmp_path / "t.npz", tally)) is None
+
+    def test_fingerprint_self_verification(self, tmp_path, fast_config):
+        from repro.io import load_paths
+
+        tally = self._captured(fast_config)
+        path = save_tally(
+            tmp_path / "t.npz", tally, provenance={"fingerprint": "ab12" * 16}
+        )
+        assert load_paths(path, expected_fingerprint="ab12" * 16) is not None
+        with pytest.raises(ValueError, match="different request"):
+            load_paths(path, expected_fingerprint="cd34" * 16)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the perturbation-MC tests.
+
+The parent run is module-agnostic and expensive relative to the rest of the
+suite, so it is session-scoped: every reweighting test derives from the same
+captured two-layer run.  The medium follows the suite's fast-media
+convention (absorption within an order of magnitude of scattering) but is
+two-layered so per-layer reweighting is non-trivial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunRequest, run
+from repro.core import SimulationConfig
+from repro.sources import PencilBeam
+from repro.tissue import Layer, LayerStack, OpticalProperties
+
+PARENT_MU_A = (0.05, 0.02)
+PARENT_MU_S = (10.0, 5.0)
+
+
+def two_layer_config(
+    mu_a=PARENT_MU_A, mu_s=PARENT_MU_S
+) -> SimulationConfig:
+    stack = LayerStack(
+        [
+            Layer(
+                "top",
+                OpticalProperties(mu_a=mu_a[0], mu_s=mu_s[0], g=0.8, n=1.4),
+                0.6,
+            ),
+            Layer(
+                "bottom",
+                OpticalProperties(mu_a=mu_a[1], mu_s=mu_s[1], g=0.6, n=1.4),
+                1.2,
+            ),
+        ]
+    )
+    return SimulationConfig(stack=stack, source=PencilBeam())
+
+
+def run_tally(mu_a=PARENT_MU_A, mu_s=PARENT_MU_S, *, capture=True, n=4000):
+    """One deterministic run on the two-layer medium (same seed throughout)."""
+    report = run(
+        RunRequest(
+            config=two_layer_config(mu_a, mu_s),
+            n_photons=n,
+            seed=11,
+            task_size=1000,
+            backend="thread",
+            workers=2,
+            capture_paths=capture,
+        )
+    )
+    return report.tally
+
+
+@pytest.fixture(scope="session")
+def parent_tally():
+    """A captured 4000-photon parent run; tests must not mutate it."""
+    tally = run_tally()
+    assert tally.paths is not None and tally.paths.n_rows > 0
+    return tally

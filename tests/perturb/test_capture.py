@@ -1,0 +1,185 @@
+"""Path-record capture invariants across kernels, backends and the TCP wire.
+
+Capture is an execution-only knob: it must not change any other tally field,
+and the captured records must agree bit-for-bit no matter which backend or
+transport produced them (sealing under the task key makes merge order
+deterministic).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DataManager,
+    NetworkServer,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    run_network_client,
+)
+from repro.distributed.protocol import (
+    ResultValidationError,
+    TaskSpec,
+    validate_result,
+)
+from repro.distributed.worker import execute_task
+
+from .conftest import two_layer_config
+
+
+def _run_clients(port: int, count: int) -> list[threading.Thread]:
+    threads = [
+        threading.Thread(
+            target=run_network_client,
+            args=("127.0.0.1", port),
+            kwargs={"worker_name": f"client-{i}"},
+            daemon=True,
+        )
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def _capture_run(config, *, kernel="vector", n=2000, task_size=500, backend=None,
+                 capture=True):
+    manager = DataManager(
+        config, n, seed=5, task_size=task_size, kernel=kernel,
+        capture_paths=capture,
+    )
+    return manager.run(backend or SerialBackend())
+
+
+class TestKernelCapture:
+    @pytest.mark.parametrize(
+        "kernel,n,task_size",
+        [("vector", 2000, 500), ("scalar", 600, 200)],
+    )
+    def test_records_are_consistent_with_the_tally(self, kernel, n, task_size):
+        config = two_layer_config()
+        tally = _capture_run(
+            config, kernel=kernel, n=n, task_size=task_size
+        ).tally
+        records = tally.paths
+        assert records is not None and records.is_sealed
+
+        assert records.n_rows == tally.detected_count
+        assert records.segment_keys == tuple(range(n // task_size))
+        np.testing.assert_allclose(
+            records.column("weight").sum(), tally.detected_weight, rtol=1e-12
+        )
+        # The optical pathlength is the refractive-index-weighted sum of the
+        # per-layer geometric paths.
+        n_vec = np.array([l.properties.n for l in config.stack.layers])
+        np.testing.assert_allclose(
+            records.column("opl"), records.column("layer_paths") @ n_vec,
+            rtol=1e-9,
+        )
+        depth = records.column("max_depth")
+        assert np.all(depth >= 0.0)
+        assert np.all(depth <= config.stack.total_thickness + 1e-12)
+
+    @pytest.mark.parametrize(
+        "kernel,n,task_size",
+        [("vector", 2000, 500), ("scalar", 600, 200)],
+    )
+    def test_capture_changes_no_other_field(self, kernel, n, task_size):
+        config = two_layer_config()
+        captured = _capture_run(
+            config, kernel=kernel, n=n, task_size=task_size
+        ).tally
+        plain = _capture_run(
+            config, kernel=kernel, n=n, task_size=task_size, capture=False
+        ).tally
+        assert plain.paths is None
+        # Tally equality covers every physics field; capture adds no RNG
+        # draws so the two runs are bit-identical apart from the records.
+        assert captured == plain
+
+
+class TestBackendParity:
+    def test_thread_and_process_backends_capture_identically(self):
+        config = two_layer_config()
+        serial = _capture_run(config, n=1500, task_size=300).tally
+        threaded = _capture_run(
+            config, n=1500, task_size=300, backend=ThreadBackend(2)
+        ).tally
+        assert threaded.paths == serial.paths
+        assert threaded == serial
+
+        process = _capture_run(
+            config, n=1500, task_size=300, backend=make_backend("process", 2)
+        ).tally
+        assert process.paths == serial.paths
+        assert process == serial
+
+
+class TestNetworkCapture:
+    def test_tcp_round_trip_matches_serial_run(self):
+        config = two_layer_config()
+        server = NetworkServer(
+            config, n_photons=1000, seed=3, task_size=250, capture_paths=True
+        ).start()
+        threads = _run_clients(server.port, 2)
+        report = server.wait(timeout=120)
+        for t in threads:
+            t.join(timeout=10)
+
+        serial = DataManager(
+            config, 1000, seed=3, task_size=250, capture_paths=True
+        ).run(SerialBackend())
+        assert report.tally.paths == serial.tally.paths
+        assert report.tally == serial.tally
+
+
+class TestResultValidation:
+    def _result(self, capture=True):
+        task = TaskSpec(
+            task_index=0, n_photons=200, seed=5, capture_paths=capture
+        )
+        return execute_task(two_layer_config(), task), task
+
+    def test_valid_captured_result_passes(self):
+        result, task = self._result()
+        validate_result(result, task)  # must not raise
+
+    def test_missing_records_fail_closed(self):
+        result, task = self._result(capture=False)
+        task_wanting_paths = TaskSpec(
+            task_index=0, n_photons=200, seed=5, capture_paths=True
+        )
+        with pytest.raises(ResultValidationError, match="no path records"):
+            validate_result(result, task_wanting_paths)
+
+    def test_unsealed_records_fail_closed(self):
+        result, task = self._result()
+        sealed = result.tally.paths
+        from repro.detect import PathRecords
+
+        open_records = PathRecords(sealed.n_layers)
+        open_records.append(
+            sealed.column("layer_paths"),
+            sealed.column("weight"),
+            sealed.column("opl"),
+            sealed.column("max_depth"),
+        )
+        result.tally.paths = open_records
+        with pytest.raises(ResultValidationError, match="not sealed"):
+            validate_result(result, task)
+
+    def test_row_count_mismatch_fails_closed(self):
+        result, task = self._result()
+        records = result.tally.paths
+        # Drop the records entirely but keep detected_count > 0: simulate a
+        # worker that lost rows in transit.
+        empty = type(records)(records.n_layers)
+        empty.seal(0)
+        result.tally.paths = empty
+        assert result.tally.detected_count > 0
+        with pytest.raises(ResultValidationError, match="path records for"):
+            validate_result(result, task)

@@ -1,0 +1,274 @@
+"""Tests for the perturbation-MC reweighting kernels (repro.perturb)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detect import PathRecords
+from repro.io import save_tally
+from repro.perturb import (
+    DERIVED_FIELDS,
+    PARENT_VALUED_FIELDS,
+    PerturbationDelta,
+    PerturbationError,
+    derive_from_archive,
+    derive_tally,
+    derived_std,
+    reweight_factors,
+)
+
+from .conftest import PARENT_MU_A, PARENT_MU_S, run_tally
+
+
+def _records(rows=4, n_layers=2, seed=0):
+    """Hand-built sealed records with reproducible pseudo-random contents."""
+    rng = np.random.default_rng(seed)
+    records = PathRecords(n_layers)
+    lp = rng.uniform(0.1, 2.0, size=(rows, n_layers))
+    weights = rng.uniform(0.2, 1.0, size=rows)
+    records.append(lp, weights, lp.sum(axis=1) * 1.4, lp.max(axis=1))
+    records.seal(0)
+    return records
+
+
+class TestPerturbationDelta:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="layers"):
+            PerturbationDelta(d_mu_a=(0.1, 0.2), alpha_s=(1.0,))
+        with pytest.raises(ValueError, match="at least one layer"):
+            PerturbationDelta(d_mu_a=(), alpha_s=())
+        with pytest.raises(ValueError, match="non-finite"):
+            PerturbationDelta(d_mu_a=(float("nan"),), alpha_s=(1.0,))
+        with pytest.raises(ValueError, match="finite and > 0"):
+            PerturbationDelta(d_mu_a=(0.0,), alpha_s=(0.0,))
+        with pytest.raises(ValueError, match="finite and > 0"):
+            PerturbationDelta(d_mu_a=(0.0,), alpha_s=(-1.0,))
+
+    def test_identity_and_exactness_flags(self):
+        identity = PerturbationDelta(d_mu_a=(0.0, 0.0), alpha_s=(1.0, 1.0))
+        assert identity.is_zero and identity.is_exact
+        absorb = PerturbationDelta(d_mu_a=(0.1, 0.0), alpha_s=(1.0, 1.0))
+        assert not absorb.is_zero and absorb.is_exact
+        scatter = PerturbationDelta(d_mu_a=(0.0, 0.0), alpha_s=(1.05, 1.0))
+        assert not scatter.is_zero and not scatter.is_exact
+
+    def test_between_is_additive_in_mu_a_multiplicative_in_mu_s(self):
+        delta = PerturbationDelta.between(
+            {"mu_a": [0.05, 0.02], "mu_s": [10.0, 5.0]},
+            {"mu_a": [0.07, 0.02], "mu_s": [10.5, 5.0]},
+        )
+        assert delta.d_mu_a == pytest.approx((0.02, 0.0))
+        assert delta.alpha_s == pytest.approx((1.05, 1.0))
+
+    def test_between_validation(self):
+        with pytest.raises(ValueError, match="layer count"):
+            PerturbationDelta.between(
+                {"mu_a": [0.05], "mu_s": [10.0]},
+                {"mu_a": [0.05, 0.02], "mu_s": [10.0, 5.0]},
+            )
+        with pytest.raises(ValueError, match="mu_s"):
+            PerturbationDelta.between(
+                {"mu_a": [0.05], "mu_s": [0.0]},
+                {"mu_a": [0.05], "mu_s": [10.0]},
+            )
+
+    def test_dict_round_trip(self):
+        delta = PerturbationDelta(d_mu_a=(0.02, -0.01), alpha_s=(1.03, 1.0))
+        d = delta.as_dict()
+        assert d["exact"] is False
+        assert PerturbationDelta.from_dict(d) == delta
+
+
+class TestReweightFactors:
+    def test_matches_manual_formula(self):
+        records = _records()
+        delta = PerturbationDelta(d_mu_a=(0.3, -0.1), alpha_s=(1.05, 0.97))
+        mu_s = np.array([10.0, 5.0])
+        factors = reweight_factors(records, delta, mu_s=mu_s)
+
+        lp = records.column("layer_paths")
+        alpha = np.asarray(delta.alpha_s)
+        expected = np.exp(
+            lp @ -np.asarray(delta.d_mu_a)
+            + (lp * mu_s) @ (np.log(alpha) - alpha + 1.0)
+        )
+        np.testing.assert_allclose(factors, expected, rtol=1e-14)
+
+    def test_absorption_only_needs_no_mu_s(self):
+        records = _records()
+        delta = PerturbationDelta(d_mu_a=(0.3, 0.0), alpha_s=(1.0, 1.0))
+        factors = reweight_factors(records, delta)
+        lp = records.column("layer_paths")
+        np.testing.assert_allclose(factors, np.exp(-0.3 * lp[:, 0]), rtol=1e-14)
+
+    def test_scattering_requires_valid_mu_s(self):
+        records = _records()
+        delta = PerturbationDelta(d_mu_a=(0.0, 0.0), alpha_s=(1.05, 1.0))
+        with pytest.raises(PerturbationError, match="mu_s"):
+            reweight_factors(records, delta)
+        with pytest.raises(PerturbationError, match="shape"):
+            reweight_factors(records, delta, mu_s=[10.0])
+        with pytest.raises(PerturbationError, match="finite and > 0"):
+            reweight_factors(records, delta, mu_s=[10.0, 0.0])
+
+    def test_layer_count_mismatch_rejected(self):
+        delta = PerturbationDelta(d_mu_a=(0.1,), alpha_s=(1.0,))
+        with pytest.raises(PerturbationError, match="layers"):
+            reweight_factors(_records(n_layers=2), delta)
+
+    def test_derived_std_is_root_sum_of_squares(self):
+        records = _records()
+        factors = np.full(records.n_rows, 2.0)
+        rw = records.column("weight") * factors
+        assert derived_std(records, factors) == pytest.approx(
+            float(np.sqrt((rw * rw).sum()))
+        )
+
+
+class TestDeriveTally:
+    def test_zero_delta_is_bit_identical(self, parent_tally):
+        identity = PerturbationDelta(d_mu_a=(0.0, 0.0), alpha_s=(1.0, 1.0))
+        derived = derive_tally(parent_tally, identity)
+        assert derived == parent_tally  # Tally.__eq__ covers every field
+        assert derived.paths == parent_tally.paths
+        assert derived.paths is not parent_tally.paths
+        assert derived.derivation["fields_at_parent_properties"] == []
+        assert derived.derivation["perturbation"]["exact"] is True
+
+    def test_detected_weight_stays_consistent_with_records(self, parent_tally):
+        delta = PerturbationDelta(d_mu_a=(0.04, -0.01), alpha_s=(1.0, 1.0))
+        derived = derive_tally(parent_tally, delta)
+        # The derived tally remains self-consistent: its detected weight is
+        # the sum of its (reweighted) record weights, so it can itself seed
+        # a further derivation.
+        assert derived.detected_weight == pytest.approx(
+            float(derived.paths.column("weight").sum()), rel=1e-12
+        )
+        assert derived.paths.n_rows == parent_tally.paths.n_rows
+        assert derived.paths.segment_keys == parent_tally.paths.segment_keys
+
+    def test_parent_valued_fields_untouched(self, parent_tally):
+        delta = PerturbationDelta(d_mu_a=(0.04, 0.0), alpha_s=(1.0, 1.0))
+        derived = derive_tally(parent_tally, delta)
+        for name in PARENT_VALUED_FIELDS:
+            parent_value = getattr(parent_tally, name, None)
+            derived_value = getattr(derived, name, None)
+            if isinstance(parent_value, np.ndarray):
+                np.testing.assert_array_equal(derived_value, parent_value)
+            else:
+                assert derived_value == parent_value
+        assert set(derived.derivation["fields_at_parent_properties"]) == set(
+            PARENT_VALUED_FIELDS
+        )
+        assert derived.detected_weight != parent_tally.detected_weight
+
+    def test_absorption_derivation_matches_direct_run(self, parent_tally):
+        d = 0.03
+        delta = PerturbationDelta(d_mu_a=(d, d), alpha_s=(1.0, 1.0))
+        derived = derive_tally(parent_tally, delta)
+        direct = run_tally(mu_a=tuple(a + d for a in PARENT_MU_A))
+        sigma = np.hypot(
+            derived.derivation["derived_std"],
+            derived_std(direct.paths, np.ones(direct.paths.n_rows)),
+        )
+        assert abs(derived.detected_weight - direct.detected_weight) < 3 * sigma
+        assert abs(
+            derived.pathlength.mean - direct.pathlength.mean
+        ) < 0.1 * direct.pathlength.mean
+
+    def test_scattering_derivation_matches_direct_run(self, parent_tally):
+        alpha = 1.03
+        delta = PerturbationDelta(d_mu_a=(0.0, 0.0), alpha_s=(alpha, alpha))
+        derived = derive_tally(parent_tally, delta, mu_s=PARENT_MU_S)
+        direct = run_tally(mu_s=tuple(alpha * s for s in PARENT_MU_S))
+        sigma = np.hypot(
+            derived.derivation["derived_std"],
+            derived_std(direct.paths, np.ones(direct.paths.n_rows)),
+        )
+        assert abs(derived.detected_weight - direct.detected_weight) < 3 * sigma
+        assert derived.derivation["perturbation"]["exact"] is False
+
+    def test_absorption_derivations_compose(self, parent_tally):
+        d1 = PerturbationDelta(d_mu_a=(0.02, 0.0), alpha_s=(1.0, 1.0))
+        d2 = PerturbationDelta(d_mu_a=(0.0, 0.01), alpha_s=(1.0, 1.0))
+        both = PerturbationDelta(d_mu_a=(0.02, 0.01), alpha_s=(1.0, 1.0))
+        chained = derive_tally(derive_tally(parent_tally, d1), d2)
+        direct = derive_tally(parent_tally, both)
+        assert chained.detected_weight == pytest.approx(
+            direct.detected_weight, rel=1e-12
+        )
+        np.testing.assert_allclose(
+            chained.paths.column("weight"),
+            direct.paths.column("weight"),
+            rtol=1e-12,
+        )
+
+    def test_fails_closed_without_usable_records(self, parent_tally):
+        delta = PerturbationDelta(d_mu_a=(0.01, 0.0), alpha_s=(1.0, 1.0))
+
+        bare = parent_tally.copy()
+        bare.paths = None
+        with pytest.raises(PerturbationError, match="no path records"):
+            derive_tally(bare, delta)
+
+        open_records = parent_tally.copy()
+        open_records.paths = PathRecords(2)
+        open_records.paths.append(
+            np.ones((1, 2)), np.ones(1), np.ones(1), np.ones(1)
+        )
+        with pytest.raises(PerturbationError, match="not sealed"):
+            derive_tally(open_records, delta)
+
+        partial = parent_tally.copy()
+        partial.paths = PathRecords(2)
+        partial.paths.seal(0)
+        with pytest.raises(PerturbationError, match="partial records"):
+            derive_tally(partial, delta)
+
+        narrow = PerturbationDelta(d_mu_a=(0.01,), alpha_s=(1.0,))
+        with pytest.raises(PerturbationError, match="layers"):
+            derive_tally(parent_tally, narrow)
+
+
+class TestDeriveFromArchive:
+    def test_round_trip_matches_in_memory_derivation(
+        self, parent_tally, tmp_path
+    ):
+        archive = tmp_path / "parent.npz"
+        save_tally(archive, parent_tally)
+        delta = PerturbationDelta(d_mu_a=(0.02, 0.01), alpha_s=(1.0, 1.0))
+        from_disk = derive_from_archive(archive, delta)
+        in_memory = derive_tally(parent_tally, delta)
+        assert from_disk.detected_weight == pytest.approx(
+            in_memory.detected_weight, rel=1e-12
+        )
+        assert from_disk.paths == in_memory.paths
+
+    def test_pathless_archive_fails_closed(self, tmp_path):
+        tally = run_tally(capture=False, n=1000)
+        archive = tmp_path / "bare.npz"
+        save_tally(archive, tally)
+        delta = PerturbationDelta(d_mu_a=(0.01, 0.0), alpha_s=(1.0, 1.0))
+        with pytest.raises(PerturbationError, match="no path records"):
+            derive_from_archive(archive, delta)
+
+    def test_mu_s_read_from_provenance_coefficients(
+        self, parent_tally, tmp_path
+    ):
+        archive = tmp_path / "parent.npz"
+        save_tally(
+            archive,
+            parent_tally,
+            provenance={"coefficients": {"mu_s": list(PARENT_MU_S)}},
+        )
+        delta = PerturbationDelta(d_mu_a=(0.0, 0.0), alpha_s=(1.02, 1.0))
+        from_disk = derive_from_archive(archive, delta)
+        in_memory = derive_tally(parent_tally, delta, mu_s=PARENT_MU_S)
+        assert from_disk.detected_weight == pytest.approx(
+            in_memory.detected_weight, rel=1e-12
+        )
+
+
+def test_derived_fields_partition_is_disjoint():
+    assert not set(DERIVED_FIELDS) & set(PARENT_VALUED_FIELDS)

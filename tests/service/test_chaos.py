@@ -110,7 +110,7 @@ class Server:
 
 def _post(url: str, payload: dict) -> dict:
     req = urllib.request.Request(
-        f"{url}/v1/runs",
+        f"{url}/v2/runs",
         data=json.dumps(payload).encode(),
         method="POST",
         headers={"Content-Type": "application/json"},
@@ -127,7 +127,7 @@ def _get(url: str, path: str):
 def _poll_done(url: str, job_id: str, timeout: float = 120.0) -> dict:
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        _, raw = _get(url, f"/v1/runs/{job_id}")
+        _, raw = _get(url, f"/v2/runs/{job_id}")
         payload = json.loads(raw)
         if payload["state"] in ("done", "failed", "cancelled"):
             return payload
@@ -169,7 +169,7 @@ def test_kill9_restart_completes_bit_identical(tmp_path):
         assert done["recovered"] is True
         assert done["fingerprint"] == fingerprint
 
-        _, data = _get(second.url, f"/v1/results/{fingerprint}")
+        _, data = _get(second.url, f"/v2/results/{fingerprint}")
         archive = tmp_path / "recovered.npz"
         archive.write_bytes(data)
     finally:

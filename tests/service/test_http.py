@@ -1,7 +1,7 @@
 """HTTP front end: the full serve → poll → fetch → cache-hit lifecycle.
 
 ``test_lifecycle_and_cache_hit`` is the subsystem's acceptance test: a
-cached ``GET /v1/results/<fingerprint>`` must be bit-identical to a fresh
+cached ``GET /v2/results/<fingerprint>`` must be bit-identical to a fresh
 ``api.run`` of the same request, served without re-simulating (cache-hit
 counter increments, zero new kernel spans).
 """
@@ -58,7 +58,7 @@ def _post(url: str, payload: dict):
 def _poll_done(url: str, job_id: str, timeout: float = 60.0) -> dict:
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        _, payload = _get(f"{url}/v1/runs/{job_id}")
+        _, payload = _get(f"{url}/v2/runs/{job_id}")
         if payload["state"] in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
             return payload
         time.sleep(0.02)
@@ -102,7 +102,7 @@ class TestLifecycle:
         url = server.url
 
         # --- submit (cold) --------------------------------------------------
-        status, job = _post(f"{url}/v1/runs", REQUEST_BODY)
+        status, job = _post(f"{url}/v2/runs", REQUEST_BODY)
         assert status == 202
         assert job["state"] in (JobState.QUEUED, JobState.RUNNING)
 
@@ -112,7 +112,7 @@ class TestLifecycle:
         assert done["error"] is None
 
         # --- fetch the archive and compare against a direct api.run --------
-        data = _get_bytes(f"{url}/v1/results/{done['fingerprint']}")
+        data = _get_bytes(f"{url}/v2/results/{done['fingerprint']}")
         archive = server.manager.store.root / "fetched.npz"
         archive.write_bytes(data)
         served = load_tally(archive)
@@ -123,16 +123,16 @@ class TestLifecycle:
         assert done["fingerprint"] == request_fingerprint(RunRequest(**REQUEST_BODY))
 
         # --- resubmit: answered from the store, no re-simulation -----------
-        _, metrics_before = _get(f"{url}/v1/metrics")
+        _, metrics_before = _get(f"{url}/v2/metrics")
         hits_before = _counter_value(metrics_before, "service.cache.hits")
         spans_before = _kernel_spans(server)
 
-        status, repeat = _post(f"{url}/v1/runs", REQUEST_BODY)
+        status, repeat = _post(f"{url}/v2/runs", REQUEST_BODY)
         assert status == 200  # completed at submission time
         assert repeat["state"] == JobState.DONE
         assert repeat["cache_hit"] is True
 
-        _, metrics_after = _get(f"{url}/v1/metrics")
+        _, metrics_after = _get(f"{url}/v2/metrics")
         assert (
             _counter_value(metrics_after, "service.cache.hits") == hits_before + 1
         )
@@ -145,12 +145,12 @@ class TestLifecycle:
         assert cached == direct
 
     def test_metrics_endpoint_shape(self, server):
-        status, metrics = _get(f"{server.url}/v1/metrics")
+        status, metrics = _get(f"{server.url}/v2/metrics")
         assert status == 200
         assert set(metrics) == {"counters", "gauges", "histograms"}
 
     def test_healthz(self, server):
-        assert _get(f"{server.url}/v1/healthz") == (
+        assert _get(f"{server.url}/v2/healthz") == (
             200, {"ok": True, "draining": False}
         )
 
@@ -162,26 +162,26 @@ class TestErrors:
         return err.value.code, json.loads(err.value.read())
 
     def test_unknown_job_404(self, server):
-        code, payload = self._status_of(lambda: _get(f"{server.url}/v1/runs/nope"))
+        code, payload = self._status_of(lambda: _get(f"{server.url}/v2/runs/nope"))
         assert code == 404
         assert payload["error"]["code"] == "not_found"
         assert "unknown job" in payload["error"]["message"]
 
     def test_missing_result_404(self, server):
         code, _ = self._status_of(
-            lambda: _get(f"{server.url}/v1/results/{'0' * 64}")
+            lambda: _get(f"{server.url}/v2/results/{'0' * 64}")
         )
         assert code == 404
 
     def test_malformed_fingerprint_400(self, server):
         code, _ = self._status_of(
-            lambda: _get(f"{server.url}/v1/results/..%2Fescape")
+            lambda: _get(f"{server.url}/v2/results/..%2Fescape")
         )
         assert code == 400
 
     def test_unknown_field_400(self, server):
         code, payload = self._status_of(
-            lambda: _post(f"{server.url}/v1/runs", {"model": "white_matter", "fotons": 5})
+            lambda: _post(f"{server.url}/v2/runs", {"model": "white_matter", "fotons": 5})
         )
         assert code == 400
         assert payload["error"]["code"] == "bad_request"
@@ -189,12 +189,12 @@ class TestErrors:
 
     def test_invalid_model_400(self, server):
         code, _ = self._status_of(
-            lambda: _post(f"{server.url}/v1/runs", {"model": "gray_matter"})
+            lambda: _post(f"{server.url}/v2/runs", {"model": "gray_matter"})
         )
         assert code == 400
 
     def test_non_object_body_400(self, server):
-        code, _ = self._status_of(lambda: _post(f"{server.url}/v1/runs", ["nope"]))
+        code, _ = self._status_of(lambda: _post(f"{server.url}/v2/runs", ["nope"]))
         assert code == 400
 
     def test_unknown_endpoint_404(self, server):
@@ -261,7 +261,7 @@ class TestBackpressure:
         admission = AdmissionController(max_photons_per_request=100)
         with ServiceServer(manager, admission=admission) as server:
             code, headers, payload = self._refused(
-                lambda: _post(f"{server.url}/v1/runs", REQUEST_BODY)
+                lambda: _post(f"{server.url}/v2/runs", REQUEST_BODY)
             )
         assert code == 429
         assert payload["error"]["code"] == "over_budget"
@@ -277,10 +277,10 @@ class TestBackpressure:
             rate_photons_per_s=100, burst_photons=400
         )
         with ServiceServer(manager, admission=admission) as server:
-            first = _post(f"{server.url}/v1/runs", REQUEST_BODY)  # drains burst
+            first = _post(f"{server.url}/v2/runs", REQUEST_BODY)  # drains burst
             assert first[0] == 202
             code, headers, payload = self._refused(
-                lambda: _post(f"{server.url}/v1/runs", dict(REQUEST_BODY, seed=8))
+                lambda: _post(f"{server.url}/v2/runs", dict(REQUEST_BODY, seed=8))
             )
         assert code == 429
         assert payload["error"]["code"] == "rate"
@@ -304,9 +304,9 @@ class TestBackpressure:
         admission = AdmissionController(max_queue=1)
         try:
             with ServiceServer(manager, admission=admission) as server:
-                assert _post(f"{server.url}/v1/runs", REQUEST_BODY)[0] == 202
+                assert _post(f"{server.url}/v2/runs", REQUEST_BODY)[0] == 202
                 code, headers, payload = self._refused(
-                    lambda: _post(f"{server.url}/v1/runs", dict(REQUEST_BODY, seed=8))
+                    lambda: _post(f"{server.url}/v2/runs", dict(REQUEST_BODY, seed=8))
                 )
                 assert code == 503
                 assert payload["error"]["code"] == "saturated"
@@ -342,7 +342,7 @@ class TestBackpressure:
 
         try:
             with ServiceServer(manager, admission=admission) as server:
-                url = f"{server.url}/v1/runs"
+                url = f"{server.url}/v2/runs"
                 assert post_as(url, REQUEST_BODY, "alice")[0] == 202
                 code, _, payload = self._refused(
                     lambda: post_as(url, dict(REQUEST_BODY, seed=8), "alice")
@@ -358,7 +358,7 @@ class TestBackpressure:
 class TestPriorities:
     def test_priority_header_lands_on_the_job(self, server):
         req = urllib.request.Request(
-            f"{server.url}/v1/runs",
+            f"{server.url}/v2/runs",
             data=json.dumps(REQUEST_BODY).encode(),
             method="POST",
             headers={"Content-Type": "application/json", "X-Priority": "high"},
@@ -370,7 +370,7 @@ class TestPriorities:
 
     def test_unknown_priority_400(self, server):
         req = urllib.request.Request(
-            f"{server.url}/v1/runs",
+            f"{server.url}/v2/runs",
             data=json.dumps(REQUEST_BODY).encode(),
             method="POST",
             headers={"Content-Type": "application/json", "X-Priority": "urgent"},
@@ -385,10 +385,10 @@ class TestGracefulShutdown:
     def test_draining_server_refuses_submissions(self, server):
         server.draining = True
         with pytest.raises(urllib.error.HTTPError) as err:
-            _post(f"{server.url}/v1/runs", REQUEST_BODY)
+            _post(f"{server.url}/v2/runs", REQUEST_BODY)
         assert err.value.code == 503
         assert err.value.headers["Retry-After"] == "30"
-        assert _get(f"{server.url}/v1/healthz")[1]["draining"] is True
+        assert _get(f"{server.url}/v2/healthz")[1]["draining"] is True
 
     def test_drain_of_idle_server_returns_true_and_closes(self, tmp_path):
         server = ServiceServer(JobManager(ResultStore(tmp_path / "store")))
@@ -396,7 +396,7 @@ class TestGracefulShutdown:
         assert server.drain(timeout=5.0) is True
         # Fully closed: the port no longer answers.
         with pytest.raises(OSError):
-            _get(f"{server.url}/v1/healthz")
+            _get(f"{server.url}/v2/healthz")
 
     def test_close_is_idempotent_and_joins_workers(self, tmp_path):
         import threading
@@ -428,17 +428,38 @@ class TestApiV2:
     SMALL = dict(REQUEST_BODY, n_photons=100, task_size=50)
     LARGE = dict(REQUEST_BODY, n_photons=200, task_size=50)
 
-    def test_v2_paths_alias_v1(self, server):
+    def test_v1_is_gone(self, server):
+        """The retired /v1 prefix answers 410 with a pointer to /v2."""
+
+        def status_of(call):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                call()
+            return err.value.code, json.loads(err.value.read())
+
+        for call, replacement in [
+            (lambda: _post(f"{server.url}/v1/runs", REQUEST_BODY), "/v2/runs"),
+            (lambda: _get(f"{server.url}/v1/runs/abc"), "/v2/runs/abc"),
+            (lambda: _get(f"{server.url}/v1/metrics"), "/v2/metrics"),
+            (lambda: _get(f"{server.url}/v1/healthz"), "/v2/healthz"),
+            (
+                lambda: _get(f"{server.url}/v1/results/{'0' * 64}"),
+                f"/v2/results/{'0' * 64}",
+            ),
+        ]:
+            code, payload = status_of(call)
+            assert code == 410
+            assert payload["error"]["code"] == "gone"
+            assert replacement in payload["error"]["message"]
+
+    def test_v2_result_matches_job_view(self, server):
         status, job = _post(f"{server.url}/v2/runs", REQUEST_BODY)
         assert status == 202
         done = _poll_done(server.url, job["id"])
         assert done["cache"] == "miss"
-        _, via_v2 = _get(f"{server.url}/v2/runs/{job['id']}")
-        _, via_v1 = _get(f"{server.url}/v1/runs/{job['id']}")
-        assert via_v2 == via_v1
-        assert _get_bytes(
-            f"{server.url}/v2/results/{done['fingerprint']}"
-        ) == _get_bytes(f"{server.url}/v1/results/{done['fingerprint']}")
+        _, via_get = _get(f"{server.url}/v2/runs/{job['id']}")
+        assert via_get == done
+        data = _get_bytes(f"{server.url}/v2/results/{done['fingerprint']}")
+        assert data  # archive served once the run settled
 
     def test_prefix_extension_is_byte_identical_to_cold_run(self, server, tmp_path):
         """The PR's acceptance test: a budget-extended archive must match a
@@ -456,7 +477,12 @@ class TestApiV2:
         extended = _get_bytes(f"{server.url}/v2/results/{ext_done['fingerprint']}")
 
         cold_store = ResultStore(tmp_path / "cold-store")
-        with ServiceServer(JobManager(cold_store, max_workers=2)) as cold_server:
+        # capture_paths=False: an extension's archive is paths-less (the
+        # primed frontier spans carry no records), so the comparator must
+        # not add a paths section the extension can't have.
+        with ServiceServer(
+            JobManager(cold_store, max_workers=2, capture_paths=False)
+        ) as cold_server:
             _, cold = _post(f"{cold_server.url}/v2/runs", self.LARGE)
             cold_done = _poll_done(cold_server.url, cold["id"], timeout=120)
             assert cold_done["cache"] == "miss"
@@ -507,12 +533,12 @@ def test_smoke_end_to_end(tmp_path):
     """The CI service smoke: cold run, poll, fetch, bit-identical, cache hit."""
     store = ResultStore(tmp_path / "store")
     with ServiceServer(JobManager(store, max_workers=2)) as server:
-        status, job = _post(f"{server.url}/v1/runs", REQUEST_BODY)
+        status, job = _post(f"{server.url}/v2/runs", REQUEST_BODY)
         done = _poll_done(server.url, job["id"])
         assert done["state"] == JobState.DONE
-        data = _get_bytes(f"{server.url}/v1/results/{done['fingerprint']}")
+        data = _get_bytes(f"{server.url}/v2/results/{done['fingerprint']}")
         path = tmp_path / "result.npz"
         path.write_bytes(data)
         assert load_tally(path) == run(RunRequest(**REQUEST_BODY)).tally
-        status, repeat = _post(f"{server.url}/v1/runs", REQUEST_BODY)
+        status, repeat = _post(f"{server.url}/v2/runs", REQUEST_BODY)
         assert status == 200 and repeat["cache_hit"]

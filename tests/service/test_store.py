@@ -135,7 +135,7 @@ class TestLRUEviction:
     def test_index_is_valid_json_throughout(self, tmp_path, tally):
         store, _ = self._filled(tmp_path, tally, n=3)
         raw = json.loads((store.root / "index.json").read_text())
-        assert raw["index_version"] == 2
+        assert raw["index_version"] == 3
         assert set(raw["entries"]) == set(store.fingerprints())
 
 
@@ -171,7 +171,7 @@ class TestIndexRebuild:
         store = ResultStore(root)
         assert set(store.fingerprints()) == set(fps)
         # The rebuilt index is persisted for the next open.
-        assert json.loads((root / "index.json").read_text())["index_version"] == 2
+        assert json.loads((root / "index.json").read_text())["index_version"] == 3
 
     def test_wrong_version_index_rebuilt(self, tmp_path, tally):
         root, fps = self._seed_store(tmp_path, tally)
